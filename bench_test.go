@@ -1,0 +1,245 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation, each running the corresponding
+// experiment at the tiny scale (see DESIGN.md §3 for the experiment index
+// and cmd/tables / cmd/figures for the full-scale reproductions).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func benchScale() experiments.Scale {
+	s := experiments.Tiny()
+	s.Rounds = 2
+	return s
+}
+
+func runMethod(b *testing.B, method string, fleetKind string) {
+	b.Helper()
+	s := benchScale()
+	var factory experiments.ClientFactory
+	switch fleetKind {
+	case "het":
+		factory, _ = experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	case "hom":
+		factory, _ = experiments.NewHomogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	case "proto":
+		factory, _ = experiments.NewProtoFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(method, experiments.Fashion, factory, s, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: heterogeneous personalized FL (one bench per method) ---
+
+func BenchmarkTable2_Baseline(b *testing.B) { runMethod(b, experiments.MethodBaseline, "het") }
+func BenchmarkTable2_FedProto(b *testing.B) { runMethod(b, experiments.MethodFedProto, "proto") }
+func BenchmarkTable2_KTpFL(b *testing.B)    { runMethod(b, experiments.MethodKTpFL, "het") }
+func BenchmarkTable2_Proposed(b *testing.B) { runMethod(b, experiments.MethodProposed, "het") }
+
+// --- Table 3: homogeneous FL ---
+
+func BenchmarkTable3_FedAvg(b *testing.B)  { runMethod(b, experiments.MethodFedAvg, "hom") }
+func BenchmarkTable3_FedProx(b *testing.B) { runMethod(b, experiments.MethodFedProx, "hom") }
+func BenchmarkTable3_KTpFLWeight(b *testing.B) {
+	runMethod(b, experiments.MethodKTpFLWeight, "hom")
+}
+func BenchmarkTable3_ProposedWeight(b *testing.B) {
+	runMethod(b, experiments.MethodProposedWeight, "hom")
+}
+
+// --- Table 4: ablation ---
+
+func BenchmarkTable4_Ablation(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(s, []experiments.DatasetName{experiments.Fashion}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 5: communication cost ---
+
+func BenchmarkTable5_CommCost(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(s, experiments.CIFAR10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 2/3: non-iid partitions ---
+
+func BenchmarkFigure2_Partition(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure23(experiments.CIFAR10, data.Dirichlet, s.Clients, s)
+		experiments.Figure23(experiments.CIFAR10, data.Skewed, s.Clients, s)
+	}
+}
+
+func BenchmarkFigure3_PartitionEMNIST(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure23(experiments.EMNIST, data.Dirichlet, s.Clients, s)
+		experiments.Figure23(experiments.EMNIST, data.Skewed, s.Clients, s)
+	}
+}
+
+// --- Figures 4/5: heterogeneous learning curves ---
+
+func BenchmarkFigure4_Curves(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure45(experiments.Fashion, data.Dirichlet, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_CurvesSkewed(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure45(experiments.Fashion, data.Skewed, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 6/7: homogeneous learning curves ---
+
+func BenchmarkFigure6_Curves(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure67(experiments.Fashion, s.Clients, 1.0, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7_CurvesSampled(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure67(experiments.Fashion, s.LargeClients, 0.1, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 8: t-SNE feature clustering ---
+
+func BenchmarkFigure8_TSNE(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(experiments.Fashion, s, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 9: layer conductance ---
+
+func BenchmarkFigure9_Conductance(b *testing.B) {
+	s := benchScale()
+	s.Rounds = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(experiments.Fashion, s); err != nil {
+			// At tiny scale a shared probe may not exist; that is a valid
+			// outcome of the experiment, not a harness failure.
+			b.Skipf("no shared probe at tiny scale: %v", err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the numerical substrate ---
+
+func BenchmarkMatMul64(b *testing.B) {
+	a := tensor.New(64, 64)
+	c := tensor.New(64, 64)
+	a.Fill(0.5)
+	c.Fill(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(a, c)
+	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	s := benchScale()
+	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	c := factory()[0]
+	x := tensor.New(8, 1, 12, 12)
+	x.Fill(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Model.Forward(x, true)
+	}
+}
+
+func BenchmarkClientLocalEpoch(b *testing.B) {
+	s := benchScale()
+	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	clients := factory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clients[i%len(clients)].TrainEpochCE(s.BatchSize)
+	}
+}
+
+func BenchmarkClassifierAveraging(b *testing.B) {
+	s := benchScale()
+	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	clients := factory()
+	dst := clients[0].Model.ClassifierParams()
+	srcs := make([][]*nn.Param, len(clients))
+	weights := make([]float64, len(clients))
+	for i, c := range clients {
+		srcs[i] = c.Model.ClassifierParams()
+		weights[i] = 1 / float64(len(clients))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nn.AverageInto(dst, srcs, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sanity guard: the bench harness itself must produce valid accuracies.
+func TestBenchHarnessSanity(t *testing.T) {
+	s := benchScale()
+	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	hist, err := experiments.Run(experiments.MethodProposed, experiments.Fashion, factory, s, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := experiments.Final(hist)
+	if fin.MeanAcc < 0 || fin.MeanAcc > 1 || fin.UpBytes <= 0 {
+		t.Fatalf("bad metrics: %+v", fin)
+	}
+	var _ []*fl.Client = factory()
+	var _ = models.ArchResNet
+}

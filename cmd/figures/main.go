@@ -1,0 +1,100 @@
+// Command figures regenerates the paper's figures (2–9) as CSV series,
+// markdown histograms, or text heatmaps.
+//
+//	figures -fig 4 -dataset cifar10     # heterogeneous learning curve CSV
+//	figures -fig 8                      # t-SNE quality metrics + embedding
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate (2–9; 0 = all)")
+		dataset = flag.String("dataset", "fashion", "dataset for figures 4–9")
+		rounds  = flag.Int("rounds", 0, "rounds (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		tiny    = flag.Bool("tiny", false, "use the tiny (CI) scale")
+	)
+	flag.Parse()
+
+	s := experiments.Small()
+	if *tiny {
+		s = experiments.Tiny()
+	}
+	s.Seed = *seed
+	if *rounds > 0 {
+		s.Rounds = *rounds
+	}
+	name := experiments.DatasetName(*dataset)
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	if want(2) {
+		for _, kind := range []data.PartitionKind{data.Dirichlet, data.Skewed} {
+			hist, _ := experiments.Figure23(experiments.CIFAR10, kind, s.Clients, s)
+			fmt.Println(experiments.HistogramMarkdown(hist,
+				fmt.Sprintf("Figure 2 — CIFAR-10 stand-in label distribution, %s", kind)))
+		}
+	}
+	if want(3) {
+		for _, kind := range []data.PartitionKind{data.Dirichlet, data.Skewed} {
+			hist, _ := experiments.Figure23(experiments.EMNIST, kind, s.Clients, s)
+			fmt.Println(experiments.HistogramMarkdown(hist,
+				fmt.Sprintf("Figure 3 — EMNIST stand-in label distribution, %s", kind)))
+		}
+	}
+	if want(4) {
+		series, err := experiments.Figure45(name, data.Dirichlet, s)
+		exitOn(err)
+		fmt.Printf("## Figure 4 — heterogeneous learning curves, %s Dir(0.5)\n%s\n", name, experiments.CSV(series))
+	}
+	if want(5) {
+		series, err := experiments.Figure45(name, data.Skewed, s)
+		exitOn(err)
+		fmt.Printf("## Figure 5 — heterogeneous learning curves, %s skewed\n%s\n", name, experiments.CSV(series))
+	}
+	if want(6) {
+		series, err := experiments.Figure67(name, s.Clients, 1.0, s)
+		exitOn(err)
+		fmt.Printf("## Figure 6 — homogeneous learning curves, %s Dir(0.5)\n%s\n", name, experiments.CSV(series))
+	}
+	if want(7) {
+		series, err := experiments.Figure67(name, s.LargeClients, 0.1, s)
+		exitOn(err)
+		fmt.Printf("## Figure 7 — homogeneous %d clients rate 0.1, %s\n%s\n", s.LargeClients, name, experiments.CSV(series))
+	}
+	if want(8) {
+		res, err := experiments.Figure8(name, s, 4)
+		exitOn(err)
+		fmt.Printf("## Figure 8 — feature-space clustering, %s\n", name)
+		fmt.Printf("baseline: kNN label purity %.4f, client mixing %.4f\n", res.BaselinePurity, res.BaselineMixing)
+		fmt.Printf("proposed: kNN label purity %.4f, client mixing %.4f\n", res.ProposedPurity, res.ProposedMixing)
+		fmt.Println("x,y,label,client")
+		for i := 0; i < res.Embedding.Rows(); i++ {
+			fmt.Printf("%.3f,%.3f,%d,%d\n", res.Embedding.At(i, 0), res.Embedding.At(i, 1), res.Labels[i], res.ClientOf[i])
+		}
+		fmt.Println()
+	}
+	if want(9) {
+		res, err := experiments.Figure9(name, s)
+		exitOn(err)
+		fmt.Printf("## Figure 9 — classifier-unit conductance, %s\n", name)
+		fmt.Printf("probe label %d, %d clients correct, mean pairwise Spearman %.4f\n",
+			res.ProbeLabel, len(res.Clients), res.MeanSpearman)
+		fmt.Println("rank heatmap (units × clients):")
+		fmt.Println(res.HeatmapASCII)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}

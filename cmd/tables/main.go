@@ -1,0 +1,81 @@
+// Command tables regenerates the paper's tables (1–5) as markdown at the
+// configured scale. Run with -table 0 (default) for all tables.
+//
+//	tables -table 2            # just Table 2
+//	tables -rounds 60 -clients 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "table to regenerate (1–5; 0 = all)")
+		clients = flag.Int("clients", 0, "clients (0 = scale default)")
+		rounds  = flag.Int("rounds", 0, "rounds (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		tiny    = flag.Bool("tiny", false, "use the tiny (CI) scale")
+		dsList  = flag.String("datasets", "", "comma-separated dataset subset (default: all three)")
+	)
+	flag.Parse()
+
+	s := experiments.Small()
+	if *tiny {
+		s = experiments.Tiny()
+	}
+	s.Seed = *seed
+	if *clients > 0 {
+		s.Clients = *clients
+	}
+	if *rounds > 0 {
+		s.Rounds = *rounds
+	}
+
+	want := func(n int) bool { return *table == 0 || *table == n }
+
+	datasets := experiments.AllDatasets
+	if *dsList != "" {
+		datasets = nil
+		for _, name := range strings.Split(*dsList, ",") {
+			datasets = append(datasets, experiments.DatasetName(strings.TrimSpace(name)))
+		}
+	}
+
+	if want(1) {
+		fmt.Println(experiments.Table1Markdown(s))
+	}
+	if want(2) {
+		t2, err := experiments.Table2(s, datasets, []data.PartitionKind{data.Dirichlet, data.Skewed})
+		exitOn(err)
+		fmt.Println(t2.Markdown())
+	}
+	if want(3) {
+		t3, err := experiments.Table3(s, datasets)
+		exitOn(err)
+		fmt.Println(t3.Markdown())
+	}
+	if want(4) {
+		t4, err := experiments.Table4(s, datasets)
+		exitOn(err)
+		fmt.Println(t4.Markdown())
+	}
+	if want(5) {
+		rows, err := experiments.Table5(s, experiments.CIFAR10)
+		exitOn(err)
+		fmt.Println(experiments.Table5Markdown(rows))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+}

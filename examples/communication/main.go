@@ -1,0 +1,54 @@
+// Communication: the Table 5 scenario — per-round traffic measured from the
+// live ledger of three runs: full-model sharing (FedAvg), KT-pFL soft
+// predictions, and FedClassAvg classifier exchange.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+)
+
+func main() {
+	s := experiments.Small()
+	s.Rounds = 3
+	name := experiments.CIFAR10
+	hom, _ := experiments.NewHomogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	het, _ := experiments.NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+
+	type runSpec struct {
+		method  string
+		factory experiments.ClientFactory
+	}
+	for _, rs := range []runSpec{
+		{experiments.MethodFedAvg, hom},
+		{experiments.MethodKTpFL, het},
+		{experiments.MethodProposed, het},
+	} {
+		algo, err := experiments.NewAlgorithm(rs.method, name, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := fl.NewSimulation(rs.factory(), fl.Config{Rounds: s.Rounds, BatchSize: s.BatchSize, Seed: s.Seed + 7})
+		if _, err := sim.Run(algo); err != nil {
+			log.Fatal(err)
+		}
+		rounds := sim.Ledger.Rounds()
+		last := rounds[len(rounds)-1]
+		perClientUp := last.UpBytes / int64(s.Clients)
+		fmt.Printf("%-16s per-client upload %8d B/round (total up %d B, down %d B over %d rounds)\n",
+			rs.method, perClientUp, sim.Ledger.TotalUp(), sim.Ledger.TotalDown(), s.Rounds)
+	}
+
+	fmt.Println("\nStatic payload sizes (Table 5):")
+	rows, err := experiments.Table5(s, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-28s %8d B/round  (%s)\n", r.Method, r.BytesPerRound, r.Detail)
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// twoClusters builds n points in two well-separated Gaussian blobs.
+func twoClusters(n, d int, sep float64, rng *rand.Rand) (*tensor.Tensor, []int) {
+	x := tensor.New(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		for j := 0; j < d; j++ {
+			center := 0.0
+			if cls == 1 && j == 0 {
+				center = sep
+			}
+			x.Set(i, j, center+0.3*rng.NormFloat64())
+		}
+	}
+	return x, labels
+}
+
+func TestTSNEPreservesClusterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := twoClusters(40, 8, 8, rng)
+	y := TSNE(x, TSNEOptions{Perplexity: 8, Iterations: 200, Seed: 2})
+	if y.Rows() != 40 || y.Cols() != 2 {
+		t.Fatalf("embedding shape %v", y.Shape)
+	}
+	// Clusters separated in input space must stay mostly separated: the
+	// embedding's kNN label purity should be high.
+	purity := KNNLabelPurity(y, labels, 5)
+	if purity < 0.8 {
+		t.Fatalf("embedding purity %.3f too low; clusters merged", purity)
+	}
+}
+
+func TestTSNEDeterministicAndCentered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, _ := twoClusters(20, 5, 6, rng)
+	a := TSNE(x, TSNEOptions{Iterations: 80, Seed: 7})
+	b := TSNE(x, TSNEOptions{Iterations: 80, Seed: 7})
+	if !tensor.ApproxEqual(a, b, 0) {
+		t.Fatal("t-SNE must be deterministic for a fixed seed")
+	}
+	var mx, my float64
+	for i := 0; i < a.Rows(); i++ {
+		mx += a.At(i, 0)
+		my += a.At(i, 1)
+	}
+	if math.Abs(mx) > 1e-6 || math.Abs(my) > 1e-6 {
+		t.Fatalf("embedding not centered: (%g, %g)", mx, my)
+	}
+}
+
+func TestKNNLabelPurity(t *testing.T) {
+	// Perfectly separated clusters → purity 1.
+	rng := rand.New(rand.NewSource(4))
+	x, labels := twoClusters(20, 4, 50, rng)
+	if p := KNNLabelPurity(x, labels, 3); p != 1 {
+		t.Fatalf("separated purity %v, want 1", p)
+	}
+	// Random labels → purity near the base rate (0.5 for two balanced
+	// classes).
+	shuffled := append([]int(nil), labels...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	p := KNNLabelPurity(x, shuffled, 3)
+	if p > 0.85 {
+		t.Fatalf("shuffled purity %v suspiciously high", p)
+	}
+	if KNNLabelPurity(tensor.New(0, 2), nil, 3) != 0 {
+		t.Fatal("empty input should score 0")
+	}
+}
+
+func TestClientMixingIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, _ := twoClusters(20, 4, 50, rng)
+	// Clients split along the cluster boundary → zero mixing.
+	clientOf := make([]int, 20)
+	for i := range clientOf {
+		clientOf[i] = i % 2
+	}
+	if m := ClientMixingIndex(x, clientOf, 3); m != 0 {
+		t.Fatalf("separated clients mixing %v, want 0", m)
+	}
+	// Clients interleaved within clusters → high mixing.
+	interleaved := make([]int, 20)
+	for i := range interleaved {
+		interleaved[i] = (i / 2) % 2
+	}
+	if m := ClientMixingIndex(x, interleaved, 3); m < 0.35 {
+		t.Fatalf("interleaved clients mixing %v, want ≥ 0.35", m)
+	}
+}
+
+func TestRankScores(t *testing.T) {
+	ranks := RankScores([]float64{0.5, -1, 3})
+	want := []int{1, 0, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestSpearmanRank(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10} // same order
+	if r := SpearmanRank(a, b); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("monotone Spearman %v, want 1", r)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if r := SpearmanRank(a, rev); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("reversed Spearman %v, want -1", r)
+	}
+	if r := SpearmanRank(a, []float64{1, 2}); r != 0 {
+		t.Fatal("length mismatch should return 0")
+	}
+}
+
+func TestMeanPairwiseSpearman(t *testing.T) {
+	attrs := [][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{3, 2, 1},
+	}
+	// pairs: (0,1)=1, (0,2)=-1, (1,2)=-1 → mean = -1/3
+	got := MeanPairwiseSpearman(attrs)
+	if math.Abs(got+1.0/3) > 1e-12 {
+		t.Fatalf("mean Spearman %v, want -1/3", got)
+	}
+	if MeanPairwiseSpearman(attrs[:1]) != 0 {
+		t.Fatal("single vector should return 0")
+	}
+}
+
+func TestRankHeatmapShape(t *testing.T) {
+	attrs := [][]float64{{1, 2, 3, 4}, {4, 3, 2, 1}}
+	hm := RankHeatmap(attrs, 3)
+	lines := 0
+	for _, ch := range hm {
+		if ch == '\n' {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("heatmap has %d lines, want 3 (maxUnits)", lines)
+	}
+	if RankHeatmap(nil, 5) != "" {
+		t.Fatal("empty heatmap should be empty string")
+	}
+}
+
+func TestPairwiseSquaredDistances(t *testing.T) {
+	x := tensor.FromSlice([]float64{0, 0, 3, 4}, 2, 2)
+	d := pairwiseSquaredDistances(x)
+	if d.At(0, 1) != 25 || d.At(1, 0) != 25 || d.At(0, 0) != 0 {
+		t.Fatalf("distances %v", d.Data)
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// Conductance computes the layer-conductance attribution (Dhamdhere et al.,
+// "How Important is a Neuron?") of each classifier input unit for the
+// predicted class of one probe input. For the paper's split models the
+// classifier is a single linear layer y = f·W + b, so the conductance of
+// unit j along the straight-line path from the zero baseline is exactly the
+// integrated-gradient decomposition f_j·W[j, class]. The returned vector
+// has one attribution per feature unit.
+func Conductance(m *models.SplitModel, x *tensor.Tensor, class int) []float64 {
+	feats := m.Features(x, false)
+	out := make([]float64, feats.Cols())
+	w := m.Classifier.W.Value
+	row := feats.Row(0)
+	for j := range out {
+		out[j] = row[j] * w.At(j, class)
+	}
+	return out
+}
+
+// RankScores converts attributions to dense ranks (0 = least important).
+// Ties share the order of their indices, which is deterministic.
+func RankScores(attr []float64) []int {
+	idx := make([]int, len(attr))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return attr[idx[a]] < attr[idx[b]] })
+	ranks := make([]int, len(attr))
+	for r, i := range idx {
+		ranks[i] = r
+	}
+	return ranks
+}
+
+// SpearmanRank computes the Spearman rank correlation between two
+// attribution vectors: Pearson correlation of their rank scores.
+func SpearmanRank(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := RankScores(a), RankScores(b)
+	return pearsonInts(ra, rb)
+}
+
+func pearsonInts(a, b []int) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += float64(a[i])
+		mb += float64(b[i])
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da := float64(a[i]) - ma
+		db := float64(b[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// MeanPairwiseSpearman averages the Spearman correlation over all client
+// pairs — the scalar summary of Figure 9 ("units have a similar attribution
+// rank score in general").
+func MeanPairwiseSpearman(attrs [][]float64) float64 {
+	n := len(attrs)
+	if n < 2 {
+		return 0
+	}
+	var total float64
+	var pairs int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += SpearmanRank(attrs[i], attrs[j])
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+// RankHeatmap renders rank scores for several clients as a coarse text
+// heatmap (units down the rows, clients across the columns), binned into
+// ten intensity levels — a terminal rendition of Figure 9.
+func RankHeatmap(attrs [][]float64, maxUnits int) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	units := len(attrs[0])
+	if maxUnits > 0 && units > maxUnits {
+		units = maxUnits
+	}
+	ranks := make([][]int, len(attrs))
+	for i, a := range attrs {
+		ranks[i] = RankScores(a)
+	}
+	shades := []byte(" .:-=+*#%@")
+	buf := make([]byte, 0, units*(len(attrs)+1))
+	denom := float64(len(attrs[0]) - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	for u := 0; u < units; u++ {
+		for c := range attrs {
+			level := int(float64(ranks[c][u]) / denom * float64(len(shades)-1))
+			buf = append(buf, shades[level])
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

@@ -1,0 +1,321 @@
+// Package analysis implements the paper's analysis tooling: a from-scratch
+// t-SNE for the Figure 8 feature-space visualizations (reported as
+// embedding-quality metrics, since the harness is headless) and the
+// layer-conductance attribution comparison of Figure 9.
+package analysis
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// TSNEOptions configures the embedding.
+type TSNEOptions struct {
+	Perplexity   float64 // effective number of neighbors (default 15)
+	Iterations   int     // gradient steps (default 300)
+	LearningRate float64 // default 100
+	Seed         int64
+	// EarlyExaggeration multiplies affinities for the first quarter of the
+	// iterations (default 4).
+	EarlyExaggeration float64
+}
+
+// TSNE embeds the rows of x ([N, D]) into 2-D with the classic
+// Student-t SNE of van der Maaten & Hinton: Gaussian input affinities with
+// per-point bandwidths found by binary search on the perplexity, a
+// Student-t low-dimensional kernel, and momentum gradient descent with
+// early exaggeration. O(N²) per iteration — fine for the ≤1000-point
+// samples the paper visualizes.
+func TSNE(x *tensor.Tensor, opts TSNEOptions) *tensor.Tensor {
+	n := x.Rows()
+	if opts.Perplexity <= 0 {
+		opts.Perplexity = 15
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 300
+	}
+	if opts.LearningRate <= 0 {
+		opts.LearningRate = 100
+	}
+	if opts.EarlyExaggeration <= 0 {
+		opts.EarlyExaggeration = 4
+	}
+	if float64(n-1) < opts.Perplexity {
+		opts.Perplexity = math.Max(2, float64(n-1)/3)
+	}
+	p := inputAffinities(x, opts.Perplexity)
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	y := tensor.New(n, 2)
+	y.FillRandn(rng, 1e-2)
+	vel := tensor.New(n, 2)
+	gains := tensor.New(n, 2)
+	gains.Fill(1)
+
+	exagUntil := opts.Iterations / 4
+	for iter := 0; iter < opts.Iterations; iter++ {
+		exag := 1.0
+		if iter < exagUntil {
+			exag = opts.EarlyExaggeration
+		}
+		grad := tsneGradient(p, y, exag)
+		momentum := 0.5
+		if iter >= 20 {
+			momentum = 0.8
+		}
+		for j := 0; j < 2*n; j++ {
+			// Adaptive gains as in the reference implementation.
+			if (grad.Data[j] > 0) == (vel.Data[j] > 0) {
+				gains.Data[j] = math.Max(0.01, gains.Data[j]*0.8)
+			} else {
+				gains.Data[j] += 0.2
+			}
+			vel.Data[j] = momentum*vel.Data[j] - opts.LearningRate*gains.Data[j]*grad.Data[j]
+			y.Data[j] += vel.Data[j]
+		}
+		centerRows(y)
+	}
+	return y
+}
+
+// inputAffinities computes the symmetrized conditional Gaussian affinities
+// P with per-point bandwidth chosen by binary search on perplexity.
+func inputAffinities(x *tensor.Tensor, perplexity float64) *tensor.Tensor {
+	n := x.Rows()
+	d2 := pairwiseSquaredDistances(x)
+	logU := math.Log(perplexity)
+	p := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		row := d2.Row(i)
+		var probs []float64
+		for tries := 0; tries < 50; tries++ {
+			probs = condProbs(row, i, beta)
+			h := entropy(probs, i)
+			diff := h - logU
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high → sharpen
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		copy(p.Row(i), probs)
+	}
+	// Symmetrize and normalize: P_ij = (p_j|i + p_i|j)/(2n), floored.
+	out := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (p.At(i, j) + p.At(j, i)) / (2 * float64(n))
+			out.Set(i, j, math.Max(v, 1e-12))
+		}
+	}
+	return out
+}
+
+// condProbs returns the conditional distribution over j≠i with precision
+// beta.
+func condProbs(d2row []float64, i int, beta float64) []float64 {
+	n := len(d2row)
+	probs := make([]float64, n)
+	var sum float64
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		v := math.Exp(-d2row[j] * beta)
+		probs[j] = v
+		sum += v
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	for j := range probs {
+		probs[j] /= sum
+	}
+	return probs
+}
+
+// entropy returns the Shannon entropy of the conditional distribution.
+func entropy(probs []float64, i int) float64 {
+	var h float64
+	for j, p := range probs {
+		if j == i || p <= 0 {
+			continue
+		}
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// tsneGradient computes the Kullback-Leibler gradient with the Student-t
+// kernel.
+func tsneGradient(p, y *tensor.Tensor, exaggeration float64) *tensor.Tensor {
+	n := y.Rows()
+	// q_ij ∝ (1 + ‖y_i − y_j‖²)^-1
+	num := tensor.New(n, n)
+	var z float64
+	for i := 0; i < n; i++ {
+		yi := y.Row(i)
+		for j := i + 1; j < n; j++ {
+			yj := y.Row(j)
+			dx := yi[0] - yj[0]
+			dy := yi[1] - yj[1]
+			v := 1 / (1 + dx*dx + dy*dy)
+			num.Set(i, j, v)
+			num.Set(j, i, v)
+			z += 2 * v
+		}
+	}
+	if z == 0 {
+		z = 1
+	}
+	grad := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		yi := y.Row(i)
+		gi := grad.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			qij := num.At(i, j) / z
+			mult := 4 * (exaggeration*p.At(i, j) - qij) * num.At(i, j)
+			yj := y.Row(j)
+			gi[0] += mult * (yi[0] - yj[0])
+			gi[1] += mult * (yi[1] - yj[1])
+		}
+	}
+	return grad
+}
+
+// pairwiseSquaredDistances returns the N×N matrix of squared Euclidean
+// distances between rows.
+func pairwiseSquaredDistances(x *tensor.Tensor) *tensor.Tensor {
+	n, d := x.Rows(), x.Cols()
+	out := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			xj := x.Row(j)
+			var s float64
+			for k := 0; k < d; k++ {
+				dd := xi[k] - xj[k]
+				s += dd * dd
+			}
+			out.Set(i, j, s)
+			out.Set(j, i, s)
+		}
+	}
+	return out
+}
+
+func centerRows(y *tensor.Tensor) {
+	n := y.Rows()
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += y.At(i, 0)
+		my += y.At(i, 1)
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	for i := 0; i < n; i++ {
+		y.Set(i, 0, y.At(i, 0)-mx)
+		y.Set(i, 1, y.At(i, 1)-my)
+	}
+}
+
+// KNNLabelPurity measures, for each point, the fraction of its k nearest
+// neighbors (in the embedding or feature space) sharing its label, averaged
+// over points. Higher is better clustering by label — the quantitative
+// version of Figure 8's claim.
+func KNNLabelPurity(x *tensor.Tensor, labels []int, k int) float64 {
+	n := x.Rows()
+	if n == 0 || k <= 0 {
+		return 0
+	}
+	d2 := pairwiseSquaredDistances(x)
+	var total float64
+	for i := 0; i < n; i++ {
+		idx := nearestK(d2.Row(i), i, k)
+		same := 0
+		for _, j := range idx {
+			if labels[j] == labels[i] {
+				same++
+			}
+		}
+		total += float64(same) / float64(len(idx))
+	}
+	return total / float64(n)
+}
+
+// ClientMixingIndex measures, for each point, the fraction of its k nearest
+// neighbors coming from a *different* client. After FedClassAvg, same-label
+// features from different clients collocate, so mixing rises relative to
+// the isolated baseline (Figure 8's "client cluster is split" observation).
+func ClientMixingIndex(x *tensor.Tensor, clientOf []int, k int) float64 {
+	n := x.Rows()
+	if n == 0 || k <= 0 {
+		return 0
+	}
+	d2 := pairwiseSquaredDistances(x)
+	var total float64
+	for i := 0; i < n; i++ {
+		idx := nearestK(d2.Row(i), i, k)
+		other := 0
+		for _, j := range idx {
+			if clientOf[j] != clientOf[i] {
+				other++
+			}
+		}
+		total += float64(other) / float64(len(idx))
+	}
+	return total / float64(n)
+}
+
+// nearestK returns the indices of the k smallest entries of row, skipping
+// self.
+func nearestK(row []float64, self, k int) []int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, 0, len(row)-1)
+	for j, d := range row {
+		if j != self {
+			cands = append(cands, cand{j, d})
+		}
+	}
+	// Partial selection sort: k is small.
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].d < cands[best].d {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

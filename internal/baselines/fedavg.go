@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// FedAvg is communication-efficient federated averaging over homogeneous
+// models (McMahan et al. 2017): clients download the global model, train
+// locally with cross-entropy, upload all weights, and the server averages
+// them weighted by local dataset size. With Mu > 0 it becomes FedProx
+// (Li et al. 2020): the local objective gains the proximal term
+// (μ/2)·‖w − w_global‖² over all weights.
+type FedAvg struct {
+	LocalEpochs int
+	// Mu is the FedProx proximal coefficient; 0 yields plain FedAvg.
+	Mu float64
+
+	global []float64
+}
+
+// NewFedAvg builds plain FedAvg.
+func NewFedAvg(epochs int) *FedAvg { return &FedAvg{LocalEpochs: max1(epochs)} }
+
+// NewFedProx builds FedProx with proximal coefficient mu.
+func NewFedProx(epochs int, mu float64) *FedAvg {
+	return &FedAvg{LocalEpochs: max1(epochs), Mu: mu}
+}
+
+// Name identifies the algorithm.
+func (f *FedAvg) Name() string {
+	if f.Mu > 0 {
+		return "FedProx"
+	}
+	return "FedAvg"
+}
+
+// EpochsPerRound reports the local epochs per round.
+func (f *FedAvg) EpochsPerRound() int { return f.LocalEpochs }
+
+// Setup verifies homogeneity and initializes the global model from client 0
+// so all clients start from one common initialization, as FedAvg assumes.
+func (f *FedAvg) Setup(sim *fl.Simulation) error {
+	if len(sim.Clients) == 0 {
+		return errors.New("baselines: no clients")
+	}
+	n := nn.NumParams(sim.Clients[0].Model.Params())
+	for _, c := range sim.Clients[1:] {
+		if nn.NumParams(c.Model.Params()) != n {
+			return fmt.Errorf("baselines: %s requires homogeneous models; client %d differs", f.Name(), c.ID)
+		}
+	}
+	f.global = nn.FlattenParams(sim.Clients[0].Model.Params())
+	return nil
+}
+
+// Round broadcasts, trains locally (with optional proximal term) and
+// aggregates all weights.
+func (f *FedAvg) Round(sim *fl.Simulation, round int, participants []int) error {
+	if len(participants) == 0 {
+		return nil
+	}
+	errs := make([]error, len(participants))
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		errs[idx] = nn.SetFlatParams(c.Model.Params(), f.global)
+		if errs[idx] != nil {
+			return
+		}
+		sim.Ledger.RecordDown(c.ID, len(f.global))
+		for e := 0; e < f.LocalEpochs; e++ {
+			if f.Mu > 0 {
+				f.trainEpochProx(c, sim.Cfg.BatchSize)
+			} else {
+				c.TrainEpochCE(sim.Cfg.BatchSize)
+			}
+		}
+		sim.Ledger.RecordUp(c.ID, nn.NumParams(c.Model.Params()))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	f.global = weightedAverage(sim, participants, func(c *fl.Client) []*nn.Param { return c.Model.Params() })
+	return nil
+}
+
+// Global returns a copy of the current global weight vector.
+func (f *FedAvg) Global() []float64 { return append([]float64(nil), f.global...) }
+
+// trainEpochProx is one cross-entropy epoch with the FedProx proximal term
+// against the round's global weights.
+func (f *FedAvg) trainEpochProx(c *fl.Client, batchSize int) {
+	params := c.Model.Params()
+	for _, b := range data.Batches(c.Train, batchSize, c.Rng) {
+		x, y := c.AugmentedBatch(b)
+		_, logits := c.Model.Forward(x, true)
+		_, dlogits := loss.CrossEntropy(logits, y)
+		dfeat := c.Model.Classifier.Backward(dlogits)
+		c.Model.Extractor.Backward(dfeat)
+		// FedProx uses (μ/2)‖w−w_g‖², i.e. Proximal with ρ = μ/2.
+		loss.Proximal(params, f.global, f.Mu/2)
+		c.Optimizer.Step(params)
+		nn.ZeroGrads(params)
+	}
+}
+
+// weightedAverage computes the |D_k|-weighted flat average of the selected
+// clients' parameter subsets.
+func weightedAverage(sim *fl.Simulation, ids []int, pick func(*fl.Client) []*nn.Param) []float64 {
+	var total float64
+	for _, id := range ids {
+		total += float64(len(sim.Clients[id].Train))
+	}
+	var out []float64
+	for _, id := range ids {
+		c := sim.Clients[id]
+		wgt := 1.0 / float64(len(ids))
+		if total > 0 {
+			wgt = float64(len(c.Train)) / total
+		}
+		flat := nn.FlattenParams(pick(c))
+		if out == nil {
+			out = make([]float64, len(flat))
+		}
+		for j, v := range flat {
+			out[j] += wgt * v
+		}
+	}
+	return out
+}
+
+func max1(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// batchForward is a shared helper: forward a labeled (augmented) batch,
+// returning features, logits and labels.
+func batchForward(c *fl.Client, b []data.Example, train bool) (feats, logits *tensor.Tensor, y []int) {
+	x, y := c.AugmentedBatch(b)
+	feats, logits = c.Model.Forward(x, train)
+	return feats, logits, y
+}

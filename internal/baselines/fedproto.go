@@ -1,0 +1,190 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/loss"
+	"repro/internal/nn"
+)
+
+// FedProto implements federated prototype learning (Tan et al. 2021).
+// Instead of weights, clients exchange per-class feature prototypes (mean
+// extractor outputs). The server averages prototypes across clients, and
+// each client's local objective adds a regularizer pulling its features
+// toward the global prototype of their class:
+//
+//	L_k = L_CE + λ·‖F_k(x) − proto_y‖²
+//
+// Heterogeneous extractors are allowed as long as the feature dimension
+// matches (the paper notes FedProto "requires the prototypes to be the same
+// dimensions", its milder heterogeneity assumption).
+type FedProto struct {
+	LocalEpochs int
+	// Lambda weights the prototype regularizer.
+	Lambda float64
+
+	featDim    int
+	numClasses int
+	// globalProtos[c] is nil until some client has reported class c.
+	globalProtos [][]float64
+}
+
+// NewFedProto builds the algorithm.
+func NewFedProto(epochs int, lambda float64) *FedProto {
+	return &FedProto{LocalEpochs: max1(epochs), Lambda: lambda}
+}
+
+// Name identifies the algorithm.
+func (p *FedProto) Name() string { return "FedProto" }
+
+// EpochsPerRound reports the local epochs per round.
+func (p *FedProto) EpochsPerRound() int { return p.LocalEpochs }
+
+// Setup verifies that all feature dimensions agree.
+func (p *FedProto) Setup(sim *fl.Simulation) error {
+	if len(sim.Clients) == 0 {
+		return errors.New("baselines: no clients")
+	}
+	p.featDim = sim.Clients[0].Model.Cfg.FeatDim
+	p.numClasses = sim.Clients[0].Model.Cfg.NumClasses
+	for _, c := range sim.Clients[1:] {
+		if c.Model.Cfg.FeatDim != p.featDim {
+			return fmt.Errorf("baselines: FedProto needs equal feature dims; client %d has %d want %d",
+				c.ID, c.Model.Cfg.FeatDim, p.featDim)
+		}
+	}
+	p.globalProtos = make([][]float64, p.numClasses)
+	return nil
+}
+
+// Round trains participants with the prototype regularizer, then aggregates
+// their fresh local prototypes weighted by per-class sample counts.
+func (p *FedProto) Round(sim *fl.Simulation, round int, participants []int) error {
+	type report struct {
+		protos [][]float64
+		counts []int
+	}
+	reports := make([]report, len(participants))
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		for e := 0; e < p.LocalEpochs; e++ {
+			p.trainEpoch(c, sim.Cfg.BatchSize)
+		}
+		protos, counts := p.localPrototypes(c, sim.Cfg.BatchSize)
+		reports[idx] = report{protos, counts}
+		sent := 0
+		for cls := range protos {
+			if protos[cls] != nil {
+				sent += p.featDim
+			}
+		}
+		sim.Ledger.RecordUp(c.ID, sent)
+		sim.Ledger.RecordDown(c.ID, p.downloadFloats())
+	})
+	// Aggregate prototypes per class, weighted by sample counts.
+	sums := make([][]float64, p.numClasses)
+	totals := make([]int, p.numClasses)
+	for _, r := range reports {
+		for cls, proto := range r.protos {
+			if proto == nil {
+				continue
+			}
+			if sums[cls] == nil {
+				sums[cls] = make([]float64, p.featDim)
+			}
+			for j, v := range proto {
+				sums[cls][j] += v * float64(r.counts[cls])
+			}
+			totals[cls] += r.counts[cls]
+		}
+	}
+	for cls := range sums {
+		if totals[cls] == 0 {
+			continue
+		}
+		proto := sums[cls]
+		inv := 1 / float64(totals[cls])
+		for j := range proto {
+			proto[j] *= inv
+		}
+		p.globalProtos[cls] = proto
+	}
+	return nil
+}
+
+// downloadFloats counts the floats in the current global prototype table.
+func (p *FedProto) downloadFloats() int {
+	n := 0
+	for _, proto := range p.globalProtos {
+		if proto != nil {
+			n += p.featDim
+		}
+	}
+	return n
+}
+
+// trainEpoch runs one epoch of CE + prototype regularization.
+func (p *FedProto) trainEpoch(c *fl.Client, batchSize int) {
+	params := c.Model.Params()
+	for _, b := range data.Batches(c.Train, batchSize, c.Rng) {
+		feats, logits, y := batchForward(c, b, true)
+		_, dlogits := loss.CrossEntropy(logits, y)
+		dfeat := c.Model.Classifier.Backward(dlogits)
+		// Prototype pull: d/df λ‖f − proto‖²/N = 2λ(f − proto)/N.
+		n := feats.Rows()
+		scale := 2 * p.Lambda / float64(n)
+		for i := 0; i < n; i++ {
+			proto := p.globalProtos[y[i]]
+			if proto == nil {
+				continue
+			}
+			frow := feats.Row(i)
+			grow := dfeat.Row(i)
+			for j := range grow {
+				grow[j] += scale * (frow[j] - proto[j])
+			}
+		}
+		c.Model.Extractor.Backward(dfeat)
+		c.Optimizer.Step(params)
+		nn.ZeroGrads(params)
+	}
+}
+
+// localPrototypes computes per-class mean features over the client's
+// training data in evaluation mode.
+func (p *FedProto) localPrototypes(c *fl.Client, batchSize int) ([][]float64, []int) {
+	sums := make([][]float64, p.numClasses)
+	counts := make([]int, p.numClasses)
+	ch, h, w := c.InputGeometry()
+	for lo := 0; lo < len(c.Train); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(c.Train) {
+			hi = len(c.Train)
+		}
+		x, y := data.BatchTensor(c.Train[lo:hi], ch, h, w)
+		feats := c.Model.Features(x, false)
+		for i, cls := range y {
+			if sums[cls] == nil {
+				sums[cls] = make([]float64, p.featDim)
+			}
+			row := feats.Row(i)
+			for j, v := range row {
+				sums[cls][j] += v
+			}
+			counts[cls]++
+		}
+	}
+	for cls := range sums {
+		if counts[cls] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[cls])
+		for j := range sums[cls] {
+			sums[cls][j] *= inv
+		}
+	}
+	return sums, counts
+}

@@ -1,0 +1,248 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// KTpFL implements parameterized knowledge transfer for personalized
+// federated learning (Zhang et al. 2021), the paper's strongest
+// heterogeneous competitor. Per round:
+//
+//  1. Clients run LocalEpochs of supervised training (the original uses 20
+//     epochs per round; our scaled default is configurable and the
+//     learning-curve x-axis accounts for it via EpochsPerRound).
+//  2. Clients evaluate soft predictions on a shared public dataset and
+//     upload them.
+//  3. The server refreshes the knowledge coefficient matrix c where
+//     c[k][l] ∝ exp(−‖S_k − S_l‖²/σ²) (one similarity refresh per round;
+//     the original learns c by gradient descent, which converges to the
+//     same similarity-weighted fixed point at our scales — see DESIGN.md).
+//  4. Each client receives its personalized soft target T_k = Σ_l c[k][l]·S_l
+//     and distills toward it on the public data with temperature-scaled KL.
+//
+// With ShareWeights (the "+weight" rows of Table 3, homogeneous models
+// only), weights replace soft predictions: the server maintains one
+// personalized global model per client, w̃_k = Σ_l c[k][l]·w_l with c from
+// pairwise weight similarity, and clients download w̃_k directly.
+type KTpFL struct {
+	LocalEpochs  int
+	DistillSteps int     // gradient steps of public-data distillation
+	Temperature  float64 // distillation temperature
+	Sigma        float64 // similarity bandwidth for the coefficient matrix
+	PublicSize   int
+	ShareWeights bool
+
+	public   []data.Example
+	publicX  *tensor.Tensor
+	coeff    [][]float64 // knowledge coefficient matrix
+	initOnce bool
+}
+
+// NewKTpFL builds the soft-prediction variant.
+func NewKTpFL(localEpochs, distillSteps, publicSize int) *KTpFL {
+	return &KTpFL{
+		LocalEpochs:  max1(localEpochs),
+		DistillSteps: max1(distillSteps),
+		Temperature:  2.0,
+		Sigma:        1.0,
+		PublicSize:   publicSize,
+	}
+}
+
+// NewKTpFLWeights builds the "+weight" variant for homogeneous models.
+func NewKTpFLWeights(localEpochs int) *KTpFL {
+	k := NewKTpFL(localEpochs, 1, 0)
+	k.ShareWeights = true
+	return k
+}
+
+// Name identifies the algorithm.
+func (k *KTpFL) Name() string {
+	if k.ShareWeights {
+		return "KT-pFL+weight"
+	}
+	return "KT-pFL"
+}
+
+// EpochsPerRound reports local epochs per round (distillation happens on
+// the small public set and is not counted, matching the paper's x-axis).
+func (k *KTpFL) EpochsPerRound() int { return k.LocalEpochs }
+
+// SetPublic installs the shared public dataset (required for the
+// soft-prediction variant).
+func (k *KTpFL) SetPublic(public []data.Example, c, h, w int) {
+	k.public = public
+	k.publicX, _ = data.BatchTensor(public, c, h, w)
+}
+
+// Setup validates configuration and initializes the coefficient matrix
+// uniformly.
+func (k *KTpFL) Setup(sim *fl.Simulation) error {
+	if len(sim.Clients) == 0 {
+		return errors.New("baselines: no clients")
+	}
+	if !k.ShareWeights && k.publicX == nil {
+		return errors.New("baselines: KT-pFL needs a public dataset (call SetPublic)")
+	}
+	if k.ShareWeights {
+		n := nn.NumParams(sim.Clients[0].Model.Params())
+		for _, c := range sim.Clients[1:] {
+			if nn.NumParams(c.Model.Params()) != n {
+				return errors.New("baselines: KT-pFL+weight requires homogeneous models")
+			}
+		}
+	}
+	kk := len(sim.Clients)
+	k.coeff = make([][]float64, kk)
+	for i := range k.coeff {
+		k.coeff[i] = make([]float64, kk)
+		for j := range k.coeff[i] {
+			k.coeff[i][j] = 1 / float64(kk)
+		}
+	}
+	return nil
+}
+
+// Round runs local training, knowledge-coefficient refresh and transfer.
+func (k *KTpFL) Round(sim *fl.Simulation, round int, participants []int) error {
+	if len(participants) == 0 {
+		return nil
+	}
+	// 1. Local supervised training.
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		for e := 0; e < k.LocalEpochs; e++ {
+			c.TrainEpochCE(sim.Cfg.BatchSize)
+		}
+	})
+	if k.ShareWeights {
+		return k.weightTransfer(sim, participants)
+	}
+	return k.softTransfer(sim, participants)
+}
+
+// softTransfer is the heterogeneous path: soft predictions on public data.
+func (k *KTpFL) softTransfer(sim *fl.Simulation, participants []int) error {
+	m := len(k.public)
+	numClasses := sim.Clients[participants[0]].Model.Cfg.NumClasses
+	soft := make([]*tensor.Tensor, len(participants))
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		_, logits := c.Model.Forward(k.publicX, false)
+		soft[idx] = loss.SoftmaxWithTemperature(logits, k.Temperature)
+		sim.Ledger.RecordUp(c.ID, m*numClasses)
+	})
+	// 2. Refresh knowledge coefficients from pairwise prediction similarity.
+	k.refreshCoeff(participants, func(a, b int) float64 {
+		d := tensor.Sub(soft[a], soft[b])
+		return d.SumSquares() / float64(m)
+	})
+	// 3. Personalized targets and distillation.
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		target := tensor.New(m, numClasses)
+		for j := range participants {
+			target.AxpyInPlace(k.coeff[participants[idx]][participants[j]], soft[j])
+		}
+		// Renormalize rows (coefficients over participants may not sum to 1).
+		for i := 0; i < m; i++ {
+			row := target.Row(i)
+			var s float64
+			for _, v := range row {
+				s += v
+			}
+			if s > 0 {
+				for jj := range row {
+					row[jj] /= s
+				}
+			}
+		}
+		sim.Ledger.RecordDown(c.ID, m*numClasses)
+		k.distill(c, target)
+	})
+	return nil
+}
+
+// weightTransfer is the homogeneous "+weight" path.
+func (k *KTpFL) weightTransfer(sim *fl.Simulation, participants []int) error {
+	flats := make([][]float64, len(participants))
+	for idx, id := range participants {
+		c := sim.Clients[id]
+		flats[idx] = nn.FlattenParams(c.Model.Params())
+		sim.Ledger.RecordUp(c.ID, len(flats[idx]))
+	}
+	k.refreshCoeff(participants, func(a, b int) float64 {
+		var s float64
+		for j := range flats[a] {
+			d := flats[a][j] - flats[b][j]
+			s += d * d
+		}
+		return s / float64(len(flats[a]))
+	})
+	errs := make([]error, len(participants))
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		personalized := make([]float64, len(flats[idx]))
+		var wsum float64
+		for j := range participants {
+			w := k.coeff[participants[idx]][participants[j]]
+			wsum += w
+			for p, v := range flats[j] {
+				personalized[p] += w * v
+			}
+		}
+		if wsum > 0 {
+			inv := 1 / wsum
+			for p := range personalized {
+				personalized[p] *= inv
+			}
+		}
+		errs[idx] = nn.SetFlatParams(c.Model.Params(), personalized)
+		sim.Ledger.RecordDown(c.ID, len(personalized))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshCoeff recomputes coefficient rows for the participating clients
+// from a pairwise distance function over participant indices.
+func (k *KTpFL) refreshCoeff(participants []int, dist func(a, b int) float64) {
+	sigma2 := k.Sigma * k.Sigma
+	for a := range participants {
+		row := make([]float64, len(participants))
+		var sum float64
+		for b := range participants {
+			v := math.Exp(-dist(a, b) / sigma2)
+			row[b] = v
+			sum += v
+		}
+		for b := range participants {
+			k.coeff[participants[a]][participants[b]] = row[b] / sum
+		}
+	}
+}
+
+// distill runs DistillSteps of temperature-scaled KL toward the target on
+// the public set.
+func (k *KTpFL) distill(c *fl.Client, target *tensor.Tensor) {
+	params := c.Model.Params()
+	for s := 0; s < k.DistillSteps; s++ {
+		_, logits := c.Model.Forward(k.publicX, true)
+		_, dlogits := loss.KLDistill(logits, target, k.Temperature)
+		dfeat := c.Model.Classifier.Backward(dlogits)
+		c.Model.Extractor.Backward(dfeat)
+		c.Optimizer.Step(params)
+		nn.ZeroGrads(params)
+	}
+}

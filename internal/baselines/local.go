@@ -1,0 +1,44 @@
+// Package baselines implements the comparison algorithms of the paper's
+// evaluation: the local-training-only baseline, FedAvg (McMahan et al.),
+// FedProx (Li et al.), FedProto (Tan et al.) and KT-pFL (Zhang et al.).
+// Each implements fl.Algorithm, so the experiment harness can swap them
+// freely against FedClassAvg.
+package baselines
+
+import (
+	"repro/internal/fl"
+)
+
+// LocalOnly trains each client on its own data with no communication —
+// the "baseline" rows of the paper's tables.
+type LocalOnly struct {
+	LocalEpochs int
+}
+
+// NewLocalOnly builds the baseline with the given epochs per round.
+func NewLocalOnly(epochs int) *LocalOnly {
+	if epochs <= 0 {
+		epochs = 1
+	}
+	return &LocalOnly{LocalEpochs: epochs}
+}
+
+// Name identifies the algorithm.
+func (l *LocalOnly) Name() string { return "Local" }
+
+// EpochsPerRound reports the local epochs per round.
+func (l *LocalOnly) EpochsPerRound() int { return l.LocalEpochs }
+
+// Setup is a no-op: there is no server state.
+func (l *LocalOnly) Setup(sim *fl.Simulation) error { return nil }
+
+// Round trains every participant locally; nothing is exchanged.
+func (l *LocalOnly) Round(sim *fl.Simulation, round int, participants []int) error {
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		for e := 0; e < l.LocalEpochs; e++ {
+			c.TrainEpochCE(sim.Cfg.BatchSize)
+		}
+	})
+	return nil
+}

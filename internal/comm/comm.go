@@ -1,0 +1,158 @@
+// Package comm simulates the communication fabric of the federated
+// deployment (the paper uses MPI across 15 GPU nodes). Payloads are
+// serialized with a small binary codec so byte counts are real, and a
+// thread-safe ledger records per-round, per-client traffic — the data
+// behind the paper's Table 5 communication-cost comparison.
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// headerSize is the fixed per-message framing overhead: kind tag (4 bytes)
+// plus payload length (8 bytes).
+const headerSize = 12
+
+// WireSize returns the serialized size in bytes of a payload of n float64s.
+func WireSize(n int) int64 { return int64(headerSize + 8*n) }
+
+// Marshal frames a float64 payload with a kind tag into wire bytes.
+func Marshal(kind uint32, payload []float64) []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, headerSize+8*len(payload)))
+	_ = binary.Write(buf, binary.LittleEndian, kind)
+	_ = binary.Write(buf, binary.LittleEndian, uint64(len(payload)))
+	_ = binary.Write(buf, binary.LittleEndian, payload)
+	return buf.Bytes()
+}
+
+// Unmarshal parses wire bytes produced by Marshal.
+func Unmarshal(b []byte) (kind uint32, payload []float64, err error) {
+	r := bytes.NewReader(b)
+	if err = binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return 0, nil, fmt.Errorf("comm: reading kind: %w", err)
+	}
+	var n uint64
+	if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, nil, fmt.Errorf("comm: reading length: %w", err)
+	}
+	if int64(n)*8 > int64(r.Len()) {
+		return 0, nil, fmt.Errorf("comm: declared %d floats but only %d bytes remain", n, r.Len())
+	}
+	payload = make([]float64, n)
+	if err = binary.Read(r, binary.LittleEndian, payload); err != nil {
+		return 0, nil, fmt.Errorf("comm: reading payload: %w", err)
+	}
+	if r.Len() != 0 {
+		return 0, nil, fmt.Errorf("comm: %d trailing bytes", r.Len())
+	}
+	return kind, payload, nil
+}
+
+// RoundTraffic aggregates bytes moved during one communication round.
+type RoundTraffic struct {
+	Round     int
+	UpBytes   int64 // client → server
+	DownBytes int64 // server → client
+	Messages  int
+}
+
+// Ledger is a thread-safe traffic recorder. The zero value is ready to use.
+type Ledger struct {
+	mu      sync.Mutex
+	current RoundTraffic
+	rounds  []RoundTraffic
+	up      map[int]int64 // per-client cumulative upload
+	down    map[int]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{up: make(map[int]int64), down: make(map[int]int64)}
+}
+
+// RecordUp logs a client → server payload of n float64s.
+func (l *Ledger) RecordUp(client int, floats int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sz := WireSize(floats)
+	l.current.UpBytes += sz
+	l.current.Messages++
+	l.up[client] += sz
+}
+
+// RecordDown logs a server → client payload of n float64s.
+func (l *Ledger) RecordDown(client int, floats int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sz := WireSize(floats)
+	l.current.DownBytes += sz
+	l.current.Messages++
+	l.down[client] += sz
+}
+
+// EndRound finalizes the current round's traffic and starts a new one.
+func (l *Ledger) EndRound(round int) RoundTraffic {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.current
+	t.Round = round
+	l.rounds = append(l.rounds, t)
+	l.current = RoundTraffic{}
+	return t
+}
+
+// Rounds returns a copy of the per-round history.
+func (l *Ledger) Rounds() []RoundTraffic {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]RoundTraffic(nil), l.rounds...)
+}
+
+// TotalUp returns the cumulative client → server bytes (including any
+// traffic in the not-yet-finalized round).
+func (l *Ledger) TotalUp() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s int64
+	for _, v := range l.up {
+		s += v
+	}
+	return s
+}
+
+// TotalDown returns the cumulative server → client bytes.
+func (l *Ledger) TotalDown() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s int64
+	for _, v := range l.down {
+		s += v
+	}
+	return s
+}
+
+// ClientUp returns the cumulative upload bytes for one client.
+func (l *Ledger) ClientUp(client int) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.up[client]
+}
+
+// ClientDown returns the cumulative download bytes for one client.
+func (l *Ledger) ClientDown(client int) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down[client]
+}
+
+// CopyTo writes wire bytes through an io.Writer; provided so higher layers
+// can stream payloads if they want real I/O in the loop.
+func CopyTo(w io.Writer, kind uint32, payload []float64) (int64, error) {
+	b := Marshal(kind, payload)
+	n, err := w.Write(b)
+	return int64(n), err
+}

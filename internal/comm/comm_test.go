@@ -1,0 +1,145 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	payload := []float64{1.5, -2.25, 0, 1e300}
+	b := Marshal(7, payload)
+	kind, got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != 7 {
+		t.Fatalf("kind %d", kind)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload[%d] = %v, want %v", i, got[i], payload[i])
+		}
+	}
+}
+
+// Property: round trip preserves arbitrary payloads and the wire size
+// matches WireSize exactly.
+func TestMarshalProperty(t *testing.T) {
+	f := func(kind uint32, seed int64, nRaw uint16) bool {
+		n := int(nRaw % 512)
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]float64, n)
+		for i := range payload {
+			payload[i] = rng.NormFloat64()
+		}
+		b := Marshal(kind, payload)
+		if int64(len(b)) != WireSize(n) {
+			return false
+		}
+		k2, p2, err := Unmarshal(b)
+		if err != nil || k2 != kind || len(p2) != n {
+			return false
+		}
+		for i := range payload {
+			if p2[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, _, err := Unmarshal([]byte{1, 2}); err == nil {
+		t.Fatal("short header must error")
+	}
+	b := Marshal(1, []float64{1, 2, 3})
+	if _, _, err := Unmarshal(b[:len(b)-4]); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+	if _, _, err := Unmarshal(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	l := NewLedger()
+	l.RecordUp(0, 100)
+	l.RecordUp(1, 50)
+	l.RecordDown(0, 10)
+	tr := l.EndRound(1)
+	if tr.Round != 1 || tr.Messages != 3 {
+		t.Fatalf("round traffic %+v", tr)
+	}
+	if tr.UpBytes != WireSize(100)+WireSize(50) {
+		t.Fatalf("up bytes %d", tr.UpBytes)
+	}
+	if tr.DownBytes != WireSize(10) {
+		t.Fatalf("down bytes %d", tr.DownBytes)
+	}
+	// Second round starts clean.
+	l.RecordUp(0, 1)
+	tr2 := l.EndRound(2)
+	if tr2.UpBytes != WireSize(1) {
+		t.Fatalf("round 2 up bytes %d", tr2.UpBytes)
+	}
+	if got := len(l.Rounds()); got != 2 {
+		t.Fatalf("rounds %d", got)
+	}
+	if l.ClientUp(0) != WireSize(100)+WireSize(1) {
+		t.Fatalf("client 0 up %d", l.ClientUp(0))
+	}
+	if l.TotalUp() != WireSize(100)+WireSize(50)+WireSize(1) {
+		t.Fatalf("total up %d", l.TotalUp())
+	}
+	if l.TotalDown() != WireSize(10) || l.ClientDown(0) != WireSize(10) {
+		t.Fatal("down accounting wrong")
+	}
+}
+
+func TestLedgerConcurrentSafety(t *testing.T) {
+	l := NewLedger()
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(id int) {
+			for i := 0; i < 100; i++ {
+				l.RecordUp(id, 10)
+				l.RecordDown(id, 5)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	tr := l.EndRound(1)
+	if tr.Messages != 1600 {
+		t.Fatalf("messages %d, want 1600", tr.Messages)
+	}
+	if tr.UpBytes != 800*WireSize(10) {
+		t.Fatalf("up bytes %d", tr.UpBytes)
+	}
+}
+
+func TestCopyTo(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := CopyTo(&buf, 3, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != WireSize(2) || int64(buf.Len()) != n {
+		t.Fatalf("wrote %d bytes", n)
+	}
+	kind, payload, err := Unmarshal(buf.Bytes())
+	if err != nil || kind != 3 || len(payload) != 2 {
+		t.Fatalf("round trip through writer failed: %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package core implements FedClassAvg, the paper's contribution: federated
+// classifier averaging with local representation learning for personalized
+// federated learning over heterogeneous client models.
+//
+// Each communication round (Algorithm 1 of the paper):
+//
+//  1. The server broadcasts the global classifier weights w_C to the
+//     sampled clients, which overwrite their local classifiers.
+//  2. Every client trains locally minimizing
+//     L_k = L_CL(F_k(x'), F_k(x”)) + L_CE(y, ŷ) + ρ·L_R(C, C_k)
+//     — the supervised contrastive loss over two augmented views, the
+//     cross-entropy on view one, and the L2 proximal pull of the local
+//     classifier toward the global classifier.
+//  3. Clients upload classifiers; the server averages them weighted by
+//     local dataset size: w_C ← Σ_k (|D_k|/|D|)·w_Ck.
+//
+// Only the classifier (one fully connected layer) crosses the network, so
+// the per-round payload is O(featDim·numClasses) — the paper's 2 KB claim.
+//
+// The UseProximal/UseContrastive switches reproduce the Table 4 ablation;
+// ShareAllWeights reproduces the homogeneous "+weight" variant of Table 3,
+// where extractor weights are averaged too (proximal regularization still
+// applies to the classifier only, as in the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Options configures FedClassAvg.
+type Options struct {
+	// Rho is the proximal regularization coefficient ρ (paper Table 1:
+	// 0.1 for CIFAR-10/EMNIST, 0.4662 for Fashion-MNIST).
+	Rho float64
+	// Tau is the supervised contrastive temperature.
+	Tau float64
+	// LocalEpochs is E in Algorithm 1 (paper: 1).
+	LocalEpochs int
+	// UseProximal enables the ρ·L_R term (ablation switch PR).
+	UseProximal bool
+	// UseContrastive enables the L_CL term (ablation switch CL).
+	UseContrastive bool
+	// ShareAllWeights additionally averages extractor weights; valid only
+	// when all clients share one architecture (the "+weight" rows of
+	// Table 3).
+	ShareAllWeights bool
+}
+
+// DefaultOptions mirrors the paper's full method.
+func DefaultOptions() Options {
+	return Options{Rho: 0.1, Tau: 0.1, LocalEpochs: 1, UseProximal: true, UseContrastive: true}
+}
+
+// FedClassAvg implements fl.Algorithm.
+type FedClassAvg struct {
+	Opts Options
+
+	globalClassifier []float64
+	globalAll        []float64 // only with ShareAllWeights
+}
+
+// New builds the algorithm.
+func New(opts Options) *FedClassAvg {
+	if opts.LocalEpochs <= 0 {
+		opts.LocalEpochs = 1
+	}
+	if opts.Tau <= 0 {
+		opts.Tau = 0.1
+	}
+	return &FedClassAvg{Opts: opts}
+}
+
+// Name identifies the algorithm (with ablation suffixes for clarity).
+func (f *FedClassAvg) Name() string {
+	n := "FedClassAvg"
+	switch {
+	case f.Opts.UseProximal && f.Opts.UseContrastive:
+	case f.Opts.UseProximal:
+		n += "(CA+PR)"
+	case f.Opts.UseContrastive:
+		n += "(CA+CL)"
+	default:
+		n += "(CA)"
+	}
+	if f.Opts.ShareAllWeights {
+		n += "+weight"
+	}
+	return n
+}
+
+// EpochsPerRound reports E.
+func (f *FedClassAvg) EpochsPerRound() int { return f.Opts.LocalEpochs }
+
+// Setup checks classifier compatibility and initializes the global
+// classifier (and, with ShareAllWeights, the global model) as the
+// data-weighted average of the clients' initial weights.
+func (f *FedClassAvg) Setup(sim *fl.Simulation) error {
+	if len(sim.Clients) == 0 {
+		return errors.New("core: no clients")
+	}
+	ref := sim.Clients[0].Model
+	for _, c := range sim.Clients[1:] {
+		if c.Model.Cfg.FeatDim != ref.Cfg.FeatDim || c.Model.Cfg.NumClasses != ref.Cfg.NumClasses {
+			return fmt.Errorf("core: client %d classifier shape (%d→%d) differs from client 0 (%d→%d)",
+				c.ID, c.Model.Cfg.FeatDim, c.Model.Cfg.NumClasses, ref.Cfg.FeatDim, ref.Cfg.NumClasses)
+		}
+		if f.Opts.ShareAllWeights && nn.NumParams(c.Model.Params()) != nn.NumParams(ref.Params()) {
+			return fmt.Errorf("core: ShareAllWeights requires homogeneous models; client %d differs", c.ID)
+		}
+	}
+	f.globalClassifier = f.averageFlat(sim, allIDs(sim), func(c *fl.Client) []*nn.Param {
+		return c.Model.ClassifierParams()
+	})
+	if f.Opts.ShareAllWeights {
+		f.globalAll = f.averageFlat(sim, allIDs(sim), func(c *fl.Client) []*nn.Param {
+			return c.Model.Params()
+		})
+	}
+	return nil
+}
+
+// Round performs one FedClassAvg communication round.
+func (f *FedClassAvg) Round(sim *fl.Simulation, round int, participants []int) error {
+	if len(participants) == 0 {
+		return nil
+	}
+	// Broadcast + local update, one goroutine per participant. Errors are
+	// collected per index to stay race-free under the worker pool.
+	errs := make([]error, len(participants))
+	fl.ParallelClients(len(participants), func(idx int) {
+		c := sim.Clients[participants[idx]]
+		if f.Opts.ShareAllWeights {
+			errs[idx] = nn.SetFlatParams(c.Model.Params(), f.globalAll)
+			sim.Ledger.RecordDown(c.ID, len(f.globalAll))
+		} else {
+			errs[idx] = nn.SetFlatParams(c.Model.ClassifierParams(), f.globalClassifier)
+			sim.Ledger.RecordDown(c.ID, len(f.globalClassifier))
+		}
+		if errs[idx] != nil {
+			return
+		}
+		f.LocalUpdate(c, sim.Cfg.BatchSize)
+		if f.Opts.ShareAllWeights {
+			sim.Ledger.RecordUp(c.ID, nn.NumParams(c.Model.Params()))
+		} else {
+			sim.Ledger.RecordUp(c.ID, nn.NumParams(c.Model.ClassifierParams()))
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Aggregate.
+	f.globalClassifier = f.averageFlat(sim, participants, func(c *fl.Client) []*nn.Param {
+		return c.Model.ClassifierParams()
+	})
+	if f.Opts.ShareAllWeights {
+		f.globalAll = f.averageFlat(sim, participants, func(c *fl.Client) []*nn.Param {
+			return c.Model.Params()
+		})
+	}
+	return nil
+}
+
+// GlobalClassifier exposes the current global classifier weights (a copy),
+// used by analysis tooling.
+func (f *FedClassAvg) GlobalClassifier() []float64 {
+	return append([]float64(nil), f.globalClassifier...)
+}
+
+// LocalUpdate runs the client's local epochs with the paper's composite
+// objective. Exported so ablation and analysis code can drive single
+// clients directly.
+func (f *FedClassAvg) LocalUpdate(c *fl.Client, batchSize int) {
+	globalC := f.globalClassifier
+	for e := 0; e < f.Opts.LocalEpochs; e++ {
+		for _, batch := range data.Batches(c.Train, batchSize, c.Rng) {
+			f.step(c, batch, globalC)
+		}
+	}
+}
+
+// step performs one mini-batch update.
+func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64) {
+	n := len(batch)
+	ch, h, w := c.InputGeometry()
+	dim := ch * h * w
+	labels := make([]int, n)
+	var x *tensor.Tensor
+	if f.Opts.UseContrastive {
+		// Stack both augmented views: rows [0,n) = x', rows [n,2n) = x''.
+		x = tensor.New(2*n, ch, h, w)
+		for i, ex := range batch {
+			v1, v2 := c.Aug.TwoViews(ex.X, c.Rng)
+			copy(x.Data[i*dim:(i+1)*dim], v1)
+			copy(x.Data[(n+i)*dim:(n+i+1)*dim], v2)
+			labels[i] = ex.Y
+		}
+	} else {
+		x = tensor.New(n, ch, h, w)
+		for i, ex := range batch {
+			copy(x.Data[i*dim:(i+1)*dim], c.Aug.Apply(ex.X, c.Rng))
+			labels[i] = ex.Y
+		}
+	}
+	feats := c.Model.Extractor.Forward(x, true)
+	// Cross-entropy on view one.
+	view1 := feats.SliceRows(0, n)
+	logits := c.Model.Classifier.Forward(view1, true)
+	_, dlogits := loss.CrossEntropy(logits, labels)
+	dview1 := c.Model.Classifier.Backward(dlogits)
+	dfeats := tensor.New(feats.Rows(), feats.Cols())
+	copy(dfeats.Data[:n*feats.Cols()], dview1.Data)
+	if f.Opts.UseContrastive {
+		_, dcl := loss.SupCon(feats, labels, loss.SupConOptions{Temperature: f.Opts.Tau})
+		dfeats.AddInPlace(dcl)
+	}
+	c.Model.Extractor.Backward(dfeats)
+	if f.Opts.UseProximal && globalC != nil {
+		loss.Proximal(c.Model.ClassifierParams(), globalC, f.Opts.Rho)
+	}
+	params := c.Model.Params()
+	c.Optimizer.Step(params)
+	nn.ZeroGrads(params)
+}
+
+// averageFlat computes the |D_k|-weighted average of the selected clients'
+// chosen parameter subsets, flattened.
+func (f *FedClassAvg) averageFlat(sim *fl.Simulation, ids []int, pick func(*fl.Client) []*nn.Param) []float64 {
+	var total float64
+	for _, id := range ids {
+		total += float64(len(sim.Clients[id].Train))
+	}
+	if total == 0 {
+		total = float64(len(ids))
+	}
+	var out []float64
+	for _, id := range ids {
+		c := sim.Clients[id]
+		wgt := float64(len(c.Train)) / total
+		if len(c.Train) == 0 {
+			wgt = 1 / total
+		}
+		flat := nn.FlattenParams(pick(c))
+		if out == nil {
+			out = make([]float64, len(flat))
+		}
+		for j, v := range flat {
+			out[j] += wgt * v
+		}
+	}
+	return out
+}
+
+func allIDs(sim *fl.Simulation) []int {
+	ids := make([]int, len(sim.Clients))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+func fleet(t *testing.T, k int, arch func(int) models.Arch) []*fl.Client {
+	t.Helper()
+	ds := data.Generate(data.SynthFashion(6, 4, 3))
+	parts := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	clients := make([]*fl.Client, k)
+	for i := range clients {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		m := models.New(models.Config{
+			Arch: arch(i), InC: ds.C, InH: ds.H, InW: ds.W, FeatDim: 8, NumClasses: ds.NumClasses, Hidden: 12,
+		}, rng)
+		clients[i] = &fl.Client{
+			ID: i, Model: m, Train: parts[i].Train, Test: parts[i].Test,
+			Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
+			Rng:       rand.New(rand.NewSource(int64(i + 50))),
+			Optimizer: opt.NewAdam(0.005),
+		}
+	}
+	return clients
+}
+
+func hetArch(i int) models.Arch { return models.HeterogeneousSet[i%len(models.HeterogeneousSet)] }
+func mlpArch(int) models.Arch   { return models.ArchMLP }
+
+func TestSetupRejectsMismatchedClassifiers(t *testing.T) {
+	clients := fleet(t, 2, mlpArch)
+	// Rebuild client 1 with a different feature dim.
+	rng := rand.New(rand.NewSource(9))
+	clients[1].Model = models.New(models.Config{
+		Arch: models.ArchMLP, InC: 1, InH: 12, InW: 12, FeatDim: 16, NumClasses: 10,
+	}, rng)
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 1, Seed: 1})
+	if _, err := sim.Run(New(DefaultOptions())); err == nil {
+		t.Fatal("mismatched classifier shapes must fail setup")
+	}
+}
+
+func TestShareAllWeightsRejectsHeterogeneous(t *testing.T) {
+	clients := fleet(t, 4, hetArch)
+	o := DefaultOptions()
+	o.ShareAllWeights = true
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 1, Seed: 1})
+	if _, err := sim.Run(New(o)); err == nil {
+		t.Fatal("+weight on heterogeneous models must fail")
+	}
+}
+
+func TestClassifierConvergesToAgreement(t *testing.T) {
+	clients := fleet(t, 4, hetArch)
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 3, BatchSize: 8, Seed: 1})
+	algo := New(DefaultOptions())
+	if _, err := sim.Run(algo); err != nil {
+		t.Fatal(err)
+	}
+	global := algo.GlobalClassifier()
+	if len(global) != 8*10+10 {
+		t.Fatalf("global classifier has %d floats", len(global))
+	}
+	// The global classifier must equal the data-weighted average of the
+	// final client classifiers (full participation, equal sizes).
+	var avg []float64
+	for _, c := range clients {
+		flat := nn.FlattenParams(c.Model.ClassifierParams())
+		if avg == nil {
+			avg = make([]float64, len(flat))
+		}
+		for j, v := range flat {
+			avg[j] += v / float64(len(clients))
+		}
+	}
+	for j := range avg {
+		if math.Abs(avg[j]-global[j]) > 1e-9 {
+			t.Fatalf("global[%d] = %v, want average %v", j, global[j], avg[j])
+		}
+	}
+}
+
+func TestOnlyClassifierIsExchanged(t *testing.T) {
+	clients := fleet(t, 4, hetArch)
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 2, BatchSize: 8, Seed: 1})
+	if _, err := sim.Run(New(DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	classifierFloats := nn.NumParams(clients[0].Model.ClassifierParams())
+	modelFloats := nn.NumParams(clients[0].Model.Params())
+	perRound := sim.Ledger.Rounds()[0]
+	// Up traffic per round = K clients × classifier payload — far below a
+	// single full model.
+	wantUp := int64(len(clients)) * wireSize(classifierFloats)
+	if perRound.UpBytes != wantUp {
+		t.Fatalf("up bytes %d, want %d", perRound.UpBytes, wantUp)
+	}
+	if perRound.UpBytes >= wireSize(modelFloats) {
+		t.Fatalf("classifier traffic %d should be below one model payload %d",
+			perRound.UpBytes, wireSize(modelFloats))
+	}
+}
+
+func wireSize(n int) int64 { return int64(12 + 8*n) }
+
+func TestShareAllWeightsExchangesEverything(t *testing.T) {
+	clients := fleet(t, 3, mlpArch)
+	o := DefaultOptions()
+	o.ShareAllWeights = true
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 1, BatchSize: 8, Seed: 1})
+	if _, err := sim.Run(New(o)); err != nil {
+		t.Fatal(err)
+	}
+	modelFloats := nn.NumParams(clients[0].Model.Params())
+	perRound := sim.Ledger.Rounds()[0]
+	if perRound.UpBytes != int64(len(clients))*wireSize(modelFloats) {
+		t.Fatalf("+weight up bytes %d, want %d", perRound.UpBytes, int64(len(clients))*wireSize(modelFloats))
+	}
+}
+
+func TestDownloadOverwritesLocalClassifier(t *testing.T) {
+	clients := fleet(t, 2, mlpArch)
+	algo := New(Options{LocalEpochs: 1}) // CA only: no prox/contrastive noise
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 1, BatchSize: 8, Seed: 1})
+	if err := algo.Setup(sim); err != nil {
+		t.Fatal(err)
+	}
+	before := algo.GlobalClassifier()
+	// Poison client 0's classifier; Round must overwrite it before training.
+	for _, p := range clients[0].Model.ClassifierParams() {
+		p.Value.Fill(123)
+	}
+	if err := algo.Round(sim, 1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := nn.FlattenParams(clients[0].Model.ClassifierParams())
+	// After one epoch of training from `before`, weights should be near
+	// `before`, nowhere near 123.
+	var dist float64
+	for j := range after {
+		d := after[j] - before[j]
+		dist += d * d
+	}
+	if math.Sqrt(dist) > 50 {
+		t.Fatalf("classifier looks unreplaced (distance %g from global)", math.Sqrt(dist))
+	}
+}
+
+func TestAblationNames(t *testing.T) {
+	cases := map[string]Options{
+		"FedClassAvg(CA)":    {},
+		"FedClassAvg(CA+PR)": {UseProximal: true},
+		"FedClassAvg(CA+CL)": {UseContrastive: true},
+		"FedClassAvg":        {UseProximal: true, UseContrastive: true},
+		"FedClassAvg+weight": {UseProximal: true, UseContrastive: true, ShareAllWeights: true},
+	}
+	for want, opts := range cases {
+		if got := New(opts).Name(); got != want {
+			t.Fatalf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEmptyParticipantsRoundIsNoop(t *testing.T) {
+	clients := fleet(t, 2, mlpArch)
+	algo := New(DefaultOptions())
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 1, Seed: 1})
+	if err := algo.Setup(sim); err != nil {
+		t.Fatal(err)
+	}
+	before := algo.GlobalClassifier()
+	if err := algo.Round(sim, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := algo.GlobalClassifier()
+	for j := range before {
+		if before[j] != after[j] {
+			t.Fatal("empty round must not move the global classifier")
+		}
+	}
+}
+
+func TestProximalPullsTowardGlobal(t *testing.T) {
+	// With a huge rho and zero-ish learning signal, the classifier should
+	// move toward the global weights rather than away.
+	clients := fleet(t, 2, mlpArch)
+	algoStrong := New(Options{LocalEpochs: 1, UseProximal: true, Rho: 5})
+	algoNone := New(Options{LocalEpochs: 1})
+	distAfter := func(a *FedClassAvg) float64 {
+		cl := fleet(t, 2, mlpArch)
+		sim := fl.NewSimulation(cl, fl.Config{Rounds: 1, BatchSize: 8, Seed: 1})
+		if err := a.Setup(sim); err != nil {
+			t.Fatal(err)
+		}
+		global := a.GlobalClassifier()
+		if err := a.Round(sim, 1, []int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+		flat := nn.FlattenParams(cl[0].Model.ClassifierParams())
+		var d float64
+		for j := range flat {
+			dd := flat[j] - global[j]
+			d += dd * dd
+		}
+		return d
+	}
+	_ = clients
+	if distAfter(algoStrong) >= distAfter(algoNone) {
+		t.Fatal("strong proximal term should keep classifiers closer to global")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		clients := fleet(t, 3, hetArch)
+		sim := fl.NewSimulation(clients, fl.Config{Rounds: 2, BatchSize: 8, Seed: 4})
+		algo := New(DefaultOptions())
+		if _, err := sim.Run(algo); err != nil {
+			t.Fatal(err)
+		}
+		return algo.GlobalClassifier()
+	}
+	a, b := run(), run()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("FedClassAvg run is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ClientData is one client's personalized train/test split. Per the paper,
+// the client's test set follows the same label distribution as its training
+// data, so "average test accuracy" measures personalized performance.
+type ClientData struct {
+	ID    int
+	Train []Example
+	Test  []Example
+}
+
+// PartitionKind selects a non-iid partitioning strategy.
+type PartitionKind int
+
+const (
+	// Dirichlet samples each client's class proportions from Dir(alpha),
+	// as in the paper's Dir(0.5) setting (Figures 2a, 3a).
+	Dirichlet PartitionKind = iota
+	// Skewed gives each client exactly two classes (Figures 2b, 3b).
+	Skewed
+)
+
+// String names the partition kind as the paper does.
+func (k PartitionKind) String() string {
+	switch k {
+	case Dirichlet:
+		return "Dir(0.5)"
+	case Skewed:
+		return "Skewed"
+	default:
+		return fmt.Sprintf("PartitionKind(%d)", int(k))
+	}
+}
+
+// PartitionOptions configures Partition.
+type PartitionOptions struct {
+	Kind  PartitionKind
+	Alpha float64 // Dirichlet concentration; the paper uses 0.5
+	Seed  int64
+}
+
+// Partition splits a dataset across k clients with equal per-client data
+// sizes (the paper equalizes client data volumes). Both train and test
+// examples for a client are drawn according to the same per-client class
+// proportions.
+func Partition(ds *Dataset, k int, opts PartitionOptions) []ClientData {
+	if k < 1 {
+		panic("data: Partition needs k >= 1")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	props := clientClassProportions(ds.NumClasses, k, opts, rng)
+
+	trainPer := len(ds.Train) / k
+	testPer := len(ds.Test) / k
+	clients := make([]ClientData, k)
+	trainPools := poolByClass(ds.Train, ds.NumClasses)
+	testPools := poolByClass(ds.Test, ds.NumClasses)
+	for i := 0; i < k; i++ {
+		clients[i] = ClientData{
+			ID:    i,
+			Train: drawByProportions(trainPools, props[i], trainPer, rng),
+			Test:  drawByProportions(testPools, props[i], testPer, rng),
+		}
+	}
+	return clients
+}
+
+// clientClassProportions returns, for each client, its class mixture.
+func clientClassProportions(numClasses, k int, opts PartitionOptions, rng *rand.Rand) [][]float64 {
+	props := make([][]float64, k)
+	switch opts.Kind {
+	case Dirichlet:
+		alpha := opts.Alpha
+		if alpha <= 0 {
+			alpha = 0.5
+		}
+		for i := range props {
+			props[i] = dirichletSample(numClasses, alpha, rng)
+		}
+	case Skewed:
+		// Each client holds two classes. Classes are assigned round-robin
+		// over a shuffled class order so every class appears for roughly
+		// 2k/numClasses clients.
+		order := rng.Perm(numClasses)
+		for i := range props {
+			p := make([]float64, numClasses)
+			c1 := order[(2*i)%numClasses]
+			c2 := order[(2*i+1)%numClasses]
+			p[c1] = 0.5
+			p[c2] += 0.5
+			props[i] = p
+		}
+	default:
+		panic(fmt.Sprintf("data: unknown partition kind %d", opts.Kind))
+	}
+	return props
+}
+
+// dirichletSample draws from a symmetric Dirichlet via Gamma(alpha, 1)
+// marginals (Marsaglia–Tsang for alpha<1 handled by boosting).
+func dirichletSample(n int, alpha float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		g := gammaSample(alpha, rng)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws Gamma(alpha, 1) with the Marsaglia–Tsang method,
+// boosting alpha < 1 through the U^{1/alpha} identity.
+func gammaSample(alpha float64, rng *rand.Rand) float64 {
+	if alpha < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(alpha+1, rng) * powf(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1.0 / (3.0 * sqrtf(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if logf(u) < 0.5*x*x+d-d*v+d*logf(v) {
+			return d * v
+		}
+	}
+}
+
+// poolByClass buckets examples by label and shuffles nothing (callers draw
+// with their own RNG).
+func poolByClass(examples []Example, numClasses int) [][]Example {
+	pools := make([][]Example, numClasses)
+	for _, ex := range examples {
+		pools[ex.Y] = append(pools[ex.Y], ex)
+	}
+	return pools
+}
+
+// drawByProportions draws total examples following props, consuming from
+// the shared class pools. When a requested class runs dry it falls back to
+// the best-stocked class so every client receives exactly `total` examples
+// (the paper equalizes client data sizes).
+func drawByProportions(pools [][]Example, props []float64, total int, rng *rand.Rand) []Example {
+	out := make([]Example, 0, total)
+	// Integer quotas via largest remainder.
+	quotas := largestRemainderQuota(props, total)
+	for c, q := range quotas {
+		for j := 0; j < q; j++ {
+			ex, ok := popRandom(pools, c, rng)
+			if !ok {
+				ex, ok = popFromRichest(pools, rng)
+				if !ok {
+					return out // every pool empty
+				}
+			}
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// largestRemainderQuota converts proportions into integer counts summing to
+// total.
+func largestRemainderQuota(props []float64, total int) []int {
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	quotas := make([]int, len(props))
+	rems := make([]rem, len(props))
+	assigned := 0
+	for i, p := range props {
+		exact := p * float64(total)
+		quotas[i] = int(exact)
+		assigned += quotas[i]
+		rems[i] = rem{i, exact - float64(quotas[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; assigned < total; i++ {
+		quotas[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	return quotas
+}
+
+func popRandom(pools [][]Example, c int, rng *rand.Rand) (Example, bool) {
+	pool := pools[c]
+	if len(pool) == 0 {
+		return Example{}, false
+	}
+	j := rng.Intn(len(pool))
+	ex := pool[j]
+	pool[j] = pool[len(pool)-1]
+	pools[c] = pool[:len(pool)-1]
+	return ex, true
+}
+
+func popFromRichest(pools [][]Example, rng *rand.Rand) (Example, bool) {
+	best, bestLen := -1, 0
+	for c, pool := range pools {
+		if len(pool) > bestLen {
+			best, bestLen = c, len(pool)
+		}
+	}
+	if best < 0 {
+		return Example{}, false
+	}
+	return popRandom(pools, best, rng)
+}
+
+// LabelHistogram returns the per-client label counts of the training
+// splits, the data behind Figures 2 and 3.
+func LabelHistogram(clients []ClientData, numClasses int) [][]int {
+	hist := make([][]int, len(clients))
+	for i, c := range clients {
+		row := make([]int, numClasses)
+		for _, ex := range c.Train {
+			row[ex.Y]++
+		}
+		hist[i] = row
+	}
+	return hist
+}

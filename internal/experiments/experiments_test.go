@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestSpecPresets(t *testing.T) {
+	s := Tiny()
+	cases := map[DatasetName]struct{ c, classes int }{
+		CIFAR10: {3, 10},
+		Fashion: {1, 10},
+		EMNIST:  {1, 26},
+	}
+	for name, want := range cases {
+		spec := Spec(name, s)
+		if spec.C != want.c || spec.NumClasses != want.classes {
+			t.Fatalf("%s spec: C=%d classes=%d", name, spec.C, spec.NumClasses)
+		}
+	}
+}
+
+func TestHyperparamsMatchPaperTable1(t *testing.T) {
+	s := Small()
+	h := HyperparamsFor(CIFAR10, s)
+	if h.PaperLR != 0.0001 || h.PaperRho != 0.1 || h.PaperBatch != 64 || h.PaperEpochs != 1 {
+		t.Fatalf("CIFAR paper hyperparams wrong: %+v", h)
+	}
+	hf := HyperparamsFor(Fashion, s)
+	if hf.PaperLR != 0.0006 || hf.PaperRho != 0.4662 {
+		t.Fatalf("Fashion paper hyperparams wrong: %+v", hf)
+	}
+	he := HyperparamsFor(EMNIST, s)
+	if he.PaperLR != 0.0005 || he.PaperRho != 0.1 {
+		t.Fatalf("EMNIST paper hyperparams wrong: %+v", he)
+	}
+}
+
+func TestFleetFactoriesProduceIdenticalFleets(t *testing.T) {
+	s := Tiny()
+	factory, _ := NewHeterogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
+	a, b := factory(), factory()
+	if len(a) != s.Clients {
+		t.Fatalf("fleet size %d", len(a))
+	}
+	for i := range a {
+		if a[i].Model.Name != b[i].Model.Name {
+			t.Fatal("factories must give identical architectures")
+		}
+		fa := a[i].Model.Params()
+		fb := b[i].Model.Params()
+		for p := range fa {
+			for j := range fa[p].Value.Data {
+				if fa[p].Value.Data[j] != fb[p].Value.Data[j] {
+					t.Fatal("factories must give identical initial weights")
+				}
+			}
+		}
+	}
+	// Four architectures must actually be distributed.
+	names := map[string]bool{}
+	for _, c := range a {
+		names[c.Model.Name] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("fleet has %d distinct architectures, want 4", len(names))
+	}
+}
+
+func TestUnknownMethodErrors(t *testing.T) {
+	if _, err := NewAlgorithm("NoSuchMethod", Fashion, Tiny()); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestTable4AtTinyScale(t *testing.T) {
+	s := Tiny()
+	tbl, err := Table4(s, []DatasetName{Fashion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Conditions) != 1 || len(tbl.Methods) != 4 {
+		t.Fatalf("table shape %dx%d", len(tbl.Methods), len(tbl.Conditions))
+	}
+	md := tbl.Markdown()
+	for _, m := range []string{"CA", "CA+PR", "CA+CL", "CA+PR+CL"} {
+		if !strings.Contains(md, m) {
+			t.Fatalf("markdown missing row %q:\n%s", m, md)
+		}
+	}
+}
+
+func TestTable5Ordering(t *testing.T) {
+	rows, err := Table5(Small(), CIFAR10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The paper's headline: model sharing ≫ KT-pFL ≫ FedClassAvg.
+	if !(rows[0].BytesPerRound > rows[1].BytesPerRound && rows[1].BytesPerRound > rows[2].BytesPerRound) {
+		t.Fatalf("communication ordering violated: %d, %d, %d",
+			rows[0].BytesPerRound, rows[1].BytesPerRound, rows[2].BytesPerRound)
+	}
+}
+
+func TestFigure23Histograms(t *testing.T) {
+	s := Tiny()
+	hist, ds := Figure23(CIFAR10, data.Skewed, s.Clients, s)
+	if len(hist) != s.Clients || len(hist[0]) != ds.NumClasses {
+		t.Fatalf("histogram shape %dx%d", len(hist), len(hist[0]))
+	}
+	md := HistogramMarkdown(hist, "test")
+	if !strings.Contains(md, "| 0 |") {
+		t.Fatal("markdown missing client rows")
+	}
+}
+
+func TestCurveCSV(t *testing.T) {
+	s := Tiny()
+	s.Rounds = 2
+	series, err := Figure45(Fashion, data.Dirichlet, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := CSV(series)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+s.Rounds {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+s.Rounds)
+	}
+	if !strings.HasPrefix(lines[0], "local_epochs,") {
+		t.Fatalf("CSV header: %q", lines[0])
+	}
+}
+
+func TestFigure9SpearmanMeaningful(t *testing.T) {
+	s := Tiny()
+	s.Rounds = 4
+	res, err := Figure9(Fashion, s)
+	if err != nil {
+		t.Skip("no shared probe at tiny scale:", err)
+	}
+	if res.MeanSpearman < -1 || res.MeanSpearman > 1 {
+		t.Fatalf("Spearman out of range: %v", res.MeanSpearman)
+	}
+	if len(res.Attributions) != len(res.Clients) {
+		t.Fatal("attribution count mismatch")
+	}
+}
+
+func TestMeasuredComparison(t *testing.T) {
+	tbl := &TableResult{Conditions: []string{"a", "b"}}
+	tbl.set("X", "a", Cell{0.9, 0})
+	tbl.set("Y", "a", Cell{0.5, 0})
+	tbl.set("X", "b", Cell{0.4, 0})
+	tbl.set("Y", "b", Cell{0.5, 0})
+	wins, total, exceptions := MeasuredComparison(tbl, "X", "Y")
+	if wins != 1 || total != 2 || len(exceptions) != 1 || exceptions[0] != "b" {
+		t.Fatalf("comparison: %d/%d exceptions %v", wins, total, exceptions)
+	}
+}

@@ -1,0 +1,277 @@
+// Package fl is the federated-learning simulation kernel: clients with
+// personal models, data and optimizers; a round loop with client sampling,
+// parallel local updates and per-round evaluation; and the metrics history
+// (average personalized test accuracy vs cumulative local epochs) that the
+// paper's learning-curve figures plot.
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/loss"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Client is one federated participant: a personal model, a personalized
+// data split, an augmenter producing contrastive views, and a private,
+// deterministically seeded RNG so parallel execution stays reproducible.
+type Client struct {
+	ID        int
+	Model     *models.SplitModel
+	Train     []data.Example
+	Test      []data.Example
+	Aug       *data.Augmenter
+	Rng       *rand.Rand
+	Optimizer opt.Optimizer
+}
+
+// InputGeometry returns the client's input tensor dimensions.
+func (c *Client) InputGeometry() (ch, h, w int) {
+	cfg := c.Model.Cfg
+	return cfg.InC, cfg.InH, cfg.InW
+}
+
+// AugmentedBatch packs a batch into a tensor, applying one augmentation
+// per example when the client has an augmenter.
+func (c *Client) AugmentedBatch(b []data.Example) (x *tensor.Tensor, y []int) {
+	ch, h, w := c.InputGeometry()
+	if c.Aug == nil {
+		return data.BatchTensor(b, ch, h, w)
+	}
+	aug := make([]data.Example, len(b))
+	for i, ex := range b {
+		aug[i] = data.Example{X: c.Aug.Apply(ex.X, c.Rng), Y: ex.Y}
+	}
+	return data.BatchTensor(aug, ch, h, w)
+}
+
+// EvalAccuracy computes test accuracy with the model in evaluation mode,
+// batching the test set to bound memory.
+func (c *Client) EvalAccuracy() float64 {
+	if len(c.Test) == 0 {
+		return 0
+	}
+	ch, h, w := c.InputGeometry()
+	const evalBatch = 64
+	correct := 0
+	for lo := 0; lo < len(c.Test); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > len(c.Test) {
+			hi = len(c.Test)
+		}
+		x, y := data.BatchTensor(c.Test[lo:hi], ch, h, w)
+		_, logits := c.Model.Forward(x, false)
+		for i := range y {
+			if logits.ArgMaxRow(i) == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(c.Test))
+}
+
+// TrainEpochCE trains one epoch with plain cross-entropy (the local-only
+// baseline and the post-aggregation update of weight-sharing methods),
+// returning the average loss. Inputs pass through the client's augmenter so
+// every method trains on the same augmented distribution.
+func (c *Client) TrainEpochCE(batchSize int) float64 {
+	params := c.Model.Params()
+	batches := data.Batches(c.Train, batchSize, c.Rng)
+	var total float64
+	var count int
+	for _, b := range batches {
+		x, y := c.AugmentedBatch(b)
+		_, logits := c.Model.Forward(x, true)
+		l, dlogits := loss.CrossEntropy(logits, y)
+		total += l
+		count++
+		dfeat := c.Model.Classifier.Backward(dlogits)
+		c.Model.Extractor.Backward(dfeat)
+		c.Optimizer.Step(params)
+		nn.ZeroGrads(params)
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Config controls a Simulation run.
+type Config struct {
+	Rounds     int
+	SampleRate float64 // fraction of clients participating per round
+	BatchSize  int
+	Seed       int64
+	// DropProb injects client failures: a sampled client drops out of the
+	// round (its update is lost) with this probability.
+	DropProb float64
+	// EvalEvery evaluates accuracy every n rounds (default 1).
+	EvalEvery int
+}
+
+// RoundMetrics is one evaluation point.
+type RoundMetrics struct {
+	Round       int
+	LocalEpochs int // cumulative local epochs (the x-axis of Figures 4–7)
+	MeanAcc     float64
+	StdAcc      float64
+	PerClient   []float64
+	UpBytes     int64
+	DownBytes   int64
+}
+
+// Algorithm is a federated training algorithm. Setup runs once before the
+// first round; Round performs one communication round over the given
+// participant client IDs.
+type Algorithm interface {
+	Name() string
+	Setup(sim *Simulation) error
+	Round(sim *Simulation, round int, participants []int) error
+	// EpochsPerRound reports how many local epochs each participant runs
+	// per round, used for the cumulative-epoch x-axis (KT-pFL uses 20).
+	EpochsPerRound() int
+}
+
+// Simulation owns the clients, the traffic ledger and the metrics history.
+type Simulation struct {
+	Clients []*Client
+	Ledger  *comm.Ledger
+	Rng     *rand.Rand
+	Cfg     Config
+	History []RoundMetrics
+}
+
+// NewSimulation builds a simulation over the given clients.
+func NewSimulation(clients []*Client, cfg Config) *Simulation {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	return &Simulation{
+		Clients: clients,
+		Ledger:  comm.NewLedger(),
+		Rng:     rand.New(rand.NewSource(cfg.Seed)),
+		Cfg:     cfg,
+	}
+}
+
+// Run executes the algorithm for the configured number of rounds and
+// returns the metrics history.
+func (s *Simulation) Run(algo Algorithm) ([]RoundMetrics, error) {
+	if err := algo.Setup(s); err != nil {
+		return nil, fmt.Errorf("fl: %s setup: %w", algo.Name(), err)
+	}
+	for t := 1; t <= s.Cfg.Rounds; t++ {
+		participants := s.sampleParticipants()
+		if err := algo.Round(s, t, participants); err != nil {
+			return nil, fmt.Errorf("fl: %s round %d: %w", algo.Name(), t, err)
+		}
+		traffic := s.Ledger.EndRound(t)
+		if t%s.Cfg.EvalEvery == 0 || t == s.Cfg.Rounds {
+			m := s.Evaluate()
+			m.Round = t
+			m.LocalEpochs = t * algo.EpochsPerRound()
+			m.UpBytes = traffic.UpBytes
+			m.DownBytes = traffic.DownBytes
+			s.History = append(s.History, m)
+		}
+	}
+	return s.History, nil
+}
+
+// sampleParticipants draws ⌈K·rate⌉ distinct clients and applies failure
+// injection.
+func (s *Simulation) sampleParticipants() []int {
+	k := len(s.Clients)
+	n := int(math.Ceil(float64(k) * s.Cfg.SampleRate))
+	if n > k {
+		n = k
+	}
+	perm := s.Rng.Perm(k)[:n]
+	sort.Ints(perm)
+	if s.Cfg.DropProb <= 0 {
+		return perm
+	}
+	kept := perm[:0]
+	for _, id := range perm {
+		if s.Rng.Float64() >= s.Cfg.DropProb {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// Evaluate measures every client's personalized test accuracy in parallel.
+func (s *Simulation) Evaluate() RoundMetrics {
+	accs := make([]float64, len(s.Clients))
+	ParallelClients(len(s.Clients), func(i int) {
+		accs[i] = s.Clients[i].EvalAccuracy()
+	})
+	mean, std := MeanStd(accs)
+	return RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: accs}
+}
+
+// MeanStd returns the mean and population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+// ParallelClients runs f(i) for i in [0,n) across a GOMAXPROCS-sized pool;
+// client-level parallelism mirrors the paper's MPI node-per-client layout.
+func ParallelClients(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

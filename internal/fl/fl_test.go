@@ -1,0 +1,222 @@
+package fl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/opt"
+)
+
+func testClient(t *testing.T, id int, train, test []data.Example) *Client {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(id + 1)))
+	m := models.New(models.Config{
+		Arch: models.ArchMLP, InC: 1, InH: 12, InW: 12, FeatDim: 8, NumClasses: 10, Hidden: 16,
+	}, rng)
+	return &Client{
+		ID: id, Model: m, Train: train, Test: test,
+		Aug:       data.NewAugmenter(1, 12, 12),
+		Rng:       rand.New(rand.NewSource(int64(id + 100))),
+		Optimizer: opt.NewAdam(0.01),
+	}
+}
+
+func testFleet(t *testing.T, k int) []*Client {
+	ds := data.Generate(data.SynthFashion(6, 4, 3))
+	parts := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	clients := make([]*Client, k)
+	for i := range clients {
+		clients[i] = testClient(t, i, parts[i].Train, parts[i].Test)
+	}
+	return clients
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{1, 2, 3, 4})
+	if m != 2.5 {
+		t.Fatalf("mean %v", m)
+	}
+	if math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std %v", s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+}
+
+func TestParallelClientsCoversAll(t *testing.T) {
+	var count int64
+	seen := make([]int64, 100)
+	ParallelClients(100, func(i int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[i], 1)
+	})
+	if count != 100 {
+		t.Fatalf("ran %d times", count)
+	}
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d ran %d times", i, v)
+		}
+	}
+	// n=0 and n=1 edge cases.
+	ParallelClients(0, func(int) { t.Fatal("must not run") })
+	ran := false
+	ParallelClients(1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("n=1 did not run")
+	}
+}
+
+func TestTrainEpochCEImproves(t *testing.T) {
+	clients := testFleet(t, 1)
+	c := clients[0]
+	first := c.TrainEpochCE(8)
+	var last float64
+	for e := 0; e < 15; e++ {
+		last = c.TrainEpochCE(8)
+	}
+	if last >= first {
+		t.Fatalf("CE loss did not improve: %g → %g", first, last)
+	}
+}
+
+func TestEvalAccuracyBounds(t *testing.T) {
+	clients := testFleet(t, 2)
+	for _, c := range clients {
+		acc := c.EvalAccuracy()
+		if acc < 0 || acc > 1 {
+			t.Fatalf("accuracy %v", acc)
+		}
+	}
+	empty := testClient(t, 9, nil, nil)
+	if empty.EvalAccuracy() != 0 {
+		t.Fatal("empty test set should score 0")
+	}
+}
+
+// countingAlgo records participants per round.
+type countingAlgo struct {
+	rounds       int
+	participants [][]int
+	failAt       int
+}
+
+func (a *countingAlgo) Name() string                { return "counting" }
+func (a *countingAlgo) EpochsPerRound() int         { return 2 }
+func (a *countingAlgo) Setup(sim *Simulation) error { return nil }
+func (a *countingAlgo) Round(sim *Simulation, round int, participants []int) error {
+	a.rounds++
+	cp := append([]int(nil), participants...)
+	a.participants = append(a.participants, cp)
+	if a.failAt > 0 && round == a.failAt {
+		return errors.New("injected failure")
+	}
+	return nil
+}
+
+func TestSimulationRunBasics(t *testing.T) {
+	clients := testFleet(t, 4)
+	sim := NewSimulation(clients, Config{Rounds: 5, SampleRate: 0.5, Seed: 9})
+	algo := &countingAlgo{}
+	hist, err := sim.Run(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.rounds != 5 {
+		t.Fatalf("ran %d rounds", algo.rounds)
+	}
+	if len(hist) != 5 {
+		t.Fatalf("history %d entries", len(hist))
+	}
+	// SampleRate 0.5 of 4 clients = 2 participants per round.
+	for _, p := range algo.participants {
+		if len(p) != 2 {
+			t.Fatalf("participants %v", p)
+		}
+	}
+	// LocalEpochs uses EpochsPerRound.
+	if hist[2].LocalEpochs != 3*2 {
+		t.Fatalf("epochs axis %d, want 6", hist[2].LocalEpochs)
+	}
+}
+
+func TestSimulationErrorPropagates(t *testing.T) {
+	clients := testFleet(t, 2)
+	sim := NewSimulation(clients, Config{Rounds: 5, Seed: 1})
+	_, err := sim.Run(&countingAlgo{failAt: 2})
+	if err == nil {
+		t.Fatal("round error must propagate")
+	}
+}
+
+func TestFailureInjectionDropsClients(t *testing.T) {
+	clients := testFleet(t, 4)
+	sim := NewSimulation(clients, Config{Rounds: 30, SampleRate: 1, DropProb: 0.5, Seed: 5})
+	algo := &countingAlgo{}
+	if _, err := sim.Run(algo); err != nil {
+		t.Fatal(err)
+	}
+	full, dropped := 0, 0
+	for _, p := range algo.participants {
+		if len(p) == 4 {
+			full++
+		} else {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("DropProb 0.5 never dropped anyone over 30 rounds")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() []float64 {
+		clients := testFleet(t, 3)
+		sim := NewSimulation(clients, Config{Rounds: 3, Seed: 11})
+		algo := &countingAlgo{}
+		hist, err := sim.Run(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, m := range hist {
+			out = append(out, m.MeanAcc)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic run: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sim := NewSimulation(nil, Config{})
+	if sim.Cfg.Rounds != 1 || sim.Cfg.SampleRate != 1 || sim.Cfg.BatchSize != 32 || sim.Cfg.EvalEvery != 1 {
+		t.Fatalf("defaults not applied: %+v", sim.Cfg)
+	}
+}
+
+func TestAugmentedBatchWithoutAugmenter(t *testing.T) {
+	clients := testFleet(t, 1)
+	c := clients[0]
+	c.Aug = nil
+	x, y := c.AugmentedBatch(c.Train[:2])
+	if x.Dim(0) != 2 || len(y) != 2 {
+		t.Fatalf("shapes %v %v", x.Shape, y)
+	}
+	// Without augmenter the batch must be the raw pixels.
+	for j := 0; j < 5; j++ {
+		if x.Data[j] != c.Train[0].X[j] {
+			t.Fatal("nil augmenter must pass raw input")
+		}
+	}
+}

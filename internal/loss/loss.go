@@ -1,0 +1,240 @@
+// Package loss implements the objective functions of the FedClassAvg
+// reproduction: softmax cross-entropy, the two-view supervised contrastive
+// loss of Khosla et al. (2020) used for local representation learning, the
+// L2 proximal regularizer that keeps client classifiers near the global
+// classifier, and the temperature-scaled KL distillation loss used by the
+// KT-pFL baseline. Every function returns both the scalar loss and the
+// gradient with respect to its input so layers can stay autodiff-free.
+package loss
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes mean softmax cross-entropy over a batch of logits
+// [N, C] with integer labels, returning the loss and dL/dlogits.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, c := logits.Rows(), logits.Cols()
+	if len(labels) != n {
+		panic("loss: CrossEntropy label count mismatch")
+	}
+	grad := tensor.New(n, c)
+	var total float64
+	inv := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		lse := tensor.LogSumExpRow(row)
+		y := labels[i]
+		total += lse - row[y]
+		grow := grad.Row(i)
+		for j := range row {
+			p := math.Exp(row[j] - lse)
+			grow[j] = p * inv
+		}
+		grow[y] -= inv
+	}
+	return total * inv, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range labels {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// SupConOptions configures the supervised contrastive loss.
+type SupConOptions struct {
+	// Temperature scales similarities; the paper (following Khosla et al.)
+	// uses small values around 0.07–0.5.
+	Temperature float64
+}
+
+// SupCon computes the supervised contrastive loss over two augmented views.
+// features must be [2N, D]: rows 0..N-1 are view one, rows N..2N-1 view two,
+// and row i and row i+N share labels[i]. The features need not be
+// normalized; L2 normalization is part of the loss (and its backward pass).
+// It returns the loss and dL/dfeatures of shape [2N, D].
+//
+// For anchor i with positives P(i) = {j ≠ i : label_j = label_i}:
+//
+//	L_i = log Σ_{a≠i} exp(z_i·z_a/τ) − (1/|P(i)|) Σ_{p∈P(i)} z_i·z_p/τ
+//
+// and the total loss is the mean over all 2N anchors. With two views every
+// anchor has at least one positive (its sibling view), so |P(i)| ≥ 1.
+func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (float64, *tensor.Tensor) {
+	opts := SupConOptions{Temperature: 0.1}
+	if len(optsIn) > 0 && optsIn[0].Temperature > 0 {
+		opts = optsIn[0]
+	}
+	m := features.Rows()
+	d := features.Cols()
+	if m%2 != 0 || m/2 != len(labels) {
+		panic("loss: SupCon expects [2N, D] features and N labels")
+	}
+	n := m / 2
+	tau := opts.Temperature
+
+	// Normalize a copy of the features, remembering norms for the backward
+	// pass through the normalization.
+	z := features.Clone()
+	norms := z.NormalizeRowsInPlace(1e-12)
+
+	full := make([]int, m)
+	for i := 0; i < n; i++ {
+		full[i] = labels[i]
+		full[i+n] = labels[i]
+	}
+
+	// Pairwise scaled similarities s_ij = z_i·z_j/τ.
+	sim := tensor.MatMulABT(z, z)
+	sim.ScaleInPlace(1 / tau)
+
+	// G_ia = softmax over a≠i of s_ia, minus 1/|P(i)| for positives.
+	g := tensor.New(m, m)
+	var total float64
+	for i := 0; i < m; i++ {
+		row := sim.Row(i)
+		// log-sum-exp over a ≠ i
+		maxV := math.Inf(-1)
+		for a := 0; a < m; a++ {
+			if a != i && row[a] > maxV {
+				maxV = row[a]
+			}
+		}
+		var sum float64
+		for a := 0; a < m; a++ {
+			if a != i {
+				sum += math.Exp(row[a] - maxV)
+			}
+		}
+		lse := maxV + math.Log(sum)
+		nPos := 0
+		var posSum float64
+		for a := 0; a < m; a++ {
+			if a != i && full[a] == full[i] {
+				nPos++
+				posSum += row[a]
+			}
+		}
+		if nPos == 0 {
+			continue // cannot happen with two views, but stay safe
+		}
+		total += lse - posSum/float64(nPos)
+		grow := g.Row(i)
+		invPos := 1.0 / float64(nPos)
+		for a := 0; a < m; a++ {
+			if a == i {
+				continue
+			}
+			p := math.Exp(row[a] - lse)
+			if full[a] == full[i] {
+				p -= invPos
+			}
+			grow[a] = p
+		}
+	}
+	lossVal := total / float64(m)
+
+	// dL/dz_i = (1/(Mτ)) Σ_a (G_ia + G_ai)·z_a
+	scale := 1.0 / (float64(m) * tau)
+	gSym := tensor.New(m, m)
+	for i := 0; i < m; i++ {
+		for a := 0; a < m; a++ {
+			gSym.Set(i, a, (g.At(i, a)+g.At(a, i))*scale)
+		}
+	}
+	dz := tensor.MatMul(gSym, z)
+
+	// Backprop through z = f/‖f‖: df = (dz − z·(z·dz)) / ‖f‖.
+	df := tensor.New(m, d)
+	for i := 0; i < m; i++ {
+		zi := z.Row(i)
+		dzi := dz.Row(i)
+		var dot float64
+		for j := 0; j < d; j++ {
+			dot += zi[j] * dzi[j]
+		}
+		inv := 1 / norms[i]
+		dfi := df.Row(i)
+		for j := 0; j < d; j++ {
+			dfi[j] = (dzi[j] - zi[j]*dot) * inv
+		}
+	}
+	return lossVal, df
+}
+
+// Proximal adds the gradient of ρ·‖w − w_global‖² to the parameter
+// gradients and returns the penalty value. globalFlat must have the layout
+// produced by nn.FlattenParams on the same parameter list.
+func Proximal(params []*nn.Param, globalFlat []float64, rho float64) float64 {
+	if rho == 0 {
+		return 0
+	}
+	var penalty float64
+	off := 0
+	for _, p := range params {
+		w, g := p.Value.Data, p.Grad.Data
+		for j := range w {
+			d := w[j] - globalFlat[off+j]
+			penalty += d * d
+			g[j] += 2 * rho * d
+		}
+		off += len(w)
+	}
+	return rho * penalty
+}
+
+// KLDistill computes the temperature-scaled distillation loss
+// T²·KL(teacher ‖ student) between teacher probabilities [N, C] and student
+// logits [N, C], returning the loss and dL/d(student logits). The T² factor
+// keeps gradient magnitudes comparable across temperatures (Hinton et al.).
+func KLDistill(studentLogits, teacherProbs *tensor.Tensor, temperature float64) (float64, *tensor.Tensor) {
+	n, c := studentLogits.Rows(), studentLogits.Cols()
+	if teacherProbs.Rows() != n || teacherProbs.Cols() != c {
+		panic("loss: KLDistill shape mismatch")
+	}
+	t := temperature
+	grad := tensor.New(n, c)
+	var total float64
+	inv := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		srow := studentLogits.Row(i)
+		trow := teacherProbs.Row(i)
+		scaled := make([]float64, c)
+		for j := range srow {
+			scaled[j] = srow[j] / t
+		}
+		lse := tensor.LogSumExpRow(scaled)
+		grow := grad.Row(i)
+		for j := 0; j < c; j++ {
+			logPs := scaled[j] - lse
+			ps := math.Exp(logPs)
+			pt := trow[j]
+			if pt > 0 {
+				total += pt * (math.Log(pt) - logPs)
+			}
+			// d(T²·KL)/dlogit = T·(ps − pt), averaged over the batch.
+			grow[j] = t * (ps - pt) * inv
+		}
+	}
+	return total * t * t * inv, grad
+}
+
+// SoftmaxWithTemperature returns softmax(logits/T) row-wise as a new tensor.
+func SoftmaxWithTemperature(logits *tensor.Tensor, t float64) *tensor.Tensor {
+	out := logits.Clone()
+	out.ScaleInPlace(1 / t)
+	out.SoftmaxRowsInPlace()
+	return out
+}

@@ -1,0 +1,281 @@
+// Package models defines the split extractor/classifier models of the
+// FedClassAvg reproduction. Every model is f = C ∘ F: an architecture-
+// specific feature extractor F ending in a fully connected layer that
+// produces a shared feature dimension, and a single fully connected
+// classifier C whose shape is identical across all clients — the part
+// FedClassAvg aggregates.
+//
+// The four heterogeneous architectures are miniature but structurally
+// faithful counterparts of the paper's backbones: MiniResNet (residual
+// blocks), MiniShuffleNet (grouped convolutions + channel shuffle),
+// MiniGoogLeNet (inception branches) and MiniAlexNet (a plain convolution
+// stack). See DESIGN.md for the scaling rationale.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Arch identifies a model architecture.
+type Arch int
+
+// The available architectures.
+const (
+	ArchMLP Arch = iota
+	ArchAlexNet
+	ArchResNet
+	ArchShuffleNet
+	ArchGoogLeNet
+	ArchCNN2 // FedProto-style two-layer CNN (channel width varies per client)
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	switch a {
+	case ArchMLP:
+		return "MLP"
+	case ArchAlexNet:
+		return "MiniAlexNet"
+	case ArchResNet:
+		return "MiniResNet"
+	case ArchShuffleNet:
+		return "MiniShuffleNet"
+	case ArchGoogLeNet:
+		return "MiniGoogLeNet"
+	case ArchCNN2:
+		return "CNN2"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// HeterogeneousSet is the paper's four-architecture rotation; client k
+// receives HeterogeneousSet[k % 4], matching "models were equally
+// distributed among the clients".
+var HeterogeneousSet = []Arch{ArchResNet, ArchShuffleNet, ArchGoogLeNet, ArchAlexNet}
+
+// Config describes the input geometry and head sizes of a model.
+type Config struct {
+	Arch          Arch
+	InC, InH, InW int
+	FeatDim       int // paper: 512; scaled defaults are smaller
+	NumClasses    int
+	// Width scales channel counts; 1 is the default miniature size. ArchCNN2
+	// uses Width to emulate FedProto's per-client channel heterogeneity.
+	Width int
+	// Hidden is the MLP hidden width (ArchMLP only).
+	Hidden int
+}
+
+// SplitModel is a model split into feature extractor and classifier.
+type SplitModel struct {
+	Name       string
+	Cfg        Config
+	Extractor  *nn.Sequential
+	Classifier *nn.Dense
+}
+
+// New builds a model for the given config with weights drawn from rng.
+func New(cfg Config, rng *rand.Rand) *SplitModel {
+	if cfg.Width <= 0 {
+		cfg.Width = 1
+	}
+	if cfg.FeatDim <= 0 {
+		cfg.FeatDim = 32
+	}
+	var ext *nn.Sequential
+	switch cfg.Arch {
+	case ArchMLP:
+		ext = buildMLP(cfg, rng)
+	case ArchAlexNet:
+		ext = buildAlexNet(cfg, rng)
+	case ArchResNet:
+		ext = buildResNet(cfg, rng)
+	case ArchShuffleNet:
+		ext = buildShuffleNet(cfg, rng)
+	case ArchGoogLeNet:
+		ext = buildGoogLeNet(cfg, rng)
+	case ArchCNN2:
+		ext = buildCNN2(cfg, rng)
+	default:
+		panic(fmt.Sprintf("models: unknown arch %v", cfg.Arch))
+	}
+	return &SplitModel{
+		Name:       cfg.Arch.String(),
+		Cfg:        cfg,
+		Extractor:  ext,
+		Classifier: nn.NewDense(cfg.FeatDim, cfg.NumClasses, rng),
+	}
+}
+
+// Features runs the extractor on a batch [N, C, H, W].
+func (m *SplitModel) Features(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Extractor.Forward(x, train)
+}
+
+// Forward runs the full model, returning features and logits.
+func (m *SplitModel) Forward(x *tensor.Tensor, train bool) (feats, logits *tensor.Tensor) {
+	feats = m.Extractor.Forward(x, train)
+	logits = m.Classifier.Forward(feats, train)
+	return feats, logits
+}
+
+// Params returns all trainable parameters (extractor then classifier).
+func (m *SplitModel) Params() []*nn.Param {
+	return append(m.Extractor.Params(), m.Classifier.Params()...)
+}
+
+// ClassifierParams returns only the classifier parameters — the payload
+// FedClassAvg exchanges.
+func (m *SplitModel) ClassifierParams() []*nn.Param { return m.Classifier.Params() }
+
+// ExtractorParams returns only the extractor parameters.
+func (m *SplitModel) ExtractorParams() []*nn.Param { return m.Extractor.Params() }
+
+// buildMLP: Flatten → Dense(hidden) → ReLU → Dense(featDim).
+func buildMLP(cfg Config, rng *rand.Rand) *nn.Sequential {
+	hidden := cfg.Hidden
+	if hidden <= 0 {
+		hidden = 64 * cfg.Width
+	}
+	dim := cfg.InC * cfg.InH * cfg.InW
+	return nn.NewSequential(
+		nn.NewFlatten(),
+		nn.NewDense(dim, hidden, rng),
+		nn.NewReLU(),
+		nn.NewDense(hidden, cfg.FeatDim, rng),
+	)
+}
+
+// buildAlexNet: two plain conv+pool stages then the FC feature layer, the
+// AlexNet pattern (convolutions without shortcuts, large pooling).
+func buildAlexNet(cfg Config, rng *rand.Rand) *nn.Sequential {
+	w := cfg.Width
+	c1, c2 := 8*w, 16*w
+	oh, ow := cfg.InH/2/2, cfg.InW/2/2
+	return nn.NewSequential(
+		nn.NewConv2D(cfg.InC, c1, 3, 1, 1, 1, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(c1, c2, 3, 1, 1, 1, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewDense(c2*oh*ow, cfg.FeatDim, rng),
+	)
+}
+
+// buildResNet: stem + identity residual block + pooled projection residual
+// block + global average pooling, the ResNet-18 pattern in miniature.
+func buildResNet(cfg Config, rng *rand.Rand) *nn.Sequential {
+	w := cfg.Width
+	c1, c2 := 8*w, 16*w
+	stem := []nn.Layer{
+		nn.NewConv2D(cfg.InC, c1, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm2D(c1),
+		nn.NewReLU(),
+	}
+	res1 := nn.NewResidual(nn.NewSequential(
+		nn.NewConv2D(c1, c1, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm2D(c1),
+		nn.NewReLU(),
+		nn.NewConv2D(c1, c1, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm2D(c1),
+	), nil)
+	res2 := nn.NewResidual(nn.NewSequential(
+		nn.NewConv2D(c1, c2, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm2D(c2),
+		nn.NewReLU(),
+		nn.NewConv2D(c2, c2, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm2D(c2),
+	), nn.NewSequential(
+		nn.NewConv2D(c1, c2, 1, 1, 0, 1, rng),
+		nn.NewBatchNorm2D(c2),
+	))
+	seq := nn.NewSequential(stem...)
+	seq.Append(
+		res1,
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		res2,
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(c2, cfg.FeatDim, rng),
+	)
+	return seq
+}
+
+// buildShuffleNet: stem + pointwise group conv, channel shuffle, grouped
+// 3×3 conv — the ShuffleNetV2 information-mixing pattern in miniature.
+func buildShuffleNet(cfg Config, rng *rand.Rand) *nn.Sequential {
+	w := cfg.Width
+	c1, c2 := 8*w, 16*w
+	return nn.NewSequential(
+		nn.NewConv2D(cfg.InC, c1, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm2D(c1),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(c1, c2, 1, 1, 0, 2, rng), // pointwise group conv
+		nn.NewBatchNorm2D(c2),
+		nn.NewReLU(),
+		nn.NewChannelShuffle(2),
+		nn.NewConv2D(c2, c2, 3, 1, 1, 4, rng), // grouped spatial conv
+		nn.NewBatchNorm2D(c2),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(c2, cfg.FeatDim, rng),
+	)
+}
+
+// buildGoogLeNet: stem + two inception blocks (1×1 and 1×1→3×3 branches),
+// the GoogLeNet multi-scale pattern in miniature.
+func buildGoogLeNet(cfg Config, rng *rand.Rand) *nn.Sequential {
+	w := cfg.Width
+	c1 := 8 * w
+	incept2 := func(in int) *nn.Inception {
+		return nn.NewInception(
+			nn.NewSequential( // 1×1 branch
+				nn.NewConv2D(in, 4*w, 1, 1, 0, 1, rng),
+				nn.NewReLU(),
+			),
+			nn.NewSequential( // 1×1 → 3×3 branch
+				nn.NewConv2D(in, 4*w, 1, 1, 0, 1, rng),
+				nn.NewReLU(),
+				nn.NewConv2D(4*w, 8*w, 3, 1, 1, 1, rng),
+				nn.NewReLU(),
+			),
+		)
+	}
+	out1 := 12 * w // 4w + 8w
+	return nn.NewSequential(
+		nn.NewConv2D(cfg.InC, c1, 3, 1, 1, 1, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		incept2(c1),
+		incept2(out1),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(out1, cfg.FeatDim, rng),
+	)
+}
+
+// buildCNN2: the FedProto-style two-convolution network; Width varies the
+// channel counts across clients to emulate FedProto's milder heterogeneity.
+func buildCNN2(cfg Config, rng *rand.Rand) *nn.Sequential {
+	w := cfg.Width
+	c1, c2 := 4+2*w, 8+2*w
+	oh, ow := cfg.InH/2/2, cfg.InW/2/2
+	return nn.NewSequential(
+		nn.NewConv2D(cfg.InC, c1, 3, 1, 1, 1, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(c1, c2, 3, 1, 1, 1, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewDense(c2*oh*ow, cfg.FeatDim, rng),
+	)
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU builds the layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative activations and records the pass-through mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward passes gradients only through positive activations.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability P during training and scales
+// survivors by 1/(1-P) (inverted dropout), so evaluation is the identity.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a dropout layer with its own RNG stream.
+func NewDropout(p float64, rng *rand.Rand) *Dropout { return &Dropout{P: p, rng: rng} }
+
+// Forward applies the dropout mask in training mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	d.mask = make([]float64, len(x.Data))
+	keep := 1 - d.P
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = inv
+			out.Data[i] = v * inv
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

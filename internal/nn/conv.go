@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [N, C, H, W] inputs with optional grouped
+// convolution (groups > 1 partitions input and output channels, as in
+// ShuffleNet). Weights are stored as [outC, (inC/groups)·kH·kW] so the
+// per-sample forward pass is a single matmul against an im2col matrix.
+type Conv2D struct {
+	InC, OutC    int
+	KH, KW       int
+	Stride, Pad  int
+	Groups       int
+	W, B         *Param
+	inH, inW     int // set on first Forward
+	outH, outW   int
+	x            *tensor.Tensor // cached input
+	cols         []*tensor.Tensor
+	colsPerGroup int
+	inCPerGroup  int
+	outCPerGroup int
+	kernelElems  int
+}
+
+// NewConv2D constructs a grouped convolution layer with He-normal weights.
+func NewConv2D(inC, outC, k, stride, pad, groups int, rng *rand.Rand) *Conv2D {
+	if groups < 1 || inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: Conv2D groups=%d must divide inC=%d and outC=%d", groups, inC, outC))
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, Groups: groups,
+		inCPerGroup:  inC / groups,
+		outCPerGroup: outC / groups,
+	}
+	c.kernelElems = c.inCPerGroup * k * k
+	c.W = newParam("conv.W", outC, c.kernelElems)
+	c.B = newParam("conv.B", outC)
+	heInit(c.W.Value, c.kernelElems, rng)
+	return c
+}
+
+// OutputShape returns the spatial output size for a given input size.
+func (c *Conv2D) OutputShape(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward computes the convolution for a batch [N, C, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D.Forward input shape %v, want [N,%d,H,W]", x.Shape, c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.inH, c.inW = h, w
+	c.outH, c.outW = c.OutputShape(h, w)
+	if c.outH <= 0 || c.outW <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output %dx%d not positive for input %dx%d", c.outH, c.outW, h, w))
+	}
+	c.x = x
+	c.cols = make([]*tensor.Tensor, n)
+	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	spatial := c.outH * c.outW
+	parallelFor(n, func(i int) {
+		cols := c.im2col(x, i)
+		c.cols[i] = cols
+		dst := out.Data[i*c.OutC*spatial : (i+1)*c.OutC*spatial]
+		for g := 0; g < c.Groups; g++ {
+			wg := c.groupWeight(c.W.Value, g)
+			colsG := colsView(cols, g, c.kernelElems, spatial)
+			prod := tensor.MatMul(wg, colsG)
+			copy(dst[g*c.outCPerGroup*spatial:(g+1)*c.outCPerGroup*spatial], prod.Data)
+		}
+		b := c.B.Value.Data
+		for oc := 0; oc < c.OutC; oc++ {
+			bb := b[oc]
+			seg := dst[oc*spatial : (oc+1)*spatial]
+			for p := range seg {
+				seg[p] += bb
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	spatial := c.outH * c.outW
+	dx := tensor.New(n, c.InC, c.inH, c.inW)
+	workers := maxWorkers(n)
+	// Per-worker weight/bias gradient accumulators avoid a mutex on the hot
+	// path; they are reduced after the parallel section.
+	dWs := make([]*tensor.Tensor, workers)
+	dBs := make([]*tensor.Tensor, workers)
+	for w := range dWs {
+		dWs[w] = tensor.New(c.OutC, c.kernelElems)
+		dBs[w] = tensor.New(c.OutC)
+	}
+	parallelForWorkers(n, workers, func(worker, i int) {
+		gradSample := grad.Data[i*c.OutC*spatial : (i+1)*c.OutC*spatial]
+		dcols := tensor.New(c.Groups*c.kernelElems, spatial)
+		for g := 0; g < c.Groups; g++ {
+			gSeg := tensor.FromSlice(
+				gradSample[g*c.outCPerGroup*spatial:(g+1)*c.outCPerGroup*spatial],
+				c.outCPerGroup, spatial)
+			colsG := colsView(c.cols[i], g, c.kernelElems, spatial)
+			// dW_g += gSeg · colsᵀ
+			dwg := tensor.MatMulABT(gSeg, colsG)
+			dst := c.groupWeight(dWs[worker], g)
+			dst.AddInPlace(dwg)
+			// dcols_g = W_gᵀ · gSeg
+			wg := c.groupWeight(c.W.Value, g)
+			dcg := tensor.MatMulATB(wg, gSeg)
+			copy(dcols.Data[g*c.kernelElems*spatial:(g+1)*c.kernelElems*spatial], dcg.Data)
+		}
+		db := dBs[worker].Data
+		for oc := 0; oc < c.OutC; oc++ {
+			seg := gradSample[oc*spatial : (oc+1)*spatial]
+			var s float64
+			for _, v := range seg {
+				s += v
+			}
+			db[oc] += s
+		}
+		c.col2im(dcols, dx, i)
+	})
+	for w := range dWs {
+		c.W.Grad.AddInPlace(dWs[w])
+		c.B.Grad.AddInPlace(dBs[w])
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// groupWeight returns a view tensor of the rows of w belonging to group g.
+func (c *Conv2D) groupWeight(w *tensor.Tensor, g int) *tensor.Tensor {
+	lo := g * c.outCPerGroup * c.kernelElems
+	hi := (g + 1) * c.outCPerGroup * c.kernelElems
+	return tensor.FromSlice(w.Data[lo:hi], c.outCPerGroup, c.kernelElems)
+}
+
+// colsView returns group g's slice of an im2col matrix laid out as
+// [groups·kernelElems, spatial].
+func colsView(cols *tensor.Tensor, g, kernelElems, spatial int) *tensor.Tensor {
+	lo := g * kernelElems * spatial
+	hi := (g + 1) * kernelElems * spatial
+	return tensor.FromSlice(cols.Data[lo:hi], kernelElems, spatial)
+}
+
+// im2col unrolls sample i of x into a [groups·kernelElems, outH·outW]
+// matrix where each column holds the receptive field of one output pixel.
+func (c *Conv2D) im2col(x *tensor.Tensor, i int) *tensor.Tensor {
+	spatial := c.outH * c.outW
+	cols := tensor.New(c.Groups*c.kernelElems, spatial)
+	chanSize := c.inH * c.inW
+	base := i * c.InC * chanSize
+	for ch := 0; ch < c.InC; ch++ {
+		g := ch / c.inCPerGroup
+		chInG := ch % c.inCPerGroup
+		src := x.Data[base+ch*chanSize : base+(ch+1)*chanSize]
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				rowIdx := g*c.kernelElems + (chInG*c.KH+kh)*c.KW + kw
+				dst := cols.Data[rowIdx*spatial : (rowIdx+1)*spatial]
+				p := 0
+				for oh := 0; oh < c.outH; oh++ {
+					ih := oh*c.Stride - c.Pad + kh
+					if ih < 0 || ih >= c.inH {
+						p += c.outW
+						continue
+					}
+					rowBase := ih * c.inW
+					for ow := 0; ow < c.outW; ow++ {
+						iw := ow*c.Stride - c.Pad + kw
+						if iw >= 0 && iw < c.inW {
+							dst[p] = src[rowBase+iw]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters a column-gradient matrix back into dx for sample i,
+// accumulating where receptive fields overlap.
+func (c *Conv2D) col2im(dcols, dx *tensor.Tensor, i int) {
+	spatial := c.outH * c.outW
+	chanSize := c.inH * c.inW
+	base := i * c.InC * chanSize
+	for ch := 0; ch < c.InC; ch++ {
+		g := ch / c.inCPerGroup
+		chInG := ch % c.inCPerGroup
+		dst := dx.Data[base+ch*chanSize : base+(ch+1)*chanSize]
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				rowIdx := g*c.kernelElems + (chInG*c.KH+kh)*c.KW + kw
+				src := dcols.Data[rowIdx*spatial : (rowIdx+1)*spatial]
+				p := 0
+				for oh := 0; oh < c.outH; oh++ {
+					ih := oh*c.Stride - c.Pad + kh
+					if ih < 0 || ih >= c.inH {
+						p += c.outW
+						continue
+					}
+					rowBase := ih * c.inW
+					for ow := 0; ow < c.outW; ow++ {
+						iw := ow*c.Stride - c.Pad + kw
+						if iw >= 0 && iw < c.inW {
+							dst[rowBase+iw] += src[p]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+}
+
+// parallelFor runs f(i) for i in [0,n) on a GOMAXPROCS-bounded worker pool.
+func parallelFor(n int, f func(i int)) {
+	parallelForWorkers(n, maxWorkers(n), func(_, i int) { f(i) })
+}
+
+// maxWorkers bounds the pool size by both GOMAXPROCS and the trip count.
+func maxWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelForWorkers runs f(worker, i) for i in [0,n), partitioning indices
+// contiguously across exactly `workers` goroutines. Each index is processed
+// by exactly one worker, so per-worker accumulators need no locking.
+func parallelForWorkers(n, workers int, f func(worker, i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(worker, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b with x of shape [N, in].
+type Dense struct {
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Tensor // cached input
+}
+
+// NewDense builds a dense layer with He-normal weights and zero biases.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   newParam("dense.W", in, out),
+		B:   newParam("dense.B", out),
+	}
+	heInit(d.W.Value, in, rng)
+	return d
+}
+
+// Forward computes y = x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Cols() != d.In {
+		panicShape("Dense.Forward", x, d.In)
+	}
+	d.x = x
+	y := tensor.MatMul(x, d.W.Value)
+	n := y.Rows()
+	b := d.B.Value.Data
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dy, db = Σ_rows dy and returns dx = dy·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dW := tensor.MatMulATB(d.x, grad)
+	d.W.Grad.AddInPlace(dW)
+	db := d.B.Grad.Data
+	for i := 0; i < grad.Rows(); i++ {
+		row := grad.Row(i)
+		for j, v := range row {
+			db[j] += v
+		}
+	}
+	return tensor.MatMulABT(grad, d.W.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+func panicShape(op string, x *tensor.Tensor, want int) {
+	panic(fmt.Sprintf("%s: unexpected input shape %v (want trailing dim %d)", op, x.Shape, want))
+}

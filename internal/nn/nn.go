@@ -1,0 +1,174 @@
+// Package nn is a from-scratch neural-network layer library with manual
+// backpropagation. It provides the building blocks (dense, convolution,
+// pooling, batch normalization, residual and inception composites) used to
+// construct the miniature heterogeneous architectures of the FedClassAvg
+// reproduction, plus parameter flattening/serialization used by the
+// federated aggregation and communication-accounting code.
+//
+// Layers are stateful: Forward caches whatever Backward needs, so a layer
+// instance must not be shared between concurrently training models. Every
+// client in the federated simulation owns its own model instance.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a named parameter and matching zero gradient.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is one differentiable stage of a model. Forward consumes the
+// previous activation and returns the next; Backward consumes dL/d(output)
+// and returns dL/d(input), accumulating parameter gradients as a side
+// effect. The train flag selects training behaviour (batch statistics,
+// dropout masks).
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers front to back.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the parameters of all layers, in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Append adds layers to the end of the sequence.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// ZeroGrads resets the gradients of all parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// FlattenParams concatenates all parameter values into one vector, in order.
+func FlattenParams(params []*Param) []float64 {
+	out := make([]float64, 0, NumParams(params))
+	for _, p := range params {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// SetFlatParams writes a flat vector produced by FlattenParams back into the
+// parameters. It returns an error if the lengths disagree.
+func SetFlatParams(params []*Param, flat []float64) error {
+	if len(flat) != NumParams(params) {
+		return fmt.Errorf("nn: flat vector has %d values, model has %d parameters", len(flat), NumParams(params))
+	}
+	off := 0
+	for _, p := range params {
+		n := p.Value.Size()
+		copy(p.Value.Data, flat[off:off+n])
+		off += n
+	}
+	return nil
+}
+
+// FlattenGrads concatenates all parameter gradients into one vector.
+func FlattenGrads(params []*Param) []float64 {
+	out := make([]float64, 0, NumParams(params))
+	for _, p := range params {
+		out = append(out, p.Grad.Data...)
+	}
+	return out
+}
+
+// AverageInto overwrites dst parameters with the weighted average of the
+// source parameter sets: dst_i = Σ_k weights[k]·src[k]_i. The weights are
+// used as given (callers normalize). All parameter sets must have identical
+// structure.
+func AverageInto(dst []*Param, srcs [][]*Param, weights []float64) error {
+	if len(srcs) != len(weights) {
+		return fmt.Errorf("nn: %d sources but %d weights", len(srcs), len(weights))
+	}
+	for i, p := range dst {
+		p.Value.Zero()
+		for k, src := range srcs {
+			if len(src) != len(dst) {
+				return fmt.Errorf("nn: source %d has %d params, dst has %d", k, len(src), len(dst))
+			}
+			if src[i].Value.Size() != p.Value.Size() {
+				return fmt.Errorf("nn: source %d param %d size mismatch", k, i)
+			}
+			p.Value.AxpyInPlace(weights[k], src[i].Value)
+		}
+	}
+	return nil
+}
+
+// CopyParams copies values from src into dst (structures must match).
+func CopyParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].Value.Size() != src[i].Value.Size() {
+			return fmt.Errorf("nn: CopyParams size mismatch at %d", i)
+		}
+		copy(dst[i].Value.Data, src[i].Value.Data)
+	}
+	return nil
+}
+
+// heInit fills a weight tensor with He-normal initialization for the given
+// fan-in, the standard choice for ReLU networks.
+func heInit(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	w.FillRandn(rng, std)
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestFlattenSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewSequential(
+		NewDense(4, 6, rng),
+		NewReLU(),
+		NewDense(6, 3, rng),
+	)
+	params := m.Params()
+	flat := FlattenParams(params)
+	if len(flat) != NumParams(params) {
+		t.Fatalf("flat length %d, want %d", len(flat), NumParams(params))
+	}
+	// Perturb, write back, verify.
+	for i := range flat {
+		flat[i] += 1
+	}
+	if err := SetFlatParams(params, flat); err != nil {
+		t.Fatal(err)
+	}
+	again := FlattenParams(params)
+	for i := range flat {
+		if again[i] != flat[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if err := SetFlatParams(params, flat[:3]); err == nil {
+		t.Fatal("short vector must error")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(3, 3, rng)
+	d.W.Grad.Fill(5)
+	ZeroGrads(d.Params())
+	if d.W.Grad.MaxAbs() != 0 {
+		t.Fatal("ZeroGrads left gradient nonzero")
+	}
+}
+
+// Property: averaging identical parameter sets with any normalized weights
+// reproduces the original values.
+func TestAverageIdentityProperty(t *testing.T) {
+	f := func(seed int64, w1Raw, w2Raw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []*Param { return NewDense(3, 2, rand.New(rand.NewSource(42))).Params() }
+		a, b, dst := mk(), mk(), mk()
+		w1 := float64(w1Raw%100) + 1
+		w2 := float64(w2Raw%100) + 1
+		s := w1 + w2
+		if err := AverageInto(dst, [][]*Param{a, b}, []float64{w1 / s, w2 / s}); err != nil {
+			return false
+		}
+		flatA := FlattenParams(a)
+		flatD := FlattenParams(dst)
+		for i := range flatA {
+			if diff := flatA[i] - flatD[i]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageWeighted(t *testing.T) {
+	mk := func(v float64) []*Param {
+		p := &Param{Name: "w", Value: tensor.New(2), Grad: tensor.New(2)}
+		p.Value.Fill(v)
+		return []*Param{p}
+	}
+	dst := mk(0)
+	if err := AverageInto(dst, [][]*Param{mk(1), mk(3)}, []float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst[0].Value.Data[0]; got != 0.25*1+0.75*3 {
+		t.Fatalf("weighted average %v", got)
+	}
+}
+
+func TestAverageErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewDense(2, 2, rng).Params()
+	b := NewDense(3, 3, rng).Params()
+	dst := NewDense(2, 2, rng).Params()
+	if err := AverageInto(dst, [][]*Param{a, b}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+	if err := AverageInto(dst, [][]*Param{a}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("weight count mismatch must error")
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := NewDense(3, 2, rng).Params()
+	dst := NewDense(3, 2, rng).Params()
+	if err := CopyParams(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	fs, fd := FlattenParams(src), FlattenParams(dst)
+	for i := range fs {
+		if fs[i] != fd[i] {
+			t.Fatal("CopyParams did not copy")
+		}
+	}
+}
+
+func TestDropoutModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDropout(0.5, rng)
+	x := tensor.New(4, 8)
+	x.Fill(1)
+	// Eval mode: identity.
+	if out := d.Forward(x, false); !tensor.ApproxEqual(out, x, 0) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+	// Train mode: some zeros, survivors scaled by 2.
+	out := d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if zeros == 0 || twos == 0 {
+		t.Fatalf("dropout mask degenerate: %d zeros, %d twos", zeros, twos)
+	}
+	// Backward uses the same mask.
+	g := tensor.New(4, 8)
+	g.Fill(1)
+	dg := d.Backward(g)
+	for i, v := range out.Data {
+		if (v == 0) != (dg.Data[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestBatchNormRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bn := NewBatchNorm1D(3)
+	x := tensor.New(64, 3)
+	// Feature 0 ~ N(5, 4), others standard.
+	for i := 0; i < 64; i++ {
+		x.Set(i, 0, 5+2*rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, rng.NormFloat64())
+	}
+	for e := 0; e < 50; e++ {
+		bn.Forward(x, true)
+	}
+	if bn.RunningMean[0] < 4 || bn.RunningMean[0] > 6 {
+		t.Fatalf("running mean %v should approach 5", bn.RunningMean[0])
+	}
+	if bn.RunningVar[0] < 2.5 || bn.RunningVar[0] > 6 {
+		t.Fatalf("running var %v should approach 4", bn.RunningVar[0])
+	}
+	// Eval output for the mean input should be ≈ beta (0) for feature 0 at
+	// value 5.
+	probe := tensor.New(1, 3)
+	probe.Set(0, 0, 5)
+	out := bn.Forward(probe, false)
+	if v := out.At(0, 0); v < -0.5 || v > 0.5 {
+		t.Fatalf("eval normalization off: %v", v)
+	}
+}
+
+func TestMaxPoolSelectsMaxima(t *testing.T) {
+	p := NewMaxPool2D(2, 2)
+	x := tensor.FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	out := p.Forward(x, true)
+	want := []float64{4, 8, 12, 16}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("pool[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestChannelShuffleIsPermutation(t *testing.T) {
+	cs := NewChannelShuffle(2)
+	x := tensor.New(1, 4, 1, 1)
+	for i := 0; i < 4; i++ {
+		x.Data[i] = float64(i)
+	}
+	y := cs.Forward(x, true)
+	// Forward then inverse (Backward) must restore the input.
+	z := cs.Backward(y)
+	if !tensor.ApproxEqual(x, z, 0) {
+		t.Fatalf("shuffle not invertible: %v → %v → %v", x.Data, y.Data, z.Data)
+	}
+	// And the shuffle must actually move channels.
+	if tensor.ApproxEqual(x, y, 0) {
+		t.Fatal("shuffle was identity")
+	}
+}
+
+func TestConv2DOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewConv2D(1, 2, 3, 2, 1, 1, rng)
+	oh, ow := c.OutputShape(12, 12)
+	if oh != 6 || ow != 6 {
+		t.Fatalf("stride-2 output %dx%d, want 6x6", oh, ow)
+	}
+	out := c.Forward(tensor.New(2, 1, 12, 12), true)
+	if out.Dim(2) != 6 || out.Dim(3) != 6 || out.Dim(1) != 2 {
+		t.Fatalf("forward shape %v", out.Shape)
+	}
+}
+
+func TestConv2DGroupsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("groups not dividing channels must panic")
+		}
+	}()
+	NewConv2D(3, 4, 3, 1, 1, 2, rand.New(rand.NewSource(1)))
+}

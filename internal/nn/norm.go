@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of [N, C, H, W] activations over the
+// batch and spatial dimensions, with learnable scale (gamma) and shift
+// (beta). Running statistics are tracked for evaluation mode.
+type BatchNorm2D struct {
+	C           int
+	Eps         float64
+	Momentum    float64
+	Gamma, Beta *Param
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	// caches for backward
+	xhat           *tensor.Tensor
+	invStd         []float64
+	inShape        []int
+	usedBatchStats bool
+}
+
+// NewBatchNorm2D builds a batch-norm layer for c channels.
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C:           c,
+		Eps:         1e-5,
+		Momentum:    0.9,
+		Gamma:       newParam("bn2d.gamma", c),
+		Beta:        newParam("bn2d.beta", c),
+		RunningMean: make([]float64, c),
+		RunningVar:  make([]float64, c),
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes with batch statistics in training mode and running
+// statistics in evaluation mode.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D input shape %v, want [N,%d,H,W]", x.Shape, bn.C))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	bn.inShape = []int{n, c, h, w}
+	m := float64(n * h * w)
+	out := tensor.New(n, c, h, w)
+	bn.xhat = tensor.New(n, c, h, w)
+	bn.invStd = make([]float64, c)
+	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
+	bn.usedBatchStats = train
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			var s float64
+			for i := 0; i < n; i++ {
+				seg := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+				for _, v := range seg {
+					s += v
+				}
+			}
+			mean = s / m
+			var sq float64
+			for i := 0; i < n; i++ {
+				seg := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+				for _, v := range seg {
+					d := v - mean
+					sq += d * d
+				}
+			}
+			variance = sq / m
+			bn.RunningMean[ch] = bn.Momentum*bn.RunningMean[ch] + (1-bn.Momentum)*mean
+			bn.RunningVar[ch] = bn.Momentum*bn.RunningVar[ch] + (1-bn.Momentum)*variance
+		} else {
+			mean, variance = bn.RunningMean[ch], bn.RunningVar[ch]
+		}
+		inv := 1 / math.Sqrt(variance+bn.Eps)
+		bn.invStd[ch] = inv
+		g, b := gamma[ch], beta[ch]
+		for i := 0; i < n; i++ {
+			src := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			xh := bn.xhat.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			dst := out.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for p, v := range src {
+				nv := (v - mean) * inv
+				xh[p] = nv
+				dst[p] = g*nv + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient. For each channel
+// with m elements: dx = γ·invStd/m · (m·dy − Σdy − x̂·Σ(dy·x̂)).
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3]
+	m := float64(n * h * w)
+	dx := tensor.New(n, c, h, w)
+	gamma := bn.Gamma.Value.Data
+	dGamma, dBeta := bn.Gamma.Grad.Data, bn.Beta.Grad.Data
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			gy := grad.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			xh := bn.xhat.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for p, v := range gy {
+				sumDy += v
+				sumDyXhat += v * xh[p]
+			}
+		}
+		dGamma[ch] += sumDyXhat
+		dBeta[ch] += sumDy
+		if !bn.usedBatchStats {
+			// Running statistics were constants in Forward, so the
+			// normalization is an affine map: dx = γ·invStd·dy.
+			scale := gamma[ch] * bn.invStd[ch]
+			for i := 0; i < n; i++ {
+				gy := grad.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+				dst := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+				for p, v := range gy {
+					dst[p] = scale * v
+				}
+			}
+			continue
+		}
+		scale := gamma[ch] * bn.invStd[ch] / m
+		for i := 0; i < n; i++ {
+			gy := grad.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			xh := bn.xhat.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			dst := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for p, v := range gy {
+				dst[p] = scale * (m*v - sumDy - xh[p]*sumDyXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// BatchNorm1D normalizes each feature of [N, D] activations over the batch.
+type BatchNorm1D struct {
+	D           int
+	Eps         float64
+	Momentum    float64
+	Gamma, Beta *Param
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	xhat           *tensor.Tensor
+	invStd         []float64
+	usedBatchStats bool
+}
+
+// NewBatchNorm1D builds a batch-norm layer for d features.
+func NewBatchNorm1D(d int) *BatchNorm1D {
+	bn := &BatchNorm1D{
+		D:           d,
+		Eps:         1e-5,
+		Momentum:    0.9,
+		Gamma:       newParam("bn1d.gamma", d),
+		Beta:        newParam("bn1d.beta", d),
+		RunningMean: make([]float64, d),
+		RunningVar:  make([]float64, d),
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes with batch statistics in training mode and running
+// statistics in evaluation mode.
+func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Cols() != bn.D {
+		panic(fmt.Sprintf("nn: BatchNorm1D input shape %v, want [N,%d]", x.Shape, bn.D))
+	}
+	n := x.Rows()
+	m := float64(n)
+	out := tensor.New(n, bn.D)
+	bn.xhat = tensor.New(n, bn.D)
+	bn.invStd = make([]float64, bn.D)
+	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
+	bn.usedBatchStats = train && n > 1
+	for j := 0; j < bn.D; j++ {
+		var mean, variance float64
+		if bn.usedBatchStats {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += x.At(i, j)
+			}
+			mean = s / m
+			var sq float64
+			for i := 0; i < n; i++ {
+				d := x.At(i, j) - mean
+				sq += d * d
+			}
+			variance = sq / m
+			bn.RunningMean[j] = bn.Momentum*bn.RunningMean[j] + (1-bn.Momentum)*mean
+			bn.RunningVar[j] = bn.Momentum*bn.RunningVar[j] + (1-bn.Momentum)*variance
+		} else {
+			mean, variance = bn.RunningMean[j], bn.RunningVar[j]
+		}
+		inv := 1 / math.Sqrt(variance+bn.Eps)
+		bn.invStd[j] = inv
+		g, b := gamma[j], beta[j]
+		for i := 0; i < n; i++ {
+			nv := (x.At(i, j) - mean) * inv
+			bn.xhat.Set(i, j, nv)
+			out.Set(i, j, g*nv+b)
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient per feature.
+func (bn *BatchNorm1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Rows()
+	m := float64(n)
+	dx := tensor.New(n, bn.D)
+	gamma := bn.Gamma.Value.Data
+	dGamma, dBeta := bn.Gamma.Grad.Data, bn.Beta.Grad.Data
+	for j := 0; j < bn.D; j++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			v := grad.At(i, j)
+			sumDy += v
+			sumDyXhat += v * bn.xhat.At(i, j)
+		}
+		dGamma[j] += sumDyXhat
+		dBeta[j] += sumDy
+		if !bn.usedBatchStats {
+			scale := gamma[j] * bn.invStd[j]
+			for i := 0; i < n; i++ {
+				dx.Set(i, j, scale*grad.At(i, j))
+			}
+			continue
+		}
+		scale := gamma[j] * bn.invStd[j] / m
+		for i := 0; i < n; i++ {
+			dx.Set(i, j, scale*(m*grad.At(i, j)-sumDy-bn.xhat.At(i, j)*sumDyXhat))
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm1D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }

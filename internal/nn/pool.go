@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over [N, C, H, W] inputs.
+type MaxPool2D struct {
+	K, Stride  int
+	inShape    []int
+	outH, outW int
+	argmax     []int // flat index into the input for every output element
+}
+
+// NewMaxPool2D builds a pooling layer with square kernel k and the given
+// stride (stride = k gives the usual non-overlapping pooling).
+func NewMaxPool2D(k, stride int) *MaxPool2D { return &MaxPool2D{K: k, Stride: stride} }
+
+// Forward computes per-window maxima and records argmax positions.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D.Forward input shape %v, want rank 4", x.Shape))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	m.inShape = []int{n, c, h, w}
+	m.outH = (h-m.K)/m.Stride + 1
+	m.outW = (w-m.K)/m.Stride + 1
+	if m.outH <= 0 || m.outW <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D output not positive for input %dx%d kernel %d", h, w, m.K))
+	}
+	out := tensor.New(n, c, m.outH, m.outW)
+	m.argmax = make([]int, len(out.Data))
+	parallelFor(n, func(i int) {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * m.outH * m.outW
+			for oh := 0; oh < m.outH; oh++ {
+				for ow := 0; ow < m.outW; ow++ {
+					bestIdx := -1
+					bestVal := 0.0
+					for kh := 0; kh < m.K; kh++ {
+						ih := oh*m.Stride + kh
+						for kw := 0; kw < m.K; kw++ {
+							iw := ow*m.Stride + kw
+							idx := inBase + ih*w + iw
+							if v := x.Data[idx]; bestIdx < 0 || v > bestVal {
+								bestIdx, bestVal = idx, v
+							}
+						}
+					}
+					o := outBase + oh*m.outW + ow
+					out.Data[o] = bestVal
+					m.argmax[o] = bestIdx
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward routes each output gradient to its argmax input position.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	for o, idx := range m.argmax {
+		dx.Data[idx] += grad.Data[o]
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no parameters.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel's spatial map, mapping [N, C, H, W]
+// to [N, C]. It is the standard head before the final FC layers.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool builds the layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages over the spatial dimensions.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool input shape %v, want rank 4", x.Shape))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.inShape = []int{n, c, h, w}
+	out := tensor.New(n, c)
+	area := float64(h * w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			seg := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			var s float64
+			for _, v := range seg {
+				s += v
+			}
+			out.Data[i*c+ch] = s / area
+		}
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its spatial map.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := tensor.New(n, c, h, w)
+	inv := 1.0 / float64(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[i*c+ch] * inv
+			seg := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for p := range seg {
+				seg[p] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] activations to [N, rest], remembering the input
+// shape so Backward can restore it.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten builds the layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all trailing dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	rest := 1
+	for _, d := range x.Shape[1:] {
+		rest *= d
+	}
+	return x.Reshape(x.Dim(0), rest)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil; flattening has no parameters.
+func (f *Flatten) Params() []*Param { return nil }

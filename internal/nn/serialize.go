@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// checkpointMagic guards against feeding arbitrary bytes to ReadParams.
+const checkpointMagic = uint32(0xFEDC1A55)
+
+// WriteParams serializes a parameter list (names, shapes and values) to w.
+// The format is self-describing, so ReadParams can validate structure when
+// restoring into a freshly built model — the client-checkpoint mechanism of
+// the simulation (the paper measures communication as the size of saved
+// PyTorch state_dict files; this is the Go equivalent).
+func WriteParams(w io.Writer, params []*Param) error {
+	if err := binary.Write(w, binary.LittleEndian, checkpointMagic); err != nil {
+		return fmt.Errorf("nn: writing magic: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: writing count: %w", err)
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+			return fmt.Errorf("nn: writing name length: %w", err)
+		}
+		if _, err := w.Write(name); err != nil {
+			return fmt.Errorf("nn: writing name: %w", err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Value.Shape))); err != nil {
+			return fmt.Errorf("nn: writing rank: %w", err)
+		}
+		for _, d := range p.Value.Shape {
+			if err := binary.Write(w, binary.LittleEndian, uint64(d)); err != nil {
+				return fmt.Errorf("nn: writing shape: %w", err)
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.Value.Data); err != nil {
+			return fmt.Errorf("nn: writing values: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadParams restores parameter values from r into params. The checkpoint
+// must have been produced by WriteParams on a structurally identical
+// parameter list; names and shapes are verified.
+func ReadParams(r io.Reader, params []*Param) error {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: reading count: %w", err)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("nn: reading name length: %w", err)
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return fmt.Errorf("nn: reading name: %w", err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: param %d name %q, model has %q", i, name, p.Name)
+		}
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return fmt.Errorf("nn: reading rank: %w", err)
+		}
+		if int(rank) != len(p.Value.Shape) {
+			return fmt.Errorf("nn: param %q rank %d, model has %d", p.Name, rank, len(p.Value.Shape))
+		}
+		for d := 0; d < int(rank); d++ {
+			var dim uint64
+			if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+				return fmt.Errorf("nn: reading shape: %w", err)
+			}
+			if int(dim) != p.Value.Shape[d] {
+				return fmt.Errorf("nn: param %q dim %d is %d, model has %d", p.Name, d, dim, p.Value.Shape[d])
+			}
+		}
+		if err := binary.Read(r, binary.LittleEndian, p.Value.Data); err != nil {
+			return fmt.Errorf("nn: reading values: %w", err)
+		}
+	}
+	return nil
+}
+
+// MarshalParams serializes params to a byte slice.
+func MarshalParams(params []*Param) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalParams restores params from a byte slice produced by
+// MarshalParams.
+func UnmarshalParams(b []byte, params []*Param) error {
+	return ReadParams(bytes.NewReader(b), params)
+}

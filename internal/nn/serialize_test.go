@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSequential(NewDense(5, 7, rng), NewReLU(), NewDense(7, 3, rng))
+	dst := NewSequential(NewDense(5, 7, rng), NewReLU(), NewDense(7, 3, rng))
+
+	blob, err := MarshalParams(src.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalParams(blob, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	fs, fd := FlattenParams(src.Params()), FlattenParams(dst.Params())
+	for i := range fs {
+		if fs[i] != fd[i] {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsStructureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewDense(4, 4, rng)
+	blob, err := MarshalParams(src.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape.
+	other := NewDense(4, 5, rng)
+	if err := UnmarshalParams(blob, other.Params()); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	// Wrong parameter count.
+	seq := NewSequential(NewDense(4, 4, rng), NewDense(4, 4, rng))
+	if err := UnmarshalParams(blob, seq.Params()); err == nil {
+		t.Fatal("count mismatch must error")
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if err := UnmarshalParams(bad, src.Params()); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Truncated payload.
+	if err := UnmarshalParams(blob[:len(blob)-5], src.Params()); err == nil {
+		t.Fatal("truncation must error")
+	}
+}
+
+// Property: any randomly perturbed parameter set survives a round trip
+// bit-exactly.
+func TestCheckpointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := NewConv2D(2, 3, 3, 1, 1, 1, rng)
+		for _, p := range src.Params() {
+			p.Value.FillRandn(rng, 2)
+		}
+		dst := NewConv2D(2, 3, 3, 1, 1, 1, rng)
+		var buf bytes.Buffer
+		if err := WriteParams(&buf, src.Params()); err != nil {
+			return false
+		}
+		if err := ReadParams(&buf, dst.Params()); err != nil {
+			return false
+		}
+		fs, fd := FlattenParams(src.Params()), FlattenParams(dst.Params())
+		for i := range fs {
+			if fs[i] != fd[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

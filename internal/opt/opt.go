@@ -1,0 +1,100 @@
+// Package opt implements the first-order optimizers used by the
+// reproduction: SGD with momentum/weight decay and Adam. Optimizers keep
+// per-parameter state keyed by position, so a single optimizer instance must
+// stay paired with one parameter list for its lifetime.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to params using their Grad fields. The caller
+	// is responsible for zeroing gradients between steps.
+	Step(params []*nn.Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// decoupled L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity [][]float64
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step applies v ← μv + g + λw; w ← w − η·v.
+func (s *SGD) Step(params []*nn.Param) {
+	if s.velocity == nil && s.Momentum != 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, p.Value.Size())
+		}
+	}
+	for i, p := range params {
+		w, g := p.Value.Data, p.Grad.Data
+		switch {
+		case s.Momentum != 0:
+			v := s.velocity[i]
+			for j := range w {
+				gj := g[j] + s.WeightDecay*w[j]
+				v[j] = s.Momentum*v[j] + gj
+				w[j] -= s.LR * v[j]
+			}
+		default:
+			for j := range w {
+				w[j] -= s.LR * (g[j] + s.WeightDecay*w[j])
+			}
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam builds an Adam optimizer with the conventional defaults for any
+// zero-valued hyperparameter (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one bias-corrected Adam update.
+func (a *Adam) Step(params []*nn.Param) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, p.Value.Size())
+			a.v[i] = make([]float64, p.Value.Size())
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		w, g := p.Value.Data, p.Grad.Data
+		m, v := a.m[i], a.v[i]
+		for j := range w {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			mh := m[j] / c1
+			vh := v[j] / c2
+			w[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

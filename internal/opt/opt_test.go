@@ -1,0 +1,102 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// quadratic problem: minimize Σ (w_i - target_i)², gradient 2(w - t).
+func quadParams(rng *rand.Rand, n int) (*nn.Param, []float64) {
+	p := &nn.Param{Name: "w", Value: tensor.New(n), Grad: tensor.New(n)}
+	p.Value.FillRandn(rng, 1)
+	target := make([]float64, n)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	return p, target
+}
+
+func lossAndGrad(p *nn.Param, target []float64) float64 {
+	var l float64
+	for i, w := range p.Value.Data {
+		d := w - target[i]
+		l += d * d
+		p.Grad.Data[i] = 2 * d
+	}
+	return l
+}
+
+func converges(t *testing.T, o Optimizer, steps int, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	p, target := quadParams(rng, 8)
+	initial := lossAndGrad(p, target)
+	for i := 0; i < steps; i++ {
+		lossAndGrad(p, target)
+		o.Step([]*nn.Param{p})
+	}
+	final := lossAndGrad(p, target)
+	if final > initial*tol {
+		t.Fatalf("did not converge: %g → %g", initial, final)
+	}
+}
+
+func TestSGDConverges(t *testing.T) {
+	converges(t, NewSGD(0.05, 0, 0), 200, 1e-4)
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	converges(t, NewSGD(0.02, 0.9, 0), 200, 1e-4)
+}
+
+func TestAdamConverges(t *testing.T) {
+	converges(t, NewAdam(0.1), 300, 1e-3)
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	p := &nn.Param{Name: "w", Value: tensor.FromSlice([]float64{1}, 1), Grad: tensor.FromSlice([]float64{2}, 1)}
+	NewSGD(0.5, 0, 0).Step([]*nn.Param{p})
+	if p.Value.Data[0] != 0 {
+		t.Fatalf("w = %v, want 1 - 0.5·2 = 0", p.Value.Data[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := &nn.Param{Name: "w", Value: tensor.FromSlice([]float64{10}, 1), Grad: tensor.New(1)}
+	NewSGD(0.1, 0, 0.5).Step([]*nn.Param{p})
+	// w ← w − lr·λ·w = 10 − 0.1·0.5·10 = 9.5
+	if math.Abs(p.Value.Data[0]-9.5) > 1e-12 {
+		t.Fatalf("w = %v, want 9.5", p.Value.Data[0])
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the first Adam step has magnitude ≈ lr
+	// regardless of gradient scale.
+	for _, g := range []float64{1e-6, 1, 1e6} {
+		p := &nn.Param{Name: "w", Value: tensor.New(1), Grad: tensor.FromSlice([]float64{g}, 1)}
+		NewAdam(0.01).Step([]*nn.Param{p})
+		if math.Abs(math.Abs(p.Value.Data[0])-0.01) > 1e-3 {
+			t.Fatalf("first step %v for grad %v, want ≈ 0.01", p.Value.Data[0], g)
+		}
+	}
+}
+
+func TestOptimizerStatePerParameter(t *testing.T) {
+	// Momentum must be tracked per parameter, not shared.
+	a := &nn.Param{Name: "a", Value: tensor.New(1), Grad: tensor.FromSlice([]float64{1}, 1)}
+	b := &nn.Param{Name: "b", Value: tensor.New(1), Grad: tensor.FromSlice([]float64{-1}, 1)}
+	o := NewSGD(0.1, 0.9, 0)
+	o.Step([]*nn.Param{a, b})
+	o.Step([]*nn.Param{a, b})
+	if a.Value.Data[0] >= 0 || b.Value.Data[0] <= 0 {
+		t.Fatalf("momentum mixed across params: a=%v b=%v", a.Value.Data[0], b.Value.Data[0])
+	}
+	if math.Abs(a.Value.Data[0]+b.Value.Data[0]) > 1e-12 {
+		t.Fatalf("symmetric problem should stay symmetric: a=%v b=%v", a.Value.Data[0], b.Value.Data[0])
+	}
+}

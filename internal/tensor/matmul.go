@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of scalar multiply-adds below which MatMul
+// runs single-threaded; tiny products are faster without goroutine overhead.
+const parallelThreshold = 64 * 1024
+
+// MatMul returns a·b for rank-2 tensors a (m×k) and b (k×n). Rows of the
+// output are sharded across a GOMAXPROCS-sized worker pool when the product
+// is large enough to amortize the scheduling cost.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	out := New(m, n)
+	matMulInto(out, a, b, m, k, n)
+	return out
+}
+
+// MatMulInto computes out = a·b, reusing out's storage. out must be m×n.
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || out.Shape[0] != m || out.Shape[1] != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	out.Zero()
+	matMulInto(out, a, b, m, k, n)
+}
+
+func matMulInto(out, a, b *Tensor, m, k, n int) {
+	work := m * k * n
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		matMulRows(out, a, b, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(out, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo,hi) of out = a·b with an ikj loop order that
+// streams b row-wise for cache friendliness.
+func matMulRows(out, a, b *Tensor, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB returns aᵀ·b without materializing the transpose of a.
+// a is m×k, b is m×n; the result is k×n.
+func MatMulATB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != m {
+		panic("tensor: MatMulATB leading dimension mismatch")
+	}
+	n := b.Shape[1]
+	out := New(k, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		brow := b.Data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ without materializing the transpose of b.
+// a is m×k, b is n×k; the result is m×n.
+func MatMulABT(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic("tensor: MatMulABT trailing dimension mismatch")
+	}
+	out := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < parallelThreshold || workers < 2 || m < 2 {
+		matMulABTRows(out, a, b, 0, m, k, n)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulABTRows(out, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulABTRows(out, a, b *Tensor, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}

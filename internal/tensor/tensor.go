@@ -1,0 +1,368 @@
+// Package tensor implements dense row-major float64 tensors and the
+// numerical kernels (parallel matrix multiplication, elementwise operations,
+// row-wise reductions) that the neural-network layers in internal/nn build
+// on. It is deliberately small: only the operations the FedClassAvg
+// reproduction needs, implemented with the Go standard library.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major tensor. The zero value is an empty tensor;
+// use New, FromSlice or the fill helpers to create usable values.
+type Tensor struct {
+	Data  []float64
+	Shape []int
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; it must have exactly the number of elements the shape implies.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Data: data, Shape: append([]int(nil), shape...)}
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the length of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Rows returns the leading dimension of a rank-2 tensor.
+func (t *Tensor) Rows() int { return t.Shape[0] }
+
+// Cols returns the trailing dimension of a rank-2 tensor.
+func (t *Tensor) Cols() int { return t.Shape[1] }
+
+// At returns the element of a rank-2 tensor at row i, column j.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
+
+// Set assigns the element of a rank-2 tensor at row i, column j.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Shape[1]+j] = v }
+
+// Row returns a view (not a copy) of row i of a rank-2 tensor.
+func (t *Tensor) Row(i int) []float64 {
+	c := t.Shape[1]
+	return t.Data[i*c : (i+1)*c]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Data: t.Data, Shape: append([]int(nil), shape...)}
+}
+
+// Zero overwrites every element with 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill overwrites every element with v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// FillRandn fills with N(0, std²) samples from rng.
+func (t *Tensor) FillRandn(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// FillUniform fills with U(lo, hi) samples from rng.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// AddInPlace computes t += o elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace computes t -= o elementwise.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: SubInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// ScaleInPlace computes t *= a elementwise.
+func (t *Tensor) ScaleInPlace(a float64) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AxpyInPlace computes t += a*o elementwise.
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AxpyInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// MulInPlace computes t *= o elementwise (Hadamard product).
+func (t *Tensor) MulInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: MulInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Add returns a + b.
+func Add(a, b *Tensor) *Tensor {
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Tensor) *Tensor {
+	out := a.Clone()
+	out.SubInPlace(b)
+	return out
+}
+
+// Scale returns a*t.
+func Scale(t *Tensor, a float64) *Tensor {
+	out := t.Clone()
+	out.ScaleInPlace(a)
+	return out
+}
+
+// Dot returns the inner product of two equally sized tensors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// SumSquares returns Σ t_i².
+func (t *Tensor) SumSquares() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return s
+}
+
+// Sum returns Σ t_i.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns max |t_i|, or 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMaxRow returns the index of the maximum element of row i of a rank-2
+// tensor; ties resolve to the lowest index.
+func (t *Tensor) ArgMaxRow(i int) int {
+	row := t.Row(i)
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose requires rank 2")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Row(i)
+		for j := 0; j < c; j++ {
+			out.Data[j*r+i] = row[j]
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks rank-2 tensors with equal column counts vertically.
+func ConcatRows(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := parts[0].Shape[1]
+	rows := 0
+	for _, p := range parts {
+		if p.Shape[1] != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		rows += p.Shape[0]
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Data)
+		off += len(p.Data)
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [lo, hi) of a rank-2 tensor.
+func (t *Tensor) SliceRows(lo, hi int) *Tensor {
+	c := t.Shape[1]
+	out := New(hi-lo, c)
+	copy(out.Data, t.Data[lo*c:hi*c])
+	return out
+}
+
+// NormalizeRowsInPlace scales each row of a rank-2 tensor to unit L2 norm
+// and returns the original norms (rows with norm < eps are left unscaled
+// and report norm eps to keep downstream divisions finite).
+func (t *Tensor) NormalizeRowsInPlace(eps float64) []float64 {
+	r := t.Shape[0]
+	norms := make([]float64, r)
+	for i := 0; i < r; i++ {
+		row := t.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		n := math.Sqrt(s)
+		if n < eps {
+			norms[i] = eps
+			continue
+		}
+		norms[i] = n
+		inv := 1 / n
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return norms
+}
+
+// LogSumExpRow returns log Σ_j exp(row_j) computed stably.
+func LogSumExpRow(row []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range row {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range row {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// SoftmaxRowsInPlace replaces each row of a rank-2 tensor with its softmax.
+func (t *Tensor) SoftmaxRowsInPlace() {
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Row(i)
+		lse := LogSumExpRow(row)
+		for j := range row {
+			row[j] = math.Exp(row[j] - lse)
+		}
+	}
+}
+
+// ApproxEqual reports whether a and b have identical shapes and elementwise
+// |a_i - b_i| <= tol.
+func ApproxEqual(a, b *Tensor, tol float64) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats small tensors for debugging.
+func (t *Tensor) String() string {
+	if len(t.Data) > 64 {
+		return fmt.Sprintf("Tensor%v(%d elems)", t.Shape, len(t.Data))
+	}
+	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+}
