@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/data"
@@ -187,6 +188,20 @@ func BenchmarkMatMul64(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulInto64 measures the steady-state (allocation-free) GEMM
+// path the layers use.
+func BenchmarkMatMulInto64(b *testing.B) {
+	a := tensor.New(64, 64)
+	c := tensor.New(64, 64)
+	out := tensor.New(64, 64)
+	a.Fill(0.5)
+	c.Fill(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, a, c)
+	}
+}
+
 func BenchmarkConvForward(b *testing.B) {
 	s := benchScale()
 	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
@@ -196,6 +211,22 @@ func BenchmarkConvForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Model.Forward(x, true)
+	}
+}
+
+// BenchmarkConvTrainStep measures one forward+backward pass of a single
+// convolution layer on the batched im2col path.
+func BenchmarkConvTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	layer := nn.NewConv2D(8, 16, 3, 1, 1, 1, rng)
+	x := tensor.New(8, 8, 12, 12)
+	x.FillRandn(rng, 1)
+	grad := tensor.New(8, 16, 12, 12)
+	grad.FillRandn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x, true)
+		layer.Backward(grad)
 	}
 }
 

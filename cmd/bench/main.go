@@ -1,0 +1,196 @@
+// Command bench runs the repository's root benchmarks and writes a
+// machine-readable BENCH_<date>.json so the performance trajectory stays
+// comparable across PRs. It shells out to `go test -bench` with -benchmem,
+// parses the standard benchmark output, and optionally joins a previous
+// BENCH file to compute per-benchmark speedups.
+//
+// Usage:
+//
+//	go run ./cmd/bench -bench 'MatMul64|ConvForward|ClientLocalEpoch' \
+//	    -benchtime 2s -baseline BENCH_2026-07-01.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Speedup compares a benchmark against the baseline file.
+type Speedup struct {
+	NsRatio     float64 `json:"ns_ratio"`     // baseline ns / current ns
+	AllocsRatio float64 `json:"allocs_ratio"` // baseline allocs / current allocs
+}
+
+// File is the on-disk BENCH_<date>.json schema.
+type File struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPU        string             `json:"cpu,omitempty"`
+	BenchRegex string             `json:"bench_regex"`
+	BenchTime  string             `json:"bench_time"`
+	Benchmarks []Result           `json:"benchmarks"`
+	Baseline   []Result           `json:"baseline,omitempty"`
+	Speedups   map[string]Speedup `json:"speedups,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op`
+// (the -8 suffix and the memory columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
+
+func main() {
+	bench := flag.String("bench", "MatMul64|ConvForward|ClientLocalEpoch|ClassifierAveraging", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "2s", "value passed to go test -benchtime")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to record and compare against")
+	flag.Parse()
+
+	raw, err := runBenchmarks(*pkg, *bench, *benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	results, cpu := parseBenchOutput(raw)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no benchmark lines matched %q; output was:\n%s", *bench, raw)
+		os.Exit(1)
+	}
+
+	f := &File{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpu,
+		BenchRegex: *bench,
+		BenchTime:  *benchtime,
+		Benchmarks: results,
+	}
+	if *baseline != "" {
+		if err := joinBaseline(f, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + f.Date + ".json"
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	for _, r := range results {
+		line := fmt.Sprintf("  %-32s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if s, ok := f.Speedups[r.Name]; ok {
+			line += fmt.Sprintf("   %.2fx ns, %.2fx allocs vs baseline", s.NsRatio, s.AllocsRatio)
+		}
+		fmt.Println(line)
+	}
+}
+
+func runBenchmarks(pkg, bench, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench: %w", err)
+	}
+	return string(out), nil
+}
+
+func parseBenchOutput(raw string) ([]Result, string) {
+	var results []Result
+	var cpu string
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			cpu = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytes, allocs int64
+		if m[4] != "" {
+			bytes, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, Result{
+			Name:        m[1],
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytes,
+			AllocsPerOp: allocs,
+		})
+	}
+	return results, cpu
+}
+
+// joinBaseline loads a previous BENCH file, embeds its measurements, and
+// computes speedup ratios for benchmarks present in both runs.
+func joinBaseline(f *File, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prev File
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	f.Baseline = prev.Benchmarks
+	f.Speedups = make(map[string]Speedup)
+	byName := make(map[string]Result, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		byName[r.Name] = r
+	}
+	for _, cur := range f.Benchmarks {
+		base, ok := byName[cur.Name]
+		if !ok || cur.NsPerOp == 0 {
+			continue
+		}
+		s := Speedup{NsRatio: base.NsPerOp / cur.NsPerOp}
+		if cur.AllocsPerOp > 0 {
+			s.AllocsRatio = float64(base.AllocsPerOp) / float64(cur.AllocsPerOp)
+		} else if base.AllocsPerOp > 0 {
+			s.AllocsRatio = float64(base.AllocsPerOp) // effectively ∞; report the baseline count
+		}
+		f.Speedups[cur.Name] = s
+	}
+	return nil
+}

@@ -194,10 +194,13 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 	ch, h, w := c.InputGeometry()
 	dim := ch * h * w
 	labels := make([]int, n)
+	// The input batch and the feature-gradient accumulator are pooled: both
+	// are fully consumed by the extractor's backward pass, so they return to
+	// the pool at the end of the step.
 	var x *tensor.Tensor
 	if f.Opts.UseContrastive {
 		// Stack both augmented views: rows [0,n) = x', rows [n,2n) = x''.
-		x = tensor.New(2*n, ch, h, w)
+		x = tensor.GetTensor(2*n, ch, h, w)
 		for i, ex := range batch {
 			v1, v2 := c.Aug.TwoViews(ex.X, c.Rng)
 			copy(x.Data[i*dim:(i+1)*dim], v1)
@@ -205,7 +208,7 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 			labels[i] = ex.Y
 		}
 	} else {
-		x = tensor.New(n, ch, h, w)
+		x = tensor.GetTensor(n, ch, h, w)
 		for i, ex := range batch {
 			copy(x.Data[i*dim:(i+1)*dim], c.Aug.Apply(ex.X, c.Rng))
 			labels[i] = ex.Y
@@ -217,13 +220,15 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 	logits := c.Model.Classifier.Forward(view1, true)
 	_, dlogits := loss.CrossEntropy(logits, labels)
 	dview1 := c.Model.Classifier.Backward(dlogits)
-	dfeats := tensor.New(feats.Rows(), feats.Cols())
+	dfeats := tensor.GetTensor(feats.Rows(), feats.Cols())
 	copy(dfeats.Data[:n*feats.Cols()], dview1.Data)
 	if f.Opts.UseContrastive {
 		_, dcl := loss.SupCon(feats, labels, loss.SupConOptions{Temperature: f.Opts.Tau})
 		dfeats.AddInPlace(dcl)
 	}
 	c.Model.Extractor.Backward(dfeats)
+	tensor.PutTensor(dfeats)
+	tensor.PutTensor(x)
 	if f.Opts.UseProximal && globalC != nil {
 		loss.Proximal(c.Model.ClassifierParams(), globalC, f.Opts.Rho)
 	}

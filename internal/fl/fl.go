@@ -9,9 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/data"
@@ -245,33 +243,9 @@ func MeanStd(xs []float64) (mean, std float64) {
 	return mean, math.Sqrt(std / float64(len(xs)))
 }
 
-// ParallelClients runs f(i) for i in [0,n) across a GOMAXPROCS-sized pool;
+// ParallelClients runs f(i) for i in [0,n) with dynamic load balancing on
+// the persistent tensor worker pool (no goroutines are spawned per round);
 // client-level parallelism mirrors the paper's MPI node-per-client layout.
 func ParallelClients(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	tensor.Parallel(n, f)
 }

@@ -85,9 +85,13 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 	n := m / 2
 	tau := opts.Temperature
 
-	// Normalize a copy of the features, remembering norms for the backward
-	// pass through the normalization.
-	z := features.Clone()
+	// Normalize a pooled copy of the features, remembering norms for the
+	// backward pass through the normalization. All O(m²) intermediates come
+	// from the tensor pool and go back at the end, so per-batch contrastive
+	// steps allocate only the returned gradient in steady state.
+	z := tensor.GetTensor(m, d)
+	defer tensor.PutTensor(z)
+	z.CopyFrom(features)
 	norms := z.NormalizeRowsInPlace(1e-12)
 
 	full := make([]int, m)
@@ -97,11 +101,14 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 	}
 
 	// Pairwise scaled similarities s_ij = z_i·z_j/τ.
-	sim := tensor.MatMulABT(z, z)
+	sim := tensor.GetTensor(m, m)
+	defer tensor.PutTensor(sim)
+	tensor.MatMulABTInto(sim, z, z)
 	sim.ScaleInPlace(1 / tau)
 
 	// G_ia = softmax over a≠i of s_ia, minus 1/|P(i)| for positives.
-	g := tensor.New(m, m)
+	g := tensor.GetTensor(m, m)
+	defer tensor.PutTensor(g)
 	var total float64
 	for i := 0; i < m; i++ {
 		row := sim.Row(i)
@@ -148,13 +155,16 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 
 	// dL/dz_i = (1/(Mτ)) Σ_a (G_ia + G_ai)·z_a
 	scale := 1.0 / (float64(m) * tau)
-	gSym := tensor.New(m, m)
+	gSym := tensor.GetTensor(m, m)
+	defer tensor.PutTensor(gSym)
 	for i := 0; i < m; i++ {
 		for a := 0; a < m; a++ {
 			gSym.Set(i, a, (g.At(i, a)+g.At(a, i))*scale)
 		}
 	}
-	dz := tensor.MatMul(gSym, z)
+	dz := tensor.GetTensor(m, d)
+	defer tensor.PutTensor(dz)
+	tensor.MatMulInto(dz, gSym, z)
 
 	// Backprop through z = f/‖f‖: df = (dz − z·(z·dz)) / ‖f‖.
 	df := tensor.New(m, d)

@@ -9,6 +9,8 @@ import (
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool
+	out  ring2
+	dx   *tensor.Tensor
 }
 
 // NewReLU builds the layer.
@@ -16,7 +18,7 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative activations and records the pass-through mask.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
+	out := r.out.next(x.Shape...)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -26,6 +28,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out.Data[i] = v
 			r.mask[i] = true
 		} else {
+			out.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -34,10 +37,13 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward passes gradients only through positive activations.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape...)
+	r.dx = tensor.Ensure(r.dx, grad.Shape...)
+	dx := r.dx
 	for i, v := range grad.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -52,6 +58,8 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	mask []float64
+	out  ring2
+	dx   *tensor.Tensor
 }
 
 // NewDropout builds a dropout layer with its own RNG stream.
@@ -63,14 +71,20 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = nil
 		return x
 	}
-	out := tensor.New(x.Shape...)
-	d.mask = make([]float64, len(x.Data))
+	out := d.out.next(x.Shape...)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
 	keep := 1 - d.P
 	inv := 1 / keep
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask[i] = inv
 			out.Data[i] = v * inv
+		} else {
+			d.mask[i] = 0
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -81,7 +95,8 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	dx := tensor.New(grad.Shape...)
+	d.dx = tensor.Ensure(d.dx, grad.Shape...)
+	dx := d.dx
 	for i, v := range grad.Data {
 		dx.Data[i] = v * d.mask[i]
 	}

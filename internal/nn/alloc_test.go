@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The zero-allocation training path: after one warm-up iteration sizes the
+// cached workspaces, steady-state Forward/Backward must not touch the heap.
+// The only tolerated residue is the handful of parallel-dispatch closures a
+// layer hands to the persistent worker pool — a small constant independent
+// of batch size, channel count and spatial extent.
+func parallelDispatchBudget() float64 {
+	// Each parallel loop costs the user closure plus the shard wrapper, and
+	// every shard handed to the pool costs one task closure, so the residue
+	// scales with the worker count (but not with batch size, channels or
+	// spatial extent). A layer method runs at most ~4 parallel loops
+	// (im2col/gather/col2im plus sharded GEMMs); add slack for a panel
+	// scratch revived after a GC cycle.
+	return float64(8 + 4*tensor.Workers())
+}
+
+func TestConv2DForwardAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewConv2D(4, 8, 3, 1, 1, 1, rng)
+	x := tensor.New(4, 4, 10, 10)
+	x.FillRandn(rng, 1)
+	layer.Forward(x, true) // warm up workspaces
+	layer.Forward(x, true)
+	avg := testing.AllocsPerRun(50, func() {
+		layer.Forward(x, true)
+	})
+	if budget := parallelDispatchBudget(); avg > budget {
+		t.Fatalf("Conv2D.Forward allocates %.1f objects/op in steady state, want <= %.0f", avg, budget)
+	}
+}
+
+func TestConv2DTrainStepAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewConv2D(4, 8, 3, 1, 1, 1, rng)
+	x := tensor.New(4, 4, 10, 10)
+	x.FillRandn(rng, 1)
+	grad := tensor.New(4, 8, 10, 10)
+	grad.FillRandn(rng, 1)
+	layer.Forward(x, true)
+	layer.Backward(grad)
+	avg := testing.AllocsPerRun(50, func() {
+		layer.Forward(x, true)
+		layer.Backward(grad)
+	})
+	if budget := 2 * parallelDispatchBudget(); avg > budget {
+		t.Fatalf("Conv2D forward+backward allocates %.1f objects/op in steady state, want <= %.0f", avg, budget)
+	}
+}
+
+func TestDenseForwardAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewDense(64, 32, rng)
+	x := tensor.New(16, 64)
+	x.FillRandn(rng, 1)
+	layer.Forward(x, true)
+	layer.Forward(x, true)
+	avg := testing.AllocsPerRun(100, func() {
+		layer.Forward(x, true)
+	})
+	if avg > parallelDispatchBudget() {
+		t.Fatalf("Dense.Forward allocates %.1f objects/op in steady state, want ~0", avg)
+	}
+}
+
+func TestDenseTrainStepAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layer := NewDense(64, 32, rng)
+	x := tensor.New(16, 64)
+	x.FillRandn(rng, 1)
+	grad := tensor.New(16, 32)
+	grad.FillRandn(rng, 1)
+	layer.Forward(x, true)
+	layer.Backward(grad)
+	avg := testing.AllocsPerRun(100, func() {
+		layer.Forward(x, true)
+		layer.Backward(grad)
+	})
+	if budget := 2 * parallelDispatchBudget(); avg > budget {
+		t.Fatalf("Dense forward+backward allocates %.1f objects/op in steady state, want <= %.0f", avg, budget)
+	}
+}

@@ -3,30 +3,50 @@ package nn
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution over [N, C, H, W] inputs with optional grouped
 // convolution (groups > 1 partitions input and output channels, as in
-// ShuffleNet). Weights are stored as [outC, (inC/groups)·kH·kW] so the
-// per-sample forward pass is a single matmul against an im2col matrix.
+// ShuffleNet). Weights are stored as [outC, (inC/groups)·kH·kW], and the
+// whole batch is lowered into one im2col matrix of shape
+// [groups·kernelElems, N·outH·outW] so the forward pass is a single GEMM per
+// group per batch rather than one tiny GEMM per sample.
+//
+// The layer keeps its im2col, GEMM and gradient workspaces across calls;
+// steady-state training allocates nothing. See the package comment for the
+// activation aliasing contract.
 type Conv2D struct {
 	InC, OutC    int
 	KH, KW       int
 	Stride, Pad  int
 	Groups       int
 	W, B         *Param
-	inH, inW     int // set on first Forward
+	inH, inW     int // set on Forward
 	outH, outW   int
-	x            *tensor.Tensor // cached input
-	cols         []*tensor.Tensor
-	colsPerGroup int
+	batch        int
 	inCPerGroup  int
 	outCPerGroup int
 	kernelElems  int
+
+	// Reusable workspaces, sized on first use and whenever the input
+	// geometry changes. The backward-only workspaces (gmat, dcols, dx) are
+	// allocated lazily in Backward so evaluation-mode forwards never pay
+	// for them.
+	cols    *tensor.Tensor // [Groups·kernelElems, N·spatial] im2col matrix
+	gemmOut *tensor.Tensor // [outCPerGroup, N·spatial] per-group product
+	gmat    *tensor.Tensor // [OutC, N·spatial] gathered output gradient
+	dcols   *tensor.Tensor // [Groups·kernelElems, N·spatial] column gradient
+	dx      *tensor.Tensor
+	out     ring2
+	bwdOK   bool // backward workspaces match the current geometry
+
+	// Cached per-group views over the workspaces and weights, rebuilt only
+	// on geometry changes so the hot path creates no tensor headers.
+	wgV, dwV     []*tensor.Tensor
+	colsV, gmatV []*tensor.Tensor
+	dcolsV       []*tensor.Tensor
 }
 
 // NewConv2D constructs a grouped convolution layer with He-normal weights.
@@ -53,115 +73,147 @@ func (c *Conv2D) OutputShape(h, w int) (int, int) {
 	return oh, ow
 }
 
+// ensureWorkspace (re)builds the batch workspaces and group views when the
+// input geometry changes; with a stable geometry it is a cheap no-op.
+func (c *Conv2D) ensureWorkspace(n, h, w int) {
+	oh, ow := c.OutputShape(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output %dx%d not positive for input %dx%d", oh, ow, h, w))
+	}
+	if n == c.batch && h == c.inH && w == c.inW && c.cols != nil {
+		return
+	}
+	c.batch, c.inH, c.inW, c.outH, c.outW = n, h, w, oh, ow
+	c.bwdOK = false
+	ns := n * oh * ow
+	ke, sp := c.kernelElems, ns
+	c.cols = tensor.Ensure(c.cols, c.Groups*ke, sp)
+	c.gemmOut = tensor.Ensure(c.gemmOut, c.outCPerGroup, sp)
+	if len(c.wgV) != c.Groups {
+		c.wgV = make([]*tensor.Tensor, c.Groups)
+		c.dwV = make([]*tensor.Tensor, c.Groups)
+		c.colsV = make([]*tensor.Tensor, c.Groups)
+		c.gmatV = make([]*tensor.Tensor, c.Groups)
+		c.dcolsV = make([]*tensor.Tensor, c.Groups)
+	}
+	for g := 0; g < c.Groups; g++ {
+		wlo, whi := g*c.outCPerGroup*ke, (g+1)*c.outCPerGroup*ke
+		setView(&c.wgV[g], c.W.Value.Data[wlo:whi], c.outCPerGroup, ke)
+		setView(&c.colsV[g], c.cols.Data[g*ke*sp:(g+1)*ke*sp], ke, sp)
+	}
+}
+
+// ensureBackwardWorkspace lazily sizes the gradient workspaces to the
+// geometry of the preceding Forward. Evaluation-only layers never build
+// them.
+func (c *Conv2D) ensureBackwardWorkspace() {
+	if c.bwdOK {
+		return
+	}
+	ke := c.kernelElems
+	sp := c.batch * c.outH * c.outW
+	c.gmat = tensor.Ensure(c.gmat, c.OutC, sp)
+	c.dcols = tensor.Ensure(c.dcols, c.Groups*ke, sp)
+	for g := 0; g < c.Groups; g++ {
+		wlo, whi := g*c.outCPerGroup*ke, (g+1)*c.outCPerGroup*ke
+		setView(&c.dwV[g], c.W.Grad.Data[wlo:whi], c.outCPerGroup, ke)
+		setView(&c.dcolsV[g], c.dcols.Data[g*ke*sp:(g+1)*ke*sp], ke, sp)
+		setView(&c.gmatV[g], c.gmat.Data[g*c.outCPerGroup*sp:(g+1)*c.outCPerGroup*sp], c.outCPerGroup, sp)
+	}
+	c.bwdOK = true
+}
+
+// setView retargets a cached rank-2 view header at a slice of workspace
+// storage, allocating the header only once per group.
+func setView(vp **tensor.Tensor, data []float64, r, cols int) {
+	v := *vp
+	if v == nil {
+		v = &tensor.Tensor{}
+		*vp = v
+	}
+	v.Data = data
+	v.Shape = append(v.Shape[:0], r, cols)
+}
+
 // Forward computes the convolution for a batch [N, C, H, W].
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D.Forward input shape %v, want [N,%d,H,W]", x.Shape, c.InC))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
-	c.inH, c.inW = h, w
-	c.outH, c.outW = c.OutputShape(h, w)
-	if c.outH <= 0 || c.outW <= 0 {
-		panic(fmt.Sprintf("nn: Conv2D output %dx%d not positive for input %dx%d", c.outH, c.outW, h, w))
-	}
-	c.x = x
-	c.cols = make([]*tensor.Tensor, n)
-	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	c.ensureWorkspace(n, h, w)
 	spatial := c.outH * c.outW
-	parallelFor(n, func(i int) {
-		cols := c.im2col(x, i)
-		c.cols[i] = cols
-		dst := out.Data[i*c.OutC*spatial : (i+1)*c.OutC*spatial]
-		for g := 0; g < c.Groups; g++ {
-			wg := c.groupWeight(c.W.Value, g)
-			colsG := colsView(cols, g, c.kernelElems, spatial)
-			prod := tensor.MatMul(wg, colsG)
-			copy(dst[g*c.outCPerGroup*spatial:(g+1)*c.outCPerGroup*spatial], prod.Data)
-		}
-		b := c.B.Value.Data
-		for oc := 0; oc < c.OutC; oc++ {
-			bb := b[oc]
-			seg := dst[oc*spatial : (oc+1)*spatial]
-			for p := range seg {
-				seg[p] += bb
+	out := c.out.next(n, c.OutC, c.outH, c.outW)
+	parallelFor(n, func(i int) { c.im2col(x, i) })
+	for g := 0; g < c.Groups; g++ {
+		tensor.MatMulInto(c.gemmOut, c.wgV[g], c.colsV[g])
+		// Scatter [outCPerGroup, N·spatial] back to the per-sample layout,
+		// fusing the bias add.
+		for oc := 0; oc < c.outCPerGroup; oc++ {
+			ch := g*c.outCPerGroup + oc
+			bias := c.B.Value.Data[ch]
+			src := c.gemmOut.Data[oc*n*spatial : (oc+1)*n*spatial]
+			for i := 0; i < n; i++ {
+				seg := src[i*spatial : (i+1)*spatial]
+				dst := out.Data[(i*c.OutC+ch)*spatial : (i*c.OutC+ch+1)*spatial]
+				for p, v := range seg {
+					dst[p] = v + bias
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
-// Backward accumulates dW, dB and returns dX.
+// Backward accumulates dW, dB and returns dX. It reuses the im2col matrix
+// built by the preceding Forward call.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
+	if n != c.batch || grad.Dim(1) != c.OutC {
+		panic(fmt.Sprintf("nn: Conv2D.Backward grad shape %v does not match forward batch %d", grad.Shape, c.batch))
+	}
+	c.ensureBackwardWorkspace()
 	spatial := c.outH * c.outW
-	dx := tensor.New(n, c.InC, c.inH, c.inW)
-	workers := maxWorkers(n)
-	// Per-worker weight/bias gradient accumulators avoid a mutex on the hot
-	// path; they are reduced after the parallel section.
-	dWs := make([]*tensor.Tensor, workers)
-	dBs := make([]*tensor.Tensor, workers)
-	for w := range dWs {
-		dWs[w] = tensor.New(c.OutC, c.kernelElems)
-		dBs[w] = tensor.New(c.OutC)
-	}
-	parallelForWorkers(n, workers, func(worker, i int) {
-		gradSample := grad.Data[i*c.OutC*spatial : (i+1)*c.OutC*spatial]
-		dcols := tensor.New(c.Groups*c.kernelElems, spatial)
-		for g := 0; g < c.Groups; g++ {
-			gSeg := tensor.FromSlice(
-				gradSample[g*c.outCPerGroup*spatial:(g+1)*c.outCPerGroup*spatial],
-				c.outCPerGroup, spatial)
-			colsG := colsView(c.cols[i], g, c.kernelElems, spatial)
-			// dW_g += gSeg · colsᵀ
-			dwg := tensor.MatMulABT(gSeg, colsG)
-			dst := c.groupWeight(dWs[worker], g)
-			dst.AddInPlace(dwg)
-			// dcols_g = W_gᵀ · gSeg
-			wg := c.groupWeight(c.W.Value, g)
-			dcg := tensor.MatMulATB(wg, gSeg)
-			copy(dcols.Data[g*c.kernelElems*spatial:(g+1)*c.kernelElems*spatial], dcg.Data)
+	// Gather the gradient into [OutC, N·spatial] channel-major layout so the
+	// weight and column gradients are one GEMM per group each.
+	gm := c.gmat.Data
+	parallelFor(c.OutC, func(ch int) {
+		dst := gm[ch*n*spatial : (ch+1)*n*spatial]
+		for i := 0; i < n; i++ {
+			copy(dst[i*spatial:(i+1)*spatial], grad.Data[(i*c.OutC+ch)*spatial:(i*c.OutC+ch+1)*spatial])
 		}
-		db := dBs[worker].Data
-		for oc := 0; oc < c.OutC; oc++ {
-			seg := gradSample[oc*spatial : (oc+1)*spatial]
-			var s float64
-			for _, v := range seg {
-				s += v
-			}
-			db[oc] += s
-		}
-		c.col2im(dcols, dx, i)
 	})
-	for w := range dWs {
-		c.W.Grad.AddInPlace(dWs[w])
-		c.B.Grad.AddInPlace(dBs[w])
+	db := c.B.Grad.Data
+	for ch := 0; ch < c.OutC; ch++ {
+		seg := gm[ch*n*spatial : (ch+1)*n*spatial]
+		var s float64
+		for _, v := range seg {
+			s += v
+		}
+		db[ch] += s
 	}
-	return dx
+	for g := 0; g < c.Groups; g++ {
+		// dW_g += gmat_g · colsᵀ_g
+		tensor.MatMulABTAcc(c.dwV[g], c.gmatV[g], c.colsV[g])
+		// dcols_g = W_gᵀ · gmat_g
+		tensor.MatMulATBInto(c.dcolsV[g], c.wgV[g], c.gmatV[g])
+	}
+	c.dx = tensor.Ensure(c.dx, n, c.InC, c.inH, c.inW)
+	c.dx.Zero()
+	parallelFor(n, func(i int) { c.col2im(c.dcols, c.dx, i) })
+	return c.dx
 }
 
 // Params returns the kernel and bias parameters.
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 
-// groupWeight returns a view tensor of the rows of w belonging to group g.
-func (c *Conv2D) groupWeight(w *tensor.Tensor, g int) *tensor.Tensor {
-	lo := g * c.outCPerGroup * c.kernelElems
-	hi := (g + 1) * c.outCPerGroup * c.kernelElems
-	return tensor.FromSlice(w.Data[lo:hi], c.outCPerGroup, c.kernelElems)
-}
-
-// colsView returns group g's slice of an im2col matrix laid out as
-// [groups·kernelElems, spatial].
-func colsView(cols *tensor.Tensor, g, kernelElems, spatial int) *tensor.Tensor {
-	lo := g * kernelElems * spatial
-	hi := (g + 1) * kernelElems * spatial
-	return tensor.FromSlice(cols.Data[lo:hi], kernelElems, spatial)
-}
-
-// im2col unrolls sample i of x into a [groups·kernelElems, outH·outW]
-// matrix where each column holds the receptive field of one output pixel.
-func (c *Conv2D) im2col(x *tensor.Tensor, i int) *tensor.Tensor {
+// im2col unrolls sample i of x into its column block of the batch im2col
+// matrix: cols[row, i·spatial + p] holds the receptive-field element `row`
+// of output pixel p. Every position is written, so the workspace needs no
+// zeroing between batches.
+func (c *Conv2D) im2col(x *tensor.Tensor, i int) {
 	spatial := c.outH * c.outW
-	cols := tensor.New(c.Groups*c.kernelElems, spatial)
+	ns := c.batch * spatial
 	chanSize := c.inH * c.inW
 	base := i * c.InC * chanSize
 	for ch := 0; ch < c.InC; ch++ {
@@ -171,12 +223,15 @@ func (c *Conv2D) im2col(x *tensor.Tensor, i int) *tensor.Tensor {
 		for kh := 0; kh < c.KH; kh++ {
 			for kw := 0; kw < c.KW; kw++ {
 				rowIdx := g*c.kernelElems + (chInG*c.KH+kh)*c.KW + kw
-				dst := cols.Data[rowIdx*spatial : (rowIdx+1)*spatial]
+				dst := c.cols.Data[rowIdx*ns+i*spatial : rowIdx*ns+(i+1)*spatial]
 				p := 0
 				for oh := 0; oh < c.outH; oh++ {
 					ih := oh*c.Stride - c.Pad + kh
 					if ih < 0 || ih >= c.inH {
-						p += c.outW
+						for ow := 0; ow < c.outW; ow++ {
+							dst[p] = 0
+							p++
+						}
 						continue
 					}
 					rowBase := ih * c.inW
@@ -184,6 +239,8 @@ func (c *Conv2D) im2col(x *tensor.Tensor, i int) *tensor.Tensor {
 						iw := ow*c.Stride - c.Pad + kw
 						if iw >= 0 && iw < c.inW {
 							dst[p] = src[rowBase+iw]
+						} else {
+							dst[p] = 0
 						}
 						p++
 					}
@@ -191,13 +248,13 @@ func (c *Conv2D) im2col(x *tensor.Tensor, i int) *tensor.Tensor {
 			}
 		}
 	}
-	return cols
 }
 
-// col2im scatters a column-gradient matrix back into dx for sample i,
-// accumulating where receptive fields overlap.
+// col2im scatters sample i's column block of the gradient matrix back into
+// dx, accumulating where receptive fields overlap.
 func (c *Conv2D) col2im(dcols, dx *tensor.Tensor, i int) {
 	spatial := c.outH * c.outW
+	ns := c.batch * spatial
 	chanSize := c.inH * c.inW
 	base := i * c.InC * chanSize
 	for ch := 0; ch < c.InC; ch++ {
@@ -207,7 +264,7 @@ func (c *Conv2D) col2im(dcols, dx *tensor.Tensor, i int) {
 		for kh := 0; kh < c.KH; kh++ {
 			for kw := 0; kw < c.KW; kw++ {
 				rowIdx := g*c.kernelElems + (chInG*c.KH+kh)*c.KW + kw
-				src := dcols.Data[rowIdx*spatial : (rowIdx+1)*spatial]
+				src := dcols.Data[rowIdx*ns+i*spatial : rowIdx*ns+(i+1)*spatial]
 				p := 0
 				for oh := 0; oh < c.outH; oh++ {
 					ih := oh*c.Stride - c.Pad + kh
@@ -229,51 +286,12 @@ func (c *Conv2D) col2im(dcols, dx *tensor.Tensor, i int) {
 	}
 }
 
-// parallelFor runs f(i) for i in [0,n) on a GOMAXPROCS-bounded worker pool.
+// parallelFor runs f(i) for i in [0,n) on the persistent tensor worker pool,
+// partitioning indices contiguously.
 func parallelFor(n int, f func(i int)) {
-	parallelForWorkers(n, maxWorkers(n), func(_, i int) { f(i) })
-}
-
-// maxWorkers bounds the pool size by both GOMAXPROCS and the trip count.
-func maxWorkers(n int) int {
-	w := runtime.GOMAXPROCS(0)
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// parallelForWorkers runs f(worker, i) for i in [0,n), partitioning indices
-// contiguously across exactly `workers` goroutines. Each index is processed
-// by exactly one worker, so per-worker accumulators need no locking.
-func parallelForWorkers(n, workers int, f func(worker, i int)) {
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(0, i)
+	tensor.ParallelSharded(n, tensor.Workers(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(worker, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(worker, i)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	})
 }

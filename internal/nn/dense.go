@@ -8,11 +8,16 @@ import (
 )
 
 // Dense is a fully connected layer: y = x·W + b with x of shape [N, in].
+// Output and input-gradient buffers are reused across iterations; the weight
+// gradient accumulates directly into W.Grad, so a steady-state step
+// allocates nothing.
 type Dense struct {
 	In, Out int
 	W, B    *Param
 
-	x *tensor.Tensor // cached input
+	x   *tensor.Tensor // cached input
+	out ring2
+	dx  *tensor.Tensor
 }
 
 // NewDense builds a dense layer with He-normal weights and zero biases.
@@ -33,8 +38,9 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panicShape("Dense.Forward", x, d.In)
 	}
 	d.x = x
-	y := tensor.MatMul(x, d.W.Value)
-	n := y.Rows()
+	n := x.Rows()
+	y := d.out.next(n, d.Out)
+	tensor.MatMulInto(y, x, d.W.Value)
 	b := d.B.Value.Data
 	for i := 0; i < n; i++ {
 		row := y.Row(i)
@@ -45,18 +51,13 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
-// Backward accumulates dW = xᵀ·dy, db = Σ_rows dy and returns dx = dy·Wᵀ.
+// Backward accumulates dW += xᵀ·dy, db += Σ_rows dy and returns dx = dy·Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dW := tensor.MatMulATB(d.x, grad)
-	d.W.Grad.AddInPlace(dW)
-	db := d.B.Grad.Data
-	for i := 0; i < grad.Rows(); i++ {
-		row := grad.Row(i)
-		for j, v := range row {
-			db[j] += v
-		}
-	}
-	return tensor.MatMulABT(grad, d.W.Value)
+	tensor.MatMulATBAcc(d.W.Grad, d.x, grad)
+	tensor.ColSumsAcc(d.B.Grad, grad)
+	d.dx = tensor.Ensure(d.dx, grad.Rows(), d.In)
+	tensor.MatMulABTInto(d.dx, grad, d.W.Value)
+	return d.dx
 }
 
 // Params returns the weight and bias parameters.

@@ -8,6 +8,13 @@
 // Layers are stateful: Forward caches whatever Backward needs, so a layer
 // instance must not be shared between concurrently training models. Every
 // client in the federated simulation owns its own model instance.
+//
+// Activation aliasing contract: layers own their output buffers and reuse
+// them across iterations (double-buffered), so steady-state training
+// performs no heap allocations. A tensor returned by Forward or Backward
+// stays valid until the same layer's corresponding method runs twice more;
+// callers that retain activations longer (for example to compare outputs
+// across several passes) must Clone them.
 package nn
 
 import (
@@ -17,6 +24,41 @@ import (
 
 	"repro/internal/tensor"
 )
+
+// ring2 double-buffers a layer's output so its two most recent activations
+// stay valid (see the package comment). next returns a buffer of the given
+// shape with unspecified contents; the layer must overwrite every element.
+type ring2 struct {
+	bufs [2]*tensor.Tensor
+	idx  int
+}
+
+func (r *ring2) next(shape ...int) *tensor.Tensor {
+	r.idx ^= 1
+	t := tensor.Ensure(r.bufs[r.idx], shape...)
+	r.bufs[r.idx] = t
+	return t
+}
+
+// viewRing2 double-buffers reshaped views: tensor headers sharing another
+// tensor's storage, used by shape-only layers to avoid per-call header
+// allocations.
+type viewRing2 struct {
+	views [2]*tensor.Tensor
+	idx   int
+}
+
+func (r *viewRing2) next(data []float64, shape ...int) *tensor.Tensor {
+	r.idx ^= 1
+	v := r.views[r.idx]
+	if v == nil {
+		v = &tensor.Tensor{}
+		r.views[r.idx] = v
+	}
+	v.Data = data
+	v.Shape = append(v.Shape[:0], shape...)
+	return v
+}
 
 // Param is a trainable parameter with its accumulated gradient.
 type Param struct {

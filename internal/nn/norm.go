@@ -19,11 +19,13 @@ type BatchNorm2D struct {
 	RunningMean []float64
 	RunningVar  []float64
 
-	// caches for backward
+	// caches for backward (reused across iterations)
 	xhat           *tensor.Tensor
 	invStd         []float64
 	inShape        []int
 	usedBatchStats bool
+	out            ring2
+	dx             *tensor.Tensor
 }
 
 // NewBatchNorm2D builds a batch-norm layer for c channels.
@@ -51,11 +53,14 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: BatchNorm2D input shape %v, want [N,%d,H,W]", x.Shape, bn.C))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	bn.inShape = []int{n, c, h, w}
+	bn.inShape = append(bn.inShape[:0], n, c, h, w)
 	m := float64(n * h * w)
-	out := tensor.New(n, c, h, w)
-	bn.xhat = tensor.New(n, c, h, w)
-	bn.invStd = make([]float64, c)
+	out := bn.out.next(n, c, h, w)
+	bn.xhat = tensor.Ensure(bn.xhat, n, c, h, w)
+	if cap(bn.invStd) < c {
+		bn.invStd = make([]float64, c)
+	}
+	bn.invStd = bn.invStd[:c]
 	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
 	bn.usedBatchStats = train
 	for ch := 0; ch < c; ch++ {
@@ -105,7 +110,8 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3]
 	m := float64(n * h * w)
-	dx := tensor.New(n, c, h, w)
+	bn.dx = tensor.Ensure(bn.dx, n, c, h, w)
+	dx := bn.dx
 	gamma := bn.Gamma.Value.Data
 	dGamma, dBeta := bn.Gamma.Grad.Data, bn.Beta.Grad.Data
 	for ch := 0; ch < c; ch++ {
@@ -162,6 +168,8 @@ type BatchNorm1D struct {
 	xhat           *tensor.Tensor
 	invStd         []float64
 	usedBatchStats bool
+	out            ring2
+	dx             *tensor.Tensor
 }
 
 // NewBatchNorm1D builds a batch-norm layer for d features.
@@ -190,9 +198,12 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n := x.Rows()
 	m := float64(n)
-	out := tensor.New(n, bn.D)
-	bn.xhat = tensor.New(n, bn.D)
-	bn.invStd = make([]float64, bn.D)
+	out := bn.out.next(n, bn.D)
+	bn.xhat = tensor.Ensure(bn.xhat, n, bn.D)
+	if cap(bn.invStd) < bn.D {
+		bn.invStd = make([]float64, bn.D)
+	}
+	bn.invStd = bn.invStd[:bn.D]
 	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
 	bn.usedBatchStats = train && n > 1
 	for j := 0; j < bn.D; j++ {
@@ -230,7 +241,8 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (bn *BatchNorm1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Rows()
 	m := float64(n)
-	dx := tensor.New(n, bn.D)
+	bn.dx = tensor.Ensure(bn.dx, n, bn.D)
+	dx := bn.dx
 	gamma := bn.Gamma.Value.Data
 	dGamma, dBeta := bn.Gamma.Grad.Data, bn.Beta.Grad.Data
 	for j := 0; j < bn.D; j++ {

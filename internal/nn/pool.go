@@ -12,6 +12,8 @@ type MaxPool2D struct {
 	inShape    []int
 	outH, outW int
 	argmax     []int // flat index into the input for every output element
+	out        ring2
+	dx         *tensor.Tensor
 }
 
 // NewMaxPool2D builds a pooling layer with square kernel k and the given
@@ -24,14 +26,17 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MaxPool2D.Forward input shape %v, want rank 4", x.Shape))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	m.inShape = []int{n, c, h, w}
+	m.inShape = append(m.inShape[:0], n, c, h, w)
 	m.outH = (h-m.K)/m.Stride + 1
 	m.outW = (w-m.K)/m.Stride + 1
 	if m.outH <= 0 || m.outW <= 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D output not positive for input %dx%d kernel %d", h, w, m.K))
 	}
-	out := tensor.New(n, c, m.outH, m.outW)
-	m.argmax = make([]int, len(out.Data))
+	out := m.out.next(n, c, m.outH, m.outW)
+	if cap(m.argmax) < len(out.Data) {
+		m.argmax = make([]int, len(out.Data))
+	}
+	m.argmax = m.argmax[:len(out.Data)]
 	parallelFor(n, func(i int) {
 		for ch := 0; ch < c; ch++ {
 			inBase := (i*c + ch) * h * w
@@ -62,11 +67,12 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes each output gradient to its argmax input position.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.inShape...)
+	m.dx = tensor.Ensure(m.dx, m.inShape...)
+	m.dx.Zero()
 	for o, idx := range m.argmax {
-		dx.Data[idx] += grad.Data[o]
+		m.dx.Data[idx] += grad.Data[o]
 	}
-	return dx
+	return m.dx
 }
 
 // Params returns nil; pooling has no parameters.
@@ -76,6 +82,8 @@ func (m *MaxPool2D) Params() []*Param { return nil }
 // to [N, C]. It is the standard head before the final FC layers.
 type GlobalAvgPool struct {
 	inShape []int
+	out     ring2
+	dx      *tensor.Tensor
 }
 
 // NewGlobalAvgPool builds the layer.
@@ -87,8 +95,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: GlobalAvgPool input shape %v, want rank 4", x.Shape))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	g.inShape = []int{n, c, h, w}
-	out := tensor.New(n, c)
+	g.inShape = append(g.inShape[:0], n, c, h, w)
+	out := g.out.next(n, c)
 	area := float64(h * w)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -106,7 +114,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward spreads each channel gradient uniformly over its spatial map.
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	dx := tensor.New(n, c, h, w)
+	g.dx = tensor.Ensure(g.dx, n, c, h, w)
+	dx := g.dx
 	inv := 1.0 / float64(h*w)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -124,9 +133,13 @@ func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (g *GlobalAvgPool) Params() []*Param { return nil }
 
 // Flatten reshapes [N, ...] activations to [N, rest], remembering the input
-// shape so Backward can restore it.
+// shape so Backward can restore it. Both directions return cached view
+// headers over the argument's storage, so no data moves and nothing is
+// allocated.
 type Flatten struct {
 	inShape []int
+	fwd     viewRing2
+	bwd     viewRing2
 }
 
 // NewFlatten builds the layer.
@@ -134,17 +147,17 @@ func NewFlatten() *Flatten { return &Flatten{} }
 
 // Forward flattens all trailing dimensions.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append([]int(nil), x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...)
 	rest := 1
 	for _, d := range x.Shape[1:] {
 		rest *= d
 	}
-	return x.Reshape(x.Dim(0), rest)
+	return f.fwd.next(x.Data, x.Dim(0), rest)
 }
 
 // Backward restores the original shape.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	return f.bwd.next(grad.Data, f.inShape...)
 }
 
 // Params returns nil; flattening has no parameters.

@@ -12,6 +12,9 @@ import (
 type Residual struct {
 	Body *Sequential
 	Skip *Sequential // nil means identity
+
+	out ring2
+	dx  *tensor.Tensor
 }
 
 // NewResidual builds a residual block. Pass skip == nil for an identity
@@ -32,18 +35,23 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(main.Data) != len(short.Data) {
 		panic(fmt.Sprintf("nn: Residual shape mismatch body %v vs skip %v", main.Shape, short.Shape))
 	}
-	return tensor.Add(main, short)
+	out := r.out.next(main.Shape...)
+	tensor.AddInto(out, main, short)
+	return out
 }
 
 // Backward propagates the gradient through both paths and sums the input
 // gradients.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dMain := r.Body.Backward(grad)
+	r.dx = tensor.Ensure(r.dx, dMain.Shape...)
 	if r.Skip != nil {
 		dSkip := r.Skip.Backward(grad)
-		return tensor.Add(dMain, dSkip)
+		tensor.AddInto(r.dx, dMain, dSkip)
+	} else {
+		tensor.AddInto(r.dx, dMain, grad)
 	}
-	return tensor.Add(dMain, grad)
+	return r.dx
 }
 
 // Params returns the parameters of both paths.
@@ -64,6 +72,9 @@ type Inception struct {
 	branchC []int
 	outH    int
 	outW    int
+	outs    []*tensor.Tensor
+	out     ring2
+	gb      *tensor.Tensor
 }
 
 // NewInception builds the block from its branches.
@@ -71,8 +82,11 @@ func NewInception(branches ...*Sequential) *Inception { return &Inception{Branch
 
 // Forward concatenates branch outputs channel-wise.
 func (in *Inception) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	outs := make([]*tensor.Tensor, len(in.Branches))
-	in.branchC = make([]int, len(in.Branches))
+	if len(in.outs) != len(in.Branches) {
+		in.outs = make([]*tensor.Tensor, len(in.Branches))
+		in.branchC = make([]int, len(in.Branches))
+	}
+	outs := in.outs
 	totalC := 0
 	n := x.Dim(0)
 	for b, br := range in.Branches {
@@ -89,7 +103,7 @@ func (in *Inception) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		in.branchC[b] = o.Dim(1)
 		totalC += o.Dim(1)
 	}
-	out := tensor.New(n, totalC, in.outH, in.outW)
+	out := in.out.next(n, totalC, in.outH, in.outW)
 	spatial := in.outH * in.outW
 	for i := 0; i < n; i++ {
 		chOff := 0
@@ -114,7 +128,8 @@ func (in *Inception) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	chOff := 0
 	for b, br := range in.Branches {
 		cb := in.branchC[b]
-		gb := tensor.New(n, cb, in.outH, in.outW)
+		in.gb = tensor.Ensure(in.gb, n, cb, in.outH, in.outW)
+		gb := in.gb
 		for i := 0; i < n; i++ {
 			src := grad.Data[(i*totalC+chOff)*spatial : (i*totalC+chOff+cb)*spatial]
 			dst := gb.Data[i*cb*spatial : (i+1)*cb*spatial]
@@ -146,6 +161,8 @@ func (in *Inception) Params() []*Param {
 type ChannelShuffle struct {
 	Groups  int
 	inShape []int
+	out     ring2
+	dx      *tensor.Tensor
 }
 
 // NewChannelShuffle builds the layer.
@@ -168,7 +185,13 @@ func (cs *ChannelShuffle) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (cs *ChannelShuffle) permute(x *tensor.Tensor, inverse bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	perGroup := c / cs.Groups
-	out := tensor.New(n, c, h, w)
+	var out *tensor.Tensor
+	if inverse {
+		cs.dx = tensor.Ensure(cs.dx, n, c, h, w)
+		out = cs.dx
+	} else {
+		out = cs.out.next(n, c, h, w)
+	}
 	spatial := h * w
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {

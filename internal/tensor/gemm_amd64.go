@@ -1,0 +1,266 @@
+//go:build amd64
+
+package tensor
+
+// Implemented in gemm_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func fmaMicro4x8(c *float64, ldc int, a *float64, aRow, aStep int, bp *float64, pk int, load int)
+
+// useFMA reports whether the AVX2+FMA micro-kernel may be used: the CPU must
+// expose AVX, AVX2, FMA3 and OSXSAVE, and the OS must have enabled XMM/YMM
+// state saving.
+var useFMA = detectFMA()
+
+func detectFMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fmaRowTail handles the < 4 leftover rows of a tile sweep in Go, streaming
+// the same 8-wide packed panel. c is the jw-element output row; a[t·aStep]
+// walks the reduction dimension.
+func fmaRowTail(c []float64, jw int, a []float64, aStep, pk int, bp []float64, load bool) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 float64
+	if load {
+		c0 = c[0]
+		if jw > 1 {
+			c1 = c[1]
+		}
+		if jw > 2 {
+			c2 = c[2]
+		}
+		if jw > 3 {
+			c3 = c[3]
+		}
+		if jw > 4 {
+			c4 = c[4]
+		}
+		if jw > 5 {
+			c5 = c[5]
+		}
+		if jw > 6 {
+			c6 = c[6]
+		}
+		if jw > 7 {
+			c7 = c[7]
+		}
+	}
+	for t := 0; t < pk; t++ {
+		av := a[t*aStep]
+		bq := bp[fmaNR*t : fmaNR*t+fmaNR : fmaNR*t+fmaNR]
+		c0 += av * bq[0]
+		c1 += av * bq[1]
+		c2 += av * bq[2]
+		c3 += av * bq[3]
+		c4 += av * bq[4]
+		c5 += av * bq[5]
+		c6 += av * bq[6]
+		c7 += av * bq[7]
+	}
+	c[0] = c0
+	if jw > 1 {
+		c[1] = c1
+	}
+	if jw > 2 {
+		c[2] = c2
+	}
+	if jw > 3 {
+		c[3] = c3
+	}
+	if jw > 4 {
+		c[4] = c4
+	}
+	if jw > 5 {
+		c[5] = c5
+	}
+	if jw > 6 {
+		c[6] = c6
+	}
+	if jw > 7 {
+		c[7] = c7
+	}
+}
+
+// fmaPartialTile runs the micro-kernel for a j-tile narrower than fmaNR by
+// staging the 4×jw C block in a dense 4×8 scratch.
+func fmaPartialTile(out []float64, base, n, jw int, aPtr *float64, aRowB, aStepB int, bp *float64, pk int, load bool) {
+	var cbuf [4 * fmaNR]float64
+	if load {
+		for r := 0; r < 4; r++ {
+			copy(cbuf[r*fmaNR:r*fmaNR+jw], out[base+r*n:base+r*n+jw])
+		}
+	}
+	fmaMicro4x8(&cbuf[0], fmaNR*8, aPtr, aRowB, aStepB, bp, pk, b2i(load))
+	for r := 0; r < 4; r++ {
+		copy(out[base+r*n:base+r*n+jw], cbuf[r*fmaNR:r*fmaNR+jw])
+	}
+}
+
+// packPanelRows packs src[(r0+t)·ld + j0 : … + j0+jw] for t in [0,pk) into
+// an 8-wide zero-padded panel: panel[t·8+j] = src row r0+t, column j0+j.
+func packPanelRows(panel, src []float64, r0, ld, j0, jw, pk int) {
+	if jw == fmaNR {
+		for t := 0; t < pk; t++ {
+			row := src[(r0+t)*ld+j0 : (r0+t)*ld+j0+fmaNR]
+			q := panel[fmaNR*t : fmaNR*t+fmaNR : fmaNR*t+fmaNR]
+			q[0], q[1], q[2], q[3] = row[0], row[1], row[2], row[3]
+			q[4], q[5], q[6], q[7] = row[4], row[5], row[6], row[7]
+		}
+		return
+	}
+	for t := 0; t < pk; t++ {
+		row := src[(r0+t)*ld+j0 : (r0+t)*ld+j0+jw]
+		q := panel[fmaNR*t : fmaNR*t+fmaNR]
+		for j := 0; j < fmaNR; j++ {
+			if j < jw {
+				q[j] = row[j]
+			} else {
+				q[j] = 0
+			}
+		}
+	}
+}
+
+// packPanelCols transpose-packs src rows j0..j0+jw (each of length ≥ p0+pk)
+// into an 8-wide panel: panel[t·8+j] = src[(j0+j)·ld + p0+t]. Used for A·Bᵀ.
+func packPanelCols(panel, src []float64, j0, ld, p0, jw, pk int) {
+	for j := 0; j < fmaNR; j++ {
+		if j >= jw {
+			for t := 0; t < pk; t++ {
+				panel[fmaNR*t+j] = 0
+			}
+			continue
+		}
+		col := src[(j0+j)*ld+p0 : (j0+j)*ld+p0+pk]
+		for t, v := range col {
+			panel[fmaNR*t+j] = v
+		}
+	}
+}
+
+// gemmNNRangeFMA computes rows [lo,hi) of out = a·b with the AVX2 kernel.
+func gemmNNRangeFMA(out, a, b []float64, k, n, lo, hi int, acc bool) {
+	pp := panelScratch.Get().(*[]float64)
+	panel := (*pp)[:gemmKC*fmaNR]
+	for pc := 0; pc < k; pc += gemmKC {
+		pk := k - pc
+		if pk > gemmKC {
+			pk = gemmKC
+		}
+		load := acc || pc > 0
+		for j0 := 0; j0 < n; j0 += fmaNR {
+			jw := n - j0
+			if jw > fmaNR {
+				jw = fmaNR
+			}
+			packPanelRows(panel, b, pc, n, j0, jw, pk)
+			bp := &panel[0]
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				if jw == fmaNR {
+					fmaMicro4x8(&out[i*n+j0], n*8, &a[i*k+pc], k*8, 8, bp, pk, b2i(load))
+				} else {
+					fmaPartialTile(out, i*n+j0, n, jw, &a[i*k+pc], k*8, 8, bp, pk, load)
+				}
+			}
+			for ; i < hi; i++ {
+				fmaRowTail(out[i*n+j0:i*n+j0+jw], jw, a[i*k+pc:], 1, pk, panel, load)
+			}
+		}
+	}
+	panelScratch.Put(pp)
+}
+
+// gemmATRangeFMA computes output rows [plo,phi) of out = aᵀ·b with the AVX2
+// kernel; the reduction runs over a's m rows, blocked like the NN kernel's
+// k dimension.
+func gemmATRangeFMA(out, a, b []float64, m, k, n, plo, phi int, acc bool) {
+	pp := panelScratch.Get().(*[]float64)
+	panel := (*pp)[:gemmKC*fmaNR]
+	for ic := 0; ic < m; ic += gemmKC {
+		mk := m - ic
+		if mk > gemmKC {
+			mk = gemmKC
+		}
+		load := acc || ic > 0
+		for j0 := 0; j0 < n; j0 += fmaNR {
+			jw := n - j0
+			if jw > fmaNR {
+				jw = fmaNR
+			}
+			packPanelRows(panel, b, ic, n, j0, jw, mk)
+			bp := &panel[0]
+			p := plo
+			for ; p+4 <= phi; p += 4 {
+				if jw == fmaNR {
+					fmaMicro4x8(&out[p*n+j0], n*8, &a[ic*k+p], 8, k*8, bp, mk, b2i(load))
+				} else {
+					fmaPartialTile(out, p*n+j0, n, jw, &a[ic*k+p], 8, k*8, bp, mk, load)
+				}
+			}
+			for ; p < phi; p++ {
+				fmaRowTail(out[p*n+j0:p*n+j0+jw], jw, a[ic*k+p:], k, mk, panel, load)
+			}
+		}
+	}
+	panelScratch.Put(pp)
+}
+
+// gemmABTRangeFMA computes rows [ilo,ihi) of out = a·bᵀ with the AVX2
+// kernel, transpose-packing b panels.
+func gemmABTRangeFMA(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
+	pp := panelScratch.Get().(*[]float64)
+	panel := (*pp)[:gemmKC*fmaNR]
+	for pc := 0; pc < k; pc += gemmKC {
+		pk := k - pc
+		if pk > gemmKC {
+			pk = gemmKC
+		}
+		load := acc || pc > 0
+		for j0 := 0; j0 < n; j0 += fmaNR {
+			jw := n - j0
+			if jw > fmaNR {
+				jw = fmaNR
+			}
+			packPanelCols(panel, b, j0, k, pc, jw, pk)
+			bp := &panel[0]
+			i := ilo
+			for ; i+4 <= ihi; i += 4 {
+				if jw == fmaNR {
+					fmaMicro4x8(&out[i*n+j0], n*8, &a[i*k+pc], k*8, 8, bp, pk, b2i(load))
+				} else {
+					fmaPartialTile(out, i*n+j0, n, jw, &a[i*k+pc], k*8, 8, bp, pk, load)
+				}
+			}
+			for ; i < ihi; i++ {
+				fmaRowTail(out[i*n+j0:i*n+j0+jw], jw, a[i*k+pc:], 1, pk, panel, load)
+			}
+		}
+	}
+	panelScratch.Put(pp)
+}

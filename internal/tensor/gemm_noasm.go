@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the portable blocked kernels.
+const useFMA = false
+
+func gemmNNRangeFMA(out, a, b []float64, k, n, lo, hi int, acc bool) {
+	panic("tensor: FMA kernel unavailable")
+}
+
+func gemmATRangeFMA(out, a, b []float64, m, k, n, plo, phi int, acc bool) {
+	panic("tensor: FMA kernel unavailable")
+}
+
+func gemmABTRangeFMA(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
+	panic("tensor: FMA kernel unavailable")
+}

@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The package maintains one persistent, GOMAXPROCS-sized worker pool that
+// every parallel primitive (matmul row sharding, per-sample im2col loops,
+// client-level federated parallelism) dispatches onto. Spawning goroutines
+// per call is cheap in isolation but dominates the runtime of the many tiny
+// kernels a training step issues; a persistent pool makes dispatch a channel
+// send.
+//
+// Deadlock-freedom under nesting: a range is handed to the pool only after
+// taking a token, and there are exactly as many tokens as workers, so the
+// number of in-flight pool tasks never exceeds the worker count and every
+// dispatched task is guaranteed a worker. A task holds its token for its
+// whole run; when a nested Parallel* call finds no token free it simply runs
+// on the calling goroutine. The caller always executes one share of the work
+// itself, so the pool being saturated degrades to sequential execution
+// rather than blocking.
+var (
+	poolWorkers int
+	poolTasks   chan func()
+	poolTokens  chan struct{}
+)
+
+func init() {
+	poolWorkers = runtime.GOMAXPROCS(0)
+	if poolWorkers < 1 {
+		poolWorkers = 1
+	}
+	poolTasks = make(chan func(), poolWorkers)
+	poolTokens = make(chan struct{}, poolWorkers)
+	for i := 0; i < poolWorkers; i++ {
+		poolTokens <- struct{}{}
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+}
+
+// Workers reports the size of the persistent worker pool (GOMAXPROCS at
+// package initialization).
+func Workers() int { return poolWorkers }
+
+// ParallelSharded splits [0,n) into at most shards contiguous ranges and
+// calls f(shard, lo, hi) once per non-empty range. Each range is processed
+// by exactly one goroutine, so shard-indexed accumulators need no locking;
+// shard is always < min(shards, n). The calling goroutine executes shard 0
+// and any range the pool cannot absorb immediately.
+func ParallelSharded(n, shards int, f func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 || poolWorkers == 1 {
+		f(0, 0, n)
+		return
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	shard := 0
+	for lo := chunk; lo < n; lo += chunk {
+		shard++
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		select {
+		case <-poolTokens:
+			wg.Add(1)
+			s, l, h := shard, lo, hi
+			poolTasks <- func() {
+				f(s, l, h)
+				poolTokens <- struct{}{}
+				wg.Done()
+			}
+		default:
+			f(shard, lo, hi)
+		}
+	}
+	f(0, 0, chunk)
+	wg.Wait()
+}
+
+// Parallel runs f(i) for i in [0,n) with dynamic load balancing: the caller
+// and up to Workers()-1 pool workers pull indices from a shared atomic
+// counter. Use it when iterations have uneven cost (for example federated
+// clients with different model sizes); use ParallelSharded when per-shard
+// state is needed.
+func Parallel(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || poolWorkers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			f(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := poolWorkers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for h := 0; h < helpers; h++ {
+		ok := false
+		select {
+		case <-poolTokens:
+			ok = true
+		default:
+		}
+		if !ok {
+			break
+		}
+		wg.Add(1)
+		poolTasks <- func() {
+			run()
+			poolTokens <- struct{}{}
+			wg.Done()
+		}
+	}
+	run()
+	wg.Wait()
+}

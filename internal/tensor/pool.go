@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool is a size-bucketed free list of tensors. Buffers are grouped by the
+// power-of-two ceiling of their element count, so a Get for any shape is
+// served by any previously Put tensor of the same bucket. Steady-state
+// training that Gets and Puts its scratch tensors performs no heap
+// allocations. A Pool is safe for concurrent use.
+type Pool struct {
+	buckets [poolBuckets]poolBucket
+}
+
+type poolBucket struct {
+	mu   sync.Mutex
+	free []*Tensor
+}
+
+// poolBuckets covers element counts up to 2^47; tensors beyond that are
+// allocated directly and never pooled.
+const poolBuckets = 48
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// bucketIndex returns the bucket holding buffers of capacity 2^b >= n.
+func bucketIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zero-filled tensor of the given shape, reusing a pooled
+// buffer when one is available.
+func (p *Pool) Get(shape ...int) *Tensor {
+	t := p.getRaw(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// getRaw is Get without the zero fill, for callers that overwrite every
+// element anyway (for example packed GEMM panels).
+func (p *Pool) getRaw(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n <= 0 {
+		return New(shape...)
+	}
+	b := bucketIndex(n)
+	if b >= poolBuckets {
+		return New(shape...)
+	}
+	bk := &p.buckets[b]
+	bk.mu.Lock()
+	var t *Tensor
+	if l := len(bk.free); l > 0 {
+		t = bk.free[l-1]
+		bk.free[l-1] = nil
+		bk.free = bk.free[:l-1]
+	}
+	bk.mu.Unlock()
+	if t == nil {
+		t = &Tensor{Data: make([]float64, 1<<b)}
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// Put returns a tensor's storage to the pool. The caller must not use t (or
+// any view sharing its data) afterwards. Tensors whose capacity is not a
+// pooled size (for example views built with FromSlice) are dropped.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || cap(t.Data) == 0 {
+		return
+	}
+	c := cap(t.Data)
+	if c&(c-1) != 0 {
+		return
+	}
+	b := bucketIndex(c)
+	if b >= poolBuckets {
+		return
+	}
+	t.Data = t.Data[:0]
+	bk := &p.buckets[b]
+	bk.mu.Lock()
+	bk.free = append(bk.free, t)
+	bk.mu.Unlock()
+}
+
+// defaultPool serves the package-level GetTensor/PutTensor helpers used by
+// the training-step and loss code for batch-lifetime scratch (input stacks,
+// feature-gradient accumulators, the O(batch²) contrastive intermediates).
+var defaultPool = NewPool()
+
+// GetTensor returns a zeroed tensor of the given shape from the default
+// pool.
+func GetTensor(shape ...int) *Tensor { return defaultPool.Get(shape...) }
+
+// PutTensor returns a tensor obtained from GetTensor to the default pool.
+func PutTensor(t *Tensor) { defaultPool.Put(t) }
+
+// Ensure returns a tensor of the given shape, reusing t's storage when its
+// capacity suffices and allocating otherwise. The contents are unspecified;
+// callers must overwrite every element. It is the building block for layers
+// that keep their activation and gradient buffers across iterations.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("tensor: Ensure with negative dimension")
+		}
+		n *= s
+	}
+	if t == nil || cap(t.Data) < n {
+		return New(shape...)
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}

@@ -1,0 +1,233 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPoolGetPutReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 8)
+	if a.Size() != 32 || a.Dim(0) != 4 || a.Dim(1) != 8 {
+		t.Fatalf("Get shape wrong: %v", a.Shape)
+	}
+	a.Fill(7)
+	p.Put(a)
+	b := p.Get(5, 6) // same bucket (2^5 = 32), smaller size
+	if b.Size() != 30 {
+		t.Fatalf("reused tensor has size %d", b.Size())
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("pooled Get not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPoolRejectsViews(t *testing.T) {
+	p := NewPool()
+	backing := make([]float64, 30) // not a power of two
+	v := FromSlice(backing[:6], 2, 3)
+	p.Put(v) // must not panic, and must not corrupt future Gets
+	g := p.Get(2, 3)
+	if g.Size() != 6 {
+		t.Fatalf("Get after rejected Put: %v", g.Shape)
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	p := NewPool()
+	p.Put(p.Get(16, 16))
+	avg := testing.AllocsPerRun(100, func() {
+		x := p.Get(16, 16)
+		p.Put(x)
+	})
+	if avg > 0 {
+		t.Fatalf("pooled Get/Put allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestEnsureReusesCapacity(t *testing.T) {
+	x := Ensure(nil, 4, 4)
+	x.Fill(3)
+	y := Ensure(x, 2, 5)
+	if y != x {
+		t.Fatal("Ensure should reuse storage when capacity suffices")
+	}
+	if y.Dim(0) != 2 || y.Dim(1) != 5 || y.Size() != 10 {
+		t.Fatalf("Ensure shape wrong: %v", y.Shape)
+	}
+	z := Ensure(y, 8, 8)
+	if z == y {
+		t.Fatal("Ensure must reallocate when capacity is too small")
+	}
+}
+
+func TestMatMulIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(32, 32)
+	b := New(32, 32)
+	out := New(32, 32)
+	a.FillRandn(rng, 1)
+	b.FillRandn(rng, 1)
+	MatMulInto(out, a, b)
+	avg := testing.AllocsPerRun(100, func() {
+		MatMulInto(out, a, b)
+	})
+	// A packed-panel scratch may be revived once after a GC cycle; anything
+	// more means the kernel regressed to allocating.
+	if avg > 1 {
+		t.Fatalf("MatMulInto allocates %.1f objects/op in steady state, want ~0", avg)
+	}
+}
+
+func TestIntoAccKernelsMatchAllocatingKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {8, 9, 11}, {13, 16, 8}, {33, 65, 17}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := New(m, k) // left operand of a·b and a·bᵀ
+		b := New(k, n)
+		a.FillRandn(rng, 1)
+		b.FillRandn(rng, 1)
+		want := MatMul(a, b)
+		out := New(m, n)
+		out.Fill(3)
+		MatMulInto(out, a, b)
+		if !ApproxEqual(out, want, 1e-12) {
+			t.Fatalf("MatMulInto mismatch at %v", sh)
+		}
+
+		// aᵀ·b takes both operands with m rows.
+		a2 := New(m, k)
+		b2 := New(m, n)
+		a2.FillRandn(rng, 1)
+		b2.FillRandn(rng, 1)
+		wantATB := MatMul(Transpose(a2), b2)
+		gotATB := MatMulATB(a2, b2)
+		if !ApproxEqual(gotATB, wantATB, 1e-9) {
+			t.Fatalf("MatMulATB mismatch at %v", sh)
+		}
+		outATB := New(k, n)
+		outATB.Fill(-2)
+		MatMulATBInto(outATB, a2, b2)
+		if !ApproxEqual(outATB, wantATB, 1e-9) {
+			t.Fatalf("MatMulATBInto mismatch at %v", sh)
+		}
+		accATB := wantATB.Clone()
+		MatMulATBAcc(accATB, a2, b2)
+		if !ApproxEqual(accATB, Scale(wantATB, 2), 1e-9) {
+			t.Fatalf("MatMulATBAcc mismatch at %v", sh)
+		}
+
+		// a·bᵀ takes b with n rows of length k.
+		b3 := New(n, k)
+		b3.FillRandn(rng, 1)
+		wantABT := MatMul(a, Transpose(b3))
+		gotABT := MatMulABT(a, b3)
+		if !ApproxEqual(gotABT, wantABT, 1e-9) {
+			t.Fatalf("MatMulABT mismatch at %v", sh)
+		}
+		outABT := New(m, n)
+		outABT.Fill(9)
+		MatMulABTInto(outABT, a, b3)
+		if !ApproxEqual(outABT, wantABT, 1e-9) {
+			t.Fatalf("MatMulABTInto mismatch at %v", sh)
+		}
+		accABT := wantABT.Clone()
+		MatMulABTAcc(accABT, a, b3)
+		if !ApproxEqual(accABT, Scale(wantABT, 2), 1e-9) {
+			t.Fatalf("MatMulABTAcc mismatch at %v", sh)
+		}
+	}
+}
+
+func TestElementwiseInto(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	dst := New(2, 2)
+	AddInto(dst, a, b)
+	if !ApproxEqual(dst, FromSlice([]float64{6, 8, 10, 12}, 2, 2), 0) {
+		t.Fatalf("AddInto wrong: %v", dst.Data)
+	}
+	SubInto(dst, a, b)
+	if !ApproxEqual(dst, FromSlice([]float64{-4, -4, -4, -4}, 2, 2), 0) {
+		t.Fatalf("SubInto wrong: %v", dst.Data)
+	}
+	MulInto(dst, a, b)
+	if !ApproxEqual(dst, FromSlice([]float64{5, 12, 21, 32}, 2, 2), 0) {
+		t.Fatalf("MulInto wrong: %v", dst.Data)
+	}
+	ScaleInto(dst, a, -2)
+	if !ApproxEqual(dst, FromSlice([]float64{-2, -4, -6, -8}, 2, 2), 0) {
+		t.Fatalf("ScaleInto wrong: %v", dst.Data)
+	}
+	sums := New(2)
+	sums.Fill(1)
+	ColSumsAcc(sums, a)
+	if sums.Data[0] != 1+1+3 || sums.Data[1] != 1+2+4 {
+		t.Fatalf("ColSumsAcc wrong: %v", sums.Data)
+	}
+	cp := New(2, 2)
+	cp.CopyFrom(b)
+	if !ApproxEqual(cp, b, 0) {
+		t.Fatal("CopyFrom wrong")
+	}
+}
+
+func TestParallelShardedCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		var mu sync.Mutex
+		seen := make([]int, n)
+		ParallelSharded(n, 8, func(shard, lo, hi int) {
+			if shard < 0 || shard >= 8 {
+				t.Errorf("shard %d out of range", shard)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		counts := make([]int32, n)
+		var mu sync.Mutex
+		Parallel(n, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelNested(t *testing.T) {
+	// Nested use must neither deadlock nor drop indices, regardless of pool
+	// saturation.
+	total := 0
+	var mu sync.Mutex
+	Parallel(8, func(i int) {
+		ParallelSharded(16, 4, func(_, lo, hi int) {
+			mu.Lock()
+			total += hi - lo
+			mu.Unlock()
+		})
+	})
+	if total != 8*16 {
+		t.Fatalf("nested parallel covered %d of %d", total, 8*16)
+	}
+}

@@ -23,7 +23,9 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", s, shape))
+			// A plain panic string keeps the shape slice from escaping, so
+			// callers passing literal dimensions stay allocation-free.
+			panic("tensor: negative dimension in shape")
 		}
 		n *= s
 	}
@@ -161,6 +163,74 @@ func (t *Tensor) MulInPlace(o *Tensor) {
 	}
 	for i, v := range o.Data {
 		t.Data[i] *= v
+	}
+}
+
+// CopyFrom overwrites t's elements with o's (sizes must match).
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, o.Data)
+}
+
+// AddInto computes dst = a + b elementwise without allocating.
+func AddInto(dst, a, b *Tensor) {
+	if len(dst.Data) != len(a.Data) || len(a.Data) != len(b.Data) {
+		panic("tensor: AddInto size mismatch")
+	}
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v + bd[i]
+	}
+}
+
+// SubInto computes dst = a - b elementwise without allocating.
+func SubInto(dst, a, b *Tensor) {
+	if len(dst.Data) != len(a.Data) || len(a.Data) != len(b.Data) {
+		panic("tensor: SubInto size mismatch")
+	}
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v - bd[i]
+	}
+}
+
+// MulInto computes dst = a ⊙ b (Hadamard product) without allocating.
+func MulInto(dst, a, b *Tensor) {
+	if len(dst.Data) != len(a.Data) || len(a.Data) != len(b.Data) {
+		panic("tensor: MulInto size mismatch")
+	}
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v * bd[i]
+	}
+}
+
+// ScaleInto computes dst = s·a elementwise without allocating.
+func ScaleInto(dst, a *Tensor, s float64) {
+	if len(dst.Data) != len(a.Data) {
+		panic("tensor: ScaleInto size mismatch")
+	}
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
+}
+
+// ColSumsAcc accumulates the column sums of a rank-2 tensor into dst:
+// dst[j] += Σ_i t[i,j]. dst must have t.Cols() elements. It is the bias-
+// gradient reduction of the dense and convolution layers.
+func ColSumsAcc(dst *Tensor, t *Tensor) {
+	c := t.Shape[1]
+	if len(dst.Data) != c {
+		panic("tensor: ColSumsAcc size mismatch")
+	}
+	dd := dst.Data
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			dd[j] += v
+		}
 	}
 }
 
