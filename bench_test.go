@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fl"
@@ -37,6 +38,58 @@ func runMethod(b *testing.B, method string, fleetKind string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run(method, experiments.Fashion, factory, s, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runThroughput measures committed rounds per unit of virtual cluster time
+// for one scheduler over a homogeneous fleet with a 2×-slow straggler; the
+// rounds/vtime metric is what the sync-vs-async comparison reads.
+func runThroughput(b *testing.B, kind fl.SchedulerKind) {
+	b.Helper()
+	s := benchScale()
+	s.Rounds = 6
+	factory, _ := experiments.NewHomogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	sched := fl.SchedulerConfig{
+		Kind:  kind,
+		Decay: 0.5,
+		Costs: experiments.StragglerCosts(s.Clients, 1, 2),
+	}
+	var simTime float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist, err := experiments.RunScheduled(experiments.MethodFedAvg, experiments.Fashion, factory, s, 1.0, sched, comm.F64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simTime = hist[len(hist)-1].SimTime
+	}
+	if simTime > 0 {
+		b.ReportMetric(float64(s.Rounds)/simTime, "rounds/vtime")
+	}
+}
+
+// --- Scheduler round throughput under straggler heterogeneity ---
+
+func BenchmarkRoundThroughputSync(b *testing.B)  { runThroughput(b, fl.SchedSync) }
+func BenchmarkRoundThroughputAsync(b *testing.B) { runThroughput(b, fl.SchedAsyncBounded) }
+func BenchmarkRoundThroughputSemiSync(b *testing.B) {
+	runThroughput(b, fl.SchedSemiSync)
+}
+
+// --- Quantized codec hot path ---
+
+func BenchmarkQuantizedMarshalI8(b *testing.B) {
+	payload := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range payload {
+		payload[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := comm.MarshalAs(comm.I8, 1, payload)
+		if _, _, _, err := comm.Decode(frame); err != nil {
 			b.Fatal(err)
 		}
 	}

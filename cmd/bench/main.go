@@ -30,6 +30,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric values (for example the scheduler
+	// benchmarks' "rounds/vtime" virtual round throughput).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup compares a benchmark against the baseline file.
@@ -52,14 +55,18 @@ type File struct {
 	Speedups   map[string]Speedup `json:"speedups,omitempty"`
 }
 
-// benchLine matches `BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op`
-// (the -8 suffix and the memory columns are optional).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
-var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
+// benchLine matches the prefix of a benchmark result line,
+// `BenchmarkName-8  100  12345 ns/op  ...` (the -8 suffix is optional);
+// metricPair then picks up every trailing `value unit` column — B/op,
+// allocs/op and any custom b.ReportMetric units.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	metricPair = regexp.MustCompile(`([\d.]+) (\S+)`)
+	cpuLine    = regexp.MustCompile(`^cpu: (.+)$`)
+)
 
 func main() {
-	bench := flag.String("bench", "MatMul64|ConvForward|ClientLocalEpoch|ClassifierAveraging", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "MatMul64|ConvForward|ClientLocalEpoch|ClassifierAveraging|RoundThroughput|QuantizedMarshal", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
@@ -114,6 +121,9 @@ func main() {
 		if s, ok := f.Speedups[r.Name]; ok {
 			line += fmt.Sprintf("   %.2fx ns, %.2fx allocs vs baseline", s.NsRatio, s.AllocsRatio)
 		}
+		for unit, v := range r.Extra {
+			line += fmt.Sprintf("   %.2f %s", v, unit)
+		}
 		fmt.Println(line)
 	}
 }
@@ -144,20 +154,25 @@ func parseBenchOutput(raw string) ([]Result, string) {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		var bytes, allocs int64
-		if m[4] != "" {
-			bytes, _ = strconv.ParseInt(m[4], 10, 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[pair[2]] = v
+			}
 		}
-		if m[5] != "" {
-			allocs, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		results = append(results, Result{
-			Name:        m[1],
-			Iterations:  iters,
-			NsPerOp:     ns,
-			BytesPerOp:  bytes,
-			AllocsPerOp: allocs,
-		})
+		results = append(results, r)
 	}
 	return results, cpu
 }

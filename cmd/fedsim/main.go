@@ -1,12 +1,15 @@
 // Command fedsim runs one federated-learning experiment from the command
-// line: pick a dataset stand-in, a partition, a fleet kind and a method, and
-// it prints the learning curve and final personalized accuracy.
+// line: pick a dataset stand-in, a partition, a fleet kind, a method, a
+// scheduler and a wire codec, and it prints the learning curve and final
+// personalized accuracy.
 //
 // Examples:
 //
 //	fedsim -dataset fashion -partition dir -method Proposed
 //	fedsim -dataset cifar10 -partition skewed -method KT-pFL -clients 12 -rounds 60
 //	fedsim -dataset emnist -fleet homogeneous -method FedAvg
+//	fedsim -method Proposed -sched async -staleness 2 -decay 0.5 -stragglers 2 -slowdown 2
+//	fedsim -method FedAvg -fleet homogeneous -codec i8
 package main
 
 import (
@@ -14,21 +17,32 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/fl"
 )
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
-		partition = flag.String("partition", "dir", "partition: dir | skewed")
-		fleet     = flag.String("fleet", "heterogeneous", "fleet: heterogeneous | homogeneous | proto")
-		method    = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight | CA | CA+PR | CA+CL | CA+PR+CL")
-		clients   = flag.Int("clients", 0, "number of clients (0 = scale default)")
-		rounds    = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
-		rate      = flag.Float64("rate", 1.0, "client sampling rate per round")
-		seed      = flag.Int64("seed", 1, "experiment seed")
-		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
+		dataset    = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
+		partition  = flag.String("partition", "dir", "partition: dir | skewed")
+		fleet      = flag.String("fleet", "heterogeneous", "fleet: heterogeneous | homogeneous | proto")
+		method     = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight | CA | CA+PR | CA+CL | CA+PR+CL")
+		clients    = flag.Int("clients", 0, "number of clients (0 = scale default)")
+		rounds     = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
+		rate       = flag.Float64("rate", 1.0, "client sampling rate per round")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		featDim    = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
+		schedName  = flag.String("sched", "sync", "scheduler: sync | async | semisync")
+		staleness  = flag.Int("staleness", 0, "async: drop updates staler than this many commits (0 = default 8)")
+		decay      = flag.Float64("decay", 0, "staleness decay α in weight 1/(1+α·s) (0 = no decay)")
+		mix        = flag.Float64("mix", 0, "commit mixing λ into committed state (0 = 1, plain averaging)")
+		quorum     = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority)")
+		workers    = flag.Int("workers", 0, "virtual server nodes (0 = one per client)")
+		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8")
+		stragglers = flag.Int("stragglers", 0, "number of straggler clients")
+		slowdown   = flag.Float64("slowdown", 2, "virtual cost factor of straggler clients")
 	)
 	flag.Parse()
 
@@ -49,6 +63,27 @@ func main() {
 	if *partition == "skewed" {
 		kind = data.Skewed
 	}
+	schedKind, err := fl.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(2)
+	}
+	codec, err := comm.ParseCodec(*codecName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(2)
+	}
+	sched := fl.SchedulerConfig{
+		Kind:         schedKind,
+		MaxStaleness: *staleness,
+		Decay:        *decay,
+		MixRate:      *mix,
+		Quorum:       *quorum,
+		Workers:      *workers,
+	}
+	if *stragglers > 0 {
+		sched.Costs = experiments.StragglerCosts(s.Clients, *stragglers, *slowdown)
+	}
 
 	var factory experiments.ClientFactory
 	switch *fleet {
@@ -63,18 +98,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f)\n",
-		*method, name, kind, *fleet, s.Clients, s.Rounds, *rate)
-	hist, err := experiments.Run(*method, name, factory, s, *rate)
+	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s)\n",
+		*method, name, kind, *fleet, s.Clients, s.Rounds, *rate, schedKind, codec)
+	hist, err := experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("round,local_epochs,mean_acc,std_acc,up_bytes,down_bytes")
+	fmt.Println("round,local_epochs,mean_acc,std_acc,up_bytes,down_bytes,sim_time")
 	for _, m := range hist {
-		fmt.Printf("%d,%d,%.4f,%.4f,%d,%d\n",
-			m.Round, m.LocalEpochs, m.MeanAcc, m.StdAcc, m.UpBytes, m.DownBytes)
+		fmt.Printf("%d,%d,%.4f,%.4f,%d,%d,%.2f\n",
+			m.Round, m.LocalEpochs, m.MeanAcc, m.StdAcc, m.UpBytes, m.DownBytes, m.SimTime)
 	}
 	fin := experiments.Final(hist)
-	fmt.Printf("# final: %.4f ± %.4f\n", fin.MeanAcc, fin.StdAcc)
+	throughput := 0.0
+	if fin.SimTime > 0 {
+		throughput = float64(fin.Round) / fin.SimTime
+	}
+	fmt.Printf("# final: %.4f ± %.4f (%.2f rounds per virtual time unit)\n", fin.MeanAcc, fin.StdAcc, throughput)
 }

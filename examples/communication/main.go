@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fl"
@@ -50,5 +51,26 @@ func main() {
 	}
 	for _, r := range rows {
 		fmt.Printf("  %-28s %8d B/round  (%s)\n", r.Method, r.BytesPerRound, r.Detail)
+	}
+
+	// Quantized wire codecs: the same FedClassAvg classifier exchange under
+	// float64, float32 and int8 framing, measured from the live ledger.
+	fmt.Println("\nQuantized codecs (FedClassAvg uplink):")
+	var f64Up int64
+	for _, codec := range []comm.Codec{comm.F64, comm.F32, comm.I8} {
+		algo, err := experiments.NewAlgorithm(experiments.MethodProposed, name, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := fl.NewSimulation(het(), fl.Config{Rounds: s.Rounds, BatchSize: s.BatchSize, Seed: s.Seed + 7, Codec: codec})
+		if _, err := sim.Run(algo); err != nil {
+			log.Fatal(err)
+		}
+		up := sim.Ledger.TotalUp()
+		if codec == comm.F64 {
+			f64Up = up
+		}
+		fmt.Printf("  %-4s %8d B total up  (%.2fx smaller than f64)\n",
+			codec, up, float64(f64Up)/float64(up))
 	}
 }

@@ -23,6 +23,14 @@ type FedAvg struct {
 	Mu float64
 
 	global []float64
+
+	// Async-scheduler state: the sharded aggregation buffer, the commit
+	// mixing rate, and per-client broadcast snapshots (the proximal
+	// reference must be the weights the client actually downloaded, not
+	// whatever the server has mutated to since).
+	acc   *fl.ShardedAccumulator
+	mix   float64
+	snaps [][]float64
 }
 
 // NewFedAvg builds plain FedAvg.
@@ -67,6 +75,7 @@ func (f *FedAvg) Round(sim *fl.Simulation, round int, participants []int) error 
 		return nil
 	}
 	errs := make([]error, len(participants))
+	flats := make([][]float64, len(participants))
 	fl.ParallelClients(len(participants), func(idx int) {
 		c := sim.Clients[participants[idx]]
 		errs[idx] = nn.SetFlatParams(c.Model.Params(), f.global)
@@ -76,19 +85,68 @@ func (f *FedAvg) Round(sim *fl.Simulation, round int, participants []int) error 
 		sim.Ledger.RecordDown(c.ID, len(f.global))
 		for e := 0; e < f.LocalEpochs; e++ {
 			if f.Mu > 0 {
-				f.trainEpochProx(c, sim.Cfg.BatchSize)
+				f.trainEpochProx(c, sim.Cfg.BatchSize, f.global)
 			} else {
 				c.TrainEpochCE(sim.Cfg.BatchSize)
 			}
 		}
-		sim.Ledger.RecordUp(c.ID, nn.NumParams(c.Model.Params()))
+		flats[idx] = sim.Uplink(c.ID, nn.FlattenParams(c.Model.Params()))
 	})
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	f.global = weightedAverage(sim, participants, func(c *fl.Client) []*nn.Param { return c.Model.Params() })
+	f.global = weightedAverage(sim, participants, flats)
+	return nil
+}
+
+// AsyncSetup sizes the sharded aggregation state.
+func (f *FedAvg) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error {
+	f.acc = fl.NewSharded(len(f.global), sched.Shards)
+	f.mix = sched.MixRate
+	f.snaps = make([][]float64, len(sim.Clients))
+	return nil
+}
+
+// AsyncDispatch broadcasts the committed global model to one client and,
+// for FedProx, snapshots it as the proximal reference.
+func (f *FedAvg) AsyncDispatch(sim *fl.Simulation, client int) error {
+	c := sim.Clients[client]
+	if err := nn.SetFlatParams(c.Model.Params(), f.global); err != nil {
+		return err
+	}
+	sim.Ledger.RecordDown(c.ID, len(f.global))
+	if f.Mu > 0 {
+		f.snaps[client] = append(f.snaps[client][:0], f.global...)
+	}
+	return nil
+}
+
+// AsyncLocal trains the client against its dispatch snapshot and uploads
+// its full weights.
+func (f *FedAvg) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
+	c := sim.Clients[client]
+	for e := 0; e < f.LocalEpochs; e++ {
+		if f.Mu > 0 {
+			f.trainEpochProx(c, sim.Cfg.BatchSize, f.snaps[client])
+		} else {
+			c.TrainEpochCE(sim.Cfg.BatchSize)
+		}
+	}
+	flat := sim.Quantize(nn.FlattenParams(c.Model.Params()))
+	return &fl.Update{Client: client, Scale: fl.DataScale(c), Vecs: [][]float64{flat}, UpFloats: len(flat)}, nil
+}
+
+// AsyncApply folds a staleness-weighted client model into the shards.
+func (f *FedAvg) AsyncApply(sim *fl.Simulation, u *fl.Update) error {
+	f.acc.Accumulate(u.Vecs[0], u.Weight)
+	return nil
+}
+
+// AsyncCommit merges the buffered weighted average into the global model.
+func (f *FedAvg) AsyncCommit(sim *fl.Simulation) error {
+	f.acc.CommitInto(f.global, f.mix, nil)
 	return nil
 }
 
@@ -96,8 +154,8 @@ func (f *FedAvg) Round(sim *fl.Simulation, round int, participants []int) error 
 func (f *FedAvg) Global() []float64 { return append([]float64(nil), f.global...) }
 
 // trainEpochProx is one cross-entropy epoch with the FedProx proximal term
-// against the round's global weights.
-func (f *FedAvg) trainEpochProx(c *fl.Client, batchSize int) {
+// against the given reference weights (the client's last download).
+func (f *FedAvg) trainEpochProx(c *fl.Client, batchSize int, global []float64) {
 	params := c.Model.Params()
 	for _, b := range data.Batches(c.Train, batchSize, c.Rng) {
 		x, y := c.AugmentedBatch(b)
@@ -106,27 +164,27 @@ func (f *FedAvg) trainEpochProx(c *fl.Client, batchSize int) {
 		dfeat := c.Model.Classifier.Backward(dlogits)
 		c.Model.Extractor.Backward(dfeat)
 		// FedProx uses (μ/2)‖w−w_g‖², i.e. Proximal with ρ = μ/2.
-		loss.Proximal(params, f.global, f.Mu/2)
+		loss.Proximal(params, global, f.Mu/2)
 		c.Optimizer.Step(params)
 		nn.ZeroGrads(params)
 	}
 }
 
 // weightedAverage computes the |D_k|-weighted flat average of the selected
-// clients' parameter subsets.
-func weightedAverage(sim *fl.Simulation, ids []int, pick func(*fl.Client) []*nn.Param) []float64 {
+// clients' uploaded weight vectors.
+func weightedAverage(sim *fl.Simulation, ids []int, flats [][]float64) []float64 {
 	var total float64
 	for _, id := range ids {
 		total += float64(len(sim.Clients[id].Train))
 	}
 	var out []float64
-	for _, id := range ids {
+	for i, id := range ids {
 		c := sim.Clients[id]
 		wgt := 1.0 / float64(len(ids))
 		if total > 0 {
 			wgt = float64(len(c.Train)) / total
 		}
-		flat := nn.FlattenParams(pick(c))
+		flat := flats[i]
 		if out == nil {
 			out = make([]float64, len(flat))
 		}

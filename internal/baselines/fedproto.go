@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/loss"
@@ -30,6 +31,17 @@ type FedProto struct {
 	numClasses int
 	// globalProtos[c] is nil until some client has reported class c.
 	globalProtos [][]float64
+
+	// Async-scheduler state: a class-segmented sharded accumulator (each
+	// class aggregates concurrently under its own weight), the committed
+	// prototype table as one flat buffer, and per-client broadcast
+	// snapshots so local training regularizes against the prototypes the
+	// client actually downloaded.
+	acc       *fl.ShardedAccumulator
+	committed []float64
+	touched   []bool
+	mix       float64
+	snaps     [][][]float64
 }
 
 // NewFedProto builds the algorithm.
@@ -71,17 +83,11 @@ func (p *FedProto) Round(sim *fl.Simulation, round int, participants []int) erro
 	fl.ParallelClients(len(participants), func(idx int) {
 		c := sim.Clients[participants[idx]]
 		for e := 0; e < p.LocalEpochs; e++ {
-			p.trainEpoch(c, sim.Cfg.BatchSize)
+			p.trainEpoch(c, sim.Cfg.BatchSize, p.globalProtos)
 		}
 		protos, counts := p.localPrototypes(c, sim.Cfg.BatchSize)
 		reports[idx] = report{protos, counts}
-		sent := 0
-		for cls := range protos {
-			if protos[cls] != nil {
-				sent += p.featDim
-			}
-		}
-		sim.Ledger.RecordUp(c.ID, sent)
+		sim.Ledger.RecordUp(c.ID, p.quantizeProtos(sim, protos))
 		sim.Ledger.RecordDown(c.ID, p.downloadFloats())
 	})
 	// Aggregate prototypes per class, weighted by sample counts.
@@ -126,8 +132,10 @@ func (p *FedProto) downloadFloats() int {
 	return n
 }
 
-// trainEpoch runs one epoch of CE + prototype regularization.
-func (p *FedProto) trainEpoch(c *fl.Client, batchSize int) {
+// trainEpoch runs one epoch of CE + prototype regularization against the
+// given prototype table (the global table in sync rounds, the client's
+// dispatch snapshot under async schedulers).
+func (p *FedProto) trainEpoch(c *fl.Client, batchSize int, protos [][]float64) {
 	params := c.Model.Params()
 	for _, b := range data.Batches(c.Train, batchSize, c.Rng) {
 		feats, logits, y := batchForward(c, b, true)
@@ -137,7 +145,7 @@ func (p *FedProto) trainEpoch(c *fl.Client, batchSize int) {
 		n := feats.Rows()
 		scale := 2 * p.Lambda / float64(n)
 		for i := 0; i < n; i++ {
-			proto := p.globalProtos[y[i]]
+			proto := protos[y[i]]
 			if proto == nil {
 				continue
 			}
@@ -151,6 +159,88 @@ func (p *FedProto) trainEpoch(c *fl.Client, batchSize int) {
 		c.Optimizer.Step(params)
 		nn.ZeroGrads(params)
 	}
+}
+
+// AsyncSetup builds the class-segmented aggregation state: shard s is class
+// s's prototype, so classes aggregate concurrently under per-class weights.
+func (p *FedProto) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error {
+	segs := make([]int, p.numClasses)
+	for i := range segs {
+		segs[i] = p.featDim
+	}
+	p.acc = fl.NewSegmented(segs)
+	p.committed = make([]float64, p.numClasses*p.featDim)
+	p.touched = make([]bool, p.numClasses)
+	p.mix = sched.MixRate
+	p.snaps = make([][][]float64, len(sim.Clients))
+	return nil
+}
+
+// AsyncDispatch snapshots the committed prototype table down to the client.
+func (p *FedProto) AsyncDispatch(sim *fl.Simulation, client int) error {
+	snap := p.snaps[client]
+	if snap == nil {
+		snap = make([][]float64, p.numClasses)
+	}
+	for cls := range snap {
+		if proto := p.globalProtos[cls]; proto != nil {
+			snap[cls] = append(snap[cls][:0], proto...)
+		} else {
+			snap[cls] = nil
+		}
+	}
+	p.snaps[client] = snap
+	sim.Ledger.RecordDown(sim.Clients[client].ID, p.downloadFloats())
+	return nil
+}
+
+// AsyncLocal trains with the snapshot regularizer and uploads fresh local
+// prototypes with their per-class sample counts.
+func (p *FedProto) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
+	c := sim.Clients[client]
+	for e := 0; e < p.LocalEpochs; e++ {
+		p.trainEpoch(c, sim.Cfg.BatchSize, p.snaps[client])
+	}
+	protos, counts := p.localPrototypes(c, sim.Cfg.BatchSize)
+	sent := p.quantizeProtos(sim, protos)
+	return &fl.Update{Client: client, Scale: 1, Vecs: protos, Counts: counts, UpFloats: sent}, nil
+}
+
+// quantizeProtos passes each reported class prototype through the wire
+// codec and returns the uploaded float count.
+func (p *FedProto) quantizeProtos(sim *fl.Simulation, protos [][]float64) int {
+	sent := 0
+	for cls := range protos {
+		if protos[cls] != nil {
+			comm.RoundTripInPlace(sim.Cfg.Codec, protos[cls])
+			sent += p.featDim
+		}
+	}
+	return sent
+}
+
+// AsyncApply folds each reported class prototype into its shard, weighted
+// by sample count and staleness decay.
+func (p *FedProto) AsyncApply(sim *fl.Simulation, u *fl.Update) error {
+	for cls, proto := range u.Vecs {
+		if proto == nil || u.Counts[cls] == 0 {
+			continue
+		}
+		p.acc.AccumulateSegment(cls, proto, u.Weight*float64(u.Counts[cls]))
+	}
+	return nil
+}
+
+// AsyncCommit merges per-class shards; classes nobody reported keep their
+// previous prototype.
+func (p *FedProto) AsyncCommit(sim *fl.Simulation) error {
+	p.acc.CommitInto(p.committed, p.mix, p.touched)
+	for cls, ok := range p.touched {
+		if ok {
+			p.globalProtos[cls] = p.committed[cls*p.featDim : (cls+1)*p.featDim]
+		}
+	}
+	return nil
 }
 
 // localPrototypes computes per-class mean features over the client's

@@ -43,6 +43,19 @@ type KTpFL struct {
 	publicX  *tensor.Tensor
 	coeff    [][]float64 // knowledge coefficient matrix
 	initOnce bool
+
+	// Async-scheduler state (pending-transfer pattern): the server keeps
+	// each client's latest report (soft predictions, or flat weights for
+	// the "+weight" variant) with its staleness weight; commits refresh
+	// the coefficient matrix over whoever has reported and stage each
+	// client's personalized transfer, which the client consumes at its
+	// next dispatch. Knowledge thus flows without ever writing to a model
+	// that is training.
+	latest  [][]float64
+	latestW []float64
+	pending [][]float64
+	staged  [][]float64 // moved pending → staged at dispatch, consumed by AsyncLocal
+	numCls  int
 }
 
 // NewKTpFL builds the soft-prediction variant.
@@ -137,7 +150,7 @@ func (k *KTpFL) softTransfer(sim *fl.Simulation, participants []int) error {
 		c := sim.Clients[participants[idx]]
 		_, logits := c.Model.Forward(k.publicX, false)
 		soft[idx] = loss.SoftmaxWithTemperature(logits, k.Temperature)
-		sim.Ledger.RecordUp(c.ID, m*numClasses)
+		sim.Uplink(c.ID, soft[idx].Data)
 	})
 	// 2. Refresh knowledge coefficients from pairwise prediction similarity.
 	k.refreshCoeff(participants, func(a, b int) float64 {
@@ -175,8 +188,7 @@ func (k *KTpFL) weightTransfer(sim *fl.Simulation, participants []int) error {
 	flats := make([][]float64, len(participants))
 	for idx, id := range participants {
 		c := sim.Clients[id]
-		flats[idx] = nn.FlattenParams(c.Model.Params())
-		sim.Ledger.RecordUp(c.ID, len(flats[idx]))
+		flats[idx] = sim.Uplink(c.ID, nn.FlattenParams(c.Model.Params()))
 	}
 	k.refreshCoeff(participants, func(a, b int) float64 {
 		var s float64
@@ -218,19 +230,161 @@ func (k *KTpFL) weightTransfer(sim *fl.Simulation, participants []int) error {
 // refreshCoeff recomputes coefficient rows for the participating clients
 // from a pairwise distance function over participant indices.
 func (k *KTpFL) refreshCoeff(participants []int, dist func(a, b int) float64) {
+	k.refreshCoeffWeighted(participants, dist, nil)
+}
+
+// refreshCoeffWeighted additionally multiplies each source l's similarity
+// by weight w[l] before row normalization — under async schedulers, stale
+// reports contribute less knowledge.
+func (k *KTpFL) refreshCoeffWeighted(participants []int, dist func(a, b int) float64, w []float64) {
 	sigma2 := k.Sigma * k.Sigma
 	for a := range participants {
 		row := make([]float64, len(participants))
 		var sum float64
 		for b := range participants {
 			v := math.Exp(-dist(a, b) / sigma2)
+			if w != nil {
+				v *= w[b]
+			}
 			row[b] = v
 			sum += v
+		}
+		if sum == 0 {
+			continue
 		}
 		for b := range participants {
 			k.coeff[participants[a]][participants[b]] = row[b] / sum
 		}
 	}
+}
+
+// AsyncSetup sizes the pending-transfer tables.
+func (k *KTpFL) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error {
+	n := len(sim.Clients)
+	k.latest = make([][]float64, n)
+	k.latestW = make([]float64, n)
+	k.pending = make([][]float64, n)
+	k.staged = make([][]float64, n)
+	k.numCls = sim.Clients[0].Model.Cfg.NumClasses
+	return nil
+}
+
+// AsyncDispatch hands the client its staged personalized transfer (soft
+// target or personalized weights) computed at the last commit.
+func (k *KTpFL) AsyncDispatch(sim *fl.Simulation, client int) error {
+	if k.pending[client] == nil {
+		return nil
+	}
+	k.staged[client] = k.pending[client]
+	k.pending[client] = nil
+	c := sim.Clients[client]
+	if k.ShareWeights {
+		sim.Ledger.RecordDown(c.ID, len(k.staged[client]))
+		err := nn.SetFlatParams(c.Model.Params(), k.staged[client])
+		k.staged[client] = nil
+		return err
+	}
+	sim.Ledger.RecordDown(c.ID, len(k.public)*k.numCls)
+	return nil
+}
+
+// AsyncLocal distills toward any staged target, runs supervised local
+// epochs, and uploads a fresh report (soft predictions, or flat weights for
+// the "+weight" variant).
+func (k *KTpFL) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
+	c := sim.Clients[client]
+	if !k.ShareWeights && k.staged[client] != nil {
+		m := len(k.public)
+		target := tensor.New(m, k.numCls)
+		copy(target.Data, k.staged[client])
+		k.staged[client] = nil
+		k.distill(c, target)
+	}
+	for e := 0; e < k.LocalEpochs; e++ {
+		c.TrainEpochCE(sim.Cfg.BatchSize)
+	}
+	var report []float64
+	if k.ShareWeights {
+		report = sim.Quantize(nn.FlattenParams(c.Model.Params()))
+	} else {
+		_, logits := c.Model.Forward(k.publicX, false)
+		soft := loss.SoftmaxWithTemperature(logits, k.Temperature)
+		report = sim.Quantize(append([]float64(nil), soft.Data...))
+	}
+	return &fl.Update{Client: client, Scale: 1, Vecs: [][]float64{report}, UpFloats: len(report)}, nil
+}
+
+// AsyncApply files the client's latest report with its staleness weight.
+func (k *KTpFL) AsyncApply(sim *fl.Simulation, u *fl.Update) error {
+	k.latest[u.Client] = u.Vecs[0]
+	k.latestW[u.Client] = u.Weight
+	return nil
+}
+
+// AsyncCommit refreshes the knowledge-coefficient matrix over every client
+// that has reported (similarities scaled by staleness weight) and stages
+// each one's personalized transfer for its next dispatch.
+func (k *KTpFL) AsyncCommit(sim *fl.Simulation) error {
+	cohort := make([]int, 0, len(k.latest))
+	for id, rep := range k.latest {
+		if rep != nil {
+			cohort = append(cohort, id)
+		}
+	}
+	if len(cohort) < 2 {
+		return nil
+	}
+	w := make([]float64, len(cohort))
+	for i, id := range cohort {
+		w[i] = k.latestW[id]
+	}
+	dim := float64(len(k.latest[cohort[0]]))
+	dist := func(a, b int) float64 {
+		va, vb := k.latest[cohort[a]], k.latest[cohort[b]]
+		var s float64
+		for j := range va {
+			d := va[j] - vb[j]
+			s += d * d
+		}
+		return s / dim
+	}
+	k.refreshCoeffWeighted(cohort, dist, w)
+	for _, id := range cohort {
+		mix := make([]float64, len(k.latest[id]))
+		var wsum float64
+		for _, l := range cohort {
+			cw := k.coeff[id][l]
+			wsum += cw
+			for j, v := range k.latest[l] {
+				mix[j] += cw * v
+			}
+		}
+		if k.ShareWeights {
+			if wsum > 0 {
+				inv := 1 / wsum
+				for j := range mix {
+					mix[j] *= inv
+				}
+			}
+		} else {
+			// Renormalize each public-example row to a distribution.
+			m := len(k.public)
+			for i := 0; i < m; i++ {
+				row := mix[i*k.numCls : (i+1)*k.numCls]
+				var s float64
+				for _, v := range row {
+					s += v
+				}
+				if s > 0 {
+					for j := range row {
+						row[j] /= s
+					}
+				}
+			}
+		}
+		k.pending[id] = mix
+	}
+	return nil
 }
 
 // distill runs DistillSteps of temperature-scaled KL toward the target on

@@ -42,3 +42,27 @@ func (l *LocalOnly) Round(sim *fl.Simulation, round int, participants []int) err
 	})
 	return nil
 }
+
+// The baseline is trivially async: there is no server state, so the
+// scheduler only controls when each client trains.
+
+// AsyncSetup is a no-op.
+func (l *LocalOnly) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error { return nil }
+
+// AsyncDispatch is a no-op: nothing is broadcast.
+func (l *LocalOnly) AsyncDispatch(sim *fl.Simulation, client int) error { return nil }
+
+// AsyncLocal trains the client and reports a communication-free update.
+func (l *LocalOnly) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
+	c := sim.Clients[client]
+	for e := 0; e < l.LocalEpochs; e++ {
+		c.TrainEpochCE(sim.Cfg.BatchSize)
+	}
+	return &fl.Update{Client: client}, nil
+}
+
+// AsyncApply is a no-op.
+func (l *LocalOnly) AsyncApply(sim *fl.Simulation, u *fl.Update) error { return nil }
+
+// AsyncCommit is a no-op.
+func (l *LocalOnly) AsyncCommit(sim *fl.Simulation) error { return nil }

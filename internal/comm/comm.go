@@ -3,53 +3,232 @@
 // serialized with a small binary codec so byte counts are real, and a
 // thread-safe ledger records per-round, per-client traffic — the data
 // behind the paper's Table 5 communication-cost comparison.
+//
+// # Wire format
+//
+// Every frame is
+//
+//	[kind uint32][word uint64][payload]
+//
+// in little-endian byte order, where word packs the codec in its top byte
+// and the element count n in the low 56 bits. Codec F64 stores payloads as
+// raw float64s — such frames are byte-identical to the pre-codec format,
+// whose word was a plain count (top byte zero). Codec F32 stores float32s.
+// Codec I8 stores one float64 per-tensor scale followed by n int8 values
+// quantized as round(v/scale) with scale = maxAbs/127, so the payload costs
+// one byte per element instead of eight.
 package comm
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 )
 
 // headerSize is the fixed per-message framing overhead: kind tag (4 bytes)
-// plus payload length (8 bytes).
+// plus the codec/length word (8 bytes).
 const headerSize = 12
 
-// WireSize returns the serialized size in bytes of a payload of n float64s.
-func WireSize(n int) int64 { return int64(headerSize + 8*n) }
+// Codec selects the payload element encoding of a frame.
+type Codec uint8
 
-// Marshal frames a float64 payload with a kind tag into wire bytes.
-func Marshal(kind uint32, payload []float64) []byte {
-	buf := bytes.NewBuffer(make([]byte, 0, headerSize+8*len(payload)))
-	_ = binary.Write(buf, binary.LittleEndian, kind)
-	_ = binary.Write(buf, binary.LittleEndian, uint64(len(payload)))
-	_ = binary.Write(buf, binary.LittleEndian, payload)
-	return buf.Bytes()
+// The wire codecs. F64 is the zero value and matches the legacy format.
+const (
+	F64 Codec = iota // 8 bytes/elem, lossless
+	F32              // 4 bytes/elem, rounds to nearest float32
+	I8               // 1 byte/elem + 8-byte per-tensor scale
+)
+
+// numCodecs bounds the valid codec range for frame validation.
+const numCodecs = 3
+
+// String names the codec for flags and reports.
+func (c Codec) String() string {
+	switch c {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	case I8:
+		return "i8"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
 }
 
-// Unmarshal parses wire bytes produced by Marshal.
+// ParseCodec maps a flag value ("f64" | "f32" | "i8") to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	case "i8", "int8":
+		return I8, nil
+	}
+	return F64, fmt.Errorf("comm: unknown codec %q (want f64 | f32 | i8)", s)
+}
+
+// payloadBytes returns the payload size in bytes for n elements.
+func (c Codec) payloadBytes(n int) int64 {
+	switch c {
+	case F32:
+		return 4 * int64(n)
+	case I8:
+		return 8 + int64(n)
+	default:
+		return 8 * int64(n)
+	}
+}
+
+// WireSize returns the serialized size in bytes of a payload of n float64s
+// under the legacy lossless codec.
+func WireSize(n int) int64 { return WireSizeAs(F64, n) }
+
+// WireSizeAs returns the serialized size in bytes of an n-element payload
+// under the given codec.
+func WireSizeAs(c Codec, n int) int64 { return headerSize + c.payloadBytes(n) }
+
+// maxLen caps the element count encodable in the 56-bit length field.
+const maxLen = 1<<56 - 1
+
+// Marshal frames a float64 payload with a kind tag into wire bytes using
+// the lossless F64 codec (the legacy format, byte for byte).
+func Marshal(kind uint32, payload []float64) []byte {
+	return MarshalAs(F64, kind, payload)
+}
+
+// MarshalAs frames a payload under the given codec. The bytes are written
+// directly into a sized slice — no intermediate buffer, no swallowed
+// binary.Write errors.
+func MarshalAs(c Codec, kind uint32, payload []float64) []byte {
+	n := len(payload)
+	b := make([]byte, WireSizeAs(c, n))
+	binary.LittleEndian.PutUint32(b, kind)
+	binary.LittleEndian.PutUint64(b[4:], uint64(c)<<56|uint64(n))
+	switch c {
+	case F32:
+		for i, v := range payload {
+			binary.LittleEndian.PutUint32(b[headerSize+4*i:], math.Float32bits(float32(v)))
+		}
+	case I8:
+		scale := i8Scale(payload)
+		binary.LittleEndian.PutUint64(b[headerSize:], math.Float64bits(scale))
+		q := b[headerSize+8:]
+		for i, v := range payload {
+			q[i] = byte(quantizeI8(v, scale))
+		}
+	default:
+		for i, v := range payload {
+			binary.LittleEndian.PutUint64(b[headerSize+8*i:], math.Float64bits(v))
+		}
+	}
+	return b
+}
+
+// i8Scale returns the per-tensor quantization step maxAbs/127 over the
+// finite elements (0 for an empty, all-zero or all-non-finite payload). A
+// single overflowed weight must not stretch the grid to infinity and
+// NaN-poison every other element.
+func i8Scale(payload []float64) float64 {
+	var maxAbs float64
+	for _, v := range payload {
+		if a := math.Abs(v); a > maxAbs && !math.IsInf(a, 1) {
+			maxAbs = a
+		}
+	}
+	return maxAbs / 127
+}
+
+// quantizeI8 rounds v to the nearest step of scale, clamped to [-127, 127].
+// Non-finite values degrade gracefully: NaN encodes as 0, ±Inf saturates.
+func quantizeI8(v, scale float64) int8 {
+	if scale == 0 || math.IsNaN(v) {
+		return 0
+	}
+	q := math.Round(v / scale)
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// Unmarshal parses wire bytes produced by Marshal or MarshalAs, returning
+// the application kind and the payload dequantized to float64.
 func Unmarshal(b []byte) (kind uint32, payload []float64, err error) {
-	r := bytes.NewReader(b)
-	if err = binary.Read(r, binary.LittleEndian, &kind); err != nil {
-		return 0, nil, fmt.Errorf("comm: reading kind: %w", err)
+	_, kind, payload, err = Decode(b)
+	return kind, payload, err
+}
+
+// Decode parses wire bytes and additionally reports the codec the frame was
+// encoded with. The frame must be exactly one message: trailing bytes are an
+// error, as is a length field inconsistent with the buffer size.
+func Decode(b []byte) (c Codec, kind uint32, payload []float64, err error) {
+	if len(b) < headerSize {
+		return 0, 0, nil, fmt.Errorf("comm: frame of %d bytes is shorter than the %d-byte header", len(b), headerSize)
 	}
-	var n uint64
-	if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return 0, nil, fmt.Errorf("comm: reading length: %w", err)
+	kind = binary.LittleEndian.Uint32(b)
+	word := binary.LittleEndian.Uint64(b[4:])
+	c = Codec(word >> 56)
+	n := word & maxLen
+	if c >= numCodecs {
+		return 0, 0, nil, fmt.Errorf("comm: unknown codec %d", uint8(c))
 	}
-	if int64(n)*8 > int64(r.Len()) {
-		return 0, nil, fmt.Errorf("comm: declared %d floats but only %d bytes remain", n, r.Len())
+	if n > uint64(len(b)) { // cheap bound before the exact-size check below
+		return 0, 0, nil, fmt.Errorf("comm: declared %d elements but frame is %d bytes", n, len(b))
+	}
+	if want := WireSizeAs(c, int(n)); int64(len(b)) != want {
+		return 0, 0, nil, fmt.Errorf("comm: %s frame of %d elements wants %d bytes, got %d", c, n, want, len(b))
 	}
 	payload = make([]float64, n)
-	if err = binary.Read(r, binary.LittleEndian, payload); err != nil {
-		return 0, nil, fmt.Errorf("comm: reading payload: %w", err)
+	switch c {
+	case F32:
+		for i := range payload {
+			payload[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[headerSize+4*i:])))
+		}
+	case I8:
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize:]))
+		if !validScale(scale) {
+			return 0, 0, nil, fmt.Errorf("comm: invalid int8 scale %g", scale)
+		}
+		q := b[headerSize+8:]
+		for i := range payload {
+			payload[i] = float64(int8(q[i])) * scale
+		}
+	default:
+		for i := range payload {
+			payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize+8*i:]))
+		}
 	}
-	if r.Len() != 0 {
-		return 0, nil, fmt.Errorf("comm: %d trailing bytes", r.Len())
+	return c, kind, payload, nil
+}
+
+// validScale rejects scales that would dequantize to non-finite values or
+// negative steps, which no Marshal-produced frame contains.
+func validScale(scale float64) bool {
+	return scale >= 0 && !math.IsInf(scale, 0) && !math.IsNaN(scale)
+}
+
+// RoundTripInPlace passes v through the codec's quantization without
+// building a frame: after the call, v holds exactly the values a receiver
+// would decode. F64 is a no-op; F32 rounds every element to float32; I8
+// snaps every element to its per-tensor int8 grid. It allocates nothing,
+// so lossy uplinks can be simulated on the training hot path.
+func RoundTripInPlace(c Codec, v []float64) {
+	switch c {
+	case F32:
+		for i, x := range v {
+			v[i] = float64(float32(x))
+		}
+	case I8:
+		scale := i8Scale(v)
+		for i, x := range v {
+			v[i] = float64(quantizeI8(x, scale)) * scale
+		}
 	}
-	return kind, payload, nil
 }
 
 // RoundTraffic aggregates bytes moved during one communication round.
@@ -60,9 +239,11 @@ type RoundTraffic struct {
 	Messages  int
 }
 
-// Ledger is a thread-safe traffic recorder. The zero value is ready to use.
+// Ledger is a thread-safe traffic recorder. The zero value is ready to use
+// and accounts at the lossless F64 codec.
 type Ledger struct {
 	mu      sync.Mutex
+	codec   Codec
 	current RoundTraffic
 	rounds  []RoundTraffic
 	up      map[int]int64 // per-client cumulative upload
@@ -74,21 +255,36 @@ func NewLedger() *Ledger {
 	return &Ledger{up: make(map[int]int64), down: make(map[int]int64)}
 }
 
-// RecordUp logs a client → server payload of n float64s.
-func (l *Ledger) RecordUp(client int, floats int) {
+// SetCodec selects the wire codec used to account subsequent payloads, so
+// Table-5 byte counts reflect compression.
+func (l *Ledger) SetCodec(c Codec) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	sz := WireSize(floats)
+	l.codec = c
+}
+
+// Codec reports the wire codec the ledger accounts at.
+func (l *Ledger) Codec() Codec {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.codec
+}
+
+// RecordUp logs a client → server payload of n values.
+func (l *Ledger) RecordUp(client int, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sz := WireSizeAs(l.codec, n)
 	l.current.UpBytes += sz
 	l.current.Messages++
 	l.up[client] += sz
 }
 
-// RecordDown logs a server → client payload of n float64s.
-func (l *Ledger) RecordDown(client int, floats int) {
+// RecordDown logs a server → client payload of n values.
+func (l *Ledger) RecordDown(client int, n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	sz := WireSize(floats)
+	sz := WireSizeAs(l.codec, n)
 	l.current.DownBytes += sz
 	l.current.Messages++
 	l.down[client] += sz

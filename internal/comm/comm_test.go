@@ -2,6 +2,8 @@ package comm
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -126,6 +128,167 @@ func TestLedgerConcurrentSafety(t *testing.T) {
 	}
 	if tr.UpBytes != 800*WireSize(10) {
 		t.Fatalf("up bytes %d", tr.UpBytes)
+	}
+}
+
+// Quantized frames must carry their codec, cost the advertised bytes, and
+// dequantize within the codec's error bound.
+func TestQuantizedCodecs(t *testing.T) {
+	payload := []float64{0, 1.5, -2.25, 0.015625, -127, 126.5, 3.0000001}
+	for _, c := range []Codec{F64, F32, I8} {
+		b := MarshalAs(c, 9, payload)
+		if int64(len(b)) != WireSizeAs(c, len(payload)) {
+			t.Fatalf("%s frame is %d bytes, want %d", c, len(b), WireSizeAs(c, len(payload)))
+		}
+		gotC, kind, got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if gotC != c || kind != 9 || len(got) != len(payload) {
+			t.Fatalf("%s decoded codec %s kind %d len %d", c, gotC, kind, len(got))
+		}
+		// Error bound: f64 exact, f32 relative rounding, i8 half a step.
+		var maxAbs float64
+		for _, v := range payload {
+			maxAbs = math.Max(maxAbs, math.Abs(v))
+		}
+		for i, v := range payload {
+			var tol float64
+			switch c {
+			case F32:
+				tol = math.Abs(v) * 1e-7
+			case I8:
+				tol = maxAbs / 127 / 2
+			}
+			if math.Abs(got[i]-v) > tol {
+				t.Fatalf("%s payload[%d] = %v, want %v ± %g", c, i, got[i], v, tol)
+			}
+		}
+	}
+}
+
+// The legacy format and the F64 codec must be byte-identical so seed byte
+// counts and any stored frames stay valid.
+func TestF64MatchesLegacyLayout(t *testing.T) {
+	payload := []float64{1, -2, 3.5}
+	b := Marshal(7, payload)
+	if int64(len(b)) != WireSize(3) {
+		t.Fatalf("frame %d bytes, want %d", len(b), WireSize(3))
+	}
+	// Header: kind u32 LE, then count u64 LE with a zero codec byte.
+	want := []byte{7, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0}
+	for i, v := range want {
+		if b[i] != v {
+			t.Fatalf("header byte %d = %#x, want %#x", i, b[i], v)
+		}
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(b[12:])); got != 1 {
+		t.Fatalf("first element %v", got)
+	}
+}
+
+// Round-tripping through RoundTripInPlace must agree exactly with what a
+// receiver of a marshalled frame would decode.
+func TestRoundTripInPlaceMatchesWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []Codec{F64, F32, I8} {
+		payload := make([]float64, 64)
+		for i := range payload {
+			payload[i] = rng.NormFloat64() * 10
+		}
+		_, _, wire, err := Decode(MarshalAs(c, 1, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		RoundTripInPlace(c, payload)
+		for i := range payload {
+			if payload[i] != wire[i] {
+				t.Fatalf("%s elem %d: in-place %v vs wire %v", c, i, payload[i], wire[i])
+			}
+		}
+	}
+}
+
+func TestI8CompressionRatio(t *testing.T) {
+	n := 330 // classifier payload of the Small scale: 32·10 + 10
+	ratio := float64(WireSizeAs(F64, n)) / float64(WireSizeAs(I8, n))
+	if ratio < 7 {
+		t.Fatalf("int8 compresses %d floats only %.2fx, want >= 7x", n, ratio)
+	}
+}
+
+// A non-finite element must not poison the rest of an int8 payload: the
+// scale comes from the finite elements, NaN encodes as 0 and ±Inf saturate.
+func TestI8NonFiniteSafety(t *testing.T) {
+	payload := []float64{1, -2, math.Inf(1), math.NaN(), math.Inf(-1), 0.5}
+	_, _, got, err := Decode(MarshalAs(I8, 1, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 2.0 / 127
+	want := []float64{1, -2, 127 * scale, 0, -127 * scale, 0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > scale/2+1e-12 {
+			t.Fatalf("elem %d = %v, want ~%v", i, got[i], want[i])
+		}
+		if math.IsNaN(got[i]) {
+			t.Fatalf("elem %d decoded as NaN", i)
+		}
+	}
+	inPlace := append([]float64(nil), payload...)
+	RoundTripInPlace(I8, inPlace)
+	for i, v := range inPlace {
+		if math.IsNaN(v) {
+			t.Fatalf("RoundTripInPlace left NaN at %d", i)
+		}
+		if v != got[i] {
+			t.Fatalf("in-place %v differs from wire %v at %d", v, got[i], i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptQuantized(t *testing.T) {
+	b := MarshalAs(I8, 2, []float64{1, -1, 0.5})
+	if _, _, _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated int8 payload must error")
+	}
+	// Unknown codec byte.
+	bad := append([]byte(nil), b...)
+	bad[11] = 0x7f
+	if _, _, _, err := Decode(bad); err == nil {
+		t.Fatal("unknown codec must error")
+	}
+	// Non-finite scale.
+	nan := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint64(nan[12:], math.Float64bits(math.NaN()))
+	if _, _, _, err := Decode(nan); err == nil {
+		t.Fatal("NaN scale must error")
+	}
+}
+
+func TestLedgerCodecAccounting(t *testing.T) {
+	l := NewLedger()
+	l.SetCodec(I8)
+	if l.Codec() != I8 {
+		t.Fatal("codec not set")
+	}
+	l.RecordUp(0, 100)
+	l.RecordDown(0, 40)
+	tr := l.EndRound(1)
+	if tr.UpBytes != WireSizeAs(I8, 100) || tr.DownBytes != WireSizeAs(I8, 40) {
+		t.Fatalf("codec accounting %+v", tr)
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	for s, want := range map[string]Codec{"f64": F64, "f32": F32, "i8": I8, "": F64} {
+		got, err := ParseCodec(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseCodec(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCodec("f16"); err == nil {
+		t.Fatal("unknown codec string must error")
 	}
 }
 

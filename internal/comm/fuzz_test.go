@@ -1,0 +1,67 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUnmarshal drives Decode with arbitrary frames. Invariants:
+//
+//   - Decode never panics and never allocates a payload longer than the
+//     input could hold.
+//   - An accepted frame re-encodes losslessly under F64 and byte-identically
+//     re-decodes (decoded values are exact wire values for every codec).
+//   - Frames produced by MarshalAs for any codec always decode, with the
+//     declared codec, kind and length.
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: a well-formed frame per codec, edge payloads, and
+	// corruptions of each failure class Decode must reject.
+	seeds := [][]byte{
+		MarshalAs(F64, 7, []float64{1.5, -2.25, 0, 1e300}),
+		MarshalAs(F32, 1, []float64{0.5, -0.5, 3.0000001}),
+		MarshalAs(I8, 2, []float64{1, -1, 0.25, 126.9}),
+		MarshalAs(F64, 0, nil),
+		MarshalAs(I8, 9, []float64{0, 0, 0}),
+		MarshalAs(F32, 3, []float64{math.Inf(1), math.NaN()}),
+		{1, 2},             // short header
+		make([]byte, 12),   // empty f64 frame
+		make([]byte, 1024), // zeroed: declares 0 elements but trails 1012 bytes
+	}
+	truncated := MarshalAs(I8, 4, []float64{3, -3})
+	seeds = append(seeds, truncated[:len(truncated)-1])
+	badCodec := MarshalAs(F64, 5, []float64{1})
+	badCodec = append([]byte(nil), badCodec...)
+	badCodec[11] = 0x42
+	seeds = append(seeds, badCodec)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, kind, payload, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if int64(len(b)) != WireSizeAs(c, len(payload)) {
+			t.Fatalf("accepted %d-byte frame but %s/%d elements costs %d",
+				len(b), c, len(payload), WireSizeAs(c, len(payload)))
+		}
+		// Decoded values are exact wire values: re-encoding losslessly must
+		// round-trip bit for bit (NaNs compare by bit pattern).
+		again := MarshalAs(F64, kind, payload)
+		c2, kind2, payload2, err := Decode(again)
+		if err != nil || c2 != F64 || kind2 != kind || len(payload2) != len(payload) {
+			t.Fatalf("f64 re-encode failed: %v (codec %v kind %d len %d)", err, c2, kind2, len(payload2))
+		}
+		for i := range payload {
+			if math.Float64bits(payload2[i]) != math.Float64bits(payload[i]) {
+				t.Fatalf("elem %d: %v != %v", i, payload2[i], payload[i])
+			}
+		}
+		// Re-encoding under the original codec must be accepted too (values
+		// may re-quantize, but the frame itself stays well formed).
+		if _, _, _, err := Decode(MarshalAs(c, kind, payload)); err != nil {
+			t.Fatalf("%s re-encode rejected: %v", c, err)
+		}
+	})
+}

@@ -58,12 +58,22 @@ func DefaultOptions() Options {
 	return Options{Rho: 0.1, Tau: 0.1, LocalEpochs: 1, UseProximal: true, UseContrastive: true}
 }
 
-// FedClassAvg implements fl.Algorithm.
+// FedClassAvg implements fl.Algorithm and fl.AsyncAlgorithm.
 type FedClassAvg struct {
 	Opts Options
 
 	globalClassifier []float64
 	globalAll        []float64 // only with ShareAllWeights
+
+	// Async-scheduler state: sharded accumulators for the classifier (and,
+	// with ShareAllWeights, the full weights), the commit mixing rate, and
+	// per-client snapshots of the classifier the client downloaded — the
+	// proximal pull must reference that broadcast, not the server's
+	// continuously moving aggregate.
+	accC   *fl.ShardedAccumulator
+	accAll *fl.ShardedAccumulator
+	mix    float64
+	snapC  [][]float64
 }
 
 // New builds the algorithm.
@@ -134,6 +144,11 @@ func (f *FedClassAvg) Round(sim *fl.Simulation, round int, participants []int) e
 	// Broadcast + local update, one goroutine per participant. Errors are
 	// collected per index to stay race-free under the worker pool.
 	errs := make([]error, len(participants))
+	flatC := make([][]float64, len(participants))
+	var flatAll [][]float64
+	if f.Opts.ShareAllWeights {
+		flatAll = make([][]float64, len(participants))
+	}
 	fl.ParallelClients(len(participants), func(idx int) {
 		c := sim.Clients[participants[idx]]
 		if f.Opts.ShareAllWeights {
@@ -146,11 +161,16 @@ func (f *FedClassAvg) Round(sim *fl.Simulation, round int, participants []int) e
 		if errs[idx] != nil {
 			return
 		}
-		f.LocalUpdate(c, sim.Cfg.BatchSize)
+		f.localUpdate(c, sim.Cfg.BatchSize, f.globalClassifier)
 		if f.Opts.ShareAllWeights {
-			sim.Ledger.RecordUp(c.ID, nn.NumParams(c.Model.Params()))
+			// The classifier rides inside the one full-weight frame
+			// (extractor then classifier), so it is the quantized tail of
+			// that upload — never fresher than what crossed the wire.
+			flatAll[idx] = sim.Uplink(c.ID, nn.FlattenParams(c.Model.Params()))
+			nC := nn.NumParams(c.Model.ClassifierParams())
+			flatC[idx] = flatAll[idx][len(flatAll[idx])-nC:]
 		} else {
-			sim.Ledger.RecordUp(c.ID, nn.NumParams(c.Model.ClassifierParams()))
+			flatC[idx] = sim.Uplink(c.ID, nn.FlattenParams(c.Model.ClassifierParams()))
 		}
 	})
 	for _, err := range errs {
@@ -159,13 +179,79 @@ func (f *FedClassAvg) Round(sim *fl.Simulation, round int, participants []int) e
 		}
 	}
 	// Aggregate.
-	f.globalClassifier = f.averageFlat(sim, participants, func(c *fl.Client) []*nn.Param {
-		return c.Model.ClassifierParams()
-	})
+	f.globalClassifier = weightedFlatAverage(sim, participants, flatC)
 	if f.Opts.ShareAllWeights {
-		f.globalAll = f.averageFlat(sim, participants, func(c *fl.Client) []*nn.Param {
-			return c.Model.Params()
-		})
+		f.globalAll = weightedFlatAverage(sim, participants, flatAll)
+	}
+	return nil
+}
+
+// AsyncSetup sizes the sharded aggregation state.
+func (f *FedClassAvg) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error {
+	f.accC = fl.NewSharded(len(f.globalClassifier), sched.Shards)
+	if f.Opts.ShareAllWeights {
+		f.accAll = fl.NewSharded(len(f.globalAll), sched.Shards)
+	}
+	f.mix = sched.MixRate
+	f.snapC = make([][]float64, len(sim.Clients))
+	return nil
+}
+
+// AsyncDispatch broadcasts the committed classifier (or, with
+// ShareAllWeights, the full model) and snapshots the proximal reference.
+func (f *FedClassAvg) AsyncDispatch(sim *fl.Simulation, client int) error {
+	c := sim.Clients[client]
+	if f.Opts.ShareAllWeights {
+		if err := nn.SetFlatParams(c.Model.Params(), f.globalAll); err != nil {
+			return err
+		}
+		sim.Ledger.RecordDown(c.ID, len(f.globalAll))
+	} else {
+		if err := nn.SetFlatParams(c.Model.ClassifierParams(), f.globalClassifier); err != nil {
+			return err
+		}
+		sim.Ledger.RecordDown(c.ID, len(f.globalClassifier))
+	}
+	f.snapC[client] = append(f.snapC[client][:0], f.globalClassifier...)
+	return nil
+}
+
+// AsyncLocal runs the composite-objective local epochs against the
+// dispatch snapshot and uploads the classifier (and full weights when
+// shared).
+func (f *FedClassAvg) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
+	c := sim.Clients[client]
+	f.localUpdate(c, sim.Cfg.BatchSize, f.snapC[client])
+	u := &fl.Update{Client: client, Scale: fl.DataScale(c)}
+	if f.Opts.ShareAllWeights {
+		// As in the sync round, the classifier is the quantized tail of
+		// the single full-weight frame.
+		all := sim.Quantize(nn.FlattenParams(c.Model.Params()))
+		nC := nn.NumParams(c.Model.ClassifierParams())
+		u.Vecs = [][]float64{all[len(all)-nC:], all}
+		u.UpFloats = len(all)
+	} else {
+		u.Vecs = [][]float64{sim.Quantize(nn.FlattenParams(c.Model.ClassifierParams()))}
+		u.UpFloats = len(u.Vecs[0])
+	}
+	return u, nil
+}
+
+// AsyncApply folds the staleness-weighted classifier (and optionally full
+// weights) into the shards.
+func (f *FedClassAvg) AsyncApply(sim *fl.Simulation, u *fl.Update) error {
+	f.accC.Accumulate(u.Vecs[0], u.Weight)
+	if f.Opts.ShareAllWeights {
+		f.accAll.Accumulate(u.Vecs[1], u.Weight)
+	}
+	return nil
+}
+
+// AsyncCommit merges the buffered aggregates into the committed globals.
+func (f *FedClassAvg) AsyncCommit(sim *fl.Simulation) error {
+	f.accC.CommitInto(f.globalClassifier, f.mix, nil)
+	if f.Opts.ShareAllWeights {
+		f.accAll.CommitInto(f.globalAll, f.mix, nil)
 	}
 	return nil
 }
@@ -180,7 +266,12 @@ func (f *FedClassAvg) GlobalClassifier() []float64 {
 // objective. Exported so ablation and analysis code can drive single
 // clients directly.
 func (f *FedClassAvg) LocalUpdate(c *fl.Client, batchSize int) {
-	globalC := f.globalClassifier
+	f.localUpdate(c, batchSize, f.globalClassifier)
+}
+
+// localUpdate is LocalUpdate against an explicit global-classifier
+// reference (the client's dispatch snapshot under async schedulers).
+func (f *FedClassAvg) localUpdate(c *fl.Client, batchSize int, globalC []float64) {
 	for e := 0; e < f.Opts.LocalEpochs; e++ {
 		for _, batch := range data.Batches(c.Train, batchSize, c.Rng) {
 			f.step(c, batch, globalC)
@@ -240,6 +331,16 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 // averageFlat computes the |D_k|-weighted average of the selected clients'
 // chosen parameter subsets, flattened.
 func (f *FedClassAvg) averageFlat(sim *fl.Simulation, ids []int, pick func(*fl.Client) []*nn.Param) []float64 {
+	flats := make([][]float64, len(ids))
+	for i, id := range ids {
+		flats[i] = nn.FlattenParams(pick(sim.Clients[id]))
+	}
+	return weightedFlatAverage(sim, ids, flats)
+}
+
+// weightedFlatAverage folds pre-flattened (and wire-quantized) uploads with
+// the same |D_k| weighting as averageFlat.
+func weightedFlatAverage(sim *fl.Simulation, ids []int, flats [][]float64) []float64 {
 	var total float64
 	for _, id := range ids {
 		total += float64(len(sim.Clients[id].Train))
@@ -248,13 +349,13 @@ func (f *FedClassAvg) averageFlat(sim *fl.Simulation, ids []int, pick func(*fl.C
 		total = float64(len(ids))
 	}
 	var out []float64
-	for _, id := range ids {
+	for i, id := range ids {
 		c := sim.Clients[id]
 		wgt := float64(len(c.Train)) / total
 		if len(c.Train) == 0 {
 			wgt = 1 / total
 		}
-		flat := nn.FlattenParams(pick(c))
+		flat := flats[i]
 		if out == nil {
 			out = make([]float64, len(flat))
 		}

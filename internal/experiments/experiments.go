@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baselines"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/fl"
@@ -241,8 +242,16 @@ func NewAlgorithm(method string, name DatasetName, s Scale) (fl.Algorithm, error
 	}
 }
 
-// Run executes one method on a fresh fleet and returns its metrics history.
+// Run executes one method on a fresh fleet under the sync scheduler and
+// returns its metrics history.
 func Run(method string, name DatasetName, factory ClientFactory, s Scale, sampleRate float64) ([]fl.RoundMetrics, error) {
+	return RunScheduled(method, name, factory, s, sampleRate, fl.SchedulerConfig{}, comm.F64)
+}
+
+// RunScheduled executes one method on a fresh fleet under an arbitrary
+// scheduler and wire codec. The zero SchedulerConfig and comm.F64 reproduce
+// Run exactly.
+func RunScheduled(method string, name DatasetName, factory ClientFactory, s Scale, sampleRate float64, sched fl.SchedulerConfig, codec comm.Codec) ([]fl.RoundMetrics, error) {
 	algo, err := NewAlgorithm(method, name, s)
 	if err != nil {
 		return nil, err
@@ -252,8 +261,23 @@ func Run(method string, name DatasetName, factory ClientFactory, s Scale, sample
 		SampleRate: sampleRate,
 		BatchSize:  s.BatchSize,
 		Seed:       s.Seed + 7,
+		Codec:      codec,
 	})
-	return sim.Run(algo)
+	return sim.RunScheduled(algo, sched)
+}
+
+// StragglerCosts builds a per-client virtual cost vector where the first
+// slow clients take factor× as long per local update — the heterogeneous
+// straggler fleets of the scheduler benchmarks.
+func StragglerCosts(clients, slow int, factor float64) []float64 {
+	costs := make([]float64, clients)
+	for i := range costs {
+		costs[i] = 1
+		if i < slow {
+			costs[i] = factor
+		}
+	}
+	return costs
 }
 
 // Final extracts the last evaluation point of a history.

@@ -1,0 +1,628 @@
+package fl
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// This file is the event-driven federation engine. The paper runs its
+// federation synchronously over MPI across 15 GPU nodes, where every round
+// waits for the slowest node; the engine generalizes the round loop into a
+// discrete-event simulation of that cluster with three schedulers:
+//
+//   - SchedSync: the classic barrier. Executes exactly the legacy Run loop,
+//     bit-identical to previous releases, and additionally books the
+//     virtual makespan of each round.
+//   - SchedAsyncBounded: FedBuff-style bounded-staleness async. Clients are
+//     redispatched the moment they deliver; the server buffers
+//     staleness-weighted updates in sharded accumulators and commits every
+//     ⌈K·rate⌉ applied updates. Updates staler than MaxStaleness are
+//     dropped.
+//   - SchedSemiSync: K-of-N semi-synchronous rounds. A cohort is sampled
+//     per round; the round commits after Quorum applied updates, and
+//     straggler deliveries land in the next round with staleness weight.
+//
+// Time is virtual: every client has a cost (one local update's duration in
+// arbitrary units) and the engine orders dispatches, deliveries and commits
+// on a virtual clock over a fixed number of virtual worker nodes — the
+// honest way to measure straggler effects on a host with any core count.
+// Local training still executes eagerly and concurrently on the shared
+// tensor worker pool; only the *ordering* of server-side state transitions
+// follows the virtual clock, and every AsyncLocal consumes nothing but its
+// dispatch-time snapshot. The engine is therefore deterministic for a fixed
+// seed and cost vector regardless of real goroutine scheduling, while
+// wall-clock time still scales with cores.
+
+// SchedulerKind selects the federation schedule.
+type SchedulerKind int
+
+// The schedulers.
+const (
+	SchedSync SchedulerKind = iota
+	SchedAsyncBounded
+	SchedSemiSync
+)
+
+// String names the scheduler for flags and reports.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedSync:
+		return "sync"
+	case SchedAsyncBounded:
+		return "async"
+	case SchedSemiSync:
+		return "semisync"
+	}
+	return fmt.Sprintf("scheduler(%d)", int(k))
+}
+
+// ParseScheduler maps a flag value ("sync" | "async" | "semisync") to a
+// SchedulerKind.
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch s {
+	case "sync", "":
+		return SchedSync, nil
+	case "async", "async-bounded":
+		return SchedAsyncBounded, nil
+	case "semisync", "semi-sync", "k-of-n":
+		return SchedSemiSync, nil
+	}
+	return SchedSync, fmt.Errorf("fl: unknown scheduler %q (want sync | async | semisync)", s)
+}
+
+// SchedulerConfig controls RunScheduled. The zero value is the sync
+// scheduler with uniform client costs.
+type SchedulerConfig struct {
+	Kind SchedulerKind
+	// Workers is the number of virtual server nodes executing client
+	// updates concurrently (default: one node per client, the paper's MPI
+	// layout).
+	Workers int
+	// MaxStaleness bounds async staleness: an update whose dispatch-time
+	// model version is more than MaxStaleness commits old is dropped
+	// (default 8).
+	MaxStaleness int
+	// Decay is the staleness decay α: an update that is s commits stale
+	// aggregates with weight 1/(1+α·s). 0 disables decay.
+	Decay float64
+	// MixRate is the commit mixing λ: committed ← (1-λ)·committed +
+	// λ·aggregate (default 1, which reproduces one-shot averaging).
+	MixRate float64
+	// Quorum is the semi-sync K: commit after K applied updates (default
+	// ⌈participants/2⌉).
+	Quorum int
+	// QueueDepth is the buffered event-queue capacity between client
+	// workers and the server loop (default 2·Workers).
+	QueueDepth int
+	// Shards is the server-state shard count for concurrent aggregation
+	// (default tensor.Workers()).
+	Shards int
+	// Costs[i] is the virtual duration of one local update on client i
+	// (nil or missing entries = 1). Stragglers get costs > 1.
+	Costs []float64
+	// Trace, when non-nil, records every dispatch/delivery/drop/commit so
+	// runs can be compared event by event.
+	Trace *Trace
+}
+
+// withDefaults fills structural zero fields.
+func (c SchedulerConfig) withDefaults(sim *Simulation) SchedulerConfig {
+	if c.Workers <= 0 {
+		c.Workers = len(sim.Clients)
+	}
+	if c.MaxStaleness <= 0 {
+		c.MaxStaleness = 8
+	}
+	if c.MixRate <= 0 || c.MixRate > 1 {
+		c.MixRate = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.Shards <= 0 {
+		c.Shards = tensor.Workers()
+	}
+	return c
+}
+
+// cost returns client i's virtual update duration.
+func (c *SchedulerConfig) cost(i int) float64 {
+	if i < len(c.Costs) && c.Costs[i] > 0 {
+		return c.Costs[i]
+	}
+	return 1
+}
+
+// StalenessWeight returns the decay factor 1/(1+α·s) applied to an update
+// that is s commits stale.
+func (c *SchedulerConfig) StalenessWeight(staleness int) float64 {
+	if staleness <= 0 || c.Decay <= 0 {
+		return 1
+	}
+	return 1 / (1 + c.Decay*float64(staleness))
+}
+
+// Update is one client's contribution, delivered to the server through the
+// event queue.
+type Update struct {
+	Client int
+	// Version is the committed model version the client trained against
+	// (stamped at dispatch).
+	Version int
+	// Staleness is commits-at-apply minus Version (stamped at apply).
+	Staleness int
+	// Scale is the algorithm-set data weight (typically |D_k|).
+	Scale float64
+	// Weight is the final aggregation weight Scale·StalenessWeight,
+	// stamped by the engine before AsyncApply.
+	Weight float64
+	// Vecs carries the algorithm's payload vectors (flat weights,
+	// per-class prototypes, soft predictions, ...). A nil Vecs with zero
+	// Scale marks a communication-free update (the local-only baseline):
+	// it advances the virtual round without touching server state.
+	Vecs [][]float64
+	// Counts carries optional per-vector sample counts (FedProto).
+	Counts []int
+	// UpFloats is the upload payload size in values. The engine records it
+	// on the ledger when the update is delivered in virtual time — worker
+	// goroutines must not touch the ledger's round attribution themselves,
+	// or per-round byte counts would depend on real scheduling.
+	UpFloats int
+}
+
+// DataScale is the |D_k| aggregation weight algorithms attach to a
+// client's update (1 for an empty client so its update still counts).
+func DataScale(c *Client) float64 {
+	if len(c.Train) == 0 {
+		return 1
+	}
+	return float64(len(c.Train))
+}
+
+// AsyncAlgorithm is implemented by algorithms that can run under the async
+// and semi-sync schedulers: the broadcast/train/aggregate round is split
+// into dispatch, local, apply and commit steps.
+type AsyncAlgorithm interface {
+	Algorithm
+	// AsyncSetup prepares sharded server state. Runs once, after Setup.
+	AsyncSetup(sim *Simulation, sched *SchedulerConfig) error
+	// AsyncDispatch snapshots server state down to one client (the
+	// broadcast half of a round). Runs on the engine goroutine, strictly
+	// ordered with commits, so the snapshot is consistent.
+	AsyncDispatch(sim *Simulation, client int) error
+	// AsyncLocal runs the client's local training and returns its non-nil
+	// update. Runs concurrently with other clients (and with server-side
+	// applies and commits) on the shared worker pool: it must touch only
+	// client-local state and the snapshot taken by AsyncDispatch.
+	AsyncLocal(sim *Simulation, client int) (*Update, error)
+	// AsyncApply folds one staleness-weighted update into the server's
+	// sharded accumulators (u.Weight is final). Engine goroutine.
+	AsyncApply(sim *Simulation, u *Update) error
+	// AsyncCommit merges accumulated shards into committed server state
+	// and completes one virtual round. Engine goroutine.
+	AsyncCommit(sim *Simulation) error
+}
+
+// TraceEventKind labels entries of a Trace.
+type TraceEventKind uint8
+
+// The trace event kinds.
+const (
+	TraceDispatch TraceEventKind = iota
+	TraceDeliver
+	TraceDrop
+	TraceCommit
+)
+
+// TraceEvent is one scheduling decision of the engine.
+type TraceEvent struct {
+	Kind    TraceEventKind
+	Client  int
+	Version int     // committed version at the event
+	Time    float64 // virtual time of the event
+}
+
+// Trace records the engine's event sequence for reproducibility checks.
+type Trace struct {
+	Events []TraceEvent
+}
+
+func (t *Trace) add(k TraceEventKind, client, version int, vtime float64) {
+	if t != nil {
+		t.Events = append(t.Events, TraceEvent{Kind: k, Client: client, Version: version, Time: vtime})
+	}
+}
+
+// asyncResult is what a client worker pushes onto the buffered event queue.
+type asyncResult struct {
+	client int
+	u      *Update
+	err    error
+}
+
+// flight is one in-flight client update: dispatched at a version, due at a
+// virtual completion time, resolved through the shared event queue.
+type flight struct {
+	client  int
+	version int
+	vtime   float64 // virtual completion time
+	seq     int     // dispatch order, breaks virtual-time ties
+	res     *asyncResult
+}
+
+// flightHeap orders in-flight updates by (virtual time, dispatch order).
+type flightHeap []*flight
+
+func (h flightHeap) Len() int { return len(h) }
+func (h flightHeap) Less(i, j int) bool {
+	if h[i].vtime != h[j].vtime {
+		return h[i].vtime < h[j].vtime
+	}
+	return h[i].seq < h[j].seq
+}
+func (h flightHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *flightHeap) Push(x any)   { *h = append(*h, x.(*flight)) }
+func (h *flightHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return f
+}
+
+// RunScheduled executes the algorithm under the given scheduler and returns
+// the metrics history. SchedSync runs the legacy barrier loop (bit-identical
+// metrics to Run in previous releases); the other schedulers require algo to
+// implement AsyncAlgorithm.
+func (s *Simulation) RunScheduled(algo Algorithm, sched SchedulerConfig) ([]RoundMetrics, error) {
+	sched = sched.withDefaults(s)
+	switch sched.Kind {
+	case SchedSync:
+		return s.runSync(algo, &sched)
+	case SchedAsyncBounded, SchedSemiSync:
+		aa, ok := algo.(AsyncAlgorithm)
+		if !ok {
+			return nil, fmt.Errorf("fl: %s does not support the %s scheduler (implement fl.AsyncAlgorithm)",
+				algo.Name(), sched.Kind)
+		}
+		return s.runAsync(aa, &sched)
+	}
+	return nil, fmt.Errorf("fl: unknown scheduler %v", sched.Kind)
+}
+
+// runSync is the legacy lock-step loop plus virtual-time accounting: each
+// round's virtual duration is the makespan of the participants' costs
+// greedily packed onto the virtual worker nodes.
+func (s *Simulation) runSync(algo Algorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
+	if err := algo.Setup(s); err != nil {
+		return nil, fmt.Errorf("fl: %s setup: %w", algo.Name(), err)
+	}
+	var vtime float64
+	for t := 1; t <= s.Cfg.Rounds; t++ {
+		participants := s.sampleParticipants()
+		if err := algo.Round(s, t, participants); err != nil {
+			return nil, fmt.Errorf("fl: %s round %d: %w", algo.Name(), t, err)
+		}
+		vtime += syncMakespan(participants, sched)
+		traffic := s.Ledger.EndRound(t)
+		if t%s.Cfg.EvalEvery == 0 || t == s.Cfg.Rounds {
+			m := s.Evaluate()
+			m.Round = t
+			m.LocalEpochs = t * algo.EpochsPerRound()
+			m.UpBytes = traffic.UpBytes
+			m.DownBytes = traffic.DownBytes
+			m.SimTime = vtime
+			s.History = append(s.History, m)
+		}
+	}
+	return s.History, nil
+}
+
+// syncMakespan is the virtual duration of one barrier round: participants'
+// costs packed greedily (in id order) onto Workers nodes; the round ends
+// when the most loaded node finishes.
+func syncMakespan(participants []int, sched *SchedulerConfig) float64 {
+	if len(participants) == 0 {
+		return 0
+	}
+	w := sched.Workers
+	if w > len(participants) {
+		w = len(participants)
+	}
+	loads := make([]float64, w)
+	for _, id := range participants {
+		min := 0
+		for i := 1; i < w; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += sched.cost(id)
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// runAsync is the event-driven engine shared by the async-bounded and
+// semi-sync schedulers.
+func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
+	if len(s.Clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if err := algo.Setup(s); err != nil {
+		return nil, fmt.Errorf("fl: %s setup: %w", algo.Name(), err)
+	}
+	if err := algo.AsyncSetup(s, sched); err != nil {
+		return nil, fmt.Errorf("fl: %s async setup: %w", algo.Name(), err)
+	}
+	k := len(s.Clients)
+	// One virtual round's worth of updates: async commits every
+	// ⌈K·rate⌉ applies, semi-sync at its quorum.
+	cohortSize := int(math.Ceil(float64(k) * s.Cfg.SampleRate))
+	if cohortSize < 1 {
+		cohortSize = 1
+	}
+	if cohortSize > k {
+		cohortSize = k
+	}
+	commitEvery := cohortSize
+	if sched.Kind == SchedSemiSync {
+		commitEvery = sched.Quorum
+		if commitEvery <= 0 {
+			commitEvery = (cohortSize + 1) / 2
+		}
+		if commitEvery > cohortSize {
+			commitEvery = cohortSize
+		}
+	}
+
+	// At most one flight exists per client, so a queue that can hold every
+	// client's result guarantees workers never block on delivery while
+	// holding a pool token — the engine may itself block on a token in
+	// dispatch, and a worker stuck sending would deadlock it.
+	depth := sched.QueueDepth
+	if depth < k {
+		depth = k
+	}
+	e := &engine{
+		sim:      s,
+		algo:     algo,
+		sched:    sched,
+		queue:    make(chan asyncResult, depth),
+		arrived:  make(map[int]*asyncResult, sched.Workers),
+		idle:     make([]bool, k),
+		nodeFree: make([]float64, sched.Workers),
+	}
+	for i := range e.idle {
+		e.idle[i] = true
+	}
+	defer e.quiesce() // never leave a pool worker running on any exit path
+
+	e.refill(cohortSize)
+	applied := 0
+	for e.version < s.Cfg.Rounds {
+		if e.heap.Len() == 0 {
+			// Staleness drops can exhaust a semi-sync cohort below its
+			// quorum; reopen the round rather than stall.
+			e.refill(cohortSize)
+			if e.heap.Len() == 0 {
+				break
+			}
+		}
+		ft := heap.Pop(&e.heap).(*flight)
+		e.now = ft.vtime
+		res := e.resolve(ft)
+		e.idle[ft.client] = true
+		if res.err != nil {
+			return nil, fmt.Errorf("fl: %s client %d: %w", algo.Name(), ft.client, res.err)
+		}
+		u := res.u
+		// The upload reaches the server now (virtual delivery time); it
+		// costs wire bytes even if the server then drops it.
+		if u.UpFloats > 0 {
+			s.Ledger.RecordUp(s.Clients[ft.client].ID, u.UpFloats)
+		}
+		u.Staleness = e.version - ft.version
+		if u.Staleness > sched.MaxStaleness {
+			sched.Trace.add(TraceDrop, ft.client, e.version, e.now)
+		} else if s.Cfg.DropProb > 0 && s.Rng.Float64() < s.Cfg.DropProb {
+			// Failure injection: the update is lost in transit.
+			sched.Trace.add(TraceDrop, ft.client, e.version, e.now)
+		} else {
+			u.Weight = u.Scale * sched.StalenessWeight(u.Staleness)
+			sched.Trace.add(TraceDeliver, ft.client, e.version, e.now)
+			if u.Vecs != nil {
+				if err := algo.AsyncApply(s, u); err != nil {
+					return nil, fmt.Errorf("fl: %s apply from client %d: %w", algo.Name(), ft.client, err)
+				}
+			}
+			applied++
+		}
+		if applied >= commitEvery {
+			applied = 0
+			if err := algo.AsyncCommit(s); err != nil {
+				return nil, fmt.Errorf("fl: %s commit: %w", algo.Name(), err)
+			}
+			e.version++
+			sched.Trace.add(TraceCommit, -1, e.version, e.now)
+			traffic := s.Ledger.EndRound(e.version)
+			if e.version%s.Cfg.EvalEvery == 0 || e.version == s.Cfg.Rounds {
+				e.quiesce()
+				m := s.Evaluate()
+				m.Round = e.version
+				m.LocalEpochs = e.version * algo.EpochsPerRound()
+				m.UpBytes = traffic.UpBytes
+				m.DownBytes = traffic.DownBytes
+				m.SimTime = e.now
+				s.History = append(s.History, m)
+			}
+			if sched.Kind == SchedSemiSync && e.version < s.Cfg.Rounds {
+				e.refill(cohortSize)
+			}
+		}
+		if sched.Kind == SchedAsyncBounded && e.version < s.Cfg.Rounds {
+			e.refill(cohortSize)
+		}
+	}
+	return s.History, nil
+}
+
+// engine holds the event-driven scheduler state. All fields are owned by
+// the engine goroutine; client workers communicate only through the
+// buffered event queue.
+type engine struct {
+	sim   *Simulation
+	algo  AsyncAlgorithm
+	sched *SchedulerConfig
+
+	now     float64
+	seq     int
+	version int
+	heap    flightHeap
+	queue   chan asyncResult
+	arrived map[int]*asyncResult
+	idle    []bool
+	// nodeFree[n] is when virtual node n finishes its queued work; a
+	// dispatch starts on the earliest-free node, so a cohort larger than
+	// Workers serializes on the virtual cluster exactly like runSync's
+	// makespan packing.
+	nodeFree []float64
+}
+
+// refill tops the virtual nodes back up: the async scheduler keeps every
+// node busy with a randomly drawn idle client; semi-sync opens a round by
+// sampling a fresh cohort.
+func (e *engine) refill(cohortSize int) {
+	if e.sched.Kind == SchedSemiSync {
+		e.dispatchCohort(cohortSize)
+		return
+	}
+	for e.heap.Len() < e.sched.Workers && e.dispatchRandomIdle() {
+	}
+}
+
+// dispatchRandomIdle sends one uniformly drawn idle client into local
+// training; reports false when no client is idle.
+func (e *engine) dispatchRandomIdle() bool {
+	n := 0
+	for _, ok := range e.idle {
+		if ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	pick := e.sim.Rng.Intn(n)
+	for id, ok := range e.idle {
+		if !ok {
+			continue
+		}
+		if pick == 0 {
+			e.dispatch(id)
+			return true
+		}
+		pick--
+	}
+	return false
+}
+
+// dispatchCohort samples up to n idle clients without replacement and
+// dispatches them in client-id order — the semi-sync round opening.
+func (e *engine) dispatchCohort(n int) {
+	idle := make([]int, 0, len(e.idle))
+	for id, ok := range e.idle {
+		if ok {
+			idle = append(idle, id)
+		}
+	}
+	if len(idle) == 0 {
+		return
+	}
+	if n > len(idle) {
+		n = len(idle)
+	}
+	perm := e.sim.Rng.Perm(len(idle))[:n]
+	picked := make([]int, n)
+	for i, p := range perm {
+		picked[i] = idle[p]
+	}
+	sort.Ints(picked)
+	for _, id := range picked {
+		e.dispatch(id)
+	}
+}
+
+// dispatch snapshots server state down to the client and launches its local
+// update as a persistent-pool task. The result is delivered through the
+// buffered event queue and consumed when the update's virtual completion
+// time is reached.
+func (e *engine) dispatch(id int) {
+	e.idle[id] = false
+	e.sched.Trace.add(TraceDispatch, id, e.version, e.now)
+	// Start on the earliest-free virtual node, no sooner than now.
+	node := 0
+	for n := 1; n < len(e.nodeFree); n++ {
+		if e.nodeFree[n] < e.nodeFree[node] {
+			node = n
+		}
+	}
+	start := e.now
+	if e.nodeFree[node] > start {
+		start = e.nodeFree[node]
+	}
+	ft := &flight{client: id, version: e.version, vtime: start + e.sched.cost(id), seq: e.seq}
+	e.nodeFree[node] = ft.vtime
+	e.seq++
+	heap.Push(&e.heap, ft)
+	if err := e.algo.AsyncDispatch(e.sim, id); err != nil {
+		ft.res = &asyncResult{client: id, err: err}
+		return
+	}
+	sim, algo, queue := e.sim, e.algo, e.queue
+	tensor.Spawn(func() {
+		u, err := algo.AsyncLocal(sim, id)
+		if err == nil && u == nil {
+			err = fmt.Errorf("AsyncLocal returned a nil update")
+		}
+		queue <- asyncResult{client: id, u: u, err: err}
+	})
+}
+
+// resolve blocks until the flight's result has arrived on the event queue.
+// Results arrive in real completion order; the engine files them by client
+// and consumes them in virtual-time order.
+func (e *engine) resolve(f *flight) *asyncResult {
+	for f.res == nil {
+		if r, ok := e.arrived[f.client]; ok {
+			delete(e.arrived, f.client)
+			f.res = r
+			break
+		}
+		r := <-e.queue
+		rr := r
+		e.arrived[rr.client] = &rr
+	}
+	return f.res
+}
+
+// quiesce waits for every in-flight local update to finish computing (filing
+// results for later virtual-time delivery, without applying them) so client
+// models can be read: evaluation and engine shutdown both pass through here.
+func (e *engine) quiesce() {
+	for _, f := range e.heap {
+		if f.res == nil {
+			e.resolve(f)
+		}
+	}
+}

@@ -6,7 +6,6 @@
 package fl
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -115,6 +114,9 @@ type Config struct {
 	DropProb float64
 	// EvalEvery evaluates accuracy every n rounds (default 1).
 	EvalEvery int
+	// Codec selects the wire codec payloads are accounted (and, through
+	// Uplink, quantized) with. The zero value is lossless float64.
+	Codec comm.Codec
 }
 
 // RoundMetrics is one evaluation point.
@@ -126,6 +128,10 @@ type RoundMetrics struct {
 	PerClient   []float64
 	UpBytes     int64
 	DownBytes   int64
+	// SimTime is the cumulative virtual time (in client-update cost units)
+	// at this evaluation point; round throughput comparisons across
+	// schedulers divide Round by it.
+	SimTime float64
 }
 
 // Algorithm is a federated training algorithm. Setup runs once before the
@@ -163,36 +169,40 @@ func NewSimulation(clients []*Client, cfg Config) *Simulation {
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 1
 	}
+	ledger := comm.NewLedger()
+	ledger.SetCodec(cfg.Codec)
 	return &Simulation{
 		Clients: clients,
-		Ledger:  comm.NewLedger(),
+		Ledger:  ledger,
 		Rng:     rand.New(rand.NewSource(cfg.Seed)),
 		Cfg:     cfg,
 	}
 }
 
-// Run executes the algorithm for the configured number of rounds and
-// returns the metrics history.
+// Run executes the algorithm for the configured number of rounds under the
+// sync (lock-step) scheduler and returns the metrics history. Use
+// RunScheduled to pick a different scheduler.
 func (s *Simulation) Run(algo Algorithm) ([]RoundMetrics, error) {
-	if err := algo.Setup(s); err != nil {
-		return nil, fmt.Errorf("fl: %s setup: %w", algo.Name(), err)
-	}
-	for t := 1; t <= s.Cfg.Rounds; t++ {
-		participants := s.sampleParticipants()
-		if err := algo.Round(s, t, participants); err != nil {
-			return nil, fmt.Errorf("fl: %s round %d: %w", algo.Name(), t, err)
-		}
-		traffic := s.Ledger.EndRound(t)
-		if t%s.Cfg.EvalEvery == 0 || t == s.Cfg.Rounds {
-			m := s.Evaluate()
-			m.Round = t
-			m.LocalEpochs = t * algo.EpochsPerRound()
-			m.UpBytes = traffic.UpBytes
-			m.DownBytes = traffic.DownBytes
-			s.History = append(s.History, m)
-		}
-	}
-	return s.History, nil
+	return s.RunScheduled(algo, SchedulerConfig{Kind: SchedSync})
+}
+
+// Uplink records a client → server payload on the traffic ledger and passes
+// it through the configured wire codec's quantization in place, so lossy
+// codecs (float32/int8) affect aggregation exactly as the wire would. It
+// returns v for chaining. Safe to call from parallel client loops in sync
+// rounds; AsyncLocal implementations must use Quantize plus Update.UpFloats
+// instead, so the engine books the bytes at virtual delivery time.
+func (s *Simulation) Uplink(client int, v []float64) []float64 {
+	s.Ledger.RecordUp(client, len(v))
+	comm.RoundTripInPlace(s.Cfg.Codec, v)
+	return v
+}
+
+// Quantize passes v through the configured wire codec in place (no ledger
+// recording) and returns it for chaining.
+func (s *Simulation) Quantize(v []float64) []float64 {
+	comm.RoundTripInPlace(s.Cfg.Codec, v)
+	return v
 }
 
 // sampleParticipants draws ⌈K·rate⌉ distinct clients and applies failure

@@ -1,0 +1,141 @@
+package fl
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ShardedAccumulator is the server-side aggregation state of the async
+// federation engine: a flat vector of length n split into contiguous
+// shards, each with its own lock and weight total, so concurrent deliveries
+// fold in parallel and a commit merges every shard at once. Two layouts are
+// supported: an even split for monolithic weight vectors (NewSharded) and a
+// segment-per-shard split for structured state such as per-class prototypes
+// (NewSegmented), where each segment accumulates under its own weight.
+type ShardedAccumulator struct {
+	bounds []int // shard s covers [bounds[s], bounds[s+1])
+	sum    []float64
+	wsum   []float64
+	locks  []sync.Mutex
+}
+
+// NewSharded builds an accumulator over n elements split into at most
+// shards even contiguous ranges.
+func NewSharded(n, shards int) *ShardedAccumulator {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 { // n == 0
+		shards = 1
+	}
+	bounds := make([]int, shards+1)
+	chunk := (n + shards - 1) / shards
+	for s := 1; s < shards; s++ {
+		hi := s * chunk
+		if hi > n {
+			hi = n
+		}
+		bounds[s] = hi
+	}
+	bounds[shards] = n
+	return newFromBounds(bounds)
+}
+
+// NewSegmented builds an accumulator with one shard per segment; segment s
+// has segLens[s] elements and its own aggregation weight.
+func NewSegmented(segLens []int) *ShardedAccumulator {
+	bounds := make([]int, len(segLens)+1)
+	for s, l := range segLens {
+		bounds[s+1] = bounds[s] + l
+	}
+	return newFromBounds(bounds)
+}
+
+func newFromBounds(bounds []int) *ShardedAccumulator {
+	shards := len(bounds) - 1
+	return &ShardedAccumulator{
+		bounds: bounds,
+		sum:    make([]float64, bounds[shards]),
+		wsum:   make([]float64, shards),
+		locks:  make([]sync.Mutex, shards),
+	}
+}
+
+// Len returns the total element count.
+func (a *ShardedAccumulator) Len() int { return len(a.sum) }
+
+// Shards returns the shard count.
+func (a *ShardedAccumulator) Shards() int { return len(a.wsum) }
+
+// Accumulate folds one full-length weighted vector into every shard,
+// processing shards concurrently on the worker pool. Safe against
+// concurrent Accumulate and AccumulateSegment calls.
+func (a *ShardedAccumulator) Accumulate(vec []float64, w float64) {
+	if len(vec) != len(a.sum) {
+		panic("fl: ShardedAccumulator.Accumulate length mismatch")
+	}
+	tensor.ParallelSharded(a.Shards(), a.Shards(), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			a.lockedFold(s, vec[a.bounds[s]:a.bounds[s+1]], w)
+		}
+	})
+}
+
+// AccumulateSegment folds a weighted vector into one segment shard (for
+// example one class prototype). seg must have the shard's exact length.
+func (a *ShardedAccumulator) AccumulateSegment(s int, seg []float64, w float64) {
+	if len(seg) != a.bounds[s+1]-a.bounds[s] {
+		panic("fl: ShardedAccumulator.AccumulateSegment length mismatch")
+	}
+	a.lockedFold(s, seg, w)
+}
+
+func (a *ShardedAccumulator) lockedFold(s int, seg []float64, w float64) {
+	a.locks[s].Lock()
+	sum := a.sum[a.bounds[s]:a.bounds[s+1]]
+	for i, v := range seg {
+		sum[i] += w * v
+	}
+	a.wsum[s] += w
+	a.locks[s].Unlock()
+}
+
+// CommitInto merges the accumulated weighted means into dst and resets the
+// accumulator: for every shard with positive weight,
+//
+//	dst[i] = (1-mix)·dst[i] + mix·sum[i]/wsum
+//
+// Shards that received no weight leave dst untouched (so, for example,
+// unseen prototype classes keep their previous value). When touched is
+// non-nil it must have Shards() entries and is set to whether each shard
+// committed. Shards merge concurrently on the worker pool; the per-element
+// arithmetic is independent of the worker count, so commits are
+// deterministic.
+func (a *ShardedAccumulator) CommitInto(dst []float64, mix float64, touched []bool) {
+	if len(dst) != len(a.sum) {
+		panic("fl: ShardedAccumulator.CommitInto length mismatch")
+	}
+	tensor.ParallelSharded(a.Shards(), a.Shards(), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			a.locks[s].Lock()
+			w := a.wsum[s]
+			if touched != nil {
+				touched[s] = w > 0
+			}
+			if w > 0 {
+				inv := 1 / w
+				keep := 1 - mix
+				for i := a.bounds[s]; i < a.bounds[s+1]; i++ {
+					dst[i] = keep*dst[i] + mix*a.sum[i]*inv
+					a.sum[i] = 0
+				}
+				a.wsum[s] = 0
+			}
+			a.locks[s].Unlock()
+		}
+	})
+}

@@ -48,6 +48,51 @@ func init() {
 // package initialization).
 func Workers() int { return poolWorkers }
 
+// maxHelpers caps how many pool workers the Parallel* primitives may enlist
+// beyond the calling goroutine. It exists for determinism tests that force
+// serial execution; 0 means "no cap" (use the whole pool).
+var maxHelpers atomic.Int32
+
+// SetMaxWorkers limits Parallel and ParallelSharded to at most n concurrent
+// goroutines (including the caller) and returns the previous limit. n <= 0
+// or n >= Workers() removes the cap. Intended for tests that compare serial
+// against parallel execution; Spawn is unaffected.
+func SetMaxWorkers(n int) int {
+	prev := int(maxHelpers.Load())
+	if prev == 0 {
+		prev = poolWorkers
+	}
+	if n <= 0 || n >= poolWorkers {
+		maxHelpers.Store(0)
+	} else {
+		maxHelpers.Store(int32(n))
+	}
+	return prev
+}
+
+// curWorkers reports the effective concurrency bound for Parallel*.
+func curWorkers() int {
+	if m := int(maxHelpers.Load()); m > 0 {
+		return m
+	}
+	return poolWorkers
+}
+
+// Spawn runs f asynchronously on the persistent worker pool, blocking the
+// caller until a worker token is free. Unlike Parallel it does not wait for
+// f to finish. Long-running tasks — the async federation engine's client
+// updates — go through Spawn so their compute shares the same concurrency
+// budget as the kernel-level loops: while all tokens are held, nested
+// Parallel* calls inside f degrade to inline execution instead of
+// oversubscribing the machine.
+func Spawn(f func()) {
+	<-poolTokens
+	poolTasks <- func() {
+		f()
+		poolTokens <- struct{}{}
+	}
+}
+
 // ParallelSharded splits [0,n) into at most shards contiguous ranges and
 // calls f(shard, lo, hi) once per non-empty range. Each range is processed
 // by exactly one goroutine, so shard-indexed accumulators need no locking;
@@ -60,31 +105,39 @@ func ParallelSharded(n, shards int, f func(shard, lo, hi int)) {
 	if shards > n {
 		shards = n
 	}
-	if shards <= 1 || poolWorkers == 1 {
+	if shards <= 1 || curWorkers() == 1 {
 		f(0, 0, n)
 		return
 	}
 	chunk := (n + shards - 1) / shards
 	var wg sync.WaitGroup
 	shard := 0
+	// The worker cap bounds concurrency only: shard boundaries are identical
+	// at every cap, so per-shard arithmetic (and any caller-side reduction
+	// over shards) is bit-identical whether ranges run inline or on workers.
+	dispatched, budget := 0, curWorkers()-1
 	for lo := chunk; lo < n; lo += chunk {
 		shard++
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		select {
-		case <-poolTokens:
-			wg.Add(1)
-			s, l, h := shard, lo, hi
-			poolTasks <- func() {
-				f(s, l, h)
-				poolTokens <- struct{}{}
-				wg.Done()
+		if dispatched < budget {
+			select {
+			case <-poolTokens:
+				dispatched++
+				wg.Add(1)
+				s, l, h := shard, lo, hi
+				poolTasks <- func() {
+					f(s, l, h)
+					poolTokens <- struct{}{}
+					wg.Done()
+				}
+				continue
+			default:
 			}
-		default:
-			f(shard, lo, hi)
 		}
+		f(shard, lo, hi)
 	}
 	f(0, 0, chunk)
 	wg.Wait()
@@ -99,7 +152,7 @@ func Parallel(n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if n == 1 || poolWorkers == 1 {
+	if n == 1 || curWorkers() == 1 {
 		for i := 0; i < n; i++ {
 			f(i)
 		}
@@ -116,7 +169,7 @@ func Parallel(n int, f func(i int)) {
 		}
 	}
 	var wg sync.WaitGroup
-	helpers := poolWorkers - 1
+	helpers := curWorkers() - 1
 	if helpers > n-1 {
 		helpers = n - 1
 	}
