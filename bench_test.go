@@ -29,11 +29,11 @@ func runMethod(b *testing.B, method string, fleetKind string) {
 	var factory experiments.ClientFactory
 	switch fleetKind {
 	case "het":
-		factory, _ = experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+		factory, _, _ = experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
 	case "hom":
-		factory, _ = experiments.NewHomogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+		factory, _, _ = experiments.NewHomogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
 	case "proto":
-		factory, _ = experiments.NewProtoFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+		factory, _, _ = experiments.NewProtoFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -50,7 +50,10 @@ func runThroughput(b *testing.B, kind fl.SchedulerKind) {
 	b.Helper()
 	s := benchScale()
 	s.Rounds = 6
-	factory, _ := experiments.NewHomogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHomogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	sched := fl.SchedulerConfig{
 		Kind:  kind,
 		Decay: 0.5,
@@ -257,7 +260,10 @@ func BenchmarkMatMulInto64(b *testing.B) {
 
 func BenchmarkConvForward(b *testing.B) {
 	s := benchScale()
-	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	c := factory()[0]
 	x := tensor.New(8, 1, 12, 12)
 	x.Fill(0.1)
@@ -285,7 +291,10 @@ func BenchmarkConvTrainStep(b *testing.B) {
 
 func BenchmarkClientLocalEpoch(b *testing.B) {
 	s := benchScale()
-	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	clients := factory()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -295,7 +304,10 @@ func BenchmarkClientLocalEpoch(b *testing.B) {
 
 func BenchmarkClassifierAveraging(b *testing.B) {
 	s := benchScale()
-	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	clients := factory()
 	dst := clients[0].Model.ClassifierParams()
 	srcs := make([][]*nn.Param, len(clients))
@@ -315,7 +327,10 @@ func BenchmarkClassifierAveraging(b *testing.B) {
 // Sanity guard: the bench harness itself must produce valid accuracies.
 func TestBenchHarnessSanity(t *testing.T) {
 	s := benchScale()
-	factory, _ := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hist, err := experiments.Run(experiments.MethodProposed, experiments.Fashion, factory, s, 1.0)
 	if err != nil {
 		t.Fatal(err)

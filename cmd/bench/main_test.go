@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// The bench binary shells out to `go test -bench` over the whole module, so
+// its smoke test stops at build + usage: a full run would recompile the
+// root test package inside every CI test job.
+func TestBenchSmoke(t *testing.T) {
+	out := cmdtest.Run(t, nil, "-h")
+	if !strings.Contains(out, "-bench") {
+		t.Fatalf("missing usage output:\n%s", out)
+	}
+}

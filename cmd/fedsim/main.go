@@ -1,22 +1,28 @@
 // Command fedsim runs one federated-learning experiment from the command
 // line: pick a dataset stand-in, a partition, a fleet kind, a method, a
 // scheduler and a wire codec, and it prints the learning curve and final
-// personalized accuracy.
+// personalized accuracy. Long runs can checkpoint every N rounds and resume
+// after a crash: a resumed run replays byte-identical metrics and trace to
+// an uninterrupted one (under the f64 checkpoint codec).
 //
 // Examples:
 //
 //	fedsim -dataset fashion -partition dir -method Proposed
 //	fedsim -dataset cifar10 -partition skewed -method KT-pFL -clients 12 -rounds 60
-//	fedsim -dataset emnist -fleet homogeneous -method FedAvg
 //	fedsim -method Proposed -sched async -staleness 2 -decay 0.5 -stragglers 2 -slowdown 2
 //	fedsim -method FedAvg -fleet homogeneous -codec i8
+//	fedsim -method Proposed -checkpoint ckpts -every 2          # snapshot rounds 2,4,...
+//	fedsim -method Proposed -resume ckpts/round-00004.ckpt      # continue after a kill
+//	fedsim -method Proposed -sched semisync -leave 0.2 -rejoin 4 # client churn
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/experiments"
@@ -31,23 +37,47 @@ func main() {
 		method     = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight | CA | CA+PR | CA+CL | CA+PR+CL")
 		clients    = flag.Int("clients", 0, "number of clients (0 = scale default)")
 		rounds     = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
-		rate       = flag.Float64("rate", 1.0, "client sampling rate per round")
+		rate       = flag.Float64("rate", 1.0, "client sampling rate per round, in (0, 1]")
 		seed       = flag.Int64("seed", 1, "experiment seed")
 		featDim    = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
 		schedName  = flag.String("sched", "sync", "scheduler: sync | async | semisync")
 		staleness  = flag.Int("staleness", 0, "async: drop updates staler than this many commits (0 = default 8)")
 		decay      = flag.Float64("decay", 0, "staleness decay α in weight 1/(1+α·s) (0 = no decay)")
-		mix        = flag.Float64("mix", 0, "commit mixing λ into committed state (0 = 1, plain averaging)")
-		quorum     = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority)")
+		mix        = flag.Float64("mix", 0, "commit mixing λ into committed state, in [0, 1] (0 = 1, plain averaging)")
+		quorum     = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority; at most -clients)")
 		workers    = flag.Int("workers", 0, "virtual server nodes (0 = one per client)")
 		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8")
-		stragglers = flag.Int("stragglers", 0, "number of straggler clients")
-		slowdown   = flag.Float64("slowdown", 2, "virtual cost factor of straggler clients")
+		stragglers = flag.Int("stragglers", 0, "number of straggler clients (at most -clients)")
+		slowdown   = flag.Float64("slowdown", 2, "virtual cost factor of straggler clients (>= 1)")
+		leave      = flag.Float64("leave", 0, "client churn: per-engagement leave probability, in [0, 1)")
+		rejoin     = flag.Float64("rejoin", 0, "client churn: virtual time away before rejoining (0 = default 2)")
+		ckptDir    = flag.String("checkpoint", "", "directory to write round-NNNNN.ckpt snapshots into")
+		every      = flag.Int("every", 1, "with -checkpoint: snapshot every N committed rounds")
+		resume     = flag.String("resume", "", "checkpoint file to resume from (same flags as the original run)")
+		traceFile  = flag.String("trace", "", "file to write the scheduler event trace to")
+		ckptCodec  = flag.String("ckptcodec", "f64", "checkpoint payload codec: f64 (lossless replay) | f32 | i8")
 	)
 	flag.Parse()
 
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fedsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		usage("unexpected arguments %q", strings.Join(args, " "))
+	}
+
 	s := experiments.Small()
 	s.Seed = *seed
+	if *clients < 0 {
+		usage("-clients must be >= 0, got %d", *clients)
+	}
+	if *rounds < 0 {
+		usage("-rounds must be >= 0, got %d", *rounds)
+	}
+	if *featDim < 0 {
+		usage("-featdim must be >= 0, got %d", *featDim)
+	}
 	if *clients > 0 {
 		s.Clients = *clients
 	}
@@ -58,48 +88,125 @@ func main() {
 		s.FeatDim = *featDim
 	}
 
-	name := experiments.DatasetName(*dataset)
-	kind := data.Dirichlet
-	if *partition == "skewed" {
-		kind = data.Skewed
+	// Flag validation: every constraint that would otherwise deadlock the
+	// quorum, invert the straggler model or silently misbehave fails fast
+	// here with a usage error.
+	name, err := experiments.ParseDataset(*dataset)
+	if err != nil {
+		usage("%v", err)
+	}
+	kind, err := data.ParsePartition(*partition)
+	if err != nil {
+		usage("%v", err)
 	}
 	schedKind, err := fl.ParseScheduler(*schedName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
-		os.Exit(2)
+		usage("%v", err)
 	}
 	codec, err := comm.ParseCodec(*codecName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
-		os.Exit(2)
+		usage("%v", err)
 	}
+	snapCodec, err := comm.ParseCodec(*ckptCodec)
+	if err != nil {
+		usage("%v", err)
+	}
+	if *rate <= 0 || *rate > 1 {
+		usage("-rate must be in (0, 1], got %v", *rate)
+	}
+	if *staleness < 0 {
+		usage("-staleness must be >= 0, got %d", *staleness)
+	}
+	if *decay < 0 {
+		usage("-decay must be >= 0, got %v", *decay)
+	}
+	if *mix < 0 || *mix > 1 {
+		usage("-mix must be in [0, 1], got %v", *mix)
+	}
+	if *quorum < 0 || *quorum > s.Clients {
+		usage("-quorum must be in [0, %d (clients)], got %d — a quorum above the client count can never be met", s.Clients, *quorum)
+	}
+	if *workers < 0 {
+		usage("-workers must be >= 0, got %d", *workers)
+	}
+	if *stragglers < 0 || *stragglers > s.Clients {
+		usage("-stragglers must be in [0, %d (clients)], got %d", s.Clients, *stragglers)
+	}
+	if *slowdown < 1 {
+		usage("-slowdown must be >= 1, got %v — factors below 1 would make stragglers the fastest clients", *slowdown)
+	}
+	if *leave < 0 || *leave >= 1 {
+		usage("-leave must be in [0, 1), got %v", *leave)
+	}
+	if *rejoin < 0 {
+		usage("-rejoin must be >= 0, got %v", *rejoin)
+	}
+	if *every < 1 {
+		usage("-every must be >= 1, got %d", *every)
+	}
+
 	sched := fl.SchedulerConfig{
-		Kind:         schedKind,
-		MaxStaleness: *staleness,
-		Decay:        *decay,
-		MixRate:      *mix,
-		Quorum:       *quorum,
-		Workers:      *workers,
+		Kind:            schedKind,
+		MaxStaleness:    *staleness,
+		Decay:           *decay,
+		MixRate:         *mix,
+		Quorum:          *quorum,
+		Workers:         *workers,
+		LeaveProb:       *leave,
+		RejoinAfter:     *rejoin,
+		CheckpointEvery: *every,
+	}
+	if *traceFile != "" || *ckptDir != "" || *resume != "" {
+		// Checkpoints carry the event history, so a checkpointing run must
+		// trace even without -trace — that is what lets a resumed run
+		// reproduce the full trace.
+		sched.Trace = &fl.Trace{}
 	}
 	if *stragglers > 0 {
 		sched.Costs = experiments.StragglerCosts(s.Clients, *stragglers, *slowdown)
+	}
+	if *ckptDir != "" {
+		sched.Checkpoint = ckpt.Saver(*ckptDir, snapCodec)
+	}
+	if *resume != "" {
+		snap, err := ckpt.Load(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		if snap.Kind != schedKind {
+			usage("checkpoint %s was taken under the %s scheduler, -sched asks for %s", *resume, snap.Kind, schedKind)
+		}
+		if len(snap.Clients) != s.Clients {
+			usage("checkpoint %s holds %d clients, flags configure %d", *resume, len(snap.Clients), s.Clients)
+		}
+		if snap.Round >= s.Rounds {
+			usage("checkpoint %s is already at round %d of %d — nothing to resume", *resume, snap.Round, s.Rounds)
+		}
+		sched.Resume = snap
 	}
 
 	var factory experiments.ClientFactory
 	switch *fleet {
 	case "heterogeneous":
-		factory, _ = experiments.NewHeterogeneousFleet(name, kind, s.Clients, s)
+		factory, _, err = experiments.NewHeterogeneousFleet(name, kind, s.Clients, s)
 	case "homogeneous":
-		factory, _ = experiments.NewHomogeneousFleet(name, kind, s.Clients, s)
+		factory, _, err = experiments.NewHomogeneousFleet(name, kind, s.Clients, s)
 	case "proto":
-		factory, _ = experiments.NewProtoFleet(name, kind, s.Clients, s)
+		factory, _, err = experiments.NewProtoFleet(name, kind, s.Clients, s)
 	default:
-		fmt.Fprintf(os.Stderr, "fedsim: unknown fleet %q\n", *fleet)
-		os.Exit(2)
+		usage("unknown fleet %q (want heterogeneous | homogeneous | proto)", *fleet)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s)\n",
 		*method, name, kind, *fleet, s.Clients, s.Rounds, *rate, schedKind, codec)
+	if sched.Resume != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: resumed from %s at round %d\n", *resume, sched.Resume.Round)
+	}
 	hist, err := experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
@@ -116,4 +223,22 @@ func main() {
 		throughput = float64(fin.Round) / fin.SimTime
 	}
 	fmt.Printf("# final: %.4f ± %.4f (%.2f rounds per virtual time unit)\n", fin.MeanAcc, fin.StdAcc, throughput)
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, sched.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the scheduler event sequence as one CSV line per event,
+// so kill-and-resume runs can be diffed against uninterrupted ones.
+func writeTrace(path string, tr *fl.Trace) error {
+	var b strings.Builder
+	b.WriteString("event,client,version,vtime\n")
+	for _, ev := range tr.Events {
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f\n", ev.Kind, ev.Client, ev.Version, ev.Time)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

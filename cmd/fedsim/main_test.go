@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// fedsim must run a tiny experiment end to end and print the CSV learning
+// curve plus the final summary line.
+func TestFedsimSmoke(t *testing.T) {
+	out := cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "4", "-rounds", "2", "-featdim", "16")
+	if !strings.Contains(out, "round,local_epochs,mean_acc") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "# final:") {
+		t.Fatalf("missing final summary:\n%s", out)
+	}
+}
+
+// The binary-level kill-and-resume golden: checkpoint every round, then
+// resume from the middle with a fresh process; stdout and the scheduler
+// trace must be byte-identical to the uninterrupted run.
+func TestFedsimCheckpointResumeGolden(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{
+		"-dataset", "fashion", "-clients", "4", "-rounds", "4", "-featdim", "16",
+		"-sched", "semisync", "-quorum", "2", "-stragglers", "1", "-slowdown", "2", "-seed", "3",
+	}
+	fullTrace := filepath.Join(dir, "full.trace")
+	full := cmdtest.Run(t, nil, append(append([]string(nil), common...), "-trace", fullTrace)...)
+
+	ckptDir := filepath.Join(dir, "ckpt")
+	cmdtest.Run(t, nil, append(append([]string(nil), common...), "-checkpoint", ckptDir)...)
+
+	resumeTrace := filepath.Join(dir, "resume.trace")
+	resumed := cmdtest.Run(t, nil, append(append([]string(nil), common...),
+		"-resume", filepath.Join(ckptDir, "round-00002.ckpt"), "-trace", resumeTrace)...)
+
+	// The resumed run prints an extra "resumed from" notice on stderr;
+	// compare the metric lines (stdout content).
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "fedsim: resumed") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(full) != strip(resumed) {
+		t.Fatalf("resumed output differs from uninterrupted run\n--- full ---\n%s\n--- resumed ---\n%s", full, resumed)
+	}
+	ft, err := os.ReadFile(fullTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := os.ReadFile(resumeTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ft) != string(rt) {
+		t.Fatal("resumed scheduler trace differs from uninterrupted run")
+	}
+}

@@ -37,14 +37,16 @@ func main() {
 
 	if want(2) {
 		for _, kind := range []data.PartitionKind{data.Dirichlet, data.Skewed} {
-			hist, _ := experiments.Figure23(experiments.CIFAR10, kind, s.Clients, s)
+			hist, _, err := experiments.Figure23(experiments.CIFAR10, kind, s.Clients, s)
+			exitOn(err)
 			fmt.Println(experiments.HistogramMarkdown(hist,
 				fmt.Sprintf("Figure 2 — CIFAR-10 stand-in label distribution, %s", kind)))
 		}
 	}
 	if want(3) {
 		for _, kind := range []data.PartitionKind{data.Dirichlet, data.Skewed} {
-			hist, _ := experiments.Figure23(experiments.EMNIST, kind, s.Clients, s)
+			hist, _, err := experiments.Figure23(experiments.EMNIST, kind, s.Clients, s)
+			exitOn(err)
 			fmt.Println(experiments.HistogramMarkdown(hist,
 				fmt.Sprintf("Figure 3 — EMNIST stand-in label distribution, %s", kind)))
 		}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// Figure 2 renders the partition histograms without any training — the
+// cheapest end-to-end path through the figures binary.
+func TestFiguresSmoke(t *testing.T) {
+	out := cmdtest.Run(t, nil, "-tiny", "-fig", "2")
+	if !strings.Contains(out, "Figure 2") {
+		t.Fatalf("missing Figure 2 output:\n%s", out)
+	}
+}

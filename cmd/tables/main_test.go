@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// Table 1 is the static hyperparameter record — the cheapest end-to-end
+// path through the tables binary.
+func TestTablesSmoke(t *testing.T) {
+	out := cmdtest.Run(t, nil, "-tiny", "-table", "1")
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("missing Table 1 output:\n%s", out)
+	}
+}

@@ -14,10 +14,13 @@ import (
 )
 
 func main() {
-	s := experiments.Small()
-	s.Rounds = 15
+	s := experiments.ScaleFromEnv(experiments.Small())
+	s.Rounds = min(s.Rounds, 15)
 	name := experiments.Fashion
-	factory, _ := experiments.NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	h := experiments.HyperparamsFor(name, s)
 
 	variants := []struct {

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestAblationSmoke(t *testing.T) {
+	out := cmdtest.Run(t, []string{"REPRO_SCALE=tiny"})
+	for _, want := range []string{"CA", "CA+PR", "CA+CL", "CA+PR+CL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -14,11 +14,17 @@ import (
 )
 
 func main() {
-	s := experiments.Small()
+	s := experiments.ScaleFromEnv(experiments.Small())
 	s.Rounds = 3
 	name := experiments.CIFAR10
-	hom, _ := experiments.NewHomogeneousFleet(name, data.Dirichlet, s.Clients, s)
-	het, _ := experiments.NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	hom, _, err := experiments.NewHomogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	het, _, err := experiments.NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	type runSpec struct {
 		method  string

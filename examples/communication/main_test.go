@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// The communication example must run at CI (tiny) scale and report live
+// ledger measurements for every protocol plus the quantized codec sweep.
+func TestCommunicationSmoke(t *testing.T) {
+	out := cmdtest.Run(t, []string{"REPRO_SCALE=tiny"})
+	for _, want := range []string{"per-client upload", "Table 5", "smaller than f64"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,14 +12,20 @@ import (
 )
 
 func main() {
-	s := experiments.Small()
-	s.Rounds = 15 // keep the demo quick; cmd/tables runs the full setting
+	s := experiments.ScaleFromEnv(experiments.Small())
+	s.Rounds = min(s.Rounds, 15) // keep the demo quick; cmd/tables runs the full setting
 	name := experiments.Fashion
 
 	for _, kind := range []data.PartitionKind{data.Dirichlet, data.Skewed} {
 		fmt.Printf("== %s, %s partition, %d clients ==\n", name, kind, s.Clients)
-		het, _ := experiments.NewHeterogeneousFleet(name, kind, s.Clients, s)
-		proto, _ := experiments.NewProtoFleet(name, kind, s.Clients, s)
+		het, _, err := experiments.NewHeterogeneousFleet(name, kind, s.Clients, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proto, _, err := experiments.NewProtoFleet(name, kind, s.Clients, s)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, method := range []string{
 			experiments.MethodBaseline,
 			experiments.MethodFedProto,

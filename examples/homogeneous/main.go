@@ -12,10 +12,13 @@ import (
 )
 
 func main() {
-	s := experiments.Small()
-	s.Rounds = 15
+	s := experiments.ScaleFromEnv(experiments.Small())
+	s.Rounds = min(s.Rounds, 15)
 	name := experiments.Fashion
-	factory, _ := experiments.NewHomogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	factory, _, err := experiments.NewHomogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("Homogeneous MiniResNet fleet on %s Dir(0.5), %d clients\n\n", name, s.Clients)
 	for _, method := range []string{

@@ -23,7 +23,10 @@ func main() {
 	)
 	// 1. A dataset and a non-iid partition.
 	ds := data.Generate(data.SynthFashion(16, 16, 42))
-	parts := data.Partition(ds, numClients, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 42})
+	parts, err := data.Partition(ds, numClients, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 2. Heterogeneous clients: each gets a different architecture but the
 	// same classifier shape (featDim → classes).

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// The quickstart example must build, run to completion and print a
+// learning curve with a non-empty metric line.
+func TestQuickstartSmoke(t *testing.T) {
+	out := cmdtest.Run(t, nil)
+	if !strings.Contains(out, "mean acc") {
+		t.Fatalf("no metric header in output:\n%s", out)
+	}
+	metricLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "0.") && !strings.Contains(line, "client") {
+			metricLines++
+		}
+	}
+	if metricLines == 0 {
+		t.Fatalf("no metric lines in output:\n%s", out)
+	}
+}

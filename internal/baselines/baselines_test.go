@@ -15,7 +15,10 @@ import (
 func fleet(t *testing.T, k int, arch func(int) models.Arch) []*fl.Client {
 	t.Helper()
 	ds := data.Generate(data.SynthFashion(6, 4, 3))
-	parts := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	clients := make([]*fl.Client, k)
 	for i := range clients {
 		rng := rand.New(rand.NewSource(int64(i + 1)))

@@ -153,6 +153,41 @@ func (f *FedAvg) AsyncCommit(sim *fl.Simulation) error {
 // Global returns a copy of the current global weight vector.
 func (f *FedAvg) Global() []float64 { return append([]float64(nil), f.global...) }
 
+// AlgoSnapshot captures the server state. Layout: Ints = [hasAcc]; Vecs =
+// [global] plus, under async schedulers, the accumulator's sums and
+// per-shard weights. Per-client proximal snapshots are not captured — after
+// the engine's quiesce they are dead until the next dispatch rewrites them.
+func (f *FedAvg) AlgoSnapshot(sim *fl.Simulation) (*fl.AlgoState, error) {
+	st := &fl.AlgoState{Vecs: [][]float64{fl.CloneVec(f.global)}}
+	hasAcc := int64(0)
+	if f.acc != nil {
+		hasAcc = 1
+		sum, wsum := f.acc.Snapshot()
+		st.Vecs = append(st.Vecs, sum, wsum)
+	}
+	st.Ints = []int64{hasAcc}
+	return st, nil
+}
+
+// AlgoRestore is the inverse of AlgoSnapshot.
+func (f *FedAvg) AlgoRestore(sim *fl.Simulation, st *fl.AlgoState) error {
+	if len(st.Ints) != 1 || len(st.Vecs) < 1 {
+		return fmt.Errorf("baselines: malformed %s state (%d ints, %d vecs)", f.Name(), len(st.Ints), len(st.Vecs))
+	}
+	if len(st.Vecs[0]) != len(f.global) {
+		return fmt.Errorf("baselines: %s checkpoint has %d global weights, model has %d",
+			f.Name(), len(st.Vecs[0]), len(f.global))
+	}
+	copy(f.global, st.Vecs[0])
+	if st.Ints[0] == 1 {
+		if f.acc == nil || len(st.Vecs) != 3 {
+			return fmt.Errorf("baselines: %s checkpoint carries accumulator state for a different scheduler", f.Name())
+		}
+		return f.acc.RestoreState(st.Vecs[1], st.Vecs[2])
+	}
+	return nil
+}
+
 // trainEpochProx is one cross-entropy epoch with the FedProx proximal term
 // against the given reference weights (the client's last download).
 func (f *FedAvg) trainEpochProx(c *fl.Client, batchSize int, global []float64) {

@@ -243,6 +243,62 @@ func (p *FedProto) AsyncCommit(sim *fl.Simulation) error {
 	return nil
 }
 
+// AlgoSnapshot captures the server state. Layout: Ints = [numClasses,
+// hasAcc]; Vecs = numClasses global prototypes (nil for never-reported
+// classes) plus, under async schedulers, the committed buffer, the touched
+// flags (0/1) and the class-segmented accumulator's sums and weights.
+// Per-client dispatch snapshots are not captured — dead after the quiesce.
+func (p *FedProto) AlgoSnapshot(sim *fl.Simulation) (*fl.AlgoState, error) {
+	st := &fl.AlgoState{}
+	for _, proto := range p.globalProtos {
+		st.Vecs = append(st.Vecs, fl.CloneVec(proto))
+	}
+	hasAcc := int64(0)
+	if p.acc != nil {
+		hasAcc = 1
+		touched := make([]float64, len(p.touched))
+		for i, ok := range p.touched {
+			if ok {
+				touched[i] = 1
+			}
+		}
+		sum, wsum := p.acc.Snapshot()
+		st.Vecs = append(st.Vecs, fl.CloneVec(p.committed), touched, sum, wsum)
+	}
+	st.Ints = []int64{int64(p.numClasses), hasAcc}
+	return st, nil
+}
+
+// AlgoRestore is the inverse of AlgoSnapshot.
+func (p *FedProto) AlgoRestore(sim *fl.Simulation, st *fl.AlgoState) error {
+	if len(st.Ints) != 2 || int(st.Ints[0]) != p.numClasses || len(st.Vecs) < p.numClasses {
+		return fmt.Errorf("baselines: malformed FedProto state (%d ints, %d vecs, %d classes)",
+			len(st.Ints), len(st.Vecs), p.numClasses)
+	}
+	for cls := 0; cls < p.numClasses; cls++ {
+		proto := st.Vecs[cls]
+		if proto != nil && len(proto) != p.featDim {
+			return fmt.Errorf("baselines: checkpoint prototype %d has %d dims, model has %d", cls, len(proto), p.featDim)
+		}
+		p.globalProtos[cls] = fl.CloneVec(proto)
+	}
+	if st.Ints[1] == 1 {
+		if p.acc == nil || len(st.Vecs) != p.numClasses+4 {
+			return fmt.Errorf("baselines: FedProto checkpoint carries accumulator state for a different scheduler")
+		}
+		committed, touched := st.Vecs[p.numClasses], st.Vecs[p.numClasses+1]
+		if len(committed) != len(p.committed) || len(touched) != len(p.touched) {
+			return fmt.Errorf("baselines: FedProto checkpoint committed/touched sizes do not match")
+		}
+		copy(p.committed, committed)
+		for i, v := range touched {
+			p.touched[i] = v != 0
+		}
+		return p.acc.RestoreState(st.Vecs[p.numClasses+2], st.Vecs[p.numClasses+3])
+	}
+	return nil
+}
+
 // localPrototypes computes per-class mean features over the client's
 // training data in evaluation mode.
 func (p *FedProto) localPrototypes(c *fl.Client, batchSize int) ([][]float64, []int) {

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/data"
@@ -383,6 +384,64 @@ func (k *KTpFL) AsyncCommit(sim *fl.Simulation) error {
 			}
 		}
 		k.pending[id] = mix
+	}
+	return nil
+}
+
+// AlgoSnapshot captures the server state. Layout: Ints = [k, hasAsync];
+// Vecs = the k coefficient-matrix rows plus, under async schedulers, the k
+// latest reports (nil-able), the k pending transfers (nil-able) and one
+// k-vector of staleness weights. Staged transfers are not captured: after
+// the engine's quiesce every dispatched client has consumed its stage.
+func (k *KTpFL) AlgoSnapshot(sim *fl.Simulation) (*fl.AlgoState, error) {
+	n := len(k.coeff)
+	st := &fl.AlgoState{}
+	for _, row := range k.coeff {
+		st.Vecs = append(st.Vecs, fl.CloneVec(row))
+	}
+	hasAsync := int64(0)
+	if k.latest != nil {
+		hasAsync = 1
+		for _, v := range k.latest {
+			st.Vecs = append(st.Vecs, fl.CloneVec(v))
+		}
+		for _, v := range k.pending {
+			st.Vecs = append(st.Vecs, fl.CloneVec(v))
+		}
+		st.Vecs = append(st.Vecs, fl.CloneVec(k.latestW))
+	}
+	st.Ints = []int64{int64(n), hasAsync}
+	return st, nil
+}
+
+// AlgoRestore is the inverse of AlgoSnapshot.
+func (k *KTpFL) AlgoRestore(sim *fl.Simulation, st *fl.AlgoState) error {
+	n := len(k.coeff)
+	if len(st.Ints) != 2 || int(st.Ints[0]) != n || len(st.Vecs) < n {
+		return fmt.Errorf("baselines: malformed %s state (%d ints, %d vecs, %d clients)",
+			k.Name(), len(st.Ints), len(st.Vecs), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(st.Vecs[i]) != n {
+			return fmt.Errorf("baselines: %s checkpoint coefficient row %d has %d entries, want %d",
+				k.Name(), i, len(st.Vecs[i]), n)
+		}
+		copy(k.coeff[i], st.Vecs[i])
+	}
+	if st.Ints[1] == 1 {
+		if k.latest == nil || len(st.Vecs) != 3*n+1 {
+			return fmt.Errorf("baselines: %s checkpoint carries async state for a different scheduler", k.Name())
+		}
+		for i := 0; i < n; i++ {
+			k.latest[i] = fl.CloneVec(st.Vecs[n+i])
+			k.pending[i] = fl.CloneVec(st.Vecs[2*n+i])
+			k.staged[i] = nil
+		}
+		w := st.Vecs[3*n]
+		if len(w) != n {
+			return fmt.Errorf("baselines: %s checkpoint staleness weights have %d entries, want %d", k.Name(), len(w), n)
+		}
+		copy(k.latestW, w)
 	}
 	return nil
 }

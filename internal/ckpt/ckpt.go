@@ -1,0 +1,473 @@
+// Package ckpt serializes fl.Snapshot federation checkpoints to a
+// versioned binary format and back, so long sweeps survive process death:
+// run-to-round-R, kill, resume is byte-identical in metrics and scheduler
+// trace to an uninterrupted run at the same seed (under the lossless f64
+// codec).
+//
+// # File format (version 1)
+//
+// A checkpoint file is
+//
+//	[8]  magic "FEDCKPT1"
+//	[4]  format version (uint32, little-endian)
+//	[4]  bulk payload codec (uint32: comm.F64 | comm.F32 | comm.I8)
+//	[..] body
+//
+// The body is a fixed traversal of the snapshot. Scalars are little-endian
+// 64-bit words (float64 as IEEE bits); booleans are single bytes. Every
+// float vector is stored as one internal/comm wire frame — the same
+// [kind][codec|n][payload] framing the federation's uplinks use — preceded
+// by a presence byte (nil vectors are first-class: FedProto prototypes) and
+// the frame's byte length. Bulk state (model parameters, optimizer moments,
+// in-flight payloads, algorithm vectors) is framed with the codec from the
+// header, so checkpoints can be quantized to float32 or int8 for an 2-8×
+// size cut; bookkeeping vectors (virtual clock state, metrics history,
+// ledger) always use the lossless f64 codec. Quantized checkpoints restore
+// and continue fine but forfeit the byte-identical replay contract, exactly
+// as a quantized uplink forfeits lossless aggregation.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/fl"
+	"repro/internal/opt"
+)
+
+// magic guards against feeding arbitrary files to Unmarshal; the trailing
+// byte is the format generation.
+const magic = "FEDCKPT1"
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+// Every decoded collection length is bounded by the bytes remaining in the
+// buffer (each element encodes at least one byte), so a corrupt or hostile
+// length field fails cleanly instead of attempting a huge allocation.
+
+// frame tags label the comm frames inside a checkpoint, one per field, so
+// a decoder desync surfaces as a tag mismatch instead of silent garbage.
+const (
+	tagNodeFree uint32 = iota + 1
+	tagAway
+	tagFlightVec
+	tagFlightCounts
+	tagPerClient
+	tagParams
+	tagBuffers
+	tagOptVec
+	tagAlgoVec
+)
+
+// Marshal serializes a snapshot, framing bulk payloads with the given
+// codec.
+func Marshal(snap *fl.Snapshot, codec comm.Codec) ([]byte, error) {
+	e := &encoder{codec: codec}
+	e.buf.WriteString(magic)
+	e.u32(Version)
+	e.u32(uint32(codec))
+
+	e.u64(uint64(snap.Kind))
+	e.u64(uint64(snap.Round))
+	e.f64(snap.Now)
+	e.u64(uint64(snap.Seq))
+	e.u64(uint64(snap.Applied))
+	e.u64(snap.Rng)
+	e.vec(tagNodeFree, snap.NodeFree, true)
+	e.u64(uint64(len(snap.Idle)))
+	for _, ok := range snap.Idle {
+		e.bool(ok)
+	}
+	e.vec(tagAway, snap.Away, true)
+
+	e.u64(uint64(len(snap.Flights)))
+	for i := range snap.Flights {
+		f := &snap.Flights[i]
+		if f.Update == nil {
+			return nil, fmt.Errorf("ckpt: flight %d has no update", i)
+		}
+		e.u64(uint64(f.Client))
+		e.u64(uint64(f.Version))
+		e.u64(uint64(f.Seq))
+		e.f64(f.VTime)
+		u := f.Update
+		e.f64(u.Scale)
+		e.u64(uint64(u.UpFloats))
+		e.bool(u.Vecs != nil)
+		if u.Vecs != nil {
+			e.u64(uint64(len(u.Vecs)))
+			for _, v := range u.Vecs {
+				e.vec(tagFlightVec, v, false)
+			}
+		}
+		e.bool(u.Counts != nil)
+		if u.Counts != nil {
+			e.u64(uint64(len(u.Counts)))
+			for _, c := range u.Counts {
+				e.i64(int64(c))
+			}
+		}
+	}
+
+	e.u64(uint64(len(snap.History)))
+	for i := range snap.History {
+		m := &snap.History[i]
+		e.u64(uint64(m.Round))
+		e.u64(uint64(m.LocalEpochs))
+		e.f64(m.MeanAcc)
+		e.f64(m.StdAcc)
+		e.f64(m.SimTime)
+		e.i64(m.UpBytes)
+		e.i64(m.DownBytes)
+		e.vec(tagPerClient, m.PerClient, true)
+	}
+
+	e.u64(uint64(len(snap.Trace)))
+	for _, ev := range snap.Trace {
+		e.buf.WriteByte(byte(ev.Kind))
+		e.i64(int64(ev.Client))
+		e.u64(uint64(ev.Version))
+		e.f64(ev.Time)
+	}
+
+	e.u32(uint32(snap.Ledger.Codec))
+	e.traffic(snap.Ledger.Current)
+	e.u64(uint64(len(snap.Ledger.Rounds)))
+	for _, r := range snap.Ledger.Rounds {
+		e.traffic(r)
+	}
+	e.u64(uint64(len(snap.Ledger.Clients)))
+	for _, c := range snap.Ledger.Clients {
+		e.i64(int64(c.Client))
+		e.i64(c.Up)
+		e.i64(c.Down)
+	}
+
+	e.u64(uint64(len(snap.Clients)))
+	for i := range snap.Clients {
+		c := &snap.Clients[i]
+		e.u64(uint64(c.ID))
+		e.u64(c.Rng)
+		e.vec(tagParams, c.Params, false)
+		e.vec(tagBuffers, c.Buffers, false)
+		e.u64(uint64(len(c.Opt.Ints)))
+		for _, v := range c.Opt.Ints {
+			e.i64(v)
+		}
+		e.u64(uint64(len(c.Opt.Vecs)))
+		for _, v := range c.Opt.Vecs {
+			e.vec(tagOptVec, v, false)
+		}
+	}
+
+	e.bool(snap.Algo != nil)
+	if snap.Algo != nil {
+		e.u64(uint64(len(snap.Algo.Ints)))
+		for _, v := range snap.Algo.Ints {
+			e.i64(v)
+		}
+		e.u64(uint64(len(snap.Algo.Vecs)))
+		for _, v := range snap.Algo.Vecs {
+			e.vec(tagAlgoVec, v, false)
+		}
+	}
+	return e.buf.Bytes(), nil
+}
+
+// Unmarshal parses a checkpoint produced by Marshal (any codec).
+func Unmarshal(b []byte) (*fl.Snapshot, error) {
+	d := &decoder{b: b}
+	if len(b) < len(magic)+8 {
+		return nil, fmt.Errorf("ckpt: %d bytes is shorter than the header", len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", b[:len(magic)])
+	}
+	d.off = len(magic)
+	if v := d.u32(); v != Version {
+		return nil, fmt.Errorf("ckpt: format version %d, this build reads %d", v, Version)
+	}
+	codec := comm.Codec(d.u32())
+	if codec > comm.I8 {
+		return nil, fmt.Errorf("ckpt: unknown bulk codec %d", codec)
+	}
+
+	snap := &fl.Snapshot{}
+	snap.Kind = fl.SchedulerKind(d.u64())
+	snap.Round = int(d.u64())
+	snap.Now = d.f64()
+	snap.Seq = int(d.u64())
+	snap.Applied = int(d.u64())
+	snap.Rng = d.u64()
+	snap.NodeFree = d.vec(tagNodeFree)
+	nIdle := d.count()
+	snap.Idle = make([]bool, nIdle)
+	for i := range snap.Idle {
+		snap.Idle[i] = d.bool()
+	}
+	snap.Away = d.vec(tagAway)
+
+	nFlights := d.count()
+	for i := 0; i < nFlights && d.err == nil; i++ {
+		fs := fl.FlightState{
+			Client:  int(d.u64()),
+			Version: int(d.u64()),
+			Seq:     int(d.u64()),
+			VTime:   d.f64(),
+		}
+		u := &fl.Update{Client: fs.Client}
+		u.Scale = d.f64()
+		u.UpFloats = int(d.u64())
+		if d.bool() {
+			nv := d.count()
+			u.Vecs = make([][]float64, nv)
+			for j := range u.Vecs {
+				u.Vecs[j] = d.vec(tagFlightVec)
+			}
+		}
+		if d.bool() {
+			nc := d.count()
+			u.Counts = make([]int, nc)
+			for j := range u.Counts {
+				u.Counts[j] = int(d.i64())
+			}
+		}
+		fs.Update = u
+		snap.Flights = append(snap.Flights, fs)
+	}
+
+	nHist := d.count()
+	for i := 0; i < nHist && d.err == nil; i++ {
+		m := fl.RoundMetrics{
+			Round:       int(d.u64()),
+			LocalEpochs: int(d.u64()),
+			MeanAcc:     d.f64(),
+			StdAcc:      d.f64(),
+			SimTime:     d.f64(),
+			UpBytes:     d.i64(),
+			DownBytes:   d.i64(),
+		}
+		m.PerClient = d.vec(tagPerClient)
+		snap.History = append(snap.History, m)
+	}
+
+	nTrace := d.count()
+	for i := 0; i < nTrace && d.err == nil; i++ {
+		snap.Trace = append(snap.Trace, fl.TraceEvent{
+			Kind:    fl.TraceEventKind(d.u8()),
+			Client:  int(d.i64()),
+			Version: int(d.u64()),
+			Time:    d.f64(),
+		})
+	}
+
+	snap.Ledger.Codec = comm.Codec(d.u32())
+	snap.Ledger.Current = d.traffic()
+	nRounds := d.count()
+	for i := 0; i < nRounds && d.err == nil; i++ {
+		snap.Ledger.Rounds = append(snap.Ledger.Rounds, d.traffic())
+	}
+	nLC := d.count()
+	for i := 0; i < nLC && d.err == nil; i++ {
+		snap.Ledger.Clients = append(snap.Ledger.Clients, comm.ClientTraffic{
+			Client: int(d.i64()),
+			Up:     d.i64(),
+			Down:   d.i64(),
+		})
+	}
+
+	nClients := d.count()
+	for i := 0; i < nClients && d.err == nil; i++ {
+		cs := fl.ClientState{ID: int(d.u64()), Rng: d.u64()}
+		cs.Params = d.vec(tagParams)
+		cs.Buffers = d.vec(tagBuffers)
+		st := opt.State{}
+		nInts := d.count()
+		for j := 0; j < nInts && d.err == nil; j++ {
+			st.Ints = append(st.Ints, d.i64())
+		}
+		nVecs := d.count()
+		for j := 0; j < nVecs && d.err == nil; j++ {
+			st.Vecs = append(st.Vecs, d.vec(tagOptVec))
+		}
+		cs.Opt = st
+		snap.Clients = append(snap.Clients, cs)
+	}
+
+	if d.bool() {
+		st := &fl.AlgoState{}
+		nInts := d.count()
+		for j := 0; j < nInts && d.err == nil; j++ {
+			st.Ints = append(st.Ints, d.i64())
+		}
+		nVecs := d.count()
+		for j := 0; j < nVecs && d.err == nil; j++ {
+			st.Vecs = append(st.Vecs, d.vec(tagAlgoVec))
+		}
+		snap.Algo = st
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes", len(d.b)-d.off)
+	}
+	return snap, nil
+}
+
+// encoder writes the body; its Write targets never fail.
+type encoder struct {
+	buf   bytes.Buffer
+	codec comm.Codec
+}
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.buf.WriteByte(1)
+	} else {
+		e.buf.WriteByte(0)
+	}
+}
+
+// vec writes a presence byte and, when present, a comm frame. Bookkeeping
+// vectors pass lossless=true to pin the f64 codec.
+func (e *encoder) vec(tag uint32, v []float64, lossless bool) {
+	if v == nil {
+		e.buf.WriteByte(0)
+		return
+	}
+	e.buf.WriteByte(1)
+	codec := e.codec
+	if lossless {
+		codec = comm.F64
+	}
+	frame := comm.MarshalAs(codec, tag, v)
+	e.u64(uint64(len(frame)))
+	e.buf.Write(frame)
+}
+
+func (e *encoder) traffic(t comm.RoundTraffic) {
+	e.i64(int64(t.Round))
+	e.i64(t.UpBytes)
+	e.i64(t.DownBytes)
+	e.i64(int64(t.Messages))
+}
+
+// decoder walks the body, latching the first error.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckpt: "+format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated at byte %d (want %d more)", d.off, n)
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a collection length and bounds it by the remaining bytes:
+// every encoded element occupies at least one byte, so any larger count is
+// corrupt and must not reach an allocation.
+func (d *decoder) count() int {
+	v := d.u64()
+	if v > uint64(len(d.b)-d.off) {
+		d.fail("count %d exceeds the %d remaining bytes", v, len(d.b)-d.off)
+		return 0
+	}
+	return int(v)
+}
+
+// vec reads a presence byte and, when present, one comm frame with the
+// expected tag.
+func (d *decoder) vec(tag uint32) []float64 {
+	if !d.bool() {
+		return nil
+	}
+	n := d.count()
+	frame := d.take(n)
+	if frame == nil {
+		return nil
+	}
+	_, kind, payload, err := comm.Decode(frame)
+	if err != nil {
+		d.fail("frame for tag %d: %v", tag, err)
+		return nil
+	}
+	if kind != tag {
+		d.fail("frame tag %d where %d was expected", kind, tag)
+		return nil
+	}
+	return payload
+}
+
+func (d *decoder) traffic() comm.RoundTraffic {
+	return comm.RoundTraffic{
+		Round:     int(d.i64()),
+		UpBytes:   d.i64(),
+		DownBytes: d.i64(),
+		Messages:  int(d.i64()),
+	}
+}

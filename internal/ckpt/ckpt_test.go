@@ -1,0 +1,387 @@
+// Checkpoint round-trip goldens: snapshot at round R through the binary
+// format, restore into a freshly built simulation, and the continued run
+// must be byte-identical (metrics and scheduler trace) to the uninterrupted
+// one — for the sync, async and semi-sync schedulers.
+package ckpt_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/models"
+	"repro/internal/opt"
+	"repro/internal/xrand"
+)
+
+// fleet builds k identically seeded MLP clients with serializable RNG
+// sources, over a non-iid Fashion-MNIST stand-in split. Homogeneous models
+// keep every algorithm runnable.
+func fleet(t *testing.T, k int) []*fl.Client {
+	t.Helper()
+	ds := data.Generate(data.SynthFashion(6, 4, 3))
+	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fl.Client, k)
+	for i := range clients {
+		m := models.New(models.Config{
+			Arch: models.ArchMLP, InC: ds.C, InH: ds.H, InW: ds.W,
+			FeatDim: 8, NumClasses: ds.NumClasses, Hidden: 16,
+		}, rand.New(rand.NewSource(int64(i+1))))
+		rng, src := xrand.NewRand(int64(i + 100))
+		clients[i] = &fl.Client{
+			ID: i, Model: m, Train: parts[i].Train, Test: parts[i].Test,
+			Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
+			Rng:       rng,
+			Src:       src,
+			Optimizer: opt.NewAdam(0.01),
+		}
+	}
+	return clients
+}
+
+func encodeHistory(t *testing.T, hist []fl.RoundMetrics) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(hist); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func schedFor(kind fl.SchedulerKind) fl.SchedulerConfig {
+	return fl.SchedulerConfig{
+		Kind:         kind,
+		Costs:        []float64{2, 1, 1, 1},
+		MaxStaleness: 3,
+		Decay:        0.5,
+		Quorum:       3,
+	}
+}
+
+// killResumeGolden runs algo uninterrupted, then re-runs it with a
+// checkpoint captured (through Marshal/Unmarshal) at captureRound and a
+// fresh simulation resumed from it; histories and traces must match
+// byte for byte.
+func killResumeGolden(t *testing.T, kind fl.SchedulerKind, mkAlgo func() fl.Algorithm) {
+	t.Helper()
+	const rounds, captureRound = 5, 2
+	cfg := fl.Config{Rounds: rounds, BatchSize: 8, Seed: 9}
+
+	// Uninterrupted reference.
+	refTrace := &fl.Trace{}
+	refSched := schedFor(kind)
+	refSched.Trace = refTrace
+	refSim := fl.NewSimulation(fleet(t, 4), cfg)
+	refHist, err := refSim.RunScheduled(mkAlgo(), refSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed run (identical seed): capture the serialized snapshot at
+	// captureRound, then discard the process state.
+	var blob []byte
+	ckptSched := schedFor(kind)
+	ckptSched.Trace = &fl.Trace{}
+	ckptSched.Checkpoint = func(snap *fl.Snapshot) error {
+		if snap.Round == captureRound {
+			b, err := ckpt.Marshal(snap, comm.F64)
+			if err != nil {
+				return err
+			}
+			blob = b
+		}
+		return nil
+	}
+	ckptSim := fl.NewSimulation(fleet(t, 4), cfg)
+	ckptHist, err := ckptSim.RunScheduled(mkAlgo(), ckptSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpointing must not perturb the schedule.
+	if !bytes.Equal(encodeHistory(t, refHist), encodeHistory(t, ckptHist)) {
+		t.Fatal("enabling checkpoints changed the metrics history")
+	}
+	if blob == nil {
+		t.Fatalf("no checkpoint captured at round %d", captureRound)
+	}
+
+	// Resume into a completely fresh simulation, as a restarted process
+	// would.
+	snap, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Round != captureRound || snap.Kind != kind {
+		t.Fatalf("decoded snapshot round %d kind %v", snap.Round, snap.Kind)
+	}
+	resTrace := &fl.Trace{}
+	resSched := schedFor(kind)
+	resSched.Trace = resTrace
+	resSched.Resume = snap
+	resSim := fl.NewSimulation(fleet(t, 4), cfg)
+	resHist, err := resSim.RunScheduled(mkAlgo(), resSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(encodeHistory(t, refHist), encodeHistory(t, resHist)) {
+		t.Fatalf("resumed metrics history differs from the uninterrupted run\nref: %+v\ngot: %+v", refHist, resHist)
+	}
+	if !reflect.DeepEqual(refTrace, resTrace) {
+		t.Fatalf("resumed scheduler trace differs from the uninterrupted run\nref: %d events\ngot: %d events",
+			len(refTrace.Events), len(resTrace.Events))
+	}
+}
+
+func TestKillResumeGoldenFedClassAvg(t *testing.T) {
+	for _, kind := range []fl.SchedulerKind{fl.SchedSync, fl.SchedAsyncBounded, fl.SchedSemiSync} {
+		t.Run(kind.String(), func(t *testing.T) {
+			killResumeGolden(t, kind, func() fl.Algorithm { return core.New(core.DefaultOptions()) })
+		})
+	}
+}
+
+func TestKillResumeGoldenFedAvg(t *testing.T) {
+	for _, kind := range []fl.SchedulerKind{fl.SchedSync, fl.SchedAsyncBounded, fl.SchedSemiSync} {
+		t.Run(kind.String(), func(t *testing.T) {
+			killResumeGolden(t, kind, func() fl.Algorithm { return baselines.NewFedAvg(1) })
+		})
+	}
+}
+
+// FedProto exercises the nil-able prototype vectors and the class-segmented
+// accumulator; KT-pFL the pending-transfer tables.
+func TestKillResumeGoldenStatefulAlgorithms(t *testing.T) {
+	t.Run("FedProto", func(t *testing.T) {
+		killResumeGolden(t, fl.SchedAsyncBounded, func() fl.Algorithm { return baselines.NewFedProto(1, 1.0) })
+	})
+	t.Run("KT-pFL+weight", func(t *testing.T) {
+		killResumeGolden(t, fl.SchedSemiSync, func() fl.Algorithm { return baselines.NewKTpFLWeights(1) })
+	})
+}
+
+// Churn: a run where clients leave and rejoin must still commit every
+// configured round, with monotonically increasing commit versions — and
+// must survive kill/resume like any other run.
+func TestChurnCompletesAndResumes(t *testing.T) {
+	const rounds = 6
+	cfg := fl.Config{Rounds: rounds, BatchSize: 8, Seed: 11}
+	mkSched := func() fl.SchedulerConfig {
+		return fl.SchedulerConfig{
+			Kind:        fl.SchedAsyncBounded,
+			Costs:       []float64{2, 1, 1, 1},
+			LeaveProb:   0.3,
+			RejoinAfter: 3,
+		}
+	}
+
+	tr := &fl.Trace{}
+	sched := mkSched()
+	sched.Trace = tr
+	var blob []byte
+	sched.Checkpoint = func(snap *fl.Snapshot) error {
+		if snap.Round == 3 {
+			b, err := ckpt.Marshal(snap, comm.F64)
+			blob = b
+			return err
+		}
+		return nil
+	}
+	sim := fl.NewSimulation(fleet(t, 4), cfg)
+	hist, err := sim.RunScheduled(core.New(core.DefaultOptions()), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != rounds {
+		t.Fatalf("churn run recorded %d rounds, want %d", len(hist), rounds)
+	}
+	leaves, lastCommit := 0, 0
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case fl.TraceLeave:
+			leaves++
+		case fl.TraceCommit:
+			if ev.Version != lastCommit+1 {
+				t.Fatalf("commit version jumped %d -> %d", lastCommit, ev.Version)
+			}
+			lastCommit = ev.Version
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("LeaveProb 0.3 over 6 rounds produced no leave events")
+	}
+	if lastCommit != rounds {
+		t.Fatalf("last commit version %d, want %d", lastCommit, rounds)
+	}
+
+	// Resume mid-churn: departed clients must stay departed.
+	snap, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSched := mkSched()
+	resTrace := &fl.Trace{}
+	resSched.Trace = resTrace
+	resSched.Resume = snap
+	resSim := fl.NewSimulation(fleet(t, 4), cfg)
+	resHist, err := resSim.RunScheduled(core.New(core.DefaultOptions()), resSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeHistory(t, hist), encodeHistory(t, resHist)) {
+		t.Fatal("churn run resumed differently from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(tr, resTrace) {
+		t.Fatal("churn trace resumed differently from the uninterrupted run")
+	}
+}
+
+// Quantized checkpoints restore and run to completion (the space/fidelity
+// trade is allowed to change metrics, not to break the run), and are
+// smaller than lossless ones.
+func TestQuantizedCheckpointRestores(t *testing.T) {
+	cfg := fl.Config{Rounds: 4, BatchSize: 8, Seed: 5}
+	var f64Blob, i8Blob []byte
+	sched := schedFor(fl.SchedAsyncBounded)
+	sched.Checkpoint = func(snap *fl.Snapshot) error {
+		if snap.Round == 2 {
+			var err error
+			if f64Blob, err = ckpt.Marshal(snap, comm.F64); err != nil {
+				return err
+			}
+			if i8Blob, err = ckpt.Marshal(snap, comm.I8); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sim := fl.NewSimulation(fleet(t, 4), cfg)
+	if _, err := sim.RunScheduled(core.New(core.DefaultOptions()), sched); err != nil {
+		t.Fatal(err)
+	}
+	if len(i8Blob)*2 >= len(f64Blob) {
+		t.Fatalf("int8 checkpoint is %d bytes vs %d lossless — expected at least 2x smaller", len(i8Blob), len(f64Blob))
+	}
+	snap, err := ckpt.Unmarshal(i8Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSched := schedFor(fl.SchedAsyncBounded)
+	resSched.Resume = snap
+	resSim := fl.NewSimulation(fleet(t, 4), cfg)
+	hist, err := resSim.RunScheduled(core.New(core.DefaultOptions()), resSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != cfg.Rounds {
+		t.Fatalf("quantized resume recorded %d rounds, want %d", len(hist), cfg.Rounds)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fl.Config{Rounds: 2, BatchSize: 8, Seed: 3}
+	sched := schedFor(fl.SchedSemiSync)
+	sched.Checkpoint = ckpt.Saver(dir, comm.F64)
+	sim := fl.NewSimulation(fleet(t, 4), cfg)
+	if _, err := sim.RunScheduled(baselines.NewFedAvg(1), sched); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		snap, err := ckpt.Load(filepath.Join(dir, ckpt.FileName(round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Round != round {
+			t.Fatalf("loaded round %d from %s", snap.Round, ckpt.FileName(round))
+		}
+	}
+	// No temporary files left behind by the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("checkpoint dir holds %d entries, want 2", len(entries))
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := ckpt.Unmarshal(nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+	if _, err := ckpt.Unmarshal([]byte("NOTACKPTFILE....")); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	// A valid checkpoint truncated anywhere must error, never panic.
+	cfg := fl.Config{Rounds: 1, BatchSize: 8, Seed: 3}
+	var blob []byte
+	sched := fl.SchedulerConfig{Checkpoint: func(snap *fl.Snapshot) error {
+		b, err := ckpt.Marshal(snap, comm.F64)
+		blob = b
+		return err
+	}}
+	sim := fl.NewSimulation(fleet(t, 4), cfg)
+	if _, err := sim.RunScheduled(baselines.NewFedAvg(1), sched); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{9, 17, len(blob) / 2, len(blob) - 1} {
+		if _, err := ckpt.Unmarshal(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes must be rejected", cut)
+		}
+	}
+	// Trailing bytes are an error too.
+	if _, err := ckpt.Unmarshal(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+// Resuming under a mismatched configuration must fail fast with a clear
+// error, not corrupt state.
+func TestResumeValidation(t *testing.T) {
+	cfg := fl.Config{Rounds: 2, BatchSize: 8, Seed: 3}
+	var blob []byte
+	sched := schedFor(fl.SchedAsyncBounded)
+	sched.Checkpoint = func(snap *fl.Snapshot) error {
+		if blob == nil {
+			b, err := ckpt.Marshal(snap, comm.F64)
+			blob = b
+			return err
+		}
+		return nil
+	}
+	sim := fl.NewSimulation(fleet(t, 4), cfg)
+	if _, err := sim.RunScheduled(baselines.NewFedAvg(1), sched); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong scheduler kind.
+	bad := schedFor(fl.SchedSemiSync)
+	bad.Resume = snap
+	if _, err := fl.NewSimulation(fleet(t, 4), cfg).RunScheduled(baselines.NewFedAvg(1), bad); err == nil {
+		t.Fatal("resuming an async checkpoint under semisync must fail")
+	}
+	// Wrong client count.
+	bad2 := schedFor(fl.SchedAsyncBounded)
+	bad2.Resume = snap
+	if _, err := fl.NewSimulation(fleet(t, 3), cfg).RunScheduled(baselines.NewFedAvg(1), bad2); err == nil {
+		t.Fatal("resuming with a different fleet size must fail")
+	}
+}

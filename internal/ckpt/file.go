@@ -1,0 +1,68 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/comm"
+	"repro/internal/fl"
+)
+
+// FileName is the canonical checkpoint file name for a committed round.
+func FileName(round int) string { return fmt.Sprintf("round-%05d.ckpt", round) }
+
+// Save writes a snapshot to path atomically: the bytes land in a temporary
+// sibling file first and are renamed into place, so a reader (or a
+// kill-and-resume script polling the directory) never observes a partial
+// checkpoint.
+func Save(path string, snap *fl.Snapshot, codec comm.Codec) error {
+	b, err := Marshal(snap, codec)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from path.
+func Load(path string) (*fl.Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	snap, err := Unmarshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// Saver returns a fl.SchedulerConfig.Checkpoint callback that writes every
+// received snapshot into dir as round-NNNNN.ckpt (cadence is controlled by
+// fl.SchedulerConfig.CheckpointEvery).
+func Saver(dir string, codec comm.Codec) func(*fl.Snapshot) error {
+	return func(snap *fl.Snapshot) error {
+		return Save(filepath.Join(dir, FileName(snap.Round)), snap, codec)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -343,6 +344,71 @@ func (l *Ledger) ClientDown(client int) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.down[client]
+}
+
+// ClientTraffic is one client's cumulative byte counts, the per-client view
+// of a LedgerState.
+type ClientTraffic struct {
+	Client   int
+	Up, Down int64
+}
+
+// LedgerState is a serializable snapshot of a Ledger, so checkpointed runs
+// resume with continuous traffic accounting. Clients is sorted by id.
+type LedgerState struct {
+	Codec   Codec
+	Current RoundTraffic
+	Rounds  []RoundTraffic
+	Clients []ClientTraffic
+}
+
+// Snapshot captures the ledger's full state.
+func (l *Ledger) Snapshot() LedgerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LedgerState{
+		Codec:   l.codec,
+		Current: l.current,
+		Rounds:  append([]RoundTraffic(nil), l.rounds...),
+	}
+	ids := make([]int, 0, len(l.up)+len(l.down))
+	seen := make(map[int]bool, len(l.up)+len(l.down))
+	for id := range l.up {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for id := range l.down {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.Clients = append(st.Clients, ClientTraffic{Client: id, Up: l.up[id], Down: l.down[id]})
+	}
+	return st
+}
+
+// Restore overwrites the ledger with a snapshot captured by Snapshot.
+func (l *Ledger) Restore(st LedgerState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.codec = st.Codec
+	l.current = st.Current
+	l.rounds = append(l.rounds[:0], st.Rounds...)
+	l.up = make(map[int]int64, len(st.Clients))
+	l.down = make(map[int]int64, len(st.Clients))
+	for _, c := range st.Clients {
+		if c.Up != 0 {
+			l.up[c.Client] = c.Up
+		}
+		if c.Down != 0 {
+			l.down[c.Client] = c.Down
+		}
+	}
 }
 
 // CopyTo writes wire bytes through an io.Writer; provided so higher layers

@@ -262,6 +262,72 @@ func (f *FedClassAvg) GlobalClassifier() []float64 {
 	return append([]float64(nil), f.globalClassifier...)
 }
 
+// AlgoSnapshot captures the server state. Layout: Ints = [shareAll,
+// hasAcc]; Vecs = [globalClassifier, globalAll?] plus, under async
+// schedulers, the classifier accumulator's sums and weights and (with
+// ShareAllWeights) the full-weight accumulator's. Per-client proximal
+// snapshots (snapC) are not captured — dead after the engine's quiesce.
+func (f *FedClassAvg) AlgoSnapshot(sim *fl.Simulation) (*fl.AlgoState, error) {
+	shareAll := int64(0)
+	st := &fl.AlgoState{Vecs: [][]float64{fl.CloneVec(f.globalClassifier)}}
+	if f.Opts.ShareAllWeights {
+		shareAll = 1
+		st.Vecs = append(st.Vecs, fl.CloneVec(f.globalAll))
+	}
+	hasAcc := int64(0)
+	if f.accC != nil {
+		hasAcc = 1
+		sum, wsum := f.accC.Snapshot()
+		st.Vecs = append(st.Vecs, sum, wsum)
+		if f.Opts.ShareAllWeights {
+			sumA, wsumA := f.accAll.Snapshot()
+			st.Vecs = append(st.Vecs, sumA, wsumA)
+		}
+	}
+	st.Ints = []int64{shareAll, hasAcc}
+	return st, nil
+}
+
+// AlgoRestore is the inverse of AlgoSnapshot.
+func (f *FedClassAvg) AlgoRestore(sim *fl.Simulation, st *fl.AlgoState) error {
+	if len(st.Ints) != 2 || len(st.Vecs) < 1 {
+		return fmt.Errorf("core: malformed %s state (%d ints, %d vecs)", f.Name(), len(st.Ints), len(st.Vecs))
+	}
+	shareAll := st.Ints[0] == 1
+	if shareAll != f.Opts.ShareAllWeights {
+		return fmt.Errorf("core: checkpoint ShareAllWeights=%v, algorithm has %v", shareAll, f.Opts.ShareAllWeights)
+	}
+	if len(st.Vecs[0]) != len(f.globalClassifier) {
+		return fmt.Errorf("core: checkpoint has %d classifier weights, model has %d",
+			len(st.Vecs[0]), len(f.globalClassifier))
+	}
+	copy(f.globalClassifier, st.Vecs[0])
+	next := 1
+	if shareAll {
+		if len(st.Vecs) < 2 || len(st.Vecs[1]) != len(f.globalAll) {
+			return fmt.Errorf("core: checkpoint full-weight vector does not match the model")
+		}
+		copy(f.globalAll, st.Vecs[1])
+		next = 2
+	}
+	if st.Ints[1] == 1 {
+		want := next + 2
+		if shareAll {
+			want += 2
+		}
+		if f.accC == nil || len(st.Vecs) != want {
+			return fmt.Errorf("core: checkpoint carries accumulator state for a different scheduler")
+		}
+		if err := f.accC.RestoreState(st.Vecs[next], st.Vecs[next+1]); err != nil {
+			return err
+		}
+		if shareAll {
+			return f.accAll.RestoreState(st.Vecs[next+2], st.Vecs[next+3])
+		}
+	}
+	return nil
+}
+
 // LocalUpdate runs the client's local epochs with the paper's composite
 // objective. Exported so ablation and analysis code can drive single
 // clients directly.

@@ -12,6 +12,76 @@ func smallSpec(seed int64) Spec {
 	return s
 }
 
+func mustPartition(t testing.TB, ds *Dataset, k int, opts PartitionOptions) []ClientData {
+	t.Helper()
+	clients, err := Partition(ds, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clients
+}
+
+// Partition must return errors, not panic, on bad caller input — fedsim
+// feeds it straight from user flags.
+func TestPartitionRejectsBadInput(t *testing.T) {
+	ds := Generate(smallSpec(5))
+	if _, err := Partition(ds, 0, PartitionOptions{Kind: Dirichlet}); err == nil {
+		t.Fatal("k = 0 must be rejected")
+	}
+	if _, err := Partition(ds, 3, PartitionOptions{Kind: PartitionKind(99)}); err == nil {
+		t.Fatal("unknown partition kind must be rejected")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	for s, want := range map[string]PartitionKind{
+		"dir": Dirichlet, "dirichlet": Dirichlet, "": Dirichlet,
+		"skewed": Skewed, "skew": Skewed,
+	} {
+		got, err := ParsePartition(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePartition(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePartition("zipf"); err == nil {
+		t.Fatal("unknown partition name must error")
+	}
+}
+
+// Regression: a proportion vector poisoned with NaN, Inf or negatives must
+// neither spin nor under-assign — every quota row still sums to total.
+func TestLargestRemainderQuotaGuardsNaN(t *testing.T) {
+	cases := [][]float64{
+		{math.NaN(), 0.5, 0.5},
+		{math.NaN(), math.NaN(), math.NaN()},
+		{math.Inf(1), 0.25, 0.25},
+		{-0.5, 0.75, 0.75},
+		{0, 0, 0},
+		{},
+	}
+	for i, props := range cases {
+		quotas := largestRemainderQuota(props, 12)
+		sum := 0
+		for _, q := range quotas {
+			if q < 0 {
+				t.Fatalf("case %d: negative quota %v", i, quotas)
+			}
+			sum += q
+		}
+		want := 12
+		if len(props) == 0 {
+			want = 0
+		}
+		if sum != want {
+			t.Fatalf("case %d: quotas %v sum to %d, want %d", i, quotas, sum, want)
+		}
+	}
+	// Clean proportions keep exact largest-remainder behaviour.
+	if got := largestRemainderQuota([]float64{0.5, 0.25, 0.25}, 4); got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("clean quota %v", got)
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	a := Generate(smallSpec(5))
 	b := Generate(smallSpec(5))
@@ -137,8 +207,8 @@ func TestPartitionInvariants(t *testing.T) {
 			kind = Skewed
 		}
 		const k = 4
-		clients := Partition(ds, k, PartitionOptions{Kind: kind, Alpha: 0.5, Seed: seed})
-		if len(clients) != k {
+		clients, err := Partition(ds, k, PartitionOptions{Kind: kind, Alpha: 0.5, Seed: seed})
+		if err != nil || len(clients) != k {
 			return false
 		}
 		per := len(ds.Train) / k
@@ -157,7 +227,7 @@ func TestPartitionInvariants(t *testing.T) {
 func TestPartitionSkewedTwoClasses(t *testing.T) {
 	spec := SynthFashion(40, 10, 2)
 	ds := Generate(spec)
-	clients := Partition(ds, 5, PartitionOptions{Kind: Skewed, Seed: 3})
+	clients := mustPartition(t, ds, 5, PartitionOptions{Kind: Skewed, Seed: 3})
 	for _, c := range clients {
 		classes := map[int]bool{}
 		for _, ex := range c.Train {
@@ -190,7 +260,7 @@ func TestPartitionDirichletSkewIncreasesWithSmallAlpha(t *testing.T) {
 	spec := SynthFashion(60, 10, 11)
 	ds := Generate(spec)
 	skewAt := func(alpha float64) float64 {
-		clients := Partition(ds, 6, PartitionOptions{Kind: Dirichlet, Alpha: alpha, Seed: 5})
+		clients := mustPartition(t, ds, 6, PartitionOptions{Kind: Dirichlet, Alpha: alpha, Seed: 5})
 		hist := LabelHistogram(clients, ds.NumClasses)
 		// Mean per-client max-class share.
 		var total float64
@@ -214,7 +284,7 @@ func TestPartitionDirichletSkewIncreasesWithSmallAlpha(t *testing.T) {
 func TestLabelHistogramSums(t *testing.T) {
 	spec := smallSpec(13)
 	ds := Generate(spec)
-	clients := Partition(ds, 3, PartitionOptions{Kind: Dirichlet, Alpha: 0.5, Seed: 1})
+	clients := mustPartition(t, ds, 3, PartitionOptions{Kind: Dirichlet, Alpha: 0.5, Seed: 1})
 	hist := LabelHistogram(clients, ds.NumClasses)
 	for i, row := range hist {
 		sum := 0

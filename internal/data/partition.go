@@ -2,6 +2,7 @@ package data
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -38,6 +39,18 @@ func (k PartitionKind) String() string {
 	}
 }
 
+// ParsePartition maps a flag value ("dir" | "dirichlet" | "skewed") to a
+// PartitionKind.
+func ParsePartition(s string) (PartitionKind, error) {
+	switch s {
+	case "dir", "dirichlet", "":
+		return Dirichlet, nil
+	case "skewed", "skew":
+		return Skewed, nil
+	}
+	return Dirichlet, fmt.Errorf("data: unknown partition %q (want dir | skewed)", s)
+}
+
 // PartitionOptions configures Partition.
 type PartitionOptions struct {
 	Kind  PartitionKind
@@ -48,13 +61,17 @@ type PartitionOptions struct {
 // Partition splits a dataset across k clients with equal per-client data
 // sizes (the paper equalizes client data volumes). Both train and test
 // examples for a client are drawn according to the same per-client class
-// proportions.
-func Partition(ds *Dataset, k int, opts PartitionOptions) []ClientData {
+// proportions. It returns an error for k < 1 or an unknown partition kind;
+// bad flag input must surface as a usage failure, not a panic.
+func Partition(ds *Dataset, k int, opts PartitionOptions) ([]ClientData, error) {
 	if k < 1 {
-		panic("data: Partition needs k >= 1")
+		return nil, fmt.Errorf("data: Partition needs k >= 1, got %d", k)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	props := clientClassProportions(ds.NumClasses, k, opts, rng)
+	props, err := clientClassProportions(ds.NumClasses, k, opts, rng)
+	if err != nil {
+		return nil, err
+	}
 
 	trainPer := len(ds.Train) / k
 	testPer := len(ds.Test) / k
@@ -68,11 +85,11 @@ func Partition(ds *Dataset, k int, opts PartitionOptions) []ClientData {
 			Test:  drawByProportions(testPools, props[i], testPer, rng),
 		}
 	}
-	return clients
+	return clients, nil
 }
 
 // clientClassProportions returns, for each client, its class mixture.
-func clientClassProportions(numClasses, k int, opts PartitionOptions, rng *rand.Rand) [][]float64 {
+func clientClassProportions(numClasses, k int, opts PartitionOptions, rng *rand.Rand) ([][]float64, error) {
 	props := make([][]float64, k)
 	switch opts.Kind {
 	case Dirichlet:
@@ -97,9 +114,9 @@ func clientClassProportions(numClasses, k int, opts PartitionOptions, rng *rand.
 			props[i] = p
 		}
 	default:
-		panic(fmt.Sprintf("data: unknown partition kind %d", opts.Kind))
+		return nil, fmt.Errorf("data: unknown partition kind %d", opts.Kind)
 	}
-	return props
+	return props, nil
 }
 
 // dirichletSample draws from a symmetric Dirichlet via Gamma(alpha, 1)
@@ -188,22 +205,50 @@ func drawByProportions(pools [][]Example, props []float64, total int, rng *rand.
 }
 
 // largestRemainderQuota converts proportions into integer counts summing to
-// total.
+// total. Proportions are defended before use: a NaN, infinite or negative
+// entry (possible from a degenerate Dirichlet draw) contributes nothing,
+// because int(NaN) truncates to 0 and sorting NaN remainders is unspecified
+// — without the guard a poisoned props vector under-assigns quotas or
+// orders the remainder pass arbitrarily.
 func largestRemainderQuota(props []float64, total int) []int {
+	quotas := make([]int, len(props))
+	if len(props) == 0 || total <= 0 {
+		return quotas
+	}
+	clean := make([]float64, len(props))
+	var sum float64
+	for i, p := range props {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			p = 0
+		}
+		clean[i] = p
+		sum += p
+	}
+	if sum <= 0 {
+		// Nothing usable: fall back to a uniform split.
+		for i := range clean {
+			clean[i] = 1
+		}
+		sum = float64(len(clean))
+	}
 	type rem struct {
 		idx  int
 		frac float64
 	}
-	quotas := make([]int, len(props))
-	rems := make([]rem, len(props))
+	rems := make([]rem, len(clean))
 	assigned := 0
-	for i, p := range props {
-		exact := p * float64(total)
+	for i, p := range clean {
+		exact := p / sum * float64(total)
 		quotas[i] = int(exact)
 		assigned += quotas[i]
 		rems[i] = rem{i, exact - float64(quotas[i])}
 	}
-	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
 	for i := 0; assigned < total; i++ {
 		quotas[rems[i%len(rems)].idx]++
 		assigned++

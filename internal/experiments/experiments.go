@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/baselines"
 	"repro/internal/comm"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/models"
 	"repro/internal/opt"
+	"repro/internal/xrand"
 )
 
 // Scale bundles the knobs that trade fidelity for runtime. The paper runs
@@ -78,6 +80,31 @@ const (
 // AllDatasets lists the benchmarks in the paper's column order.
 var AllDatasets = []DatasetName{CIFAR10, Fashion, EMNIST}
 
+// ParseDataset validates a flag value against the known benchmarks, so bad
+// user input fails as a usage error instead of panicking inside Spec.
+func ParseDataset(s string) (DatasetName, error) {
+	switch DatasetName(s) {
+	case CIFAR10, Fashion, EMNIST:
+		return DatasetName(s), nil
+	case "":
+		return Fashion, nil
+	}
+	return "", fmt.Errorf("experiments: unknown dataset %q (want cifar10 | fashion | emnist)", s)
+}
+
+// ScaleFromEnv returns def unless the REPRO_SCALE environment variable
+// overrides it ("tiny" | "small"); example binaries honour it so smoke
+// tests can run them at CI scale.
+func ScaleFromEnv(def Scale) Scale {
+	switch os.Getenv("REPRO_SCALE") {
+	case "tiny":
+		return Tiny()
+	case "small":
+		return Small()
+	}
+	return def
+}
+
 // Spec returns the generator spec for a dataset at the given scale.
 func Spec(name DatasetName, s Scale) data.Spec {
 	switch name {
@@ -132,7 +159,7 @@ type ClientFactory func() []*fl.Client
 // NewHeterogeneousFleet builds the Table 2 setting: k clients over the
 // four mini architectures (equally distributed), personalized non-iid
 // splits, per-client RNGs and Adam optimizers.
-func NewHeterogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset) {
+func NewHeterogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset, error) {
 	return newFleet(name, kind, k, s, func(i int) models.Arch {
 		return models.HeterogeneousSet[i%len(models.HeterogeneousSet)]
 	})
@@ -140,19 +167,22 @@ func NewHeterogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s S
 
 // NewHomogeneousFleet builds the Table 3 setting: every client runs
 // MiniResNet.
-func NewHomogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset) {
+func NewHomogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset, error) {
 	return newFleet(name, kind, k, s, func(int) models.Arch { return models.ArchResNet })
 }
 
 // NewProtoFleet builds the FedProto setting: CNN2 models whose widths vary
 // per client (the paper's milder heterogeneity for FedProto).
-func NewProtoFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset) {
+func NewProtoFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset, error) {
 	return newFleet(name, kind, k, s, func(int) models.Arch { return models.ArchCNN2 })
 }
 
-func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArch func(int) models.Arch) (ClientFactory, *data.Dataset) {
+func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArch func(int) models.Arch) (ClientFactory, *data.Dataset, error) {
 	ds := data.Generate(Spec(name, s))
-	parts := data.Partition(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
+	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %w", err)
+	}
 	h := HyperparamsFor(name, s)
 	factory := func() []*fl.Client {
 		clients := make([]*fl.Client, k)
@@ -166,19 +196,24 @@ func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArc
 				cfg.Width = 1 + i%3 // per-client channel heterogeneity
 			}
 			seed := s.Seed*1000003 + int64(i)*7919
+			// Training RNGs come from serializable sources so fleets are
+			// checkpointable; model initialization can keep the stdlib
+			// source (restores overwrite the weights anyway).
+			rng, src := xrand.NewRand(seed ^ 0x5deece66d)
 			clients[i] = &fl.Client{
 				ID:        i,
 				Model:     models.New(cfg, rand.New(rand.NewSource(seed))),
 				Train:     parts[i].Train,
 				Test:      parts[i].Test,
 				Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
-				Rng:       rand.New(rand.NewSource(seed ^ 0x5deece66d)),
+				Rng:       rng,
+				Src:       src,
 				Optimizer: opt.NewAdam(h.LR),
 			}
 		}
 		return clients
 	}
-	return factory, ds
+	return factory, ds, nil
 }
 
 // Method names used across tables.

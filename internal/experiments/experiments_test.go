@@ -40,7 +40,10 @@ func TestHyperparamsMatchPaperTable1(t *testing.T) {
 
 func TestFleetFactoriesProduceIdenticalFleets(t *testing.T) {
 	s := Tiny()
-	factory, _ := NewHeterogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
+	factory, _, err := NewHeterogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, b := factory(), factory()
 	if len(a) != s.Clients {
 		t.Fatalf("fleet size %d", len(a))
@@ -109,7 +112,10 @@ func TestTable5Ordering(t *testing.T) {
 
 func TestFigure23Histograms(t *testing.T) {
 	s := Tiny()
-	hist, ds := Figure23(CIFAR10, data.Skewed, s.Clients, s)
+	hist, ds, err := Figure23(CIFAR10, data.Skewed, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hist) != s.Clients || len(hist[0]) != ds.NumClasses {
 		t.Fatalf("histogram shape %dx%d", len(hist), len(hist[0]))
 	}

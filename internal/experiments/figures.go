@@ -12,10 +12,13 @@ import (
 
 // Figure23 reproduces Figures 2 and 3: the non-iid label distribution
 // across clients, as per-client label histograms.
-func Figure23(name DatasetName, kind data.PartitionKind, k int, s Scale) ([][]int, *data.Dataset) {
+func Figure23(name DatasetName, kind data.PartitionKind, k int, s Scale) ([][]int, *data.Dataset, error) {
 	ds := data.Generate(Spec(name, s))
-	parts := data.Partition(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
-	return data.LabelHistogram(parts, ds.NumClasses), ds
+	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
+	if err != nil {
+		return nil, nil, err
+	}
+	return data.LabelHistogram(parts, ds.NumClasses), ds, nil
 }
 
 // HistogramMarkdown renders a label histogram as a markdown grid.
@@ -46,7 +49,10 @@ func HistogramMarkdown(hist [][]int, title string) string {
 // Figure45 reproduces the heterogeneous learning curves (Figures 4 and 5):
 // FedClassAvg vs KT-pFL vs the local baseline on one dataset/partition.
 func Figure45(name DatasetName, kind data.PartitionKind, s Scale) ([]CurveSeries, error) {
-	factory, _ := NewHeterogeneousFleet(name, kind, s.Clients, s)
+	factory, _, err := NewHeterogeneousFleet(name, kind, s.Clients, s)
+	if err != nil {
+		return nil, err
+	}
 	var out []CurveSeries
 	for _, m := range []string{MethodProposed, MethodKTpFL, MethodBaseline} {
 		hist, err := Run(m, name, factory, s, 1.0)
@@ -61,7 +67,10 @@ func Figure45(name DatasetName, kind data.PartitionKind, s Scale) ([]CurveSeries
 // Figure67 reproduces the homogeneous learning curves (Figures 6 and 7):
 // FedClassAvg(+weight) vs KT-pFL(+weight) vs FedAvg under Dir(0.5).
 func Figure67(name DatasetName, k int, rate float64, s Scale) ([]CurveSeries, error) {
-	factory, _ := NewHomogeneousFleet(name, data.Dirichlet, k, s)
+	factory, _, err := NewHomogeneousFleet(name, data.Dirichlet, k, s)
+	if err != nil {
+		return nil, err
+	}
 	var out []CurveSeries
 	for _, m := range []string{MethodProposedWeight, MethodKTpFLWeight, MethodFedAvg} {
 		hist, err := Run(m, name, factory, s, rate)
@@ -91,7 +100,10 @@ type Figure8Result struct {
 // reports kNN label purity and client-mixing — the quantitative version of
 // the paper's Figure 8 claim.
 func Figure8(name DatasetName, s Scale, perClient int) (*Figure8Result, error) {
-	factory, _ := NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	factory, _, err := NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		return nil, err
+	}
 
 	collect := func(clients []*fl.Client) (*tensor.Tensor, []int, []int) {
 		var rows []*tensor.Tensor
@@ -167,7 +179,10 @@ type Figure9Result struct {
 // by the most clients, and compares the layer-conductance rank scores of
 // the classifier input units across those clients.
 func Figure9(name DatasetName, s Scale) (*Figure9Result, error) {
-	factory, ds := NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	factory, ds, err := NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		return nil, err
+	}
 	clients := factory()
 	sim := fl.NewSimulation(clients, fl.Config{Rounds: s.Rounds, BatchSize: s.BatchSize, Seed: s.Seed + 7})
 	algo, err := NewAlgorithm(MethodProposed, name, s)

@@ -13,7 +13,10 @@ func TestFedClassAvgLearns(t *testing.T) {
 	s.Rounds = 12
 	s.TrainPerClass = 24
 	s.TestPerClass = 16
-	factory, ds := NewHeterogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
+	factory, ds, err := NewHeterogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hist, err := Run(MethodProposed, Fashion, factory, s, 1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -33,9 +36,18 @@ func TestFedClassAvgLearns(t *testing.T) {
 func TestAllMethodsRun(t *testing.T) {
 	s := Tiny()
 	s.Rounds = 2
-	het, _ := NewHeterogeneousFleet(Fashion, data.Skewed, s.Clients, s)
-	hom, _ := NewHomogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
-	proto, _ := NewProtoFleet(Fashion, data.Dirichlet, s.Clients, s)
+	het, _, err := NewHeterogeneousFleet(Fashion, data.Skewed, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom, _, err := NewHomogeneousFleet(Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, _, err := NewProtoFleet(Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		method  string
 		factory ClientFactory

@@ -75,8 +75,14 @@ func Table2(s Scale, datasets []DatasetName, kinds []data.PartitionKind) (*Table
 		for _, kind := range kinds {
 			cond := fmt.Sprintf("%s %s", name, kind)
 			t.Conditions = append(t.Conditions, cond)
-			hetFactory, _ := NewHeterogeneousFleet(name, kind, s.Clients, s)
-			protoFactory, _ := NewProtoFleet(name, kind, s.Clients, s)
+			hetFactory, _, err := NewHeterogeneousFleet(name, kind, s.Clients, s)
+			if err != nil {
+				return nil, err
+			}
+			protoFactory, _, err := NewProtoFleet(name, kind, s.Clients, s)
+			if err != nil {
+				return nil, err
+			}
 			for _, m := range t.Methods {
 				factory := hetFactory
 				if m == MethodFedProto {
@@ -116,7 +122,10 @@ func Table3(s Scale, datasets []DatasetName) (*TableResult, error) {
 		for _, st := range settings {
 			cond := fmt.Sprintf("%s %s", name, st.label)
 			t.Conditions = append(t.Conditions, cond)
-			factory, _ := NewHomogeneousFleet(name, data.Dirichlet, st.k, s)
+			factory, _, err := NewHomogeneousFleet(name, data.Dirichlet, st.k, s)
+			if err != nil {
+				return nil, err
+			}
 			for _, m := range t.Methods {
 				hist, err := Run(m, name, factory, s, st.rate)
 				if err != nil {
@@ -140,7 +149,10 @@ func Table4(s Scale, datasets []DatasetName) (*TableResult, error) {
 	for _, name := range datasets {
 		cond := string(name)
 		t.Conditions = append(t.Conditions, cond)
-		factory, _ := NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+		factory, _, err := NewHeterogeneousFleet(name, data.Dirichlet, s.Clients, s)
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range t.Methods {
 			hist, err := Run(m, name, factory, s, 1.0)
 			if err != nil {
@@ -171,7 +183,10 @@ func Table5(s Scale, name DatasetName) ([]CommCostRow, error) {
 		Arch: models.ArchResNet, InC: spec.C, InH: spec.H, InW: spec.W,
 		FeatDim: s.FeatDim, NumClasses: spec.NumClasses,
 	}
-	factory, ds := NewHomogeneousFleet(name, data.Dirichlet, 2, s)
+	factory, ds, err := NewHomogeneousFleet(name, data.Dirichlet, 2, s)
+	if err != nil {
+		return nil, err
+	}
 	clients := factory()
 	modelFloats := nn.NumParams(clients[0].Model.Params())
 	classifierFloats := nn.NumParams(clients[0].Model.ClassifierParams())

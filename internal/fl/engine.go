@@ -107,6 +107,26 @@ type SchedulerConfig struct {
 	// Trace, when non-nil, records every dispatch/delivery/drop/commit so
 	// runs can be compared event by event.
 	Trace *Trace
+	// LeaveProb injects client churn: each time the scheduler would engage
+	// a client, the client has instead left the federation with this
+	// probability, rejoining RejoinAfter virtual time units later. 0
+	// disables churn (and consumes no RNG draws, preserving legacy runs).
+	LeaveProb float64
+	// RejoinAfter is how long, on the virtual clock, a departed client
+	// stays away (default 2 — two uniform update durations).
+	RejoinAfter float64
+	// Checkpoint, when non-nil, receives a full engine snapshot at every
+	// CheckpointEvery-th commit boundary (and, under the sync scheduler,
+	// completed round). Taking a snapshot quiesces in-flight local updates
+	// but never perturbs the schedule: a checkpointed run emits exactly
+	// the metrics and trace of an unobserved one.
+	Checkpoint func(*Snapshot) error
+	// CheckpointEvery is the commit cadence of Checkpoint (default 1).
+	CheckpointEvery int
+	// Resume, when non-nil, restores engine, client, algorithm, ledger and
+	// RNG state from a snapshot before the first scheduling decision, so
+	// the run continues a checkpointed one byte-identically.
+	Resume *Snapshot
 }
 
 // withDefaults fills structural zero fields.
@@ -125,6 +145,21 @@ func (c SchedulerConfig) withDefaults(sim *Simulation) SchedulerConfig {
 	}
 	if c.Shards <= 0 {
 		c.Shards = tensor.Workers()
+	}
+	if c.RejoinAfter <= 0 {
+		c.RejoinAfter = 2
+	}
+	// A client that always leaves can never be dispatched, which would
+	// spin the rejoin clock forever; certainty of departure is clamped
+	// just below it.
+	if c.LeaveProb < 0 {
+		c.LeaveProb = 0
+	}
+	if c.LeaveProb >= 1 {
+		c.LeaveProb = 0.99
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
 	}
 	return c
 }
@@ -216,7 +251,25 @@ const (
 	TraceDeliver
 	TraceDrop
 	TraceCommit
+	TraceLeave
 )
+
+// String names the event kind for trace files.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceDispatch:
+		return "dispatch"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	case TraceCommit:
+		return "commit"
+	case TraceLeave:
+		return "leave"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
 
 // TraceEvent is one scheduling decision of the engine.
 type TraceEvent struct {
@@ -297,14 +350,38 @@ func (s *Simulation) RunScheduled(algo Algorithm, sched SchedulerConfig) ([]Roun
 
 // runSync is the legacy lock-step loop plus virtual-time accounting: each
 // round's virtual duration is the makespan of the participants' costs
-// greedily packed onto the virtual worker nodes.
+// greedily packed onto the virtual worker nodes. With zero churn and no
+// checkpointing it is byte-identical to previous releases.
 func (s *Simulation) runSync(algo Algorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
 	if err := algo.Setup(s); err != nil {
 		return nil, fmt.Errorf("fl: %s setup: %w", algo.Name(), err)
 	}
 	var vtime float64
-	for t := 1; t <= s.Cfg.Rounds; t++ {
+	start := 1
+	away := make([]float64, len(s.Clients))
+	if sched.Resume != nil {
+		snap := sched.Resume
+		if snap.Kind != SchedSync {
+			return nil, fmt.Errorf("fl: cannot resume a %s checkpoint under the sync scheduler", snap.Kind)
+		}
+		if snap.Round > s.Cfg.Rounds {
+			return nil, fmt.Errorf("fl: checkpoint at round %d is past the configured %d rounds", snap.Round, s.Cfg.Rounds)
+		}
+		if len(snap.Away) != len(away) {
+			return nil, fmt.Errorf("fl: checkpoint has %d clients' churn state, simulation has %d", len(snap.Away), len(away))
+		}
+		if err := s.restoreCommon(snap, algo, sched); err != nil {
+			return nil, err
+		}
+		vtime = snap.Now
+		copy(away, snap.Away)
+		start = snap.Round + 1
+	}
+	for t := start; t <= s.Cfg.Rounds; t++ {
 		participants := s.sampleParticipants()
+		if sched.LeaveProb > 0 {
+			participants = s.churnParticipants(participants, away, vtime, t-1, sched)
+		}
 		if err := algo.Round(s, t, participants); err != nil {
 			return nil, fmt.Errorf("fl: %s round %d: %w", algo.Name(), t, err)
 		}
@@ -319,8 +396,36 @@ func (s *Simulation) runSync(algo Algorithm, sched *SchedulerConfig) ([]RoundMet
 			m.SimTime = vtime
 			s.History = append(s.History, m)
 		}
+		if sched.Checkpoint != nil && t%sched.CheckpointEvery == 0 {
+			snap := &Snapshot{Kind: SchedSync, Round: t, Now: vtime, Away: append([]float64(nil), away...)}
+			if err := s.captureCommon(snap, algo, sched); err != nil {
+				return nil, fmt.Errorf("fl: checkpoint at round %d: %w", t, err)
+			}
+			if err := sched.Checkpoint(snap); err != nil {
+				return nil, fmt.Errorf("fl: checkpoint at round %d: %w", t, err)
+			}
+		}
 	}
 	return s.History, nil
+}
+
+// churnParticipants filters a sampled cohort through the churn model:
+// clients still away are skipped silently, and each present client leaves
+// with probability LeaveProb, rejoining RejoinAfter virtual time later.
+func (s *Simulation) churnParticipants(participants []int, away []float64, vtime float64, version int, sched *SchedulerConfig) []int {
+	kept := participants[:0]
+	for _, id := range participants {
+		if away[id] > vtime {
+			continue
+		}
+		if s.Rng.Float64() < sched.LeaveProb {
+			away[id] = vtime + sched.RejoinAfter
+			sched.Trace.add(TraceLeave, id, version, vtime)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	return kept
 }
 
 // syncMakespan is the virtual duration of one barrier round: participants'
@@ -394,13 +499,14 @@ func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]Ro
 	if depth < k {
 		depth = k
 	}
-	e := &engine{
+	e := &Engine{
 		sim:      s,
 		algo:     algo,
 		sched:    sched,
 		queue:    make(chan asyncResult, depth),
 		arrived:  make(map[int]*asyncResult, sched.Workers),
 		idle:     make([]bool, k),
+		away:     make([]float64, k),
 		nodeFree: make([]float64, sched.Workers),
 	}
 	for i := range e.idle {
@@ -408,13 +514,29 @@ func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]Ro
 	}
 	defer e.quiesce() // never leave a pool worker running on any exit path
 
-	e.refill(cohortSize)
-	applied := 0
+	if sched.Resume != nil {
+		if err := e.Restore(sched.Resume); err != nil {
+			return nil, err
+		}
+	}
+	if e.version < s.Cfg.Rounds {
+		// The opening dispatch of a fresh run — and, after a restore, the
+		// exact refill the uninterrupted run performed right after the
+		// snapshot's commit boundary.
+		e.refill(cohortSize)
+	}
 	for e.version < s.Cfg.Rounds {
 		if e.heap.Len() == 0 {
 			// Staleness drops can exhaust a semi-sync cohort below its
 			// quorum; reopen the round rather than stall.
 			e.refill(cohortSize)
+			// Churn can have sent every live client away — and the one
+			// client due back can churn out again on its rejoin roll, so
+			// keep jumping the virtual clock to the next rejoin until a
+			// dispatch sticks or nobody is ever coming back.
+			for e.heap.Len() == 0 && e.advanceToRejoin() {
+				e.refill(cohortSize)
+			}
 			if e.heap.Len() == 0 {
 				break
 			}
@@ -446,10 +568,10 @@ func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]Ro
 					return nil, fmt.Errorf("fl: %s apply from client %d: %w", algo.Name(), ft.client, err)
 				}
 			}
-			applied++
+			e.applied++
 		}
-		if applied >= commitEvery {
-			applied = 0
+		if e.applied >= commitEvery {
+			e.applied = 0
 			if err := algo.AsyncCommit(s); err != nil {
 				return nil, fmt.Errorf("fl: %s commit: %w", algo.Name(), err)
 			}
@@ -466,6 +588,15 @@ func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]Ro
 				m.SimTime = e.now
 				s.History = append(s.History, m)
 			}
+			if sched.Checkpoint != nil && e.version%sched.CheckpointEvery == 0 {
+				snap, err := e.Snapshot()
+				if err != nil {
+					return nil, fmt.Errorf("fl: checkpoint at round %d: %w", e.version, err)
+				}
+				if err := sched.Checkpoint(snap); err != nil {
+					return nil, fmt.Errorf("fl: checkpoint at round %d: %w", e.version, err)
+				}
+			}
 			if sched.Kind == SchedSemiSync && e.version < s.Cfg.Rounds {
 				e.refill(cohortSize)
 			}
@@ -477,10 +608,11 @@ func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]Ro
 	return s.History, nil
 }
 
-// engine holds the event-driven scheduler state. All fields are owned by
+// Engine holds the event-driven scheduler state. All fields are owned by
 // the engine goroutine; client workers communicate only through the
-// buffered event queue.
-type engine struct {
+// buffered event queue. Snapshot and Restore freeze and resume the full
+// engine state at commit boundaries.
+type Engine struct {
 	sim   *Simulation
 	algo  AsyncAlgorithm
 	sched *SchedulerConfig
@@ -488,10 +620,14 @@ type engine struct {
 	now     float64
 	seq     int
 	version int
+	applied int
 	heap    flightHeap
 	queue   chan asyncResult
 	arrived map[int]*asyncResult
 	idle    []bool
+	// away[id] is the virtual time until which a churned-out client stays
+	// departed; a client is schedulable when idle and away <= now.
+	away []float64
 	// nodeFree[n] is when virtual node n finishes its queued work; a
 	// dispatch starts on the earliest-free node, so a cohort larger than
 	// Workers serializes on the virtual cluster exactly like runSync's
@@ -500,9 +636,9 @@ type engine struct {
 }
 
 // refill tops the virtual nodes back up: the async scheduler keeps every
-// node busy with a randomly drawn idle client; semi-sync opens a round by
-// sampling a fresh cohort.
-func (e *engine) refill(cohortSize int) {
+// node busy with a randomly drawn present idle client; semi-sync opens a
+// round by sampling a fresh cohort.
+func (e *Engine) refill(cohortSize int) {
 	if e.sched.Kind == SchedSemiSync {
 		e.dispatchCohort(cohortSize)
 		return
@@ -511,54 +647,99 @@ func (e *engine) refill(cohortSize int) {
 	}
 }
 
-// dispatchRandomIdle sends one uniformly drawn idle client into local
-// training; reports false when no client is idle.
-func (e *engine) dispatchRandomIdle() bool {
-	n := 0
-	for _, ok := range e.idle {
-		if ok {
-			n++
-		}
-	}
-	if n == 0 {
-		return false
-	}
-	pick := e.sim.Rng.Intn(n)
-	for id, ok := range e.idle {
-		if !ok {
-			continue
-		}
-		if pick == 0 {
-			e.dispatch(id)
-			return true
-		}
-		pick--
-	}
-	return false
+// schedulable reports whether a client can be engaged now: idle and not
+// churned away.
+func (e *Engine) schedulable(id int) bool {
+	return e.idle[id] && e.away[id] <= e.now
 }
 
-// dispatchCohort samples up to n idle clients without replacement and
-// dispatches them in client-id order — the semi-sync round opening.
-func (e *engine) dispatchCohort(n int) {
-	idle := make([]int, 0, len(e.idle))
+// leaves rolls the churn die for a client about to be engaged; on a leave
+// it books the departure and reports true.
+func (e *Engine) leaves(id int) bool {
+	if e.sched.LeaveProb <= 0 || e.sim.Rng.Float64() >= e.sched.LeaveProb {
+		return false
+	}
+	e.away[id] = e.now + e.sched.RejoinAfter
+	e.sched.Trace.add(TraceLeave, id, e.version, e.now)
+	return true
+}
+
+// advanceToRejoin jumps the virtual clock to the earliest rejoin time of a
+// departed idle client; reports false when nobody is due back.
+func (e *Engine) advanceToRejoin() bool {
+	t := math.Inf(1)
 	for id, ok := range e.idle {
-		if ok {
-			idle = append(idle, id)
+		if ok && e.away[id] > e.now && e.away[id] < t {
+			t = e.away[id]
 		}
 	}
-	if len(idle) == 0 {
+	if math.IsInf(t, 1) {
+		return false
+	}
+	e.now = t
+	return true
+}
+
+// dispatchRandomIdle sends one uniformly drawn schedulable client into
+// local training; reports false when none remains. Clients that churn out
+// on the roll are skipped and another candidate is drawn.
+func (e *Engine) dispatchRandomIdle() bool {
+	for {
+		n := 0
+		for id := range e.idle {
+			if e.schedulable(id) {
+				n++
+			}
+		}
+		if n == 0 {
+			return false
+		}
+		pick := e.sim.Rng.Intn(n)
+		chosen := -1
+		for id := range e.idle {
+			if !e.schedulable(id) {
+				continue
+			}
+			if pick == 0 {
+				chosen = id
+				break
+			}
+			pick--
+		}
+		if e.leaves(chosen) {
+			continue
+		}
+		e.dispatch(chosen)
+		return true
+	}
+}
+
+// dispatchCohort samples up to n schedulable clients without replacement
+// and dispatches them in client-id order — the semi-sync round opening.
+// Sampled clients may still churn out, shrinking the round's cohort.
+func (e *Engine) dispatchCohort(n int) {
+	avail := make([]int, 0, len(e.idle))
+	for id := range e.idle {
+		if e.schedulable(id) {
+			avail = append(avail, id)
+		}
+	}
+	if len(avail) == 0 {
 		return
 	}
-	if n > len(idle) {
-		n = len(idle)
+	if n > len(avail) {
+		n = len(avail)
 	}
-	perm := e.sim.Rng.Perm(len(idle))[:n]
+	perm := e.sim.Rng.Perm(len(avail))[:n]
 	picked := make([]int, n)
 	for i, p := range perm {
-		picked[i] = idle[p]
+		picked[i] = avail[p]
 	}
 	sort.Ints(picked)
 	for _, id := range picked {
+		if e.leaves(id) {
+			continue
+		}
 		e.dispatch(id)
 	}
 }
@@ -567,7 +748,7 @@ func (e *engine) dispatchCohort(n int) {
 // update as a persistent-pool task. The result is delivered through the
 // buffered event queue and consumed when the update's virtual completion
 // time is reached.
-func (e *engine) dispatch(id int) {
+func (e *Engine) dispatch(id int) {
 	e.idle[id] = false
 	e.sched.Trace.add(TraceDispatch, id, e.version, e.now)
 	// Start on the earliest-free virtual node, no sooner than now.
@@ -602,7 +783,7 @@ func (e *engine) dispatch(id int) {
 // resolve blocks until the flight's result has arrived on the event queue.
 // Results arrive in real completion order; the engine files them by client
 // and consumes them in virtual-time order.
-func (e *engine) resolve(f *flight) *asyncResult {
+func (e *Engine) resolve(f *flight) *asyncResult {
 	for f.res == nil {
 		if r, ok := e.arrived[f.client]; ok {
 			delete(e.arrived, f.client)
@@ -619,7 +800,7 @@ func (e *engine) resolve(f *flight) *asyncResult {
 // quiesce waits for every in-flight local update to finish computing (filing
 // results for later virtual-time delivery, without applying them) so client
 // models can be read: evaluation and engine shutdown both pass through here.
-func (e *engine) quiesce() {
+func (e *Engine) quiesce() {
 	for _, f := range e.heap {
 		if f.res == nil {
 			e.resolve(f)

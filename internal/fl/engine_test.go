@@ -261,6 +261,79 @@ func TestShardedAccumulatorSegmentsAndMix(t *testing.T) {
 	}
 }
 
+// Heavy churn must never terminate a run early: even when every live
+// client is away and the lone rejoiner churns out again, the engine keeps
+// advancing the virtual clock until all rounds commit.
+func TestChurnHeavyStillCommitsAllRounds(t *testing.T) {
+	const rounds = 12
+	for _, kind := range []SchedulerKind{SchedAsyncBounded, SchedSemiSync} {
+		sim := NewSimulation(bareClients(2), Config{Rounds: rounds, Seed: 13})
+		algo := &stubAsync{}
+		hist, err := sim.RunScheduled(algo, SchedulerConfig{
+			Kind:        kind,
+			LeaveProb:   0.9, // nearly every engagement churns out
+			RejoinAfter: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(hist) != rounds {
+			t.Fatalf("%v: heavy churn terminated after %d of %d rounds", kind, len(hist), rounds)
+		}
+	}
+	// LeaveProb >= 1 must be clamped, not spin forever.
+	sim := NewSimulation(bareClients(2), Config{Rounds: 3, Seed: 13})
+	hist, err := sim.RunScheduled(&stubAsync{}, SchedulerConfig{Kind: SchedAsyncBounded, LeaveProb: 1})
+	if err != nil || len(hist) != 3 {
+		t.Fatalf("LeaveProb 1: %d rounds, err %v", len(hist), err)
+	}
+}
+
+// A checkpoint taken on a box with one shard layout must restore onto
+// another (the even split follows tensor.Workers()): uniform weights remap
+// exactly, non-uniform segmented layouts must match or error.
+func TestShardedAccumulatorRestoreAcrossLayouts(t *testing.T) {
+	src := NewSharded(8, 8)
+	vec := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	src.Accumulate(vec, 2)
+	sum, wsum := src.Snapshot()
+
+	dst := NewSharded(8, 2)
+	if err := dst.RestoreState(sum, wsum); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 8)
+	dst.CommitInto(out, 1, nil)
+	for i, v := range vec {
+		if math.Abs(out[i]-v) > 1e-12 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], v)
+		}
+	}
+
+	// Non-uniform per-segment weights cannot remap.
+	seg := NewSegmented([]int{2, 2})
+	seg.AccumulateSegment(0, []float64{1, 1}, 1)
+	seg.AccumulateSegment(1, []float64{2, 2}, 3)
+	sSum, sW := seg.Snapshot()
+	if err := NewSharded(4, 3).RestoreState(sSum, sW); err == nil {
+		t.Fatal("non-uniform weights across a layout change must error")
+	}
+	// Same layout restores exactly.
+	seg2 := NewSegmented([]int{2, 2})
+	if err := seg2.RestoreState(sSum, sW); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 4)
+	seg2.CommitInto(got, 1, nil)
+	if got[0] != 1 || got[2] != 2 {
+		t.Fatalf("segmented restore drifted: %v", got)
+	}
+	// Wrong element count always errors.
+	if err := NewSharded(5, 1).RestoreState(sum, wsum); err == nil {
+		t.Fatal("element-count mismatch must error")
+	}
+}
+
 func TestShardedAccumulatorConcurrent(t *testing.T) {
 	const n, folds = 1024, 64
 	a := NewSharded(n, 8)

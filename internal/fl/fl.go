@@ -17,6 +17,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/tensor"
+	"repro/internal/xrand"
 )
 
 // Client is one federated participant: a personal model, a personalized
@@ -30,6 +31,10 @@ type Client struct {
 	Aug       *data.Augmenter
 	Rng       *rand.Rand
 	Optimizer opt.Optimizer
+	// Src, when non-nil, is the serializable source behind Rng (build the
+	// pair with xrand.NewRand). Checkpointing requires it: a client's
+	// training stream can only be frozen and resumed through Src.
+	Src *xrand.Source
 }
 
 // InputGeometry returns the client's input tensor dimensions.
@@ -153,6 +158,10 @@ type Simulation struct {
 	Rng     *rand.Rand
 	Cfg     Config
 	History []RoundMetrics
+
+	// src is the serializable source behind Rng, so checkpoints can freeze
+	// the scheduler's sampling stream.
+	src *xrand.Source
 }
 
 // NewSimulation builds a simulation over the given clients.
@@ -171,11 +180,13 @@ func NewSimulation(clients []*Client, cfg Config) *Simulation {
 	}
 	ledger := comm.NewLedger()
 	ledger.SetCodec(cfg.Codec)
+	rng, src := xrand.NewRand(cfg.Seed)
 	return &Simulation{
 		Clients: clients,
 		Ledger:  ledger,
-		Rng:     rand.New(rand.NewSource(cfg.Seed)),
+		Rng:     rng,
 		Cfg:     cfg,
+		src:     src,
 	}
 }
 

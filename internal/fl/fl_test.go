@@ -28,7 +28,10 @@ func testClient(t *testing.T, id int, train, test []data.Example) *Client {
 
 func testFleet(t *testing.T, k int) []*Client {
 	ds := data.Generate(data.SynthFashion(6, 4, 3))
-	parts := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	clients := make([]*Client, k)
 	for i := range clients {
 		clients[i] = testClient(t, i, parts[i].Train, parts[i].Test)

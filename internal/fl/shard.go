@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/tensor"
@@ -102,6 +103,62 @@ func (a *ShardedAccumulator) lockedFold(s int, seg []float64, w float64) {
 	}
 	a.wsum[s] += w
 	a.locks[s].Unlock()
+}
+
+// Snapshot returns copies of the running sums and per-shard weights, the
+// accumulator's full mutable state (the shard layout is structural and
+// rebuilt from configuration). At a commit boundary both are all zero, but
+// the checkpoint format stores them anyway so the representation never
+// depends on where snapshots are taken.
+func (a *ShardedAccumulator) Snapshot() (sum, wsum []float64) {
+	sum = make([]float64, len(a.sum))
+	wsum = make([]float64, len(a.wsum))
+	for s := range a.locks {
+		a.locks[s].Lock()
+		copy(sum[a.bounds[s]:a.bounds[s+1]], a.sum[a.bounds[s]:a.bounds[s+1]])
+		wsum[s] = a.wsum[s]
+		a.locks[s].Unlock()
+	}
+	return sum, wsum
+}
+
+// RestoreState overwrites the running sums and per-shard weights from a
+// snapshot. The element vector must match exactly; the shard count may
+// differ (the even split follows tensor.Workers(), so a checkpoint taken
+// on an 8-core box must restore on a 1-core one) as long as the source
+// weights are uniform — full-vector Accumulate folds the same weight into
+// every shard, so a uniform weight maps exactly onto any layout.
+func (a *ShardedAccumulator) RestoreState(sum, wsum []float64) error {
+	if len(sum) != len(a.sum) {
+		return fmt.Errorf("fl: accumulator snapshot holds %d values, accumulator holds %d", len(sum), len(a.sum))
+	}
+	if len(wsum) != len(a.wsum) {
+		uniform := len(wsum) > 0
+		for _, w := range wsum[1:] {
+			if w != wsum[0] {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			return fmt.Errorf("fl: accumulator snapshot has %d shards with non-uniform weights, accumulator has %d",
+				len(wsum), len(a.wsum))
+		}
+		for s := range a.locks {
+			a.locks[s].Lock()
+			copy(a.sum[a.bounds[s]:a.bounds[s+1]], sum[a.bounds[s]:a.bounds[s+1]])
+			a.wsum[s] = wsum[0]
+			a.locks[s].Unlock()
+		}
+		return nil
+	}
+	for s := range a.locks {
+		a.locks[s].Lock()
+		copy(a.sum[a.bounds[s]:a.bounds[s+1]], sum[a.bounds[s]:a.bounds[s+1]])
+		a.wsum[s] = wsum[s]
+		a.locks[s].Unlock()
+	}
+	return nil
 }
 
 // CommitInto merges the accumulated weighted means into dst and resets the

@@ -1,0 +1,327 @@
+package fl
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// This file is the checkpoint side of the federation engine: a Snapshot is
+// the complete, serializable state of a run at a commit boundary — enough
+// that a process killed immediately afterwards can be restarted and replay
+// the remaining rounds byte-identically (metrics and scheduler trace) to an
+// uninterrupted run at the same seed.
+//
+// What a boundary snapshot holds, and why it suffices:
+//
+//   - The scheduler: committed round, virtual clock, dispatch sequence
+//     number, per-node busy times, idle/away flags, and every in-flight
+//     update. In-flight local training is quiesced first, so each flight is
+//     stored with its *computed* result; recomputation is never needed and
+//     the result equals what the uninterrupted run would have delivered,
+//     because AsyncLocal consumes only client-local state and its
+//     dispatch-time snapshot.
+//   - The RNG streams: the simulation's sampling stream plus every
+//     client's private stream (augmentation, batch shuffling), captured
+//     through the serializable xrand sources.
+//   - Every client: flattened parameters, non-trainable buffers
+//     (batch-norm running statistics) and optimizer state.
+//   - The algorithm's server state, via CheckpointableAlgorithm.
+//   - The traffic ledger, metrics history and trace so far.
+//
+// Per-client dispatch snapshots held by algorithms (proximal references,
+// staged KT-pFL transfers) are deliberately NOT captured: after the
+// quiesce, every dispatched local update has already consumed them, and the
+// next dispatch overwrites them before their next read.
+
+// ClientState is one client's checkpointed state.
+type ClientState struct {
+	ID int
+	// Params is the model's flat parameter vector (nn.FlattenParams).
+	Params []float64
+	// Buffers is the model's flat non-trainable state (batch-norm running
+	// statistics; nn.FlattenBuffers).
+	Buffers []float64
+	// Rng is the client's serializable RNG position.
+	Rng uint64
+	// Opt is the optimizer state (Adam moments, SGD velocity).
+	Opt opt.State
+}
+
+// FlightState is one quiesced in-flight update: the dispatch bookkeeping
+// plus the computed result awaiting virtual-time delivery.
+type FlightState struct {
+	Client  int
+	Version int
+	Seq     int
+	VTime   float64
+	Update  *Update
+}
+
+// AlgoState is the generic serializable container for algorithm server
+// state. Each algorithm documents its own layout; nil entries of Vecs are
+// preserved (FedProto uses them for never-reported classes).
+type AlgoState struct {
+	Ints []int64
+	Vecs [][]float64
+}
+
+// CheckpointableAlgorithm is implemented by algorithms whose server state
+// can be captured into a Snapshot and restored into a freshly constructed
+// (Setup/AsyncSetup-completed) instance.
+type CheckpointableAlgorithm interface {
+	Algorithm
+	// AlgoSnapshot captures the algorithm's server state. It runs on the
+	// engine goroutine at a commit boundary, after in-flight local updates
+	// have quiesced.
+	AlgoSnapshot(sim *Simulation) (*AlgoState, error)
+	// AlgoRestore overwrites the algorithm's server state from a snapshot.
+	// Setup (and AsyncSetup, under async schedulers) has already run.
+	AlgoRestore(sim *Simulation, st *AlgoState) error
+}
+
+// Snapshot is the full federation state at a commit boundary.
+type Snapshot struct {
+	Kind    SchedulerKind
+	Round   int     // committed rounds so far
+	Now     float64 // virtual clock
+	Seq     int     // dispatch sequence counter (async)
+	Applied int     // applies since the last commit (async)
+	Rng     uint64  // simulation sampling stream position
+
+	NodeFree []float64 // virtual node busy times (async)
+	Idle     []bool    // per-client idle flags (async)
+	Away     []float64 // per-client churn rejoin times
+
+	Flights []FlightState // quiesced in-flight updates, in dispatch order
+
+	History []RoundMetrics
+	Trace   []TraceEvent
+	Ledger  comm.LedgerState
+	Clients []ClientState
+	Algo    *AlgoState
+}
+
+// CloneVec returns a nil-preserving copy of a float vector; algorithms use
+// it to build and unpack AlgoState layouts.
+func CloneVec(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	return append([]float64(nil), v...)
+}
+
+// clone deep-copies an update so a snapshot cannot alias live engine state.
+func (u *Update) clone() *Update {
+	c := *u
+	if u.Vecs != nil {
+		c.Vecs = make([][]float64, len(u.Vecs))
+		for i, v := range u.Vecs {
+			c.Vecs[i] = CloneVec(v)
+		}
+	}
+	if u.Counts != nil {
+		c.Counts = append([]int(nil), u.Counts...)
+	}
+	return &c
+}
+
+func cloneHistory(hist []RoundMetrics) []RoundMetrics {
+	out := append([]RoundMetrics(nil), hist...)
+	for i := range out {
+		out[i].PerClient = append([]float64(nil), hist[i].PerClient...)
+	}
+	return out
+}
+
+// captureCommon fills the scheduler-independent parts of a snapshot: RNG
+// streams, clients, algorithm state, ledger, history and trace.
+func (s *Simulation) captureCommon(snap *Snapshot, algo Algorithm, sched *SchedulerConfig) error {
+	ca, ok := algo.(CheckpointableAlgorithm)
+	if !ok {
+		return fmt.Errorf("fl: %s cannot be checkpointed (implement fl.CheckpointableAlgorithm)", algo.Name())
+	}
+	if s.src == nil {
+		return fmt.Errorf("fl: simulation has no serializable RNG (use fl.NewSimulation)")
+	}
+	st, err := ca.AlgoSnapshot(s)
+	if err != nil {
+		return fmt.Errorf("fl: %s state snapshot: %w", algo.Name(), err)
+	}
+	snap.Algo = st
+	snap.Rng = s.src.State()
+	snap.History = cloneHistory(s.History)
+	if sched.Trace != nil {
+		snap.Trace = append([]TraceEvent(nil), sched.Trace.Events...)
+	}
+	snap.Ledger = s.Ledger.Snapshot()
+	snap.Clients = make([]ClientState, len(s.Clients))
+	for i, c := range s.Clients {
+		if c.Src == nil {
+			return fmt.Errorf("fl: client %d has no serializable RNG (set fl.Client.Src via xrand.NewRand)", c.ID)
+		}
+		cs := ClientState{ID: c.ID, Rng: c.Src.State()}
+		if c.Model != nil {
+			cs.Params = nn.FlattenParams(c.Model.Params())
+			cs.Buffers = nn.FlattenBuffers(c.Model.Buffers())
+		}
+		if c.Optimizer != nil {
+			co, ok := c.Optimizer.(opt.Checkpointable)
+			if !ok {
+				return fmt.Errorf("fl: client %d optimizer cannot be checkpointed (implement opt.Checkpointable)", c.ID)
+			}
+			cs.Opt = co.State()
+		}
+		snap.Clients[i] = cs
+	}
+	return nil
+}
+
+// restoreCommon is the inverse of captureCommon, overwriting simulation,
+// client and algorithm state from a snapshot.
+func (s *Simulation) restoreCommon(snap *Snapshot, algo Algorithm, sched *SchedulerConfig) error {
+	ca, ok := algo.(CheckpointableAlgorithm)
+	if !ok {
+		return fmt.Errorf("fl: %s cannot restore a checkpoint (implement fl.CheckpointableAlgorithm)", algo.Name())
+	}
+	if s.src == nil {
+		return fmt.Errorf("fl: simulation has no serializable RNG (use fl.NewSimulation)")
+	}
+	if len(snap.Clients) != len(s.Clients) {
+		return fmt.Errorf("fl: checkpoint has %d clients, simulation has %d", len(snap.Clients), len(s.Clients))
+	}
+	s.src.SetState(snap.Rng)
+	s.History = cloneHistory(snap.History)
+	s.Ledger.Restore(snap.Ledger)
+	if sched.Trace != nil {
+		sched.Trace.Events = append(sched.Trace.Events[:0], snap.Trace...)
+	}
+	for i := range snap.Clients {
+		cs := &snap.Clients[i]
+		c := s.Clients[i]
+		if c.ID != cs.ID {
+			return fmt.Errorf("fl: checkpoint client %d has id %d, simulation has %d", i, cs.ID, c.ID)
+		}
+		if c.Src == nil {
+			return fmt.Errorf("fl: client %d has no serializable RNG (set fl.Client.Src via xrand.NewRand)", c.ID)
+		}
+		c.Src.SetState(cs.Rng)
+		if c.Model != nil {
+			if err := nn.SetFlatParams(c.Model.Params(), cs.Params); err != nil {
+				return fmt.Errorf("fl: restoring client %d parameters: %w", c.ID, err)
+			}
+			if err := nn.SetFlatBuffers(c.Model.Buffers(), cs.Buffers); err != nil {
+				return fmt.Errorf("fl: restoring client %d buffers: %w", c.ID, err)
+			}
+		}
+		if c.Optimizer != nil {
+			co, ok := c.Optimizer.(opt.Checkpointable)
+			if !ok {
+				return fmt.Errorf("fl: client %d optimizer cannot be restored (implement opt.Checkpointable)", c.ID)
+			}
+			if err := co.SetState(cs.Opt); err != nil {
+				return fmt.Errorf("fl: restoring client %d optimizer: %w", c.ID, err)
+			}
+		}
+	}
+	if snap.Algo != nil {
+		if err := ca.AlgoRestore(s, snap.Algo); err != nil {
+			return fmt.Errorf("fl: %s state restore: %w", algo.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the full engine state at the current commit boundary.
+// It quiesces in-flight local updates (forcing their eager computation,
+// which never changes results — each consumes only client-local state fixed
+// at dispatch) and stores them with their computed payloads.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	e.quiesce()
+	snap := &Snapshot{
+		Kind:     e.sched.Kind,
+		Round:    e.version,
+		Now:      e.now,
+		Seq:      e.seq,
+		Applied:  e.applied,
+		NodeFree: append([]float64(nil), e.nodeFree...),
+		Idle:     append([]bool(nil), e.idle...),
+		Away:     append([]float64(nil), e.away...),
+	}
+	flights := append(flightHeap(nil), e.heap...)
+	sort.Slice(flights, func(a, b int) bool { return flights[a].seq < flights[b].seq })
+	for _, f := range flights {
+		if f.res == nil {
+			return nil, fmt.Errorf("fl: checkpoint: client %d still in flight after quiesce", f.client)
+		}
+		if f.res.err != nil {
+			return nil, fmt.Errorf("fl: checkpoint: client %d failed: %w", f.client, f.res.err)
+		}
+		snap.Flights = append(snap.Flights, FlightState{
+			Client:  f.client,
+			Version: f.version,
+			Seq:     f.seq,
+			VTime:   f.vtime,
+			Update:  f.res.u.clone(),
+		})
+	}
+	if err := e.sim.captureCommon(snap, e.algo, e.sched); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Restore overwrites the engine with a snapshot taken at a commit boundary
+// under the same scheduler configuration; the run then continues exactly
+// where the checkpointed one stopped.
+func (e *Engine) Restore(snap *Snapshot) error {
+	k := len(e.idle)
+	if snap.Kind != e.sched.Kind {
+		return fmt.Errorf("fl: cannot resume a %s checkpoint under the %s scheduler", snap.Kind, e.sched.Kind)
+	}
+	if snap.Round > e.sim.Cfg.Rounds {
+		return fmt.Errorf("fl: checkpoint at round %d is past the configured %d rounds", snap.Round, e.sim.Cfg.Rounds)
+	}
+	if len(snap.Idle) != k {
+		return fmt.Errorf("fl: checkpoint has %d clients' scheduler flags, simulation has %d", len(snap.Idle), k)
+	}
+	if len(snap.NodeFree) != len(e.nodeFree) {
+		return fmt.Errorf("fl: checkpoint has %d virtual nodes, scheduler has %d (resume with the same workers setting)",
+			len(snap.NodeFree), len(e.nodeFree))
+	}
+	if len(snap.Away) != k {
+		return fmt.Errorf("fl: checkpoint has %d clients' churn state, simulation has %d", len(snap.Away), k)
+	}
+	if err := e.sim.restoreCommon(snap, e.algo, e.sched); err != nil {
+		return err
+	}
+	e.version = snap.Round
+	e.now = snap.Now
+	e.seq = snap.Seq
+	e.applied = snap.Applied
+	copy(e.nodeFree, snap.NodeFree)
+	copy(e.idle, snap.Idle)
+	copy(e.away, snap.Away)
+	e.heap = e.heap[:0]
+	for i := range snap.Flights {
+		fs := &snap.Flights[i]
+		if fs.Client < 0 || fs.Client >= k {
+			return fmt.Errorf("fl: checkpoint flight references client %d of %d", fs.Client, k)
+		}
+		if fs.Update == nil {
+			return fmt.Errorf("fl: checkpoint flight for client %d has no result", fs.Client)
+		}
+		heap.Push(&e.heap, &flight{
+			client:  fs.Client,
+			version: fs.Version,
+			vtime:   fs.VTime,
+			seq:     fs.Seq,
+			res:     &asyncResult{client: fs.Client, u: fs.Update.clone()},
+		})
+	}
+	return nil
+}

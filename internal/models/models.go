@@ -136,6 +136,11 @@ func (m *SplitModel) ClassifierParams() []*nn.Param { return m.Classifier.Params
 // ExtractorParams returns only the extractor parameters.
 func (m *SplitModel) ExtractorParams() []*nn.Param { return m.Extractor.Params() }
 
+// Buffers returns the model's non-trainable state (batch-norm running
+// statistics), which checkpoints capture alongside Params. The classifier
+// is a single dense layer and contributes none.
+func (m *SplitModel) Buffers() [][]float64 { return m.Extractor.Buffers() }
+
 // buildMLP: Flatten → Dense(hidden) → ReLU → Dense(featDim).
 func buildMLP(cfg Config, rng *rand.Rand) *nn.Sequential {
 	hidden := cfg.Hidden

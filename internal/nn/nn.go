@@ -119,6 +119,58 @@ func (s *Sequential) Params() []*Param {
 // Append adds layers to the end of the sequence.
 func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
 
+// BufferedLayer is implemented by layers carrying non-trainable state that
+// checkpoints must capture alongside parameters — batch-norm running
+// statistics. Buffers returns the live state slices (not copies), in a
+// deterministic order, so callers can both read and overwrite them.
+type BufferedLayer interface {
+	Buffers() [][]float64
+}
+
+// Buffers returns the buffer slices of all layers, in layer order,
+// recursing into composite layers.
+func (s *Sequential) Buffers() [][]float64 {
+	var bs [][]float64
+	for _, l := range s.Layers {
+		if bl, ok := l.(BufferedLayer); ok {
+			bs = append(bs, bl.Buffers()...)
+		}
+	}
+	return bs
+}
+
+// NumBuffered returns the total scalar count across buffer slices.
+func NumBuffered(bufs [][]float64) int {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// FlattenBuffers concatenates buffer slices into one vector, in order.
+func FlattenBuffers(bufs [][]float64) []float64 {
+	out := make([]float64, 0, NumBuffered(bufs))
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// SetFlatBuffers writes a flat vector produced by FlattenBuffers back into
+// the live buffer slices. It returns an error if the lengths disagree.
+func SetFlatBuffers(bufs [][]float64, flat []float64) error {
+	if len(flat) != NumBuffered(bufs) {
+		return fmt.Errorf("nn: flat vector has %d values, model has %d buffered", len(flat), NumBuffered(bufs))
+	}
+	off := 0
+	for _, b := range bufs {
+		copy(b, flat[off:off+len(b)])
+		off += len(b)
+	}
+	return nil
+}
+
 // ZeroGrads resets the gradients of all parameters.
 func ZeroGrads(params []*Param) {
 	for _, p := range params {

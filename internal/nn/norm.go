@@ -155,6 +155,11 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params returns gamma and beta.
 func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
 
+// Buffers returns the running statistics, the layer's non-trainable state.
+func (bn *BatchNorm2D) Buffers() [][]float64 {
+	return [][]float64{bn.RunningMean, bn.RunningVar}
+}
+
 // BatchNorm1D normalizes each feature of [N, D] activations over the batch.
 type BatchNorm1D struct {
 	D           int
@@ -271,3 +276,8 @@ func (bn *BatchNorm1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params returns gamma and beta.
 func (bn *BatchNorm1D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Buffers returns the running statistics, the layer's non-trainable state.
+func (bn *BatchNorm1D) Buffers() [][]float64 {
+	return [][]float64{bn.RunningMean, bn.RunningVar}
+}

@@ -63,6 +63,15 @@ func (r *Residual) Params() []*Param {
 	return ps
 }
 
+// Buffers returns the non-trainable state of both paths.
+func (r *Residual) Buffers() [][]float64 {
+	bs := r.Body.Buffers()
+	if r.Skip != nil {
+		bs = append(bs, r.Skip.Buffers()...)
+	}
+	return bs
+}
+
 // Inception evaluates several branches on the same input and concatenates
 // their outputs along the channel axis, as in GoogLeNet. Every branch must
 // produce [N, C_b, H, W] with identical N, H, W.
@@ -153,6 +162,15 @@ func (in *Inception) Params() []*Param {
 		ps = append(ps, br.Params()...)
 	}
 	return ps
+}
+
+// Buffers returns the non-trainable state of all branches.
+func (in *Inception) Buffers() [][]float64 {
+	var bs [][]float64
+	for _, br := range in.Branches {
+		bs = append(bs, br.Buffers()...)
+	}
+	return bs
 }
 
 // ChannelShuffle permutes channels of [N, C, H, W] activations so that

@@ -5,6 +5,7 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/nn"
@@ -15,6 +16,35 @@ type Optimizer interface {
 	// Step applies one update to params using their Grad fields. The caller
 	// is responsible for zeroing gradients between steps.
 	Step(params []*nn.Param)
+}
+
+// State is a serializable snapshot of an optimizer's internal state:
+// integer counters (Adam's step count) plus per-parameter moment vectors.
+// The exact layout is optimizer-specific; a State produced by one optimizer
+// type must only be restored into the same type.
+type State struct {
+	Ints []int64
+	Vecs [][]float64
+}
+
+// Checkpointable is implemented by optimizers whose internal state can be
+// captured into a checkpoint and restored, so a resumed run continues the
+// exact update trajectory of an uninterrupted one.
+type Checkpointable interface {
+	Optimizer
+	State() State
+	SetState(State) error
+}
+
+func cloneVecs(vecs [][]float64) [][]float64 {
+	if vecs == nil {
+		return nil
+	}
+	out := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		out[i] = append([]float64(nil), v...)
+	}
+	return out
 }
 
 // SGD is stochastic gradient descent with optional classical momentum and
@@ -58,6 +88,25 @@ func (s *SGD) Step(params []*nn.Param) {
 	}
 }
 
+// State captures the momentum velocities (empty until the first momentum
+// Step).
+func (s *SGD) State() State {
+	return State{Vecs: cloneVecs(s.velocity)}
+}
+
+// SetState restores momentum velocities captured by State.
+func (s *SGD) SetState(st State) error {
+	if len(st.Ints) != 0 {
+		return fmt.Errorf("opt: SGD state carries %d ints, want 0", len(st.Ints))
+	}
+	if len(st.Vecs) == 0 {
+		s.velocity = nil
+		return nil
+	}
+	s.velocity = cloneVecs(st.Vecs)
+	return nil
+}
+
 // Adam is the Adam optimizer (Kingma & Ba) with bias correction.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
@@ -71,6 +120,33 @@ type Adam struct {
 // zero-valued hyperparameter (β1=0.9, β2=0.999, ε=1e-8).
 func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// State captures the step count and first/second moment vectors (Vecs is
+// the m vectors followed by the v vectors; empty until the first Step).
+func (a *Adam) State() State {
+	st := State{Ints: []int64{int64(a.t)}}
+	st.Vecs = append(cloneVecs(a.m), cloneVecs(a.v)...)
+	return st
+}
+
+// SetState restores a snapshot captured by State.
+func (a *Adam) SetState(st State) error {
+	if len(st.Ints) != 1 {
+		return fmt.Errorf("opt: Adam state carries %d ints, want 1", len(st.Ints))
+	}
+	if len(st.Vecs)%2 != 0 {
+		return fmt.Errorf("opt: Adam state carries %d moment vectors, want an even count", len(st.Vecs))
+	}
+	a.t = int(st.Ints[0])
+	if len(st.Vecs) == 0 {
+		a.m, a.v = nil, nil
+		return nil
+	}
+	half := len(st.Vecs) / 2
+	a.m = cloneVecs(st.Vecs[:half])
+	a.v = cloneVecs(st.Vecs[half:])
+	return nil
 }
 
 // Step applies one bias-corrected Adam update.

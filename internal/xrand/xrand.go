@@ -1,0 +1,61 @@
+// Package xrand provides a small pseudo-random source whose full internal
+// state is a single exported word, so RNG streams can be captured in a
+// checkpoint and resumed bit-exactly. The standard library's default source
+// (math/rand.rngSource) hides 607 words of state behind unexported fields;
+// a federation checkpoint has to freeze every client's stream mid-run, so
+// the simulation threads this source through math/rand.Rand instead.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood 2014): a Weyl sequence
+// with a 64-bit finalizer. It is not cryptographic, but it is equidistributed
+// over its 2^64 period and more than adequate for client sampling, data
+// shuffling and augmentation draws.
+package xrand
+
+import "math/rand"
+
+// Source is a serializable rand.Source64. The zero value is a valid stream
+// (seed 0); use New or Seed to position it.
+type Source struct {
+	state uint64
+}
+
+// golden is the SplitMix64 Weyl increment (2^64 / φ).
+const golden = 0x9e3779b97f4a7c15
+
+// New returns a source positioned at the given seed.
+func New(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// NewRand returns a math/rand.Rand drawing from a fresh serializable source,
+// plus the source itself so callers can snapshot and restore the stream.
+// Every derived Rand method (Intn, Perm, Float64, NormFloat64, Shuffle, ...)
+// is a pure function of the source stream, so restoring the source state
+// restores the whole Rand.
+func NewRand(seed int64) (*rand.Rand, *Source) {
+	src := New(seed)
+	return rand.New(src), src
+}
+
+// Seed repositions the stream.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 advances the Weyl sequence and returns the finalized output.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State returns the stream position for checkpointing.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState repositions the stream to a checkpointed position.
+func (s *Source) SetState(state uint64) { s.state = state }

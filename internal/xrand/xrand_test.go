@@ -1,0 +1,71 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+// The property the checkpoint subsystem depends on: capturing State and
+// restoring it elsewhere must continue the derived rand.Rand stream exactly,
+// across every Rand method the simulation uses.
+func TestStateRoundTripContinuesRandStream(t *testing.T) {
+	ref, _ := NewRand(7)
+	fork, src := NewRand(7)
+
+	drain := func(r *rand.Rand) []float64 {
+		var out []float64
+		for i := 0; i < 50; i++ {
+			out = append(out, r.Float64(), float64(r.Intn(97)), r.NormFloat64())
+			for _, p := range r.Perm(5) {
+				out = append(out, float64(p))
+			}
+		}
+		return out
+	}
+	drain(ref)
+	drain(fork)
+
+	state := src.State()
+	restored := New(0)
+	restored.SetState(state)
+	cont := rand.New(restored)
+
+	want := drain(ref)
+	got := drain(cont)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored stream diverged at value %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// fork kept its own source and must agree too (sanity on the adapter).
+	if g := drain(fork); g[0] != want[0] {
+		t.Fatalf("forked stream diverged: %v vs %v", g[0], want[0])
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Crude balance check: the top bit should be ~50/50 over 64k draws.
+	s := New(3)
+	ones := 0
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		if s.Uint64()>>63 == 1 {
+			ones++
+		}
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Fatalf("top-bit bias: %d ones of %d", ones, n)
+	}
+}
