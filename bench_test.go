@@ -302,6 +302,76 @@ func BenchmarkClientLocalEpoch(b *testing.B) {
 	}
 }
 
+// --- float32 fast path: the same hot paths at the narrow dtype ---
+
+func BenchmarkMatMul32(b *testing.B) {
+	a := tensor.NewOf(tensor.F32, 64, 64)
+	c := tensor.NewOf(tensor.F32, 64, 64)
+	a.Fill(0.5)
+	c.Fill(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(a, c)
+	}
+}
+
+func BenchmarkMatMulInto32(b *testing.B) {
+	a := tensor.NewOf(tensor.F32, 64, 64)
+	c := tensor.NewOf(tensor.F32, 64, 64)
+	out := tensor.NewOf(tensor.F32, 64, 64)
+	a.Fill(0.5)
+	c.Fill(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, a, c)
+	}
+}
+
+func BenchmarkConvForward32(b *testing.B) {
+	s := benchScale()
+	s.DType = tensor.F32
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := factory()[0]
+	x := tensor.NewOf(tensor.F32, 8, 1, 12, 12)
+	x.Fill(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Model.Forward(x, true)
+	}
+}
+
+func BenchmarkConvTrainStep32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	layer := nn.NewConv2D(8, 16, 3, 1, 1, 1, rng)
+	nn.ConvertParams(layer.Params(), tensor.F32)
+	x := tensor.NewOf(tensor.F32, 8, 8, 12, 12)
+	x.FillRandn(rng, 1)
+	grad := tensor.NewOf(tensor.F32, 8, 16, 12, 12)
+	grad.FillRandn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x, true)
+		layer.Backward(grad)
+	}
+}
+
+func BenchmarkClientLocalEpoch32(b *testing.B) {
+	s := benchScale()
+	s.DType = tensor.F32
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients := factory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clients[i%len(clients)].TrainEpochCE(s.BatchSize)
+	}
+}
+
 func BenchmarkClassifierAveraging(b *testing.B) {
 	s := benchScale()
 	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)

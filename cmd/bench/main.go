@@ -8,6 +8,13 @@
 //
 //	go run ./cmd/bench -bench 'MatMul64|ConvForward|ClientLocalEpoch' \
 //	    -benchtime 2s -baseline BENCH_2026-07-01.json
+//
+// Compare mode gates CI on performance: it joins two BENCH files by
+// benchmark name and exits non-zero if any shared metric regressed by more
+// than the threshold (default 15%) — ns/op up, a custom throughput metric
+// (rounds/vtime) down, or allocs/op up:
+//
+//	go run ./cmd/bench -compare BENCH_2026-07-28.json BENCH_new.json
 package main
 
 import (
@@ -66,12 +73,40 @@ var (
 )
 
 func main() {
-	bench := flag.String("bench", "MatMul64|ConvForward|ClientLocalEpoch|ClassifierAveraging|RoundThroughput|QuantizedMarshal", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "MatMul64|MatMul32|ConvForward|ClientLocalEpoch|ClassifierAveraging|RoundThroughput|QuantizedMarshal", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to record and compare against")
+	compare := flag.Bool("compare", false, "compare two BENCH files (old new) and exit non-zero on regression")
+	threshold := flag.Float64("threshold", 0.15, "with -compare: allowed fractional regression per metric")
+	metrics := flag.String("metrics", "all", "with -compare: which metrics to gate: all | portable (allocs/op and custom throughput only — ns/op is machine-dependent, so cross-machine comparisons such as CI vs a checked-in dev-box baseline should gate on portable metrics)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -compare wants exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if *metrics != "all" && *metrics != "portable" {
+			fmt.Fprintf(os.Stderr, "bench: unknown -metrics %q (want all | portable)\n", *metrics)
+			os.Exit(2)
+		}
+		regressions, err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold, *metrics == "all")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d metric(s) regressed more than %.0f%%:\n", len(regressions), *threshold*100)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no hot-path metric regressed more than %.0f%% (%s -> %s)\n", *threshold*100, flag.Arg(0), flag.Arg(1))
+		return
+	}
 
 	raw, err := runBenchmarks(*pkg, *bench, *benchtime)
 	if err != nil {
@@ -175,6 +210,72 @@ func parseBenchOutput(raw string) ([]Result, string) {
 		results = append(results, r)
 	}
 	return results, cpu
+}
+
+// loadFile parses a BENCH_*.json file.
+func loadFile(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// compareFiles joins two BENCH files by benchmark name and reports every
+// shared metric that regressed by more than threshold: wall time per op up
+// (only when compareNs — ns/op is meaningless across different machines),
+// custom throughput metrics (higher-is-better b.ReportMetric values like
+// rounds/vtime, which ride the deterministic virtual clock) down, or
+// allocations per op (exactly reproducible) up. Benchmarks present in only
+// one file are ignored — adding or retiring benchmarks is not a regression.
+func compareFiles(oldPath, newPath string, threshold float64, compareNs bool) ([]string, error) {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]Result, len(oldF.Benchmarks))
+	for _, r := range oldF.Benchmarks {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range newF.Benchmarks {
+		base, ok := byName[cur.Name]
+		if !ok {
+			continue
+		}
+		if compareNs && base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%+.1f%%)",
+				cur.Name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1)))
+		}
+		// A couple of allocations of jitter on a near-zero count is noise,
+		// not a leak; gate on the relative change past a small floor.
+		if base.AllocsPerOp >= 0 && float64(cur.AllocsPerOp) > float64(base.AllocsPerOp)*(1+threshold)+2 {
+			regressions = append(regressions, fmt.Sprintf("%s: %d allocs/op -> %d allocs/op",
+				cur.Name, base.AllocsPerOp, cur.AllocsPerOp))
+		}
+		for unit, v := range base.Extra {
+			nv, ok := cur.Extra[unit]
+			if !ok || v <= 0 {
+				continue
+			}
+			if nv < v*(1-threshold) {
+				regressions = append(regressions, fmt.Sprintf("%s: %.2f %s -> %.2f %s (%+.1f%%)",
+					cur.Name, v, unit, nv, unit, 100*(nv/v-1)))
+			}
+		}
+	}
+	return regressions, nil
 }
 
 // joinBaseline loads a previous BENCH file, embeds its measurements, and

@@ -14,6 +14,8 @@
 //	fedsim -method Proposed -checkpoint ckpts -every 2          # snapshot rounds 2,4,...
 //	fedsim -method Proposed -resume ckpts/round-00004.ckpt      # continue after a kill
 //	fedsim -method Proposed -sched semisync -leave 0.2 -rejoin 4 # client churn
+//	fedsim -method Proposed -dtype f32                          # float32 fast path
+//	fedsim -method FedProto -arch resnet,cnn2 -width 1,2        # scripted fleet rotation
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fl"
+	"repro/internal/models"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -34,6 +38,9 @@ func main() {
 		dataset    = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
 		partition  = flag.String("partition", "dir", "partition: dir | skewed")
 		fleet      = flag.String("fleet", "heterogeneous", "fleet: heterogeneous | homogeneous | proto")
+		archRot    = flag.String("arch", "", "custom fleet: comma-separated architecture rotation, e.g. resnet,shufflenet,googlenet,alexnet (overrides -fleet)")
+		widthRot   = flag.String("width", "", "with -arch: comma-separated per-client width multipliers, e.g. 1,2,3")
+		dtypeName  = flag.String("dtype", "f64", "model element type: f64 (golden reference) | f32 (SIMD fast path)")
 		method     = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight | CA | CA+PR | CA+CL | CA+PR+CL")
 		clients    = flag.Int("clients", 0, "number of clients (0 = scale default)")
 		rounds     = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
@@ -111,6 +118,26 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
+	dtype, err := tensor.ParseDType(*dtypeName)
+	if err != nil {
+		usage("%v", err)
+	}
+	s.DType = dtype
+	var arches []models.Arch
+	var widths []int
+	if *archRot != "" {
+		if arches, err = experiments.ParseArchRotation(*archRot); err != nil {
+			usage("%v", err)
+		}
+	}
+	if *widthRot != "" {
+		if *archRot == "" {
+			usage("-width requires -arch")
+		}
+		if widths, err = experiments.ParseWidthRotation(*widthRot); err != nil {
+			usage("%v", err)
+		}
+	}
 	if *rate <= 0 || *rate > 1 {
 		usage("-rate must be in (0, 1], got %v", *rate)
 	}
@@ -183,27 +210,36 @@ func main() {
 		if snap.Round >= s.Rounds {
 			usage("checkpoint %s is already at round %d of %d — nothing to resume", *resume, snap.Round, s.Rounds)
 		}
+		if snap.DType != dtype {
+			usage("checkpoint %s was taken at dtype %s, -dtype asks for %s", *resume, snap.DType, dtype)
+		}
 		sched.Resume = snap
 	}
 
 	var factory experiments.ClientFactory
-	switch *fleet {
-	case "heterogeneous":
-		factory, _, err = experiments.NewHeterogeneousFleet(name, kind, s.Clients, s)
-	case "homogeneous":
-		factory, _, err = experiments.NewHomogeneousFleet(name, kind, s.Clients, s)
-	case "proto":
-		factory, _, err = experiments.NewProtoFleet(name, kind, s.Clients, s)
-	default:
-		usage("unknown fleet %q (want heterogeneous | homogeneous | proto)", *fleet)
+	fleetDesc := *fleet
+	if len(arches) > 0 {
+		factory, _, err = experiments.NewRotationFleet(name, kind, s.Clients, s, arches, widths)
+		fleetDesc = "custom(" + *archRot + ")"
+	} else {
+		switch *fleet {
+		case "heterogeneous":
+			factory, _, err = experiments.NewHeterogeneousFleet(name, kind, s.Clients, s)
+		case "homogeneous":
+			factory, _, err = experiments.NewHomogeneousFleet(name, kind, s.Clients, s)
+		case "proto":
+			factory, _, err = experiments.NewProtoFleet(name, kind, s.Clients, s)
+		default:
+			usage("unknown fleet %q (want heterogeneous | homogeneous | proto, or -arch for a custom rotation)", *fleet)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s)\n",
-		*method, name, kind, *fleet, s.Clients, s.Rounds, *rate, schedKind, codec)
+	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s)\n",
+		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, codec, dtype)
 	if sched.Resume != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: resumed from %s at round %d\n", *resume, sched.Resume.Round)
 	}

@@ -66,3 +66,30 @@ func TestFedsimCheckpointResumeGolden(t *testing.T) {
 		t.Fatal("resumed scheduler trace differs from uninterrupted run")
 	}
 }
+
+// The dtype-generic numeric core, end to end through flags: an f32 run
+// produces a learning curve, a custom -arch/-width rotation builds, and a
+// dtype-mismatched resume is rejected as a usage error.
+func TestFedsimDTypeAndRotationFlags(t *testing.T) {
+	out := cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "4", "-rounds", "2",
+		"-featdim", "16", "-dtype", "f32")
+	if !strings.Contains(out, "dtype f32") || !strings.Contains(out, "# final:") {
+		t.Fatalf("f32 run output:\n%s", out)
+	}
+
+	out = cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "4", "-rounds", "1",
+		"-featdim", "16", "-arch", "resnet,alexnet", "-width", "1,2", "-method", "FedProto")
+	if !strings.Contains(out, "custom(resnet,alexnet)") {
+		t.Fatalf("rotation fleet not reported:\n%s", out)
+	}
+
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	common := []string{"-dataset", "fashion", "-clients", "4", "-rounds", "2", "-featdim", "16", "-dtype", "f32"}
+	cmdtest.Run(t, nil, append(append([]string(nil), common...), "-checkpoint", ckptDir)...)
+	out = cmdtest.RunErr(t, 2, nil, "-dataset", "fashion", "-clients", "4", "-rounds", "3",
+		"-featdim", "16", "-dtype", "f64", "-resume", filepath.Join(ckptDir, "round-00001.ckpt"))
+	if !strings.Contains(out, "dtype") {
+		t.Fatalf("dtype mismatch not reported:\n%s", out)
+	}
+}

@@ -19,7 +19,10 @@ func Conductance(m *models.SplitModel, x *tensor.Tensor, class int) []float64 {
 	feats := m.Features(x, false)
 	out := make([]float64, feats.Cols())
 	w := m.Classifier.W.Value
-	row := feats.Row(0)
+	// Attributions are analysis bookkeeping: features and weights widen to
+	// float64 whatever dtype the model trains in.
+	row := make([]float64, feats.Cols())
+	feats.RowTo(0, row)
 	for j := range out {
 		out[j] = row[j] * w.At(j, class)
 	}

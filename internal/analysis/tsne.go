@@ -29,6 +29,7 @@ type TSNEOptions struct {
 // early exaggeration. O(N²) per iteration — fine for the ≤1000-point
 // samples the paper visualizes.
 func TSNE(x *tensor.Tensor, opts TSNEOptions) *tensor.Tensor {
+	x = x.AsType(tensor.F64) // analysis is float64 bookkeeping at any model dtype
 	n := x.Rows()
 	if opts.Perplexity <= 0 {
 		opts.Perplexity = 15
@@ -244,6 +245,7 @@ func centerRows(y *tensor.Tensor) {
 // over points. Higher is better clustering by label — the quantitative
 // version of Figure 8's claim.
 func KNNLabelPurity(x *tensor.Tensor, labels []int, k int) float64 {
+	x = x.AsType(tensor.F64)
 	n := x.Rows()
 	if n == 0 || k <= 0 {
 		return 0
@@ -268,6 +270,7 @@ func KNNLabelPurity(x *tensor.Tensor, labels []int, k int) float64 {
 // features from different clients collocate, so mixing rises relative to
 // the isolated baseline (Figure 8's "client cluster is split" observation).
 func ClientMixingIndex(x *tensor.Tensor, clientOf []int, k int) float64 {
+	x = x.AsType(tensor.F64)
 	n := x.Rows()
 	if n == 0 || k <= 0 {
 		return 0

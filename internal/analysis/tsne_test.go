@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// blobs builds n points per class around well-separated class centers.
+func blobs(classes, perClass, dim int, spread float64, seed int64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := classes * perClass
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for c := 0; c < classes; c++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = rng.NormFloat64() * 10
+		}
+		for i := 0; i < perClass; i++ {
+			row := x.Row(c*perClass + i)
+			for j := range row {
+				row[j] = center[j] + rng.NormFloat64()*spread
+			}
+			labels[c*perClass+i] = c
+		}
+	}
+	return x, labels
+}
+
+// The embedding must be a pure function of (input, options): two runs at the
+// same seed are bit-identical, a different seed moves points.
+func TestTSNEDeterminism(t *testing.T) {
+	x, _ := blobs(3, 10, 8, 1, 7)
+	opts := TSNEOptions{Seed: 11, Iterations: 60}
+	a := TSNE(x, opts)
+	b := TSNE(x, opts)
+	if a.Size() != b.Size() {
+		t.Fatal("embedding sizes differ")
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("embedding element %d differs across identical runs: %g vs %g", i, a.Data[i], b.Data[i])
+		}
+	}
+	opts.Seed = 12
+	c := TSNE(x, opts)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must produce different embeddings")
+	}
+}
+
+// Well-separated clusters must stay separated in the embedding: kNN label
+// purity near 1 in 2-D, far above the 1/classes chance level.
+func TestTSNEPreservesClusters(t *testing.T) {
+	x, labels := blobs(3, 12, 8, 0.5, 9)
+	y := TSNE(x, TSNEOptions{Seed: 5, Iterations: 200})
+	if y.Rows() != x.Rows() || y.Cols() != 2 {
+		t.Fatalf("embedding shape %v", y.Shape)
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("embedding contains non-finite values")
+		}
+	}
+	if purity := KNNLabelPurity(y, labels, 5); purity < 0.85 {
+		t.Fatalf("embedded purity %.3f, want >= 0.85 for well-separated blobs", purity)
+	}
+}
+
+// Perplexity above n-1 must be clamped, not loop forever or NaN out.
+func TestTSNETinyInput(t *testing.T) {
+	x, _ := blobs(2, 3, 4, 0.5, 3)
+	y := TSNE(x, TSNEOptions{Seed: 1, Iterations: 30, Perplexity: 50})
+	for _, v := range y.Data {
+		if math.IsNaN(v) {
+			t.Fatal("tiny-input embedding went NaN")
+		}
+	}
+}
+
+// The analysis entry points accept f32 feature tensors (widening to their
+// float64 bookkeeping) and agree with the widened-input result exactly.
+func TestAnalysisAcceptsF32Inputs(t *testing.T) {
+	x64, labels := blobs(2, 8, 6, 0.5, 13)
+	x32 := x64.AsType(tensor.F32)
+	// Widen back: TSNE of x32 must equal TSNE of the widened values.
+	wide := x32.AsType(tensor.F64)
+	a := TSNE(x32, TSNEOptions{Seed: 3, Iterations: 40})
+	b := TSNE(wide, TSNEOptions{Seed: 3, Iterations: 40})
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("TSNE(f32 input) must match TSNE of the widened input")
+		}
+	}
+	if p32, p64 := KNNLabelPurity(x32, labels, 3), KNNLabelPurity(wide, labels, 3); p32 != p64 {
+		t.Fatalf("KNNLabelPurity differs across dtypes: %v vs %v", p32, p64)
+	}
+}
+
+// Conductance widens f32 features exactly like the f64 path computes them.
+func TestConductanceDTypeParity(t *testing.T) {
+	cfg := models.Config{Arch: models.ArchMLP, InC: 1, InH: 6, InW: 6, FeatDim: 8, NumClasses: 4, Hidden: 8}
+	m64 := models.New(cfg, xrand.New(31))
+	cfg.DType = tensor.F32
+	m32 := models.New(cfg, xrand.New(31))
+	x := tensor.New(1, 1, 6, 6)
+	x.FillRandn(rand.New(rand.NewSource(32)), 1)
+	a64 := Conductance(m64, x, 1)
+	a32 := Conductance(m32, x, 1)
+	for j := range a64 {
+		if math.Abs(a64[j]-a32[j]) > 1e-5 {
+			t.Fatalf("attribution %d diverges: %g vs %g", j, a64[j], a32[j])
+		}
+	}
+	// Ranks must be computable and a permutation.
+	ranks := RankScores(a32)
+	seen := make([]bool, len(ranks))
+	for _, r := range ranks {
+		seen[r] = true
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("rank %d missing; RankScores must be a permutation", r)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/loss"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // FedProto implements federated prototype learning (Tan et al. 2021).
@@ -141,19 +142,14 @@ func (p *FedProto) trainEpoch(c *fl.Client, batchSize int, protos [][]float64) {
 		feats, logits, y := batchForward(c, b, true)
 		_, dlogits := loss.CrossEntropy(logits, y)
 		dfeat := c.Model.Classifier.Backward(dlogits)
-		// Prototype pull: d/df λ‖f − proto‖²/N = 2λ(f − proto)/N.
-		n := feats.Rows()
-		scale := 2 * p.Lambda / float64(n)
-		for i := 0; i < n; i++ {
-			proto := protos[y[i]]
-			if proto == nil {
-				continue
-			}
-			frow := feats.Row(i)
-			grow := dfeat.Row(i)
-			for j := range grow {
-				grow[j] += scale * (frow[j] - proto[j])
-			}
+		// Prototype pull: d/df λ‖f − proto‖²/N = 2λ(f − proto)/N. Features
+		// and their gradient are model-dtype; the prototype table is float64
+		// bookkeeping, widened per element inside the pull.
+		scale := 2 * p.Lambda / float64(feats.Rows())
+		if feats.DT == tensor.F32 {
+			protoPull(tensor.Of[float32](feats), tensor.Of[float32](dfeat), protos, y, scale, feats.Cols())
+		} else {
+			protoPull(feats.Data, tensor.Of[float64](dfeat), protos, y, scale, feats.Cols())
 		}
 		c.Model.Extractor.Backward(dfeat)
 		c.Optimizer.Step(params)
@@ -310,13 +306,14 @@ func (p *FedProto) localPrototypes(c *fl.Client, batchSize int) ([][]float64, []
 		if hi > len(c.Train) {
 			hi = len(c.Train)
 		}
-		x, y := data.BatchTensor(c.Train[lo:hi], ch, h, w)
+		x, y := data.BatchTensorOf(c.DType(), c.Train[lo:hi], ch, h, w)
 		feats := c.Model.Features(x, false)
+		row := make([]float64, p.featDim)
 		for i, cls := range y {
 			if sums[cls] == nil {
 				sums[cls] = make([]float64, p.featDim)
 			}
-			row := feats.Row(i)
+			feats.RowTo(i, row)
 			for j, v := range row {
 				sums[cls][j] += v
 			}
@@ -333,4 +330,21 @@ func (p *FedProto) localPrototypes(c *fl.Client, batchSize int) ([][]float64, []
 		}
 	}
 	return sums, counts
+}
+
+// protoPull adds the prototype regularizer gradient 2λ(f − proto)/N to the
+// feature gradient, widening model-dtype features against the float64
+// prototype table.
+func protoPull[F tensor.Float](featsd, dfeatd []F, protos [][]float64, y []int, scale float64, d int) {
+	for i := range y {
+		proto := protos[y[i]]
+		if proto == nil {
+			continue
+		}
+		frow := featsd[i*d : (i+1)*d]
+		grow := dfeatd[i*d : (i+1)*d]
+		for j := range grow {
+			grow[j] += F(scale * (float64(frow[j]) - proto[j]))
+		}
+	}
 }

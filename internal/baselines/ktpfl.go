@@ -150,7 +150,11 @@ func (k *KTpFL) softTransfer(sim *fl.Simulation, participants []int) error {
 	fl.ParallelClients(len(participants), func(idx int) {
 		c := sim.Clients[participants[idx]]
 		_, logits := c.Model.Forward(k.publicX, false)
-		soft[idx] = loss.SoftmaxWithTemperature(logits, k.Temperature)
+		// Soft predictions widen to float64 bookkeeping before hitting the
+		// wire: the coefficient matrix and personalized targets are server
+		// state (widening f32 predictions is exact, so the f64 path is
+		// unchanged and the f32 path loses nothing).
+		soft[idx] = loss.SoftmaxWithTemperature(logits, k.Temperature).AsType(tensor.F64)
 		sim.Uplink(c.ID, soft[idx].Data)
 	})
 	// 2. Refresh knowledge coefficients from pairwise prediction similarity.
@@ -297,7 +301,7 @@ func (k *KTpFL) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
 	if !k.ShareWeights && k.staged[client] != nil {
 		m := len(k.public)
 		target := tensor.New(m, k.numCls)
-		copy(target.Data, k.staged[client])
+		target.SetFromFloat64s(k.staged[client])
 		k.staged[client] = nil
 		k.distill(c, target)
 	}
@@ -310,7 +314,7 @@ func (k *KTpFL) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
 	} else {
 		_, logits := c.Model.Forward(k.publicX, false)
 		soft := loss.SoftmaxWithTemperature(logits, k.Temperature)
-		report = sim.Quantize(append([]float64(nil), soft.Data...))
+		report = sim.Quantize(soft.AppendFloat64s(nil))
 	}
 	return &fl.Update{Client: client, Scale: 1, Vecs: [][]float64{report}, UpFloats: len(report)}, nil
 }
@@ -447,9 +451,11 @@ func (k *KTpFL) AlgoRestore(sim *fl.Simulation, st *fl.AlgoState) error {
 }
 
 // distill runs DistillSteps of temperature-scaled KL toward the target on
-// the public set.
+// the public set. Targets are staged as float64 server state and narrow to
+// the model dtype here, once, before the distillation loop.
 func (k *KTpFL) distill(c *fl.Client, target *tensor.Tensor) {
 	params := c.Model.Params()
+	target = target.AsType(c.DType())
 	for s := 0; s < k.DistillSteps; s++ {
 		_, logits := c.Model.Forward(k.publicX, true)
 		_, dlogits := loss.KLDistill(logits, target, k.Temperature)

@@ -4,14 +4,22 @@
 // trace to an uninterrupted run at the same seed (under the lossless f64
 // codec).
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 // A checkpoint file is
 //
 //	[8]  magic "FEDCKPT1"
 //	[4]  format version (uint32, little-endian)
 //	[4]  bulk payload codec (uint32: comm.F64 | comm.F32 | comm.I8)
+//	[4]  model dtype (uint32: tensor.F64 | tensor.F32) — version 2
 //	[..] body
+//
+// The model dtype records the element type the run trained in; resuming
+// into a fleet of a different dtype is rejected cleanly at restore (the
+// flat vectors themselves are dtype-agnostic float64 bookkeeping, but the
+// continued trajectory would not match the checkpointed one). Version 1
+// files (without the dtype word) predate the dtype-generic numeric core
+// and are no longer readable; the version check fails with a clear error.
 //
 // The body is a fixed traversal of the snapshot. Scalars are little-endian
 // 64-bit words (float64 as IEEE bits); booleans are single bytes. Every
@@ -36,14 +44,16 @@ import (
 	"repro/internal/comm"
 	"repro/internal/fl"
 	"repro/internal/opt"
+	"repro/internal/tensor"
 )
 
 // magic guards against feeding arbitrary files to Unmarshal; the trailing
 // byte is the format generation.
 const magic = "FEDCKPT1"
 
-// Version is the current checkpoint format version.
-const Version = 1
+// Version is the current checkpoint format version. Version 2 added the
+// model-dtype header word.
+const Version = 2
 
 // Every decoded collection length is bounded by the bytes remaining in the
 // buffer (each element encodes at least one byte), so a corrupt or hostile
@@ -70,6 +80,7 @@ func Marshal(snap *fl.Snapshot, codec comm.Codec) ([]byte, error) {
 	e.buf.WriteString(magic)
 	e.u32(Version)
 	e.u32(uint32(codec))
+	e.u32(uint32(snap.DType))
 
 	e.u64(uint64(snap.Kind))
 	e.u64(uint64(snap.Round))
@@ -181,7 +192,7 @@ func Marshal(snap *fl.Snapshot, codec comm.Codec) ([]byte, error) {
 // Unmarshal parses a checkpoint produced by Marshal (any codec).
 func Unmarshal(b []byte) (*fl.Snapshot, error) {
 	d := &decoder{b: b}
-	if len(b) < len(magic)+8 {
+	if len(b) < len(magic)+12 {
 		return nil, fmt.Errorf("ckpt: %d bytes is shorter than the header", len(b))
 	}
 	if string(b[:len(magic)]) != magic {
@@ -195,8 +206,12 @@ func Unmarshal(b []byte) (*fl.Snapshot, error) {
 	if codec > comm.I8 {
 		return nil, fmt.Errorf("ckpt: unknown bulk codec %d", codec)
 	}
+	dtype := tensor.DType(d.u32())
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("ckpt: unknown model dtype %d", uint8(dtype))
+	}
 
-	snap := &fl.Snapshot{}
+	snap := &fl.Snapshot{DType: dtype}
 	snap.Kind = fl.SchedulerKind(d.u64())
 	snap.Round = int(d.u64())
 	snap.Now = d.f64()

@@ -7,7 +7,6 @@ package ckpt_test
 import (
 	"bytes"
 	"encoding/gob"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -21,13 +20,16 @@ import (
 	"repro/internal/fl"
 	"repro/internal/models"
 	"repro/internal/opt"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
 // fleet builds k identically seeded MLP clients with serializable RNG
 // sources, over a non-iid Fashion-MNIST stand-in split. Homogeneous models
 // keep every algorithm runnable.
-func fleet(t *testing.T, k int) []*fl.Client {
+func fleet(t *testing.T, k int) []*fl.Client { return fleetOf(t, k, tensor.F64) }
+
+func fleetOf(t *testing.T, k int, dt tensor.DType) []*fl.Client {
 	t.Helper()
 	ds := data.Generate(data.SynthFashion(6, 4, 3))
 	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
@@ -38,8 +40,8 @@ func fleet(t *testing.T, k int) []*fl.Client {
 	for i := range clients {
 		m := models.New(models.Config{
 			Arch: models.ArchMLP, InC: ds.C, InH: ds.H, InW: ds.W,
-			FeatDim: 8, NumClasses: ds.NumClasses, Hidden: 16,
-		}, rand.New(rand.NewSource(int64(i+1))))
+			FeatDim: 8, NumClasses: ds.NumClasses, Hidden: 16, DType: dt,
+		}, xrand.New(int64(i+1)))
 		rng, src := xrand.NewRand(int64(i + 100))
 		clients[i] = &fl.Client{
 			ID: i, Model: m, Train: parts[i].Train, Test: parts[i].Test,
@@ -76,9 +78,14 @@ func schedFor(kind fl.SchedulerKind) fl.SchedulerConfig {
 // fresh simulation resumed from it; histories and traces must match
 // byte for byte.
 func killResumeGolden(t *testing.T, kind fl.SchedulerKind, mkAlgo func() fl.Algorithm) {
+	killResumeGoldenOf(t, kind, tensor.F64, mkAlgo)
+}
+
+func killResumeGoldenOf(t *testing.T, kind fl.SchedulerKind, dt tensor.DType, mkAlgo func() fl.Algorithm) {
 	t.Helper()
 	const rounds, captureRound = 5, 2
 	cfg := fl.Config{Rounds: rounds, BatchSize: 8, Seed: 9}
+	fleet := func(t *testing.T, k int) []*fl.Client { return fleetOf(t, k, dt) }
 
 	// Uninterrupted reference.
 	refTrace := &fl.Trace{}
@@ -151,6 +158,50 @@ func TestKillResumeGoldenFedClassAvg(t *testing.T) {
 		t.Run(kind.String(), func(t *testing.T) {
 			killResumeGolden(t, kind, func() fl.Algorithm { return core.New(core.DefaultOptions()) })
 		})
+	}
+}
+
+// The byte-identical replay contract holds at float32 exactly as at
+// float64: flat snapshot vectors are f32-exact, so a resumed f32 run
+// continues the interrupted trajectory bit for bit.
+func TestKillResumeGoldenFloat32(t *testing.T) {
+	for _, kind := range []fl.SchedulerKind{fl.SchedSync, fl.SchedAsyncBounded, fl.SchedSemiSync} {
+		t.Run(kind.String(), func(t *testing.T) {
+			killResumeGoldenOf(t, kind, tensor.F32, func() fl.Algorithm { return core.New(core.DefaultOptions()) })
+		})
+	}
+}
+
+// A checkpoint records the run's model dtype; restoring into a fleet of the
+// other dtype must fail fast with a clear error.
+func TestResumeRejectsDTypeMismatch(t *testing.T) {
+	cfg := fl.Config{Rounds: 2, BatchSize: 8, Seed: 3}
+	var blob []byte
+	sched := schedFor(fl.SchedAsyncBounded)
+	sched.Checkpoint = func(snap *fl.Snapshot) error {
+		if blob == nil {
+			b, err := ckpt.Marshal(snap, comm.F64)
+			blob = b
+			return err
+		}
+		return nil
+	}
+	sim := fl.NewSimulation(fleetOf(t, 4, tensor.F32), cfg)
+	if _, err := sim.RunScheduled(baselines.NewFedAvg(1), sched); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.DType != tensor.F32 {
+		t.Fatalf("snapshot dtype %v, want f32 recorded in the header", snap.DType)
+	}
+	bad := schedFor(fl.SchedAsyncBounded)
+	bad.Resume = snap
+	_, err = fl.NewSimulation(fleetOf(t, 4, tensor.F64), cfg).RunScheduled(baselines.NewFedAvg(1), bad)
+	if err == nil {
+		t.Fatal("resuming an f32 checkpoint into an f64 fleet must fail")
 	}
 }
 

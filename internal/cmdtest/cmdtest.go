@@ -6,6 +6,7 @@
 package cmdtest
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -34,6 +35,36 @@ func Run(t *testing.T, env []string, args ...string) string {
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+// RunErr is Run for invocations that must FAIL: it asserts the binary exits
+// with the given non-zero code (validation and usage errors) and returns
+// combined stdout+stderr.
+func RunErr(t *testing.T, wantExit int, env []string, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("smoke test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "smoke.bin")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("%s %v: expected exit %d, got err=%v\n%s", bin, args, wantExit, err, out)
+	}
+	if exit.ExitCode() != wantExit {
+		t.Fatalf("%s %v: exit %d, want %d\n%s", bin, args, exit.ExitCode(), wantExit, out)
 	}
 	return string(out)
 }

@@ -26,6 +26,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/tensor"
 )
 
 // headerSize is the fixed per-message framing overhead: kind tag (4 bytes)
@@ -100,10 +102,19 @@ func Marshal(kind uint32, payload []float64) []byte {
 	return MarshalAs(F64, kind, payload)
 }
 
-// MarshalAs frames a payload under the given codec. The bytes are written
-// directly into a sized slice — no intermediate buffer, no swallowed
-// binary.Write errors.
+// MarshalAs frames a float64 payload under the given codec.
 func MarshalAs(c Codec, kind uint32, payload []float64) []byte {
+	return MarshalNative(c, kind, payload)
+}
+
+// MarshalNative frames a payload of either element width under the given
+// codec. The bytes are written directly into a sized slice — no
+// intermediate buffer, no swallowed binary.Write errors. The float64
+// instantiation is the legacy format byte for byte, and a float32 payload
+// under the F32 codec produces exactly the frame the old float64-truncating
+// path produced — but without ever widening the data, so f32 models frame
+// their uploads natively.
+func MarshalNative[F tensor.Float](c Codec, kind uint32, payload []F) []byte {
 	n := len(payload)
 	b := make([]byte, WireSizeAs(c, n))
 	binary.LittleEndian.PutUint32(b, kind)
@@ -118,11 +129,11 @@ func MarshalAs(c Codec, kind uint32, payload []float64) []byte {
 		binary.LittleEndian.PutUint64(b[headerSize:], math.Float64bits(scale))
 		q := b[headerSize+8:]
 		for i, v := range payload {
-			q[i] = byte(quantizeI8(v, scale))
+			q[i] = byte(quantizeI8(float64(v), scale))
 		}
 	default:
 		for i, v := range payload {
-			binary.LittleEndian.PutUint64(b[headerSize+8*i:], math.Float64bits(v))
+			binary.LittleEndian.PutUint64(b[headerSize+8*i:], math.Float64bits(float64(v)))
 		}
 	}
 	return b
@@ -132,10 +143,10 @@ func MarshalAs(c Codec, kind uint32, payload []float64) []byte {
 // finite elements (0 for an empty, all-zero or all-non-finite payload). A
 // single overflowed weight must not stretch the grid to infinity and
 // NaN-poison every other element.
-func i8Scale(payload []float64) float64 {
+func i8Scale[F tensor.Float](payload []F) float64 {
 	var maxAbs float64
 	for _, v := range payload {
-		if a := math.Abs(v); a > maxAbs && !math.IsInf(a, 1) {
+		if a := math.Abs(float64(v)); a > maxAbs && !math.IsInf(a, 1) {
 			maxAbs = a
 		}
 	}
@@ -168,6 +179,15 @@ func Unmarshal(b []byte) (kind uint32, payload []float64, err error) {
 // encoded with. The frame must be exactly one message: trailing bytes are an
 // error, as is a length field inconsistent with the buffer size.
 func Decode(b []byte) (c Codec, kind uint32, payload []float64, err error) {
+	return DecodeNative[float64](b)
+}
+
+// DecodeNative parses wire bytes into a payload of the chosen element
+// width, without an intermediate float64 pass: a float32 consumer of an F32
+// frame reads the stored bits directly. Decoding an F64 frame into float32
+// narrows (lossy, like any f64→f32 cast); every other combination is exact
+// or matches the codec's own loss.
+func DecodeNative[F tensor.Float](b []byte) (c Codec, kind uint32, payload []F, err error) {
 	if len(b) < headerSize {
 		return 0, 0, nil, fmt.Errorf("comm: frame of %d bytes is shorter than the %d-byte header", len(b), headerSize)
 	}
@@ -184,11 +204,11 @@ func Decode(b []byte) (c Codec, kind uint32, payload []float64, err error) {
 	if want := WireSizeAs(c, int(n)); int64(len(b)) != want {
 		return 0, 0, nil, fmt.Errorf("comm: %s frame of %d elements wants %d bytes, got %d", c, n, want, len(b))
 	}
-	payload = make([]float64, n)
+	payload = make([]F, n)
 	switch c {
 	case F32:
 		for i := range payload {
-			payload[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[headerSize+4*i:])))
+			payload[i] = F(math.Float32frombits(binary.LittleEndian.Uint32(b[headerSize+4*i:])))
 		}
 	case I8:
 		scale := math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize:]))
@@ -197,11 +217,11 @@ func Decode(b []byte) (c Codec, kind uint32, payload []float64, err error) {
 		}
 		q := b[headerSize+8:]
 		for i := range payload {
-			payload[i] = float64(int8(q[i])) * scale
+			payload[i] = F(float64(int8(q[i])) * scale)
 		}
 	default:
 		for i := range payload {
-			payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize+8*i:]))
+			payload[i] = F(math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize+8*i:])))
 		}
 	}
 	return c, kind, payload, nil
@@ -219,15 +239,23 @@ func validScale(scale float64) bool {
 // snaps every element to its per-tensor int8 grid. It allocates nothing,
 // so lossy uplinks can be simulated on the training hot path.
 func RoundTripInPlace(c Codec, v []float64) {
+	RoundTripInPlaceOf(c, v)
+}
+
+// RoundTripInPlaceOf is the dtype-generic round trip. For a float32 vector
+// the F32 codec is the identity (the data is already at wire precision —
+// the point of native f32 frames), and I8 snaps to the int8 grid of the
+// widened values.
+func RoundTripInPlaceOf[F tensor.Float](c Codec, v []F) {
 	switch c {
 	case F32:
 		for i, x := range v {
-			v[i] = float64(float32(x))
+			v[i] = F(float32(x))
 		}
 	case I8:
 		scale := i8Scale(v)
 		for i, x := range v {
-			v[i] = float64(quantizeI8(x, scale)) * scale
+			v[i] = F(float64(quantizeI8(float64(x), scale)) * scale)
 		}
 	}
 }

@@ -350,24 +350,26 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 	n := len(batch)
 	ch, h, w := c.InputGeometry()
 	dim := ch * h * w
+	dt := c.DType()
 	labels := make([]int, n)
-	// The input batch and the feature-gradient accumulator are pooled: both
-	// are fully consumed by the extractor's backward pass, so they return to
-	// the pool at the end of the step.
+	// The input batch and the feature-gradient accumulator are pooled (in
+	// the model dtype): both are fully consumed by the extractor's backward
+	// pass, so they return to the pool at the end of the step. Augmented
+	// views arrive as float64 bookkeeping and narrow while packing.
 	var x *tensor.Tensor
 	if f.Opts.UseContrastive {
 		// Stack both augmented views: rows [0,n) = x', rows [n,2n) = x''.
-		x = tensor.GetTensor(2*n, ch, h, w)
+		x = tensor.GetTensorOf(dt, 2*n, ch, h, w)
 		for i, ex := range batch {
 			v1, v2 := c.Aug.TwoViews(ex.X, c.Rng)
-			copy(x.Data[i*dim:(i+1)*dim], v1)
-			copy(x.Data[(n+i)*dim:(n+i+1)*dim], v2)
+			x.WriteFloat64sAt(i*dim, v1)
+			x.WriteFloat64sAt((n+i)*dim, v2)
 			labels[i] = ex.Y
 		}
 	} else {
-		x = tensor.GetTensor(n, ch, h, w)
+		x = tensor.GetTensorOf(dt, n, ch, h, w)
 		for i, ex := range batch {
-			copy(x.Data[i*dim:(i+1)*dim], c.Aug.Apply(ex.X, c.Rng))
+			x.WriteFloat64sAt(i*dim, c.Aug.Apply(ex.X, c.Rng))
 			labels[i] = ex.Y
 		}
 	}
@@ -377,8 +379,8 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 	logits := c.Model.Classifier.Forward(view1, true)
 	_, dlogits := loss.CrossEntropy(logits, labels)
 	dview1 := c.Model.Classifier.Backward(dlogits)
-	dfeats := tensor.GetTensor(feats.Rows(), feats.Cols())
-	copy(dfeats.Data[:n*feats.Cols()], dview1.Data)
+	dfeats := tensor.GetTensorOf(dt, feats.Rows(), feats.Cols())
+	tensor.CopySegment(dfeats, 0, dview1, 0, n*feats.Cols())
 	if f.Opts.UseContrastive {
 		_, dcl := loss.SupCon(feats, labels, loss.SupConOptions{Temperature: f.Opts.Tau})
 		dfeats.AddInPlace(dcl)

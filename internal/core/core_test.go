@@ -10,6 +10,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/xrand"
 )
 
 func fleet(t *testing.T, k int, arch func(int) models.Arch) []*fl.Client {
@@ -21,10 +22,9 @@ func fleet(t *testing.T, k int, arch func(int) models.Arch) []*fl.Client {
 	}
 	clients := make([]*fl.Client, k)
 	for i := range clients {
-		rng := rand.New(rand.NewSource(int64(i + 1)))
 		m := models.New(models.Config{
 			Arch: arch(i), InC: ds.C, InH: ds.H, InW: ds.W, FeatDim: 8, NumClasses: ds.NumClasses, Hidden: 12,
-		}, rng)
+		}, xrand.New(int64(i+1)))
 		clients[i] = &fl.Client{
 			ID: i, Model: m, Train: parts[i].Train, Test: parts[i].Test,
 			Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
@@ -41,10 +41,9 @@ func mlpArch(int) models.Arch   { return models.ArchMLP }
 func TestSetupRejectsMismatchedClassifiers(t *testing.T) {
 	clients := fleet(t, 2, mlpArch)
 	// Rebuild client 1 with a different feature dim.
-	rng := rand.New(rand.NewSource(9))
 	clients[1].Model = models.New(models.Config{
 		Arch: models.ArchMLP, InC: 1, InH: 12, InW: 12, FeatDim: 16, NumClasses: 10,
-	}, rng)
+	}, xrand.New(9))
 	sim := fl.NewSimulation(clients, fl.Config{Rounds: 1, Seed: 1})
 	if _, err := sim.Run(New(DefaultOptions())); err == nil {
 		t.Fatal("mismatched classifier shapes must fail setup")

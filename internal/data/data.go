@@ -193,14 +193,22 @@ func PublicSplit(spec Spec, n int, seed int64) []Example {
 	return ds.Train
 }
 
-// BatchTensor packs examples into a [N, C, H, W] tensor plus label slice.
+// BatchTensor packs examples into a float64 [N, C, H, W] tensor plus label
+// slice.
 func BatchTensor(examples []Example, c, h, w int) (*tensor.Tensor, []int) {
+	return BatchTensorOf(tensor.F64, examples, c, h, w)
+}
+
+// BatchTensorOf packs examples into a [N, C, H, W] tensor of the given
+// dtype plus label slice. Examples store pixels as float64 bookkeeping;
+// narrowing happens here, once per batch, at the model boundary.
+func BatchTensorOf(dt tensor.DType, examples []Example, c, h, w int) (*tensor.Tensor, []int) {
 	n := len(examples)
-	x := tensor.New(n, c, h, w)
+	x := tensor.NewOf(dt, n, c, h, w)
 	y := make([]int, n)
 	dim := c * h * w
 	for i, ex := range examples {
-		copy(x.Data[i*dim:(i+1)*dim], ex.X)
+		x.WriteFloat64sAt(i*dim, ex.X)
 		y[i] = ex.Y
 	}
 	return x, y

@@ -8,8 +8,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/baselines"
 	"repro/internal/comm"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/models"
 	"repro/internal/opt"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
@@ -35,6 +37,10 @@ type Scale struct {
 	BatchSize     int
 	PublicSize    int // KT-pFL public dataset size
 	Seed          int64
+	// DType is the element type client models train in. The zero value is
+	// float64 (the golden reference path); tensor.F32 runs the same seeds on
+	// the SIMD-wide float32 fast path.
+	DType tensor.DType
 }
 
 // Small is the default scale used by cmd/tables, examples and EXPERIMENTS.md.
@@ -162,22 +168,67 @@ type ClientFactory func() []*fl.Client
 func NewHeterogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset, error) {
 	return newFleet(name, kind, k, s, func(i int) models.Arch {
 		return models.HeterogeneousSet[i%len(models.HeterogeneousSet)]
-	})
+	}, nil)
 }
 
 // NewHomogeneousFleet builds the Table 3 setting: every client runs
 // MiniResNet.
 func NewHomogeneousFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset, error) {
-	return newFleet(name, kind, k, s, func(int) models.Arch { return models.ArchResNet })
+	return newFleet(name, kind, k, s, func(int) models.Arch { return models.ArchResNet }, nil)
 }
 
 // NewProtoFleet builds the FedProto setting: CNN2 models whose widths vary
 // per client (the paper's milder heterogeneity for FedProto).
 func NewProtoFleet(name DatasetName, kind data.PartitionKind, k int, s Scale) (ClientFactory, *data.Dataset, error) {
-	return newFleet(name, kind, k, s, func(int) models.Arch { return models.ArchCNN2 })
+	return newFleet(name, kind, k, s, func(int) models.Arch { return models.ArchCNN2 }, nil)
 }
 
-func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArch func(int) models.Arch) (ClientFactory, *data.Dataset, error) {
+// NewRotationFleet builds a fleet whose composition is scripted instead of
+// hardcoded: client i runs arches[i % len(arches)] at width multiplier
+// widths[i % len(widths)] (widths nil or empty = the default width). It is
+// the programmatic form of fedsim's -arch/-width flags.
+func NewRotationFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, arches []models.Arch, widths []int) (ClientFactory, *data.Dataset, error) {
+	if len(arches) == 0 {
+		return nil, nil, fmt.Errorf("experiments: rotation fleet needs at least one architecture")
+	}
+	var pickWidth func(int) int
+	if len(widths) > 0 {
+		pickWidth = func(i int) int { return widths[i%len(widths)] }
+	}
+	return newFleet(name, kind, k, s, func(i int) models.Arch {
+		return arches[i%len(arches)]
+	}, pickWidth)
+}
+
+// ParseArchRotation parses a comma-separated architecture rotation like
+// "resnet,shufflenet,googlenet,alexnet" into the per-client assignment list.
+func ParseArchRotation(s string) ([]models.Arch, error) {
+	var arches []models.Arch
+	for _, name := range strings.Split(s, ",") {
+		a, err := models.ParseArch(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		arches = append(arches, a)
+	}
+	return arches, nil
+}
+
+// ParseWidthRotation parses a comma-separated width-multiplier rotation like
+// "1,2,3" (every entry must be >= 1).
+func ParseWidthRotation(s string) ([]int, error) {
+	var widths []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("experiments: width multiplier %q must be an integer >= 1", f)
+		}
+		widths = append(widths, w)
+	}
+	return widths, nil
+}
+
+func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArch func(int) models.Arch, pickWidth func(int) int) (ClientFactory, *data.Dataset, error) {
 	ds := data.Generate(Spec(name, s))
 	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
 	if err != nil {
@@ -191,18 +242,22 @@ func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArc
 			cfg := models.Config{
 				Arch: arch, InC: ds.C, InH: ds.H, InW: ds.W,
 				FeatDim: s.FeatDim, NumClasses: ds.NumClasses,
+				DType: s.DType,
 			}
 			if arch == models.ArchCNN2 {
 				cfg.Width = 1 + i%3 // per-client channel heterogeneity
 			}
+			if pickWidth != nil {
+				cfg.Width = pickWidth(i)
+			}
 			seed := s.Seed*1000003 + int64(i)*7919
-			// Training RNGs come from serializable sources so fleets are
-			// checkpointable; model initialization can keep the stdlib
-			// source (restores overwrite the weights anyway).
+			// Both the training stream (augmentation, batch shuffling) and
+			// the model-init stream come from serializable xrand sources, so
+			// every random draw in a fleet's life is snapshot-reproducible.
 			rng, src := xrand.NewRand(seed ^ 0x5deece66d)
 			clients[i] = &fl.Client{
 				ID:        i,
-				Model:     models.New(cfg, rand.New(rand.NewSource(seed))),
+				Model:     models.New(cfg, xrand.New(seed)),
 				Train:     parts[i].Train,
 				Test:      parts[i].Test,
 				Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),

@@ -117,7 +117,9 @@ func Figure8(name DatasetName, s Scale, perClient int) (*Figure8Result, error) {
 				continue
 			}
 			x, y := data.BatchTensor(c.Test[:n], c.Model.Cfg.InC, c.Model.Cfg.InH, c.Model.Cfg.InW)
-			feats := c.Model.Features(x, false)
+			// Analysis runs in float64 bookkeeping; f32 features widen here
+			// (AsType is the identity on the f64 reference path).
+			feats := c.Model.Features(x, false).AsType(tensor.F64)
 			rows = append(rows, feats)
 			for i := 0; i < n; i++ {
 				labels = append(labels, y[i])

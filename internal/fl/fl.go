@@ -43,18 +43,28 @@ func (c *Client) InputGeometry() (ch, h, w int) {
 	return cfg.InC, cfg.InH, cfg.InW
 }
 
-// AugmentedBatch packs a batch into a tensor, applying one augmentation
-// per example when the client has an augmenter.
+// DType reports the client model's element type (F64 without a model).
+func (c *Client) DType() tensor.DType {
+	if c.Model == nil {
+		return tensor.F64
+	}
+	return c.Model.DType()
+}
+
+// AugmentedBatch packs a batch into a model-dtype tensor, applying one
+// augmentation per example when the client has an augmenter. Augmentation
+// itself runs in float64 bookkeeping (it is per-pixel arithmetic on the
+// stored examples); the batch narrows once, here, at the model boundary.
 func (c *Client) AugmentedBatch(b []data.Example) (x *tensor.Tensor, y []int) {
 	ch, h, w := c.InputGeometry()
 	if c.Aug == nil {
-		return data.BatchTensor(b, ch, h, w)
+		return data.BatchTensorOf(c.DType(), b, ch, h, w)
 	}
 	aug := make([]data.Example, len(b))
 	for i, ex := range b {
 		aug[i] = data.Example{X: c.Aug.Apply(ex.X, c.Rng), Y: ex.Y}
 	}
-	return data.BatchTensor(aug, ch, h, w)
+	return data.BatchTensorOf(c.DType(), aug, ch, h, w)
 }
 
 // EvalAccuracy computes test accuracy with the model in evaluation mode,
@@ -71,7 +81,7 @@ func (c *Client) EvalAccuracy() float64 {
 		if hi > len(c.Test) {
 			hi = len(c.Test)
 		}
-		x, y := data.BatchTensor(c.Test[lo:hi], ch, h, w)
+		x, y := data.BatchTensorOf(c.DType(), c.Test[lo:hi], ch, h, w)
 		_, logits := c.Model.Forward(x, false)
 		for i := range y {
 			if logits.ArgMaxRow(i) == y[i] {

@@ -10,14 +10,14 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/opt"
+	"repro/internal/xrand"
 )
 
 func testClient(t *testing.T, id int, train, test []data.Example) *Client {
 	t.Helper()
-	rng := rand.New(rand.NewSource(int64(id + 1)))
 	m := models.New(models.Config{
 		Arch: models.ArchMLP, InC: 1, InH: 12, InW: 12, FeatDim: 8, NumClasses: 10, Hidden: 16,
-	}, rng)
+	}, xrand.New(int64(id+1)))
 	return &Client{
 		ID: id, Model: m, Train: train, Test: test,
 		Aug:       data.NewAugmenter(1, 12, 12),

@@ -19,6 +19,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/opt"
 	"repro/internal/tensor"
+	"repro/internal/xrand"
 )
 
 // goldenFleet builds k identically seeded MLP clients over a non-iid
@@ -37,11 +38,10 @@ func goldenFleetDim(t *testing.T, k, featDim int) []*fl.Client {
 	}
 	clients := make([]*fl.Client, k)
 	for i := range clients {
-		rng := rand.New(rand.NewSource(int64(i + 1)))
 		m := models.New(models.Config{
 			Arch: models.ArchMLP, InC: ds.C, InH: ds.H, InW: ds.W,
 			FeatDim: featDim, NumClasses: ds.NumClasses, Hidden: 16,
-		}, rng)
+		}, xrand.New(int64(i+1)))
 		clients[i] = &fl.Client{
 			ID: i, Model: m, Train: parts[i].Train, Test: parts[i].Test,
 			Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/tensor"
 )
 
 // This file is the checkpoint side of the federation engine: a Snapshot is
@@ -92,6 +93,11 @@ type Snapshot struct {
 	Seq     int     // dispatch sequence counter (async)
 	Applied int     // applies since the last commit (async)
 	Rng     uint64  // simulation sampling stream position
+	// DType is the model element type the run trained in. Flat vectors in a
+	// snapshot are always float64 bookkeeping (f32 values widen exactly),
+	// but restoring into a fleet of a different dtype would silently change
+	// the numerics, so resume rejects mismatches.
+	DType tensor.DType
 
 	NodeFree []float64 // virtual node busy times (async)
 	Idle     []bool    // per-client idle flags (async)
@@ -154,6 +160,12 @@ func (s *Simulation) captureCommon(snap *Snapshot, algo Algorithm, sched *Schedu
 	}
 	snap.Algo = st
 	snap.Rng = s.src.State()
+	for _, c := range s.Clients {
+		if c.Model != nil {
+			snap.DType = c.Model.DType()
+			break
+		}
+	}
 	snap.History = cloneHistory(s.History)
 	if sched.Trace != nil {
 		snap.Trace = append([]TraceEvent(nil), sched.Trace.Events...)
@@ -193,6 +205,12 @@ func (s *Simulation) restoreCommon(snap *Snapshot, algo Algorithm, sched *Schedu
 	}
 	if len(snap.Clients) != len(s.Clients) {
 		return fmt.Errorf("fl: checkpoint has %d clients, simulation has %d", len(snap.Clients), len(s.Clients))
+	}
+	for _, c := range s.Clients {
+		if c.Model != nil && c.Model.DType() != snap.DType {
+			return fmt.Errorf("fl: checkpoint was taken at dtype %s, fleet is %s (resume with the same -dtype)",
+				snap.DType, c.Model.DType())
+		}
 	}
 	s.src.SetState(snap.Rng)
 	s.History = cloneHistory(snap.History)

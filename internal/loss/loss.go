@@ -5,6 +5,12 @@
 // classifier, and the temperature-scaled KL distillation loss used by the
 // KT-pFL baseline. Every function returns both the scalar loss and the
 // gradient with respect to its input so layers can stay autodiff-free.
+//
+// Losses are dtype-generic: gradients come back in the input activations'
+// dtype (so the backward pass stays on the model's fast path), while scalar
+// loss values are always float64 bookkeeping. Transcendentals are evaluated
+// through the float64 math package and narrowed, which keeps the float64
+// instantiation bit-identical to the historical implementation.
 package loss
 
 import (
@@ -17,26 +23,35 @@ import (
 // CrossEntropy computes mean softmax cross-entropy over a batch of logits
 // [N, C] with integer labels, returning the loss and dL/dlogits.
 func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
-	n, c := logits.Rows(), logits.Cols()
+	n := logits.Rows()
 	if len(labels) != n {
 		panic("loss: CrossEntropy label count mismatch")
 	}
-	grad := tensor.New(n, c)
+	grad := tensor.NewOf(logits.DT, n, logits.Cols())
+	if logits.DT == tensor.F32 {
+		return crossEntropy(tensor.Of[float32](logits), tensor.Of[float32](grad), labels, logits.Cols()), grad
+	}
+	return crossEntropy(logits.Data, grad.Data, labels, logits.Cols()), grad
+}
+
+func crossEntropy[F tensor.Float](logits, grad []F, labels []int, c int) float64 {
+	n := len(labels)
 	var total float64
 	inv := 1.0 / float64(n)
+	invF := F(inv)
 	for i := 0; i < n; i++ {
-		row := logits.Row(i)
-		lse := tensor.LogSumExpRow(row)
+		row := logits[i*c : (i+1)*c]
+		lse := tensor.LogSumExpOf(row)
 		y := labels[i]
-		total += lse - row[y]
-		grow := grad.Row(i)
+		total += float64(lse - row[y])
+		grow := grad[i*c : (i+1)*c]
 		for j := range row {
-			p := math.Exp(row[j] - lse)
-			grow[j] = p * inv
+			p := F(math.Exp(float64(row[j] - lse)))
+			grow[j] = p * invF
 		}
-		grow[y] -= inv
+		grow[y] -= invF
 	}
-	return total * inv, grad
+	return total * inv
 }
 
 // Accuracy returns the fraction of rows whose argmax equals the label.
@@ -78,18 +93,30 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 		opts = optsIn[0]
 	}
 	m := features.Rows()
-	d := features.Cols()
 	if m%2 != 0 || m/2 != len(labels) {
 		panic("loss: SupCon expects [2N, D] features and N labels")
 	}
+	df := tensor.NewOf(features.DT, m, features.Cols())
+	var lossVal float64
+	if features.DT == tensor.F32 {
+		lossVal = supCon[float32](features, df, labels, opts.Temperature)
+	} else {
+		lossVal = supCon[float64](features, df, labels, opts.Temperature)
+	}
+	return lossVal, df
+}
+
+func supCon[F tensor.Float](features, df *tensor.Tensor, labels []int, tau float64) float64 {
+	dt := features.DT
+	m := features.Rows()
+	d := features.Cols()
 	n := m / 2
-	tau := opts.Temperature
 
 	// Normalize a pooled copy of the features, remembering norms for the
 	// backward pass through the normalization. All O(m²) intermediates come
 	// from the tensor pool and go back at the end, so per-batch contrastive
 	// steps allocate only the returned gradient in steady state.
-	z := tensor.GetTensor(m, d)
+	z := tensor.GetTensorOf(dt, m, d)
 	defer tensor.PutTensor(z)
 	z.CopyFrom(features)
 	norms := z.NormalizeRowsInPlace(1e-12)
@@ -101,33 +128,35 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 	}
 
 	// Pairwise scaled similarities s_ij = z_i·z_j/τ.
-	sim := tensor.GetTensor(m, m)
+	sim := tensor.GetTensorOf(dt, m, m)
 	defer tensor.PutTensor(sim)
 	tensor.MatMulABTInto(sim, z, z)
 	sim.ScaleInPlace(1 / tau)
+	simd := tensor.Of[F](sim)
 
 	// G_ia = softmax over a≠i of s_ia, minus 1/|P(i)| for positives.
-	g := tensor.GetTensor(m, m)
+	g := tensor.GetTensorOf(dt, m, m)
 	defer tensor.PutTensor(g)
+	gd := tensor.Of[F](g)
 	var total float64
 	for i := 0; i < m; i++ {
-		row := sim.Row(i)
+		row := simd[i*m : (i+1)*m]
 		// log-sum-exp over a ≠ i
-		maxV := math.Inf(-1)
+		maxV := F(math.Inf(-1))
 		for a := 0; a < m; a++ {
 			if a != i && row[a] > maxV {
 				maxV = row[a]
 			}
 		}
-		var sum float64
+		var sum F
 		for a := 0; a < m; a++ {
 			if a != i {
-				sum += math.Exp(row[a] - maxV)
+				sum += F(math.Exp(float64(row[a] - maxV)))
 			}
 		}
-		lse := maxV + math.Log(sum)
+		lse := maxV + F(math.Log(float64(sum)))
 		nPos := 0
-		var posSum float64
+		var posSum F
 		for a := 0; a < m; a++ {
 			if a != i && full[a] == full[i] {
 				nPos++
@@ -137,14 +166,14 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 		if nPos == 0 {
 			continue // cannot happen with two views, but stay safe
 		}
-		total += lse - posSum/float64(nPos)
-		grow := g.Row(i)
-		invPos := 1.0 / float64(nPos)
+		total += float64(lse - posSum/F(float64(nPos)))
+		grow := gd[i*m : (i+1)*m]
+		invPos := F(1.0 / float64(nPos))
 		for a := 0; a < m; a++ {
 			if a == i {
 				continue
 			}
-			p := math.Exp(row[a] - lse)
+			p := F(math.Exp(float64(row[a] - lse)))
 			if full[a] == full[i] {
 				p -= invPos
 			}
@@ -154,39 +183,42 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 	lossVal := total / float64(m)
 
 	// dL/dz_i = (1/(Mτ)) Σ_a (G_ia + G_ai)·z_a
-	scale := 1.0 / (float64(m) * tau)
-	gSym := tensor.GetTensor(m, m)
+	scale := F(1.0 / (float64(m) * tau))
+	gSym := tensor.GetTensorOf(dt, m, m)
 	defer tensor.PutTensor(gSym)
+	gSymd := tensor.Of[F](gSym)
 	for i := 0; i < m; i++ {
 		for a := 0; a < m; a++ {
-			gSym.Set(i, a, (g.At(i, a)+g.At(a, i))*scale)
+			gSymd[i*m+a] = (gd[i*m+a] + gd[a*m+i]) * scale
 		}
 	}
-	dz := tensor.GetTensor(m, d)
+	dz := tensor.GetTensorOf(dt, m, d)
 	defer tensor.PutTensor(dz)
 	tensor.MatMulInto(dz, gSym, z)
 
 	// Backprop through z = f/‖f‖: df = (dz − z·(z·dz)) / ‖f‖.
-	df := tensor.New(m, d)
+	zd, dzd, dfd := tensor.Of[F](z), tensor.Of[F](dz), tensor.Of[F](df)
 	for i := 0; i < m; i++ {
-		zi := z.Row(i)
-		dzi := dz.Row(i)
-		var dot float64
+		zi := zd[i*d : (i+1)*d]
+		dzi := dzd[i*d : (i+1)*d]
+		var dot F
 		for j := 0; j < d; j++ {
 			dot += zi[j] * dzi[j]
 		}
-		inv := 1 / norms[i]
-		dfi := df.Row(i)
+		inv := F(1 / norms[i])
+		dfi := dfd[i*d : (i+1)*d]
 		for j := 0; j < d; j++ {
 			dfi[j] = (dzi[j] - zi[j]*dot) * inv
 		}
 	}
-	return lossVal, df
+	return lossVal
 }
 
 // Proximal adds the gradient of ρ·‖w − w_global‖² to the parameter
 // gradients and returns the penalty value. globalFlat must have the layout
-// produced by nn.FlattenParams on the same parameter list.
+// produced by nn.FlattenParams on the same parameter list; the difference
+// is computed in float64 bookkeeping and the gradient contribution narrows
+// to the parameter dtype.
 func Proximal(params []*nn.Param, globalFlat []float64, rho float64) float64 {
 	if rho == 0 {
 		return 0
@@ -194,15 +226,26 @@ func Proximal(params []*nn.Param, globalFlat []float64, rho float64) float64 {
 	var penalty float64
 	off := 0
 	for _, p := range params {
-		w, g := p.Value.Data, p.Grad.Data
-		for j := range w {
-			d := w[j] - globalFlat[off+j]
-			penalty += d * d
-			g[j] += 2 * rho * d
+		// The accumulator threads through every parameter so the summation
+		// order (and thus the float64 result) matches the historical
+		// single-loop implementation bit for bit.
+		if p.Value.DT == tensor.F32 {
+			penalty = proximalParam(tensor.Of[float32](p.Value), tensor.Of[float32](p.Grad), globalFlat[off:], rho, penalty)
+		} else {
+			penalty = proximalParam(p.Value.Data, p.Grad.Data, globalFlat[off:], rho, penalty)
 		}
-		off += len(w)
+		off += p.Value.Size()
 	}
 	return rho * penalty
+}
+
+func proximalParam[F tensor.Float](w, g []F, globalFlat []float64, rho, penalty float64) float64 {
+	for j := range w {
+		d := float64(w[j]) - globalFlat[j]
+		penalty += d * d
+		g[j] += F(2 * rho * d)
+	}
+	return penalty
 }
 
 // KLDistill computes the temperature-scaled distillation loss
@@ -214,34 +257,43 @@ func KLDistill(studentLogits, teacherProbs *tensor.Tensor, temperature float64) 
 	if teacherProbs.Rows() != n || teacherProbs.Cols() != c {
 		panic("loss: KLDistill shape mismatch")
 	}
-	t := temperature
-	grad := tensor.New(n, c)
-	var total float64
-	inv := 1.0 / float64(n)
-	for i := 0; i < n; i++ {
-		srow := studentLogits.Row(i)
-		trow := teacherProbs.Row(i)
-		scaled := make([]float64, c)
-		for j := range srow {
-			scaled[j] = srow[j] / t
-		}
-		lse := tensor.LogSumExpRow(scaled)
-		grow := grad.Row(i)
-		for j := 0; j < c; j++ {
-			logPs := scaled[j] - lse
-			ps := math.Exp(logPs)
-			pt := trow[j]
-			if pt > 0 {
-				total += pt * (math.Log(pt) - logPs)
-			}
-			// d(T²·KL)/dlogit = T·(ps − pt), averaged over the batch.
-			grow[j] = t * (ps - pt) * inv
-		}
+	grad := tensor.NewOf(studentLogits.DT, n, c)
+	if studentLogits.DT == tensor.F32 {
+		return klDistill(tensor.Of[float32](studentLogits), tensor.Of[float32](teacherProbs),
+			tensor.Of[float32](grad), n, c, temperature), grad
 	}
-	return total * t * t * inv, grad
+	return klDistill(studentLogits.Data, tensor.Of[float64](teacherProbs), grad.Data, n, c, temperature), grad
 }
 
-// SoftmaxWithTemperature returns softmax(logits/T) row-wise as a new tensor.
+func klDistill[F tensor.Float](student, teacher, grad []F, n, c int, temperature float64) float64 {
+	t := temperature
+	var total float64
+	inv := 1.0 / float64(n)
+	scaled := make([]F, c)
+	for i := 0; i < n; i++ {
+		srow := student[i*c : (i+1)*c]
+		trow := teacher[i*c : (i+1)*c]
+		for j := range srow {
+			scaled[j] = srow[j] / F(t)
+		}
+		lse := tensor.LogSumExpOf(scaled)
+		grow := grad[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			logPs := scaled[j] - lse
+			ps := math.Exp(float64(logPs))
+			pt := float64(trow[j])
+			if pt > 0 {
+				total += pt * (math.Log(pt) - float64(logPs))
+			}
+			// d(T²·KL)/dlogit = T·(ps − pt), averaged over the batch.
+			grow[j] = F(t * (ps - pt) * inv)
+		}
+	}
+	return total * t * t * inv
+}
+
+// SoftmaxWithTemperature returns softmax(logits/T) row-wise as a new tensor
+// (in the logits' dtype).
 func SoftmaxWithTemperature(logits *tensor.Tensor, t float64) *tensor.Tensor {
 	out := logits.Clone()
 	out.ScaleInPlace(1 / t)

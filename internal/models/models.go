@@ -15,9 +15,11 @@ package models
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/xrand"
 )
 
 // Arch identifies a model architecture.
@@ -53,12 +55,34 @@ func (a Arch) String() string {
 	}
 }
 
+// ParseArch maps a flag value to an Arch. Both the short rotation names
+// ("resnet") and the mini model names ("MiniResNet", case-insensitive) are
+// accepted.
+func ParseArch(s string) (Arch, error) {
+	switch strings.TrimPrefix(strings.ToLower(s), "mini") {
+	case "mlp":
+		return ArchMLP, nil
+	case "alexnet":
+		return ArchAlexNet, nil
+	case "resnet":
+		return ArchResNet, nil
+	case "shufflenet":
+		return ArchShuffleNet, nil
+	case "googlenet":
+		return ArchGoogLeNet, nil
+	case "cnn2":
+		return ArchCNN2, nil
+	}
+	return ArchMLP, fmt.Errorf("models: unknown architecture %q (want mlp | alexnet | resnet | shufflenet | googlenet | cnn2)", s)
+}
+
 // HeterogeneousSet is the paper's four-architecture rotation; client k
 // receives HeterogeneousSet[k % 4], matching "models were equally
 // distributed among the clients".
 var HeterogeneousSet = []Arch{ArchResNet, ArchShuffleNet, ArchGoogLeNet, ArchAlexNet}
 
-// Config describes the input geometry and head sizes of a model.
+// Config describes the input geometry, head sizes and numeric precision of
+// a model.
 type Config struct {
 	Arch          Arch
 	InC, InH, InW int
@@ -69,6 +93,10 @@ type Config struct {
 	Width int
 	// Hidden is the MLP hidden width (ArchMLP only).
 	Hidden int
+	// DType is the element type the model trains in. The zero value is
+	// float64, the golden reference path; tensor.F32 halves the working set
+	// and doubles SIMD width on the GEMM/conv hot paths.
+	DType tensor.DType
 }
 
 // SplitModel is a model split into feature extractor and classifier.
@@ -77,16 +105,28 @@ type SplitModel struct {
 	Cfg        Config
 	Extractor  *nn.Sequential
 	Classifier *nn.Dense
+
+	// xcast is the cached model-dtype staging buffer for inputs arriving in
+	// a different dtype (dataset tensors are always float64 bookkeeping).
+	// It is overwritten by the next cast, matching the layer buffer
+	// contract: an input is consumed by the forward/backward pair it feeds.
+	xcast *tensor.Tensor
 }
 
-// New builds a model for the given config with weights drawn from rng.
-func New(cfg Config, rng *rand.Rand) *SplitModel {
+// New builds a model for the given config with weights drawn from the
+// serializable source, so initialization is snapshot-reproducible exactly
+// like sampling and augmentation streams. Weights are always initialized in
+// float64 — a given seed yields the same draw sequence at every dtype — and
+// narrowed to Config.DType afterwards, which makes f32-vs-f64 parity runs
+// start from identical (merely rounded) weights.
+func New(cfg Config, src *xrand.Source) *SplitModel {
 	if cfg.Width <= 0 {
 		cfg.Width = 1
 	}
 	if cfg.FeatDim <= 0 {
 		cfg.FeatDim = 32
 	}
+	rng := rand.New(src)
 	var ext *nn.Sequential
 	switch cfg.Arch {
 	case ArchMLP:
@@ -104,22 +144,43 @@ func New(cfg Config, rng *rand.Rand) *SplitModel {
 	default:
 		panic(fmt.Sprintf("models: unknown arch %v", cfg.Arch))
 	}
-	return &SplitModel{
+	m := &SplitModel{
 		Name:       cfg.Arch.String(),
 		Cfg:        cfg,
 		Extractor:  ext,
 		Classifier: nn.NewDense(cfg.FeatDim, cfg.NumClasses, rng),
 	}
+	if cfg.DType != tensor.F64 {
+		nn.ConvertParams(m.Params(), cfg.DType)
+	}
+	return m
 }
 
-// Features runs the extractor on a batch [N, C, H, W].
+// DType reports the element type the model trains in.
+func (m *SplitModel) DType() tensor.DType { return m.Cfg.DType }
+
+// CastInput returns x in the model dtype, staging through a cached buffer
+// when a conversion is needed. The returned tensor is valid until the next
+// CastInput call on this model.
+func (m *SplitModel) CastInput(x *tensor.Tensor) *tensor.Tensor {
+	if x.DT == m.Cfg.DType {
+		return x
+	}
+	m.xcast = tensor.EnsureOf(m.Cfg.DType, m.xcast, x.Shape...)
+	tensor.ConvertInto(m.xcast, x)
+	return m.xcast
+}
+
+// Features runs the extractor on a batch [N, C, H, W], casting the input to
+// the model dtype if needed.
 func (m *SplitModel) Features(x *tensor.Tensor, train bool) *tensor.Tensor {
-	return m.Extractor.Forward(x, train)
+	return m.Extractor.Forward(m.CastInput(x), train)
 }
 
-// Forward runs the full model, returning features and logits.
+// Forward runs the full model, returning features and logits (in the model
+// dtype).
 func (m *SplitModel) Forward(x *tensor.Tensor, train bool) (feats, logits *tensor.Tensor) {
-	feats = m.Extractor.Forward(x, train)
+	feats = m.Extractor.Forward(m.CastInput(x), train)
 	logits = m.Classifier.Forward(feats, train)
 	return feats, logits
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/xrand"
 )
 
 func allArchs() []Arch {
@@ -21,7 +22,7 @@ func TestEveryArchForwardShapes(t *testing.T) {
 		a := a
 		t.Run(a.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(1))
-			m := New(cfgFor(a), rng)
+			m := New(cfgFor(a), xrand.New(1))
 			x := tensor.New(3, 1, 12, 12)
 			x.FillRandn(rng, 1)
 			feats, logits := m.Forward(x, true)
@@ -40,7 +41,7 @@ func TestEveryArchBackwardRuns(t *testing.T) {
 		a := a
 		t.Run(a.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(2))
-			m := New(cfgFor(a), rng)
+			m := New(cfgFor(a), xrand.New(2))
 			x := tensor.New(2, 1, 12, 12)
 			x.FillRandn(rng, 1)
 			feats, logits := m.Forward(x, true)
@@ -70,7 +71,7 @@ func TestEveryArchBackwardRuns(t *testing.T) {
 func TestRGBInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	cfg := Config{Arch: ArchResNet, InC: 3, InH: 12, InW: 12, FeatDim: 16, NumClasses: 10}
-	m := New(cfg, rng)
+	m := New(cfg, xrand.New(3))
 	x := tensor.New(2, 3, 12, 12)
 	x.FillRandn(rng, 1)
 	_, logits := m.Forward(x, false)
@@ -84,8 +85,7 @@ func TestClassifierShapeSharedAcrossArchs(t *testing.T) {
 	// identically shaped classifier.
 	var want int
 	for i, a := range HeterogeneousSet {
-		rng := rand.New(rand.NewSource(4))
-		m := New(cfgFor(a), rng)
+		m := New(cfgFor(a), xrand.New(4))
 		n := nn.NumParams(m.ClassifierParams())
 		if i == 0 {
 			want = n
@@ -101,8 +101,7 @@ func TestClassifierShapeSharedAcrossArchs(t *testing.T) {
 func TestArchitecturesActuallyDiffer(t *testing.T) {
 	seen := map[int]Arch{}
 	for _, a := range HeterogeneousSet {
-		rng := rand.New(rand.NewSource(5))
-		m := New(cfgFor(a), rng)
+		m := New(cfgFor(a), xrand.New(5))
 		n := nn.NumParams(m.ExtractorParams())
 		if prev, dup := seen[n]; dup {
 			t.Fatalf("%v and %v have identical extractor param counts (%d); heterogeneity lost", prev, a, n)
@@ -116,7 +115,7 @@ func TestCNN2WidthHeterogeneity(t *testing.T) {
 	for w := 1; w <= 3; w++ {
 		cfg := cfgFor(ArchCNN2)
 		cfg.Width = w
-		m := New(cfg, rand.New(rand.NewSource(6)))
+		m := New(cfg, xrand.New(6))
 		counts[nn.NumParams(m.ExtractorParams())] = true
 		// Classifier stays fixed regardless of width.
 		if nn.NumParams(m.ClassifierParams()) != 16*10+10 {
@@ -129,8 +128,8 @@ func TestCNN2WidthHeterogeneity(t *testing.T) {
 }
 
 func TestDeterministicInit(t *testing.T) {
-	m1 := New(cfgFor(ArchResNet), rand.New(rand.NewSource(7)))
-	m2 := New(cfgFor(ArchResNet), rand.New(rand.NewSource(7)))
+	m1 := New(cfgFor(ArchResNet), xrand.New(7))
+	m2 := New(cfgFor(ArchResNet), xrand.New(7))
 	f1 := nn.FlattenParams(m1.Params())
 	f2 := nn.FlattenParams(m2.Params())
 	for i := range f1 {
@@ -138,7 +137,7 @@ func TestDeterministicInit(t *testing.T) {
 			t.Fatal("same seed must give identical weights")
 		}
 	}
-	m3 := New(cfgFor(ArchResNet), rand.New(rand.NewSource(8)))
+	m3 := New(cfgFor(ArchResNet), xrand.New(8))
 	f3 := nn.FlattenParams(m3.Params())
 	same := true
 	for i := range f1 {
@@ -155,7 +154,7 @@ func TestDeterministicInit(t *testing.T) {
 func TestTrainEvalModesDiffer(t *testing.T) {
 	// BatchNorm-bearing models must behave differently in train vs eval.
 	rng := rand.New(rand.NewSource(9))
-	m := New(cfgFor(ArchResNet), rng)
+	m := New(cfgFor(ArchResNet), xrand.New(9))
 	x := tensor.New(4, 1, 12, 12)
 	x.FillRandn(rng, 1)
 	_, trainLogits := m.Forward(x, true)
@@ -171,7 +170,7 @@ func TestUnknownArchPanics(t *testing.T) {
 			t.Fatal("unknown arch must panic")
 		}
 	}()
-	New(Config{Arch: Arch(99), InC: 1, InH: 8, InW: 8, FeatDim: 8, NumClasses: 2}, rand.New(rand.NewSource(1)))
+	New(Config{Arch: Arch(99), InC: 1, InH: 8, InW: 8, FeatDim: 8, NumClasses: 2}, xrand.New(1))
 }
 
 func TestArchStrings(t *testing.T) {
@@ -179,5 +178,17 @@ func TestArchStrings(t *testing.T) {
 		if a.String() == "" {
 			t.Fatalf("arch %d has empty name", a)
 		}
+	}
+}
+
+func TestParseArchCaseInsensitive(t *testing.T) {
+	for _, in := range []string{"resnet", "ResNet", "MiniResNet", "MINIRESNET", "miniresnet"} {
+		a, err := ParseArch(in)
+		if err != nil || a != ArchResNet {
+			t.Fatalf("ParseArch(%q) = %v, %v", in, a, err)
+		}
+	}
+	if _, err := ParseArch("warpdrive"); err == nil {
+		t.Fatal("unknown arch must be rejected")
 	}
 }

@@ -6,47 +6,48 @@ import (
 	"repro/internal/tensor"
 )
 
-// ReLU applies max(0, x) elementwise.
+// ReLU applies max(0, x) elementwise. The backward pass reads the cached
+// forward output instead of a separate mask: out > 0 holds exactly where
+// the input was positive, so the pass-through set is recoverable for free
+// and the forward loop writes one array instead of two.
 type ReLU struct {
-	mask []bool
-	out  ring2
-	dx   *tensor.Tensor
+	y   *tensor.Tensor // last forward output (owned by the ring)
+	out ring2
+	dx  *tensor.Tensor
 }
 
 // NewReLU builds the layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward zeroes negative activations and records the pass-through mask.
+// Forward zeroes negative activations.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := r.out.next(x.Shape...)
-	if cap(r.mask) < len(x.Data) {
-		r.mask = make([]bool, len(x.Data))
+	out := r.out.next(x.DT, x.Shape...)
+	if x.DT == tensor.F32 {
+		reluFwd(tensor.Of[float32](out), tensor.Of[float32](x))
+	} else {
+		reluFwd(out.Data, x.Data)
 	}
-	r.mask = r.mask[:len(x.Data)]
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			out.Data[i] = 0
-			r.mask[i] = false
-		}
-	}
+	r.y = out
 	return out
+}
+
+func reluFwd[F tensor.Float](out, x []F) {
+	tensor.VecReluForward(out, x)
 }
 
 // Backward passes gradients only through positive activations.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	r.dx = tensor.Ensure(r.dx, grad.Shape...)
-	dx := r.dx
-	for i, v := range grad.Data {
-		if r.mask[i] {
-			dx.Data[i] = v
-		} else {
-			dx.Data[i] = 0
-		}
+	r.dx = tensor.EnsureOf(grad.DT, r.dx, grad.Shape...)
+	if grad.DT == tensor.F32 {
+		reluBwd(tensor.Of[float32](r.dx), tensor.Of[float32](grad), tensor.Of[float32](r.y))
+	} else {
+		reluBwd(r.dx.Data, grad.Data, r.y.Data)
 	}
-	return dx
+	return r.dx
+}
+
+func reluBwd[F tensor.Float](dx, grad, y []F) {
+	tensor.VecReluBackward(dx, grad, y)
 }
 
 // Params returns nil; ReLU has no parameters.
@@ -54,6 +55,8 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Dropout zeroes activations with probability P during training and scales
 // survivors by 1/(1-P) (inverted dropout), so evaluation is the identity.
+// The mask stays float64 bookkeeping (one multiplier per element drawn from
+// the layer RNG); the activations flow in the input dtype.
 type Dropout struct {
 	P    float64
 	rng  *rand.Rand
@@ -71,23 +74,45 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = nil
 		return x
 	}
-	out := d.out.next(x.Shape...)
-	if cap(d.mask) < len(x.Data) {
-		d.mask = make([]float64, len(x.Data))
+	out := d.out.next(x.DT, x.Shape...)
+	n := x.Size()
+	if cap(d.mask) < n {
+		d.mask = make([]float64, n)
 	}
-	d.mask = d.mask[:len(x.Data)]
+	d.mask = d.mask[:n]
 	keep := 1 - d.P
 	inv := 1 / keep
-	for i, v := range x.Data {
+	for i := range d.mask {
 		if d.rng.Float64() < keep {
 			d.mask[i] = inv
-			out.Data[i] = v * inv
 		} else {
 			d.mask[i] = 0
-			out.Data[i] = 0
 		}
 	}
+	if x.DT == tensor.F32 {
+		dropoutFwd(tensor.Of[float32](out), tensor.Of[float32](x), d.mask)
+	} else {
+		dropoutFwd(out.Data, x.Data, d.mask)
+	}
 	return out
+}
+
+// dropoutFwd zeroes dropped positions explicitly (not by multiplying with 0,
+// which would leak NaN from non-finite activations).
+func dropoutFwd[F tensor.Float](out, x []F, mask []float64) {
+	for i, v := range x {
+		if m := mask[i]; m != 0 {
+			out[i] = v * F(m)
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+func dropoutApply[F tensor.Float](out, x []F, mask []float64) {
+	for i, v := range x {
+		out[i] = v * F(mask[i])
+	}
 }
 
 // Backward applies the same mask to the gradient.
@@ -95,12 +120,13 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	d.dx = tensor.Ensure(d.dx, grad.Shape...)
-	dx := d.dx
-	for i, v := range grad.Data {
-		dx.Data[i] = v * d.mask[i]
+	d.dx = tensor.EnsureOf(grad.DT, d.dx, grad.Shape...)
+	if grad.DT == tensor.F32 {
+		dropoutApply(tensor.Of[float32](d.dx), tensor.Of[float32](grad), d.mask)
+	} else {
+		dropoutApply(d.dx.Data, grad.Data, d.mask)
 	}
-	return dx
+	return d.dx
 }
 
 // Params returns nil; dropout has no parameters.

@@ -70,6 +70,47 @@ func TestDenseForwardAllocs(t *testing.T) {
 	}
 }
 
+// The zero-allocation contract holds identically on the float32 fast path:
+// dtype dispatch happens per call, never per element, and the per-dtype
+// pools serve the narrow buffers.
+func TestConv2DTrainStepAllocsF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	layer := NewConv2D(4, 8, 3, 1, 1, 1, rng)
+	ConvertParams(layer.Params(), tensor.F32)
+	x := tensor.NewOf(tensor.F32, 4, 4, 10, 10)
+	x.FillRandn(rng, 1)
+	grad := tensor.NewOf(tensor.F32, 4, 8, 10, 10)
+	grad.FillRandn(rng, 1)
+	layer.Forward(x, true)
+	layer.Backward(grad)
+	avg := testing.AllocsPerRun(50, func() {
+		layer.Forward(x, true)
+		layer.Backward(grad)
+	})
+	if budget := 2 * parallelDispatchBudget(); avg > budget {
+		t.Fatalf("f32 Conv2D forward+backward allocates %.1f objects/op in steady state, want <= %.0f", avg, budget)
+	}
+}
+
+func TestDenseTrainStepAllocsF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	layer := NewDense(64, 32, rng)
+	ConvertParams(layer.Params(), tensor.F32)
+	x := tensor.NewOf(tensor.F32, 16, 64)
+	x.FillRandn(rng, 1)
+	grad := tensor.NewOf(tensor.F32, 16, 32)
+	grad.FillRandn(rng, 1)
+	layer.Forward(x, true)
+	layer.Backward(grad)
+	avg := testing.AllocsPerRun(100, func() {
+		layer.Forward(x, true)
+		layer.Backward(grad)
+	})
+	if budget := 2 * parallelDispatchBudget(); avg > budget {
+		t.Fatalf("f32 Dense forward+backward allocates %.1f objects/op in steady state, want <= %.0f", avg, budget)
+	}
+}
+
 func TestDenseTrainStepAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	layer := NewDense(64, 32, rng)

@@ -14,9 +14,10 @@ import (
 // [groups·kernelElems, N·outH·outW] so the forward pass is a single GEMM per
 // group per batch rather than one tiny GEMM per sample.
 //
-// The layer keeps its im2col, GEMM and gradient workspaces across calls;
-// steady-state training allocates nothing. See the package comment for the
-// activation aliasing contract.
+// The layer keeps its im2col, GEMM and gradient workspaces across calls,
+// sized and typed to match the parameters' dtype; steady-state training
+// allocates nothing. See the package comment for the activation aliasing
+// contract.
 type Conv2D struct {
 	InC, OutC    int
 	KH, KW       int
@@ -74,21 +75,23 @@ func (c *Conv2D) OutputShape(h, w int) (int, int) {
 }
 
 // ensureWorkspace (re)builds the batch workspaces and group views when the
-// input geometry changes; with a stable geometry it is a cheap no-op.
+// input geometry (or the model dtype) changes; with a stable geometry it is
+// a cheap no-op.
 func (c *Conv2D) ensureWorkspace(n, h, w int) {
+	dt := c.W.Value.DT
 	oh, ow := c.OutputShape(h, w)
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: Conv2D output %dx%d not positive for input %dx%d", oh, ow, h, w))
 	}
-	if n == c.batch && h == c.inH && w == c.inW && c.cols != nil {
+	if n == c.batch && h == c.inH && w == c.inW && c.cols != nil && c.cols.DT == dt {
 		return
 	}
 	c.batch, c.inH, c.inW, c.outH, c.outW = n, h, w, oh, ow
 	c.bwdOK = false
 	ns := n * oh * ow
 	ke, sp := c.kernelElems, ns
-	c.cols = tensor.Ensure(c.cols, c.Groups*ke, sp)
-	c.gemmOut = tensor.Ensure(c.gemmOut, c.outCPerGroup, sp)
+	c.cols = tensor.EnsureOf(dt, c.cols, c.Groups*ke, sp)
+	c.gemmOut = tensor.EnsureOf(dt, c.gemmOut, c.outCPerGroup, sp)
 	if len(c.wgV) != c.Groups {
 		c.wgV = make([]*tensor.Tensor, c.Groups)
 		c.dwV = make([]*tensor.Tensor, c.Groups)
@@ -98,8 +101,8 @@ func (c *Conv2D) ensureWorkspace(n, h, w int) {
 	}
 	for g := 0; g < c.Groups; g++ {
 		wlo, whi := g*c.outCPerGroup*ke, (g+1)*c.outCPerGroup*ke
-		setView(&c.wgV[g], c.W.Value.Data[wlo:whi], c.outCPerGroup, ke)
-		setView(&c.colsV[g], c.cols.Data[g*ke*sp:(g+1)*ke*sp], ke, sp)
+		setView(&c.wgV[g], c.W.Value, wlo, whi, c.outCPerGroup, ke)
+		setView(&c.colsV[g], c.cols, g*ke*sp, (g+1)*ke*sp, ke, sp)
 	}
 }
 
@@ -110,29 +113,29 @@ func (c *Conv2D) ensureBackwardWorkspace() {
 	if c.bwdOK {
 		return
 	}
+	dt := c.W.Value.DT
 	ke := c.kernelElems
 	sp := c.batch * c.outH * c.outW
-	c.gmat = tensor.Ensure(c.gmat, c.OutC, sp)
-	c.dcols = tensor.Ensure(c.dcols, c.Groups*ke, sp)
+	c.gmat = tensor.EnsureOf(dt, c.gmat, c.OutC, sp)
+	c.dcols = tensor.EnsureOf(dt, c.dcols, c.Groups*ke, sp)
 	for g := 0; g < c.Groups; g++ {
 		wlo, whi := g*c.outCPerGroup*ke, (g+1)*c.outCPerGroup*ke
-		setView(&c.dwV[g], c.W.Grad.Data[wlo:whi], c.outCPerGroup, ke)
-		setView(&c.dcolsV[g], c.dcols.Data[g*ke*sp:(g+1)*ke*sp], ke, sp)
-		setView(&c.gmatV[g], c.gmat.Data[g*c.outCPerGroup*sp:(g+1)*c.outCPerGroup*sp], c.outCPerGroup, sp)
+		setView(&c.dwV[g], c.W.Grad, wlo, whi, c.outCPerGroup, ke)
+		setView(&c.dcolsV[g], c.dcols, g*ke*sp, (g+1)*ke*sp, ke, sp)
+		setView(&c.gmatV[g], c.gmat, g*c.outCPerGroup*sp, (g+1)*c.outCPerGroup*sp, c.outCPerGroup, sp)
 	}
 	c.bwdOK = true
 }
 
-// setView retargets a cached rank-2 view header at a slice of workspace
-// storage, allocating the header only once per group.
-func setView(vp **tensor.Tensor, data []float64, r, cols int) {
+// setView retargets a cached rank-2 view header at elements [lo,hi) of a
+// workspace tensor, allocating the header only once per group.
+func setView(vp **tensor.Tensor, src *tensor.Tensor, lo, hi, r, cols int) {
 	v := *vp
 	if v == nil {
 		v = &tensor.Tensor{}
 		*vp = v
 	}
-	v.Data = data
-	v.Shape = append(v.Shape[:0], r, cols)
+	tensor.ViewInto(v, src, lo, hi, r, cols)
 }
 
 // Forward computes the convolution for a batch [N, C, H, W].
@@ -140,29 +143,40 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D.Forward input shape %v, want [N,%d,H,W]", x.Shape, c.InC))
 	}
+	if x.DT != c.W.Value.DT {
+		panic(fmt.Sprintf("nn: Conv2D.Forward input dtype %v, model is %v (cast inputs at the model boundary)", x.DT, c.W.Value.DT))
+	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	c.ensureWorkspace(n, h, w)
+	out := c.out.next(x.DT, n, c.OutC, c.outH, c.outW)
+	if x.DT == tensor.F32 {
+		convForward(c, tensor.Of[float32](x), tensor.Of[float32](out),
+			tensor.Of[float32](c.cols), tensor.Of[float32](c.gemmOut), tensor.Of[float32](c.B.Value), n)
+	} else {
+		convForward(c, x.Data, out.Data, c.cols.Data, c.gemmOut.Data, c.B.Value.Data, n)
+	}
+	return out
+}
+
+// convForward runs the dtype-generic forward: per-sample im2col lowering,
+// one GEMM per group, and the bias-fused scatter back to [N, C, H, W].
+func convForward[F tensor.Float](c *Conv2D, xd, outd, colsd, gemmOutd, bias []F, n int) {
 	spatial := c.outH * c.outW
-	out := c.out.next(n, c.OutC, c.outH, c.outW)
-	parallelFor(n, func(i int) { c.im2col(x, i) })
+	parallelFor(n, func(i int) { im2col(c, xd, colsd, i) })
 	for g := 0; g < c.Groups; g++ {
 		tensor.MatMulInto(c.gemmOut, c.wgV[g], c.colsV[g])
 		// Scatter [outCPerGroup, N·spatial] back to the per-sample layout,
 		// fusing the bias add.
 		for oc := 0; oc < c.outCPerGroup; oc++ {
 			ch := g*c.outCPerGroup + oc
-			bias := c.B.Value.Data[ch]
-			src := c.gemmOut.Data[oc*n*spatial : (oc+1)*n*spatial]
+			b := bias[ch]
+			src := gemmOutd[oc*n*spatial : (oc+1)*n*spatial]
 			for i := 0; i < n; i++ {
-				seg := src[i*spatial : (i+1)*spatial]
-				dst := out.Data[(i*c.OutC+ch)*spatial : (i*c.OutC+ch+1)*spatial]
-				for p, v := range seg {
-					dst[p] = v + bias
-				}
+				tensor.AddScalarInto(outd[(i*c.OutC+ch)*spatial:(i*c.OutC+ch+1)*spatial],
+					src[i*spatial:(i+1)*spatial], b)
 			}
 		}
 	}
-	return out
 }
 
 // Backward accumulates dW, dB and returns dX. It reuses the im2col matrix
@@ -173,20 +187,32 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv2D.Backward grad shape %v does not match forward batch %d", grad.Shape, c.batch))
 	}
 	c.ensureBackwardWorkspace()
+	c.dx = tensor.EnsureOf(grad.DT, c.dx, n, c.InC, c.inH, c.inW)
+	c.dx.Zero()
+	if grad.DT == tensor.F32 {
+		convBackward(c, tensor.Of[float32](grad), tensor.Of[float32](c.gmat),
+			tensor.Of[float32](c.B.Grad), tensor.Of[float32](c.dcols), tensor.Of[float32](c.dx), n)
+	} else {
+		convBackward(c, grad.Data, c.gmat.Data, c.B.Grad.Data, c.dcols.Data, c.dx.Data, n)
+	}
+	return c.dx
+}
+
+// convBackward runs the dtype-generic backward: gradient gather to
+// channel-major, bias reduction, the two GEMMs per group, and the col2im
+// scatter back to the input gradient.
+func convBackward[F tensor.Float](c *Conv2D, gradd, gm, db, dcolsd, dxd []F, n int) {
 	spatial := c.outH * c.outW
 	// Gather the gradient into [OutC, N·spatial] channel-major layout so the
-	// weight and column gradients are one GEMM per group each.
-	gm := c.gmat.Data
+	// weight and column gradients are one GEMM per group each — one strided
+	// rows kernel call per channel.
 	parallelFor(c.OutC, func(ch int) {
-		dst := gm[ch*n*spatial : (ch+1)*n*spatial]
-		for i := 0; i < n; i++ {
-			copy(dst[i*spatial:(i+1)*spatial], grad.Data[(i*c.OutC+ch)*spatial:(i*c.OutC+ch+1)*spatial])
-		}
+		tensor.CopyRows(gm[ch*n*spatial:(ch+1)*n*spatial], gradd[ch*spatial:],
+			n, spatial, spatial, c.OutC*spatial)
 	})
-	db := c.B.Grad.Data
 	for ch := 0; ch < c.OutC; ch++ {
 		seg := gm[ch*n*spatial : (ch+1)*n*spatial]
-		var s float64
+		var s F
 		for _, v := range seg {
 			s += v
 		}
@@ -198,10 +224,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		// dcols_g = W_gᵀ · gmat_g
 		tensor.MatMulATBInto(c.dcolsV[g], c.wgV[g], c.gmatV[g])
 	}
-	c.dx = tensor.Ensure(c.dx, n, c.InC, c.inH, c.inW)
-	c.dx.Zero()
-	parallelFor(n, func(i int) { c.col2im(c.dcols, c.dx, i) })
-	return c.dx
+	parallelFor(n, func(i int) { col2im(c, dcolsd, dxd, i) })
 }
 
 // Params returns the kernel and bias parameters.
@@ -210,8 +233,11 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 // im2col unrolls sample i of x into its column block of the batch im2col
 // matrix: cols[row, i·spatial + p] holds the receptive-field element `row`
 // of output pixel p. Every position is written, so the workspace needs no
-// zeroing between batches.
-func (c *Conv2D) im2col(x *tensor.Tensor, i int) {
+// zeroing between batches. For stride 1 (every convolution in the model
+// zoo) each output row is zero-pad, one contiguous copy, zero-pad — a
+// memmove instead of a bounds check per pixel, which matters twice over on
+// the float32 path where the same move touches half the bytes.
+func im2col[F tensor.Float](c *Conv2D, xd, colsd []F, i int) {
 	spatial := c.outH * c.outW
 	ns := c.batch * spatial
 	chanSize := c.inH * c.inW
@@ -219,19 +245,47 @@ func (c *Conv2D) im2col(x *tensor.Tensor, i int) {
 	for ch := 0; ch < c.InC; ch++ {
 		g := ch / c.inCPerGroup
 		chInG := ch % c.inCPerGroup
-		src := x.Data[base+ch*chanSize : base+(ch+1)*chanSize]
+		src := xd[base+ch*chanSize : base+(ch+1)*chanSize]
 		for kh := 0; kh < c.KH; kh++ {
+			ihOff := kh - c.Pad
 			for kw := 0; kw < c.KW; kw++ {
 				rowIdx := g*c.kernelElems + (chInG*c.KH+kh)*c.KW + kw
-				dst := c.cols.Data[rowIdx*ns+i*spatial : rowIdx*ns+(i+1)*spatial]
+				dst := colsd[rowIdx*ns+i*spatial : rowIdx*ns+(i+1)*spatial]
+				if c.Stride == 1 {
+					off := kw - c.Pad
+					if ihOff == 0 && off == 0 && c.outW == c.inW && c.outH == c.inH {
+						// The center (or 1×1) tap of a same-size convolution
+						// reads the whole channel verbatim: one memmove.
+						copy(dst, src)
+						continue
+					}
+					// Valid output rows form one contiguous band; everything
+					// in the band copies as one strided-rows kernel call and
+					// the zero padding splits into the boundary rows (one
+					// contiguous memclr each) plus the row edges.
+					lo, hi, _ := rowSpan(c.outW, c.inW, off)
+					ohLo, ohHi := rowBand(c.outH, c.inH, ihOff)
+					zeroSpan(dst[:ohLo*c.outW])
+					zeroSpan(dst[ohHi*c.outW:])
+					for oh := ohLo; oh < ohHi; oh++ {
+						zeroSpan(dst[oh*c.outW : oh*c.outW+lo])
+						zeroSpan(dst[oh*c.outW+hi : (oh+1)*c.outW])
+					}
+					if ohHi > ohLo && hi > lo {
+						tensor.CopyRows(dst[ohLo*c.outW+lo:], src[(ohLo+ihOff)*c.inW+off+lo:],
+							ohHi-ohLo, hi-lo, c.outW, c.inW)
+					}
+					continue
+				}
 				p := 0
 				for oh := 0; oh < c.outH; oh++ {
 					ih := oh*c.Stride - c.Pad + kh
 					if ih < 0 || ih >= c.inH {
-						for ow := 0; ow < c.outW; ow++ {
-							dst[p] = 0
-							p++
+						row := dst[p : p+c.outW]
+						for j := range row {
+							row[j] = 0
 						}
+						p += c.outW
 						continue
 					}
 					rowBase := ih * c.inW
@@ -250,9 +304,54 @@ func (c *Conv2D) im2col(x *tensor.Tensor, i int) {
 	}
 }
 
+// rowSpan returns the [lo,hi) range of output columns whose input column
+// iw = ow + off lies in [0, inW), for a stride-1 row.
+func rowSpan(outW, inW, off int) (lo, hi, offOut int) {
+	lo = 0
+	if off < 0 {
+		lo = -off
+	}
+	hi = outW
+	if limit := inW - off; hi > limit {
+		hi = limit
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi, off
+}
+
+// rowBand returns the [ohLo,ohHi) range of output rows whose input row
+// ih = oh + ihOff lies in [0, inH), clamped to [0, outH).
+func rowBand(outH, inH, ihOff int) (ohLo, ohHi int) {
+	ohLo = 0
+	if ihOff < 0 {
+		ohLo = -ihOff
+	}
+	if ohLo > outH {
+		ohLo = outH
+	}
+	ohHi = outH
+	if limit := inH - ihOff; ohHi > limit {
+		ohHi = limit
+	}
+	if ohHi < ohLo {
+		ohHi = ohLo
+	}
+	return ohLo, ohHi
+}
+
+// zeroSpan clears a slice (compiled to a memclr).
+func zeroSpan[F tensor.Float](s []F) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // col2im scatters sample i's column block of the gradient matrix back into
-// dx, accumulating where receptive fields overlap.
-func (c *Conv2D) col2im(dcols, dx *tensor.Tensor, i int) {
+// dx, accumulating where receptive fields overlap. Stride-1 rows accumulate
+// over one contiguous span with no per-pixel bounds checks.
+func col2im[F tensor.Float](c *Conv2D, dcolsd, dxd []F, i int) {
 	spatial := c.outH * c.outW
 	ns := c.batch * spatial
 	chanSize := c.inH * c.inW
@@ -260,11 +359,27 @@ func (c *Conv2D) col2im(dcols, dx *tensor.Tensor, i int) {
 	for ch := 0; ch < c.InC; ch++ {
 		g := ch / c.inCPerGroup
 		chInG := ch % c.inCPerGroup
-		dst := dx.Data[base+ch*chanSize : base+(ch+1)*chanSize]
+		dst := dxd[base+ch*chanSize : base+(ch+1)*chanSize]
 		for kh := 0; kh < c.KH; kh++ {
+			ihOff := kh - c.Pad
 			for kw := 0; kw < c.KW; kw++ {
 				rowIdx := g*c.kernelElems + (chInG*c.KH+kh)*c.KW + kw
-				src := dcols.Data[rowIdx*ns+i*spatial : rowIdx*ns+(i+1)*spatial]
+				src := dcolsd[rowIdx*ns+i*spatial : rowIdx*ns+(i+1)*spatial]
+				if c.Stride == 1 {
+					off := kw - c.Pad
+					if ihOff == 0 && off == 0 && c.outW == c.inW && c.outH == c.inH {
+						// Center/1×1 tap: one whole-channel accumulate.
+						tensor.VecAccumulate(dst, src)
+						continue
+					}
+					lo, hi, _ := rowSpan(c.outW, c.inW, off)
+					ohLo, ohHi := rowBand(c.outH, c.inH, ihOff)
+					if ohHi > ohLo && hi > lo {
+						tensor.AccumulateRows(dst[(ohLo+ihOff)*c.inW+off+lo:], src[ohLo*c.outW+lo:],
+							ohHi-ohLo, hi-lo, c.inW, c.outW)
+					}
+					continue
+				}
 				p := 0
 				for oh := 0; oh < c.outH; oh++ {
 					ih := oh*c.Stride - c.Pad + kh

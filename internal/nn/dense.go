@@ -10,7 +10,7 @@ import (
 // Dense is a fully connected layer: y = x·W + b with x of shape [N, in].
 // Output and input-gradient buffers are reused across iterations; the weight
 // gradient accumulates directly into W.Grad, so a steady-state step
-// allocates nothing.
+// allocates nothing. All buffers follow the parameters' dtype.
 type Dense struct {
 	In, Out int
 	W, B    *Param
@@ -37,25 +37,35 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Cols() != d.In {
 		panicShape("Dense.Forward", x, d.In)
 	}
+	if x.DT != d.W.Value.DT {
+		panic(fmt.Sprintf("nn: Dense.Forward input dtype %v, model is %v (cast inputs at the model boundary)", x.DT, d.W.Value.DT))
+	}
 	d.x = x
 	n := x.Rows()
-	y := d.out.next(n, d.Out)
+	y := d.out.next(x.DT, n, d.Out)
 	tensor.MatMulInto(y, x, d.W.Value)
-	b := d.B.Value.Data
+	if y.DT == tensor.F32 {
+		addBiasRows(tensor.Of[float32](y), tensor.Of[float32](d.B.Value), n, d.Out)
+	} else {
+		addBiasRows(y.Data, d.B.Value.Data, n, d.Out)
+	}
+	return y
+}
+
+func addBiasRows[F tensor.Float](y, b []F, n, cols int) {
 	for i := 0; i < n; i++ {
-		row := y.Row(i)
+		row := y[i*cols : (i+1)*cols]
 		for j := range row {
 			row[j] += b[j]
 		}
 	}
-	return y
 }
 
 // Backward accumulates dW += xᵀ·dy, db += Σ_rows dy and returns dx = dy·Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulATBAcc(d.W.Grad, d.x, grad)
 	tensor.ColSumsAcc(d.B.Grad, grad)
-	d.dx = tensor.Ensure(d.dx, grad.Rows(), d.In)
+	d.dx = tensor.EnsureOf(grad.DT, d.dx, grad.Rows(), d.In)
 	tensor.MatMulABTInto(d.dx, grad, d.W.Value)
 	return d.dx
 }

@@ -27,36 +27,37 @@ import (
 
 // ring2 double-buffers a layer's output so its two most recent activations
 // stay valid (see the package comment). next returns a buffer of the given
-// shape with unspecified contents; the layer must overwrite every element.
+// dtype and shape with unspecified contents; the layer must overwrite every
+// element. Buffers follow the dtype of the activations flowing through, so
+// a whole model runs end to end in its configured element type.
 type ring2 struct {
 	bufs [2]*tensor.Tensor
 	idx  int
 }
 
-func (r *ring2) next(shape ...int) *tensor.Tensor {
+func (r *ring2) next(dt tensor.DType, shape ...int) *tensor.Tensor {
 	r.idx ^= 1
-	t := tensor.Ensure(r.bufs[r.idx], shape...)
+	t := tensor.EnsureOf(dt, r.bufs[r.idx], shape...)
 	r.bufs[r.idx] = t
 	return t
 }
 
 // viewRing2 double-buffers reshaped views: tensor headers sharing another
-// tensor's storage, used by shape-only layers to avoid per-call header
-// allocations.
+// tensor's storage (and dtype), used by shape-only layers to avoid per-call
+// header allocations.
 type viewRing2 struct {
 	views [2]*tensor.Tensor
 	idx   int
 }
 
-func (r *viewRing2) next(data []float64, shape ...int) *tensor.Tensor {
+func (r *viewRing2) next(src *tensor.Tensor, shape ...int) *tensor.Tensor {
 	r.idx ^= 1
 	v := r.views[r.idx]
 	if v == nil {
 		v = &tensor.Tensor{}
 		r.views[r.idx] = v
 	}
-	v.Data = data
-	v.Shape = append(v.Shape[:0], shape...)
+	tensor.ViewInto(v, src, 0, src.Size(), shape...)
 	return v
 }
 
@@ -122,7 +123,10 @@ func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layer
 // BufferedLayer is implemented by layers carrying non-trainable state that
 // checkpoints must capture alongside parameters — batch-norm running
 // statistics. Buffers returns the live state slices (not copies), in a
-// deterministic order, so callers can both read and overwrite them.
+// deterministic order, so callers can both read and overwrite them. Running
+// statistics are per-channel scalars, not per-element state, so they stay
+// float64 bookkeeping at every model dtype (see DESIGN.md §7): narrowing
+// them would buy no bandwidth and cost checkpoint exactness.
 type BufferedLayer interface {
 	Buffers() [][]float64
 }
@@ -187,17 +191,21 @@ func NumParams(params []*Param) int {
 	return n
 }
 
-// FlattenParams concatenates all parameter values into one vector, in order.
+// FlattenParams concatenates all parameter values into one float64 vector,
+// in order. Flat vectors are the federation's always-f64 bookkeeping
+// representation; float32 parameters widen exactly, so flatten/set round
+// trips are lossless at either dtype.
 func FlattenParams(params []*Param) []float64 {
 	out := make([]float64, 0, NumParams(params))
 	for _, p := range params {
-		out = append(out, p.Value.Data...)
+		out = p.Value.AppendFloat64s(out)
 	}
 	return out
 }
 
 // SetFlatParams writes a flat vector produced by FlattenParams back into the
-// parameters. It returns an error if the lengths disagree.
+// parameters, narrowing to the model dtype. It returns an error if the
+// lengths disagree.
 func SetFlatParams(params []*Param, flat []float64) error {
 	if len(flat) != NumParams(params) {
 		return fmt.Errorf("nn: flat vector has %d values, model has %d parameters", len(flat), NumParams(params))
@@ -205,19 +213,39 @@ func SetFlatParams(params []*Param, flat []float64) error {
 	off := 0
 	for _, p := range params {
 		n := p.Value.Size()
-		copy(p.Value.Data, flat[off:off+n])
+		p.Value.SetFromFloat64s(flat[off : off+n])
 		off += n
 	}
 	return nil
 }
 
-// FlattenGrads concatenates all parameter gradients into one vector.
+// FlattenGrads concatenates all parameter gradients into one float64 vector.
 func FlattenGrads(params []*Param) []float64 {
 	out := make([]float64, 0, NumParams(params))
 	for _, p := range params {
-		out = append(out, p.Grad.Data...)
+		out = p.Grad.AppendFloat64s(out)
 	}
 	return out
+}
+
+// ConvertParams rebinds every parameter's value and gradient to the given
+// dtype in place (no-op for parameters already there). Models are built with
+// float64 initialization — so a given seed yields the same weights, merely
+// rounded, at every dtype — and converted immediately afterwards; layer
+// workspaces follow the activations' dtype lazily on the first pass.
+func ConvertParams(params []*Param, dt tensor.DType) {
+	for _, p := range params {
+		p.Value = p.Value.AsType(dt)
+		p.Grad = p.Grad.AsType(dt)
+	}
+}
+
+// ParamsDType reports the dtype of a parameter list (F64 for an empty one).
+func ParamsDType(params []*Param) tensor.DType {
+	if len(params) == 0 {
+		return tensor.F64
+	}
+	return params[0].Value.DT
 }
 
 // AverageInto overwrites dst parameters with the weighted average of the
@@ -252,7 +280,7 @@ func CopyParams(dst, src []*Param) error {
 		if dst[i].Value.Size() != src[i].Value.Size() {
 			return fmt.Errorf("nn: CopyParams size mismatch at %d", i)
 		}
-		copy(dst[i].Value.Data, src[i].Value.Data)
+		dst[i].Value.CopyFrom(src[i].Value)
 	}
 	return nil
 }

@@ -7,6 +7,13 @@ import (
 	"repro/internal/tensor"
 )
 
+// Batch normalization's per-element state (the normalized cache, outputs and
+// gradients) is dtype-bound and flows in the model's element type; the
+// per-channel statistics (batch and running mean/variance, inverse stddev)
+// are scalars per channel, not per element, so they stay float64 bookkeeping
+// at every dtype — the conversion to the compute dtype happens once per
+// channel, off the per-element hot path (DESIGN.md §7).
+
 // BatchNorm2D normalizes each channel of [N, C, H, W] activations over the
 // batch and spatial dimensions, with learnable scale (gamma) and shift
 // (beta). Running statistics are tracked for evaluation mode.
@@ -54,35 +61,41 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	bn.inShape = append(bn.inShape[:0], n, c, h, w)
-	m := float64(n * h * w)
-	out := bn.out.next(n, c, h, w)
-	bn.xhat = tensor.Ensure(bn.xhat, n, c, h, w)
+	out := bn.out.next(x.DT, n, c, h, w)
+	bn.xhat = tensor.EnsureOf(x.DT, bn.xhat, n, c, h, w)
 	if cap(bn.invStd) < c {
 		bn.invStd = make([]float64, c)
 	}
 	bn.invStd = bn.invStd[:c]
-	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
 	bn.usedBatchStats = train
+	if x.DT == tensor.F32 {
+		bn2dForward(bn, tensor.Of[float32](x), tensor.Of[float32](out), tensor.Of[float32](bn.xhat),
+			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Beta.Value), n, c, h, w, train)
+	} else {
+		bn2dForward(bn, x.Data, out.Data, bn.xhat.Data, bn.Gamma.Value.Data, bn.Beta.Value.Data, n, c, h, w, train)
+	}
+	return out
+}
+
+func bn2dForward[F tensor.Float](bn *BatchNorm2D, xd, outd, xhd, gamma, beta []F, n, c, h, w int, train bool) {
+	m := float64(n * h * w)
 	for ch := 0; ch < c; ch++ {
 		var mean, variance float64
 		if train {
-			var s float64
+			// Reductions accumulate in the element type: bit-identical on the
+			// float64 path, and free of per-element widening on float32 (the
+			// batch statistics still land in the float64 running buffers).
+			var s F
 			for i := 0; i < n; i++ {
-				seg := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-				for _, v := range seg {
-					s += v
-				}
+				s = tensor.SumAcc(s, xd[(i*c+ch)*h*w:(i*c+ch+1)*h*w])
 			}
-			mean = s / m
-			var sq float64
+			mean = float64(s) / m
+			var sq F
+			meanN := F(mean)
 			for i := 0; i < n; i++ {
-				seg := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-				for _, v := range seg {
-					d := v - mean
-					sq += d * d
-				}
+				sq = tensor.SqDiffAcc(sq, xd[(i*c+ch)*h*w:(i*c+ch+1)*h*w], meanN)
 			}
-			variance = sq / m
+			variance = float64(sq) / m
 			bn.RunningMean[ch] = bn.Momentum*bn.RunningMean[ch] + (1-bn.Momentum)*mean
 			bn.RunningVar[ch] = bn.Momentum*bn.RunningVar[ch] + (1-bn.Momentum)*variance
 		} else {
@@ -91,65 +104,59 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		inv := 1 / math.Sqrt(variance+bn.Eps)
 		bn.invStd[ch] = inv
 		g, b := gamma[ch], beta[ch]
+		meanF, invF := F(mean), F(inv)
 		for i := 0; i < n; i++ {
-			src := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			xh := bn.xhat.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			dst := out.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			for p, v := range src {
-				nv := (v - mean) * inv
-				xh[p] = nv
-				dst[p] = g*nv + b
-			}
+			lo, hi := (i*c+ch)*h*w, (i*c+ch+1)*h*w
+			tensor.BNNormalize(xd[lo:hi], xhd[lo:hi], outd[lo:hi], meanF, invF, g, b)
 		}
 	}
-	return out
 }
 
 // Backward implements the standard batch-norm gradient. For each channel
 // with m elements: dx = γ·invStd/m · (m·dy − Σdy − x̂·Σ(dy·x̂)).
 func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3]
+	bn.dx = tensor.EnsureOf(grad.DT, bn.dx, n, c, h, w)
+	if grad.DT == tensor.F32 {
+		bn2dBackward(bn, tensor.Of[float32](grad), tensor.Of[float32](bn.xhat), tensor.Of[float32](bn.dx),
+			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Gamma.Grad), tensor.Of[float32](bn.Beta.Grad), n, c, h, w)
+	} else {
+		bn2dBackward(bn, grad.Data, bn.xhat.Data, bn.dx.Data,
+			bn.Gamma.Value.Data, bn.Gamma.Grad.Data, bn.Beta.Grad.Data, n, c, h, w)
+	}
+	return bn.dx
+}
+
+func bn2dBackward[F tensor.Float](bn *BatchNorm2D, gradd, xhd, dxd, gamma, dGamma, dBeta []F, n, c, h, w int) {
 	m := float64(n * h * w)
-	bn.dx = tensor.Ensure(bn.dx, n, c, h, w)
-	dx := bn.dx
-	gamma := bn.Gamma.Value.Data
-	dGamma, dBeta := bn.Gamma.Grad.Data, bn.Beta.Grad.Data
 	for ch := 0; ch < c; ch++ {
-		var sumDy, sumDyXhat float64
+		var sumDy, sumDyXhat F
 		for i := 0; i < n; i++ {
-			gy := grad.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			xh := bn.xhat.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			for p, v := range gy {
-				sumDy += v
-				sumDyXhat += v * xh[p]
-			}
+			sumDy, sumDyXhat = tensor.DotSumAcc(sumDy, sumDyXhat,
+				gradd[(i*c+ch)*h*w:(i*c+ch+1)*h*w], xhd[(i*c+ch)*h*w:(i*c+ch+1)*h*w])
 		}
 		dGamma[ch] += sumDyXhat
 		dBeta[ch] += sumDy
 		if !bn.usedBatchStats {
 			// Running statistics were constants in Forward, so the
 			// normalization is an affine map: dx = γ·invStd·dy.
-			scale := gamma[ch] * bn.invStd[ch]
+			scale := F(float64(gamma[ch]) * bn.invStd[ch])
 			for i := 0; i < n; i++ {
-				gy := grad.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-				dst := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+				gy := gradd[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+				dst := dxd[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 				for p, v := range gy {
 					dst[p] = scale * v
 				}
 			}
 			continue
 		}
-		scale := gamma[ch] * bn.invStd[ch] / m
+		scale := F(float64(gamma[ch]) * bn.invStd[ch] / m)
+		mF := F(m)
 		for i := 0; i < n; i++ {
-			gy := grad.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			xh := bn.xhat.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			dst := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			for p, v := range gy {
-				dst[p] = scale * (m*v - sumDy - xh[p]*sumDyXhat)
-			}
+			lo, hi := (i*c+ch)*h*w, (i*c+ch+1)*h*w
+			tensor.BNGrad(gradd[lo:hi], xhd[lo:hi], dxd[lo:hi], scale, mF, sumDy, sumDyXhat)
 		}
 	}
-	return dx
 }
 
 // Params returns gamma and beta.
@@ -202,27 +209,37 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: BatchNorm1D input shape %v, want [N,%d]", x.Shape, bn.D))
 	}
 	n := x.Rows()
-	m := float64(n)
-	out := bn.out.next(n, bn.D)
-	bn.xhat = tensor.Ensure(bn.xhat, n, bn.D)
+	out := bn.out.next(x.DT, n, bn.D)
+	bn.xhat = tensor.EnsureOf(x.DT, bn.xhat, n, bn.D)
 	if cap(bn.invStd) < bn.D {
 		bn.invStd = make([]float64, bn.D)
 	}
 	bn.invStd = bn.invStd[:bn.D]
-	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
 	bn.usedBatchStats = train && n > 1
-	for j := 0; j < bn.D; j++ {
+	if x.DT == tensor.F32 {
+		bn1dForward(bn, tensor.Of[float32](x), tensor.Of[float32](out), tensor.Of[float32](bn.xhat),
+			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Beta.Value), n)
+	} else {
+		bn1dForward(bn, x.Data, out.Data, bn.xhat.Data, bn.Gamma.Value.Data, bn.Beta.Value.Data, n)
+	}
+	return out
+}
+
+func bn1dForward[F tensor.Float](bn *BatchNorm1D, xd, outd, xhd, gamma, beta []F, n int) {
+	m := float64(n)
+	d := bn.D
+	for j := 0; j < d; j++ {
 		var mean, variance float64
 		if bn.usedBatchStats {
 			var s float64
 			for i := 0; i < n; i++ {
-				s += x.At(i, j)
+				s += float64(xd[i*d+j])
 			}
 			mean = s / m
 			var sq float64
 			for i := 0; i < n; i++ {
-				d := x.At(i, j) - mean
-				sq += d * d
+				dv := float64(xd[i*d+j]) - mean
+				sq += dv * dv
 			}
 			variance = sq / m
 			bn.RunningMean[j] = bn.Momentum*bn.RunningMean[j] + (1-bn.Momentum)*mean
@@ -233,45 +250,54 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		inv := 1 / math.Sqrt(variance+bn.Eps)
 		bn.invStd[j] = inv
 		g, b := gamma[j], beta[j]
+		meanF, invF := F(mean), F(inv)
 		for i := 0; i < n; i++ {
-			nv := (x.At(i, j) - mean) * inv
-			bn.xhat.Set(i, j, nv)
-			out.Set(i, j, g*nv+b)
+			nv := (xd[i*d+j] - meanF) * invF
+			xhd[i*d+j] = nv
+			outd[i*d+j] = g*nv + b
 		}
 	}
-	return out
 }
 
 // Backward implements the standard batch-norm gradient per feature.
 func (bn *BatchNorm1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Rows()
+	bn.dx = tensor.EnsureOf(grad.DT, bn.dx, n, bn.D)
+	if grad.DT == tensor.F32 {
+		bn1dBackward(bn, tensor.Of[float32](grad), tensor.Of[float32](bn.xhat), tensor.Of[float32](bn.dx),
+			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Gamma.Grad), tensor.Of[float32](bn.Beta.Grad), n)
+	} else {
+		bn1dBackward(bn, grad.Data, bn.xhat.Data, bn.dx.Data,
+			bn.Gamma.Value.Data, bn.Gamma.Grad.Data, bn.Beta.Grad.Data, n)
+	}
+	return bn.dx
+}
+
+func bn1dBackward[F tensor.Float](bn *BatchNorm1D, gradd, xhd, dxd, gamma, dGamma, dBeta []F, n int) {
 	m := float64(n)
-	bn.dx = tensor.Ensure(bn.dx, n, bn.D)
-	dx := bn.dx
-	gamma := bn.Gamma.Value.Data
-	dGamma, dBeta := bn.Gamma.Grad.Data, bn.Beta.Grad.Data
-	for j := 0; j < bn.D; j++ {
+	d := bn.D
+	for j := 0; j < d; j++ {
 		var sumDy, sumDyXhat float64
 		for i := 0; i < n; i++ {
-			v := grad.At(i, j)
+			v := float64(gradd[i*d+j])
 			sumDy += v
-			sumDyXhat += v * bn.xhat.At(i, j)
+			sumDyXhat += v * float64(xhd[i*d+j])
 		}
-		dGamma[j] += sumDyXhat
-		dBeta[j] += sumDy
+		dGamma[j] += F(sumDyXhat)
+		dBeta[j] += F(sumDy)
 		if !bn.usedBatchStats {
-			scale := gamma[j] * bn.invStd[j]
+			scale := F(float64(gamma[j]) * bn.invStd[j])
 			for i := 0; i < n; i++ {
-				dx.Set(i, j, scale*grad.At(i, j))
+				dxd[i*d+j] = scale * gradd[i*d+j]
 			}
 			continue
 		}
-		scale := gamma[j] * bn.invStd[j] / m
+		scale := F(float64(gamma[j]) * bn.invStd[j] / m)
+		mF, sumDyF, sumDyXhatF := F(m), F(sumDy), F(sumDyXhat)
 		for i := 0; i < n; i++ {
-			dx.Set(i, j, scale*(m*grad.At(i, j)-sumDy-bn.xhat.At(i, j)*sumDyXhat))
+			dxd[i*d+j] = scale * (mF*gradd[i*d+j] - sumDyF - xhd[i*d+j]*sumDyXhatF)
 		}
 	}
-	return dx
 }
 
 // Params returns gamma and beta.

@@ -32,47 +32,99 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if m.outH <= 0 || m.outW <= 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D output not positive for input %dx%d kernel %d", h, w, m.K))
 	}
-	out := m.out.next(n, c, m.outH, m.outW)
-	if cap(m.argmax) < len(out.Data) {
-		m.argmax = make([]int, len(out.Data))
+	out := m.out.next(x.DT, n, c, m.outH, m.outW)
+	if cap(m.argmax) < out.Size() {
+		m.argmax = make([]int, out.Size())
 	}
-	m.argmax = m.argmax[:len(out.Data)]
-	parallelFor(n, func(i int) {
-		for ch := 0; ch < c; ch++ {
-			inBase := (i*c + ch) * h * w
-			outBase := (i*c + ch) * m.outH * m.outW
-			for oh := 0; oh < m.outH; oh++ {
-				for ow := 0; ow < m.outW; ow++ {
-					bestIdx := -1
-					bestVal := 0.0
-					for kh := 0; kh < m.K; kh++ {
-						ih := oh*m.Stride + kh
-						for kw := 0; kw < m.K; kw++ {
-							iw := ow*m.Stride + kw
-							idx := inBase + ih*w + iw
-							if v := x.Data[idx]; bestIdx < 0 || v > bestVal {
-								bestIdx, bestVal = idx, v
-							}
+	m.argmax = m.argmax[:out.Size()]
+	if x.DT == tensor.F32 {
+		xd, outd := tensor.Of[float32](x), tensor.Of[float32](out)
+		parallelFor(n, func(i int) { maxPoolSample(m, xd, outd, i, c, h, w) })
+	} else {
+		xd, outd := x.Data, out.Data
+		parallelFor(n, func(i int) { maxPoolSample(m, xd, outd, i, c, h, w) })
+	}
+	return out
+}
+
+func maxPoolSample[F tensor.Float](m *MaxPool2D, xd, outd []F, i, c, h, w int) {
+	if m.K == 2 && m.Stride == 2 {
+		maxPool2x2Sample(m, xd, outd, i, c, h, w)
+		return
+	}
+	for ch := 0; ch < c; ch++ {
+		inBase := (i*c + ch) * h * w
+		outBase := (i*c + ch) * m.outH * m.outW
+		for oh := 0; oh < m.outH; oh++ {
+			for ow := 0; ow < m.outW; ow++ {
+				bestIdx := -1
+				var bestVal F
+				for kh := 0; kh < m.K; kh++ {
+					ih := oh*m.Stride + kh
+					for kw := 0; kw < m.K; kw++ {
+						iw := ow*m.Stride + kw
+						idx := inBase + ih*w + iw
+						if v := xd[idx]; bestIdx < 0 || v > bestVal {
+							bestIdx, bestVal = idx, v
 						}
 					}
-					o := outBase + oh*m.outW + ow
-					out.Data[o] = bestVal
-					m.argmax[o] = bestIdx
 				}
+				o := outBase + oh*m.outW + ow
+				outd[o] = bestVal
+				m.argmax[o] = bestIdx
 			}
 		}
-	})
-	return out
+	}
+}
+
+// maxPool2x2Sample unrolls the ubiquitous 2×2/stride-2 window: four loads,
+// three compares, no inner loops. The compare order (row-major within the
+// window, strict greater-than) matches the generic path exactly, so argmax
+// tie-breaking — and therefore the backward routing — is identical.
+func maxPool2x2Sample[F tensor.Float](m *MaxPool2D, xd, outd []F, i, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		inBase := (i*c + ch) * h * w
+		outBase := (i*c + ch) * m.outH * m.outW
+		for oh := 0; oh < m.outH; oh++ {
+			r0 := inBase + (oh * 2 * w)
+			r1 := r0 + w
+			o := outBase + oh*m.outW
+			for ow := 0; ow < m.outW; ow++ {
+				i00 := r0 + ow*2
+				bestIdx, bestVal := i00, xd[i00]
+				if v := xd[i00+1]; v > bestVal {
+					bestIdx, bestVal = i00+1, v
+				}
+				i10 := r1 + ow*2
+				if v := xd[i10]; v > bestVal {
+					bestIdx, bestVal = i10, v
+				}
+				if v := xd[i10+1]; v > bestVal {
+					bestIdx, bestVal = i10+1, v
+				}
+				outd[o+ow] = bestVal
+				m.argmax[o+ow] = bestIdx
+			}
+		}
+	}
 }
 
 // Backward routes each output gradient to its argmax input position.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	m.dx = tensor.Ensure(m.dx, m.inShape...)
+	m.dx = tensor.EnsureOf(grad.DT, m.dx, m.inShape...)
 	m.dx.Zero()
-	for o, idx := range m.argmax {
-		m.dx.Data[idx] += grad.Data[o]
+	if grad.DT == tensor.F32 {
+		maxPoolBwd(tensor.Of[float32](m.dx), tensor.Of[float32](grad), m.argmax)
+	} else {
+		maxPoolBwd(m.dx.Data, grad.Data, m.argmax)
 	}
 	return m.dx
+}
+
+func maxPoolBwd[F tensor.Float](dxd, gradd []F, argmax []int) {
+	for o, idx := range argmax {
+		dxd[idx] += gradd[o]
+	}
 }
 
 // Params returns nil; pooling has no parameters.
@@ -96,37 +148,49 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	g.inShape = append(g.inShape[:0], n, c, h, w)
-	out := g.out.next(n, c)
-	area := float64(h * w)
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
-			seg := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
-			var s float64
-			for _, v := range seg {
-				s += v
-			}
-			out.Data[i*c+ch] = s / area
-		}
+	out := g.out.next(x.DT, n, c)
+	if x.DT == tensor.F32 {
+		gapFwd(tensor.Of[float32](out), tensor.Of[float32](x), n, c, h, w)
+	} else {
+		gapFwd(out.Data, x.Data, n, c, h, w)
 	}
 	return out
+}
+
+func gapFwd[F tensor.Float](outd, xd []F, n, c, h, w int) {
+	area := F(float64(h * w))
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			var s F
+			s = tensor.SumAcc(s, xd[(i*c+ch)*h*w:(i*c+ch+1)*h*w])
+			outd[i*c+ch] = s / area
+		}
+	}
 }
 
 // Backward spreads each channel gradient uniformly over its spatial map.
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	g.dx = tensor.Ensure(g.dx, n, c, h, w)
-	dx := g.dx
-	inv := 1.0 / float64(h*w)
+	g.dx = tensor.EnsureOf(grad.DT, g.dx, n, c, h, w)
+	if grad.DT == tensor.F32 {
+		gapBwd(tensor.Of[float32](g.dx), tensor.Of[float32](grad), n, c, h, w)
+	} else {
+		gapBwd(g.dx.Data, grad.Data, n, c, h, w)
+	}
+	return g.dx
+}
+
+func gapBwd[F tensor.Float](dxd, gradd []F, n, c, h, w int) {
+	inv := F(1.0 / float64(h*w))
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
-			gv := grad.Data[i*c+ch] * inv
-			seg := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			gv := gradd[i*c+ch] * inv
+			seg := dxd[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 			for p := range seg {
 				seg[p] = gv
 			}
 		}
 	}
-	return dx
 }
 
 // Params returns nil; pooling has no parameters.
@@ -152,12 +216,12 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, d := range x.Shape[1:] {
 		rest *= d
 	}
-	return f.fwd.next(x.Data, x.Dim(0), rest)
+	return f.fwd.next(x, x.Dim(0), rest)
 }
 
 // Backward restores the original shape.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return f.bwd.next(grad.Data, f.inShape...)
+	return f.bwd.next(grad, f.inShape...)
 }
 
 // Params returns nil; flattening has no parameters.

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/tensor"
 )
 
 // checkpointMagic guards against feeding arbitrary bytes to ReadParams.
@@ -38,7 +40,16 @@ func WriteParams(w io.Writer, params []*Param) error {
 				return fmt.Errorf("nn: writing shape: %w", err)
 			}
 		}
-		if err := binary.Write(w, binary.LittleEndian, p.Value.Data); err != nil {
+		// Values are written in the model dtype; the format stays
+		// self-describing through the reader's structurally identical model,
+		// which fixes the element width.
+		var err error
+		if p.Value.DT == tensor.F32 {
+			err = binary.Write(w, binary.LittleEndian, p.Value.F32)
+		} else {
+			err = binary.Write(w, binary.LittleEndian, p.Value.Data)
+		}
+		if err != nil {
 			return fmt.Errorf("nn: writing values: %w", err)
 		}
 	}
@@ -94,7 +105,13 @@ func ReadParams(r io.Reader, params []*Param) error {
 				return fmt.Errorf("nn: param %q dim %d is %d, model has %d", p.Name, d, dim, p.Value.Shape[d])
 			}
 		}
-		if err := binary.Read(r, binary.LittleEndian, p.Value.Data); err != nil {
+		var err error
+		if p.Value.DT == tensor.F32 {
+			err = binary.Read(r, binary.LittleEndian, p.Value.F32)
+		} else {
+			err = binary.Read(r, binary.LittleEndian, p.Value.Data)
+		}
+		if err != nil {
 			return fmt.Errorf("nn: reading values: %w", err)
 		}
 	}

@@ -32,10 +32,10 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		short = x
 	}
-	if len(main.Data) != len(short.Data) {
+	if main.Size() != short.Size() {
 		panic(fmt.Sprintf("nn: Residual shape mismatch body %v vs skip %v", main.Shape, short.Shape))
 	}
-	out := r.out.next(main.Shape...)
+	out := r.out.next(main.DT, main.Shape...)
 	tensor.AddInto(out, main, short)
 	return out
 }
@@ -44,7 +44,7 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // gradients.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dMain := r.Body.Backward(grad)
-	r.dx = tensor.Ensure(r.dx, dMain.Shape...)
+	r.dx = tensor.EnsureOf(dMain.DT, r.dx, dMain.Shape...)
 	if r.Skip != nil {
 		dSkip := r.Skip.Backward(grad)
 		tensor.AddInto(r.dx, dMain, dSkip)
@@ -112,15 +112,13 @@ func (in *Inception) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		in.branchC[b] = o.Dim(1)
 		totalC += o.Dim(1)
 	}
-	out := in.out.next(n, totalC, in.outH, in.outW)
+	out := in.out.next(outs[0].DT, n, totalC, in.outH, in.outW)
 	spatial := in.outH * in.outW
 	for i := 0; i < n; i++ {
 		chOff := 0
 		for b, o := range outs {
 			cb := in.branchC[b]
-			src := o.Data[i*cb*spatial : (i+1)*cb*spatial]
-			dst := out.Data[(i*totalC+chOff)*spatial : (i*totalC+chOff+cb)*spatial]
-			copy(dst, src)
+			tensor.CopySegment(out, (i*totalC+chOff)*spatial, o, i*cb*spatial, cb*spatial)
 			chOff += cb
 		}
 	}
@@ -137,12 +135,10 @@ func (in *Inception) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	chOff := 0
 	for b, br := range in.Branches {
 		cb := in.branchC[b]
-		in.gb = tensor.Ensure(in.gb, n, cb, in.outH, in.outW)
+		in.gb = tensor.EnsureOf(grad.DT, in.gb, n, cb, in.outH, in.outW)
 		gb := in.gb
 		for i := 0; i < n; i++ {
-			src := grad.Data[(i*totalC+chOff)*spatial : (i*totalC+chOff+cb)*spatial]
-			dst := gb.Data[i*cb*spatial : (i+1)*cb*spatial]
-			copy(dst, src)
+			tensor.CopySegment(gb, i*cb*spatial, grad, (i*totalC+chOff)*spatial, cb*spatial)
 		}
 		d := br.Backward(gb)
 		if dx == nil {
@@ -205,10 +201,10 @@ func (cs *ChannelShuffle) permute(x *tensor.Tensor, inverse bool) *tensor.Tensor
 	perGroup := c / cs.Groups
 	var out *tensor.Tensor
 	if inverse {
-		cs.dx = tensor.Ensure(cs.dx, n, c, h, w)
+		cs.dx = tensor.EnsureOf(x.DT, cs.dx, n, c, h, w)
 		out = cs.dx
 	} else {
-		out = cs.out.next(n, c, h, w)
+		out = cs.out.next(x.DT, n, c, h, w)
 	}
 	spatial := h * w
 	for i := 0; i < n; i++ {
@@ -219,8 +215,7 @@ func (cs *ChannelShuffle) permute(x *tensor.Tensor, inverse bool) *tensor.Tensor
 			if inverse {
 				from, to = dst, ch
 			}
-			copy(out.Data[(i*c+to)*spatial:(i*c+to+1)*spatial],
-				x.Data[(i*c+from)*spatial:(i*c+from+1)*spatial])
+			tensor.CopySegment(out, (i*c+to)*spatial, x, (i*c+from)*spatial, spatial)
 		}
 	}
 	return out

@@ -2,6 +2,13 @@
 // reproduction: SGD with momentum/weight decay and Adam. Optimizers keep
 // per-parameter state keyed by position, so a single optimizer instance must
 // stay paired with one parameter list for its lifetime.
+//
+// Moment vectors live in the model dtype (they are touched once per element
+// per step, exactly like the parameters), while the serializable State
+// snapshot is always float64 bookkeeping: float32 moments widen exactly, so
+// checkpoint round trips are lossless at either dtype. A restored State is
+// held widened until the first Step reveals the parameter dtype, then
+// migrates onto the matching fast path.
 package opt
 
 import (
@@ -9,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // Optimizer updates parameters from their accumulated gradients.
@@ -19,9 +27,9 @@ type Optimizer interface {
 }
 
 // State is a serializable snapshot of an optimizer's internal state:
-// integer counters (Adam's step count) plus per-parameter moment vectors.
-// The exact layout is optimizer-specific; a State produced by one optimizer
-// type must only be restored into the same type.
+// integer counters (Adam's step count) plus per-parameter moment vectors,
+// widened to float64. The exact layout is optimizer-specific; a State
+// produced by one optimizer type must only be restored into the same type.
 type State struct {
 	Ints []int64
 	Vecs [][]float64
@@ -47,6 +55,89 @@ func cloneVecs(vecs [][]float64) [][]float64 {
 	return out
 }
 
+// moments is a dtype-dispatched set of per-parameter state vectors: exactly
+// one of f64/f32 is non-nil once initialized. Snapshots widen to float64;
+// restores stage the widened form and narrow lazily on first use.
+type moments struct {
+	f64 [][]float64
+	f32 [][]float32
+}
+
+func (m *moments) empty() bool { return m.f64 == nil && m.f32 == nil }
+
+func (m *moments) reset() { m.f64, m.f32 = nil, nil }
+
+// ensure sizes the state for the parameter list in its dtype, migrating a
+// restored float64 snapshot onto the f32 path when the model turns out to
+// be float32 (widening/narrowing of f32-exact values is lossless).
+func (m *moments) ensure(params []*nn.Param) {
+	if nn.ParamsDType(params) == tensor.F32 {
+		if m.f32 != nil {
+			checkVecCount(len(m.f32), len(params))
+			return
+		}
+		m.f32 = make([][]float32, len(params))
+		if m.f64 != nil { // restored snapshot: narrow it
+			checkVecCount(len(m.f64), len(params))
+			for i, v := range m.f64 {
+				m.f32[i] = make([]float32, len(v))
+				for j, x := range v {
+					m.f32[i][j] = float32(x)
+				}
+			}
+			m.f64 = nil
+			return
+		}
+		for i, p := range params {
+			m.f32[i] = make([]float32, p.Value.Size())
+		}
+		return
+	}
+	if m.f64 != nil {
+		checkVecCount(len(m.f64), len(params))
+		return
+	}
+	if m.f32 != nil {
+		panic("opt: float32 optimizer state applied to a float64 model")
+	}
+	m.f64 = make([][]float64, len(params))
+	for i, p := range params {
+		m.f64[i] = make([]float64, p.Value.Size())
+	}
+}
+
+// checkVecCount turns a state/model shape mismatch (a restored snapshot
+// from a differently shaped model) into a diagnostic panic instead of an
+// index-out-of-range deep inside the update loop, symmetrically for both
+// dtypes.
+func checkVecCount(have, want int) {
+	if have != want {
+		panic(fmt.Sprintf("opt: restored state has %d vectors, model has %d parameters", have, want))
+	}
+}
+
+// snapshot widens the state to the float64 bookkeeping representation.
+func (m *moments) snapshot() [][]float64 {
+	if m.f32 != nil {
+		out := make([][]float64, len(m.f32))
+		for i, v := range m.f32 {
+			w := make([]float64, len(v))
+			for j, x := range v {
+				w[j] = float64(x)
+			}
+			out[i] = w
+		}
+		return out
+	}
+	return cloneVecs(m.f64)
+}
+
+// restore stages a widened snapshot; the next ensure narrows it if needed.
+func (m *moments) restore(vecs [][]float64) {
+	m.f64 = cloneVecs(vecs)
+	m.f32 = nil
+}
+
 // SGD is stochastic gradient descent with optional classical momentum and
 // decoupled L2 weight decay.
 type SGD struct {
@@ -54,7 +145,7 @@ type SGD struct {
 	Momentum    float64
 	WeightDecay float64
 
-	velocity [][]float64
+	velocity moments
 }
 
 // NewSGD builds an SGD optimizer.
@@ -64,34 +155,47 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 
 // Step applies v ← μv + g + λw; w ← w − η·v.
 func (s *SGD) Step(params []*nn.Param) {
-	if s.velocity == nil && s.Momentum != 0 {
-		s.velocity = make([][]float64, len(params))
-		for i, p := range params {
-			s.velocity[i] = make([]float64, p.Value.Size())
+	if s.Momentum != 0 {
+		s.velocity.ensure(params)
+	}
+	f32 := nn.ParamsDType(params) == tensor.F32
+	for i, p := range params {
+		if f32 {
+			var v []float32
+			if s.Momentum != 0 {
+				v = s.velocity.f32[i]
+			}
+			sgdStep(tensor.Of[float32](p.Value), tensor.Of[float32](p.Grad), v,
+				float32(s.LR), float32(s.Momentum), float32(s.WeightDecay))
+		} else {
+			var v []float64
+			if s.Momentum != 0 {
+				v = s.velocity.f64[i]
+			}
+			sgdStep(p.Value.Data, p.Grad.Data, v, s.LR, s.Momentum, s.WeightDecay)
 		}
 	}
-	for i, p := range params {
-		w, g := p.Value.Data, p.Grad.Data
-		switch {
-		case s.Momentum != 0:
-			v := s.velocity[i]
-			for j := range w {
-				gj := g[j] + s.WeightDecay*w[j]
-				v[j] = s.Momentum*v[j] + gj
-				w[j] -= s.LR * v[j]
-			}
-		default:
-			for j := range w {
-				w[j] -= s.LR * (g[j] + s.WeightDecay*w[j])
-			}
+}
+
+func sgdStep[F tensor.Float](w, g, v []F, lr, momentum, weightDecay F) {
+	switch {
+	case momentum != 0:
+		for j := range w {
+			gj := g[j] + weightDecay*w[j]
+			v[j] = momentum*v[j] + gj
+			w[j] -= lr * v[j]
+		}
+	default:
+		for j := range w {
+			w[j] -= lr * (g[j] + weightDecay*w[j])
 		}
 	}
 }
 
 // State captures the momentum velocities (empty until the first momentum
-// Step).
+// Step), widened to float64.
 func (s *SGD) State() State {
-	return State{Vecs: cloneVecs(s.velocity)}
+	return State{Vecs: s.velocity.snapshot()}
 }
 
 // SetState restores momentum velocities captured by State.
@@ -100,10 +204,10 @@ func (s *SGD) SetState(st State) error {
 		return fmt.Errorf("opt: SGD state carries %d ints, want 0", len(st.Ints))
 	}
 	if len(st.Vecs) == 0 {
-		s.velocity = nil
+		s.velocity.reset()
 		return nil
 	}
-	s.velocity = cloneVecs(st.Vecs)
+	s.velocity.restore(st.Vecs)
 	return nil
 }
 
@@ -112,8 +216,8 @@ type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 
 	t int
-	m [][]float64
-	v [][]float64
+	m moments
+	v moments
 }
 
 // NewAdam builds an Adam optimizer with the conventional defaults for any
@@ -123,10 +227,11 @@ func NewAdam(lr float64) *Adam {
 }
 
 // State captures the step count and first/second moment vectors (Vecs is
-// the m vectors followed by the v vectors; empty until the first Step).
+// the m vectors followed by the v vectors; empty until the first Step),
+// widened to float64.
 func (a *Adam) State() State {
 	st := State{Ints: []int64{int64(a.t)}}
-	st.Vecs = append(cloneVecs(a.m), cloneVecs(a.v)...)
+	st.Vecs = append(a.m.snapshot(), a.v.snapshot()...)
 	return st
 }
 
@@ -140,37 +245,36 @@ func (a *Adam) SetState(st State) error {
 	}
 	a.t = int(st.Ints[0])
 	if len(st.Vecs) == 0 {
-		a.m, a.v = nil, nil
+		a.m.reset()
+		a.v.reset()
 		return nil
 	}
 	half := len(st.Vecs) / 2
-	a.m = cloneVecs(st.Vecs[:half])
-	a.v = cloneVecs(st.Vecs[half:])
+	a.m.restore(st.Vecs[:half])
+	a.v.restore(st.Vecs[half:])
 	return nil
 }
 
 // Step applies one bias-corrected Adam update.
 func (a *Adam) Step(params []*nn.Param) {
-	if a.m == nil {
-		a.m = make([][]float64, len(params))
-		a.v = make([][]float64, len(params))
-		for i, p := range params {
-			a.m[i] = make([]float64, p.Value.Size())
-			a.v[i] = make([]float64, p.Value.Size())
-		}
-	}
+	a.m.ensure(params)
+	a.v.ensure(params)
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
-	for i, p := range params {
-		w, g := p.Value.Data, p.Grad.Data
-		m, v := a.m[i], a.v[i]
-		for j := range w {
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
-			mh := m[j] / c1
-			vh := v[j] / c2
-			w[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+	if nn.ParamsDType(params) == tensor.F32 {
+		for i, p := range params {
+			adamStep(tensor.Of[float32](p.Value), tensor.Of[float32](p.Grad), a.m.f32[i], a.v.f32[i],
+				float32(a.LR), float32(a.Beta1), float32(a.Beta2), float32(a.Eps), float32(c1), float32(c2))
 		}
+		return
 	}
+	for i, p := range params {
+		adamStep(p.Value.Data, p.Grad.Data, a.m.f64[i], a.v.f64[i],
+			a.LR, a.Beta1, a.Beta2, a.Eps, c1, c2)
+	}
+}
+
+func adamStep[F tensor.Float](w, g, m, v []F, lr, beta1, beta2, eps, c1, c2 F) {
+	tensor.AdamStep(w, g, m, v, lr, beta1, beta2, eps, c1, c2)
 }

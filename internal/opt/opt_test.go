@@ -3,6 +3,7 @@ package opt
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/nn"
@@ -98,5 +99,32 @@ func TestOptimizerStatePerParameter(t *testing.T) {
 	}
 	if math.Abs(a.Value.Data[0]+b.Value.Data[0]) > 1e-12 {
 		t.Fatalf("symmetric problem should stay symmetric: a=%v b=%v", a.Value.Data[0], b.Value.Data[0])
+	}
+}
+
+// A restored snapshot from a differently shaped model must fail with the
+// shape diagnostic at the next Step — at either dtype — rather than an
+// index-out-of-range inside the update loop.
+func TestRestoredStateShapeMismatchPanics(t *testing.T) {
+	for _, dt := range []tensor.DType{tensor.F64, tensor.F32} {
+		rng := rand.New(rand.NewSource(41))
+		layer := nn.NewDense(3, 2, rng)
+		nn.ConvertParams(layer.Params(), dt)
+		ad := NewAdam(0.01)
+		if err := ad.SetState(State{Ints: []int64{1}, Vecs: [][]float64{{1, 2}, {3, 4}}}); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%v: mismatched restored state must panic", dt)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "restored state") {
+					t.Fatalf("%v: want the shape diagnostic, got %v", dt, r)
+				}
+			}()
+			ad.Step(layer.Params())
+		}()
 	}
 }

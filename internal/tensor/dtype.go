@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// DType identifies the element type of a tensor. It is a property of the
+// run, not of the codebase: every kernel in this package is implemented
+// once, generically over Float, and dispatched at the Tensor facade on the
+// DT field. The zero value is F64, so all pre-dtype code (and the golden
+// float64 reference path) keeps working unchanged.
+type DType uint8
+
+// The element types.
+const (
+	F64 DType = iota // 8-byte IEEE-754, the golden reference path
+	F32              // 4-byte IEEE-754, the SIMD-width/working-set fast path
+)
+
+// numDTypes bounds the valid range for validation (checkpoint headers).
+const numDTypes = 2
+
+// Float is the constraint of the generic kernels: exactly the element
+// types a Tensor can carry.
+type Float interface {
+	float32 | float64
+}
+
+// String names the dtype for flags, reports and checkpoint diagnostics.
+func (d DType) String() string {
+	switch d {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Valid reports whether d names a known element type.
+func (d DType) Valid() bool { return d < numDTypes }
+
+// Bytes returns the element size in bytes.
+func (d DType) Bytes() int {
+	if d == F32 {
+		return 4
+	}
+	return 8
+}
+
+// ParseDType maps a flag value ("f64" | "f32") to a DType.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("tensor: unknown dtype %q (want f64 | f32)", s)
+}
+
+// DTypeOf returns the DType corresponding to the type parameter F.
+// unsafe.Sizeof of the zero element is a compile-time constant per
+// instantiation, so the branch folds away.
+func DTypeOf[F Float]() DType {
+	var z F
+	if unsafe.Sizeof(z) == 4 {
+		return F32
+	}
+	return F64
+}
+
+// Of returns the backing slice of t typed as []F. It panics when F does not
+// match t's dtype, which turns a mixed-dtype kernel call into an immediate,
+// attributable failure instead of silent garbage. The reslice goes through
+// unsafe.Slice purely to convince the compiler that []float32 is []F when
+// F = float32 (the dtype guard makes the layouts identical); unlike an
+// any-boxed type assertion it never allocates, which the zero-alloc
+// steady-state gates in internal/nn rely on.
+func Of[F Float](t *Tensor) []F {
+	var z F
+	if unsafe.Sizeof(z) == 4 {
+		if t.DT != F32 {
+			panic("tensor: float32 kernel applied to a " + t.DT.String() + " tensor")
+		}
+		if len(t.F32) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*F)(unsafe.Pointer(&t.F32[0])), len(t.F32))
+	}
+	if t.DT != F64 {
+		panic("tensor: float64 kernel applied to a " + t.DT.String() + " tensor")
+	}
+	if len(t.Data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*F)(unsafe.Pointer(&t.Data[0])), len(t.Data))
+}
+
+// RowOf returns a view of row i of a rank-2 tensor typed as []F, the
+// dtype-generic counterpart of Row.
+func RowOf[F Float](t *Tensor, i int) []F {
+	c := t.Shape[1]
+	return Of[F](t)[i*c : (i+1)*c]
+}

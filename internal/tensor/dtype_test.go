@@ -1,0 +1,469 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTensorOf(dt DType, rng *rand.Rand, shape ...int) *Tensor {
+	t := NewOf(dt, shape...)
+	t.FillRandn(rng, 1)
+	return t
+}
+
+func TestDTypeParseString(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want DType
+		ok   bool
+	}{
+		{"f64", F64, true}, {"float64", F64, true}, {"", F64, true},
+		{"f32", F32, true}, {"float32", F32, true},
+		{"f16", F64, false}, {"int8", F64, false},
+	} {
+		got, err := ParseDType(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseDType(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if F64.String() != "f64" || F32.String() != "f32" {
+		t.Errorf("String: %v %v", F64, F32)
+	}
+	if F64.Bytes() != 8 || F32.Bytes() != 4 {
+		t.Errorf("Bytes: %d %d", F64.Bytes(), F32.Bytes())
+	}
+	if !F64.Valid() || !F32.Valid() || DType(9).Valid() {
+		t.Error("Valid misclassifies")
+	}
+}
+
+func TestNewOfZeroValueDType(t *testing.T) {
+	if (&Tensor{}).DT != F64 {
+		t.Fatal("zero-value Tensor must be F64 for backward compatibility")
+	}
+	f := NewOf(F32, 2, 3)
+	if f.DT != F32 || len(f.F32) != 6 || f.Data != nil {
+		t.Fatalf("NewOf(F32): %+v", f)
+	}
+	if DTypeOf[float32]() != F32 || DTypeOf[float64]() != F64 {
+		t.Fatal("DTypeOf misreports")
+	}
+}
+
+func TestOfPanicsOnDTypeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Of[float64] on an F32 tensor must panic")
+		}
+	}()
+	Of[float64](NewOf(F32, 2))
+}
+
+// The float32 facade ops must agree with their float64 counterparts to
+// float32 precision on identical inputs.
+func TestElementwiseOpsF32MatchF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 129 // odd length to cross any unrolling
+	a64 := randTensorOf(F64, rng, n)
+	b64 := randTensorOf(F64, rng, n)
+	a32, b32 := a64.AsType(F32), b64.AsType(F32)
+
+	check := func(name string, got32, want64 *Tensor) {
+		t.Helper()
+		if !ApproxEqual(got32, want64, 1e-5) {
+			t.Errorf("%s: f32 result diverges from f64", name)
+		}
+	}
+	check("AddInto", func() *Tensor { o := NewOf(F32, n); AddInto(o, a32, b32); return o }(),
+		func() *Tensor { o := New(n); AddInto(o, a64, b64); return o }())
+	check("MulInto", func() *Tensor { o := NewOf(F32, n); MulInto(o, a32, b32); return o }(),
+		func() *Tensor { o := New(n); MulInto(o, a64, b64); return o }())
+	check("Axpy", func() *Tensor { o := a32.Clone(); o.AxpyInPlace(0.37, b32); return o }(),
+		func() *Tensor { o := a64.Clone(); o.AxpyInPlace(0.37, b64); return o }())
+	check("Scale", Scale(a32, -1.25), Scale(a64, -1.25))
+	check("Sub", Sub(a32, b32), Sub(a64, b64))
+
+	if g, w := Dot(a32, b32), Dot(a64, b64); math.Abs(g-w) > 1e-3 {
+		t.Errorf("Dot: %v vs %v", g, w)
+	}
+	if g, w := a32.Sum(), a64.Sum(); math.Abs(g-w) > 1e-3 {
+		t.Errorf("Sum: %v vs %v", g, w)
+	}
+	if g, w := a32.MaxAbs(), a64.MaxAbs(); math.Abs(g-w) > 1e-5 {
+		t.Errorf("MaxAbs: %v vs %v", g, w)
+	}
+}
+
+func TestRowHelpersAndViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randTensorOf(F32, rng, 3, 4)
+	row := RowOf[float32](m, 1)
+	if len(row) != 4 {
+		t.Fatalf("RowOf length %d", len(row))
+	}
+	dst := make([]float64, 4)
+	m.RowTo(1, dst)
+	for j := range dst {
+		if dst[j] != float64(row[j]) {
+			t.Fatalf("RowTo[%d] = %v, want %v", j, dst[j], row[j])
+		}
+	}
+	if m.At(1, 2) != float64(row[2]) {
+		t.Fatal("At widening broken")
+	}
+	m.Set(1, 2, 0.5)
+	if row[2] != 0.5 {
+		t.Fatal("Set narrowing broken")
+	}
+
+	var view Tensor
+	ViewInto(&view, m, 4, 8, 2, 2)
+	if view.DT != F32 || view.Size() != 4 || &view.F32[0] != &m.F32[4] {
+		t.Fatal("ViewInto must alias the F32 backing")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Row on an F32 tensor must panic")
+		}
+	}()
+	m.Row(0)
+}
+
+func TestConversionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := randTensorOf(F32, rng, 17)
+	// f32 → f64 → f32 must be exact: widening is lossless.
+	wide := f.AsType(F64)
+	back := wide.AsType(F32)
+	for i := range f.F32 {
+		if back.F32[i] != f.F32[i] {
+			t.Fatalf("round trip changed element %d", i)
+		}
+	}
+	// AppendFloat64s/SetFromFloat64s are the bookkeeping boundary and must
+	// round-trip exactly too.
+	flat := f.AppendFloat64s(nil)
+	g := NewOf(F32, 17)
+	g.SetFromFloat64s(flat)
+	for i := range f.F32 {
+		if g.F32[i] != f.F32[i] {
+			t.Fatalf("flat round trip changed element %d", i)
+		}
+	}
+	// WriteFloat64sAt narrows segments.
+	h := NewOf(F32, 17)
+	h.WriteFloat64sAt(3, flat[3:9])
+	for i := 3; i < 9; i++ {
+		if h.F32[i] != f.F32[i] {
+			t.Fatalf("WriteFloat64sAt changed element %d", i)
+		}
+	}
+}
+
+// All three GEMM forms at f32 must agree with the f64 reference to f32
+// precision, at shapes covering full tiles, partial tiles and row tails of
+// both the portable and the 8×8 FMA kernel.
+func TestMatMulF32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 7}, {8, 8, 8}, {9, 17, 11}, {16, 32, 24}, {33, 65, 19}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a64 := randTensorOf(F64, rng, m, k)
+		b64 := randTensorOf(F64, rng, k, n)
+		bT64 := Transpose(b64)
+		a32, b32, bT32 := a64.AsType(F32), b64.AsType(F32), bT64.AsType(F32)
+
+		tol := 1e-4 * math.Sqrt(float64(k))
+		if got, want := MatMul(a32, b32), MatMul(a64, b64); !ApproxEqual(got, want, tol) {
+			t.Errorf("MatMul f32 diverges at %v", s)
+		}
+		if got, want := MatMulATB(Transpose(a32), b32), MatMulATB(Transpose(a64), b64); !ApproxEqual(got, want, tol) {
+			t.Errorf("MatMulATB f32 diverges at %v", s)
+		}
+		if got, want := MatMulABT(a32, bT32), MatMulABT(a64, bT64); !ApproxEqual(got, want, tol) {
+			t.Errorf("MatMulABT f32 diverges at %v", s)
+		}
+
+		// Acc variants accumulate on top of a seeded output.
+		seed64 := randTensorOf(F64, rng, k, n)
+		seed32 := seed64.AsType(F32)
+		accWant := seed64.Clone()
+		MatMulATBAcc(accWant, a64, MatMul(a64, b64))
+		accGot := seed32.Clone()
+		MatMulATBAcc(accGot, a32, MatMul(a32, b32))
+		if !ApproxEqual(accGot, accWant, 10*tol*math.Sqrt(float64(m))) {
+			t.Errorf("MatMulATBAcc f32 diverges at %v", s)
+		}
+	}
+}
+
+// The portable and FMA f32 kernels must agree closely on the same inputs
+// (FMA fuses the multiply-add, so results are not bit-identical, but they
+// share the ascending accumulation order).
+func TestF32KernelsAgreeAcrossDispatch(t *testing.T) {
+	if !useFMA32 {
+		t.Skip("no AVX2+FMA on this host")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range [][3]int{{8, 16, 8}, {13, 29, 21}, {64, 64, 64}} {
+		m, k, n := s[0], s[1], s[2]
+		a := randTensorOf(F32, rng, m, k)
+		b := randTensorOf(F32, rng, k, n)
+		fma := NewOf(F32, m, n)
+		gemmNNRangeFMA32(fma.F32, a.F32, b.F32, k, n, 0, m, false)
+		portable := NewOf(F32, m, n)
+		gemmNNRange[float32](portable.F32, a.F32, b.F32, k, n, 0, m, false)
+		if !ApproxEqual(fma, portable, 1e-4*math.Sqrt(float64(k))) {
+			t.Errorf("FMA and portable f32 kernels diverge at %v", s)
+		}
+	}
+}
+
+func TestPoolDTypeSeparation(t *testing.T) {
+	p := NewPool()
+	a := p.GetOf(F32, 4, 4)
+	if a.DT != F32 || len(a.F32) != 16 {
+		t.Fatalf("GetOf(F32): %+v", a)
+	}
+	a.Fill(3)
+	p.Put(a)
+	// The same bucket must serve the next f32 request, zeroed…
+	b := p.GetOf(F32, 2, 8)
+	if b.DT != F32 || b.Sum() != 0 {
+		t.Fatalf("pooled f32 reuse broken: %+v", b)
+	}
+	if &b.F32[0] != &a.F32[:1][0] {
+		t.Fatal("expected f32 buffer reuse within the dtype bucket")
+	}
+	// …while an f64 request of the same size must NOT get the f32 buffer.
+	c := p.Get(4, 4)
+	if c.DT != F64 || len(c.Data) != 16 {
+		t.Fatalf("Get after f32 Put: %+v", c)
+	}
+}
+
+func TestEnsureOfDTypeChange(t *testing.T) {
+	t64 := New(4)
+	t32 := EnsureOf(F32, t64, 4)
+	if t32 == t64 || t32.DT != F32 {
+		t.Fatal("EnsureOf must allocate on dtype change")
+	}
+	again := EnsureOf(F32, t32, 2)
+	if again != t32 || len(again.F32) != 2 {
+		t.Fatal("EnsureOf must reuse matching-dtype storage")
+	}
+}
+
+func TestReductionRowOpsF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a64 := randTensorOf(F64, rng, 5, 9)
+	a32 := a64.AsType(F32)
+	for i := 0; i < 5; i++ {
+		if a32.ArgMaxRow(i) != a64.ArgMaxRow(i) {
+			t.Errorf("ArgMaxRow(%d) differs across dtypes", i)
+		}
+	}
+	s32 := a32.Clone()
+	s32.SoftmaxRowsInPlace()
+	s64 := a64.Clone()
+	s64.SoftmaxRowsInPlace()
+	if !ApproxEqual(s32, s64, 1e-5) {
+		t.Error("SoftmaxRowsInPlace diverges")
+	}
+	n32 := a32.Clone()
+	norms32 := n32.NormalizeRowsInPlace(1e-12)
+	n64 := a64.Clone()
+	norms64 := n64.NormalizeRowsInPlace(1e-12)
+	if !ApproxEqual(n32, n64, 1e-5) {
+		t.Error("NormalizeRowsInPlace diverges")
+	}
+	for i := range norms32 {
+		if math.Abs(norms32[i]-norms64[i]) > 1e-4 {
+			t.Errorf("norm %d diverges: %v vs %v", i, norms32[i], norms64[i])
+		}
+	}
+	tr32, tr64 := Transpose(a32), Transpose(a64)
+	if !ApproxEqual(tr32, tr64, 1e-6) {
+		t.Error("Transpose diverges")
+	}
+	cc := ConcatRows(a32, a32)
+	if cc.DT != F32 || cc.Rows() != 10 {
+		t.Errorf("ConcatRows dtype/shape: %v %v", cc.DT, cc.Shape)
+	}
+	sl := a32.SliceRows(1, 3)
+	if sl.DT != F32 || !ApproxEqual(sl, a64.SliceRows(1, 3), 1e-6) {
+		t.Error("SliceRows diverges")
+	}
+}
+
+// Mixed-dtype operands must fail loudly, not corrupt.
+func TestMixedDTypePanics(t *testing.T) {
+	a := New(2, 2)
+	b := NewOf(F32, 2, 2)
+	for name, f := range map[string]func(){
+		"AddInPlace": func() { a.AddInPlace(b) },
+		"MatMulInto": func() { MatMulInto(New(2, 2), a, b) },
+		"CopyFrom":   func() { a.CopyFrom(b) },
+		"Segment":    func() { CopySegment(a, 0, b, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mixed dtypes must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMatMulInto32Tensor(b *testing.B) {
+	a := NewOf(F32, 64, 64)
+	c := NewOf(F32, 64, 64)
+	out := NewOf(F32, 64, 64)
+	a.Fill(0.5)
+	c.Fill(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, c)
+	}
+}
+
+// The f32 transpose pack must agree exactly with the generic scalar pack at
+// every pk (vector blocks + scalar tails) and jw (partial widths fall back).
+func TestPackPanelCols32MatchesGeneric(t *testing.T) {
+	if !useFMA32 {
+		t.Skip("no AVX2 on this host")
+	}
+	rng := rand.New(rand.NewSource(14))
+	const ld = 37
+	src := make([]float32, 16*ld)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	for _, pk := range []int{1, 7, 8, 9, 16, 23, 32} {
+		for _, jw := range []int{8, 5} {
+			want := make([]float32, gemmKC*fmaNR)
+			got := make([]float32, gemmKC*fmaNR)
+			packPanelCols(want, src, 2, ld, 3, jw, pk)
+			packPanelCols32(got, src, 2, ld, 3, jw, pk)
+			for i := 0; i < pk*fmaNR; i++ {
+				if want[i] != got[i] {
+					t.Fatalf("pk=%d jw=%d: element %d differs (%v vs %v)", pk, jw, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The vector primitives must match their scalar fallbacks bit for bit at
+// both widths, including the NaN/-0 relu edge cases.
+func TestVecPrimitivesMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := 67 // forces a scalar tail at both lane widths
+	x64 := make([]float64, n)
+	g64 := make([]float64, n)
+	for i := range x64 {
+		x64[i] = rng.NormFloat64()
+		g64[i] = rng.NormFloat64()
+	}
+	x64[3] = math.NaN()
+	x64[5] = math.Inf(-1)
+	x64[7] = math.Copysign(0, -1)
+
+	out := make([]float64, n)
+	VecReluForward(out, x64)
+	dx := make([]float64, n)
+	VecReluBackward(dx, g64, out)
+	acc := append([]float64(nil), g64...)
+	VecAccumulate(acc, x64)
+	for i := range x64 {
+		var wantOut float64
+		if x64[i] > 0 {
+			wantOut = x64[i]
+		}
+		if out[i] != wantOut && !(math.IsNaN(out[i]) && math.IsNaN(wantOut)) {
+			t.Fatalf("relu fwd[%d] = %v, want %v", i, out[i], wantOut)
+		}
+		var wantDx float64
+		if out[i] > 0 {
+			wantDx = g64[i]
+		}
+		if dx[i] != wantDx {
+			t.Fatalf("relu bwd[%d] = %v, want %v", i, dx[i], wantDx)
+		}
+		if want := g64[i] + x64[i]; acc[i] != want && !math.IsNaN(want) {
+			t.Fatalf("accumulate[%d] = %v, want %v", i, acc[i], want)
+		}
+	}
+
+	x32 := make([]float32, n)
+	g32 := make([]float32, n)
+	for i := range x32 {
+		x32[i] = float32(rng.NormFloat64())
+		g32[i] = float32(rng.NormFloat64())
+	}
+	x32[2] = float32(math.NaN())
+	out32 := make([]float32, n)
+	VecReluForward(out32, x32)
+	dx32 := make([]float32, n)
+	VecReluBackward(dx32, g32, out32)
+	for i := range x32 {
+		var want float32
+		if x32[i] > 0 {
+			want = x32[i]
+		}
+		if out32[i] != want && !(out32[i] != out32[i] && want != want) {
+			t.Fatalf("relu32 fwd[%d] = %v, want %v", i, out32[i], want)
+		}
+		var wantDx float32
+		if out32[i] > 0 {
+			wantDx = g32[i]
+		}
+		if dx32[i] != wantDx {
+			t.Fatalf("relu32 bwd[%d] = %v, want %v", i, dx32[i], wantDx)
+		}
+	}
+}
+
+// GEMM results must be bit-identical at every shard layout: tile-aligned
+// shard boundaries keep each row's FMA-tile-vs-tail decomposition a
+// function of the row index alone (the property that makes runs
+// reproducible across machines with different core counts). Exercised
+// directly against the shard parameter at awkward row counts.
+func TestGEMMShardLayoutIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dt := range []DType{F64, F32} {
+		for _, rows := range []int{5, 13, 16, 33, 64} {
+			k, n := 96, 320 // big enough that row tiles and panels all engage
+			a := randTensorOf(dt, rng, rows, k)
+			b := randTensorOf(dt, rng, k, n)
+			var ref *Tensor
+			for _, shards := range []int{1, 2, 3, 5, 8, 16} {
+				out := NewOf(dt, rows, n)
+				if dt == F32 {
+					kernel := gemmNNRange[float32]
+					if useFMA32 {
+						kernel = gemmNNRangeFMA32
+					}
+					runSharded(kernel, Of[float32](out), Of[float32](a), Of[float32](b), k, n, rows, shards, false)
+				} else {
+					kernel := gemmNNRange[float64]
+					if useFMA {
+						kernel = gemmNNRangeFMA
+					}
+					runSharded(kernel, out.Data, a.Data, b.Data, k, n, rows, shards, false)
+				}
+				if ref == nil {
+					ref = out
+					continue
+				}
+				if !ApproxEqual(out, ref, 0) {
+					t.Fatalf("%v rows=%d: shards=%d result differs bitwise from shards=1", dt, rows, shards)
+				}
+			}
+		}
+	}
+}

@@ -2,8 +2,12 @@
 
 package tensor
 
-// Non-amd64 builds always take the portable blocked kernels.
-const useFMA = false
+// Non-amd64 builds always take the portable blocked kernels, at either
+// element width.
+const (
+	useFMA   = false
+	useFMA32 = false
+)
 
 func gemmNNRangeFMA(out, a, b []float64, k, n, lo, hi int, acc bool) {
 	panic("tensor: FMA kernel unavailable")
@@ -14,5 +18,17 @@ func gemmATRangeFMA(out, a, b []float64, m, k, n, plo, phi int, acc bool) {
 }
 
 func gemmABTRangeFMA(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
+	panic("tensor: FMA kernel unavailable")
+}
+
+func gemmNNRangeFMA32(out, a, b []float32, k, n, lo, hi int, acc bool) {
+	panic("tensor: FMA kernel unavailable")
+}
+
+func gemmATRangeFMA32(out, a, b []float32, m, k, n, plo, phi int, acc bool) {
+	panic("tensor: FMA kernel unavailable")
+}
+
+func gemmABTRangeFMA32(out, a, b []float32, k, n, ilo, ihi int, acc bool) {
 	panic("tensor: FMA kernel unavailable")
 }

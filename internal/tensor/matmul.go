@@ -1,6 +1,9 @@
 package tensor
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
 // parallelThreshold is the number of scalar multiply-adds below which the
 // GEMM drivers run single-threaded; tiny products are faster without any
@@ -8,28 +11,57 @@ import "sync"
 const parallelThreshold = 64 * 1024
 
 // Cache-blocking parameters of the A·B kernel. B is packed into panels of
-// gemmKC×gemmNR elements (8 KB, comfortably L1-resident) that a register
-// tile of gemmMR rows streams through. gemmMR×gemmNR accumulators plus the
-// panel and A operands stay within the amd64 register budget.
+// gemmKC×gemmNR elements (L1-resident) that a register tile of gemmMR rows
+// streams through. gemmMR×gemmNR accumulators plus the panel and A operands
+// stay within the amd64 register budget.
 const (
 	gemmKC = 256
 	gemmMR = 2
 	gemmNR = 4
 )
 
-// fmaNR is the packed-panel width of the AVX2+FMA micro-kernel (two 4-lane
-// vectors); see gemm_amd64.go. It is declared here so the shared panel
-// scratch can size for either kernel on every platform.
+// fmaNR is the packed-panel width of the AVX2+FMA micro-kernels: 8 lanes,
+// which is two 4-lane vectors of float64 (the 4×8 kernel) or one 8-lane
+// vector of float32 (the 8×8 kernel); see gemm_amd64.go. It is declared
+// here so the shared panel scratch can size for either kernel on every
+// platform.
 const fmaNR = 8
 
-// panelScratch recycles the packed-B panels across GEMM calls so the blocked
-// kernels allocate nothing in steady state. Panels are sized for the widest
-// kernel.
-var panelScratch = sync.Pool{
+// panelScratch64/panelScratch32 recycle the packed-B panels across GEMM
+// calls so the blocked kernels allocate nothing in steady state. Panels are
+// sized for the widest kernel of their dtype.
+var panelScratch64 = sync.Pool{
 	New: func() any {
 		s := make([]float64, gemmKC*fmaNR)
 		return &s
 	},
+}
+
+var panelScratch32 = sync.Pool{
+	New: func() any {
+		s := make([]float32, gemmKC*fmaNR)
+		return &s
+	},
+}
+
+// getPanel fetches the panel scratch for the instantiated element type. The
+// sync.Pool interface already holds a pointer, so the round trip performs no
+// boxing allocation.
+func getPanel[F Float]() *[]F {
+	var z F
+	if unsafe.Sizeof(z) == 4 {
+		return panelScratch32.Get().(*[]F)
+	}
+	return panelScratch64.Get().(*[]F)
+}
+
+func putPanel[F Float](p *[]F) {
+	var z F
+	if unsafe.Sizeof(z) == 4 {
+		panelScratch32.Put(any(p).(*[]float32))
+		return
+	}
+	panelScratch64.Put(any(p).(*[]float64))
 }
 
 // gemmShards picks the shard count for a kernel of the given output rows and
@@ -51,6 +83,46 @@ func gemmShards(rows, work int) int {
 	return s
 }
 
+// gemmKernel is one sharded range kernel: rows [lo,hi) of one of the three
+// product forms over flat slices.
+type gemmKernel[F Float] func(out, a, b []F, k, n, lo, hi int, acc bool)
+
+// shardRanges splits [0,rows) into ranges whose boundaries are multiples of
+// the widest micro-kernel tile height (fmaNR covers the 8-row f32, 4-row
+// f64/f32 and 2-row portable tiles alike). Tile-aligned boundaries make a
+// row's tile membership — and therefore its FMA-vs-tail rounding — a
+// function of the row index alone, so GEMM results are bit-identical at
+// every worker count and shard layout, not merely at every concurrency cap.
+func shardRanges(rows, shards int) (chunk, nShards int) {
+	chunk = (rows + shards - 1) / shards
+	chunk = (chunk + fmaNR - 1) &^ (fmaNR - 1)
+	nShards = (rows + chunk - 1) / chunk
+	return chunk, nShards
+}
+
+// runSharded executes a range kernel over [0,rows) in tile-aligned shards.
+func runSharded[F Float](kernel gemmKernel[F], out, a, b []F, k, n, rows, shards int, acc bool) {
+	if shards <= 1 {
+		kernel(out, a, b, k, n, 0, rows, acc)
+		return
+	}
+	chunk, nShards := shardRanges(rows, shards)
+	if nShards <= 1 {
+		kernel(out, a, b, k, n, 0, rows, acc)
+		return
+	}
+	ParallelSharded(nShards, nShards, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > rows {
+				hi = rows
+			}
+			kernel(out, a, b, k, n, lo, hi, acc)
+		}
+	})
+}
+
 // MatMul returns a·b for rank-2 tensors a (m×k) and b (k×n).
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
@@ -59,7 +131,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.Shape[1] != b.Shape[0] {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
-	out := New(a.Shape[0], b.Shape[1])
+	out := NewOf(a.DT, a.Shape[0], b.Shape[1])
 	gemmNN(out, a, b, false)
 	return out
 }
@@ -78,7 +150,9 @@ func MatMulInto(out, a, b *Tensor) {
 // gemmNN computes out = a·b (acc=false) or out += a·b (acc=true) with a
 // cache-blocked, register-tiled kernel, sharding output rows across the
 // worker pool. Every output element accumulates its k terms in ascending
-// order regardless of blocking, so results match the naive kernel.
+// order regardless of blocking, so results match the naive kernel. The
+// operands' common dtype selects the kernel instantiation (and, on amd64,
+// the 4×8 f64 or 8×8 f32 FMA micro-kernel).
 func gemmNN(out, a, b *Tensor, acc bool) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -91,25 +165,27 @@ func gemmNN(out, a, b *Tensor, acc bool) {
 		}
 		return
 	}
-	kernel := gemmNNRange
+	shards := gemmShards(m, m*k*n)
+	if out.DT == F32 {
+		kernel := gemmNNRange[float32]
+		if useFMA32 {
+			kernel = gemmNNRangeFMA32
+		}
+		runSharded(kernel, Of[float32](out), Of[float32](a), Of[float32](b), k, n, m, shards, acc)
+		return
+	}
+	kernel := gemmNNRange[float64]
 	if useFMA {
 		kernel = gemmNNRangeFMA
 	}
-	shards := gemmShards(m, m*k*n)
-	if shards <= 1 {
-		kernel(out.Data, a.Data, b.Data, k, n, 0, m, acc)
-		return
-	}
-	ParallelSharded(m, shards, func(_, lo, hi int) {
-		kernel(out.Data, a.Data, b.Data, k, n, lo, hi, acc)
-	})
+	runSharded(kernel, out.Data, Of[float64](a), Of[float64](b), k, n, m, shards, acc)
 }
 
 // gemmNNRange computes rows [lo,hi) of out = a·b. For each k-block it packs
 // a gemmNR-wide B panel once and streams gemmMR-row register tiles through
 // it; the panel is reused by every row tile of the shard.
-func gemmNNRange(out, a, b []float64, k, n, lo, hi int, acc bool) {
-	pp := panelScratch.Get().(*[]float64)
+func gemmNNRange[F Float](out, a, b []F, k, n, lo, hi int, acc bool) {
+	pp := getPanel[F]()
 	panel := *pp
 	for pc := 0; pc < k; pc += gemmKC {
 		pk := k - pc
@@ -151,7 +227,7 @@ func gemmNNRange(out, a, b []float64, k, n, lo, hi int, acc bool) {
 				a1 := a[(i+1)*k+pc:][:pk]
 				o0 := out[i*n+j0 : i*n+j0+jw]
 				o1 := out[(i+1)*n+j0 : (i+1)*n+j0+jw]
-				var c00, c01, c02, c03, c10, c11, c12, c13 float64
+				var c00, c01, c02, c03, c10, c11, c12, c13 F
 				if load {
 					c00 = o0[0]
 					c10 = o1[0]
@@ -194,7 +270,7 @@ func gemmNNRange(out, a, b []float64, k, n, lo, hi int, acc bool) {
 			for ; i < hi; i++ {
 				a0 := a[i*k+pc : i*k+pc+pk]
 				o0 := out[i*n+j0 : i*n+j0+jw]
-				var c0, c1, c2, c3 float64
+				var c0, c1, c2, c3 F
 				if load {
 					c0 = o0[0]
 					if jw > 1 {
@@ -228,13 +304,13 @@ func gemmNNRange(out, a, b []float64, k, n, lo, hi int, acc bool) {
 			}
 		}
 	}
-	panelScratch.Put(pp)
+	putPanel(pp)
 }
 
 // MatMulATB returns aᵀ·b without materializing the transpose of a.
 // a is m×k, b is m×n; the result is k×n.
 func MatMulATB(a, b *Tensor) *Tensor {
-	out := New(a.Shape[1], b.Shape[1])
+	out := NewOf(a.DT, a.Shape[1], b.Shape[1])
 	gemmAT(out, a, b, true)
 	return out
 }
@@ -258,23 +334,49 @@ func gemmAT(out, a, b *Tensor, acc bool) {
 	if k == 0 || n == 0 {
 		return
 	}
-	kernel := gemmATRange
-	if useFMA {
-		kernel = gemmATRangeFMA
-	}
 	shards := gemmShards(k, m*k*n)
-	if shards <= 1 {
-		kernel(out.Data, a.Data, b.Data, m, k, n, 0, k, acc)
+	if out.DT == F32 {
+		if useFMA32 {
+			runShardedAT(gemmATRangeFMA32, Of[float32](out), Of[float32](a), Of[float32](b), m, k, n, shards, acc)
+			return
+		}
+		runShardedAT(gemmATRange[float32], Of[float32](out), Of[float32](a), Of[float32](b), m, k, n, shards, acc)
 		return
 	}
-	ParallelSharded(k, shards, func(_, lo, hi int) {
-		kernel(out.Data, a.Data, b.Data, m, k, n, lo, hi, acc)
+	if useFMA {
+		runShardedAT(gemmATRangeFMA, out.Data, Of[float64](a), Of[float64](b), m, k, n, shards, acc)
+		return
+	}
+	runShardedAT(gemmATRange[float64], out.Data, Of[float64](a), Of[float64](b), m, k, n, shards, acc)
+}
+
+// runShardedAT executes an Aᵀ·B range kernel (whose reduction length m rides
+// along) over output rows [0,k), in tile-aligned shards like runSharded.
+func runShardedAT[F Float](kernel func(out, a, b []F, m, k, n, plo, phi int, acc bool), out, a, b []F, m, k, n, shards int, acc bool) {
+	if shards <= 1 {
+		kernel(out, a, b, m, k, n, 0, k, acc)
+		return
+	}
+	chunk, nShards := shardRanges(k, shards)
+	if nShards <= 1 {
+		kernel(out, a, b, m, k, n, 0, k, acc)
+		return
+	}
+	ParallelSharded(nShards, nShards, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > k {
+				hi = k
+			}
+			kernel(out, a, b, m, k, n, lo, hi, acc)
+		}
 	})
 }
 
 // gemmATRange computes output rows [plo,phi) of out = aᵀ·b by streaming b
 // row-wise and scattering each a[i,p] as a 4-row axpy block.
-func gemmATRange(out, a, b []float64, m, k, n, plo, phi int, acc bool) {
+func gemmATRange[F Float](out, a, b []F, m, k, n, plo, phi int, acc bool) {
 	if !acc {
 		seg := out[plo*n : phi*n]
 		for i := range seg {
@@ -317,7 +419,7 @@ func gemmATRange(out, a, b []float64, m, k, n, plo, phi int, acc bool) {
 // MatMulABT returns a·bᵀ without materializing the transpose of b.
 // a is m×k, b is n×k; the result is m×n.
 func MatMulABT(a, b *Tensor) *Tensor {
-	out := New(a.Shape[0], b.Shape[0])
+	out := NewOf(a.DT, a.Shape[0], b.Shape[0])
 	gemmABT(out, a, b, true)
 	return out
 }
@@ -346,23 +448,25 @@ func gemmABT(out, a, b *Tensor, acc bool) {
 		}
 		return
 	}
-	kernel := gemmABTRange
+	shards := gemmShards(m, m*k*n)
+	if out.DT == F32 {
+		kernel := gemmABTRange[float32]
+		if useFMA32 {
+			kernel = gemmABTRangeFMA32
+		}
+		runSharded(kernel, Of[float32](out), Of[float32](a), Of[float32](b), k, n, m, shards, acc)
+		return
+	}
+	kernel := gemmABTRange[float64]
 	if useFMA {
 		kernel = gemmABTRangeFMA
 	}
-	shards := gemmShards(m, m*k*n)
-	if shards <= 1 {
-		kernel(out.Data, a.Data, b.Data, k, n, 0, m, acc)
-		return
-	}
-	ParallelSharded(m, shards, func(_, lo, hi int) {
-		kernel(out.Data, a.Data, b.Data, k, n, lo, hi, acc)
-	})
+	runSharded(kernel, out.Data, Of[float64](a), Of[float64](b), k, n, m, shards, acc)
 }
 
 // gemmABTRange computes rows [ilo,ihi) of out = a·bᵀ as 2×4 register tiles
 // of dot products, reading each pair of a rows and quad of b rows once.
-func gemmABTRange(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
+func gemmABTRange[F Float](out, a, b []F, k, n, ilo, ihi int, acc bool) {
 	i := ilo
 	for ; i+2 <= ihi; i += 2 {
 		a0 := a[i*k : i*k+k]
@@ -375,7 +479,7 @@ func gemmABTRange(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
 			b1 := b[(j+1)*k : (j+1)*k+k]
 			b2 := b[(j+2)*k : (j+2)*k+k]
 			b3 := b[(j+3)*k : (j+3)*k+k]
-			var c00, c01, c02, c03, c10, c11, c12, c13 float64
+			var c00, c01, c02, c03, c10, c11, c12, c13 F
 			for p := 0; p < k; p++ {
 				av0, av1 := a0[p], a1[p]
 				bv := b0[p]
@@ -407,7 +511,7 @@ func gemmABTRange(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
 		}
 		for ; j < n; j++ {
 			brow := b[j*k : j*k+k]
-			var c0, c1 float64
+			var c0, c1 F
 			for p, bv := range brow {
 				c0 += a0[p] * bv
 				c1 += a1[p] * bv
@@ -426,7 +530,7 @@ func gemmABTRange(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
 		o0 := out[i*n : i*n+n]
 		for j := 0; j < n; j++ {
 			brow := b[j*k : j*k+k]
-			var c0 float64
+			var c0 F
 			for p, bv := range brow {
 				c0 += a0[p] * bv
 			}

@@ -5,13 +5,13 @@ import (
 	"sync"
 )
 
-// Pool is a size-bucketed free list of tensors. Buffers are grouped by the
-// power-of-two ceiling of their element count, so a Get for any shape is
-// served by any previously Put tensor of the same bucket. Steady-state
-// training that Gets and Puts its scratch tensors performs no heap
-// allocations. A Pool is safe for concurrent use.
+// Pool is a size-bucketed free list of tensors. Buffers are grouped by
+// dtype and by the power-of-two ceiling of their element count, so a Get
+// for any shape is served by any previously Put tensor of the same dtype
+// bucket. Steady-state training that Gets and Puts its scratch tensors
+// performs no heap allocations. A Pool is safe for concurrent use.
 type Pool struct {
-	buckets [poolBuckets]poolBucket
+	buckets [numDTypes][poolBuckets]poolBucket
 }
 
 type poolBucket struct {
@@ -34,31 +34,33 @@ func bucketIndex(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
-// Get returns a zero-filled tensor of the given shape, reusing a pooled
-// buffer when one is available.
-func (p *Pool) Get(shape ...int) *Tensor {
-	t := p.getRaw(shape...)
-	for i := range t.Data {
-		t.Data[i] = 0
-	}
+// Get returns a zero-filled float64 tensor of the given shape, reusing a
+// pooled buffer when one is available.
+func (p *Pool) Get(shape ...int) *Tensor { return p.GetOf(F64, shape...) }
+
+// GetOf returns a zero-filled tensor of the given dtype and shape, reusing
+// a pooled buffer when one is available.
+func (p *Pool) GetOf(dt DType, shape ...int) *Tensor {
+	t := p.getRaw(dt, shape...)
+	t.Zero()
 	return t
 }
 
-// getRaw is Get without the zero fill, for callers that overwrite every
+// getRaw is GetOf without the zero fill, for callers that overwrite every
 // element anyway (for example packed GEMM panels).
-func (p *Pool) getRaw(shape ...int) *Tensor {
+func (p *Pool) getRaw(dt DType, shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		n *= s
 	}
 	if n <= 0 {
-		return New(shape...)
+		return NewOf(dt, shape...)
 	}
 	b := bucketIndex(n)
 	if b >= poolBuckets {
-		return New(shape...)
+		return NewOf(dt, shape...)
 	}
-	bk := &p.buckets[b]
+	bk := &p.buckets[dt][b]
 	bk.mu.Lock()
 	var t *Tensor
 	if l := len(bk.free); l > 0 {
@@ -68,9 +70,17 @@ func (p *Pool) getRaw(shape ...int) *Tensor {
 	}
 	bk.mu.Unlock()
 	if t == nil {
-		t = &Tensor{Data: make([]float64, 1<<b)}
+		if dt == F32 {
+			t = &Tensor{F32: make([]float32, 1<<b), DT: F32}
+		} else {
+			t = &Tensor{Data: make([]float64, 1<<b)}
+		}
 	}
-	t.Data = t.Data[:n]
+	if dt == F32 {
+		t.F32 = t.F32[:n]
+	} else {
+		t.Data = t.Data[:n]
+	}
 	t.Shape = append(t.Shape[:0], shape...)
 	return t
 }
@@ -79,19 +89,28 @@ func (p *Pool) getRaw(shape ...int) *Tensor {
 // any view sharing its data) afterwards. Tensors whose capacity is not a
 // pooled size (for example views built with FromSlice) are dropped.
 func (p *Pool) Put(t *Tensor) {
-	if t == nil || cap(t.Data) == 0 {
+	if t == nil {
 		return
 	}
-	c := cap(t.Data)
-	if c&(c-1) != 0 {
+	var c int
+	if t.DT == F32 {
+		c = cap(t.F32)
+	} else {
+		c = cap(t.Data)
+	}
+	if c == 0 || c&(c-1) != 0 {
 		return
 	}
 	b := bucketIndex(c)
 	if b >= poolBuckets {
 		return
 	}
-	t.Data = t.Data[:0]
-	bk := &p.buckets[b]
+	if t.DT == F32 {
+		t.F32 = t.F32[:0]
+	} else {
+		t.Data = t.Data[:0]
+	}
+	bk := &p.buckets[t.DT][b]
 	bk.mu.Lock()
 	bk.free = append(bk.free, t)
 	bk.mu.Unlock()
@@ -102,18 +121,28 @@ func (p *Pool) Put(t *Tensor) {
 // feature-gradient accumulators, the O(batch²) contrastive intermediates).
 var defaultPool = NewPool()
 
-// GetTensor returns a zeroed tensor of the given shape from the default
-// pool.
+// GetTensor returns a zeroed float64 tensor of the given shape from the
+// default pool.
 func GetTensor(shape ...int) *Tensor { return defaultPool.Get(shape...) }
 
-// PutTensor returns a tensor obtained from GetTensor to the default pool.
+// GetTensorOf returns a zeroed tensor of the given dtype and shape from the
+// default pool.
+func GetTensorOf(dt DType, shape ...int) *Tensor { return defaultPool.GetOf(dt, shape...) }
+
+// PutTensor returns a tensor obtained from GetTensor/GetTensorOf to the
+// default pool.
 func PutTensor(t *Tensor) { defaultPool.Put(t) }
 
-// Ensure returns a tensor of the given shape, reusing t's storage when its
-// capacity suffices and allocating otherwise. The contents are unspecified;
-// callers must overwrite every element. It is the building block for layers
-// that keep their activation and gradient buffers across iterations.
-func Ensure(t *Tensor, shape ...int) *Tensor {
+// Ensure returns a float64 tensor of the given shape, reusing t's storage
+// when possible; see EnsureOf.
+func Ensure(t *Tensor, shape ...int) *Tensor { return EnsureOf(F64, t, shape...) }
+
+// EnsureOf returns a tensor of the given dtype and shape, reusing t's
+// storage when its dtype matches and its capacity suffices, and allocating
+// otherwise. The contents are unspecified; callers must overwrite every
+// element. It is the building block for layers that keep their activation
+// and gradient buffers across iterations.
+func EnsureOf(dt DType, t *Tensor, shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
@@ -121,10 +150,20 @@ func Ensure(t *Tensor, shape ...int) *Tensor {
 		}
 		n *= s
 	}
-	if t == nil || cap(t.Data) < n {
-		return New(shape...)
+	if t == nil || t.DT != dt {
+		return NewOf(dt, shape...)
 	}
-	t.Data = t.Data[:n]
+	if dt == F32 {
+		if cap(t.F32) < n {
+			return NewOf(dt, shape...)
+		}
+		t.F32 = t.F32[:n]
+	} else {
+		if cap(t.Data) < n {
+			return NewOf(dt, shape...)
+		}
+		t.Data = t.Data[:n]
+	}
 	t.Shape = append(t.Shape[:0], shape...)
 	return t
 }

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// CopyRows/AccumulateRows must match the portable row loops bit for bit at
+// every span length (full vectors, masked tails, sub-lane spans).
+func TestRowKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 9, 11, 12, 16, 23, 144} {
+		rows, dStr, sStr := 5, n+7, n+3
+		src64 := make([]float64, rows*sStr+n)
+		for i := range src64 {
+			src64[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows*dStr+n)
+		got := make([]float64, rows*dStr+n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+			got[i] = want[i]
+		}
+		for r := 0; r < rows; r++ {
+			copy(want[r*dStr:r*dStr+n], src64[r*sStr:r*sStr+n])
+		}
+		CopyRows(got, src64, rows, n, dStr, sStr)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("CopyRows64 n=%d differs at %d", n, i)
+			}
+		}
+		for r := 0; r < rows; r++ {
+			for i := 0; i < n; i++ {
+				want[r*dStr+i] += src64[r*sStr+i]
+			}
+		}
+		AccumulateRows(got, src64, rows, n, dStr, sStr)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("AccumulateRows64 n=%d differs at %d", n, i)
+			}
+		}
+
+		src32 := make([]float32, rows*sStr+n)
+		for i := range src32 {
+			src32[i] = float32(rng.NormFloat64())
+		}
+		w32 := make([]float32, rows*dStr+n)
+		g32 := make([]float32, rows*dStr+n)
+		for i := range w32 {
+			w32[i] = float32(rng.NormFloat64())
+			g32[i] = w32[i]
+		}
+		for r := 0; r < rows; r++ {
+			for i := 0; i < n; i++ {
+				w32[r*dStr+i] += src32[r*sStr+i]
+			}
+		}
+		AccumulateRows(g32, src32, rows, n, dStr, sStr)
+		for i := range w32 {
+			if w32[i] != g32[i] {
+				t.Fatalf("AccumulateRows32 n=%d differs at %d", n, i)
+			}
+		}
+		CopyRows(g32, src32, rows, n, dStr, sStr)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < n; i++ {
+				if g32[r*dStr+i] != src32[r*sStr+i] {
+					t.Fatalf("CopyRows32 n=%d differs at row %d col %d", n, r, i)
+				}
+			}
+		}
+	}
+}

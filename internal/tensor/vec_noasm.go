@@ -1,0 +1,63 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds take the portable scalar loops in vec.go.
+const useVec = false
+
+func vecAdd64(dst, src *float64, n int)        { panic("tensor: vector kernel unavailable") }
+func vecAdd32(dst, src *float32, n int)        { panic("tensor: vector kernel unavailable") }
+func vecReluFwd64(out, x *float64, n int)      { panic("tensor: vector kernel unavailable") }
+func vecReluFwd32(out, x *float32, n int)      { panic("tensor: vector kernel unavailable") }
+func vecReluBwd64(dx, grad, y *float64, n int) { panic("tensor: vector kernel unavailable") }
+func vecReluBwd32(dx, grad, y *float32, n int) { panic("tensor: vector kernel unavailable") }
+
+func fmaMicro4x8f32(c *float32, ldc int, a *float32, aRow, aStep int, bp *float32, pk int, load int) {
+	panic("tensor: FMA kernel unavailable")
+}
+
+func transpose8x8f32(dst, src *float32, srcStride int) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func vecSum32(x *float32, n int) float32 { panic("tensor: vector kernel unavailable") }
+
+func vecSqDiff32(x *float32, n int, mean float32) float32 {
+	panic("tensor: vector kernel unavailable")
+}
+
+func vecDotSum32(gp, x *float32, n int) (s, d float32) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func bnNorm32(x, xh, out *float32, n int, mean, inv, gm, b float32) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func bnGrad32(gy, xh, dst *float32, n int, scale, m, sumDy, sumDyXhat float32) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func adamStep32(w, gp, m, v *float32, n int, lr, b1, omb1, b2, omb2, eps, c1, c2 float32) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func addScalar32(dst, src *float32, n int, c float32) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func addRows32(dst, src *float32, rows, n, dstStride, srcStride int) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func addRows64(dst, src *float64, rows, n, dstStride, srcStride int) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func copyRows32(dst, src *float32, rows, n, dstStride, srcStride int) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func copyRows64(dst, src *float64, rows, n, dstStride, srcStride int) {
+	panic("tensor: vector kernel unavailable")
+}
