@@ -1,0 +1,133 @@
+// Command fedclient runs one client node of a multi-process federation:
+// it builds exactly client -id of the shared fleet configuration (same
+// dataset, partition, seeds and scale as every other process), dials the
+// fedserver, and serves local-training and evaluation requests until the
+// federation completes. The client owns its model, data, optimizer and
+// upload quantization; it never sees server state beyond the broadcasts
+// it is handed.
+//
+// The -dataset/-partition/-fleet/-seed/-featdim/-clients flags must match
+// the server's configuration (and the other clients'): the fleet is a
+// pure function of them, which is what lets N processes reconstruct a
+// consistent federation with nothing shared but flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7143", "fedserver TCP address")
+		id        = flag.Int("id", -1, "this client's id, in [0, -clients)")
+		clients   = flag.Int("clients", 0, "total fleet size (0 = scale default; must match the server)")
+		dataset   = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
+		partition = flag.String("partition", "dir", "partition: dir | skewed")
+		fleet     = flag.String("fleet", "heterogeneous", "fleet: "+experiments.FleetNames)
+		method    = flag.String("method", experiments.MethodProposed, "method (must match the server)")
+		seed      = flag.Int64("seed", 1, "experiment seed (must match the server)")
+		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
+		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 (must match the server)")
+		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32")
+		waitFor   = flag.Duration("wait", 30*time.Second, "how long to keep retrying the first dial while the server comes up")
+	)
+	flag.Parse()
+
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fedclient: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		usage("unexpected arguments %q", strings.Join(args, " "))
+	}
+	s := experiments.ScaleFromEnv(experiments.Small())
+	s.Seed = *seed
+	if *clients < 0 {
+		usage("-clients must be >= 0, got %d", *clients)
+	}
+	if *clients > 0 {
+		s.Clients = *clients
+	}
+	if *featDim < 0 {
+		usage("-featdim must be >= 0, got %d", *featDim)
+	}
+	if *featDim > 0 {
+		s.FeatDim = *featDim
+	}
+	if *id < 0 || *id >= s.Clients {
+		usage("-id must be in [0, %d (clients)), got %d", s.Clients, *id)
+	}
+	if *waitFor < 0 {
+		usage("-wait must be >= 0, got %v", *waitFor)
+	}
+	name, err := experiments.ParseDataset(*dataset)
+	if err != nil {
+		usage("%v", err)
+	}
+	kind, err := data.ParsePartition(*partition)
+	if err != nil {
+		usage("%v", err)
+	}
+	codec, err := comm.ParseCodec(*codecName)
+	if err != nil {
+		usage("%v", err)
+	}
+	dtype, err := tensor.ParseDType(*dtypeName)
+	if err != nil {
+		usage("%v", err)
+	}
+	s.DType = dtype
+
+	build, _, err := experiments.NewFleetBuilder(name, kind, *fleet, s.Clients, s)
+	if err != nil {
+		usage("%v", err)
+	}
+	algo, err := experiments.WireAlgorithmFor(*method, name, s)
+	if err != nil {
+		usage("%v", err)
+	}
+
+	client := build(*id)
+	fmt.Printf("# fedclient %d/%d: %s, %d train / %d test examples, dialing %s\n",
+		*id, s.Clients, client.Model.Name, len(client.Train), len(client.Test), *addr)
+
+	// The server may still be binding its port; retry the dial for -wait.
+	// A rejected handshake (dtype/codec/version mismatch) is deterministic
+	// — retrying cannot succeed — so it fails immediately instead of
+	// hammering the server's accept loop for the whole window.
+	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	ctx := context.Background()
+	var conn transport.Conn
+	deadline := time.Now().Add(*waitFor)
+	for {
+		conn, err = tr.Dial(ctx, *addr)
+		if err == nil || errors.Is(err, transport.ErrHandshake) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedclient: %v\n", err)
+		os.Exit(1)
+	}
+
+	node := &fl.ClientNode{Client: client, Algo: algo}
+	if err := node.Run(ctx, conn); err != nil {
+		fmt.Fprintf(os.Stderr, "fedclient: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# fedclient %d: federation complete\n", *id)
+}

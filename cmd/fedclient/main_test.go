@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// fedclient's post-parse validation: every misconfiguration is a usage
+// error (exit 2), and an unreachable server is a runtime error (exit 1)
+// once the dial-retry window closes. The happy path — joining a real
+// federation — is covered by cmd/fedserver's multi-process smoke tests.
+func TestFedclientFlagValidation(t *testing.T) {
+	env := []string{"REPRO_SCALE=tiny"}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-id"}, // id is required
+		{[]string{"-id", "9", "-clients", "3"}, "-id"},
+		{[]string{"-id", "-1"}, "-id"},
+		{[]string{"-id", "0", "-clients", "-1"}, "-clients"},
+		{[]string{"-id", "0", "-fleet", "mesh"}, "fleet"},
+		{[]string{"-id", "0", "-dataset", "imagenet"}, "dataset"},
+		{[]string{"-id", "0", "-method", "Gossip"}, "method"},
+		{[]string{"-id", "0", "-codec", "f16"}, "codec"},
+		{[]string{"-id", "0", "-dtype", "f16"}, "dtype"},
+		{[]string{"-id", "0", "-wait", "-1s"}, "wait"},
+		{[]string{"-id", "0", "trailing"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		out := cmdtest.RunErr(t, 2, env, tc.args...)
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("args %v: error should mention %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+// TestFedclientDialFailure points the client at a dead port with no retry
+// window; it must exit 1 with a transport error, not hang.
+func TestFedclientDialFailure(t *testing.T) {
+	out := cmdtest.RunErr(t, 1, []string{"REPRO_SCALE=tiny"},
+		"-id", "0", "-clients", "3", "-addr", "127.0.0.1:1", "-wait", "0s")
+	if !strings.Contains(out, "fedclient:") {
+		t.Fatalf("dial failure output:\n%s", out)
+	}
+}

@@ -1,0 +1,130 @@
+// Command fedserver runs the server node of a multi-process federation:
+// it listens on a TCP address, waits for -clients fedclient processes to
+// join, drives the synchronous barrier schedule for -rounds rounds and
+// prints the same learning-curve CSV fedsim prints. The server holds only
+// aggregation state — global classifier/model/prototypes and the sharded
+// accumulators — and never touches a client model; everything else crosses
+// the wire (see DESIGN.md §8).
+//
+// The cohort sampler is seeded exactly like the in-process simulation, so
+// at full precision a fedserver run reproduces the inproc sync metrics to
+// within floating-point parity.
+//
+// Example (one server, three clients, tiny scale):
+//
+//	REPRO_SCALE=tiny fedserver -addr 127.0.0.1:0 -clients 3 -method Proposed &
+//	REPRO_SCALE=tiny fedclient -addr 127.0.0.1:PORT -id 0 -clients 3 &
+//	REPRO_SCALE=tiny fedclient -addr 127.0.0.1:PORT -id 1 -clients 3 &
+//	REPRO_SCALE=tiny fedclient -addr 127.0.0.1:PORT -id 2 -clients 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7143", "TCP address to listen on (port 0 picks a free port, printed on stdout)")
+		clients   = flag.Int("clients", 0, "number of client processes to wait for (0 = scale default)")
+		dataset   = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
+		method    = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight")
+		rounds    = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
+		rate      = flag.Float64("rate", 1.0, "client sampling rate per round, in (0, 1]")
+		seed      = flag.Int64("seed", 1, "experiment seed (must match the clients')")
+		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
+		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8")
+		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32 (handshake-validated against clients)")
+	)
+	flag.Parse()
+
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fedserver: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		usage("unexpected arguments %q", strings.Join(args, " "))
+	}
+	s := experiments.ScaleFromEnv(experiments.Small())
+	s.Seed = *seed
+	if *clients < 0 {
+		usage("-clients must be >= 0, got %d", *clients)
+	}
+	if *rounds < 0 {
+		usage("-rounds must be >= 0, got %d", *rounds)
+	}
+	if *featDim < 0 {
+		usage("-featdim must be >= 0, got %d", *featDim)
+	}
+	if *clients > 0 {
+		s.Clients = *clients
+	}
+	if *rounds > 0 {
+		s.Rounds = *rounds
+	}
+	if *featDim > 0 {
+		s.FeatDim = *featDim
+	}
+	if *rate <= 0 || *rate > 1 {
+		usage("-rate must be in (0, 1], got %v", *rate)
+	}
+	name, err := experiments.ParseDataset(*dataset)
+	if err != nil {
+		usage("%v", err)
+	}
+	codec, err := comm.ParseCodec(*codecName)
+	if err != nil {
+		usage("%v", err)
+	}
+	dtype, err := tensor.ParseDType(*dtypeName)
+	if err != nil {
+		usage("%v", err)
+	}
+	s.DType = dtype
+	if _, err := experiments.WireAlgorithmFor(*method, name, s); err != nil {
+		usage("%v", err)
+	}
+
+	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	ln, err := tr.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+		os.Exit(1)
+	}
+	// The bound address goes out first (and unbuffered) so orchestration —
+	// scripts, the CI smoke test — can listen on :0 and scrape the port.
+	fmt.Printf("# fedserver listening on %s\n", ln.Addr())
+	fmt.Printf("# fedserver %s on %s (%d clients, %d rounds, rate %.2f, codec %s, dtype %s)\n",
+		*method, name, s.Clients, s.Rounds, *rate, codec, dtype)
+
+	algo, err := experiments.WireAlgorithmFor(*method, name, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+		os.Exit(1)
+	}
+	// CSV rows stream as rounds commit, so orchestration (and the churn
+	// smoke test) can watch progress without waiting for the run to end.
+	fmt.Println("round,local_epochs,mean_acc,std_acc,up_bytes,down_bytes,sim_time")
+	cfg := experiments.NodeConfigFor(s, *rate, codec, s.Clients)
+	cfg.OnRound = func(m fl.RoundMetrics) {
+		fmt.Printf("%d,%d,%.4f,%.4f,%d,%d,%.2f\n",
+			m.Round, m.LocalEpochs, m.MeanAcc, m.StdAcc, m.UpBytes, m.DownBytes, m.SimTime)
+	}
+	srv := fl.NewServerNode(algo, cfg)
+	hist, err := srv.Serve(context.Background(), ln)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+		os.Exit(1)
+	}
+	fin := experiments.Final(hist)
+	fmt.Printf("# final: %.4f ± %.4f\n", fin.MeanAcc, fin.StdAcc)
+}

@@ -16,9 +16,11 @@
 //	fedsim -method Proposed -sched semisync -leave 0.2 -rejoin 4 # client churn
 //	fedsim -method Proposed -dtype f32                          # float32 fast path
 //	fedsim -method FedProto -arch resnet,cnn2 -width 1,2        # scripted fleet rotation
+//	fedsim -method Proposed -transport tcp                      # node split over real sockets
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/models"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -63,6 +66,7 @@ func main() {
 		resume     = flag.String("resume", "", "checkpoint file to resume from (same flags as the original run)")
 		traceFile  = flag.String("trace", "", "file to write the scheduler event trace to")
 		ckptCodec  = flag.String("ckptcodec", "f64", "checkpoint payload codec: f64 (lossless replay) | f32 | i8")
+		transName  = flag.String("transport", "inproc", "federation transport: inproc (virtual-clock engine) | tcp (server/client nodes over localhost sockets)")
 	)
 	flag.Parse()
 
@@ -171,6 +175,32 @@ func main() {
 	if *every < 1 {
 		usage("-every must be >= 1, got %d", *every)
 	}
+	trName, err := transport.ParseName(*transName)
+	if err != nil {
+		usage("%v", err)
+	}
+	if trName == "tcp" {
+		// The tcp transport runs the node split: one server node plus one
+		// client node per client over real localhost sockets. Node mode
+		// implements the synchronous barrier only, and the virtual-clock
+		// features — async/semisync schedules, checkpointing, churn,
+		// stragglers, traces — are defined in virtual time, which does not
+		// exist across sockets (DESIGN.md §8).
+		switch {
+		case schedKind != fl.SchedSync:
+			usage("-transport tcp supports only -sched sync (the %s schedule is defined on the inproc virtual clock)", schedKind)
+		case *ckptDir != "" || *resume != "":
+			usage("-transport tcp does not support -checkpoint/-resume (checkpointing is an inproc-engine feature)")
+		case *traceFile != "":
+			usage("-transport tcp does not support -trace (scheduler traces are defined on the virtual clock)")
+		case *leave > 0:
+			usage("-transport tcp does not support -leave (node-mode churn is real: kill a client process)")
+		case *stragglers > 0:
+			usage("-transport tcp does not support -stragglers (node-mode stragglers are real: nice a client process)")
+		case *archRot != "":
+			usage("-transport tcp does not support -arch rotations yet (use -fleet)")
+		}
+	}
 
 	sched := fl.SchedulerConfig{
 		Kind:            schedKind,
@@ -217,8 +247,14 @@ func main() {
 	}
 
 	var factory experiments.ClientFactory
+	var builder experiments.ClientBuilder
 	fleetDesc := *fleet
-	if len(arches) > 0 {
+	if trName == "tcp" {
+		builder, _, err = experiments.NewFleetBuilder(name, kind, *fleet, s.Clients, s)
+		if err != nil {
+			usage("%v", err)
+		}
+	} else if len(arches) > 0 {
 		factory, _, err = experiments.NewRotationFleet(name, kind, s.Clients, s, arches, widths)
 		fleetDesc = "custom(" + *archRot + ")"
 	} else {
@@ -238,12 +274,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s)\n",
-		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, codec, dtype)
+	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s, transport %s)\n",
+		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, codec, dtype, trName)
 	if sched.Resume != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: resumed from %s at round %d\n", *resume, sched.Resume.Round)
 	}
-	hist, err := experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
+	var hist []fl.RoundMetrics
+	if trName == "tcp" {
+		// Node split over real localhost sockets: one server node plus one
+		// client node per client, each speaking the wire protocol.
+		tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+		hist, err = experiments.RunNodes(context.Background(), *method, name, builder, s.Clients, s, *rate, codec, tr, "127.0.0.1:0")
+	} else {
+		hist, err = experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
 		os.Exit(1)
@@ -258,7 +302,12 @@ func main() {
 	if fin.SimTime > 0 {
 		throughput = float64(fin.Round) / fin.SimTime
 	}
-	fmt.Printf("# final: %.4f ± %.4f (%.2f rounds per virtual time unit)\n", fin.MeanAcc, fin.StdAcc, throughput)
+	// The inproc engine books virtual time; node mode books wall clock.
+	unit := "virtual time unit"
+	if trName == "tcp" {
+		unit = "wall-clock second"
+	}
+	fmt.Printf("# final: %.4f ± %.4f (%.2f rounds per %s)\n", fin.MeanAcc, fin.StdAcc, throughput, unit)
 
 	if *traceFile != "" {
 		if err := writeTrace(*traceFile, sched.Trace); err != nil {

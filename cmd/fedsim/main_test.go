@@ -93,3 +93,39 @@ func TestFedsimDTypeAndRotationFlags(t *testing.T) {
 		t.Fatalf("dtype mismatch not reported:\n%s", out)
 	}
 }
+
+// The -transport flag: tcp runs the node split over real localhost
+// sockets, and every virtual-clock-only feature is rejected with a usage
+// error in the standard post-parse style.
+func TestFedsimTransportFlag(t *testing.T) {
+	out := cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "3", "-rounds", "2",
+		"-featdim", "16", "-transport", "tcp")
+	if !strings.Contains(out, "transport tcp") || !strings.Contains(out, "# final:") {
+		t.Fatalf("tcp transport run output:\n%s", out)
+	}
+	if !strings.Contains(out, "rounds per wall-clock second") {
+		t.Fatalf("tcp run should book wall-clock throughput:\n%s", out)
+	}
+
+	common := []string{"-dataset", "fashion", "-clients", "3", "-rounds", "1", "-featdim", "16", "-transport", "tcp"}
+	rejects := []struct {
+		extra []string
+		want  string
+	}{
+		{[]string{"-sched", "async"}, "sync"},
+		{[]string{"-checkpoint", t.TempDir()}, "checkpoint"},
+		{[]string{"-trace", "/tmp/x.trace"}, "trace"},
+		{[]string{"-leave", "0.2"}, "leave"},
+		{[]string{"-stragglers", "1"}, "straggler"},
+		{[]string{"-arch", "resnet,cnn2"}, "arch"},
+	}
+	for _, tc := range rejects {
+		out := cmdtest.RunErr(t, 2, nil, append(append([]string(nil), common...), tc.extra...)...)
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("rejection for %v should mention %q:\n%s", tc.extra, tc.want, out)
+		}
+	}
+	if out := cmdtest.RunErr(t, 2, nil, "-transport", "smoke-signals"); !strings.Contains(out, "unknown transport") {
+		t.Fatalf("bad transport name:\n%s", out)
+	}
+}

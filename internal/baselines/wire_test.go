@@ -1,0 +1,216 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/nn"
+)
+
+// joinsFor builds the WireJoin table a server node would collect from
+// these clients.
+func joinsFor(t *testing.T, algo fl.WireAlgorithm, clients []*fl.Client) []fl.WireJoin {
+	t.Helper()
+	joins := make([]fl.WireJoin, len(clients))
+	for i, c := range clients {
+		init, err := algo.WireInit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins[i] = fl.WireJoin{
+			ID:            c.ID,
+			TrainSize:     len(c.Train),
+			FeatDim:       c.Model.Cfg.FeatDim,
+			NumClasses:    c.Model.Cfg.NumClasses,
+			NumParams:     nn.NumParams(c.Model.Params()),
+			NumClassifier: nn.NumParams(c.Model.ClassifierParams()),
+			Init:          init,
+		}
+	}
+	return joins
+}
+
+// wireRound is one barrier round through the wire half: dispatch → local
+// → apply (Weight = Scale) → commit, in client-id order.
+func wireRound(t *testing.T, algo fl.WireAlgorithm, clients []*fl.Client, batch int) {
+	t.Helper()
+	updates := make([]*fl.Update, len(clients))
+	for i, c := range clients {
+		vecs, err := algo.WireDispatch(c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := algo.WireLocal(c, batch, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates[i] = u
+	}
+	for _, u := range updates {
+		u.Weight = u.Scale
+		if err := algo.WireApply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := algo.WireCommit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFedAvgWireMatchesSyncRounds: FedAvg through the wire split must
+// match the monolithic sync rounds on an identical fleet to floating-
+// point tolerance (aggregation moves from a one-shot weighted average to
+// the sharded accumulator; the weights are the same).
+func TestFedAvgWireMatchesSyncRounds(t *testing.T) {
+	const rounds, batch = 2, 8
+	syncClients := fleet(t, 3, mlp)
+	sim := fl.NewSimulation(syncClients, fl.Config{Rounds: rounds, BatchSize: batch, Seed: 1})
+	syncAlgo := NewFedAvg(1)
+	if err := syncAlgo.Setup(sim); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rounds; r++ {
+		if err := syncAlgo.Round(sim, r, []int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wireClients := fleet(t, 3, mlp)
+	wireAlgo := NewFedAvg(1)
+	if err := wireAlgo.WireSetup(joinsFor(t, wireAlgo, wireClients), 4); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rounds; r++ {
+		wireRound(t, wireAlgo, wireClients, batch)
+	}
+
+	sg, wg := syncAlgo.Global(), wireAlgo.Global()
+	for j := range sg {
+		if math.Abs(sg[j]-wg[j]) > 1e-9 {
+			t.Fatalf("global[%d]: sync %v vs wire %v", j, sg[j], wg[j])
+		}
+	}
+}
+
+// TestFedProtoWireMatchesSyncRounds: the prototype table after wire
+// rounds must match the monolithic aggregation (per-class sample-count
+// weighting), including nil entries for never-reported classes.
+func TestFedProtoWireMatchesSyncRounds(t *testing.T) {
+	const rounds, batch = 2, 8
+	syncClients := fleet(t, 3, het)
+	sim := fl.NewSimulation(syncClients, fl.Config{Rounds: rounds, BatchSize: batch, Seed: 1})
+	syncAlgo := NewFedProto(1, 1.0)
+	if err := syncAlgo.Setup(sim); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rounds; r++ {
+		if err := syncAlgo.Round(sim, r, []int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wireClients := fleet(t, 3, het)
+	wireAlgo := NewFedProto(1, 1.0)
+	if err := wireAlgo.WireSetup(joinsFor(t, wireAlgo, wireClients), 4); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rounds; r++ {
+		wireRound(t, wireAlgo, wireClients, batch)
+	}
+
+	for cls := range syncAlgo.globalProtos {
+		sp, wp := syncAlgo.globalProtos[cls], wireAlgo.globalProtos[cls]
+		if (sp == nil) != (wp == nil) {
+			t.Fatalf("class %d: sync nil=%v, wire nil=%v", cls, sp == nil, wp == nil)
+		}
+		for j := range sp {
+			if math.Abs(sp[j]-wp[j]) > 1e-9 {
+				t.Fatalf("prototype %d[%d]: sync %v vs wire %v", cls, j, sp[j], wp[j])
+			}
+		}
+	}
+}
+
+// TestLocalOnlyWireIsCommunicationFree: the baseline's wire half sends
+// and receives nothing but still trains.
+func TestLocalOnlyWireIsCommunicationFree(t *testing.T) {
+	clients := fleet(t, 2, het)
+	algo := NewLocalOnly(1)
+	if err := algo.WireSetup(joinsFor(t, algo, clients), 4); err != nil {
+		t.Fatal(err)
+	}
+	before := nn.FlattenParams(clients[0].Model.Params())
+	before = append([]float64(nil), before...)
+	vecs, err := algo.WireDispatch(0)
+	if err != nil || vecs != nil {
+		t.Fatalf("baseline dispatch = (%v, %v), want empty", vecs, err)
+	}
+	u, err := algo.WireLocal(clients[0], 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Vecs != nil || u.Scale != 0 {
+		t.Fatalf("baseline update carries a payload: %+v", u)
+	}
+	after := nn.FlattenParams(clients[0].Model.Params())
+	moved := false
+	for j := range after {
+		if after[j] != before[j] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("baseline wire round did not train the model")
+	}
+}
+
+// TestKTpFLWireStagesTransfers: after a commit with two reports, each
+// reporter's next dispatch carries a personalized transfer exactly once.
+func TestKTpFLWireStagesTransfers(t *testing.T) {
+	clients := fleet(t, 3, het)
+	algo := NewKTpFL(1, 1, 12)
+	algo.SetPublic(data.PublicSplit(data.SynthFashion(6, 4, 3), 12, 77), 1, 12, 12)
+	if err := algo.WireSetup(joinsFor(t, algo, clients), 4); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: no transfers exist yet.
+	for _, c := range clients {
+		vecs, err := algo.WireDispatch(c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vecs != nil {
+			t.Fatalf("client %d received a transfer before any commit", c.ID)
+		}
+		u, err := algo.WireLocal(c, 8, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Weight = u.Scale
+		if err := algo.WireApply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := algo.WireCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: every reporter has a staged transfer, consumed on dispatch.
+	for _, c := range clients {
+		vecs, err := algo.WireDispatch(c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vecs) != 1 || vecs[0] == nil {
+			t.Fatalf("client %d has no staged transfer after the commit", c.ID)
+		}
+		if again, _ := algo.WireDispatch(c.ID); again != nil {
+			t.Fatalf("client %d transfer was not consumed by dispatch", c.ID)
+		}
+		if len(vecs[0]) != len(algo.public)*clients[0].Model.Cfg.NumClasses {
+			t.Fatalf("transfer has %d values", len(vecs[0]))
+		}
+	}
+}

@@ -13,10 +13,11 @@ import (
 	"testing"
 )
 
-// Run builds the main package in the current directory and executes it with
-// the given environment additions and arguments, failing the test on a
-// non-zero exit. It returns combined stdout+stderr.
-func Run(t *testing.T, env []string, args ...string) string {
+// Build compiles the main package at dir (relative to the test's working
+// directory; "." for the package under test, "../other" for a sibling
+// binary in a multi-process test) into a temporary binary and returns its
+// path. Skips in -short mode or without a toolchain.
+func Build(t *testing.T, dir string) string {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("smoke test skipped in -short mode")
@@ -25,11 +26,23 @@ func Run(t *testing.T, env []string, args ...string) string {
 	if err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
-	bin := filepath.Join(t.TempDir(), "smoke.bin")
-	build := exec.Command(goBin, "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
+	bin := filepath.Join(t.TempDir(), filepath.Base(dir)+".bin")
+	if dir == "." {
+		bin = filepath.Join(t.TempDir(), "smoke.bin")
 	}
+	build := exec.Command(goBin, "build", "-o", bin, dir)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", dir, err, out)
+	}
+	return bin
+}
+
+// Run builds the main package in the current directory and executes it with
+// the given environment additions and arguments, failing the test on a
+// non-zero exit. It returns combined stdout+stderr.
+func Run(t *testing.T, env []string, args ...string) string {
+	t.Helper()
+	bin := Build(t, ".")
 	cmd := exec.Command(bin, args...)
 	cmd.Env = append(os.Environ(), env...)
 	out, err := cmd.CombinedOutput()
@@ -44,18 +57,7 @@ func Run(t *testing.T, env []string, args ...string) string {
 // combined stdout+stderr.
 func RunErr(t *testing.T, wantExit int, env []string, args ...string) string {
 	t.Helper()
-	if testing.Short() {
-		t.Skip("smoke test skipped in -short mode")
-	}
-	goBin, err := exec.LookPath("go")
-	if err != nil {
-		t.Skip("go toolchain not on PATH")
-	}
-	bin := filepath.Join(t.TempDir(), "smoke.bin")
-	build := exec.Command(goBin, "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
-	}
+	bin := Build(t, ".")
 	cmd := exec.Command(bin, args...)
 	cmd.Env = append(os.Environ(), env...)
 	out, err := cmd.CombinedOutput()

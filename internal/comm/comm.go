@@ -319,6 +319,30 @@ func (l *Ledger) RecordDown(client int, n int) {
 	l.down[client] += sz
 }
 
+// AddUp logs a client → server transfer by its raw wire size. Unlike
+// RecordUp, which prices a payload element count at the ledger's codec,
+// AddUp is for callers that know exactly what crossed the wire — transport
+// frame prefixes, message envelopes and handshakes included — so node-mode
+// accounting matches the socket byte for byte. Every call counts as one
+// message.
+func (l *Ledger) AddUp(client int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.current.UpBytes += bytes
+	l.current.Messages++
+	l.up[client] += bytes
+}
+
+// AddDown logs a server → client transfer by its raw wire size (the
+// downlink counterpart of AddUp).
+func (l *Ledger) AddDown(client int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.current.DownBytes += bytes
+	l.current.Messages++
+	l.down[client] += bytes
+}
+
 // EndRound finalizes the current round's traffic and starts a new one.
 func (l *Ledger) EndRound(round int) RoundTraffic {
 	l.mu.Lock()

@@ -1,0 +1,65 @@
+package comm
+
+import "testing"
+
+// The raw-byte ledger recorders behind node-mode accounting: AddUp/AddDown
+// book exactly what crossed the wire (frame prefixes, message envelopes,
+// handshakes), while RecordUp/RecordDown keep pricing payload element
+// counts at the ledger codec for the in-process simulation. The
+// end-to-end check that node totals equal counted socket bytes lives in
+// internal/fl's TestNodeLedgerMatchesWireBytes; these tests pin the
+// arithmetic against known frame sizes.
+func TestLedgerAddRawBytes(t *testing.T) {
+	l := NewLedger()
+	// A 3-element f64 comm frame behind a 4-byte transport length prefix,
+	// plus a 20-byte-each-way handshake — the tcp transport's real costs.
+	frame := WireSizeAs(F64, 3) + 4
+	const handshake = 20
+	l.AddUp(1, frame+handshake)
+	l.AddDown(1, handshake)
+	l.AddDown(2, frame)
+	if got, want := l.TotalUp(), frame+handshake; got != want {
+		t.Fatalf("TotalUp = %d, want %d", got, want)
+	}
+	if got, want := l.TotalDown(), frame+handshake; got != want {
+		t.Fatalf("TotalDown = %d, want %d", got, want)
+	}
+	if got := l.ClientUp(1); got != frame+handshake {
+		t.Fatalf("ClientUp(1) = %d", got)
+	}
+	if got := l.ClientDown(2); got != frame {
+		t.Fatalf("ClientDown(2) = %d", got)
+	}
+	tr := l.EndRound(1)
+	if tr.UpBytes != frame+handshake || tr.DownBytes != frame+handshake || tr.Messages != 3 {
+		t.Fatalf("round traffic = %+v", tr)
+	}
+	// The round reset must apply to raw-recorded traffic too.
+	if tr2 := l.EndRound(2); tr2.UpBytes != 0 || tr2.DownBytes != 0 || tr2.Messages != 0 {
+		t.Fatalf("round 2 traffic not reset: %+v", tr2)
+	}
+}
+
+// TestLedgerAddMixesWithRecord checks codec-priced and raw-byte records
+// accumulate into one coherent total (a node run may account a payload by
+// codec in one layer and its framing raw in another — totals must add).
+func TestLedgerAddMixesWithRecord(t *testing.T) {
+	l := NewLedger()
+	l.SetCodec(I8)
+	l.RecordUp(0, 100) // priced: header + 8-byte scale + 100 bytes
+	l.AddUp(0, 4)      // raw: a transport length prefix
+	want := WireSizeAs(I8, 100) + 4
+	if got := l.TotalUp(); got != want {
+		t.Fatalf("mixed TotalUp = %d, want %d", got, want)
+	}
+	if got := l.ClientUp(0); got != want {
+		t.Fatalf("mixed ClientUp = %d, want %d", got, want)
+	}
+	// Snapshot/Restore round-trips raw-recorded state like any other.
+	snap := l.Snapshot()
+	l2 := NewLedger()
+	l2.Restore(snap)
+	if got := l2.TotalUp(); got != want {
+		t.Fatalf("restored TotalUp = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// runWireRounds drives the wire half of FedClassAvg by hand — joins,
+// setup, then rounds of dispatch → local → apply → commit — exactly the
+// sequence a ServerNode and its ClientNodes perform, minus the transport.
+func runWireRounds(t *testing.T, algo *FedClassAvg, clients []*fl.Client, rounds, batch int) {
+	t.Helper()
+	joins := make([]fl.WireJoin, len(clients))
+	for i, c := range clients {
+		init, err := algo.WireInit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins[i] = fl.WireJoin{
+			ID:            c.ID,
+			TrainSize:     len(c.Train),
+			FeatDim:       c.Model.Cfg.FeatDim,
+			NumClasses:    c.Model.Cfg.NumClasses,
+			NumParams:     nn.NumParams(c.Model.Params()),
+			NumClassifier: nn.NumParams(c.Model.ClassifierParams()),
+			Init:          init,
+		}
+	}
+	if err := algo.WireSetup(joins, 4); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= rounds; round++ {
+		updates := make([]*fl.Update, len(clients))
+		for i, c := range clients {
+			vecs, err := algo.WireDispatch(c.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := algo.WireLocal(c, batch, vecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			updates[i] = u
+		}
+		for _, u := range updates {
+			u.Weight = u.Scale
+			if err := algo.WireApply(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := algo.WireCommit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWireHalvesMatchSyncRounds is the split-parity unit test: running
+// FedClassAvg through the wire decomposition must land within floating-
+// point tolerance of the monolithic sync rounds on an identical fleet —
+// both the classifier-only and the ShareAllWeights variants.
+func TestWireHalvesMatchSyncRounds(t *testing.T) {
+	cases := []struct {
+		name  string
+		arch  func(int) models.Arch
+		share bool
+	}{
+		{"classifier-only", hetArch, false},
+		{"share-all-weights", mlpArch, true},
+	}
+	const rounds, batch = 2, 8
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.ShareAllWeights = tc.share
+
+			syncClients := fleet(t, 4, tc.arch)
+			sim := fl.NewSimulation(syncClients, fl.Config{Rounds: rounds, BatchSize: batch, Seed: 1})
+			syncAlgo := New(opts)
+			if err := syncAlgo.Setup(sim); err != nil {
+				t.Fatal(err)
+			}
+			all := []int{0, 1, 2, 3}
+			for round := 1; round <= rounds; round++ {
+				if err := syncAlgo.Round(sim, round, all); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			wireClients := fleet(t, 4, tc.arch)
+			wireAlgo := New(opts)
+			runWireRounds(t, wireAlgo, wireClients, rounds, batch)
+
+			const tol = 1e-9
+			sg, wg := syncAlgo.GlobalClassifier(), wireAlgo.GlobalClassifier()
+			if len(sg) != len(wg) {
+				t.Fatalf("global classifier lengths differ: %d vs %d", len(sg), len(wg))
+			}
+			for j := range sg {
+				if math.Abs(sg[j]-wg[j]) > tol {
+					t.Fatalf("global[%d]: sync %v vs wire %v", j, sg[j], wg[j])
+				}
+			}
+			for i := range syncClients {
+				sp := nn.FlattenParams(syncClients[i].Model.Params())
+				wp := nn.FlattenParams(wireClients[i].Model.Params())
+				for j := range sp {
+					if math.Abs(sp[j]-wp[j]) > tol {
+						t.Fatalf("client %d param %d: sync %v vs wire %v", i, j, sp[j], wp[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWireSetupRejectsBadFleets mirrors the monolithic Setup validations
+// at the join boundary.
+func TestWireSetupRejectsBadFleets(t *testing.T) {
+	algo := New(DefaultOptions())
+	if err := algo.WireSetup(nil, 4); err == nil {
+		t.Fatal("empty federation must fail setup")
+	}
+	joins := []fl.WireJoin{
+		{ID: 0, FeatDim: 8, NumClasses: 10, NumClassifier: 90, Init: [][]float64{make([]float64, 90)}},
+		{ID: 1, FeatDim: 16, NumClasses: 10, NumClassifier: 170, Init: [][]float64{make([]float64, 170)}},
+	}
+	if err := algo.WireSetup(joins, 4); err == nil {
+		t.Fatal("mismatched classifier shapes must fail setup")
+	}
+	share := New(Options{LocalEpochs: 1, ShareAllWeights: true})
+	joins = []fl.WireJoin{
+		{ID: 0, FeatDim: 8, NumClasses: 10, NumParams: 100, NumClassifier: 90, Init: [][]float64{make([]float64, 100)}},
+		{ID: 1, FeatDim: 8, NumClasses: 10, NumParams: 200, NumClassifier: 90, Init: [][]float64{make([]float64, 200)}},
+	}
+	if err := share.WireSetup(joins, 4); err == nil {
+		t.Fatal("+weight with heterogeneous models must fail setup")
+	}
+}
+
+// TestCompositeObjectiveComponents checks each term of the paper's
+// composite loss L_CL + L_CE + ρ·L_R changes training: at a fixed seed
+// the four ablation configurations reach four distinct classifiers, and
+// every configuration is bit-reproducible.
+func TestCompositeObjectiveComponents(t *testing.T) {
+	configs := map[string]Options{
+		"CA":       {LocalEpochs: 1},
+		"CA+PR":    {LocalEpochs: 1, UseProximal: true, Rho: 0.5},
+		"CA+CL":    {LocalEpochs: 1, UseContrastive: true},
+		"CA+PR+CL": {LocalEpochs: 1, UseProximal: true, Rho: 0.5, UseContrastive: true},
+	}
+	run := func(opts Options) []float64 {
+		clients := fleet(t, 3, hetArch)
+		sim := fl.NewSimulation(clients, fl.Config{Rounds: 2, BatchSize: 8, Seed: 5})
+		algo := New(opts)
+		if _, err := sim.Run(algo); err != nil {
+			t.Fatal(err)
+		}
+		return algo.GlobalClassifier()
+	}
+	results := make(map[string][]float64, len(configs))
+	for name, opts := range configs {
+		first, second := run(opts), run(opts)
+		for j := range first {
+			if first[j] != second[j] {
+				t.Fatalf("%s is not bit-reproducible at a fixed seed", name)
+			}
+		}
+		results[name] = first
+	}
+	names := []string{"CA", "CA+PR", "CA+CL", "CA+PR+CL"}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := results[names[i]], results[names[j]]
+			same := true
+			for p := range a {
+				if a[p] != b[p] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("ablations %s and %s trained to identical classifiers — a loss term has no effect",
+					names[i], names[j])
+			}
+		}
+	}
+}

@@ -162,6 +162,33 @@ func HyperparamsFor(name DatasetName, s Scale) Hyperparams {
 // from the same weights and data.
 type ClientFactory func() []*fl.Client
 
+// ClientBuilder constructs one client of a fleet by id. Every client's
+// data split, model initialization and RNG streams depend only on the
+// fleet configuration and the id, so a fedclient process can build exactly
+// its own client — identical to the one the in-process factory would have
+// produced at the same index — without materializing anyone else's model.
+type ClientBuilder func(i int) *fl.Client
+
+// FleetNames lists the -fleet flag values NewFleetBuilder accepts.
+const FleetNames = "heterogeneous | homogeneous | proto"
+
+// NewFleetBuilder returns a single-client builder for one of the named
+// fleet kinds — the node-mode form of NewHeterogeneousFleet and friends.
+func NewFleetBuilder(name DatasetName, kind data.PartitionKind, fleet string, k int, s Scale) (ClientBuilder, *data.Dataset, error) {
+	var pickArch func(int) models.Arch
+	switch fleet {
+	case "heterogeneous", "":
+		pickArch = func(i int) models.Arch { return models.HeterogeneousSet[i%len(models.HeterogeneousSet)] }
+	case "homogeneous":
+		pickArch = func(int) models.Arch { return models.ArchResNet }
+	case "proto":
+		pickArch = func(int) models.Arch { return models.ArchCNN2 }
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown fleet %q (want %s)", fleet, FleetNames)
+	}
+	return newFleetBuilder(name, kind, k, s, pickArch, nil)
+}
+
 // NewHeterogeneousFleet builds the Table 2 setting: k clients over the
 // four mini architectures (equally distributed), personalized non-iid
 // splits, per-client RNGs and Adam optimizers.
@@ -229,46 +256,60 @@ func ParseWidthRotation(s string) ([]int, error) {
 }
 
 func newFleet(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArch func(int) models.Arch, pickWidth func(int) int) (ClientFactory, *data.Dataset, error) {
+	build, ds, err := newFleetBuilder(name, kind, k, s, pickArch, pickWidth)
+	if err != nil {
+		return nil, nil, err
+	}
+	factory := func() []*fl.Client {
+		clients := make([]*fl.Client, k)
+		for i := 0; i < k; i++ {
+			clients[i] = build(i)
+		}
+		return clients
+	}
+	return factory, ds, nil
+}
+
+// newFleetBuilder is the per-client core of newFleet: everything about
+// client i — split, architecture, width, init seed, RNG streams — is a
+// pure function of the fleet configuration and i.
+func newFleetBuilder(name DatasetName, kind data.PartitionKind, k int, s Scale, pickArch func(int) models.Arch, pickWidth func(int) int) (ClientBuilder, *data.Dataset, error) {
 	ds := data.Generate(Spec(name, s))
 	parts, err := data.Partition(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %w", err)
 	}
 	h := HyperparamsFor(name, s)
-	factory := func() []*fl.Client {
-		clients := make([]*fl.Client, k)
-		for i := 0; i < k; i++ {
-			arch := pickArch(i)
-			cfg := models.Config{
-				Arch: arch, InC: ds.C, InH: ds.H, InW: ds.W,
-				FeatDim: s.FeatDim, NumClasses: ds.NumClasses,
-				DType: s.DType,
-			}
-			if arch == models.ArchCNN2 {
-				cfg.Width = 1 + i%3 // per-client channel heterogeneity
-			}
-			if pickWidth != nil {
-				cfg.Width = pickWidth(i)
-			}
-			seed := s.Seed*1000003 + int64(i)*7919
-			// Both the training stream (augmentation, batch shuffling) and
-			// the model-init stream come from serializable xrand sources, so
-			// every random draw in a fleet's life is snapshot-reproducible.
-			rng, src := xrand.NewRand(seed ^ 0x5deece66d)
-			clients[i] = &fl.Client{
-				ID:        i,
-				Model:     models.New(cfg, xrand.New(seed)),
-				Train:     parts[i].Train,
-				Test:      parts[i].Test,
-				Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
-				Rng:       rng,
-				Src:       src,
-				Optimizer: opt.NewAdam(h.LR),
-			}
+	build := func(i int) *fl.Client {
+		arch := pickArch(i)
+		cfg := models.Config{
+			Arch: arch, InC: ds.C, InH: ds.H, InW: ds.W,
+			FeatDim: s.FeatDim, NumClasses: ds.NumClasses,
+			DType: s.DType,
 		}
-		return clients
+		if arch == models.ArchCNN2 {
+			cfg.Width = 1 + i%3 // per-client channel heterogeneity
+		}
+		if pickWidth != nil {
+			cfg.Width = pickWidth(i)
+		}
+		seed := s.Seed*1000003 + int64(i)*7919
+		// Both the training stream (augmentation, batch shuffling) and
+		// the model-init stream come from serializable xrand sources, so
+		// every random draw in a fleet's life is snapshot-reproducible.
+		rng, src := xrand.NewRand(seed ^ 0x5deece66d)
+		return &fl.Client{
+			ID:        i,
+			Model:     models.New(cfg, xrand.New(seed)),
+			Train:     parts[i].Train,
+			Test:      parts[i].Test,
+			Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
+			Rng:       rng,
+			Src:       src,
+			Optimizer: opt.NewAdam(h.LR),
+		}
 	}
-	return factory, ds, nil
+	return build, ds, nil
 }
 
 // Method names used across tables.

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/fl"
+	"repro/internal/transport"
+)
+
+// Node-mode experiment plumbing: the helpers fedserver, fedclient and
+// `fedsim -transport tcp` share to run a method as real server/client
+// nodes over a transport, configured for parity with the in-process sync
+// run at the same scale and seed.
+
+// WireAlgorithmFor instantiates a named method as a wire-split algorithm.
+// Every method of the evaluation supports node mode; the error covers
+// unknown names and any future algorithm that does not split.
+func WireAlgorithmFor(method string, name DatasetName, s Scale) (fl.WireAlgorithm, error) {
+	algo, err := NewAlgorithm(method, name, s)
+	if err != nil {
+		return nil, err
+	}
+	wa, ok := algo.(fl.WireAlgorithm)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s does not support node mode (implement fl.WireAlgorithm)", algo.Name())
+	}
+	return wa, nil
+}
+
+// NodeConfigFor builds the server-node configuration whose schedule
+// matches RunScheduled's simulation at the same scale: the cohort sampler
+// is seeded with the simulation seed (s.Seed+7), so a node federation
+// visits exactly the cohorts the in-process sync run visits.
+func NodeConfigFor(s Scale, rate float64, codec comm.Codec, clients int) fl.NodeConfig {
+	return fl.NodeConfig{
+		Clients:    clients,
+		Rounds:     s.Rounds,
+		SampleRate: rate,
+		BatchSize:  s.BatchSize,
+		Seed:       s.Seed + 7,
+		Codec:      codec,
+	}
+}
+
+// ServeNode runs the server half of a method on an already-bound listener
+// and returns the metrics history (fedserver's core).
+func ServeNode(ctx context.Context, method string, name DatasetName, s Scale, rate float64, codec comm.Codec, clients int, ln transport.Listener) (*fl.ServerNode, []fl.RoundMetrics, error) {
+	algo, err := WireAlgorithmFor(method, name, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := fl.NewServerNode(algo, NodeConfigFor(s, rate, codec, clients))
+	hist, err := srv.Serve(ctx, ln)
+	return srv, hist, err
+}
+
+// RunClientNode builds client id of the named fleet, dials the server and
+// serves the wire protocol until the federation completes (fedclient's
+// core). The algorithm instance is the client half — it holds no server
+// state.
+func RunClientNode(ctx context.Context, method string, name DatasetName, build ClientBuilder, id int, s Scale, tr transport.Transport, addr string) error {
+	algo, err := WireAlgorithmFor(method, name, s)
+	if err != nil {
+		return err
+	}
+	conn, err := tr.Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	node := &fl.ClientNode{Client: build(id), Algo: algo}
+	return node.Run(ctx, conn)
+}
+
+// RunNodes runs one server node plus k in-process client nodes over the
+// given transport — `fedsim -transport tcp` uses it with real localhost
+// sockets, and the tests use it with inproc channels. Client-node errors
+// other than churn are surfaced after the server's history.
+func RunNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k int, s Scale, rate float64, codec comm.Codec, tr transport.Transport, addr string) ([]fl.RoundMetrics, error) {
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	type result struct {
+		id  int
+		err error
+	}
+	clientDone := make(chan result, k)
+	for i := 0; i < k; i++ {
+		go func(id int) {
+			clientDone <- result{id, RunClientNode(ctx, method, name, build, id, s, tr, ln.Addr())}
+		}(i)
+	}
+	_, hist, err := ServeNode(ctx, method, name, s, rate, codec, k, ln)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		r := <-clientDone
+		if r.err != nil {
+			return nil, fmt.Errorf("experiments: client node %d: %w", r.id, r.err)
+		}
+	}
+	return hist, nil
+}

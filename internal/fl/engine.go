@@ -2,6 +2,7 @@ package fl
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -333,17 +334,26 @@ func (h *flightHeap) Pop() any {
 // metrics to Run in previous releases); the other schedulers require algo to
 // implement AsyncAlgorithm.
 func (s *Simulation) RunScheduled(algo Algorithm, sched SchedulerConfig) ([]RoundMetrics, error) {
+	return s.RunScheduledContext(context.Background(), algo, sched)
+}
+
+// RunScheduledContext is RunScheduled under a context: cancellation stops
+// the engine at the next scheduling decision and returns ctx.Err(). Local
+// updates already dispatched to the worker pool are quiesced first (pool
+// tasks are not preemptible), so no pool task or engine goroutine outlives
+// the call — cancellation leaks nothing.
+func (s *Simulation) RunScheduledContext(ctx context.Context, algo Algorithm, sched SchedulerConfig) ([]RoundMetrics, error) {
 	sched = sched.withDefaults(s)
 	switch sched.Kind {
 	case SchedSync:
-		return s.runSync(algo, &sched)
+		return s.runSync(ctx, algo, &sched)
 	case SchedAsyncBounded, SchedSemiSync:
 		aa, ok := algo.(AsyncAlgorithm)
 		if !ok {
 			return nil, fmt.Errorf("fl: %s does not support the %s scheduler (implement fl.AsyncAlgorithm)",
 				algo.Name(), sched.Kind)
 		}
-		return s.runAsync(aa, &sched)
+		return s.runAsync(ctx, aa, &sched)
 	}
 	return nil, fmt.Errorf("fl: unknown scheduler %v", sched.Kind)
 }
@@ -352,7 +362,7 @@ func (s *Simulation) RunScheduled(algo Algorithm, sched SchedulerConfig) ([]Roun
 // round's virtual duration is the makespan of the participants' costs
 // greedily packed onto the virtual worker nodes. With zero churn and no
 // checkpointing it is byte-identical to previous releases.
-func (s *Simulation) runSync(algo Algorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
+func (s *Simulation) runSync(ctx context.Context, algo Algorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
 	if err := algo.Setup(s); err != nil {
 		return nil, fmt.Errorf("fl: %s setup: %w", algo.Name(), err)
 	}
@@ -378,6 +388,9 @@ func (s *Simulation) runSync(algo Algorithm, sched *SchedulerConfig) ([]RoundMet
 		start = snap.Round + 1
 	}
 	for t := start; t <= s.Cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		participants := s.sampleParticipants()
 		if sched.LeaveProb > 0 {
 			participants = s.churnParticipants(participants, away, vtime, t-1, sched)
@@ -460,7 +473,7 @@ func syncMakespan(participants []int, sched *SchedulerConfig) float64 {
 
 // runAsync is the event-driven engine shared by the async-bounded and
 // semi-sync schedulers.
-func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
+func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
 	if len(s.Clients) == 0 {
 		return nil, fmt.Errorf("fl: no clients")
 	}
@@ -526,6 +539,12 @@ func (s *Simulation) runAsync(algo AsyncAlgorithm, sched *SchedulerConfig) ([]Ro
 		e.refill(cohortSize)
 	}
 	for e.version < s.Cfg.Rounds {
+		// Cancellation point: the deferred quiesce drains every in-flight
+		// local update before the engine returns, so cancelling mid-run
+		// leaves no pool task behind.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if e.heap.Len() == 0 {
 			// Staleness drops can exhaust a semi-sync cohort below its
 			// quorum; reopen the round rather than stall.

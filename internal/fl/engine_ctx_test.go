@@ -1,0 +1,135 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// cancelOnCommit is stubAsync plus a context cancellation fired from
+// inside AsyncCommit — a deterministic mid-run cancellation point.
+type cancelOnCommit struct {
+	stubAsync
+	cancel  context.CancelFunc
+	atRound int
+}
+
+func (c *cancelOnCommit) AsyncCommit(sim *Simulation) error {
+	if err := c.stubAsync.AsyncCommit(sim); err != nil {
+		return err
+	}
+	if c.commits == c.atRound {
+		c.cancel()
+	}
+	return nil
+}
+
+// cancelOnRound is the sync-scheduler counterpart.
+type cancelOnRound struct {
+	stubAsync
+	cancel  context.CancelFunc
+	atRound int
+}
+
+func (c *cancelOnRound) Round(sim *Simulation, round int, participants []int) error {
+	if round == c.atRound {
+		c.cancel()
+	}
+	return nil
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (goleak-style): a cancelled engine must leave no engine
+// goroutine and no pool task behind (the persistent tensor pool itself is
+// part of the baseline — it exists before and after).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestRunScheduledContextCancelledBeforeStart checks an already-cancelled
+// context stops the engine at the first scheduling decision.
+func TestRunScheduledContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range []SchedulerKind{SchedSync, SchedAsyncBounded, SchedSemiSync} {
+		sim := NewSimulation(bareClients(4), Config{Rounds: 5, Seed: 3})
+		algo := &stubAsync{}
+		_, err := sim.RunScheduledContext(ctx, algo, SchedulerConfig{Kind: kind})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", kind, err)
+		}
+		if algo.commits != 0 && kind != SchedSync {
+			t.Fatalf("%v: engine committed %d rounds after pre-cancellation", kind, algo.commits)
+		}
+	}
+}
+
+// TestRunScheduledContextCancelMidRun cancels from inside a commit and
+// checks the engine stops early, returns the context error, and leaves no
+// goroutine or in-flight pool task behind.
+func TestRunScheduledContextCancelMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, kind := range []SchedulerKind{SchedAsyncBounded, SchedSemiSync} {
+		ctx, cancel := context.WithCancel(context.Background())
+		algo := &cancelOnCommit{cancel: cancel, atRound: 2}
+		sim := NewSimulation(bareClients(6), Config{Rounds: 50, Seed: 3})
+		_, err := sim.RunScheduledContext(ctx, algo, SchedulerConfig{Kind: kind})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", kind, err)
+		}
+		if algo.commits >= 50 || algo.commits < 2 {
+			t.Fatalf("%v: engine ran %d commits before honouring cancellation", kind, algo.commits)
+		}
+		cancel()
+	}
+	// Sync scheduler.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	algo := &cancelOnRound{cancel: cancel, atRound: 2}
+	sim := NewSimulation(bareClients(4), Config{Rounds: 50, Seed: 3})
+	if _, err := sim.RunScheduledContext(ctx, algo, SchedulerConfig{Kind: SchedSync}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sync: err = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestRunScheduledContextBackgroundUnchanged checks the context plumbing
+// is invisible to uncancelled runs: Run and RunScheduledContext with a
+// background context produce identical histories.
+func TestRunScheduledContextBackgroundUnchanged(t *testing.T) {
+	run := func(viaCtx bool) []RoundMetrics {
+		sim := NewSimulation(bareClients(4), Config{Rounds: 4, Seed: 9})
+		algo := &stubAsync{}
+		var hist []RoundMetrics
+		var err error
+		if viaCtx {
+			hist, err = sim.RunScheduledContext(context.Background(), algo, SchedulerConfig{Kind: SchedAsyncBounded})
+		} else {
+			hist, err = sim.RunScheduled(algo, SchedulerConfig{Kind: SchedAsyncBounded})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Round != b[i].Round || a[i].SimTime != b[i].SimTime || a[i].MeanAcc != b[i].MeanAcc {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

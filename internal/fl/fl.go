@@ -229,19 +229,30 @@ func (s *Simulation) Quantize(v []float64) []float64 {
 // sampleParticipants draws ⌈K·rate⌉ distinct clients and applies failure
 // injection.
 func (s *Simulation) sampleParticipants() []int {
-	k := len(s.Clients)
-	n := int(math.Ceil(float64(k) * s.Cfg.SampleRate))
+	return SampleCohort(s.Rng, len(s.Clients), s.Cfg.SampleRate, s.Cfg.DropProb)
+}
+
+// SampleCohort draws ⌈k·rate⌉ distinct client ids in ascending order and
+// applies per-client failure injection, consuming exactly the RNG stream
+// the simulation's schedulers consume. It is shared with the node runtime
+// so a ServerNode at seed S samples the same cohorts as the in-process
+// sync run at seed S.
+func SampleCohort(rng *rand.Rand, k int, rate, dropProb float64) []int {
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	n := int(math.Ceil(float64(k) * rate))
 	if n > k {
 		n = k
 	}
-	perm := s.Rng.Perm(k)[:n]
+	perm := rng.Perm(k)[:n]
 	sort.Ints(perm)
-	if s.Cfg.DropProb <= 0 {
+	if dropProb <= 0 {
 		return perm
 	}
 	kept := perm[:0]
 	for _, id := range perm {
-		if s.Rng.Float64() >= s.Cfg.DropProb {
+		if rng.Float64() >= dropProb {
 			kept = append(kept, id)
 		}
 	}

@@ -1,0 +1,582 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/xrand"
+)
+
+// This file is the node runtime extracted from the in-process engine: a
+// ServerNode that owns the server half of a federation (aggregation state,
+// the scheduling policy, the traffic ledger and evaluation collection) and
+// a ClientNode that owns one client's half (the model, local training and
+// upload quantization). The two halves speak the wire protocol of wire.go
+// over any transport.Conn — in-memory channels for deterministic
+// single-process federations, real TCP sockets for `fedserver` plus N
+// `fedclient` processes.
+//
+// The node scheduler is the synchronous barrier: each round samples a
+// cohort with the same RNG stream the simulation's sync scheduler uses, so
+// a node federation at seed S visits exactly the cohorts the in-process
+// run at seed S does, and full-precision runs land within floating-point
+// parity of it (aggregation happens in the sharded accumulators, whose
+// summation order differs immaterially from the one-shot average). The
+// asynchronous and semi-synchronous schedules remain an inproc-engine
+// feature: they are defined in virtual time, which has no meaning across
+// real processes — see DESIGN.md §8 for the determinism boundary.
+//
+// Fault tolerance: a client whose connection dies mid-run is removed from
+// the federation — subsequent cohorts skip it, a pending barrier stops
+// waiting for it — and the round commits with the survivors, so killing
+// one client process degrades capacity instead of wedging the run. A
+// client that reports an algorithm error (as opposed to dying) aborts the
+// federation: that is a bug, not churn.
+
+// NodeConfig configures a ServerNode federation.
+type NodeConfig struct {
+	// Clients is the fleet size; the server waits for exactly this many
+	// joins before round 1.
+	Clients int
+	// Rounds is the number of barrier rounds.
+	Rounds int
+	// SampleRate is the per-round cohort fraction, in (0, 1].
+	SampleRate float64
+	// BatchSize is broadcast to clients in the welcome message.
+	BatchSize int
+	// Seed drives cohort sampling (use the simulation's seed for parity).
+	Seed int64
+	// EvalEvery evaluates accuracy every n rounds (default 1).
+	EvalEvery int
+	// Codec frames payload vectors; it must match the transport's codec so
+	// quantization and accounting agree with what crosses the wire.
+	Codec comm.Codec
+	// Shards is the sharded-accumulator shard count (default
+	// tensor.Workers()).
+	Shards int
+	// OnRound, when non-nil, receives every evaluation point the moment it
+	// commits — fedserver streams its CSV rows through it so orchestration
+	// (and the churn smoke test) can observe round progress live.
+	OnRound func(RoundMetrics)
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.SampleRate <= 0 || c.SampleRate > 1 {
+		c.SampleRate = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = tensor.Workers()
+	}
+	return c
+}
+
+// ServerNode runs the server half of a federation over a transport.
+type ServerNode struct {
+	cfg  NodeConfig
+	algo WireAlgorithm
+	// Ledger records what actually crosses the wire: message frames with
+	// their transport framing, plus per-connection handshake bytes.
+	Ledger  *comm.Ledger
+	History []RoundMetrics
+
+	// connMu guards the connection table between the accept path and the
+	// cancellation watcher.
+	connMu sync.Mutex
+}
+
+// NewServerNode builds a server node.
+func NewServerNode(algo WireAlgorithm, cfg NodeConfig) *ServerNode {
+	ledger := comm.NewLedger()
+	ledger.SetCodec(cfg.Codec)
+	return &ServerNode{cfg: cfg.withDefaults(), algo: algo, Ledger: ledger}
+}
+
+// inbound is one reader-goroutine delivery: a decoded message or the error
+// that ended the connection.
+type inbound struct {
+	id   int
+	msg  *wireMsg
+	wire int64
+	err  error
+}
+
+// Serve accepts cfg.Clients joins on the listener, then drives the barrier
+// rounds to completion and returns the metrics history. The listener is
+// closed on return. Cancelling ctx tears the federation down and returns
+// ctx.Err().
+func (n *ServerNode) Serve(ctx context.Context, ln transport.Listener) ([]RoundMetrics, error) {
+	defer ln.Close()
+	k := n.cfg.Clients
+	if k <= 0 {
+		return nil, fmt.Errorf("fl: server node needs a positive client count")
+	}
+	conns := make([]transport.Conn, k)
+	closeAll := func() {
+		n.connMu.Lock()
+		defer n.connMu.Unlock()
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	defer closeAll()
+
+	// ctx cancellation unblocks Accept and Recv by closing the endpoints.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+			closeAll()
+		case <-stop:
+		}
+	}()
+
+	joins, err := n.gather(ctx, ln, conns)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.algo.WireSetup(joins, n.cfg.Shards); err != nil {
+		return nil, fmt.Errorf("fl: %s wire setup: %w", n.algo.Name(), err)
+	}
+	welcome := &wireMsg{kind: msgWelcome, name: n.algo.Name(), ints: []int64{
+		int64(k), int64(n.cfg.Rounds), int64(n.cfg.BatchSize), int64(n.cfg.EvalEvery),
+	}}
+	for id, c := range conns {
+		wire, err := c.Send(encodeMsg(welcome, n.cfg.Codec))
+		if err != nil {
+			return nil, fmt.Errorf("fl: welcoming client %d: %w", id, err)
+		}
+		n.Ledger.AddDown(id, wire)
+	}
+
+	events := make(chan inbound, k)
+	for id := range conns {
+		go n.reader(id, conns[id], events, stop)
+	}
+	return n.rounds(ctx, conns, events)
+}
+
+// gather accepts connections until every expected client has joined.
+// Handshake failures on individual connections are tolerated (the next
+// accept proceeds); a closed listener or cancelled context is fatal.
+func (n *ServerNode) gather(ctx context.Context, ln transport.Listener, conns []transport.Conn) ([]WireJoin, error) {
+	k := len(conns)
+	joins := make([]WireJoin, k)
+	failures := 0
+	for joined := 0; joined < k; {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// A peer that failed the transport handshake (wrong dtype, bad
+			// magic) must not kill a federation mid-assembly — but a dead
+			// listener ends it, and a persistently erroring one (fd
+			// exhaustion, say) must not busy-spin: back off and eventually
+			// give up instead of pinning a core forever.
+			if errors.Is(err, transport.ErrClosed) {
+				return nil, fmt.Errorf("fl: server listener closed with %d of %d clients joined: %w", joined, k, err)
+			}
+			failures++
+			if failures >= maxAcceptFailures {
+				return nil, fmt.Errorf("fl: %d consecutive accept failures with %d of %d clients joined, last: %w",
+					failures, joined, k, err)
+			}
+			time.Sleep(acceptBackoff)
+			continue
+		}
+		failures = 0
+		frame, wire, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		m, err := decodeMsg(frame)
+		if err != nil || m.kind != msgJoin || len(m.ints) != joinIntCount {
+			conn.Close()
+			continue
+		}
+		id := int(m.ints[joinID])
+		if id < 0 || id >= k {
+			n.refuse(conn, fmt.Sprintf("client id %d out of range [0, %d)", id, k))
+			continue
+		}
+		if conns[id] != nil {
+			n.refuse(conn, fmt.Sprintf("client id %d already joined", id))
+			continue
+		}
+		if m.name != n.algo.Name() {
+			n.refuse(conn, fmt.Sprintf("client runs %q, server runs %q", m.name, n.algo.Name()))
+			continue
+		}
+		n.connMu.Lock()
+		conns[id] = conn
+		n.connMu.Unlock()
+		joins[id] = WireJoin{
+			ID:            id,
+			TrainSize:     int(m.ints[joinTrainSize]),
+			FeatDim:       int(m.ints[joinFeatDim]),
+			NumClasses:    int(m.ints[joinNumClasses]),
+			NumParams:     int(m.ints[joinNumParams]),
+			NumClassifier: int(m.ints[joinNumClassifier]),
+			Init:          m.vecs,
+		}
+		hsSent, hsRecv := conn.HandshakeBytes()
+		n.Ledger.AddUp(id, wire+hsRecv)
+		if hsSent > 0 {
+			n.Ledger.AddDown(id, hsSent)
+		}
+		joined++
+	}
+	return joins, nil
+}
+
+// refuse rejects a join with an explanatory error message and closes the
+// connection.
+func (n *ServerNode) refuse(conn transport.Conn, reason string) {
+	conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: reason}, n.cfg.Codec))
+	conn.Close()
+}
+
+// Accept-failure policy during join assembly: one bad peer (failed
+// handshake) is routine, but a stream of errors means the listener itself
+// is sick — back off between failures and give up after a bound rather
+// than spinning or hanging forever.
+const (
+	maxAcceptFailures = 1000
+	acceptBackoff     = 10 * time.Millisecond
+)
+
+// reader pumps one connection's messages into the shared event channel
+// until the connection dies or the federation stops consuming.
+func (n *ServerNode) reader(id int, conn transport.Conn, events chan<- inbound, stop <-chan struct{}) {
+	deliver := func(ev inbound) bool {
+		select {
+		case events <- ev:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+	for {
+		frame, wire, err := conn.Recv()
+		if err != nil {
+			deliver(inbound{id: id, err: err})
+			return
+		}
+		m, err := decodeMsg(frame)
+		if err != nil {
+			deliver(inbound{id: id, err: err})
+			return
+		}
+		if !deliver(inbound{id: id, msg: m, wire: wire}) {
+			return
+		}
+	}
+}
+
+// rounds drives the barrier schedule.
+func (n *ServerNode) rounds(ctx context.Context, conns []transport.Conn, events <-chan inbound) ([]RoundMetrics, error) {
+	k := len(conns)
+	rng, _ := xrand.NewRand(n.cfg.Seed)
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := k
+	start := time.Now()
+
+	kill := func(id int) {
+		if alive[id] {
+			alive[id] = false
+			aliveCount--
+			conns[id].Close()
+		}
+	}
+
+	for t := 1; t <= n.cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if aliveCount == 0 {
+			return nil, fmt.Errorf("fl: round %d: every client has left the federation", t)
+		}
+		// The cohort draw consumes the same RNG stream as the simulation's
+		// sync scheduler; dead clients are filtered after the draw so the
+		// surviving schedule stays deterministic.
+		cohort := SampleCohort(rng, k, n.cfg.SampleRate, 0)
+		participants := cohort[:0]
+		for _, id := range cohort {
+			if alive[id] {
+				participants = append(participants, id)
+			}
+		}
+
+		// Broadcast.
+		dispatched := make(map[int]bool, len(participants))
+		for _, id := range participants {
+			vecs, err := n.algo.WireDispatch(id)
+			if err != nil {
+				return nil, fmt.Errorf("fl: %s dispatch to client %d: %w", n.algo.Name(), id, err)
+			}
+			wire, err := conns[id].Send(encodeMsg(&wireMsg{kind: msgDispatch, a: uint64(t), vecs: vecs}, n.cfg.Codec))
+			if err != nil {
+				kill(id)
+				continue
+			}
+			n.Ledger.AddDown(id, wire)
+			dispatched[id] = true
+		}
+
+		// Barrier: collect one update per dispatched client that is still
+		// alive.
+		updates := make(map[int]*Update, len(dispatched))
+		for len(dispatched) > 0 {
+			var ev inbound
+			select {
+			case ev = <-events:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if ev.err != nil {
+				kill(ev.id)
+				delete(dispatched, ev.id)
+				continue
+			}
+			switch ev.msg.kind {
+			case msgUpdate:
+				if !dispatched[ev.id] {
+					return nil, fmt.Errorf("fl: client %d sent an update it was not asked for", ev.id)
+				}
+				n.Ledger.AddUp(ev.id, ev.wire)
+				updates[ev.id] = &Update{
+					Client: ev.id,
+					Scale:  bitsF64(ev.msg.b),
+					Vecs:   ev.msg.vecs,
+					Counts: ev.msg.counts,
+				}
+				delete(dispatched, ev.id)
+			case msgErr:
+				return nil, fmt.Errorf("fl: client %d failed: %s", ev.id, ev.msg.name)
+			default:
+				return nil, fmt.Errorf("fl: client %d sent unexpected message %#x during round %d", ev.id, ev.msg.kind, t)
+			}
+		}
+
+		// Aggregate in client-id order (deterministic), then commit.
+		ids := make([]int, 0, len(updates))
+		for id := range updates {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			u := updates[id]
+			u.Weight = u.Scale
+			if err := n.algo.WireApply(u); err != nil {
+				return nil, fmt.Errorf("fl: %s apply from client %d: %w", n.algo.Name(), id, err)
+			}
+		}
+		if err := n.algo.WireCommit(); err != nil {
+			return nil, fmt.Errorf("fl: %s commit: %w", n.algo.Name(), err)
+		}
+
+		if t%n.cfg.EvalEvery == 0 || t == n.cfg.Rounds {
+			m, err := n.evaluate(ctx, t, conns, alive, events, kill)
+			if err != nil {
+				return nil, err
+			}
+			traffic := n.Ledger.EndRound(t)
+			m.Round = t
+			m.LocalEpochs = t * n.algo.EpochsPerRound()
+			m.UpBytes = traffic.UpBytes
+			m.DownBytes = traffic.DownBytes
+			m.SimTime = time.Since(start).Seconds()
+			n.History = append(n.History, m)
+			if n.cfg.OnRound != nil {
+				n.cfg.OnRound(m)
+			}
+		} else {
+			n.Ledger.EndRound(t)
+		}
+	}
+
+	// Graceful shutdown: every surviving client gets a stop message.
+	for id, c := range conns {
+		if alive[id] {
+			if wire, err := c.Send(encodeMsg(&wireMsg{kind: msgStop}, n.cfg.Codec)); err == nil {
+				n.Ledger.AddDown(id, wire)
+			}
+		}
+	}
+	return n.History, nil
+}
+
+// evaluate asks every live client for its personalized test accuracy and
+// aggregates mean and std. Dead clients carry NaN in PerClient and are
+// excluded from the mean.
+func (n *ServerNode) evaluate(ctx context.Context, round int, conns []transport.Conn, alive []bool, events <-chan inbound, kill func(int)) (RoundMetrics, error) {
+	waiting := make(map[int]bool)
+	for id, c := range conns {
+		if !alive[id] {
+			continue
+		}
+		wire, err := c.Send(encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(round)}, n.cfg.Codec))
+		if err != nil {
+			kill(id)
+			continue
+		}
+		n.Ledger.AddDown(id, wire)
+		waiting[id] = true
+	}
+	per := make([]float64, len(conns))
+	for i := range per {
+		per[i] = math.NaN()
+	}
+	for len(waiting) > 0 {
+		var ev inbound
+		select {
+		case ev = <-events:
+		case <-ctx.Done():
+			return RoundMetrics{}, ctx.Err()
+		}
+		if ev.err != nil {
+			kill(ev.id)
+			delete(waiting, ev.id)
+			continue
+		}
+		switch ev.msg.kind {
+		case msgEvalRes:
+			if !waiting[ev.id] {
+				return RoundMetrics{}, fmt.Errorf("fl: client %d sent an unsolicited evaluation", ev.id)
+			}
+			n.Ledger.AddUp(ev.id, ev.wire)
+			per[ev.id] = bitsF64(ev.msg.b)
+			delete(waiting, ev.id)
+		case msgErr:
+			return RoundMetrics{}, fmt.Errorf("fl: client %d failed: %s", ev.id, ev.msg.name)
+		default:
+			return RoundMetrics{}, fmt.Errorf("fl: client %d sent unexpected message %#x during evaluation", ev.id, ev.msg.kind)
+		}
+	}
+	var accs []float64
+	for _, v := range per {
+		if !math.IsNaN(v) {
+			accs = append(accs, v)
+		}
+	}
+	mean, std := MeanStd(accs)
+	return RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: per}, nil
+}
+
+// ClientNode runs one client's half of a federation over a transport.
+type ClientNode struct {
+	Client *Client
+	Algo   WireAlgorithm
+}
+
+// Run joins the federation over conn and serves dispatch and evaluation
+// requests until the server sends a stop (nil) or the connection dies
+// (error). Cancelling ctx closes the connection and returns ctx.Err().
+func (cn *ClientNode) Run(ctx context.Context, conn transport.Conn) error {
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	c := cn.Client
+	codec := conn.Hello().Codec
+	init, err := cn.Algo.WireInit(c)
+	if err != nil {
+		return fmt.Errorf("fl: client %d init payload: %w", c.ID, err)
+	}
+	join := &wireMsg{kind: msgJoin, name: cn.Algo.Name(), vecs: init, ints: make([]int64, joinIntCount)}
+	join.ints[joinID] = int64(c.ID)
+	join.ints[joinTrainSize] = int64(len(c.Train))
+	if c.Model != nil {
+		join.ints[joinFeatDim] = int64(c.Model.Cfg.FeatDim)
+		join.ints[joinNumClasses] = int64(c.Model.Cfg.NumClasses)
+		join.ints[joinNumParams] = int64(nn.NumParams(c.Model.Params()))
+		join.ints[joinNumClassifier] = int64(nn.NumParams(c.Model.ClassifierParams()))
+	}
+	if _, err := conn.Send(encodeMsg(join, codec)); err != nil {
+		return fmt.Errorf("fl: client %d join: %w", c.ID, err)
+	}
+
+	batch := 32
+	welcomed := false
+	for {
+		frame, _, err := conn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("fl: client %d: connection lost: %w", c.ID, err)
+		}
+		m, err := decodeMsg(frame)
+		if err != nil {
+			return fmt.Errorf("fl: client %d: %w", c.ID, err)
+		}
+		switch m.kind {
+		case msgWelcome:
+			if len(m.ints) != welIntCount {
+				return fmt.Errorf("fl: client %d: malformed welcome", c.ID)
+			}
+			if m.name != cn.Algo.Name() {
+				return fmt.Errorf("fl: client %d runs %q, server runs %q", c.ID, cn.Algo.Name(), m.name)
+			}
+			batch = int(m.ints[welBatch])
+			welcomed = true
+		case msgDispatch:
+			if !welcomed {
+				return fmt.Errorf("fl: client %d: dispatch before welcome", c.ID)
+			}
+			u, err := cn.Algo.WireLocal(c, batch, m.vecs)
+			if err != nil {
+				conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: err.Error()}, codec))
+				return fmt.Errorf("fl: client %d local round: %w", c.ID, err)
+			}
+			up := &wireMsg{kind: msgUpdate, a: m.a, b: f64bits(u.Scale), vecs: u.Vecs, counts: u.Counts}
+			if _, err := conn.Send(encodeMsg(up, codec)); err != nil {
+				return fmt.Errorf("fl: client %d upload: %w", c.ID, err)
+			}
+		case msgEvalReq:
+			res := &wireMsg{kind: msgEvalRes, a: m.a, b: f64bits(c.EvalAccuracy())}
+			if _, err := conn.Send(encodeMsg(res, codec)); err != nil {
+				return fmt.Errorf("fl: client %d evaluation: %w", c.ID, err)
+			}
+		case msgStop:
+			return nil
+		case msgErr:
+			return fmt.Errorf("fl: client %d refused by server: %s", c.ID, m.name)
+		default:
+			return fmt.Errorf("fl: client %d: unexpected message %#x", c.ID, m.kind)
+		}
+	}
+}

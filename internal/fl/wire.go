@@ -1,0 +1,308 @@
+package fl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+)
+
+// This file is the federation's node-mode wire protocol: the message
+// envelope that crosses a transport.Conn between a ServerNode and its
+// ClientNodes, and the WireAlgorithm interface that splits an algorithm
+// into a server half (aggregation state, broadcasts) and a client half
+// (local training, uploads) with nothing shared but payload vectors.
+//
+// # Message format
+//
+// Every message is one transport frame:
+//
+//	[kind u32][a u64][b u64]
+//	[nameLen u64][name bytes]
+//	[nInts u64][int64 ...]
+//	[nCounts u64][int64 ...]
+//	[nVecs u64] per vec: [present u8] + [frameLen u64][comm frame]
+//
+// in little-endian byte order. a and b are per-kind scalar slots (round
+// numbers, float64 bit patterns). Payload vectors are internal/comm codec
+// frames — the same frames the simulation's ledger prices — tagged with the
+// message kind so a decoder desync surfaces as a tag mismatch. Nil vector
+// entries are first-class (FedProto prototype tables); a lossy codec
+// quantizes uploads and broadcasts exactly as the wire would, because the
+// frame IS the wire.
+//
+// Decoding bounds every collection length by the bytes remaining in the
+// buffer, so corrupt or hostile frames fail cleanly without allocation.
+
+// The message kinds. The base offset keeps them disjoint from the ckpt
+// frame tags, so a checkpoint fed to the message decoder dies loudly.
+const (
+	msgJoin uint32 = 0x4657 + iota // client → server: identity + init payload
+	msgWelcome
+	msgDispatch
+	msgUpdate
+	msgEvalReq
+	msgEvalRes
+	msgStop
+	msgErr
+)
+
+// join-message ints layout.
+const (
+	joinID = iota
+	joinTrainSize
+	joinFeatDim
+	joinNumClasses
+	joinNumParams
+	joinNumClassifier
+	joinIntCount
+)
+
+// welcome-message ints layout.
+const (
+	welClients = iota
+	welRounds
+	welBatch
+	welEvalEvery
+	welIntCount
+)
+
+// wireMsg is one decoded protocol message.
+type wireMsg struct {
+	kind   uint32
+	a, b   uint64
+	name   string
+	ints   []int64
+	counts []int
+	vecs   [][]float64
+}
+
+// f64bits / bitsF64 move float64 scalars through the b slot.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+func bitsF64(b uint64) float64 { return math.Float64frombits(b) }
+
+// encodeMsg serializes a message, framing payload vectors with the
+// negotiated codec.
+func encodeMsg(m *wireMsg, codec comm.Codec) []byte {
+	size := 4 + 8 + 8 + 8 + len(m.name) + 8 + 8*len(m.ints) + 8 + 8*len(m.counts) + 8
+	frames := make([][]byte, len(m.vecs))
+	for i, v := range m.vecs {
+		size++ // presence byte
+		if v != nil {
+			frames[i] = comm.MarshalAs(codec, m.kind, v)
+			size += 8 + len(frames[i])
+		}
+	}
+	b := make([]byte, 0, size)
+	var w [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:4], v)
+		b = append(b, w[:4]...)
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		b = append(b, w[:]...)
+	}
+	u32(m.kind)
+	u64(m.a)
+	u64(m.b)
+	u64(uint64(len(m.name)))
+	b = append(b, m.name...)
+	u64(uint64(len(m.ints)))
+	for _, v := range m.ints {
+		u64(uint64(v))
+	}
+	u64(uint64(len(m.counts)))
+	for _, v := range m.counts {
+		u64(uint64(int64(v)))
+	}
+	u64(uint64(len(m.vecs)))
+	for i := range m.vecs {
+		if frames[i] == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, 1)
+		u64(uint64(len(frames[i])))
+		b = append(b, frames[i]...)
+	}
+	return b
+}
+
+// msgDecoder walks a message frame, latching the first error.
+type msgDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *msgDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("fl: wire message: "+format, args...)
+	}
+}
+
+func (d *msgDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated at byte %d (want %d more)", d.off, n)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *msgDecoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *msgDecoder) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// count reads a collection length bounded by the remaining bytes divided
+// by the per-element encoded cost, so a hostile length field can never
+// make the decoder allocate more memory than the frame itself occupies
+// (a count of N int64s must be backed by 8N bytes, a count of vector
+// slots by at least one presence byte each).
+func (d *msgDecoder) count(elemBytes int) int {
+	v := d.u64()
+	if v > uint64((len(d.b)-d.off)/elemBytes) {
+		d.fail("count %d exceeds the %d remaining bytes", v, len(d.b)-d.off)
+		return 0
+	}
+	return int(v)
+}
+
+// decodeMsg parses one message frame.
+func decodeMsg(frame []byte) (*wireMsg, error) {
+	d := &msgDecoder{b: frame}
+	m := &wireMsg{}
+	m.kind = d.u32()
+	m.a = d.u64()
+	m.b = d.u64()
+	nameLen := d.count(1)
+	m.name = string(d.take(nameLen))
+	nInts := d.count(8)
+	if nInts > 0 && d.err == nil {
+		m.ints = make([]int64, nInts)
+		for i := range m.ints {
+			m.ints[i] = int64(d.u64())
+		}
+	}
+	nCounts := d.count(8)
+	if nCounts > 0 && d.err == nil {
+		m.counts = make([]int, nCounts)
+		for i := range m.counts {
+			m.counts[i] = int(int64(d.u64()))
+		}
+	}
+	nVecs := d.count(1)
+	if nVecs > 0 && d.err == nil {
+		// A vector slot costs one presence byte on the wire but 24 bytes
+		// of slice header decoded, so the table grows with the bytes
+		// actually parsed instead of trusting the declared count.
+		m.vecs = make([][]float64, 0, min(nVecs, 64))
+		for i := 0; i < nVecs; i++ {
+			present := d.take(1)
+			if present == nil {
+				break
+			}
+			if present[0] == 0 {
+				m.vecs = append(m.vecs, nil)
+				continue
+			}
+			frameLen := d.count(1)
+			vb := d.take(frameLen)
+			if vb == nil {
+				break
+			}
+			_, tag, payload, err := comm.Decode(vb)
+			if err != nil {
+				d.fail("vector %d: %v", i, err)
+				break
+			}
+			if tag != m.kind {
+				d.fail("vector %d tagged %#x inside a %#x message", i, tag, m.kind)
+				break
+			}
+			m.vecs = append(m.vecs, payload)
+		}
+		if d.err == nil && len(m.vecs) != nVecs {
+			d.fail("message declared %d vectors, carried %d", nVecs, len(m.vecs))
+		}
+		if len(m.vecs) == 0 {
+			m.vecs = nil
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("fl: wire message: %d trailing bytes", len(d.b)-d.off)
+	}
+	return m, nil
+}
+
+// WireJoin is a client's handshake-time declaration: its identity, data
+// size and model geometry, plus the algorithm-specific init payload the
+// server folds into its initial global state (initial classifier weights
+// for FedClassAvg, the common model for FedAvg — whatever WireInit
+// returns). The server node collects one per client before the first
+// round.
+type WireJoin struct {
+	ID            int
+	TrainSize     int
+	FeatDim       int
+	NumClasses    int
+	NumParams     int
+	NumClassifier int
+	Init          [][]float64
+}
+
+// WireAlgorithm splits an algorithm across a process boundary. The server
+// half (WireSetup, WireDispatch, WireApply, WireCommit) owns aggregation
+// state — sharded accumulators, coefficient matrices, prototype tables —
+// and never touches a client model. The client half (WireInit, WireLocal)
+// owns one client's model, data and optimizer and never sees server state
+// beyond the dispatch payload it is handed. In node mode a server process
+// holds one instance running the server half, and every client process
+// holds its own instance running the client half; the inproc engine keeps
+// using the monolithic Algorithm/AsyncAlgorithm surface, whose numerics
+// the wire halves reuse.
+type WireAlgorithm interface {
+	Algorithm
+	// WireInit returns the client's join-time init payload (client half).
+	WireInit(c *Client) ([][]float64, error)
+	// WireSetup builds initial server state from the full fleet's joins,
+	// ordered by client id (server half). It replaces Setup+AsyncSetup in
+	// node mode.
+	WireSetup(joins []WireJoin, shards int) error
+	// WireDispatch encodes the broadcast payload for one client (server
+	// half). A nil or empty result is a valid "nothing to send" broadcast
+	// (the local-only baseline, KT-pFL before the first commit).
+	WireDispatch(client int) ([][]float64, error)
+	// WireLocal installs a decoded broadcast into the client, runs local
+	// training and returns the upload (client half). The dispatch payload
+	// arrives exactly as WireDispatch produced it, modulo codec
+	// quantization.
+	WireLocal(c *Client, batchSize int, dispatch [][]float64) (*Update, error)
+	// WireApply folds one weighted update into the server's accumulators
+	// (server half; u.Weight is final).
+	WireApply(u *Update) error
+	// WireCommit merges accumulated state into the committed globals,
+	// completing one round (server half).
+	WireCommit() error
+}

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The inproc transport: frames move over in-memory channels between
+// goroutines of one process. Each Inproc instance is its own namespace of
+// addresses, so tests and in-process federations never collide. Delivery
+// is ordered and lossless; byte accounting uses the same FrameOverhead
+// arithmetic as tcp so ledgers agree across transports (there are no
+// handshake bytes — both ends live in one process and the compatibility
+// check happens synchronously at Dial).
+
+// Inproc is a channel-based Transport for nodes sharing one process.
+type Inproc struct {
+	opts Options
+
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+// NewInproc builds an isolated in-process transport namespace.
+func NewInproc(opts Options) *Inproc {
+	return &Inproc{opts: opts.withDefaults(), listeners: make(map[string]*inprocListener)}
+}
+
+// Name reports "inproc".
+func (t *Inproc) Name() string { return "inproc" }
+
+// Listen binds a name in this transport's namespace.
+func (t *Inproc) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: inproc address %q already bound", addr)
+	}
+	ln := &inprocListener{
+		tr:      t,
+		opts:    t.opts,
+		addr:    addr,
+		backlog: make(chan *inprocConn, 16),
+		done:    make(chan struct{}),
+	}
+	t.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial connects to a listener in this namespace. The handshake is a
+// synchronous compatibility check against the options the listener was
+// bound with — within one namespace they usually coincide, but a test or
+// harness that wires two endpoints with different options together still
+// fails loudly instead of corrupting payloads.
+func (t *Inproc) Dial(ctx context.Context, addr string) (Conn, error) {
+	t.mu.Lock()
+	ln := t.listeners[addr]
+	t.mu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
+	}
+	hello := Hello{Version: Version, DType: t.opts.DType, Codec: t.opts.Codec}
+	if err := checkHello(hello, ln.opts); err != nil {
+		return nil, err
+	}
+	// One buffered channel per direction; capacity bounds in-flight frames,
+	// and a full channel applies real backpressure to the sender.
+	c2s := make(chan []byte, 64)
+	s2c := make(chan []byte, 64)
+	pipe := &pipeState{closed: make(chan struct{})}
+	dialer := &inprocConn{send: c2s, recv: s2c, pipe: pipe, peer: hello}
+	accepted := &inprocConn{send: s2c, recv: c2s, pipe: pipe, peer: hello}
+	select {
+	case ln.backlog <- accepted:
+		return dialer, nil
+	case <-ln.done:
+		return nil, fmt.Errorf("transport: inproc listener at %q: %w", addr, ErrClosed)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+type inprocListener struct {
+	tr      *Inproc
+	opts    Options // the options the listener was bound with
+	addr    string
+	backlog chan *inprocConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: inproc listener at %q: %w", l.addr, ErrClosed)
+	}
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.tr.mu.Lock()
+		delete(l.tr.listeners, l.addr)
+		l.tr.mu.Unlock()
+	})
+	return nil
+}
+
+// pipeState is the teardown signal shared by the two endpoints of one
+// inproc connection: closing either side tears the pipe down, like a
+// socket.
+type pipeState struct {
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (p *pipeState) close() { p.once.Do(func() { close(p.closed) }) }
+
+// inprocConn is one direction-pair of channels.
+type inprocConn struct {
+	send chan []byte
+	recv chan []byte
+	pipe *pipeState
+	peer Hello
+}
+
+func (c *inprocConn) Send(frame []byte) (int64, error) {
+	// Frames are copied at the boundary: the receiver must never observe a
+	// sender-side mutation, exactly as bytes on a socket would not.
+	b := append([]byte(nil), frame...)
+	select {
+	case c.send <- b:
+		return FrameOverhead + int64(len(b)), nil
+	case <-c.pipe.closed:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, int64, error) {
+	select {
+	case b := <-c.recv:
+		return b, FrameOverhead + int64(len(b)), nil
+	case <-c.pipe.closed:
+		// Drain frames that were already in flight before the close, so a
+		// graceful shutdown message is not lost to a racing Close.
+		select {
+		case b := <-c.recv:
+			return b, FrameOverhead + int64(len(b)), nil
+		default:
+			return nil, 0, io.EOF
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.pipe.close()
+	return nil
+}
+
+func (c *inprocConn) Hello() Hello { return c.peer }
+
+func (c *inprocConn) HandshakeBytes() (int64, int64) { return 0, 0 }

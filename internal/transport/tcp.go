@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// The tcp transport: length-prefixed frames over real sockets. The wire
+// format per connection is
+//
+//	handshake  "FEDWIRE1" [version u32][dtype u32][codec u32]   (20 bytes, each way)
+//	frame      [length u32][frame bytes]                        (length-prefixed, little-endian)
+//
+// The dialer sends its hello first; the acceptor validates it, replies
+// with its own, and the dialer validates that. Either side rejecting the
+// handshake closes the socket, so an f32 client can never join an f64
+// federation and a version skew fails before any payload moves. Every
+// Recv enforces the per-connection read limit before allocating.
+
+// tcpMagic guards against pointing a node at an arbitrary TCP service.
+const tcpMagic = "FEDWIRE1"
+
+// helloSize is the fixed handshake size per direction.
+const helloSize = len(tcpMagic) + 12
+
+// handshakeTimeout bounds how long an endpoint waits for its peer's hello,
+// so a stray connection cannot wedge the accept loop.
+const handshakeTimeout = 10 * time.Second
+
+// TCP is the socket Transport.
+type TCP struct {
+	opts Options
+}
+
+// NewTCP builds a TCP transport endpoint.
+func NewTCP(opts Options) *TCP { return &TCP{opts: opts.withDefaults()} }
+
+// Name reports "tcp".
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen binds a TCP address ("127.0.0.1:0" picks a free port).
+func (t *TCP) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &tcpListener{ln: ln, opts: t.opts}, nil
+}
+
+// Dial connects and handshakes; ctx bounds the whole attempt including the
+// handshake round trip.
+func (t *TCP) Dial(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(dl)
+	} else {
+		nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	}
+	c := &tcpConn{nc: nc, limit: t.opts.MaxFrame}
+	// Dialer speaks first, then validates the reply.
+	if err := c.sendHello(t.opts); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	peer, err := c.recvHello()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := checkHello(peer, t.opts); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.peer = peer
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+type tcpListener struct {
+	ln   net.Listener
+	opts Options
+}
+
+// Accept returns the next connection whose handshake validated. The
+// handshake runs synchronously under a deadline; a peer that fails it is
+// closed and surfaced as an error (callers decide whether to keep
+// accepting). The reply hello goes out before validation, so a
+// mismatched dialer also learns exactly what the server speaks — both
+// ends fail with ErrHandshake instead of one seeing a bare EOF.
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.ln.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, fmt.Errorf("transport: %v: %w", err, ErrClosed)
+		}
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	c := &tcpConn{nc: nc, limit: l.opts.MaxFrame}
+	peer, err := c.recvHello()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.sendHello(l.opts); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := checkHello(peer, l.opts); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.peer = peer
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+// tcpConn frames bytes over one socket.
+type tcpConn struct {
+	nc    net.Conn
+	limit int64
+	peer  Hello
+
+	sendMu sync.Mutex // Send is called from round and shutdown paths
+
+	hsSent, hsRecv int64
+}
+
+func (c *tcpConn) sendHello(o Options) error {
+	b := make([]byte, helloSize)
+	copy(b, tcpMagic)
+	binary.LittleEndian.PutUint32(b[len(tcpMagic):], Version)
+	binary.LittleEndian.PutUint32(b[len(tcpMagic)+4:], uint32(o.DType))
+	binary.LittleEndian.PutUint32(b[len(tcpMagic)+8:], uint32(o.Codec))
+	if _, err := c.nc.Write(b); err != nil {
+		return fmt.Errorf("transport: sending handshake: %w", err)
+	}
+	c.hsSent += int64(helloSize)
+	return nil
+}
+
+func (c *tcpConn) recvHello() (Hello, error) {
+	b := make([]byte, helloSize)
+	if _, err := io.ReadFull(c.nc, b); err != nil {
+		return Hello{}, fmt.Errorf("transport: reading handshake: %w", err)
+	}
+	c.hsRecv += int64(helloSize)
+	if string(b[:len(tcpMagic)]) != tcpMagic {
+		return Hello{}, fmt.Errorf("transport: peer is not a federation endpoint (bad magic %q): %w", b[:len(tcpMagic)], ErrHandshake)
+	}
+	return Hello{
+		Version: binary.LittleEndian.Uint32(b[len(tcpMagic):]),
+		DType:   tensor.DType(binary.LittleEndian.Uint32(b[len(tcpMagic)+4:])),
+		Codec:   comm.Codec(binary.LittleEndian.Uint32(b[len(tcpMagic)+8:])),
+	}, nil
+}
+
+func (c *tcpConn) Send(frame []byte) (int64, error) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var prefix [FrameOverhead]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(frame)))
+	if _, err := c.nc.Write(prefix[:]); err != nil {
+		return 0, fmt.Errorf("transport: %w", err)
+	}
+	if _, err := c.nc.Write(frame); err != nil {
+		return FrameOverhead, fmt.Errorf("transport: %w", err)
+	}
+	return FrameOverhead + int64(len(frame)), nil
+}
+
+func (c *tcpConn) Recv() ([]byte, int64, error) {
+	var prefix [FrameOverhead]byte
+	if _, err := io.ReadFull(c.nc, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("transport: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(prefix[:]))
+	if n > c.limit {
+		return nil, FrameOverhead, fmt.Errorf("transport: peer declared a %d-byte frame, connection limit is %d", n, c.limit)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, b); err != nil {
+		return nil, FrameOverhead, fmt.Errorf("transport: %w", err)
+	}
+	return b, FrameOverhead + n, nil
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+func (c *tcpConn) Hello() Hello { return c.peer }
+
+func (c *tcpConn) HandshakeBytes() (int64, int64) { return c.hsSent, c.hsRecv }

@@ -1,0 +1,153 @@
+// Package transport is the federation's wire seam: a frame-oriented
+// connection abstraction between a server node and its client nodes, with
+// two implementations. The inproc transport moves frames over in-memory
+// channels inside one process — it is fully deterministic (a single reader
+// observes a single writer's frames in order, with no timeouts or partial
+// reads) and is what the node tests and `fedsim -transport tcp`'s cheaper
+// sibling build on. The tcp transport moves the same frames over real
+// sockets with length-prefixed framing, a version/dtype/codec handshake,
+// per-connection read limits and context-aware dialing — the multi-process
+// `fedserver`/`fedclient` deployment.
+//
+// The transport layer is payload-agnostic: a frame is an opaque byte slice.
+// The federation's message envelope (joins, dispatches, updates) lives in
+// internal/fl, and the payload vectors inside those messages are
+// internal/comm codec frames. What transport adds on the wire is exactly
+// FrameOverhead bytes per frame (the length prefix) plus the fixed-size
+// handshake per connection — both reported to callers so traffic ledgers
+// can account every byte that actually crosses the wire.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// ErrClosed marks errors caused by a closed listener or connection, so
+// callers can tell a dead endpoint (fatal: stop accepting) from one bad
+// peer (tolerable: keep accepting). Test with errors.Is.
+var ErrClosed = errors.New("endpoint closed")
+
+// ErrHandshake marks a connection that reached the peer but was rejected
+// during the handshake (version/dtype/codec mismatch, bad magic). The
+// rejection is deterministic — retrying the dial cannot succeed — so
+// callers should fail immediately instead of retrying. Test with
+// errors.Is.
+var ErrHandshake = errors.New("handshake rejected")
+
+// Version is the wire-protocol generation spoken by this build. Both ends
+// of a tcp connection must agree; the handshake rejects mismatches.
+const Version = 1
+
+// FrameOverhead is the per-frame wire overhead: the uint32 length prefix.
+// The inproc transport books the same arithmetic so byte accounting is
+// transport-independent for frames (inproc has no handshake bytes).
+const FrameOverhead = 4
+
+// DefaultMaxFrame is the default per-connection read limit. A peer
+// declaring a larger frame is cut off before any allocation — the limit
+// bounds memory, not correctness (the largest legitimate frame is a full
+// model broadcast, far below this).
+const DefaultMaxFrame = 64 << 20
+
+// Options configure an endpoint. The zero value is a float64/f64-codec
+// endpoint with the default read limit.
+type Options struct {
+	// DType is the model element type this endpoint trains or serves.
+	// Handshakes reject peers at a different dtype — silently mixing f32
+	// and f64 nodes would corrupt parity, exactly like resuming a
+	// checkpoint at the wrong dtype.
+	DType tensor.DType
+	// Codec is the payload codec this endpoint frames vectors with. Both
+	// ends must agree so ledger accounting and dequantization match.
+	Codec comm.Codec
+	// MaxFrame caps the size of any single received frame in bytes
+	// (default DefaultMaxFrame).
+	MaxFrame int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	return o
+}
+
+// Hello is the negotiated handshake: what the peer declared at connect
+// time, after validation against the local options.
+type Hello struct {
+	Version uint32
+	DType   tensor.DType
+	Codec   comm.Codec
+}
+
+// Conn is one frame-oriented connection. Send and Recv may be used
+// concurrently with each other (one writer, one reader); neither is safe
+// for concurrent use with itself. Both return the wire bytes moved,
+// framing overhead included, so callers can account real traffic.
+type Conn interface {
+	// Send writes one frame and returns the bytes put on the wire
+	// (FrameOverhead + len(frame)).
+	Send(frame []byte) (int64, error)
+	// Recv reads the next frame and returns the wire bytes consumed. A
+	// cleanly closed peer yields io.EOF.
+	Recv() ([]byte, int64, error)
+	// Close tears the connection down, unblocking any pending Recv.
+	Close() error
+	// Hello reports the peer's negotiated handshake.
+	Hello() Hello
+	// HandshakeBytes reports the wire bytes the handshake itself moved
+	// (sent, received). Zero on the inproc transport.
+	HandshakeBytes() (sent, received int64)
+}
+
+// Listener accepts connections, performing the handshake before returning
+// them.
+type Listener interface {
+	// Accept blocks for the next handshaken connection.
+	Accept() (Conn, error)
+	// Addr reports the bound address (for tcp, the concrete port when
+	// listening on :0).
+	Addr() string
+	// Close stops accepting and unblocks a pending Accept.
+	Close() error
+}
+
+// Transport builds listeners and outbound connections.
+type Transport interface {
+	// Name is the flag value naming this transport ("inproc" | "tcp").
+	Name() string
+	// Listen binds addr and starts accepting.
+	Listen(addr string) (Listener, error)
+	// Dial connects (and handshakes) to a listener; ctx bounds the attempt.
+	Dial(ctx context.Context, addr string) (Conn, error)
+}
+
+// ParseName validates a -transport flag value.
+func ParseName(s string) (string, error) {
+	switch s {
+	case "inproc", "":
+		return "inproc", nil
+	case "tcp":
+		return "tcp", nil
+	}
+	return "", fmt.Errorf("transport: unknown transport %q (want inproc | tcp)", s)
+}
+
+// checkHello validates a peer's handshake against local options.
+func checkHello(peer Hello, local Options) error {
+	if peer.Version != Version {
+		return fmt.Errorf("transport: peer speaks protocol version %d, this build speaks %d: %w", peer.Version, Version, ErrHandshake)
+	}
+	if peer.DType != local.DType {
+		return fmt.Errorf("transport: peer trains at dtype %s, this endpoint at %s: %w", peer.DType, local.DType, ErrHandshake)
+	}
+	if peer.Codec != local.Codec {
+		return fmt.Errorf("transport: peer frames payloads as %s, this endpoint as %s: %w", peer.Codec, local.Codec, ErrHandshake)
+	}
+	return nil
+}
