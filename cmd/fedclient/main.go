@@ -10,14 +10,21 @@
 // the server's configuration (and the other clients'): the fleet is a
 // pure function of them, which is what lets N processes reconstruct a
 // consistent federation with nothing shared but flags.
+//
+// Fault tolerance: when the connection dies mid-run the client redials
+// with its server-issued session token for up to -reconnect, resuming the
+// round it was in. With -session the token is persisted to a file, so a
+// killed-and-restarted fedclient process reclaims its old identity
+// instead of churning. The -chaos-* flags wrap the transport in a
+// deterministic fault injector for failure testing.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,20 +36,40 @@ import (
 	"repro/internal/transport"
 )
 
+// loadToken reads a session token persisted by a previous run; a missing
+// or malformed file means "no session" (fresh join), never an error.
+func loadToken(path string) uint64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	tok, err := strconv.ParseUint(strings.TrimSpace(string(b)), 16, 64)
+	if err != nil {
+		return 0
+	}
+	return tok
+}
+
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7143", "fedserver TCP address")
-		id        = flag.Int("id", -1, "this client's id, in [0, -clients)")
-		clients   = flag.Int("clients", 0, "total fleet size (0 = scale default; must match the server)")
-		dataset   = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
-		partition = flag.String("partition", "dir", "partition: dir | skewed")
-		fleet     = flag.String("fleet", "heterogeneous", "fleet: "+experiments.FleetNames)
-		method    = flag.String("method", experiments.MethodProposed, "method (must match the server)")
-		seed      = flag.Int64("seed", 1, "experiment seed (must match the server)")
-		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 (must match the server)")
-		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32")
-		waitFor   = flag.Duration("wait", 30*time.Second, "how long to keep retrying the first dial while the server comes up")
+		addr       = flag.String("addr", "127.0.0.1:7143", "fedserver TCP address")
+		id         = flag.Int("id", -1, "this client's id, in [0, -clients)")
+		clients    = flag.Int("clients", 0, "total fleet size (0 = scale default; must match the server)")
+		dataset    = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
+		partition  = flag.String("partition", "dir", "partition: dir | skewed")
+		fleet      = flag.String("fleet", "heterogeneous", "fleet: "+experiments.FleetNames)
+		method     = flag.String("method", experiments.MethodProposed, "method (must match the server)")
+		seed       = flag.Int64("seed", 1, "experiment seed (must match the server)")
+		featDim    = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
+		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 (must match the server)")
+		dtypeName  = flag.String("dtype", "f64", "model element type: f64 | f32")
+		dialBudget = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the first dial while the server comes up")
+		reconnect  = flag.Duration("reconnect", 30*time.Second, "how long to keep redialing after a mid-run disconnect")
+		sessFile   = flag.String("session", "", "file to persist the session token in (restart resumes the session)")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "fault-injection seed (0 = chaos off)")
+		chaosDrop  = flag.Float64("chaos-drop", 0, "chaos: probability a message send kills the connection")
+		chaosDelay = flag.Float64("chaos-delay", 0, "chaos: probability a message is delayed")
+		chaosDup   = flag.Float64("chaos-dup", 0, "chaos: probability a received message is duplicated")
 	)
 	flag.Parse()
 
@@ -70,8 +97,19 @@ func main() {
 	if *id < 0 || *id >= s.Clients {
 		usage("-id must be in [0, %d (clients)), got %d", s.Clients, *id)
 	}
-	if *waitFor < 0 {
-		usage("-wait must be >= 0, got %v", *waitFor)
+	if *dialBudget < 0 {
+		usage("-dial-timeout must be >= 0, got %v", *dialBudget)
+	}
+	if *reconnect < 0 {
+		usage("-reconnect must be >= 0, got %v", *reconnect)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"-chaos-drop", *chaosDrop}, {"-chaos-delay", *chaosDelay}, {"-chaos-dup", *chaosDup}} {
+		if p.v < 0 || p.v > 1 {
+			usage("%s must be in [0, 1], got %v", p.name, p.v)
+		}
 	}
 	name, err := experiments.ParseDataset(*dataset)
 	if err != nil {
@@ -104,27 +142,67 @@ func main() {
 	fmt.Printf("# fedclient %d/%d: %s, %d train / %d test examples, dialing %s\n",
 		*id, s.Clients, client.Model.Name, len(client.Train), len(client.Test), *addr)
 
-	// The server may still be binding its port; retry the dial for -wait.
-	// A rejected handshake (dtype/codec/version mismatch) is deterministic
-	// — retrying cannot succeed — so it fails immediately instead of
-	// hammering the server's accept loop for the whole window.
-	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	var tr transport.Transport = transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	if *chaosSeed != 0 {
+		tr = transport.NewChaos(tr, transport.ChaosConfig{
+			Seed:  *chaosSeed,
+			Drop:  *chaosDrop,
+			Delay: *chaosDelay,
+			Dup:   *chaosDup,
+		})
+	}
 	ctx := context.Background()
-	var conn transport.Conn
-	deadline := time.Now().Add(*waitFor)
-	for {
-		conn, err = tr.Dial(ctx, *addr)
-		if err == nil || errors.Is(err, transport.ErrHandshake) || time.Now().After(deadline) {
-			break
+
+	// The server may still be binding its port; retry the first dial with
+	// capped exponential backoff for -dial-timeout. A rejected handshake
+	// (dtype/codec/version mismatch) is deterministic — retrying cannot
+	// succeed — so DialRetry fails it immediately instead of hammering the
+	// server's accept loop for the whole window.
+	retry := transport.RetryOptions{
+		Budget: *dialBudget,
+		Seed:   *seed*1000 + int64(*id),
+		Token:  0,
+	}
+	if *sessFile != "" {
+		retry.Token = loadToken(*sessFile)
+		if retry.Token != 0 {
+			fmt.Printf("# fedclient %d: resuming session %#x from %s\n", *id, retry.Token, *sessFile)
 		}
-		time.Sleep(100 * time.Millisecond)
+	}
+	var conn transport.Conn
+	if *dialBudget == 0 {
+		// A zero budget means one attempt, fail fast — CI's dead-port test
+		// and scripts that manage their own ordering rely on it.
+		conn, err = transport.DialWithToken(ctx, tr, *addr, retry.Token)
+	} else {
+		conn, err = transport.DialRetry(ctx, tr, *addr, retry)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedclient: %v\n", err)
 		os.Exit(1)
 	}
 
-	node := &fl.ClientNode{Client: client, Algo: algo}
+	node := &fl.ClientNode{
+		Client: client,
+		Algo:   algo,
+		Token:  retry.Token,
+	}
+	if *reconnect > 0 {
+		node.Dialer = func(ctx context.Context, token uint64) (transport.Conn, error) {
+			return transport.DialRetry(ctx, tr, *addr, transport.RetryOptions{
+				Budget: *reconnect,
+				Seed:   *seed*1000 + int64(*id) + 1,
+				Token:  token,
+			})
+		}
+	}
+	if *sessFile != "" {
+		node.OnToken = func(tok uint64) {
+			// Best-effort persistence: losing the token only costs the
+			// restarted process its session, never the federation.
+			_ = os.WriteFile(*sessFile, []byte(strconv.FormatUint(tok, 16)+"\n"), 0o644)
+		}
+	}
 	if err := node.Run(ctx, conn); err != nil {
 		fmt.Fprintf(os.Stderr, "fedclient: %v\n", err)
 		os.Exit(1)

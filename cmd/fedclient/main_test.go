@@ -26,7 +26,10 @@ func TestFedclientFlagValidation(t *testing.T) {
 		{[]string{"-id", "0", "-method", "Gossip"}, "method"},
 		{[]string{"-id", "0", "-codec", "f16"}, "codec"},
 		{[]string{"-id", "0", "-dtype", "f16"}, "dtype"},
-		{[]string{"-id", "0", "-wait", "-1s"}, "wait"},
+		{[]string{"-id", "0", "-dial-timeout", "-1s"}, "dial-timeout"},
+		{[]string{"-id", "0", "-reconnect", "-1s"}, "reconnect"},
+		{[]string{"-id", "0", "-chaos-drop", "1.5"}, "chaos-drop"},
+		{[]string{"-id", "0", "-chaos-dup", "-0.1"}, "chaos-dup"},
 		{[]string{"-id", "0", "trailing"}, "unexpected arguments"},
 	}
 	for _, tc := range cases {
@@ -41,7 +44,7 @@ func TestFedclientFlagValidation(t *testing.T) {
 // window; it must exit 1 with a transport error, not hang.
 func TestFedclientDialFailure(t *testing.T) {
 	out := cmdtest.RunErr(t, 1, []string{"REPRO_SCALE=tiny"},
-		"-id", "0", "-clients", "3", "-addr", "127.0.0.1:1", "-wait", "0s")
+		"-id", "0", "-clients", "3", "-addr", "127.0.0.1:1", "-dial-timeout", "0s")
 	if !strings.Contains(out, "fedclient:") {
 		t.Fatalf("dial failure output:\n%s", out)
 	}

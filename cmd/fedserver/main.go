@@ -1,14 +1,21 @@
 // Command fedserver runs the server node of a multi-process federation:
 // it listens on a TCP address, waits for -clients fedclient processes to
-// join, drives the synchronous barrier schedule for -rounds rounds and
-// prints the same learning-curve CSV fedsim prints. The server holds only
-// aggregation state — global classifier/model/prototypes and the sharded
-// accumulators — and never touches a client model; everything else crosses
-// the wire (see DESIGN.md §8).
+// join, drives the -sched schedule for -rounds rounds and prints the same
+// learning-curve CSV fedsim prints. The server holds only aggregation
+// state — global classifier/model/prototypes and the sharded accumulators
+// — and never touches a client model; everything else crosses the wire
+// (see DESIGN.md §8 and §9).
 //
 // The cohort sampler is seeded exactly like the in-process simulation, so
 // at full precision a fedserver run reproduces the inproc sync metrics to
 // within floating-point parity.
+//
+// Fault tolerance: clients that vanish get a -window grace period to
+// reconnect (they present a session token and resume mid-round); past the
+// window they are churned out of the federation, which keeps running.
+// With -checkpoint the server snapshots every committed round, and
+// -resume restarts a SIGKILLed server from the latest snapshot — session
+// tokens survive the restart, so running clients reconnect on their own.
 //
 // Example (one server, three clients, tiny scale):
 //
@@ -25,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/experiments"
 	"repro/internal/fl"
@@ -44,6 +52,17 @@ func main() {
 		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
 		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8")
 		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32 (handshake-validated against clients)")
+		schedName = flag.String("sched", "sync", "scheduler: sync | async | semisync")
+		staleness = flag.Int("staleness", 0, "async: drop updates staler than this many commits (0 = default 8)")
+		decay     = flag.Float64("decay", 0, "staleness decay α in weight 1/(1+α·s) (0 = no decay)")
+		quorum    = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority; at most -clients)")
+		ckptDir   = flag.String("checkpoint", "", "directory to write a snapshot to after every committed round")
+		ckptCodec = flag.String("ckpt-codec", "f64", "checkpoint vector codec: f64 | f32 | i8")
+		ckptEvery = flag.Int("every", 1, "checkpoint every Nth committed round")
+		resume    = flag.String("resume", "", "checkpoint file to resume the federation from")
+		heartbeat = flag.Duration("heartbeat", fl.DefaultHeartbeat, "server heartbeat interval (clients echo it)")
+		deadAfter = flag.Duration("dead", 0, "declare a silent connection dead after this long (0 = 5x heartbeat)")
+		window    = flag.Duration("window", fl.DefaultReconnectWindow, "how long a dead client may take to reconnect before it is churned")
 	)
 	flag.Parse()
 
@@ -85,13 +104,49 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
+	snapCodec, err := comm.ParseCodec(*ckptCodec)
+	if err != nil {
+		usage("%v", err)
+	}
 	dtype, err := tensor.ParseDType(*dtypeName)
 	if err != nil {
 		usage("%v", err)
 	}
 	s.DType = dtype
+	schedKind, err := fl.ParseScheduler(*schedName)
+	if err != nil {
+		usage("%v", err)
+	}
+	if *staleness < 0 {
+		usage("-staleness must be >= 0, got %d", *staleness)
+	}
+	if *decay < 0 {
+		usage("-decay must be >= 0, got %v", *decay)
+	}
+	if *quorum < 0 || *quorum > s.Clients {
+		usage("-quorum must be in [0, %d (clients)], got %d — a quorum above the client count can never be met", s.Clients, *quorum)
+	}
+	if *ckptEvery < 1 {
+		usage("-every must be >= 1, got %d", *ckptEvery)
+	}
+	if *heartbeat <= 0 {
+		usage("-heartbeat must be > 0, got %v", *heartbeat)
+	}
+	if *deadAfter < 0 {
+		usage("-dead must be >= 0, got %v", *deadAfter)
+	}
+	if *window <= 0 {
+		usage("-window must be > 0, got %v", *window)
+	}
 	if _, err := experiments.WireAlgorithmFor(*method, name, s); err != nil {
 		usage("%v", err)
+	}
+	var snap *fl.Snapshot
+	if *resume != "" {
+		snap, err = ckpt.Load(*resume)
+		if err != nil {
+			usage("%v", err)
+		}
 	}
 
 	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
@@ -103,8 +158,11 @@ func main() {
 	// The bound address goes out first (and unbuffered) so orchestration —
 	// scripts, the CI smoke test — can listen on :0 and scrape the port.
 	fmt.Printf("# fedserver listening on %s\n", ln.Addr())
-	fmt.Printf("# fedserver %s on %s (%d clients, %d rounds, rate %.2f, codec %s, dtype %s)\n",
-		*method, name, s.Clients, s.Rounds, *rate, codec, dtype)
+	fmt.Printf("# fedserver %s on %s (%d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s)\n",
+		*method, name, s.Clients, s.Rounds, *rate, schedKind, codec, dtype)
+	if snap != nil {
+		fmt.Fprintf(os.Stderr, "fedserver: resuming from %s at round %d\n", *resume, snap.Round)
+	}
 
 	algo, err := experiments.WireAlgorithmFor(*method, name, s)
 	if err != nil {
@@ -115,6 +173,18 @@ func main() {
 	// smoke test) can watch progress without waiting for the run to end.
 	fmt.Println("round,local_epochs,mean_acc,std_acc,up_bytes,down_bytes,sim_time")
 	cfg := experiments.NodeConfigFor(s, *rate, codec, s.Clients)
+	cfg.Sched = schedKind
+	cfg.MaxStaleness = *staleness
+	cfg.Decay = *decay
+	cfg.Quorum = *quorum
+	cfg.Heartbeat = *heartbeat
+	cfg.DeadAfter = *deadAfter
+	cfg.ReconnectWindow = *window
+	cfg.Resume = snap
+	if *ckptDir != "" {
+		cfg.Checkpoint = ckpt.Saver(*ckptDir, snapCodec)
+		cfg.CheckpointEvery = *ckptEvery
+	}
 	cfg.OnRound = func(m fl.RoundMetrics) {
 		fmt.Printf("%d,%d,%.4f,%.4f,%d,%d,%.2f\n",
 			m.Round, m.LocalEpochs, m.MeanAcc, m.StdAcc, m.UpBytes, m.DownBytes, m.SimTime)
@@ -125,6 +195,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
 		os.Exit(1)
 	}
+	st := srv.Stats
+	fmt.Printf("# faults: reconnects=%d disconnects=%d churned=%d stale_drops=%d resends=%d\n",
+		st.Reconnects, st.Disconnects, st.Churned, st.Drops, st.Resends)
 	fin := experiments.Final(hist)
 	fmt.Printf("# final: %.4f ± %.4f\n", fin.MeanAcc, fin.StdAcc)
 }

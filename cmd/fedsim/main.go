@@ -181,16 +181,15 @@ func main() {
 	}
 	if trName == "tcp" {
 		// The tcp transport runs the node split: one server node plus one
-		// client node per client over real localhost sockets. Node mode
-		// implements the synchronous barrier only, and the virtual-clock
-		// features — async/semisync schedules, checkpointing, churn,
-		// stragglers, traces — are defined in virtual time, which does not
-		// exist across sockets (DESIGN.md §8).
+		// client node per client over real localhost sockets. All three
+		// schedules run on the wire (DESIGN.md §9), but the virtual-clock
+		// features — simulated churn, stragglers, traces — are defined in
+		// virtual time, which does not exist across sockets (DESIGN.md §8).
+		// Node-mode checkpointing belongs to the fedserver process (its
+		// -checkpoint/-resume flags), not to this single-process harness.
 		switch {
-		case schedKind != fl.SchedSync:
-			usage("-transport tcp supports only -sched sync (the %s schedule is defined on the inproc virtual clock)", schedKind)
 		case *ckptDir != "" || *resume != "":
-			usage("-transport tcp does not support -checkpoint/-resume (checkpointing is an inproc-engine feature)")
+			usage("-transport tcp does not support -checkpoint/-resume here (run fedserver -checkpoint/-resume for node-mode snapshots)")
 		case *traceFile != "":
 			usage("-transport tcp does not support -trace (scheduler traces are defined on the virtual clock)")
 		case *leave > 0:
@@ -284,7 +283,8 @@ func main() {
 		// Node split over real localhost sockets: one server node plus one
 		// client node per client, each speaking the wire protocol.
 		tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
-		hist, err = experiments.RunNodes(context.Background(), *method, name, builder, s.Clients, s, *rate, codec, tr, "127.0.0.1:0")
+		hist, err = experiments.RunNodes(context.Background(), *method, name, builder, s.Clients, s, *rate, codec, tr, "127.0.0.1:0",
+			func(cfg *fl.NodeConfig) { experiments.ApplyNodeSched(cfg, sched) })
 	} else {
 		hist, err = experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
 	}

@@ -95,8 +95,8 @@ func TestFedsimDTypeAndRotationFlags(t *testing.T) {
 }
 
 // The -transport flag: tcp runs the node split over real localhost
-// sockets, and every virtual-clock-only feature is rejected with a usage
-// error in the standard post-parse style.
+// sockets — under any scheduler — and every virtual-clock-only feature is
+// rejected with a usage error in the standard post-parse style.
 func TestFedsimTransportFlag(t *testing.T) {
 	out := cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "3", "-rounds", "2",
 		"-featdim", "16", "-transport", "tcp")
@@ -106,13 +106,24 @@ func TestFedsimTransportFlag(t *testing.T) {
 	if !strings.Contains(out, "rounds per wall-clock second") {
 		t.Fatalf("tcp run should book wall-clock throughput:\n%s", out)
 	}
+	// The async and semisync schedules run over the wire too (PR 6); a
+	// one-round accept check here, accuracy parity in internal/fl's tests.
+	out = cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "3", "-rounds", "1",
+		"-featdim", "16", "-transport", "tcp", "-sched", "async", "-staleness", "4")
+	if !strings.Contains(out, "sched async") || !strings.Contains(out, "# final:") {
+		t.Fatalf("tcp async run output:\n%s", out)
+	}
+	out = cmdtest.Run(t, nil, "-dataset", "fashion", "-clients", "3", "-rounds", "1",
+		"-featdim", "16", "-transport", "tcp", "-sched", "semisync", "-quorum", "2")
+	if !strings.Contains(out, "sched semisync") || !strings.Contains(out, "# final:") {
+		t.Fatalf("tcp semisync run output:\n%s", out)
+	}
 
 	common := []string{"-dataset", "fashion", "-clients", "3", "-rounds", "1", "-featdim", "16", "-transport", "tcp"}
 	rejects := []struct {
 		extra []string
 		want  string
 	}{
-		{[]string{"-sched", "async"}, "sync"},
 		{[]string{"-checkpoint", t.TempDir()}, "checkpoint"},
 		{[]string{"-trace", "/tmp/x.trace"}, "trace"},
 		{[]string{"-leave", "0.2"}, "leave"},

@@ -4,7 +4,7 @@
 // trace to an uninterrupted run at the same seed (under the lossless f64
 // codec).
 //
-// # File format (version 2)
+// # File format (version 3)
 //
 // A checkpoint file is
 //
@@ -52,8 +52,11 @@ import (
 const magic = "FEDCKPT1"
 
 // Version is the current checkpoint format version. Version 2 added the
-// model-dtype header word.
-const Version = 2
+// model-dtype header word; version 3 the node-mode session table and join
+// declarations (a ServerNode checkpoint has no client states — client
+// models live in other processes — but must preserve the identities it
+// issued and the fleet geometry it built its state from).
+const Version = 3
 
 // Every decoded collection length is bounded by the bytes remaining in the
 // buffer (each element encodes at least one byte), so a corrupt or hostile
@@ -71,6 +74,7 @@ const (
 	tagBuffers
 	tagOptVec
 	tagAlgoVec
+	tagJoinInit
 )
 
 // Marshal serializes a snapshot, framing bulk payloads with the given
@@ -184,6 +188,31 @@ func Marshal(snap *fl.Snapshot, codec comm.Codec) ([]byte, error) {
 		e.u64(uint64(len(snap.Algo.Vecs)))
 		for _, v := range snap.Algo.Vecs {
 			e.vec(tagAlgoVec, v, false)
+		}
+	}
+
+	e.u64(uint64(len(snap.Sessions)))
+	for i := range snap.Sessions {
+		ss := &snap.Sessions[i]
+		e.u64(uint64(ss.ID))
+		e.u64(ss.Token)
+		e.bool(ss.Churned)
+	}
+	e.u64(uint64(len(snap.Joins)))
+	for i := range snap.Joins {
+		j := &snap.Joins[i]
+		e.u64(uint64(j.ID))
+		e.u64(uint64(j.TrainSize))
+		e.u64(uint64(j.FeatDim))
+		e.u64(uint64(j.NumClasses))
+		e.u64(uint64(j.NumParams))
+		e.u64(uint64(j.NumClassifier))
+		e.bool(j.Init != nil)
+		if j.Init != nil {
+			e.u64(uint64(len(j.Init)))
+			for _, v := range j.Init {
+				e.vec(tagJoinInit, v, false)
+			}
 		}
 	}
 	return e.buf.Bytes(), nil
@@ -324,6 +353,34 @@ func Unmarshal(b []byte) (*fl.Snapshot, error) {
 			st.Vecs = append(st.Vecs, d.vec(tagAlgoVec))
 		}
 		snap.Algo = st
+	}
+
+	nSessions := d.count()
+	for i := 0; i < nSessions && d.err == nil; i++ {
+		snap.Sessions = append(snap.Sessions, fl.SessionState{
+			ID:      int(d.u64()),
+			Token:   d.u64(),
+			Churned: d.bool(),
+		})
+	}
+	nJoins := d.count()
+	for i := 0; i < nJoins && d.err == nil; i++ {
+		j := fl.WireJoin{
+			ID:            int(d.u64()),
+			TrainSize:     int(d.u64()),
+			FeatDim:       int(d.u64()),
+			NumClasses:    int(d.u64()),
+			NumParams:     int(d.u64()),
+			NumClassifier: int(d.u64()),
+		}
+		if d.bool() {
+			nv := d.count()
+			j.Init = make([][]float64, nv)
+			for k := range j.Init {
+				j.Init[k] = d.vec(tagJoinInit)
+			}
+		}
+		snap.Joins = append(snap.Joins, j)
 	}
 
 	if d.err != nil {

@@ -41,17 +41,35 @@ func NodeConfigFor(s Scale, rate float64, codec comm.Codec, clients int) fl.Node
 		BatchSize:  s.BatchSize,
 		Seed:       s.Seed + 7,
 		Codec:      codec,
+		DType:      s.DType,
 	}
 }
 
+// ApplyNodeSched copies the scheduler knobs that exist on the wire —
+// policy, staleness bound, decay, quorum — onto a node config. Virtual-
+// clock-only knobs (costs, churn injection, mix rate) have no node-mode
+// meaning and are ignored.
+func ApplyNodeSched(cfg *fl.NodeConfig, sched fl.SchedulerConfig) {
+	cfg.Sched = sched.Kind
+	cfg.MaxStaleness = sched.MaxStaleness
+	cfg.Decay = sched.Decay
+	cfg.Quorum = sched.Quorum
+}
+
 // ServeNode runs the server half of a method on an already-bound listener
-// and returns the metrics history (fedserver's core).
-func ServeNode(ctx context.Context, method string, name DatasetName, s Scale, rate float64, codec comm.Codec, clients int, ln transport.Listener) (*fl.ServerNode, []fl.RoundMetrics, error) {
+// and returns the metrics history (fedserver's core). Options mutate the
+// node config before the server starts (scheduler, failure discipline,
+// checkpointing).
+func ServeNode(ctx context.Context, method string, name DatasetName, s Scale, rate float64, codec comm.Codec, clients int, ln transport.Listener, opts ...func(*fl.NodeConfig)) (*fl.ServerNode, []fl.RoundMetrics, error) {
 	algo, err := WireAlgorithmFor(method, name, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := fl.NewServerNode(algo, NodeConfigFor(s, rate, codec, clients))
+	cfg := NodeConfigFor(s, rate, codec, clients)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	srv := fl.NewServerNode(algo, cfg)
 	hist, err := srv.Serve(ctx, ln)
 	return srv, hist, err
 }
@@ -59,7 +77,8 @@ func ServeNode(ctx context.Context, method string, name DatasetName, s Scale, ra
 // RunClientNode builds client id of the named fleet, dials the server and
 // serves the wire protocol until the federation completes (fedclient's
 // core). The algorithm instance is the client half — it holds no server
-// state.
+// state. The node reconnects through a jittered dial-retry when its
+// connection dies mid-run, presenting the server-issued session token.
 func RunClientNode(ctx context.Context, method string, name DatasetName, build ClientBuilder, id int, s Scale, tr transport.Transport, addr string) error {
 	algo, err := WireAlgorithmFor(method, name, s)
 	if err != nil {
@@ -69,15 +88,27 @@ func RunClientNode(ctx context.Context, method string, name DatasetName, build C
 	if err != nil {
 		return err
 	}
-	node := &fl.ClientNode{Client: build(id), Algo: algo}
+	node := &fl.ClientNode{
+		Client: build(id),
+		Algo:   algo,
+		Dialer: func(ctx context.Context, token uint64) (transport.Conn, error) {
+			// Per-client jitter seeds keep a fleet's reconnect schedules
+			// deterministic yet desynchronized.
+			return transport.DialRetry(ctx, tr, addr, transport.RetryOptions{
+				Seed:  s.Seed*1000 + int64(id),
+				Token: token,
+			})
+		},
+	}
 	return node.Run(ctx, conn)
 }
 
 // RunNodes runs one server node plus k in-process client nodes over the
 // given transport — `fedsim -transport tcp` uses it with real localhost
 // sockets, and the tests use it with inproc channels. Client-node errors
-// other than churn are surfaced after the server's history.
-func RunNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k int, s Scale, rate float64, codec comm.Codec, tr transport.Transport, addr string) ([]fl.RoundMetrics, error) {
+// other than churn are surfaced after the server's history. Options mutate
+// the server's node config.
+func RunNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k int, s Scale, rate float64, codec comm.Codec, tr transport.Transport, addr string, opts ...func(*fl.NodeConfig)) ([]fl.RoundMetrics, error) {
 	ln, err := tr.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -92,7 +123,7 @@ func RunNodes(ctx context.Context, method string, name DatasetName, build Client
 			clientDone <- result{id, RunClientNode(ctx, method, name, build, id, s, tr, ln.Addr())}
 		}(i)
 	}
-	_, hist, err := ServeNode(ctx, method, name, s, rate, codec, k, ln)
+	_, hist, err := ServeNode(ctx, method, name, s, rate, codec, k, ln, opts...)
 	if err != nil {
 		return nil, err
 	}

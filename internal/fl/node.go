@@ -5,55 +5,87 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/comm"
-	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/xrand"
 )
 
-// This file is the node runtime extracted from the in-process engine: a
-// ServerNode that owns the server half of a federation (aggregation state,
-// the scheduling policy, the traffic ledger and evaluation collection) and
-// a ClientNode that owns one client's half (the model, local training and
-// upload quantization). The two halves speak the wire protocol of wire.go
-// over any transport.Conn — in-memory channels for deterministic
+// This file is the server half of the node runtime: a ServerNode that owns
+// aggregation state, the scheduling policy, the session table, the traffic
+// ledger and evaluation collection, speaking the wire protocol of wire.go
+// over any transport.Listener — in-memory channels for deterministic
 // single-process federations, real TCP sockets for `fedserver` plus N
-// `fedclient` processes.
+// `fedclient` processes. The client half lives in node_client.go.
 //
-// The node scheduler is the synchronous barrier: each round samples a
-// cohort with the same RNG stream the simulation's sync scheduler uses, so
-// a node federation at seed S visits exactly the cohorts the in-process
-// run at seed S does, and full-precision runs land within floating-point
-// parity of it (aggregation happens in the sharded accumulators, whose
-// summation order differs immaterially from the one-shot average). The
-// asynchronous and semi-synchronous schedules remain an inproc-engine
-// feature: they are defined in virtual time, which has no meaning across
-// real processes — see DESIGN.md §8 for the determinism boundary.
+// The runtime is a single-goroutine event loop. Reader goroutines (one per
+// live connection) and the accept loop deliver decoded messages and
+// handshaken connections into channels; the loop serializes every state
+// transition — scheduling, aggregation, session management, heartbeats,
+// checkpoints — so there is no locking discipline to get wrong. The three
+// schedulers mirror the in-process engine's semantics:
 //
-// Fault tolerance: a client whose connection dies mid-run is removed from
-// the federation — subsequent cohorts skip it, a pending barrier stops
-// waiting for it — and the round commits with the survivors, so killing
-// one client process degrades capacity instead of wedging the run. A
-// client that reports an algorithm error (as opposed to dying) aborts the
-// federation: that is a bug, not churn.
+//   - sync: the classic barrier. Each round samples a cohort from the same
+//     RNG stream the simulation's sync scheduler uses, so a node federation
+//     at seed S visits exactly the cohorts the in-process run at seed S
+//     does, and full-precision runs land within floating-point parity.
+//   - async: FedBuff-style bounded staleness. Idle clients are redispatched
+//     immediately; an update more than MaxStaleness commits old is dropped,
+//     a fresher one aggregates with weight Scale·1/(1+Decay·staleness); the
+//     server commits every cohort-size applies.
+//   - semisync: K-of-N quorum. A cohort is dispatched, the server commits
+//     after Quorum applies; stragglers from earlier cohorts still count.
+//
+// The wire schedulers are parity-tested against the inproc engine at a
+// tolerance, not byte-identically: real processes have no virtual clock —
+// see DESIGN.md §8 for the determinism boundary and §9 for the wire
+// fault-tolerance contract this file implements.
+//
+// Fault tolerance: a client whose connection dies enters a bounded
+// reconnect window. It keeps its identity — the server-issued session token
+// presented in the re-dial's transport hello names the session — and on
+// adoption the server resends whatever the client still owes (a dispatch,
+// an evaluation request). A client that stays gone past the window degrades
+// to churn semantics: subsequent cohorts skip it, pending barriers stop
+// waiting for it, its PerClient slot reads NaN. Churn never aborts the run;
+// only an algorithm error reported by a client does (that is a bug, not
+// churn). The server's own crash is survivable too: at every commit
+// boundary it can snapshot its full state — committed round, algorithm
+// server half, ledger, history, RNG position, session table and join
+// declarations — through cfg.Checkpoint, and cfg.Resume rebuilds a server
+// mid-run whose still-held tokens remain valid.
+
+// DefaultHeartbeat is the server's liveness-probe cadence when the config
+// sets none.
+const DefaultHeartbeat = time.Second
+
+// DefaultReconnectWindow is how long a disconnected client keeps its
+// session before degrading to churn, when the config sets none.
+const DefaultReconnectWindow = 10 * time.Second
+
+// joinTimeout bounds how long an accepted connection may sit silent before
+// its join frame arrives; a peer that handshakes and stalls cannot pin an
+// accept slot forever.
+const joinTimeout = 30 * time.Second
 
 // NodeConfig configures a ServerNode federation.
 type NodeConfig struct {
 	// Clients is the fleet size; the server waits for exactly this many
 	// joins before round 1.
 	Clients int
-	// Rounds is the number of barrier rounds.
+	// Rounds is the number of committed rounds.
 	Rounds int
 	// SampleRate is the per-round cohort fraction, in (0, 1].
 	SampleRate float64
 	// BatchSize is broadcast to clients in the welcome message.
 	BatchSize int
-	// Seed drives cohort sampling (use the simulation's seed for parity).
+	// Seed drives cohort sampling (use the simulation's seed for parity)
+	// and session-token issuance.
 	Seed int64
 	// EvalEvery evaluates accuracy every n rounds (default 1).
 	EvalEvery int
@@ -63,6 +95,44 @@ type NodeConfig struct {
 	// Shards is the sharded-accumulator shard count (default
 	// tensor.Workers()).
 	Shards int
+	// Sched selects the scheduling policy (default SchedSync).
+	Sched SchedulerKind
+	// MaxStaleness bounds async staleness: an update whose dispatch-time
+	// model version is more than MaxStaleness commits old is dropped
+	// (default 8).
+	MaxStaleness int
+	// Decay is the staleness decay α: an update s commits stale aggregates
+	// with weight Scale·1/(1+α·s). 0 disables decay.
+	Decay float64
+	// Quorum is the semisync K: commit after K applied updates (default
+	// ⌈cohort/2⌉, capped at the cohort size).
+	Quorum int
+	// DType is the fleet's model element type, recorded in checkpoints so a
+	// resume at a different dtype is rejected instead of silently changing
+	// the numerics.
+	DType tensor.DType
+	// Heartbeat is the liveness-probe cadence (default DefaultHeartbeat).
+	// The server sends a heartbeat to every connected client each interval;
+	// clients echo it. Traffic, not progress, is the liveness signal.
+	Heartbeat time.Duration
+	// DeadAfter is how long a connection may sit silent before the server
+	// declares it hung and tears it down (default 5×Heartbeat). The client
+	// applies the same bound to the server, learned from the welcome.
+	DeadAfter time.Duration
+	// ReconnectWindow is how long a disconnected client keeps its session
+	// before degrading to churn (default DefaultReconnectWindow).
+	ReconnectWindow time.Duration
+	// Checkpoint, when non-nil, receives a full server snapshot at every
+	// CheckpointEvery-th commit boundary, after the round's metrics and
+	// traffic are accounted. A checkpoint error aborts the run — a server
+	// that silently stops persisting is worse than one that stops.
+	Checkpoint func(*Snapshot) error
+	// CheckpointEvery is the commit cadence of Checkpoint (default 1).
+	CheckpointEvery int
+	// Resume, when non-nil, restores server state from a snapshot before
+	// accepting connections: the federation continues at the checkpointed
+	// round, and the session tokens clients already hold remain valid.
+	Resume *Snapshot
 	// OnRound, when non-nil, receives every evaluation point the moment it
 	// commits — fedserver streams its CSV rows through it so orchestration
 	// (and the churn smoke test) can observe round progress live.
@@ -85,7 +155,44 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.Shards <= 0 {
 		c.Shards = tensor.Workers()
 	}
+	if c.MaxStaleness <= 0 {
+		c.MaxStaleness = 8
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = DefaultHeartbeat
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 5 * c.Heartbeat
+	}
+	if c.ReconnectWindow <= 0 {
+		c.ReconnectWindow = DefaultReconnectWindow
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
+}
+
+// NodeStats counts the failure-path events of one Serve call, for
+// operator-facing summaries and tests. Read it after Serve returns.
+type NodeStats struct {
+	// Reconnects counts adopted re-dials (session resumed).
+	Reconnects int
+	// Disconnects counts connection losses, including hung peers torn down
+	// by the dead-interval check.
+	Disconnects int
+	// Churned counts sessions that exhausted the reconnect window.
+	Churned int
+	// Drops counts async updates discarded for excess staleness.
+	Drops int
+	// Ignored counts tolerated protocol noise: duplicate or stale messages
+	// discarded by the dedup rules.
+	Ignored int
+	// Resends counts owed dispatch/eval frames replayed on adoption.
+	Resends int
+	// Commits counts committed rounds (equals the round count the run
+	// reached).
+	Commits int
 }
 
 // ServerNode runs the server half of a federation over a transport.
@@ -93,13 +200,12 @@ type ServerNode struct {
 	cfg  NodeConfig
 	algo WireAlgorithm
 	// Ledger records what actually crosses the wire: message frames with
-	// their transport framing, plus per-connection handshake bytes.
+	// their transport framing, plus per-connection handshake bytes —
+	// heartbeats and re-handshakes included.
 	Ledger  *comm.Ledger
 	History []RoundMetrics
-
-	// connMu guards the connection table between the accept path and the
-	// cancellation watcher.
-	connMu sync.Mutex
+	// Stats summarizes the run's failure-path events once Serve returns.
+	Stats NodeStats
 }
 
 // NewServerNode builds a server node.
@@ -110,473 +216,1136 @@ func NewServerNode(algo WireAlgorithm, cfg NodeConfig) *ServerNode {
 }
 
 // inbound is one reader-goroutine delivery: a decoded message or the error
-// that ended the connection.
+// that ended the connection. gen stamps which incarnation of the session's
+// connection produced it, so events from an abandoned connection are
+// discarded instead of corrupting the session that replaced it.
 type inbound struct {
 	id   int
+	gen  int
 	msg  *wireMsg
 	wire int64
 	err  error
 }
 
-// Serve accepts cfg.Clients joins on the listener, then drives the barrier
-// rounds to completion and returns the metrics history. The listener is
-// closed on return. Cancelling ctx tears the federation down and returns
-// ctx.Err().
+// acceptedConn is one accept-loop delivery: a handshaken connection with
+// either its decoded join frame (fresh client) or the session token it
+// presented in the transport hello (reconnecting client), or the error
+// that ended accepting.
+type acceptedConn struct {
+	conn  transport.Conn
+	token uint64
+	join  *wireMsg
+	wire  int64
+	err   error
+}
+
+// srvSession is one client's server-side session: the identity that
+// survives connection loss. conn is nil while the client is disconnected;
+// gen increments every time the connection changes so stale reader events
+// are recognizable.
+type srvSession struct {
+	id      int
+	token   uint64
+	conn    transport.Conn
+	gen     int
+	joined  bool
+	churned bool
+	// lastSeen is the last time any frame arrived (liveness).
+	lastSeen time.Time
+	// downAt is when the connection was lost (reconnect-window clock).
+	downAt time.Time
+	// busy marks an outstanding dispatch; dispVersion is the model version
+	// it was stamped with, and pendingDispatch caches the encoded frame for
+	// resend on adoption (WireDispatch may consume state — KT-pFL — so the
+	// payload cannot be regenerated).
+	busy            bool
+	dispVersion     uint64
+	pendingDispatch []byte
+	// stopped marks that the session's client acknowledged its stop
+	// frame: the session is complete, and a subsequent EOF from the
+	// closing peer is an orderly goodbye, not a disconnect to wait out.
+	stopped bool
+}
+
+// serverRun is the single-goroutine event loop driving one Serve call.
+type serverRun struct {
+	n    *ServerNode
+	cfg  NodeConfig
+	algo WireAlgorithm
+	k    int
+
+	sessions []*srvSession
+	events   chan inbound
+	conns    chan acceptedConn
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// embryos tracks accepted connections whose join frame has not arrived
+	// yet, so shutdown can unblock their greeter goroutines.
+	embryoMu sync.Mutex
+	embryos  map[transport.Conn]struct{}
+
+	rng      *rand.Rand
+	rngSrc   *xrand.Source
+	tokenRng *rand.Rand
+
+	version     int // committed rounds so far
+	applied     int // applies since the last commit (async/semisync)
+	cohortSize  int
+	commitEvery int
+	semiOpen    bool // a semisync cohort is outstanding
+	// stopping marks the shutdown drain: the federation is complete and
+	// the loop only persists to deliver stop frames to sessions that were
+	// disconnected when it finished.
+	stopping  bool
+	stopFrame []byte
+	start     time.Time
+	lastBeat  time.Time
+
+	joins     []WireJoin
+	joined    int
+	assembled bool
+
+	// Sync-barrier state: the open round's cohort and collected updates.
+	awaiting map[int]bool
+	updates  map[int]*Update
+	// Evaluation state: outstanding requests and per-client accuracies.
+	evalWait map[int]bool
+	evalPer  []float64
+	// holdback queues async/semisync updates that arrive mid-evaluation, so
+	// an evaluation observes one consistent committed model.
+	holdback []*Update
+
+	fatal error
+	done  bool
+}
+
+// Serve accepts cfg.Clients joins on the listener, then drives the
+// configured schedule to completion and returns the metrics history. The
+// listener is closed on return. Cancelling ctx tears the federation down
+// and returns ctx.Err().
 func (n *ServerNode) Serve(ctx context.Context, ln transport.Listener) ([]RoundMetrics, error) {
 	defer ln.Close()
-	k := n.cfg.Clients
-	if k <= 0 {
+	if n.cfg.Clients <= 0 {
 		return nil, fmt.Errorf("fl: server node needs a positive client count")
 	}
-	conns := make([]transport.Conn, k)
-	closeAll := func() {
-		n.connMu.Lock()
-		defer n.connMu.Unlock()
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
+	r := newServerRun(n)
+	defer r.shutdown()
+	if n.cfg.Resume != nil {
+		if err := r.restore(n.cfg.Resume); err != nil {
+			return nil, err
 		}
 	}
-	defer closeAll()
-
-	// ctx cancellation unblocks Accept and Recv by closing the endpoints.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			ln.Close()
-			closeAll()
-		case <-stop:
-		}
-	}()
-
-	joins, err := n.gather(ctx, ln, conns)
-	if err != nil {
-		return nil, err
-	}
-	if err := n.algo.WireSetup(joins, n.cfg.Shards); err != nil {
-		return nil, fmt.Errorf("fl: %s wire setup: %w", n.algo.Name(), err)
-	}
-	welcome := &wireMsg{kind: msgWelcome, name: n.algo.Name(), ints: []int64{
-		int64(k), int64(n.cfg.Rounds), int64(n.cfg.BatchSize), int64(n.cfg.EvalEvery),
-	}}
-	for id, c := range conns {
-		wire, err := c.Send(encodeMsg(welcome, n.cfg.Codec))
-		if err != nil {
-			return nil, fmt.Errorf("fl: welcoming client %d: %w", id, err)
-		}
-		n.Ledger.AddDown(id, wire)
-	}
-
-	events := make(chan inbound, k)
-	for id := range conns {
-		go n.reader(id, conns[id], events, stop)
-	}
-	return n.rounds(ctx, conns, events)
+	go r.acceptLoop(ln)
+	return r.loop(ctx)
 }
 
-// gather accepts connections until every expected client has joined.
-// Handshake failures on individual connections are tolerated (the next
-// accept proceeds); a closed listener or cancelled context is fatal.
-func (n *ServerNode) gather(ctx context.Context, ln transport.Listener, conns []transport.Conn) ([]WireJoin, error) {
-	k := len(conns)
-	joins := make([]WireJoin, k)
-	failures := 0
-	for joined := 0; joined < k; {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			// A peer that failed the transport handshake (wrong dtype, bad
-			// magic) must not kill a federation mid-assembly — but a dead
-			// listener ends it, and a persistently erroring one (fd
-			// exhaustion, say) must not busy-spin: back off and eventually
-			// give up instead of pinning a core forever.
-			if errors.Is(err, transport.ErrClosed) {
-				return nil, fmt.Errorf("fl: server listener closed with %d of %d clients joined: %w", joined, k, err)
-			}
-			failures++
-			if failures >= maxAcceptFailures {
-				return nil, fmt.Errorf("fl: %d consecutive accept failures with %d of %d clients joined, last: %w",
-					failures, joined, k, err)
-			}
-			time.Sleep(acceptBackoff)
-			continue
-		}
-		failures = 0
-		frame, wire, err := conn.Recv()
-		if err != nil {
-			conn.Close()
-			continue
-		}
-		m, err := decodeMsg(frame)
-		if err != nil || m.kind != msgJoin || len(m.ints) != joinIntCount {
-			conn.Close()
-			continue
-		}
-		id := int(m.ints[joinID])
-		if id < 0 || id >= k {
-			n.refuse(conn, fmt.Sprintf("client id %d out of range [0, %d)", id, k))
-			continue
-		}
-		if conns[id] != nil {
-			n.refuse(conn, fmt.Sprintf("client id %d already joined", id))
-			continue
-		}
-		if m.name != n.algo.Name() {
-			n.refuse(conn, fmt.Sprintf("client runs %q, server runs %q", m.name, n.algo.Name()))
-			continue
-		}
-		n.connMu.Lock()
-		conns[id] = conn
-		n.connMu.Unlock()
-		joins[id] = WireJoin{
-			ID:            id,
-			TrainSize:     int(m.ints[joinTrainSize]),
-			FeatDim:       int(m.ints[joinFeatDim]),
-			NumClasses:    int(m.ints[joinNumClasses]),
-			NumParams:     int(m.ints[joinNumParams]),
-			NumClassifier: int(m.ints[joinNumClassifier]),
-			Init:          m.vecs,
-		}
-		hsSent, hsRecv := conn.HandshakeBytes()
-		n.Ledger.AddUp(id, wire+hsRecv)
-		if hsSent > 0 {
-			n.Ledger.AddDown(id, hsSent)
-		}
-		joined++
+func newServerRun(n *ServerNode) *serverRun {
+	cfg := n.cfg
+	k := cfg.Clients
+	r := &serverRun{
+		n:        n,
+		cfg:      cfg,
+		algo:     n.algo,
+		k:        k,
+		sessions: make([]*srvSession, k),
+		events:   make(chan inbound, 8*k+32),
+		conns:    make(chan acceptedConn, k+8),
+		stop:     make(chan struct{}),
+		embryos:  make(map[transport.Conn]struct{}),
+		joins:    make([]WireJoin, k),
 	}
-	return joins, nil
+	for i := range r.sessions {
+		r.sessions[i] = &srvSession{id: i}
+	}
+	r.rng, r.rngSrc = xrand.NewRand(cfg.Seed)
+	// Tokens come from a stream disjoint from cohort sampling, and the high
+	// bit is forced so a token is never zero (zero means "fresh dial").
+	r.tokenRng = rand.New(rand.NewSource(cfg.Seed ^ 0x746f6b656e)) // "token"
+	cohortSize := int(math.Ceil(float64(k) * cfg.SampleRate))
+	if cohortSize < 1 {
+		cohortSize = 1
+	}
+	if cohortSize > k {
+		cohortSize = k
+	}
+	r.cohortSize = cohortSize
+	r.commitEvery = cohortSize
+	if cfg.Sched == SchedSemiSync {
+		q := cfg.Quorum
+		if q <= 0 {
+			q = (cohortSize + 1) / 2
+		}
+		if q > cohortSize {
+			q = cohortSize
+		}
+		r.commitEvery = q
+	}
+	return r
 }
 
-// refuse rejects a join with an explanatory error message and closes the
-// connection.
-func (n *ServerNode) refuse(conn transport.Conn, reason string) {
-	conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: reason}, n.cfg.Codec))
-	conn.Close()
+// shutdown releases everything the event loop owns: the stop channel
+// unblocks deliveries, closing embryo and session connections unblocks
+// their goroutines' reads.
+func (r *serverRun) shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.embryoMu.Lock()
+	for c := range r.embryos {
+		c.Close()
+	}
+	r.embryos = map[transport.Conn]struct{}{}
+	r.embryoMu.Unlock()
+	for _, s := range r.sessions {
+		if s.conn != nil {
+			s.conn.Close()
+		}
+	}
 }
 
-// Accept-failure policy during join assembly: one bad peer (failed
-// handshake) is routine, but a stream of errors means the listener itself
-// is sick — back off between failures and give up after a bound rather
-// than spinning or hanging forever.
+func (r *serverRun) trackEmbryo(c transport.Conn) {
+	r.embryoMu.Lock()
+	r.embryos[c] = struct{}{}
+	r.embryoMu.Unlock()
+}
+
+func (r *serverRun) forgetEmbryo(c transport.Conn) {
+	r.embryoMu.Lock()
+	delete(r.embryos, c)
+	r.embryoMu.Unlock()
+}
+
+// Accept-failure policy: one bad peer (failed handshake) is routine, but a
+// stream of errors means the listener itself is sick — back off between
+// failures and give up after a bound rather than spinning forever.
 const (
 	maxAcceptFailures = 1000
 	acceptBackoff     = 10 * time.Millisecond
 )
 
-// reader pumps one connection's messages into the shared event channel
-// until the connection dies or the federation stops consuming.
-func (n *ServerNode) reader(id int, conn transport.Conn, events chan<- inbound, stop <-chan struct{}) {
+// acceptLoop feeds handshaken connections into the event loop until the
+// listener dies.
+func (r *serverRun) acceptLoop(ln transport.Listener) {
+	failures := 0
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				r.deliverConn(acceptedConn{err: err})
+				return
+			}
+			failures++
+			if failures >= maxAcceptFailures {
+				r.deliverConn(acceptedConn{err: fmt.Errorf("fl: %d consecutive accept failures, last: %w", failures, err)})
+				return
+			}
+			select {
+			case <-time.After(acceptBackoff):
+			case <-r.stop:
+				return
+			}
+			continue
+		}
+		failures = 0
+		r.trackEmbryo(conn)
+		go r.greet(conn)
+	}
+}
+
+// greet classifies one accepted connection. A nonzero hello token is a
+// reconnect claim, forwarded immediately; a fresh connection must produce
+// its join frame within joinTimeout or be dropped (a handshaken-but-silent
+// peer must not pin the federation).
+func (r *serverRun) greet(conn transport.Conn) {
+	if tok := conn.Hello().Token; tok != 0 {
+		r.deliverConn(acceptedConn{conn: conn, token: tok})
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(joinTimeout))
+	frame, wire, err := conn.Recv()
+	if err != nil {
+		r.forgetEmbryo(conn)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	m, err := decodeMsg(frame)
+	if err != nil || m.kind != msgJoin || len(m.ints) != joinIntCount {
+		r.forgetEmbryo(conn)
+		conn.Close()
+		return
+	}
+	r.deliverConn(acceptedConn{conn: conn, join: m, wire: wire})
+}
+
+func (r *serverRun) deliverConn(ac acceptedConn) {
+	select {
+	case r.conns <- ac:
+	case <-r.stop:
+		if ac.conn != nil {
+			r.forgetEmbryo(ac.conn)
+			ac.conn.Close()
+		}
+	}
+}
+
+// reader pumps one connection's messages into the event loop until the
+// connection dies.
+func (r *serverRun) reader(id, gen int, conn transport.Conn) {
 	deliver := func(ev inbound) bool {
 		select {
-		case events <- ev:
+		case r.events <- ev:
 			return true
-		case <-stop:
+		case <-r.stop:
 			return false
 		}
 	}
 	for {
 		frame, wire, err := conn.Recv()
 		if err != nil {
-			deliver(inbound{id: id, err: err})
+			deliver(inbound{id: id, gen: gen, err: err})
 			return
 		}
 		m, err := decodeMsg(frame)
 		if err != nil {
-			deliver(inbound{id: id, err: err})
+			deliver(inbound{id: id, gen: gen, err: err})
 			return
 		}
-		if !deliver(inbound{id: id, msg: m, wire: wire}) {
+		if !deliver(inbound{id: id, gen: gen, msg: m, wire: wire}) {
 			return
 		}
 	}
 }
 
-// rounds drives the barrier schedule.
-func (n *ServerNode) rounds(ctx context.Context, conns []transport.Conn, events <-chan inbound) ([]RoundMetrics, error) {
-	k := len(conns)
-	rng, _ := xrand.NewRand(n.cfg.Seed)
-	alive := make([]bool, k)
-	for i := range alive {
-		alive[i] = true
+// loop is the event loop: every state transition happens here.
+func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
+	interval := r.cfg.Heartbeat
+	if r.cfg.DeadAfter < interval {
+		interval = r.cfg.DeadAfter
 	}
-	aliveCount := k
-	start := time.Now()
-
-	kill := func(id int) {
-		if alive[id] {
-			alive[id] = false
-			aliveCount--
-			conns[id].Close()
-		}
+	if r.cfg.ReconnectWindow < interval {
+		interval = r.cfg.ReconnectWindow
 	}
-
-	for t := 1; t <= n.cfg.Rounds; t++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if aliveCount == 0 {
-			return nil, fmt.Errorf("fl: round %d: every client has left the federation", t)
-		}
-		// The cohort draw consumes the same RNG stream as the simulation's
-		// sync scheduler; dead clients are filtered after the draw so the
-		// surviving schedule stays deterministic.
-		cohort := SampleCohort(rng, k, n.cfg.SampleRate, 0)
-		participants := cohort[:0]
-		for _, id := range cohort {
-			if alive[id] {
-				participants = append(participants, id)
-			}
-		}
-
-		// Broadcast.
-		dispatched := make(map[int]bool, len(participants))
-		for _, id := range participants {
-			vecs, err := n.algo.WireDispatch(id)
-			if err != nil {
-				return nil, fmt.Errorf("fl: %s dispatch to client %d: %w", n.algo.Name(), id, err)
-			}
-			wire, err := conns[id].Send(encodeMsg(&wireMsg{kind: msgDispatch, a: uint64(t), vecs: vecs}, n.cfg.Codec))
-			if err != nil {
-				kill(id)
-				continue
-			}
-			n.Ledger.AddDown(id, wire)
-			dispatched[id] = true
-		}
-
-		// Barrier: collect one update per dispatched client that is still
-		// alive.
-		updates := make(map[int]*Update, len(dispatched))
-		for len(dispatched) > 0 {
-			var ev inbound
-			select {
-			case ev = <-events:
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-			if ev.err != nil {
-				kill(ev.id)
-				delete(dispatched, ev.id)
-				continue
-			}
-			switch ev.msg.kind {
-			case msgUpdate:
-				if !dispatched[ev.id] {
-					return nil, fmt.Errorf("fl: client %d sent an update it was not asked for", ev.id)
-				}
-				n.Ledger.AddUp(ev.id, ev.wire)
-				updates[ev.id] = &Update{
-					Client: ev.id,
-					Scale:  bitsF64(ev.msg.b),
-					Vecs:   ev.msg.vecs,
-					Counts: ev.msg.counts,
-				}
-				delete(dispatched, ev.id)
-			case msgErr:
-				return nil, fmt.Errorf("fl: client %d failed: %s", ev.id, ev.msg.name)
-			default:
-				return nil, fmt.Errorf("fl: client %d sent unexpected message %#x during round %d", ev.id, ev.msg.kind, t)
-			}
-		}
-
-		// Aggregate in client-id order (deterministic), then commit.
-		ids := make([]int, 0, len(updates))
-		for id := range updates {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			u := updates[id]
-			u.Weight = u.Scale
-			if err := n.algo.WireApply(u); err != nil {
-				return nil, fmt.Errorf("fl: %s apply from client %d: %w", n.algo.Name(), id, err)
-			}
-		}
-		if err := n.algo.WireCommit(); err != nil {
-			return nil, fmt.Errorf("fl: %s commit: %w", n.algo.Name(), err)
-		}
-
-		if t%n.cfg.EvalEvery == 0 || t == n.cfg.Rounds {
-			m, err := n.evaluate(ctx, t, conns, alive, events, kill)
-			if err != nil {
-				return nil, err
-			}
-			traffic := n.Ledger.EndRound(t)
-			m.Round = t
-			m.LocalEpochs = t * n.algo.EpochsPerRound()
-			m.UpBytes = traffic.UpBytes
-			m.DownBytes = traffic.DownBytes
-			m.SimTime = time.Since(start).Seconds()
-			n.History = append(n.History, m)
-			if n.cfg.OnRound != nil {
-				n.cfg.OnRound(m)
-			}
-		} else {
-			n.Ledger.EndRound(t)
-		}
+	if interval /= 2; interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
 	}
-
-	// Graceful shutdown: every surviving client gets a stop message.
-	for id, c := range conns {
-		if alive[id] {
-			if wire, err := c.Send(encodeMsg(&wireMsg{kind: msgStop}, n.cfg.Codec)); err == nil {
-				n.Ledger.AddDown(id, wire)
-			}
-		}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	r.start = time.Now()
+	r.lastBeat = r.start
+	if r.assembled {
+		r.advance()
 	}
-	return n.History, nil
-}
-
-// evaluate asks every live client for its personalized test accuracy and
-// aggregates mean and std. Dead clients carry NaN in PerClient and are
-// excluded from the mean.
-func (n *ServerNode) evaluate(ctx context.Context, round int, conns []transport.Conn, alive []bool, events <-chan inbound, kill func(int)) (RoundMetrics, error) {
-	waiting := make(map[int]bool)
-	for id, c := range conns {
-		if !alive[id] {
-			continue
-		}
-		wire, err := c.Send(encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(round)}, n.cfg.Codec))
-		if err != nil {
-			kill(id)
-			continue
-		}
-		n.Ledger.AddDown(id, wire)
-		waiting[id] = true
-	}
-	per := make([]float64, len(conns))
-	for i := range per {
-		per[i] = math.NaN()
-	}
-	for len(waiting) > 0 {
-		var ev inbound
+	for !r.done && r.fatal == nil {
 		select {
-		case ev = <-events:
+		case ev := <-r.events:
+			r.handleInbound(ev)
+		case ac := <-r.conns:
+			r.handleConn(ac)
+		case <-ticker.C:
+			r.handleTick()
 		case <-ctx.Done():
-			return RoundMetrics{}, ctx.Err()
+			return nil, ctx.Err()
 		}
-		if ev.err != nil {
-			kill(ev.id)
-			delete(waiting, ev.id)
-			continue
-		}
-		switch ev.msg.kind {
-		case msgEvalRes:
-			if !waiting[ev.id] {
-				return RoundMetrics{}, fmt.Errorf("fl: client %d sent an unsolicited evaluation", ev.id)
-			}
-			n.Ledger.AddUp(ev.id, ev.wire)
-			per[ev.id] = bitsF64(ev.msg.b)
-			delete(waiting, ev.id)
-		case msgErr:
-			return RoundMetrics{}, fmt.Errorf("fl: client %d failed: %s", ev.id, ev.msg.name)
-		default:
-			return RoundMetrics{}, fmt.Errorf("fl: client %d sent unexpected message %#x during evaluation", ev.id, ev.msg.kind)
+		if r.assembled && r.fatal == nil && !r.done {
+			r.advance()
 		}
 	}
+	if r.fatal != nil {
+		return nil, r.fatal
+	}
+	// Graceful shutdown: every connected, unchurned client gets a stop. A
+	// session that is disconnected right now keeps the same reconnect
+	// window it gets mid-run — its client is re-dialing and would
+	// otherwise spin against a closed listener, never learning the run is
+	// over. The drain below persists until every such session is adopted
+	// (adopt delivers the stop) or its window degrades it to churn; when
+	// everyone was connected at the finish, it does not run at all.
+	r.stopping = true
+	r.stopFrame = encodeMsg(&wireMsg{kind: msgStop}, r.cfg.Codec)
+	for _, s := range r.sessions {
+		if s.conn != nil && !s.churned {
+			// A send success proves nothing about delivery; the client's
+			// msgStopAck marks the session stopped.
+			r.send(s, r.stopFrame)
+		}
+	}
+	for r.pendingStops() && r.fatal == nil {
+		select {
+		case ev := <-r.events:
+			r.handleInbound(ev)
+		case ac := <-r.conns:
+			r.handleConn(ac)
+		case <-ticker.C:
+			r.handleTick()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if r.fatal != nil {
+		return nil, r.fatal
+	}
+	return r.n.History, nil
+}
+
+// pendingStops reports whether any live session still owes its client a
+// stop frame.
+func (r *serverRun) pendingStops() bool {
+	for _, s := range r.sessions {
+		if !s.churned && !s.stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// handleConn admits one accepted connection: a join during assembly, a
+// token or late join after it.
+func (r *serverRun) handleConn(ac acceptedConn) {
+	if ac.err != nil {
+		if !r.assembled {
+			r.fatal = fmt.Errorf("fl: server listener closed with %d of %d clients joined: %w", r.joined, r.k, ac.err)
+		}
+		// After assembly a dead listener only forecloses reconnects; the
+		// reconnect window degrades the affected sessions to churn.
+		return
+	}
+	r.forgetEmbryo(ac.conn)
+	if ac.token != 0 {
+		sess := r.findToken(ac.token)
+		if sess == nil {
+			r.refuse(ac.conn, fmt.Sprintf("unknown session token %#x", ac.token))
+			return
+		}
+		if sess.churned {
+			r.refuse(ac.conn, fmt.Sprintf("client %d session expired (reconnect window elapsed)", sess.id))
+			return
+		}
+		if sess.conn != nil {
+			// The old connection is a zombie the dead-interval check has not
+			// caught yet; the live re-dial wins.
+			r.markDisconnected(sess)
+		}
+		r.adopt(sess, ac.conn, 0)
+		return
+	}
+	m := ac.join
+	id := int(m.ints[joinID])
+	if id < 0 || id >= r.k {
+		r.refuse(ac.conn, fmt.Sprintf("client id %d out of range [0, %d)", id, r.k))
+		return
+	}
+	if m.name != r.algo.Name() {
+		r.refuse(ac.conn, fmt.Sprintf("client runs %q, server runs %q", m.name, r.algo.Name()))
+		return
+	}
+	sess := r.sessions[id]
+	if r.assembled {
+		if sess.churned {
+			r.refuse(ac.conn, fmt.Sprintf("client %d session expired (reconnect window elapsed)", id))
+			return
+		}
+		if sess.conn != nil {
+			// The old connection is a zombie whose death event has not been
+			// processed yet (the re-join can race it through the accept
+			// path); the live re-dial wins, as on the token path.
+			r.markDisconnected(sess)
+		}
+		// A token-less rejoin: a restarted client process that lost its
+		// token file, or one whose join-phase connection died before the
+		// welcome. Adopt it — the resume message re-teaches the token.
+		r.adopt(sess, ac.conn, ac.wire)
+		return
+	}
+	if sess.conn != nil {
+		r.markDisconnected(sess)
+	}
+	r.joins[id] = WireJoin{
+		ID:            id,
+		TrainSize:     int(m.ints[joinTrainSize]),
+		FeatDim:       int(m.ints[joinFeatDim]),
+		NumClasses:    int(m.ints[joinNumClasses]),
+		NumParams:     int(m.ints[joinNumParams]),
+		NumClassifier: int(m.ints[joinNumClassifier]),
+		Init:          m.vecs,
+	}
+	sess.conn = ac.conn
+	sess.gen++
+	sess.lastSeen = time.Now()
+	hsSent, hsRecv := ac.conn.HandshakeBytes()
+	r.n.Ledger.AddUp(id, ac.wire+hsRecv)
+	if hsSent > 0 {
+		r.n.Ledger.AddDown(id, hsSent)
+	}
+	go r.reader(id, sess.gen, ac.conn)
+	if !sess.joined {
+		sess.joined = true
+		r.joined++
+	}
+	if r.joined == r.k {
+		r.finishAssembly()
+	}
+}
+
+// finishAssembly builds the algorithm's server state from the full fleet's
+// joins, issues session tokens and welcomes everyone. The trailing
+// advance() in the event loop opens round 1.
+func (r *serverRun) finishAssembly() {
+	if err := r.algo.WireSetup(r.joins, r.cfg.Shards); err != nil {
+		r.fatal = fmt.Errorf("fl: %s wire setup: %w", r.algo.Name(), err)
+		return
+	}
+	for _, s := range r.sessions {
+		s.token = r.tokenRng.Uint64() | 1<<63
+	}
+	r.assembled = true
+	for _, s := range r.sessions {
+		welcome := &wireMsg{kind: msgWelcome, name: r.algo.Name(), ints: r.welcomeInts(s)}
+		if !r.send(s, encodeMsg(welcome, r.cfg.Codec)) {
+			// The client died between joining and the welcome; the reconnect
+			// window (or churn) picks it up.
+			continue
+		}
+	}
+}
+
+// welcomeInts builds the welcome/resume layout for one session.
+func (r *serverRun) welcomeInts(s *srvSession) []int64 {
+	return []int64{
+		int64(r.k), int64(r.cfg.Rounds), int64(r.cfg.BatchSize), int64(r.cfg.EvalEvery),
+		int64(s.token), r.cfg.Heartbeat.Milliseconds(), r.cfg.DeadAfter.Milliseconds(),
+	}
+}
+
+func (r *serverRun) findToken(token uint64) *srvSession {
+	for _, s := range r.sessions {
+		if s.joined && s.token == token {
+			return s
+		}
+	}
+	return nil
+}
+
+// adopt attaches a connection to a disconnected session and replays what
+// the client is owed: the resume message (it may be a restarted process
+// that never saw its welcome), then any outstanding dispatch or
+// evaluation request.
+func (r *serverRun) adopt(sess *srvSession, conn transport.Conn, joinWire int64) {
+	sess.conn = conn
+	sess.gen++
+	sess.lastSeen = time.Now()
+	sess.downAt = time.Time{}
+	r.n.Stats.Reconnects++
+	hsSent, hsRecv := conn.HandshakeBytes()
+	r.n.Ledger.AddUp(sess.id, joinWire+hsRecv)
+	if hsSent > 0 {
+		r.n.Ledger.AddDown(sess.id, hsSent)
+	}
+	go r.reader(sess.id, sess.gen, conn)
+	resume := &wireMsg{kind: msgResume, a: uint64(r.version), name: r.algo.Name(), ints: r.welcomeInts(sess)}
+	if !r.send(sess, encodeMsg(resume, r.cfg.Codec)) {
+		return
+	}
+	if sess.busy && sess.pendingDispatch != nil {
+		r.n.Stats.Resends++
+		if !r.send(sess, sess.pendingDispatch) {
+			return
+		}
+	}
+	if r.evalWait != nil && r.evalWait[sess.id] {
+		r.n.Stats.Resends++
+		if !r.send(sess, encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)) {
+			return
+		}
+	}
+	if r.stopping {
+		// The federation finished while this client was reconnecting; its
+		// re-dial gets the goodbye it re-dialed for (and owes the ack that
+		// completes the session).
+		r.send(sess, r.stopFrame)
+	}
+}
+
+// refuse rejects a connection with an explanatory error message.
+func (r *serverRun) refuse(conn transport.Conn, reason string) {
+	conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: reason}, r.cfg.Codec))
+	conn.Close()
+}
+
+// send writes one frame to a session, booking the wire bytes on success
+// and downgrading the session to disconnected on failure. A write deadline
+// bounds the attempt so a peer with a full socket buffer cannot wedge the
+// event loop.
+func (r *serverRun) send(s *srvSession, frame []byte) bool {
+	if s.conn == nil {
+		return false
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(r.cfg.DeadAfter))
+	wire, err := s.conn.Send(frame)
+	if err != nil {
+		r.markDisconnected(s)
+		return false
+	}
+	s.conn.SetWriteDeadline(time.Time{})
+	r.n.Ledger.AddDown(s.id, wire)
+	return true
+}
+
+// markDisconnected tears down a session's connection, starting its
+// reconnect-window clock. Owed state (pending dispatch, eval slot) is
+// preserved for replay on adoption.
+func (r *serverRun) markDisconnected(s *srvSession) {
+	if s.conn == nil {
+		return
+	}
+	s.conn.Close()
+	s.conn = nil
+	s.gen++
+	s.downAt = time.Now()
+	r.n.Stats.Disconnects++
+}
+
+// churn permanently removes a session from the federation: cohorts skip
+// it, barriers stop waiting for it, its evaluation slot stays NaN.
+func (r *serverRun) churn(s *srvSession) {
+	if s.churned {
+		return
+	}
+	s.churned = true
+	r.n.Stats.Churned++
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.gen++
+	}
+	s.busy = false
+	s.pendingDispatch = nil
+	if r.awaiting != nil && r.awaiting[s.id] {
+		delete(r.awaiting, s.id)
+		if len(r.awaiting) == 0 {
+			r.completeSyncRound()
+		}
+	}
+	if r.evalWait != nil && r.evalWait[s.id] {
+		delete(r.evalWait, s.id)
+		if len(r.evalWait) == 0 {
+			r.completeEval()
+		}
+	}
+}
+
+func (r *serverRun) aliveCount() int {
+	alive := 0
+	for _, s := range r.sessions {
+		if !s.churned {
+			alive++
+		}
+	}
+	return alive
+}
+
+// outstanding counts dispatched-but-unanswered sessions.
+func (r *serverRun) outstanding() int {
+	busy := 0
+	for _, s := range r.sessions {
+		if s.busy && !s.churned {
+			busy++
+		}
+	}
+	return busy
+}
+
+// handleInbound processes one reader delivery.
+func (r *serverRun) handleInbound(ev inbound) {
+	sess := r.sessions[ev.id]
+	if ev.err == nil {
+		// Every frame that crossed the wire is booked — heartbeat echoes
+		// and frames racing a disconnect on an abandoned connection
+		// included: the ledger prices traffic, not semantics.
+		r.n.Ledger.AddUp(ev.id, ev.wire)
+	}
+	if ev.gen != sess.gen {
+		// A message from a connection this session already abandoned.
+		return
+	}
+	if ev.err != nil {
+		if sess.stopped {
+			// The peer closed after acknowledging its stop: an orderly
+			// goodbye, not a disconnect to wait out.
+			if sess.conn != nil {
+				sess.conn.Close()
+				sess.conn = nil
+				sess.gen++
+			}
+			return
+		}
+		r.markDisconnected(sess)
+		return
+	}
+	sess.lastSeen = time.Now()
+	m := ev.msg
+	switch m.kind {
+	case msgHeartbeat:
+		// The arrival already refreshed lastSeen; nothing else to do.
+	case msgUpdate:
+		r.handleUpdate(sess, m)
+	case msgEvalRes:
+		r.handleEvalRes(sess, m)
+	case msgErr:
+		r.fatal = fmt.Errorf("fl: client %d failed: %s", ev.id, m.name)
+	case msgStopAck:
+		// The goodbye landed; the session is complete and its EOF (the
+		// client exits after acking) is orderly.
+		sess.stopped = true
+	default:
+		// Duplicate joins, replayed frames after a chaos duplication, and
+		// unknown kinds are tolerated noise, not protocol violations: the
+		// reconnect machinery makes duplicates a normal occurrence.
+		r.n.Stats.Ignored++
+	}
+}
+
+// handleUpdate folds one upload into the scheduler, deduplicating replays:
+// only the answer to the session's outstanding dispatch counts.
+func (r *serverRun) handleUpdate(sess *srvSession, m *wireMsg) {
+	if !sess.busy || sess.dispVersion != m.a {
+		r.n.Stats.Ignored++
+		return
+	}
+	sess.busy = false
+	sess.pendingDispatch = nil
+	u := &Update{
+		Client:  sess.id,
+		Version: int(m.a),
+		Scale:   bitsF64(m.b),
+		Vecs:    m.vecs,
+		Counts:  m.counts,
+	}
+	if r.evalWait != nil && r.cfg.Sched != SchedSync {
+		r.holdback = append(r.holdback, u)
+		return
+	}
+	r.processUpdate(u)
+}
+
+// processUpdate routes an accepted update through the configured schedule.
+func (r *serverRun) processUpdate(u *Update) {
+	if r.cfg.Sched == SchedSync {
+		if r.awaiting == nil || !r.awaiting[u.Client] {
+			r.n.Stats.Ignored++
+			return
+		}
+		u.Weight = u.Scale
+		r.updates[u.Client] = u
+		delete(r.awaiting, u.Client)
+		if len(r.awaiting) == 0 {
+			r.completeSyncRound()
+		}
+		return
+	}
+	if r.version >= r.cfg.Rounds {
+		// The federation has committed its full horizon; a straggler's
+		// late update (often released from the final-eval holdback) must
+		// not commit a round beyond Rounds.
+		r.n.Stats.Ignored++
+		return
+	}
+	u.Staleness = r.version - u.Version
+	if u.Staleness > r.cfg.MaxStaleness {
+		r.n.Stats.Drops++
+		return
+	}
+	sched := SchedulerConfig{Decay: r.cfg.Decay}
+	u.Weight = u.Scale * sched.StalenessWeight(u.Staleness)
+	if err := r.algo.WireApply(u); err != nil {
+		r.fatal = fmt.Errorf("fl: %s apply from client %d: %w", r.algo.Name(), u.Client, err)
+		return
+	}
+	r.applied++
+	if r.applied >= r.commitEvery {
+		r.commit()
+	}
+}
+
+// completeSyncRound aggregates the collected barrier updates in client-id
+// order (deterministic) and commits.
+func (r *serverRun) completeSyncRound() {
+	ids := make([]int, 0, len(r.updates))
+	for id := range r.updates {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := r.algo.WireApply(r.updates[id]); err != nil {
+			r.fatal = fmt.Errorf("fl: %s apply from client %d: %w", r.algo.Name(), id, err)
+			return
+		}
+	}
+	r.awaiting = nil
+	r.updates = nil
+	r.commit()
+}
+
+// commit completes one round: merge accumulators, advance the version,
+// then evaluate or account the round directly.
+func (r *serverRun) commit() {
+	if err := r.algo.WireCommit(); err != nil {
+		r.fatal = fmt.Errorf("fl: %s commit: %w", r.algo.Name(), err)
+		return
+	}
+	r.version++
+	r.applied = 0
+	r.semiOpen = false
+	r.n.Stats.Commits++
+	if r.version%r.cfg.EvalEvery == 0 || r.version >= r.cfg.Rounds {
+		r.startEval()
+	} else {
+		r.finishRound(nil)
+	}
+}
+
+// finishRound closes the committed round's traffic accounting, records
+// metrics when an evaluation produced them, and checkpoints. The
+// checkpoint lands before the OnRound announcement: a round an observer
+// has seen is durably recoverable, even if the process dies on the next
+// instruction.
+func (r *serverRun) finishRound(m *RoundMetrics) {
+	traffic := r.n.Ledger.EndRound(r.version)
+	if m != nil {
+		m.Round = r.version
+		m.LocalEpochs = r.version * r.algo.EpochsPerRound()
+		m.UpBytes = traffic.UpBytes
+		m.DownBytes = traffic.DownBytes
+		m.SimTime = time.Since(r.start).Seconds()
+		r.n.History = append(r.n.History, *m)
+	}
+	r.maybeCheckpoint()
+	if m != nil && r.cfg.OnRound != nil {
+		r.cfg.OnRound(*m)
+	}
+}
+
+// startEval asks every unchurned client for its personalized accuracy.
+// Disconnected sessions owe theirs on adoption; a session that churns
+// mid-evaluation keeps its NaN.
+func (r *serverRun) startEval() {
+	r.evalWait = make(map[int]bool)
+	r.evalPer = make([]float64, r.k)
+	for i := range r.evalPer {
+		r.evalPer[i] = math.NaN()
+	}
+	req := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)
+	for _, s := range r.sessions {
+		if s.churned {
+			continue
+		}
+		r.evalWait[s.id] = true
+		r.send(s, req) // a failed send leaves the request owed on adoption
+	}
+	if len(r.evalWait) == 0 {
+		r.completeEval()
+	}
+}
+
+func (r *serverRun) handleEvalRes(sess *srvSession, m *wireMsg) {
+	if r.evalWait == nil || !r.evalWait[sess.id] {
+		r.n.Stats.Ignored++
+		return
+	}
+	r.evalPer[sess.id] = bitsF64(m.b)
+	delete(r.evalWait, sess.id)
+	if len(r.evalWait) == 0 {
+		r.completeEval()
+	}
+}
+
+// completeEval aggregates the collected accuracies (churned clients stay
+// NaN, excluded from the mean), accounts the round, then releases any
+// updates held back during the evaluation.
+func (r *serverRun) completeEval() {
+	r.evalWait = nil
 	var accs []float64
-	for _, v := range per {
+	for _, v := range r.evalPer {
 		if !math.IsNaN(v) {
 			accs = append(accs, v)
 		}
 	}
 	mean, std := MeanStd(accs)
-	return RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: per}, nil
+	m := RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: r.evalPer}
+	r.evalPer = nil
+	r.finishRound(&m)
+	for len(r.holdback) > 0 && r.evalWait == nil && r.fatal == nil {
+		u := r.holdback[0]
+		r.holdback = r.holdback[1:]
+		r.processUpdate(u)
+	}
 }
 
-// ClientNode runs one client's half of a federation over a transport.
-type ClientNode struct {
-	Client *Client
-	Algo   WireAlgorithm
-}
-
-// Run joins the federation over conn and serves dispatch and evaluation
-// requests until the server sends a stop (nil) or the connection dies
-// (error). Cancelling ctx closes the connection and returns ctx.Err().
-func (cn *ClientNode) Run(ctx context.Context, conn transport.Conn) error {
-	defer conn.Close()
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			conn.Close()
-		case <-stop:
-		}
-	}()
-
-	c := cn.Client
-	codec := conn.Hello().Codec
-	init, err := cn.Algo.WireInit(c)
+// maybeCheckpoint snapshots the server at the commit cadence. The
+// accumulator is clean here (applied == 0, between a commit and the next
+// dispatch decision), so a snapshot is always at a commit boundary.
+func (r *serverRun) maybeCheckpoint() {
+	if r.cfg.Checkpoint == nil || r.version%r.cfg.CheckpointEvery != 0 {
+		return
+	}
+	snap, err := r.buildSnapshot()
+	if err == nil {
+		err = r.cfg.Checkpoint(snap)
+	}
 	if err != nil {
-		return fmt.Errorf("fl: client %d init payload: %w", c.ID, err)
+		r.fatal = fmt.Errorf("fl: checkpoint at round %d: %w", r.version, err)
 	}
-	join := &wireMsg{kind: msgJoin, name: cn.Algo.Name(), vecs: init, ints: make([]int64, joinIntCount)}
-	join.ints[joinID] = int64(c.ID)
-	join.ints[joinTrainSize] = int64(len(c.Train))
-	if c.Model != nil {
-		join.ints[joinFeatDim] = int64(c.Model.Cfg.FeatDim)
-		join.ints[joinNumClasses] = int64(c.Model.Cfg.NumClasses)
-		join.ints[joinNumParams] = int64(nn.NumParams(c.Model.Params()))
-		join.ints[joinNumClassifier] = int64(nn.NumParams(c.Model.ClassifierParams()))
-	}
-	if _, err := conn.Send(encodeMsg(join, codec)); err != nil {
-		return fmt.Errorf("fl: client %d join: %w", c.ID, err)
-	}
+}
 
-	batch := 32
-	welcomed := false
-	for {
-		frame, _, err := conn.Recv()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("fl: client %d: connection lost: %w", c.ID, err)
+// buildSnapshot captures the server's full state: enough that a process
+// killed immediately afterwards can be restarted with cfg.Resume and
+// continue the run, honoring the session tokens clients still hold.
+func (r *serverRun) buildSnapshot() (*Snapshot, error) {
+	ca, ok := r.algo.(CheckpointableAlgorithm)
+	if !ok {
+		return nil, fmt.Errorf("fl: %s cannot be checkpointed (implement fl.CheckpointableAlgorithm)", r.algo.Name())
+	}
+	st, err := ca.AlgoSnapshot(nil)
+	if err != nil {
+		return nil, fmt.Errorf("fl: %s state snapshot: %w", r.algo.Name(), err)
+	}
+	snap := &Snapshot{
+		Kind:    r.cfg.Sched,
+		Round:   r.version,
+		DType:   r.cfg.DType,
+		Rng:     r.rngSrc.State(),
+		History: cloneHistory(r.n.History),
+		Ledger:  r.n.Ledger.Snapshot(),
+		Algo:    st,
+		Joins:   cloneJoins(r.joins),
+	}
+	snap.Sessions = make([]SessionState, r.k)
+	for i, s := range r.sessions {
+		snap.Sessions[i] = SessionState{ID: s.id, Token: s.token, Churned: s.churned}
+	}
+	return snap, nil
+}
+
+// restore rebuilds the server from a snapshot before any connection is
+// accepted: algorithm state via WireSetup + AlgoRestore, the session table
+// with its original tokens, and the sampling stream position. Every
+// session starts disconnected with the reconnect-window clock running —
+// surviving clients re-dial with the tokens they hold.
+func (r *serverRun) restore(snap *Snapshot) error {
+	if snap.Kind != r.cfg.Sched {
+		return fmt.Errorf("fl: cannot resume a %s checkpoint under the %s scheduler", snap.Kind, r.cfg.Sched)
+	}
+	if snap.Round > r.cfg.Rounds {
+		return fmt.Errorf("fl: checkpoint at round %d is past the configured %d rounds", snap.Round, r.cfg.Rounds)
+	}
+	if len(snap.Sessions) != r.k {
+		return fmt.Errorf("fl: checkpoint has %d sessions, server is configured for %d clients", len(snap.Sessions), r.k)
+	}
+	if len(snap.Joins) != r.k {
+		return fmt.Errorf("fl: checkpoint has %d join records, server is configured for %d clients", len(snap.Joins), r.k)
+	}
+	if snap.DType != r.cfg.DType {
+		return fmt.Errorf("fl: checkpoint was taken at dtype %s, server is %s (resume with the same -dtype)",
+			snap.DType, r.cfg.DType)
+	}
+	ca, ok := r.algo.(CheckpointableAlgorithm)
+	if !ok {
+		return fmt.Errorf("fl: %s cannot restore a checkpoint (implement fl.CheckpointableAlgorithm)", r.algo.Name())
+	}
+	r.joins = cloneJoins(snap.Joins)
+	if err := r.algo.WireSetup(r.joins, r.cfg.Shards); err != nil {
+		return fmt.Errorf("fl: %s wire setup: %w", r.algo.Name(), err)
+	}
+	if snap.Algo != nil {
+		if err := ca.AlgoRestore(nil, snap.Algo); err != nil {
+			return fmt.Errorf("fl: %s state restore: %w", r.algo.Name(), err)
 		}
-		m, err := decodeMsg(frame)
-		if err != nil {
-			return fmt.Errorf("fl: client %d: %w", c.ID, err)
+	}
+	r.rngSrc.SetState(snap.Rng)
+	r.n.History = cloneHistory(snap.History)
+	r.n.Ledger.Restore(snap.Ledger)
+	now := time.Now()
+	for i, s := range r.sessions {
+		ss := snap.Sessions[i]
+		if ss.ID != i {
+			return fmt.Errorf("fl: checkpoint session %d has id %d", i, ss.ID)
 		}
-		switch m.kind {
-		case msgWelcome:
-			if len(m.ints) != welIntCount {
-				return fmt.Errorf("fl: client %d: malformed welcome", c.ID)
+		s.token = ss.Token
+		s.churned = ss.Churned
+		s.joined = true
+		s.downAt = now
+	}
+	r.joined = r.k
+	r.version = snap.Round
+	r.assembled = true
+	return nil
+}
+
+// advance makes every scheduling decision that is currently possible. It
+// loops so that a round completed without any wire traffic (an all-churned
+// cohort) rolls directly into the next instead of waiting for a tick.
+func (r *serverRun) advance() {
+	for r.fatal == nil && !r.done {
+		if r.aliveCount() == 0 {
+			r.fatal = fmt.Errorf("fl: round %d: every client has left the federation", r.version+1)
+			return
+		}
+		if r.evalWait != nil {
+			return
+		}
+		if r.version >= r.cfg.Rounds {
+			r.done = true
+			return
+		}
+		switch r.cfg.Sched {
+		case SchedAsyncBounded:
+			r.dispatchIdle()
+			return
+		case SchedSemiSync:
+			if r.semiOpen && r.outstanding() > 0 {
+				return
 			}
-			if m.name != cn.Algo.Name() {
-				return fmt.Errorf("fl: client %d runs %q, server runs %q", c.ID, cn.Algo.Name(), m.name)
+			r.openSemiCohort()
+			return
+		default: // SchedSync
+			if r.awaiting != nil {
+				return
 			}
-			batch = int(m.ints[welBatch])
-			welcomed = true
-		case msgDispatch:
-			if !welcomed {
-				return fmt.Errorf("fl: client %d: dispatch before welcome", c.ID)
+			r.openSyncRound()
+			if r.awaiting != nil {
+				return
 			}
-			u, err := cn.Algo.WireLocal(c, batch, m.vecs)
-			if err != nil {
-				conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: err.Error()}, codec))
-				return fmt.Errorf("fl: client %d local round: %w", c.ID, err)
+			// The whole cohort was churned: the round committed empty;
+			// loop to open the next one.
+		}
+	}
+}
+
+// openSyncRound samples the round's cohort from the shared RNG stream —
+// churned clients are filtered after the draw, so the surviving schedule
+// stays deterministic and matches the inproc sync scheduler — and
+// dispatches to every member.
+func (r *serverRun) openSyncRound() {
+	cohort := SampleCohort(r.rng, r.k, r.cfg.SampleRate, 0)
+	r.awaiting = make(map[int]bool, len(cohort))
+	r.updates = make(map[int]*Update, len(cohort))
+	for _, id := range cohort {
+		if r.sessions[id].churned {
+			continue
+		}
+		r.awaiting[id] = true
+	}
+	if len(r.awaiting) == 0 {
+		r.completeSyncRound()
+		return
+	}
+	for _, id := range cohort {
+		if r.awaiting[id] {
+			r.dispatch(r.sessions[id])
+			if r.fatal != nil {
+				return
 			}
-			up := &wireMsg{kind: msgUpdate, a: m.a, b: f64bits(u.Scale), vecs: u.Vecs, counts: u.Counts}
-			if _, err := conn.Send(encodeMsg(up, codec)); err != nil {
-				return fmt.Errorf("fl: client %d upload: %w", c.ID, err)
+		}
+	}
+}
+
+// dispatchIdle keeps the async pipeline full: idle, unchurned sessions are
+// dispatched in id order until cohortSize updates are in flight —
+// mirroring the engine's bounded concurrency.
+func (r *serverRun) dispatchIdle() {
+	inFlight := r.outstanding()
+	for _, s := range r.sessions {
+		if inFlight >= r.cohortSize {
+			return
+		}
+		if s.churned || s.busy {
+			continue
+		}
+		r.dispatch(s)
+		if r.fatal != nil {
+			return
+		}
+		inFlight++
+	}
+}
+
+// openSemiCohort dispatches a fresh semisync cohort. Stragglers from an
+// earlier cohort keep their outstanding dispatches — their late updates
+// still count toward the quorum, exactly as in the engine.
+func (r *serverRun) openSemiCohort() {
+	avail := make([]int, 0, r.k)
+	for _, s := range r.sessions {
+		if !s.churned && !s.busy {
+			avail = append(avail, s.id)
+		}
+	}
+	n := r.cohortSize
+	if n > len(avail) {
+		n = len(avail)
+	}
+	if n == 0 {
+		return
+	}
+	perm := r.rng.Perm(len(avail))[:n]
+	ids := make([]int, n)
+	for i, p := range perm {
+		ids[i] = avail[p]
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r.dispatch(r.sessions[id])
+		if r.fatal != nil {
+			return
+		}
+	}
+	r.semiOpen = true
+}
+
+// dispatch sends one broadcast, caching the encoded frame for resend on
+// adoption (the payload cannot be regenerated: WireDispatch may consume
+// algorithm state). A disconnected session keeps the dispatch owed.
+func (r *serverRun) dispatch(s *srvSession) {
+	vecs, err := r.algo.WireDispatch(s.id)
+	if err != nil {
+		r.fatal = fmt.Errorf("fl: %s dispatch to client %d: %w", r.algo.Name(), s.id, err)
+		return
+	}
+	frame := encodeMsg(&wireMsg{kind: msgDispatch, a: uint64(r.version), vecs: vecs}, r.cfg.Codec)
+	s.busy = true
+	s.dispVersion = uint64(r.version)
+	s.pendingDispatch = frame
+	r.send(s, frame)
+}
+
+// handleTick runs the failure discipline: heartbeats out, hung peers torn
+// down, expired reconnect windows degraded to churn.
+func (r *serverRun) handleTick() {
+	if !r.assembled {
+		return
+	}
+	now := time.Now()
+	beat := now.Sub(r.lastBeat) >= r.cfg.Heartbeat
+	if beat {
+		r.lastBeat = now
+	}
+	var hb []byte
+	for _, s := range r.sessions {
+		if s.churned || s.stopped {
+			continue
+		}
+		if s.conn != nil {
+			if now.Sub(s.lastSeen) > r.cfg.DeadAfter {
+				// Silent past the dead interval: hung, not slow — a slow peer
+				// would at least be echoing heartbeats.
+				r.markDisconnected(s)
+			} else if beat {
+				if hb == nil {
+					hb = encodeMsg(&wireMsg{kind: msgHeartbeat, a: uint64(r.version)}, r.cfg.Codec)
+				}
+				r.send(s, hb)
 			}
-		case msgEvalReq:
-			res := &wireMsg{kind: msgEvalRes, a: m.a, b: f64bits(c.EvalAccuracy())}
-			if _, err := conn.Send(encodeMsg(res, codec)); err != nil {
-				return fmt.Errorf("fl: client %d evaluation: %w", c.ID, err)
-			}
-		case msgStop:
-			return nil
-		case msgErr:
-			return fmt.Errorf("fl: client %d refused by server: %s", c.ID, m.name)
-		default:
-			return fmt.Errorf("fl: client %d: unexpected message %#x", c.ID, m.kind)
+		}
+		if s.conn == nil && !s.downAt.IsZero() && now.Sub(s.downAt) > r.cfg.ReconnectWindow {
+			r.churn(s)
 		}
 	}
 }

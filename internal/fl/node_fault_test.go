@@ -1,0 +1,468 @@
+// Fault-tolerance tests of the node runtime: async/semisync schedules
+// over the wire, reconnect-and-resume with session tokens, server
+// checkpoint restarts, chaos transports and goroutine hygiene — the
+// wire-mode counterparts of the inproc engine's robustness suite.
+package fl_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/transport"
+)
+
+// applySched returns a NodeConfig option selecting a wire scheduler.
+func applySched(sched fl.SchedulerConfig) func(*fl.NodeConfig) {
+	return func(cfg *fl.NodeConfig) { experiments.ApplyNodeSched(cfg, sched) }
+}
+
+// TestNodeAsyncWireParity runs the bounded-staleness schedule as real
+// nodes and checks the final accuracy lands within tolerance of the
+// inproc async engine at the same scale — the wire port of FedBuff must
+// not change what the federation learns.
+func TestNodeAsyncWireParity(t *testing.T) {
+	s := nodeScale()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	factory, _, err := experiments.NewHeterogeneousFleet(experiments.Fashion, data.Dirichlet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := fl.SchedulerConfig{Kind: fl.SchedAsyncBounded, MaxStaleness: 4}
+	want, err := experiments.RunScheduled(experiments.MethodProposed, experiments.Fashion, factory, s, 1.0, sched, comm.F64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewInproc(transport.Options{})
+	got, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv",
+		applySched(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("wire async produced %d evaluation points, engine produced %d", len(got), len(want))
+	}
+	gf, wf := experiments.Final(got), experiments.Final(want)
+	if d := math.Abs(gf.MeanAcc - wf.MeanAcc); d > 0.02 {
+		t.Fatalf("wire async final %.4f vs engine %.4f (Δ %.4f > 0.02)", gf.MeanAcc, wf.MeanAcc, d)
+	}
+}
+
+// TestNodeSemiSyncWireRuns drives the K-of-N quorum schedule over the
+// wire end to end: every round commits and evaluates in range.
+func TestNodeSemiSyncWireRuns(t *testing.T) {
+	s := nodeScale()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewInproc(transport.Options{})
+	hist, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv",
+		applySched(fl.SchedulerConfig{Kind: fl.SchedSemiSync, Quorum: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != s.Rounds {
+		t.Fatalf("semisync wire run produced %d evaluation points, want %d", len(hist), s.Rounds)
+	}
+	fin := experiments.Final(hist)
+	if fin.MeanAcc < 0 || fin.MeanAcc > 1 {
+		t.Fatalf("accuracy out of range: %v", fin.MeanAcc)
+	}
+}
+
+// TestNodeClientReconnectResume kills one client's connection mid-round
+// over real TCP; the client re-dials with its session token, the server
+// adopts the reconnect and resends what it is owed, and the federation
+// finishes with every client evaluated — while the ledger still matches
+// the instrumented socket byte counts, heartbeats and the re-handshake
+// included.
+func TestNodeClientReconnectResume(t *testing.T) {
+	s := nodeScale()
+	k := 3
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", k, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewTCP(transport.Options{})
+	ln, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up, down int64
+	counted := &countingListener{Listener: ln, up: &up, down: &down}
+
+	algo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg.Heartbeat = 50 * time.Millisecond
+	cfg.DeadAfter = 500 * time.Millisecond
+	cfg.ReconnectWindow = 10 * time.Second
+	srv := fl.NewServerNode(algo, cfg)
+
+	type serveResult struct {
+		hist []fl.RoundMetrics
+		err  error
+	}
+	serveCh := make(chan serveResult, 1)
+	go func() {
+		h, serr := srv.Serve(ctx, counted)
+		serveCh <- serveResult{h, serr}
+	}()
+
+	clientErr := make(chan error, k)
+	for i := 0; i < k-1; i++ {
+		go func(id int) {
+			clientErr <- experiments.RunClientNode(ctx, experiments.MethodProposed, experiments.Fashion, build, id, s, tr, ln.Addr())
+		}(i)
+	}
+	// The flaky client: its first connection dies after four received
+	// frames (welcome, a dispatch, heartbeats); its Dialer then re-dials
+	// with the granted token and the run continues on a healthy socket.
+	// The TCP hello is answered by the server's accept loop, so the first
+	// dial also goes through the retry helper rather than racing Serve.
+	calgo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.DialRetry(ctx, tr, ln.Addr(), transport.RetryOptions{Seed: 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tokenSeen atomic.Uint64
+	go func() {
+		node := &fl.ClientNode{
+			Client: build(k - 1),
+			Algo:   calgo,
+			Dialer: func(ctx context.Context, token uint64) (transport.Conn, error) {
+				return transport.DialRetry(ctx, tr, ln.Addr(), transport.RetryOptions{Token: token, Seed: 99})
+			},
+			OnToken: func(tok uint64) { tokenSeen.Store(tok) },
+		}
+		clientErr <- node.Run(ctx, &dyingConn{Conn: conn, left: 4})
+	}()
+
+	res := <-serveCh
+	hist, err := res.hist, res.err
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := <-clientErr; err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}
+	if srv.Stats.Reconnects < 1 {
+		t.Errorf("server adopted %d reconnects, want >= 1", srv.Stats.Reconnects)
+	}
+	if srv.Stats.Churned != 0 {
+		t.Errorf("server churned %d sessions, want 0 (the client came back)", srv.Stats.Churned)
+	}
+	if tokenSeen.Load() == 0 {
+		t.Error("flaky client never observed a session token")
+	}
+	if len(hist) != s.Rounds {
+		t.Fatalf("federation produced %d evaluation points, want %d", len(hist), s.Rounds)
+	}
+	last := hist[len(hist)-1]
+	for i := 0; i < k; i++ {
+		if math.IsNaN(last.PerClient[i]) {
+			t.Errorf("client %d has no final accuracy despite finishing", i)
+		}
+	}
+	if got := srv.Ledger.TotalUp(); got != atomic.LoadInt64(&up) {
+		t.Errorf("ledger uplink %d bytes, wire carried %d", got, up)
+	}
+	if got := srv.Ledger.TotalDown(); got != atomic.LoadInt64(&down) {
+		t.Errorf("ledger downlink %d bytes, wire carried %d", got, down)
+	}
+}
+
+// TestNodeServerCheckpointResume restarts the *server* mid-federation:
+// the first incarnation checkpoints every commit and is cancelled after
+// round 2; a second incarnation restores the latest snapshot on the same
+// address, the still-running clients reconnect with their tokens, and
+// the federation completes every remaining round with no committed-round
+// gaps.
+func TestNodeServerCheckpointResume(t *testing.T) {
+	s := nodeScale()
+	s.Rounds = 4
+	const stopAfter = 2
+	k := s.Clients
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", k, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewInproc(transport.Options{})
+	ln, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []*fl.Snapshot
+	algo1, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, kill := context.WithCancel(ctx)
+	cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg.Checkpoint = func(snap *fl.Snapshot) error {
+		snaps = append(snaps, snap)
+		if snap.Round >= stopAfter {
+			kill() // the "SIGKILL": no goodbye to the clients
+		}
+		return nil
+	}
+	srv1 := fl.NewServerNode(algo1, cfg)
+
+	clientErr := make(chan error, k)
+	for i := 0; i < k; i++ {
+		go func(id int) {
+			clientErr <- experiments.RunClientNode(ctx, experiments.MethodProposed, experiments.Fashion, build, id, s, tr, "srv")
+		}(i)
+	}
+	if _, err := srv1.Serve(ctx1, ln); err == nil {
+		t.Fatal("killed server returned no error")
+	}
+
+	// Second incarnation: restore the latest snapshot, rebind the address
+	// (Serve closed the first listener), let the clients' retry loops find
+	// it. The algorithm instance is fresh — all its state comes from the
+	// snapshot, exactly as a restarted process would rebuild it.
+	last := snaps[len(snaps)-1]
+	if last.Round != stopAfter {
+		t.Fatalf("latest snapshot is round %d, want %d", last.Round, stopAfter)
+	}
+	ln2, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo2, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg2.Resume = last
+	srv2 := fl.NewServerNode(algo2, cfg2)
+	hist, err := srv2.Serve(ctx, ln2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := <-clientErr; err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}
+	// The snapshot carries the committed history, so the resumed server
+	// returns the federation's full record: rounds 1..Rounds, gap-free.
+	if len(hist) != s.Rounds {
+		t.Fatalf("resumed server produced %d evaluation points, want %d", len(hist), s.Rounds)
+	}
+	for i, m := range hist {
+		if want := i + 1; m.Round != want {
+			t.Fatalf("resumed round sequence has a gap: point %d is round %d, want %d", i, m.Round, want)
+		}
+		if m.MeanAcc < 0 || m.MeanAcc > 1 {
+			t.Fatalf("round %d accuracy out of range: %v", m.Round, m.MeanAcc)
+		}
+	}
+	if srv2.Stats.Reconnects != k {
+		t.Errorf("resumed server adopted %d reconnects, want %d (every client)", srv2.Stats.Reconnects, k)
+	}
+}
+
+// TestNodeChaosFederation runs the federation over a fault-injecting
+// transport — connection losses and duplicated frames on schedule — and
+// checks every round still commits, with accuracy within tolerance of
+// the clean run. This is the in-process shape of the CI chaos job.
+func TestNodeChaosFederation(t *testing.T) {
+	s := nodeScale()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64,
+		transport.NewInproc(transport.Options{}), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := transport.NewChaos(transport.NewInproc(transport.Options{}), transport.ChaosConfig{
+		Seed:     42,
+		Drop:     0.02,
+		Dup:      0.05,
+		Delay:    0.1,
+		MaxDelay: 5 * time.Millisecond,
+	})
+	shaken, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64,
+		chaos, "srv", func(cfg *fl.NodeConfig) {
+			cfg.Heartbeat = 50 * time.Millisecond
+			cfg.DeadAfter = 500 * time.Millisecond
+			cfg.ReconnectWindow = 30 * time.Second
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shaken) != len(clean) {
+		t.Fatalf("chaos run produced %d evaluation points, clean run %d", len(shaken), len(clean))
+	}
+	cf, sf := experiments.Final(clean), experiments.Final(shaken)
+	if d := math.Abs(cf.MeanAcc - sf.MeanAcc); d > 0.02 {
+		t.Fatalf("chaos final %.4f vs clean %.4f (Δ %.4f > 0.02)", sf.MeanAcc, cf.MeanAcc, d)
+	}
+}
+
+// settledGoroutines waits for the goroutine count to hold still briefly
+// and returns it — the baseline for the leak checks below.
+func settledGoroutines() int {
+	last, stable := runtime.NumGoroutine(), 0
+	for i := 0; i < 250 && stable < 10; i++ {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+		if n := runtime.NumGoroutine(); n == last {
+			stable++
+		} else {
+			last, stable = n, 0
+		}
+	}
+	return last
+}
+
+// waitNodeGoroutines polls until the goroutine count returns to the
+// baseline — the node runtime must leave no reader, worker or accept
+// goroutine behind however a run ends.
+func waitNodeGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutines leaked: %d running, baseline %d\n%s", runtime.NumGoroutine(), baseline, buf)
+}
+
+// TestNodeGoroutineHygiene checks the server and client nodes shed every
+// goroutine after (a) a clean run, (b) a mid-run cancellation and (c) a
+// run with a mid-federation disconnect and reconnect.
+func TestNodeGoroutineHygiene(t *testing.T) {
+	s := nodeScale()
+	s.Rounds = 2
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("clean", func(t *testing.T) {
+		// Baselines are taken inside each subtest: t.Run's own runner
+		// goroutine (and the parent blocked in t.Run) are part of the
+		// steady state here, not a leak.
+		baseline := settledGoroutines()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		tr := transport.NewInproc(transport.Options{})
+		if _, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv"); err != nil {
+			t.Fatal(err)
+		}
+		waitNodeGoroutines(t, baseline)
+	})
+
+	t.Run("cancelled", func(t *testing.T) {
+		baseline := settledGoroutines()
+		ctx, cancel := context.WithCancel(context.Background())
+		tr := transport.NewInproc(transport.Options{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv")
+		}()
+		time.Sleep(150 * time.Millisecond) // into the first local rounds
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("cancelled node federation did not return")
+		}
+		waitNodeGoroutines(t, baseline)
+	})
+
+	t.Run("disconnect", func(t *testing.T) {
+		baseline := settledGoroutines()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		tr := transport.NewInproc(transport.Options{})
+		ln, err := tr.Listen("srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		algo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, s.Clients)
+		cfg.Heartbeat = 20 * time.Millisecond
+		cfg.DeadAfter = 200 * time.Millisecond
+		srv := fl.NewServerNode(algo, cfg)
+		clientErr := make(chan error, s.Clients)
+		for i := 0; i < s.Clients-1; i++ {
+			go func(id int) {
+				clientErr <- experiments.RunClientNode(ctx, experiments.MethodProposed, experiments.Fashion, build, id, s, tr, "srv")
+			}(i)
+		}
+		calgo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := tr.Dial(ctx, "srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			node := &fl.ClientNode{
+				Client: build(s.Clients - 1),
+				Algo:   calgo,
+				Dialer: func(ctx context.Context, token uint64) (transport.Conn, error) {
+					return transport.DialRetry(ctx, tr, "srv", transport.RetryOptions{Token: token, Seed: 7})
+				},
+			}
+			clientErr <- node.Run(ctx, &dyingConn{Conn: conn, left: 3})
+		}()
+		if _, err := srv.Serve(ctx, ln); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < s.Clients; i++ {
+			if err := <-clientErr; err != nil {
+				t.Errorf("client: %v", err)
+			}
+		}
+		waitNodeGoroutines(t, baseline)
+	})
+}

@@ -144,13 +144,19 @@ type countingConn struct {
 
 func (c *countingConn) Send(frame []byte) (int64, error) {
 	n, err := c.Conn.Send(frame)
-	atomic.AddInt64(c.down, n)
+	if err == nil {
+		// The ledger books only completed sends; a torn write on a dying
+		// connection still reports partial bytes alongside its error.
+		atomic.AddInt64(c.down, n)
+	}
 	return n, err
 }
 
 func (c *countingConn) Recv() ([]byte, int64, error) {
 	b, n, err := c.Conn.Recv()
-	atomic.AddInt64(c.up, n)
+	if err == nil {
+		atomic.AddInt64(c.up, n)
+	}
 	return b, n, err
 }
 
@@ -243,37 +249,50 @@ func TestNodeClientDeathChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := fl.NewServerNode(algo, experiments.NodeConfigFor(s, 1.0, comm.F64, k))
+	cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	// A dead client without a reconnect attempt should degrade to churn
+	// quickly; the defaults are sized for real deployments.
+	cfg.Heartbeat = 20 * time.Millisecond
+	cfg.DeadAfter = 200 * time.Millisecond
+	cfg.ReconnectWindow = 300 * time.Millisecond
+	srv := fl.NewServerNode(algo, cfg)
 
+	survErr := make(chan error, k-1)
 	for i := 0; i < k-1; i++ {
 		go func(id int) {
-			if err := experiments.RunClientNode(ctx, experiments.MethodProposed, experiments.Fashion, build, id, s, tr, "srv"); err != nil {
-				t.Errorf("surviving client %d: %v", id, err)
-			}
+			survErr <- experiments.RunClientNode(ctx, experiments.MethodProposed, experiments.Fashion, build, id, s, tr, "srv")
 		}(i)
 	}
 	// The doomed client joins normally but its connection dies after two
 	// received frames (welcome + round-1 dispatch).
+	calgo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := tr.Dial(ctx, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomedErr := make(chan error, 1)
 	go func() {
-		calgo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		conn, err := tr.Dial(ctx, "srv")
-		if err != nil {
-			t.Error(err)
-			return
-		}
 		node := &fl.ClientNode{Client: build(k - 1), Algo: calgo}
-		if err := node.Run(ctx, &dyingConn{Conn: conn, left: 2}); err == nil {
-			t.Error("doomed client finished cleanly")
-		}
+		doomedErr <- node.Run(ctx, &dyingConn{Conn: conn, left: 2})
 	}()
 
 	hist, err := srv.Serve(ctx, ln)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for i := 0; i < k-1; i++ {
+		if err := <-survErr; err != nil {
+			t.Errorf("surviving client: %v", err)
+		}
+	}
+	if err := <-doomedErr; err == nil {
+		t.Error("doomed client finished cleanly")
+	}
+	if srv.Stats.Churned != 1 {
+		t.Errorf("server churned %d sessions, want 1", srv.Stats.Churned)
 	}
 	if len(hist) != s.Rounds {
 		t.Fatalf("churned federation produced %d evaluation points, want %d", len(hist), s.Rounds)

@@ -85,6 +85,16 @@ type CheckpointableAlgorithm interface {
 	AlgoRestore(sim *Simulation, st *AlgoState) error
 }
 
+// SessionState is one wire client's checkpointed session: the identity
+// the server will honor across its own restart. Tokens are stable across
+// a resume, so a client that outlives a crashed server reconnects with
+// the token it already holds.
+type SessionState struct {
+	ID      int
+	Token   uint64
+	Churned bool
+}
+
 // Snapshot is the full federation state at a commit boundary.
 type Snapshot struct {
 	Kind    SchedulerKind
@@ -110,6 +120,29 @@ type Snapshot struct {
 	Ledger  comm.LedgerState
 	Clients []ClientState
 	Algo    *AlgoState
+
+	// Node-mode (ServerNode) state. A server checkpoint has no ClientState
+	// — client models live in other processes — but must preserve the
+	// session table and the join-time declarations so a restarted server
+	// can rebuild its algorithm state via WireSetup and honor reconnecting
+	// clients' tokens.
+	Sessions []SessionState
+	Joins    []WireJoin
+}
+
+// cloneJoins deep-copies join declarations (their init payloads alias
+// live state otherwise).
+func cloneJoins(joins []WireJoin) []WireJoin {
+	out := append([]WireJoin(nil), joins...)
+	for i := range out {
+		if joins[i].Init != nil {
+			out[i].Init = make([][]float64, len(joins[i].Init))
+			for j, v := range joins[i].Init {
+				out[i].Init[j] = CloneVec(v)
+			}
+		}
+	}
+	return out
 }
 
 // CloneVec returns a nil-preserving copy of a float vector; algorithms use

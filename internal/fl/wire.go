@@ -46,6 +46,24 @@ const (
 	msgEvalRes
 	msgStop
 	msgErr
+	// msgHeartbeat is the liveness probe: the server sends one every
+	// heartbeat interval with a = its committed version, and the client
+	// echoes it back verbatim. Either side reading silence past its dead
+	// interval declares the peer hung — traffic, not progress, is the
+	// liveness signal, so a slow trainer stays alive while a wedged one
+	// does not.
+	msgHeartbeat
+	// msgResume is the server's welcome-back on an accepted reconnect:
+	// a = the committed version, ints = the welcome layout (the client may
+	// be a restarted process that never saw the original welcome). The
+	// server follows it with a resend of any dispatch or evaluation
+	// request the client still owes.
+	msgResume
+	// msgStopAck is the client's goodbye: a send success on the server's
+	// stop frame proves nothing about delivery, so the server holds a
+	// session open — re-delivering the stop to any re-dial — until this
+	// acknowledgement arrives or the reconnect window churns the session.
+	msgStopAck
 )
 
 // join-message ints layout.
@@ -59,12 +77,19 @@ const (
 	joinIntCount
 )
 
-// welcome-message ints layout.
+// welcome-message ints layout (shared by msgWelcome and msgResume).
+// welToken carries the server-issued session token (a uint64 bit pattern
+// in an int64 slot) the client presents when re-dialing after a
+// connection loss. welHeartbeatMs/welDeadMs announce the server's
+// failure discipline so both ends agree on what "hung" means.
 const (
 	welClients = iota
 	welRounds
 	welBatch
 	welEvalEvery
+	welToken
+	welHeartbeatMs
+	welDeadMs
 	welIntCount
 )
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // The inproc transport: frames move over in-memory channels between
@@ -55,13 +56,23 @@ func (t *Inproc) Listen(addr string) (Listener, error) {
 // harness that wires two endpoints with different options together still
 // fails loudly instead of corrupting payloads.
 func (t *Inproc) Dial(ctx context.Context, addr string) (Conn, error) {
+	return t.dial(ctx, addr, t.opts.Token)
+}
+
+// DialSession dials presenting a per-call session token in the hello,
+// within this instance's namespace.
+func (t *Inproc) DialSession(ctx context.Context, addr string, token uint64) (Conn, error) {
+	return t.dial(ctx, addr, token)
+}
+
+func (t *Inproc) dial(ctx context.Context, addr string, token uint64) (Conn, error) {
 	t.mu.Lock()
 	ln := t.listeners[addr]
 	t.mu.Unlock()
 	if ln == nil {
 		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
 	}
-	hello := Hello{Version: Version, DType: t.opts.DType, Codec: t.opts.Codec}
+	hello := Hello{Version: Version, DType: t.opts.DType, Codec: t.opts.Codec, Token: token}
 	if err := checkHello(hello, ln.opts); err != nil {
 		return nil, err
 	}
@@ -128,24 +139,51 @@ type inprocConn struct {
 	recv chan []byte
 	pipe *pipeState
 	peer Hello
+
+	mu            sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+// deadlineTimer returns a channel that fires at the deadline, or nil (a
+// never-ready select case) when no deadline is set. The returned stop
+// func releases the timer.
+func deadlineTimer(dl time.Time) (<-chan time.Time, func()) {
+	if dl.IsZero() {
+		return nil, func() {}
+	}
+	t := time.NewTimer(time.Until(dl))
+	return t.C, func() { t.Stop() }
 }
 
 func (c *inprocConn) Send(frame []byte) (int64, error) {
 	// Frames are copied at the boundary: the receiver must never observe a
 	// sender-side mutation, exactly as bytes on a socket would not.
 	b := append([]byte(nil), frame...)
+	c.mu.Lock()
+	expire, stop := deadlineTimer(c.writeDeadline)
+	c.mu.Unlock()
+	defer stop()
 	select {
 	case c.send <- b:
 		return FrameOverhead + int64(len(b)), nil
+	case <-expire:
+		return 0, fmt.Errorf("transport: inproc send: %w", ErrDeadline)
 	case <-c.pipe.closed:
 		return 0, io.ErrClosedPipe
 	}
 }
 
 func (c *inprocConn) Recv() ([]byte, int64, error) {
+	c.mu.Lock()
+	expire, stop := deadlineTimer(c.readDeadline)
+	c.mu.Unlock()
+	defer stop()
 	select {
 	case b := <-c.recv:
 		return b, FrameOverhead + int64(len(b)), nil
+	case <-expire:
+		return nil, 0, fmt.Errorf("transport: inproc recv: %w", ErrDeadline)
 	case <-c.pipe.closed:
 		// Drain frames that were already in flight before the close, so a
 		// graceful shutdown message is not lost to a racing Close.
@@ -160,6 +198,20 @@ func (c *inprocConn) Recv() ([]byte, int64, error) {
 
 func (c *inprocConn) Close() error {
 	c.pipe.close()
+	return nil
+}
+
+func (c *inprocConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *inprocConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Dial-retry policy shared by fedclient's first dial and the node
+// runtime's reconnect loop: capped exponential backoff with seeded
+// jitter under a total time budget. Jitter desynchronizes a fleet of
+// clients re-dialing a restarted server (no thundering herd of
+// simultaneous retries), and seeding it keeps test runs reproducible.
+
+// RetryOptions configure DialRetry. The zero value retries for
+// DefaultRetryBudget with the default backoff envelope.
+type RetryOptions struct {
+	// Budget is the total time to keep trying (default DefaultRetryBudget).
+	// The last attempt starts before the budget expires; it may finish
+	// after.
+	Budget time.Duration
+	// BaseDelay is the first backoff interval (default 50ms); each failure
+	// doubles it up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter stream. Callers pass a per-client seed so a
+	// fleet's retry schedules differ deterministically.
+	Seed int64
+	// OnRetry, when non-nil, observes each failed attempt before the
+	// backoff sleep (logging, test hooks).
+	OnRetry func(attempt int, err error, next time.Duration)
+	// Token, when nonzero, is the session token presented in each dial's
+	// hello (a reconnecting client naming its session).
+	Token uint64
+}
+
+// DefaultRetryBudget bounds a retried dial when the caller sets none.
+const DefaultRetryBudget = 30 * time.Second
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Budget <= 0 {
+		o.Budget = DefaultRetryBudget
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 50 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	return o
+}
+
+// DialRetry dials addr until it succeeds, the budget is exhausted, the
+// context is cancelled, or the peer deterministically rejects the
+// handshake (ErrHandshake — retrying cannot succeed, so it surfaces
+// immediately). On exhaustion the error reports the attempt count, the
+// budget and the last failure, so a misconfigured address reads as a
+// clear diagnosis instead of a hang.
+func DialRetry(ctx context.Context, tr Transport, addr string, o RetryOptions) (Conn, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	deadline := time.Now().Add(o.Budget)
+	delay := o.BaseDelay
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		conn, err := DialWithToken(ctx, tr, addr, o.Token)
+		if err == nil {
+			return conn, nil
+		}
+		if errors.Is(err, ErrHandshake) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s failed after %d attempts over %v, last: %w",
+				addr, attempt, o.Budget, lastErr)
+		}
+		// Full jitter: sleep uniformly in (0, delay], then double the
+		// envelope. The cap keeps the worst-case reconnect latency bounded.
+		sleep := time.Duration(rng.Int63n(int64(delay))) + 1
+		if o.OnRetry != nil {
+			o.OnRetry(attempt, err, sleep)
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if delay *= 2; delay > o.MaxDelay {
+			delay = o.MaxDelay
+		}
+	}
+}

@@ -17,20 +17,26 @@ import (
 // The tcp transport: length-prefixed frames over real sockets. The wire
 // format per connection is
 //
-//	handshake  "FEDWIRE1" [version u32][dtype u32][codec u32]   (20 bytes, each way)
-//	frame      [length u32][frame bytes]                        (length-prefixed, little-endian)
+//	handshake  "FEDWIRE2" [version u32][dtype u32][codec u32][token u64]  (28 bytes, each way)
+//	frame      [length u32][frame bytes]                                  (length-prefixed, little-endian)
 //
 // The dialer sends its hello first; the acceptor validates it, replies
 // with its own, and the dialer validates that. Either side rejecting the
 // handshake closes the socket, so an f32 client can never join an f64
-// federation and a version skew fails before any payload moves. Every
-// Recv enforces the per-connection read limit before allocating.
+// federation and a version skew fails before any payload moves. The token
+// word carries a session claim for reconnecting clients; it is opaque to
+// the transport. Every hello read is exactly helloSize bytes under a
+// deadline — a peer that sends less (truncated), junk (bad magic,
+// out-of-range dtype/codec) or something else entirely is rejected with a
+// typed ErrHandshake before any payload is parsed. Every Recv enforces
+// the per-connection read limit before allocating.
 
-// tcpMagic guards against pointing a node at an arbitrary TCP service.
-const tcpMagic = "FEDWIRE1"
+// tcpMagic guards against pointing a node at an arbitrary TCP service
+// (and a v1 node at a v2 federation: the magic carries the generation).
+const tcpMagic = "FEDWIRE2"
 
 // helloSize is the fixed handshake size per direction.
-const helloSize = len(tcpMagic) + 12
+const helloSize = len(tcpMagic) + 12 + 8
 
 // handshakeTimeout bounds how long an endpoint waits for its peer's hello,
 // so a stray connection cannot wedge the accept loop.
@@ -59,6 +65,17 @@ func (t *TCP) Listen(addr string) (Listener, error) {
 // Dial connects and handshakes; ctx bounds the whole attempt including the
 // handshake round trip.
 func (t *TCP) Dial(ctx context.Context, addr string) (Conn, error) {
+	return t.dial(ctx, addr, t.opts)
+}
+
+// DialSession dials presenting a per-call session token in the hello.
+func (t *TCP) DialSession(ctx context.Context, addr string, token uint64) (Conn, error) {
+	opts := t.opts
+	opts.Token = token
+	return t.dial(ctx, addr, opts)
+}
+
+func (t *TCP) dial(ctx context.Context, addr string, opts Options) (Conn, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -69,9 +86,9 @@ func (t *TCP) Dial(ctx context.Context, addr string) (Conn, error) {
 	} else {
 		nc.SetDeadline(time.Now().Add(handshakeTimeout))
 	}
-	c := &tcpConn{nc: nc, limit: t.opts.MaxFrame}
+	c := &tcpConn{nc: nc, limit: opts.MaxFrame}
 	// Dialer speaks first, then validates the reply.
-	if err := c.sendHello(t.opts); err != nil {
+	if err := c.sendHello(opts); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -80,7 +97,7 @@ func (t *TCP) Dial(ctx context.Context, addr string) (Conn, error) {
 		nc.Close()
 		return nil, err
 	}
-	if err := checkHello(peer, t.opts); err != nil {
+	if err := checkHello(peer, opts); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -148,6 +165,7 @@ func (c *tcpConn) sendHello(o Options) error {
 	binary.LittleEndian.PutUint32(b[len(tcpMagic):], Version)
 	binary.LittleEndian.PutUint32(b[len(tcpMagic)+4:], uint32(o.DType))
 	binary.LittleEndian.PutUint32(b[len(tcpMagic)+8:], uint32(o.Codec))
+	binary.LittleEndian.PutUint64(b[len(tcpMagic)+12:], o.Token)
 	if _, err := c.nc.Write(b); err != nil {
 		return fmt.Errorf("transport: sending handshake: %w", err)
 	}
@@ -157,18 +175,43 @@ func (c *tcpConn) sendHello(o Options) error {
 
 func (c *tcpConn) recvHello() (Hello, error) {
 	b := make([]byte, helloSize)
-	if _, err := io.ReadFull(c.nc, b); err != nil {
+	if n, err := io.ReadFull(c.nc, b); err != nil {
+		if n > 0 {
+			// The peer started a hello and stopped: that is a malformed
+			// handshake (deterministic), not a transient network fault.
+			return Hello{}, fmt.Errorf("transport: truncated handshake (%d of %d bytes): %w", n, helloSize, ErrHandshake)
+		}
 		return Hello{}, fmt.Errorf("transport: reading handshake: %w", err)
 	}
 	c.hsRecv += int64(helloSize)
 	if string(b[:len(tcpMagic)]) != tcpMagic {
 		return Hello{}, fmt.Errorf("transport: peer is not a federation endpoint (bad magic %q): %w", b[:len(tcpMagic)], ErrHandshake)
 	}
-	return Hello{
+	h := Hello{
 		Version: binary.LittleEndian.Uint32(b[len(tcpMagic):]),
 		DType:   tensor.DType(binary.LittleEndian.Uint32(b[len(tcpMagic)+4:])),
 		Codec:   comm.Codec(binary.LittleEndian.Uint32(b[len(tcpMagic)+8:])),
-	}, nil
+		Token:   binary.LittleEndian.Uint64(b[len(tcpMagic)+12:]),
+	}
+	// Field garbage behind a valid magic is still a rejection with a
+	// precise reason, not a mysterious mismatch downstream.
+	if !h.DType.Valid() {
+		return Hello{}, fmt.Errorf("transport: handshake declares unknown dtype %d: %w", uint32(h.DType), ErrHandshake)
+	}
+	if h.Codec > comm.I8 {
+		return Hello{}, fmt.Errorf("transport: handshake declares unknown codec %d: %w", uint32(h.Codec), ErrHandshake)
+	}
+	return h, nil
+}
+
+// wrapIOErr marks timeout errors with ErrDeadline so callers can test
+// with errors.Is instead of type-asserting net.Error.
+func wrapIOErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("transport: %v: %w", err, ErrDeadline)
+	}
+	return fmt.Errorf("transport: %w", err)
 }
 
 func (c *tcpConn) Send(frame []byte) (int64, error) {
@@ -177,10 +220,10 @@ func (c *tcpConn) Send(frame []byte) (int64, error) {
 	var prefix [FrameOverhead]byte
 	binary.LittleEndian.PutUint32(prefix[:], uint32(len(frame)))
 	if _, err := c.nc.Write(prefix[:]); err != nil {
-		return 0, fmt.Errorf("transport: %w", err)
+		return 0, wrapIOErr(err)
 	}
 	if _, err := c.nc.Write(frame); err != nil {
-		return FrameOverhead, fmt.Errorf("transport: %w", err)
+		return FrameOverhead, wrapIOErr(err)
 	}
 	return FrameOverhead + int64(len(frame)), nil
 }
@@ -191,7 +234,7 @@ func (c *tcpConn) Recv() ([]byte, int64, error) {
 		if err == io.EOF {
 			return nil, 0, io.EOF
 		}
-		return nil, 0, fmt.Errorf("transport: %w", err)
+		return nil, 0, wrapIOErr(err)
 	}
 	n := int64(binary.LittleEndian.Uint32(prefix[:]))
 	if n > c.limit {
@@ -199,12 +242,15 @@ func (c *tcpConn) Recv() ([]byte, int64, error) {
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(c.nc, b); err != nil {
-		return nil, FrameOverhead, fmt.Errorf("transport: %w", err)
+		return nil, FrameOverhead, wrapIOErr(err)
 	}
 	return b, FrameOverhead + n, nil
 }
 
 func (c *tcpConn) Close() error { return c.nc.Close() }
+
+func (c *tcpConn) SetReadDeadline(t time.Time) error  { return c.nc.SetReadDeadline(t) }
+func (c *tcpConn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
 
 func (c *tcpConn) Hello() Hello { return c.peer }
 

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/tensor"
@@ -39,9 +40,18 @@ var ErrClosed = errors.New("endpoint closed")
 // errors.Is.
 var ErrHandshake = errors.New("handshake rejected")
 
+// ErrDeadline marks a Send or Recv that missed a deadline set via
+// SetReadDeadline/SetWriteDeadline. The connection may still be usable
+// (tcp leaves the socket open), but the federation layer treats a missed
+// heartbeat deadline as a dead peer. Test with errors.Is.
+var ErrDeadline = errors.New("deadline exceeded")
+
 // Version is the wire-protocol generation spoken by this build. Both ends
 // of a tcp connection must agree; the handshake rejects mismatches.
-const Version = 1
+// Version 2 added the session-token word to the hello (magic "FEDWIRE2"),
+// so a v1 peer fails the magic check before it can misparse the longer
+// hello.
+const Version = 2
 
 // FrameOverhead is the per-frame wire overhead: the uint32 length prefix.
 // The inproc transport books the same arithmetic so byte accounting is
@@ -68,6 +78,13 @@ type Options struct {
 	// MaxFrame caps the size of any single received frame in bytes
 	// (default DefaultMaxFrame).
 	MaxFrame int64
+	// Token is the session token this endpoint presents when dialing: 0
+	// for a fresh connection, a server-issued token when reconnecting to
+	// resume an existing federation session. The handshake carries it as
+	// opaque data — validation is the federation layer's job, not the
+	// transport's (a token is an identity claim, not a compatibility
+	// property).
+	Token uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +100,12 @@ type Hello struct {
 	Version uint32
 	DType   tensor.DType
 	Codec   comm.Codec
+	// Token is the session token the peer presented. On an accepted
+	// connection this is the dialer's claim (the interesting direction: a
+	// reconnecting client names its session); on a dialed connection it is
+	// whatever the listener was configured with, normally zero. The
+	// federation layer decides what a nonzero token resumes.
+	Token uint64
 }
 
 // Conn is one frame-oriented connection. Send and Recv may be used
@@ -98,6 +121,14 @@ type Conn interface {
 	Recv() ([]byte, int64, error)
 	// Close tears the connection down, unblocking any pending Recv.
 	Close() error
+	// SetReadDeadline bounds every subsequent Recv: a Recv not completed by
+	// t fails with an error satisfying errors.Is(err, ErrDeadline). The
+	// zero time clears the deadline. This is the failure-discipline seam —
+	// a peer that stops sending (hung) is distinguished from one that sends
+	// slowly (alive) by whether traffic arrives before the deadline.
+	SetReadDeadline(t time.Time) error
+	// SetWriteDeadline bounds every subsequent Send the same way.
+	SetWriteDeadline(t time.Time) error
 	// Hello reports the peer's negotiated handshake.
 	Hello() Hello
 	// HandshakeBytes reports the wire bytes the handshake itself moved
@@ -125,6 +156,25 @@ type Transport interface {
 	Listen(addr string) (Listener, error)
 	// Dial connects (and handshakes) to a listener; ctx bounds the attempt.
 	Dial(ctx context.Context, addr string) (Conn, error)
+}
+
+// SessionDialer is implemented by transports whose Dial can present a
+// per-call session token, overriding Options.Token. A client learns its
+// token only after the first welcome, long after the transport was
+// constructed — reconnects need to attach it per dial.
+type SessionDialer interface {
+	DialSession(ctx context.Context, addr string, token uint64) (Conn, error)
+}
+
+// DialWithToken dials addr presenting token in the hello when the
+// transport supports per-dial tokens. A zero token (or a transport
+// without per-dial support) falls back to a plain Dial with whatever
+// Options.Token was configured.
+func DialWithToken(ctx context.Context, tr Transport, addr string, token uint64) (Conn, error) {
+	if sd, ok := tr.(SessionDialer); ok && token != 0 {
+		return sd.DialSession(ctx, addr, token)
+	}
+	return tr.Dial(ctx, addr)
 }
 
 // ParseName validates a -transport flag value.

@@ -208,7 +208,7 @@ func TestTCPRejectsBadMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	nc.Write([]byte("GET / HTTP/1.1\r\n\r\n...."))
+	nc.Write([]byte("GET / HTTP/1.1\r\nHost: chaos\r\n\r\n....")) // ≥ helloSize bytes of non-protocol traffic
 	err = <-acceptErr
 	if err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("accept error = %v, want bad-magic rejection", err)
