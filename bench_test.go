@@ -6,6 +6,7 @@ package repro
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/comm"
@@ -79,6 +80,83 @@ func BenchmarkRoundThroughputSync(b *testing.B)  { runThroughput(b, fl.SchedSync
 func BenchmarkRoundThroughputAsync(b *testing.B) { runThroughput(b, fl.SchedAsyncBounded) }
 func BenchmarkRoundThroughputSemiSync(b *testing.B) {
 	runThroughput(b, fl.SchedSemiSync)
+}
+
+// BenchmarkRoundThroughput10k runs rounds over a 10 000-client virtual
+// fleet at cohort-proportional cost: clients materialize on dispatch and at
+// most 64 stay resident. The interesting number is that this completes at
+// all in benchmark time — an eager fleet of this size would spend the whole
+// budget constructing 10 000 models.
+func BenchmarkRoundThroughput10k(b *testing.B) {
+	s := benchScale()
+	const k = 10_000
+	build, _, err := experiments.NewLazyFleetBuilder(experiments.Fashion, data.Dirichlet, "homogeneous", k, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := fl.SchedulerConfig{Kind: fl.SchedSync}
+	var simTime float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist, err := experiments.RunLazyScheduled(experiments.MethodFedAvg, experiments.Fashion, build, k, s, 0.0008, 64, 0, sched, comm.F64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simTime = hist[len(hist)-1].SimTime
+	}
+	if simTime > 0 {
+		b.ReportMetric(float64(s.Rounds)/simTime, "rounds/vtime")
+	}
+}
+
+// lazyRunHeap runs a short lazy-fleet experiment at fleet size k with a
+// fixed cohort size and returns the live heap while the simulation is still
+// reachable — the memory the virtual fleet actually retains.
+func lazyRunHeap(t *testing.T, k int, rate float64) uint64 {
+	t.Helper()
+	s := benchScale()
+	build, _, err := experiments.NewLazyFleetBuilder(experiments.Fashion, data.Dirichlet, "homogeneous", k, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := experiments.NewAlgorithm(experiments.MethodBaseline, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := fl.NewLazySimulation(k, build, 16, fl.Config{
+		Rounds: s.Rounds, SampleRate: rate, BatchSize: s.BatchSize, Seed: s.Seed + 7,
+	})
+	if _, err := sim.RunScheduled(algo, fl.SchedulerConfig{Kind: fl.SchedSync}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runtime.KeepAlive(sim)
+	return ms.HeapAlloc
+}
+
+// TestLazyFleetMemorySublinear is the memory gate of the virtual-fleet
+// contract: growing the fleet 10× at a fixed cohort size must not grow the
+// retained heap anywhere near 10×. The bookkeeping that legitimately scales
+// with N (per-client churn/idle arrays, ~9 bytes each) is far below the
+// ~10× model-state blowup an eager fleet would show.
+func TestLazyFleetMemorySublinear(t *testing.T) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	// Rate scales inversely with fleet size: cohort = ⌈k·rate⌉ = 10 both times.
+	h10k := lazyRunHeap(t, 10_000, 0.001)
+	h100k := lazyRunHeap(t, 100_000, 0.0001)
+	grow10k := int64(h10k) - int64(base.HeapAlloc)
+	grow100k := int64(h100k) - int64(base.HeapAlloc)
+	if grow10k < 0 {
+		grow10k = 0
+	}
+	const slack = 8 << 20
+	if grow100k > 3*grow10k+slack {
+		t.Fatalf("10× fleet grew retained heap %d → %d bytes — memory is not cohort-proportional", grow10k, grow100k)
+	}
 }
 
 // --- Quantized codec hot path ---

@@ -63,6 +63,7 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", fl.DefaultHeartbeat, "server heartbeat interval (clients echo it)")
 		deadAfter = flag.Duration("dead", 0, "declare a silent connection dead after this long (0 = 5x heartbeat)")
 		window    = flag.Duration("window", fl.DefaultReconnectWindow, "how long a dead client may take to reconnect before it is churned")
+		evalSmpl  = flag.Int("evalsample", 0, "evaluate a deterministic per-round sample of this many clients instead of the full federation (0 = full sweep)")
 	)
 	flag.Parse()
 
@@ -138,6 +139,9 @@ func main() {
 	if *window <= 0 {
 		usage("-window must be > 0, got %v", *window)
 	}
+	if *evalSmpl < 0 {
+		usage("-evalsample must be >= 0, got %d", *evalSmpl)
+	}
 	if _, err := experiments.WireAlgorithmFor(*method, name, s); err != nil {
 		usage("%v", err)
 	}
@@ -177,6 +181,7 @@ func main() {
 	cfg.MaxStaleness = *staleness
 	cfg.Decay = *decay
 	cfg.Quorum = *quorum
+	cfg.EvalSample = *evalSmpl
 	cfg.Heartbeat = *heartbeat
 	cfg.DeadAfter = *deadAfter
 	cfg.ReconnectWindow = *window

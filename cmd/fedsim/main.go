@@ -17,6 +17,7 @@
 //	fedsim -method Proposed -dtype f32                          # float32 fast path
 //	fedsim -method FedProto -arch resnet,cnn2 -width 1,2        # scripted fleet rotation
 //	fedsim -method Proposed -transport tcp                      # node split over real sockets
+//	fedsim -clients 1000000 -rate 0.0001 -resident 256          # million-client virtual fleet
 package main
 
 import (
@@ -67,6 +68,8 @@ func main() {
 		traceFile  = flag.String("trace", "", "file to write the scheduler event trace to")
 		ckptCodec  = flag.String("ckptcodec", "f64", "checkpoint payload codec: f64 (lossless replay) | f32 | i8")
 		transName  = flag.String("transport", "inproc", "federation transport: inproc (virtual-clock engine) | tcp (server/client nodes over localhost sockets)")
+		resident   = flag.Int("resident", 0, "virtual fleet: keep at most this many materialized clients resident in memory; the rest spill to compact state buffers (0 = eager fleet, all clients materialized)")
+		evalSample = flag.Int("evalsample", 0, "with -resident: evaluate a deterministic per-round sample of this many clients instead of the full fleet (0 = cohort-size default)")
 	)
 	flag.Parse()
 
@@ -175,6 +178,18 @@ func main() {
 	if *every < 1 {
 		usage("-every must be >= 1, got %d", *every)
 	}
+	if *resident < 0 {
+		usage("-resident must be >= 0, got %d", *resident)
+	}
+	if *evalSample < 0 {
+		usage("-evalsample must be >= 0, got %d", *evalSample)
+	}
+	if *evalSample > 0 && *resident == 0 {
+		usage("-evalsample requires -resident (eager fleets evaluate the full fleet)")
+	}
+	if *resident > 0 && *archRot != "" {
+		usage("-resident does not support -arch rotations yet (use -fleet)")
+	}
 	trName, err := transport.ParseName(*transName)
 	if err != nil {
 		usage("%v", err)
@@ -198,6 +213,8 @@ func main() {
 			usage("-transport tcp does not support -stragglers (node-mode stragglers are real: nice a client process)")
 		case *archRot != "":
 			usage("-transport tcp does not support -arch rotations yet (use -fleet)")
+		case *resident > 0:
+			usage("-transport tcp does not support -resident (node-mode clients are separate processes; memory is bounded per process)")
 		}
 	}
 
@@ -233,8 +250,15 @@ func main() {
 		if snap.Kind != schedKind {
 			usage("checkpoint %s was taken under the %s scheduler, -sched asks for %s", *resume, snap.Kind, schedKind)
 		}
-		if len(snap.Clients) != s.Clients {
-			usage("checkpoint %s holds %d clients, flags configure %d", *resume, len(snap.Clients), s.Clients)
+		// Lazy checkpoints hold only the touched clients, so the fleet size
+		// is carried explicitly (FleetSize == 0 only in pre-lazy snapshots,
+		// where every client is present).
+		fleetSize := snap.FleetSize
+		if fleetSize == 0 {
+			fleetSize = len(snap.Clients)
+		}
+		if fleetSize != s.Clients {
+			usage("checkpoint %s holds a %d-client fleet, flags configure %d", *resume, fleetSize, s.Clients)
 		}
 		if snap.Round >= s.Rounds {
 			usage("checkpoint %s is already at round %d of %d — nothing to resume", *resume, snap.Round, s.Rounds)
@@ -253,6 +277,12 @@ func main() {
 		if err != nil {
 			usage("%v", err)
 		}
+	} else if *resident > 0 {
+		builder, _, err = experiments.NewLazyFleetBuilder(name, kind, *fleet, s.Clients, s)
+		if err != nil {
+			usage("%v", err)
+		}
+		fleetDesc = fmt.Sprintf("%s/lazy(resident %d)", *fleet, *resident)
 	} else if len(arches) > 0 {
 		factory, _, err = experiments.NewRotationFleet(name, kind, s.Clients, s, arches, widths)
 		fleetDesc = "custom(" + *archRot + ")"
@@ -285,6 +315,8 @@ func main() {
 		tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
 		hist, err = experiments.RunNodes(context.Background(), *method, name, builder, s.Clients, s, *rate, codec, tr, "127.0.0.1:0",
 			func(cfg *fl.NodeConfig) { experiments.ApplyNodeSched(cfg, sched) })
+	} else if *resident > 0 {
+		hist, err = experiments.RunLazyScheduled(*method, name, builder, s.Clients, s, *rate, *resident, *evalSample, sched, codec)
 	} else {
 		hist, err = experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
 	}

@@ -94,6 +94,50 @@ func TestFedsimDTypeAndRotationFlags(t *testing.T) {
 	}
 }
 
+// The -resident flag: a lazy virtual fleet runs end to end, any finite
+// budget reproduces any other budget byte for byte, a mid-run checkpoint
+// resumes, and the flag interlocks reject in the standard usage style.
+func TestFedsimLazyFleetFlags(t *testing.T) {
+	common := []string{"-dataset", "fashion", "-clients", "50", "-rounds", "3",
+		"-featdim", "16", "-rate", "0.1", "-method", "FedAvg", "-fleet", "homogeneous", "-seed", "3"}
+	run := func(extra ...string) string {
+		out := cmdtest.Run(t, nil, append(append([]string(nil), common...), extra...)...)
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			// The header names the resident budget; metrics must not.
+			if !strings.HasPrefix(line, "# fedsim") && !strings.HasPrefix(line, "fedsim: resumed") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	small := run("-resident", "2")
+	large := run("-resident", "40")
+	if small != large {
+		t.Fatalf("resident budget changed the metrics\n--- resident 2 ---\n%s\n--- resident 40 ---\n%s", small, large)
+	}
+
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	run("-resident", "2", "-checkpoint", ckptDir)
+	resumed := run("-resident", "2", "-resume", filepath.Join(ckptDir, "round-00001.ckpt"))
+	if small != resumed {
+		t.Fatalf("lazy resume differs from uninterrupted run\n--- full ---\n%s\n--- resumed ---\n%s", small, resumed)
+	}
+
+	if out := cmdtest.RunErr(t, 2, nil, "-evalsample", "4"); !strings.Contains(out, "-evalsample requires -resident") {
+		t.Fatalf("evalsample without resident:\n%s", out)
+	}
+	if out := cmdtest.RunErr(t, 2, nil, "-resident", "-1"); !strings.Contains(out, "-resident") {
+		t.Fatalf("negative resident:\n%s", out)
+	}
+	if out := cmdtest.RunErr(t, 2, nil, "-resident", "4", "-arch", "resnet,cnn2"); !strings.Contains(out, "arch") {
+		t.Fatalf("resident with arch rotation:\n%s", out)
+	}
+	if out := cmdtest.RunErr(t, 2, nil, "-resident", "4", "-transport", "tcp"); !strings.Contains(out, "resident") {
+		t.Fatalf("resident over tcp:\n%s", out)
+	}
+}
+
 // The -transport flag: tcp runs the node split over real localhost
 // sockets — under any scheduler — and every virtual-clock-only feature is
 // rejected with a usage error in the standard post-parse style.

@@ -55,16 +55,18 @@ func (f *FedAvg) EpochsPerRound() int { return f.LocalEpochs }
 // Setup verifies homogeneity and initializes the global model from client 0
 // so all clients start from one common initialization, as FedAvg assumes.
 func (f *FedAvg) Setup(sim *fl.Simulation) error {
-	if len(sim.Clients) == 0 {
+	if sim.NumClients() == 0 {
 		return errors.New("baselines: no clients")
 	}
-	n := nn.NumParams(sim.Clients[0].Model.Params())
-	for _, c := range sim.Clients[1:] {
+	probe := sim.SetupIDs()
+	n := nn.NumParams(sim.Client(probe[0]).Model.Params())
+	for _, id := range probe[1:] {
+		c := sim.Client(id)
 		if nn.NumParams(c.Model.Params()) != n {
 			return fmt.Errorf("baselines: %s requires homogeneous models; client %d differs", f.Name(), c.ID)
 		}
 	}
-	f.global = nn.FlattenParams(sim.Clients[0].Model.Params())
+	f.global = nn.FlattenParams(sim.Client(probe[0]).Model.Params())
 	return nil
 }
 
@@ -77,7 +79,7 @@ func (f *FedAvg) Round(sim *fl.Simulation, round int, participants []int) error 
 	errs := make([]error, len(participants))
 	flats := make([][]float64, len(participants))
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		errs[idx] = nn.SetFlatParams(c.Model.Params(), f.global)
 		if errs[idx] != nil {
 			return
@@ -105,14 +107,14 @@ func (f *FedAvg) Round(sim *fl.Simulation, round int, participants []int) error 
 func (f *FedAvg) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error {
 	f.acc = fl.NewSharded(len(f.global), sched.Shards)
 	f.mix = sched.MixRate
-	f.snaps = make([][]float64, len(sim.Clients))
+	f.snaps = make([][]float64, sim.NumClients())
 	return nil
 }
 
 // AsyncDispatch broadcasts the committed global model to one client and,
 // for FedProx, snapshots it as the proximal reference.
 func (f *FedAvg) AsyncDispatch(sim *fl.Simulation, client int) error {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	if err := nn.SetFlatParams(c.Model.Params(), f.global); err != nil {
 		return err
 	}
@@ -126,7 +128,7 @@ func (f *FedAvg) AsyncDispatch(sim *fl.Simulation, client int) error {
 // AsyncLocal trains the client against its dispatch snapshot and uploads
 // its full weights.
 func (f *FedAvg) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	for e := 0; e < f.LocalEpochs; e++ {
 		if f.Mu > 0 {
 			f.trainEpochProx(c, sim.Cfg.BatchSize, f.snaps[client])
@@ -210,11 +212,11 @@ func (f *FedAvg) trainEpochProx(c *fl.Client, batchSize int, global []float64) {
 func weightedAverage(sim *fl.Simulation, ids []int, flats [][]float64) []float64 {
 	var total float64
 	for _, id := range ids {
-		total += float64(len(sim.Clients[id].Train))
+		total += float64(len(sim.Client(id).Train))
 	}
 	var out []float64
 	for i, id := range ids {
-		c := sim.Clients[id]
+		c := sim.Client(id)
 		wgt := 1.0 / float64(len(ids))
 		if total > 0 {
 			wgt = float64(len(c.Train)) / total

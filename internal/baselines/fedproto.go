@@ -58,12 +58,15 @@ func (p *FedProto) EpochsPerRound() int { return p.LocalEpochs }
 
 // Setup verifies that all feature dimensions agree.
 func (p *FedProto) Setup(sim *fl.Simulation) error {
-	if len(sim.Clients) == 0 {
+	if sim.NumClients() == 0 {
 		return errors.New("baselines: no clients")
 	}
-	p.featDim = sim.Clients[0].Model.Cfg.FeatDim
-	p.numClasses = sim.Clients[0].Model.Cfg.NumClasses
-	for _, c := range sim.Clients[1:] {
+	probe := sim.SetupIDs()
+	first := sim.Client(probe[0])
+	p.featDim = first.Model.Cfg.FeatDim
+	p.numClasses = first.Model.Cfg.NumClasses
+	for _, id := range probe[1:] {
+		c := sim.Client(id)
 		if c.Model.Cfg.FeatDim != p.featDim {
 			return fmt.Errorf("baselines: FedProto needs equal feature dims; client %d has %d want %d",
 				c.ID, c.Model.Cfg.FeatDim, p.featDim)
@@ -82,7 +85,7 @@ func (p *FedProto) Round(sim *fl.Simulation, round int, participants []int) erro
 	}
 	reports := make([]report, len(participants))
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		for e := 0; e < p.LocalEpochs; e++ {
 			p.trainEpoch(c, sim.Cfg.BatchSize, p.globalProtos)
 		}
@@ -168,7 +171,7 @@ func (p *FedProto) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) err
 	p.committed = make([]float64, p.numClasses*p.featDim)
 	p.touched = make([]bool, p.numClasses)
 	p.mix = sched.MixRate
-	p.snaps = make([][][]float64, len(sim.Clients))
+	p.snaps = make([][][]float64, sim.NumClients())
 	return nil
 }
 
@@ -186,14 +189,14 @@ func (p *FedProto) AsyncDispatch(sim *fl.Simulation, client int) error {
 		}
 	}
 	p.snaps[client] = snap
-	sim.Ledger.RecordDown(sim.Clients[client].ID, p.downloadFloats())
+	sim.Ledger.RecordDown(sim.ClientID(client), p.downloadFloats())
 	return nil
 }
 
 // AsyncLocal trains with the snapshot regularizer and uploads fresh local
 // prototypes with their per-class sample counts.
 func (p *FedProto) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	for e := 0; e < p.LocalEpochs; e++ {
 		p.trainEpoch(c, sim.Cfg.BatchSize, p.snaps[client])
 	}

@@ -99,21 +99,25 @@ func (k *KTpFL) SetPublic(public []data.Example, c, h, w int) {
 // Setup validates configuration and initializes the coefficient matrix
 // uniformly.
 func (k *KTpFL) Setup(sim *fl.Simulation) error {
-	if len(sim.Clients) == 0 {
+	if sim.NumClients() == 0 {
 		return errors.New("baselines: no clients")
 	}
 	if !k.ShareWeights && k.publicX == nil {
 		return errors.New("baselines: KT-pFL needs a public dataset (call SetPublic)")
 	}
 	if k.ShareWeights {
-		n := nn.NumParams(sim.Clients[0].Model.Params())
-		for _, c := range sim.Clients[1:] {
-			if nn.NumParams(c.Model.Params()) != n {
+		probe := sim.SetupIDs()
+		n := nn.NumParams(sim.Client(probe[0]).Model.Params())
+		for _, id := range probe[1:] {
+			if nn.NumParams(sim.Client(id).Model.Params()) != n {
 				return errors.New("baselines: KT-pFL+weight requires homogeneous models")
 			}
 		}
 	}
-	kk := len(sim.Clients)
+	// The dense N×N knowledge-coefficient matrix is inherent to KT-pFL; it
+	// caps the fleet sizes the method is practical at regardless of lazy
+	// client materialization.
+	kk := sim.NumClients()
 	k.coeff = make([][]float64, kk)
 	for i := range k.coeff {
 		k.coeff[i] = make([]float64, kk)
@@ -131,7 +135,7 @@ func (k *KTpFL) Round(sim *fl.Simulation, round int, participants []int) error {
 	}
 	// 1. Local supervised training.
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		for e := 0; e < k.LocalEpochs; e++ {
 			c.TrainEpochCE(sim.Cfg.BatchSize)
 		}
@@ -145,10 +149,10 @@ func (k *KTpFL) Round(sim *fl.Simulation, round int, participants []int) error {
 // softTransfer is the heterogeneous path: soft predictions on public data.
 func (k *KTpFL) softTransfer(sim *fl.Simulation, participants []int) error {
 	m := len(k.public)
-	numClasses := sim.Clients[participants[0]].Model.Cfg.NumClasses
+	numClasses := sim.Client(participants[0]).Model.Cfg.NumClasses
 	soft := make([]*tensor.Tensor, len(participants))
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		_, logits := c.Model.Forward(k.publicX, false)
 		// Soft predictions widen to float64 bookkeeping before hitting the
 		// wire: the coefficient matrix and personalized targets are server
@@ -164,7 +168,7 @@ func (k *KTpFL) softTransfer(sim *fl.Simulation, participants []int) error {
 	})
 	// 3. Personalized targets and distillation.
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		target := tensor.New(m, numClasses)
 		for j := range participants {
 			target.AxpyInPlace(k.coeff[participants[idx]][participants[j]], soft[j])
@@ -192,7 +196,7 @@ func (k *KTpFL) softTransfer(sim *fl.Simulation, participants []int) error {
 func (k *KTpFL) weightTransfer(sim *fl.Simulation, participants []int) error {
 	flats := make([][]float64, len(participants))
 	for idx, id := range participants {
-		c := sim.Clients[id]
+		c := sim.Client(id)
 		flats[idx] = sim.Uplink(c.ID, nn.FlattenParams(c.Model.Params()))
 	}
 	k.refreshCoeff(participants, func(a, b int) float64 {
@@ -205,7 +209,7 @@ func (k *KTpFL) weightTransfer(sim *fl.Simulation, participants []int) error {
 	})
 	errs := make([]error, len(participants))
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		personalized := make([]float64, len(flats[idx]))
 		var wsum float64
 		for j := range participants {
@@ -265,12 +269,12 @@ func (k *KTpFL) refreshCoeffWeighted(participants []int, dist func(a, b int) flo
 
 // AsyncSetup sizes the pending-transfer tables.
 func (k *KTpFL) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) error {
-	n := len(sim.Clients)
+	n := sim.NumClients()
 	k.latest = make([][]float64, n)
 	k.latestW = make([]float64, n)
 	k.pending = make([][]float64, n)
 	k.staged = make([][]float64, n)
-	k.numCls = sim.Clients[0].Model.Cfg.NumClasses
+	k.numCls = sim.Client(0).Model.Cfg.NumClasses
 	return nil
 }
 
@@ -282,7 +286,7 @@ func (k *KTpFL) AsyncDispatch(sim *fl.Simulation, client int) error {
 	}
 	k.staged[client] = k.pending[client]
 	k.pending[client] = nil
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	if k.ShareWeights {
 		sim.Ledger.RecordDown(c.ID, len(k.staged[client]))
 		err := nn.SetFlatParams(c.Model.Params(), k.staged[client])
@@ -297,7 +301,7 @@ func (k *KTpFL) AsyncDispatch(sim *fl.Simulation, client int) error {
 // epochs, and uploads a fresh report (soft predictions, or flat weights for
 // the "+weight" variant).
 func (k *KTpFL) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	if !k.ShareWeights && k.staged[client] != nil {
 		m := len(k.public)
 		target := tensor.New(m, k.numCls)

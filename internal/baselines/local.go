@@ -35,7 +35,7 @@ func (l *LocalOnly) Setup(sim *fl.Simulation) error { return nil }
 // Round trains every participant locally; nothing is exchanged.
 func (l *LocalOnly) Round(sim *fl.Simulation, round int, participants []int) error {
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		for e := 0; e < l.LocalEpochs; e++ {
 			c.TrainEpochCE(sim.Cfg.BatchSize)
 		}
@@ -54,7 +54,7 @@ func (l *LocalOnly) AsyncDispatch(sim *fl.Simulation, client int) error { return
 
 // AsyncLocal trains the client and reports a communication-free update.
 func (l *LocalOnly) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	for e := 0; e < l.LocalEpochs; e++ {
 		c.TrainEpochCE(sim.Cfg.BatchSize)
 	}

@@ -4,7 +4,7 @@
 // trace to an uninterrupted run at the same seed (under the lossless f64
 // codec).
 //
-// # File format (version 3)
+// # File format (version 4)
 //
 // A checkpoint file is
 //
@@ -55,8 +55,11 @@ const magic = "FEDCKPT1"
 // model-dtype header word; version 3 the node-mode session table and join
 // declarations (a ServerNode checkpoint has no client states — client
 // models live in other processes — but must preserve the identities it
-// issued and the fleet geometry it built its state from).
-const Version = 3
+// issued and the fleet geometry it built its state from); version 4 the
+// evaluation RNG stream, the explicit fleet size (a lazy-fleet checkpoint
+// holds only the clients that were ever materialized — the builder
+// reproduces the untouched rest) and the per-round evaluation sample ids.
+const Version = 4
 
 // Every decoded collection length is bounded by the bytes remaining in the
 // buffer (each element encodes at least one byte), so a corrupt or hostile
@@ -92,6 +95,8 @@ func Marshal(snap *fl.Snapshot, codec comm.Codec) ([]byte, error) {
 	e.u64(uint64(snap.Seq))
 	e.u64(uint64(snap.Applied))
 	e.u64(snap.Rng)
+	e.u64(snap.EvalRng)
+	e.u64(uint64(snap.FleetSize))
 	e.vec(tagNodeFree, snap.NodeFree, true)
 	e.u64(uint64(len(snap.Idle)))
 	for _, ok := range snap.Idle {
@@ -139,6 +144,13 @@ func Marshal(snap *fl.Snapshot, codec comm.Codec) ([]byte, error) {
 		e.i64(m.UpBytes)
 		e.i64(m.DownBytes)
 		e.vec(tagPerClient, m.PerClient, true)
+		e.bool(m.EvalIDs != nil)
+		if m.EvalIDs != nil {
+			e.u64(uint64(len(m.EvalIDs)))
+			for _, id := range m.EvalIDs {
+				e.i64(int64(id))
+			}
+		}
 	}
 
 	e.u64(uint64(len(snap.Trace)))
@@ -247,6 +259,8 @@ func Unmarshal(b []byte) (*fl.Snapshot, error) {
 	snap.Seq = int(d.u64())
 	snap.Applied = int(d.u64())
 	snap.Rng = d.u64()
+	snap.EvalRng = d.u64()
+	snap.FleetSize = int(d.u64())
 	snap.NodeFree = d.vec(tagNodeFree)
 	nIdle := d.count()
 	snap.Idle = make([]bool, nIdle)
@@ -296,6 +310,13 @@ func Unmarshal(b []byte) (*fl.Snapshot, error) {
 			DownBytes:   d.i64(),
 		}
 		m.PerClient = d.vec(tagPerClient)
+		if d.bool() {
+			nIDs := d.count()
+			m.EvalIDs = make([]int, 0, nIDs)
+			for j := 0; j < nIDs && d.err == nil; j++ {
+				m.EvalIDs = append(m.EvalIDs, int(d.i64()))
+			}
+		}
 		snap.History = append(snap.History, m)
 	}
 

@@ -370,6 +370,41 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// The version-4 fields — eval RNG stream, explicit fleet size, per-round
+// evaluation sample ids — must survive the wire format.
+func TestV4FieldsRoundTrip(t *testing.T) {
+	cfg := fl.Config{Rounds: 2, BatchSize: 8, Seed: 3, EvalSample: 2}
+	var blob []byte
+	sched := schedFor(fl.SchedSync)
+	sched.Checkpoint = func(snap *fl.Snapshot) error {
+		b, err := ckpt.Marshal(snap, comm.F64)
+		blob = b
+		return err
+	}
+	sim := fl.NewSimulation(fleet(t, 4), cfg)
+	if _, err := sim.RunScheduled(baselines.NewFedAvg(1), sched); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FleetSize != 4 {
+		t.Fatalf("fleet size %d, want 4", snap.FleetSize)
+	}
+	if snap.EvalRng == 0 {
+		t.Fatal("eval RNG stream position not captured")
+	}
+	if len(snap.History) == 0 {
+		t.Fatal("no history")
+	}
+	for _, m := range snap.History {
+		if len(m.EvalIDs) != 2 || len(m.PerClient) != 2 {
+			t.Fatalf("history entry lost its eval sample: %+v", m)
+		}
+	}
+}
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
 	if _, err := ckpt.Unmarshal(nil); err == nil {
 		t.Fatal("empty input must be rejected")

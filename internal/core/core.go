@@ -112,11 +112,17 @@ func (f *FedClassAvg) EpochsPerRound() int { return f.Opts.LocalEpochs }
 // classifier (and, with ShareAllWeights, the global model) as the
 // data-weighted average of the clients' initial weights.
 func (f *FedClassAvg) Setup(sim *fl.Simulation) error {
-	if len(sim.Clients) == 0 {
+	if sim.NumClients() == 0 {
 		return errors.New("core: no clients")
 	}
-	ref := sim.Clients[0].Model
-	for _, c := range sim.Clients[1:] {
+	// SetupIDs is the whole fleet for an eager simulation (the historical
+	// initial average) and a fixed budget-independent prefix for a lazy one,
+	// where averaging a million initial classifiers would materialize them
+	// all for weights that wash out after the first commit anyway.
+	probe := sim.SetupIDs()
+	ref := sim.Client(probe[0]).Model
+	for _, id := range probe[1:] {
+		c := sim.Client(id)
 		if c.Model.Cfg.FeatDim != ref.Cfg.FeatDim || c.Model.Cfg.NumClasses != ref.Cfg.NumClasses {
 			return fmt.Errorf("core: client %d classifier shape (%d→%d) differs from client 0 (%d→%d)",
 				c.ID, c.Model.Cfg.FeatDim, c.Model.Cfg.NumClasses, ref.Cfg.FeatDim, ref.Cfg.NumClasses)
@@ -125,11 +131,11 @@ func (f *FedClassAvg) Setup(sim *fl.Simulation) error {
 			return fmt.Errorf("core: ShareAllWeights requires homogeneous models; client %d differs", c.ID)
 		}
 	}
-	f.globalClassifier = f.averageFlat(sim, allIDs(sim), func(c *fl.Client) []*nn.Param {
+	f.globalClassifier = f.averageFlat(sim, probe, func(c *fl.Client) []*nn.Param {
 		return c.Model.ClassifierParams()
 	})
 	if f.Opts.ShareAllWeights {
-		f.globalAll = f.averageFlat(sim, allIDs(sim), func(c *fl.Client) []*nn.Param {
+		f.globalAll = f.averageFlat(sim, probe, func(c *fl.Client) []*nn.Param {
 			return c.Model.Params()
 		})
 	}
@@ -150,7 +156,7 @@ func (f *FedClassAvg) Round(sim *fl.Simulation, round int, participants []int) e
 		flatAll = make([][]float64, len(participants))
 	}
 	fl.ParallelClients(len(participants), func(idx int) {
-		c := sim.Clients[participants[idx]]
+		c := sim.Client(participants[idx])
 		if f.Opts.ShareAllWeights {
 			errs[idx] = nn.SetFlatParams(c.Model.Params(), f.globalAll)
 			sim.Ledger.RecordDown(c.ID, len(f.globalAll))
@@ -193,14 +199,14 @@ func (f *FedClassAvg) AsyncSetup(sim *fl.Simulation, sched *fl.SchedulerConfig) 
 		f.accAll = fl.NewSharded(len(f.globalAll), sched.Shards)
 	}
 	f.mix = sched.MixRate
-	f.snapC = make([][]float64, len(sim.Clients))
+	f.snapC = make([][]float64, sim.NumClients())
 	return nil
 }
 
 // AsyncDispatch broadcasts the committed classifier (or, with
 // ShareAllWeights, the full model) and snapshots the proximal reference.
 func (f *FedClassAvg) AsyncDispatch(sim *fl.Simulation, client int) error {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	if f.Opts.ShareAllWeights {
 		if err := nn.SetFlatParams(c.Model.Params(), f.globalAll); err != nil {
 			return err
@@ -220,7 +226,7 @@ func (f *FedClassAvg) AsyncDispatch(sim *fl.Simulation, client int) error {
 // dispatch snapshot and uploads the classifier (and full weights when
 // shared).
 func (f *FedClassAvg) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) {
-	c := sim.Clients[client]
+	c := sim.Client(client)
 	f.localUpdate(c, sim.Cfg.BatchSize, f.snapC[client])
 	u := &fl.Update{Client: client, Scale: fl.DataScale(c)}
 	if f.Opts.ShareAllWeights {
@@ -401,7 +407,7 @@ func (f *FedClassAvg) step(c *fl.Client, batch []data.Example, globalC []float64
 func (f *FedClassAvg) averageFlat(sim *fl.Simulation, ids []int, pick func(*fl.Client) []*nn.Param) []float64 {
 	flats := make([][]float64, len(ids))
 	for i, id := range ids {
-		flats[i] = nn.FlattenParams(pick(sim.Clients[id]))
+		flats[i] = nn.FlattenParams(pick(sim.Client(id)))
 	}
 	return weightedFlatAverage(sim, ids, flats)
 }
@@ -411,14 +417,14 @@ func (f *FedClassAvg) averageFlat(sim *fl.Simulation, ids []int, pick func(*fl.C
 func weightedFlatAverage(sim *fl.Simulation, ids []int, flats [][]float64) []float64 {
 	var total float64
 	for _, id := range ids {
-		total += float64(len(sim.Clients[id].Train))
+		total += float64(len(sim.Client(id).Train))
 	}
 	if total == 0 {
 		total = float64(len(ids))
 	}
 	var out []float64
 	for i, id := range ids {
-		c := sim.Clients[id]
+		c := sim.Client(id)
 		wgt := float64(len(c.Train)) / total
 		if len(c.Train) == 0 {
 			wgt = 1 / total
@@ -434,10 +440,3 @@ func weightedFlatAverage(sim *fl.Simulation, ids []int, flats [][]float64) []flo
 	return out
 }
 
-func allIDs(sim *fl.Simulation) []int {
-	ids := make([]int, len(sim.Clients))
-	for i := range ids {
-		ids[i] = i
-	}
-	return ids
-}

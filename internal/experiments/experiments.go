@@ -175,18 +175,42 @@ const FleetNames = "heterogeneous | homogeneous | proto"
 // NewFleetBuilder returns a single-client builder for one of the named
 // fleet kinds — the node-mode form of NewHeterogeneousFleet and friends.
 func NewFleetBuilder(name DatasetName, kind data.PartitionKind, fleet string, k int, s Scale) (ClientBuilder, *data.Dataset, error) {
-	var pickArch func(int) models.Arch
-	switch fleet {
-	case "heterogeneous", "":
-		pickArch = func(i int) models.Arch { return models.HeterogeneousSet[i%len(models.HeterogeneousSet)] }
-	case "homogeneous":
-		pickArch = func(int) models.Arch { return models.ArchResNet }
-	case "proto":
-		pickArch = func(int) models.Arch { return models.ArchCNN2 }
-	default:
-		return nil, nil, fmt.Errorf("experiments: unknown fleet %q (want %s)", fleet, FleetNames)
+	pickArch, err := pickArchFor(fleet)
+	if err != nil {
+		return nil, nil, err
 	}
 	return newFleetBuilder(name, kind, k, s, pickArch, nil)
+}
+
+// NewLazyFleetBuilder is NewFleetBuilder for virtual fleets: the data split
+// comes from data.LazyPartitioner, so client i's examples are derived on
+// demand as a pure function of (seed, i) instead of partitioned eagerly —
+// the only construction whose memory stays O(dataset) for a million
+// clients. Model init, RNG streams and optimizers follow the same per-id
+// formulas as the eager builder.
+func NewLazyFleetBuilder(name DatasetName, kind data.PartitionKind, fleet string, k int, s Scale) (ClientBuilder, *data.Dataset, error) {
+	pickArch, err := pickArchFor(fleet)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := data.Generate(Spec(name, s))
+	lp, err := data.NewLazyPartitioner(ds, k, data.PartitionOptions{Kind: kind, Alpha: 0.5, Seed: s.Seed + 17})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %w", err)
+	}
+	return buildClient(name, ds, s, pickArch, nil, lp.Client), ds, nil
+}
+
+func pickArchFor(fleet string) (func(int) models.Arch, error) {
+	switch fleet {
+	case "heterogeneous", "":
+		return func(i int) models.Arch { return models.HeterogeneousSet[i%len(models.HeterogeneousSet)] }, nil
+	case "homogeneous":
+		return func(int) models.Arch { return models.ArchResNet }, nil
+	case "proto":
+		return func(int) models.Arch { return models.ArchCNN2 }, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown fleet %q (want %s)", fleet, FleetNames)
 }
 
 // NewHeterogeneousFleet builds the Table 2 setting: k clients over the
@@ -279,8 +303,17 @@ func newFleetBuilder(name DatasetName, kind data.PartitionKind, k int, s Scale, 
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %w", err)
 	}
+	return buildClient(name, ds, s, pickArch, pickWidth, func(i int) data.ClientData { return parts[i] }), ds, nil
+}
+
+// buildClient is the shared per-client core of the eager and lazy fleet
+// builders: everything about client i except its data split — architecture,
+// width, init seed, RNG streams, optimizer — is a pure function of the
+// fleet configuration and i; the split function supplies the rest.
+func buildClient(name DatasetName, ds *data.Dataset, s Scale, pickArch func(int) models.Arch, pickWidth func(int) int, split func(int) data.ClientData) ClientBuilder {
 	h := HyperparamsFor(name, s)
-	build := func(i int) *fl.Client {
+	return func(i int) *fl.Client {
+		part := split(i)
 		arch := pickArch(i)
 		cfg := models.Config{
 			Arch: arch, InC: ds.C, InH: ds.H, InW: ds.W,
@@ -301,15 +334,14 @@ func newFleetBuilder(name DatasetName, kind data.PartitionKind, k int, s Scale, 
 		return &fl.Client{
 			ID:        i,
 			Model:     models.New(cfg, xrand.New(seed)),
-			Train:     parts[i].Train,
-			Test:      parts[i].Test,
+			Train:     part.Train,
+			Test:      part.Test,
 			Aug:       data.NewAugmenter(ds.C, ds.H, ds.W),
 			Rng:       rng,
 			Src:       src,
 			Optimizer: opt.NewAdam(h.LR),
 		}
 	}
-	return build, ds, nil
 }
 
 // Method names used across tables.
@@ -393,6 +425,27 @@ func RunScheduled(method string, name DatasetName, factory ClientFactory, s Scal
 		BatchSize:  s.BatchSize,
 		Seed:       s.Seed + 7,
 		Codec:      codec,
+	})
+	return sim.RunScheduled(algo, sched)
+}
+
+// RunLazyScheduled executes one method over a virtual fleet of k clients:
+// clients materialize on dispatch through build, and at most resident of
+// them stay in memory (0 = unbounded); the rest spill to compact state
+// buffers. evalSample caps how many clients each evaluation touches
+// (0 = the cohort-size default). Memory is O(resident + cohort), not O(k).
+func RunLazyScheduled(method string, name DatasetName, build ClientBuilder, k int, s Scale, sampleRate float64, resident, evalSample int, sched fl.SchedulerConfig, codec comm.Codec) ([]fl.RoundMetrics, error) {
+	algo, err := NewAlgorithm(method, name, s)
+	if err != nil {
+		return nil, err
+	}
+	sim := fl.NewLazySimulation(k, build, resident, fl.Config{
+		Rounds:     s.Rounds,
+		SampleRate: sampleRate,
+		BatchSize:  s.BatchSize,
+		Seed:       s.Seed + 7,
+		Codec:      codec,
+		EvalSample: evalSample,
 	})
 	return sim.RunScheduled(algo, sched)
 }

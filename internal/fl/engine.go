@@ -133,7 +133,17 @@ type SchedulerConfig struct {
 // withDefaults fills structural zero fields.
 func (c SchedulerConfig) withDefaults(sim *Simulation) SchedulerConfig {
 	if c.Workers <= 0 {
-		c.Workers = len(sim.Clients)
+		if sim.Lazy() {
+			// One virtual node per client would make every scheduler array —
+			// and sync-makespan packing — O(fleet); a lazy fleet defaults to
+			// one node per cohort member instead.
+			c.Workers = int(math.Ceil(float64(sim.NumClients()) * sim.Cfg.SampleRate))
+			if c.Workers < 1 {
+				c.Workers = 1
+			}
+		} else {
+			c.Workers = len(sim.Clients)
+		}
 	}
 	if c.MaxStaleness <= 0 {
 		c.MaxStaleness = 8
@@ -368,7 +378,7 @@ func (s *Simulation) runSync(ctx context.Context, algo Algorithm, sched *Schedul
 	}
 	var vtime float64
 	start := 1
-	away := make([]float64, len(s.Clients))
+	away := make([]float64, s.NumClients())
 	if sched.Resume != nil {
 		snap := sched.Resume
 		if snap.Kind != SchedSync {
@@ -401,7 +411,7 @@ func (s *Simulation) runSync(ctx context.Context, algo Algorithm, sched *Schedul
 		vtime += syncMakespan(participants, sched)
 		traffic := s.Ledger.EndRound(t)
 		if t%s.Cfg.EvalEvery == 0 || t == s.Cfg.Rounds {
-			m := s.Evaluate()
+			m := s.evaluateWith(away, vtime)
 			m.Round = t
 			m.LocalEpochs = t * algo.EpochsPerRound()
 			m.UpBytes = traffic.UpBytes
@@ -416,6 +426,13 @@ func (s *Simulation) runSync(ctx context.Context, algo Algorithm, sched *Schedul
 			}
 			if err := sched.Checkpoint(snap); err != nil {
 				return nil, fmt.Errorf("fl: checkpoint at round %d: %w", t, err)
+			}
+		}
+		// Round boundary is a safe point: nothing is in flight, so any
+		// resident client beyond the budget can spill.
+		if s.store != nil {
+			if err := s.store.EvictToBudget(nil); err != nil {
+				return nil, fmt.Errorf("fl: evicting after round %d: %w", t, err)
 			}
 		}
 	}
@@ -474,7 +491,7 @@ func syncMakespan(participants []int, sched *SchedulerConfig) float64 {
 // runAsync is the event-driven engine shared by the async-bounded and
 // semi-sync schedulers.
 func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *SchedulerConfig) ([]RoundMetrics, error) {
-	if len(s.Clients) == 0 {
+	if s.NumClients() == 0 {
 		return nil, fmt.Errorf("fl: no clients")
 	}
 	if err := algo.Setup(s); err != nil {
@@ -483,7 +500,7 @@ func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *S
 	if err := algo.AsyncSetup(s, sched); err != nil {
 		return nil, fmt.Errorf("fl: %s async setup: %w", algo.Name(), err)
 	}
-	k := len(s.Clients)
+	k := s.NumClients()
 	// One virtual round's worth of updates: async commits every
 	// ⌈K·rate⌉ applies, semi-sync at its quorum.
 	cohortSize := int(math.Ceil(float64(k) * s.Cfg.SampleRate))
@@ -571,7 +588,7 @@ func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *S
 		// The upload reaches the server now (virtual delivery time); it
 		// costs wire bytes even if the server then drops it.
 		if u.UpFloats > 0 {
-			s.Ledger.RecordUp(s.Clients[ft.client].ID, u.UpFloats)
+			s.Ledger.RecordUp(s.ClientID(ft.client), u.UpFloats)
 		}
 		u.Staleness = e.version - ft.version
 		if u.Staleness > sched.MaxStaleness {
@@ -599,7 +616,7 @@ func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *S
 			traffic := s.Ledger.EndRound(e.version)
 			if e.version%s.Cfg.EvalEvery == 0 || e.version == s.Cfg.Rounds {
 				e.quiesce()
-				m := s.Evaluate()
+				m := s.evaluateWith(e.away, e.now)
 				m.Round = e.version
 				m.LocalEpochs = e.version * algo.EpochsPerRound()
 				m.UpBytes = traffic.UpBytes
@@ -622,6 +639,14 @@ func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *S
 		}
 		if sched.Kind == SchedAsyncBounded && e.version < s.Cfg.Rounds {
 			e.refill(cohortSize)
+		}
+		// Safe point: every client whose flight is still in the heap may have
+		// local training running on the pool, so it stays pinned; anyone else
+		// beyond the budget can spill.
+		if s.store != nil {
+			if err := s.store.EvictToBudget(e.pinned()); err != nil {
+				return nil, fmt.Errorf("fl: evicting at version %d: %w", e.version, err)
+			}
 		}
 	}
 	return s.History, nil
@@ -652,6 +677,17 @@ type Engine struct {
 	// Workers serializes on the virtual cluster exactly like runSync's
 	// makespan packing.
 	nodeFree []float64
+}
+
+// pinned returns an eviction guard over the clients whose flights are
+// still in the heap — their local training may be running on the pool, so
+// their state must not be captured until the flight resolves.
+func (e *Engine) pinned() func(id int) bool {
+	inflight := make(map[int]bool, e.heap.Len())
+	for _, f := range e.heap {
+		inflight[f.client] = true
+	}
+	return func(id int) bool { return inflight[id] }
 }
 
 // refill tops the virtual nodes back up: the async scheduler keeps every
@@ -749,9 +785,9 @@ func (e *Engine) dispatchCohort(n int) {
 	if n > len(avail) {
 		n = len(avail)
 	}
-	perm := e.sim.Rng.Perm(len(avail))[:n]
+	idx := SamplePrefix(e.sim.Rng, len(avail), n)
 	picked := make([]int, n)
-	for i, p := range perm {
+	for i, p := range idx {
 		picked[i] = avail[p]
 	}
 	sort.Ints(picked)

@@ -129,6 +129,14 @@ type Config struct {
 	DropProb float64
 	// EvalEvery evaluates accuracy every n rounds (default 1).
 	EvalEvery int
+	// EvalSample, when positive, evaluates a fresh cohort of that many
+	// clients per evaluation point instead of sweeping the whole fleet —
+	// the only affordable option for virtual fleets where N is far larger
+	// than the per-round cohort. The sample is drawn from a dedicated RNG
+	// stream, so enabling it never perturbs cohort sampling or failure
+	// injection. 0 (the default) sweeps every client, byte-identical to
+	// previous releases.
+	EvalSample int
 	// Codec selects the wire codec payloads are accounted (and, through
 	// Uplink, quantized) with. The zero value is lossless float64.
 	Codec comm.Codec
@@ -141,8 +149,12 @@ type RoundMetrics struct {
 	MeanAcc     float64
 	StdAcc      float64
 	PerClient   []float64
-	UpBytes     int64
-	DownBytes   int64
+	// EvalIDs, when non-nil, names the clients PerClient refers to
+	// (sampled evaluation, Config.EvalSample). Nil means PerClient[i] is
+	// client i's accuracy — the full-sweep layout.
+	EvalIDs   []int
+	UpBytes   int64
+	DownBytes int64
 	// SimTime is the cumulative virtual time (in client-update cost units)
 	// at this evaluation point; round throughput comparisons across
 	// schedulers divide Round by it.
@@ -162,6 +174,10 @@ type Algorithm interface {
 }
 
 // Simulation owns the clients, the traffic ledger and the metrics history.
+// Clients live either eagerly in Clients (the historical layout) or behind
+// a lazy ClientStore (NewLazySimulation) that materializes them on demand
+// and spills evicted state through the snapshot buffer format; access goes
+// through Client/NumClients so algorithms work against both.
 type Simulation struct {
 	Clients []*Client
 	Ledger  *comm.Ledger
@@ -172,10 +188,49 @@ type Simulation struct {
 	// src is the serializable source behind Rng, so checkpoints can freeze
 	// the scheduler's sampling stream.
 	src *xrand.Source
+
+	// store backs a lazy fleet (nil for eager simulations).
+	store *ClientStore
+	// evalRng/evalSrc drive sampled evaluation (Config.EvalSample). The
+	// stream is separate from Rng and consumed only when sampling, so
+	// full-sweep runs never touch it.
+	evalRng *rand.Rand
+	evalSrc *xrand.Source
 }
+
+// evalSeedMix decorrelates the sampled-evaluation stream from the
+// scheduler stream at the same seed ("eval" in ASCII).
+const evalSeedMix = 0x6576616c
 
 // NewSimulation builds a simulation over the given clients.
 func NewSimulation(clients []*Client, cfg Config) *Simulation {
+	s := newSimulation(cfg)
+	s.Clients = clients
+	return s
+}
+
+// NewLazySimulation builds a simulation over a virtual fleet of n clients
+// materialized on demand by build (which must construct client i as a pure
+// function of i). At most resident clients stay materialized; beyond that
+// the least-recently-used client's mutable state spills to compact
+// snapshot buffers and is restored bit-identically on re-dispatch, so any
+// finite budget produces the same metrics and trace as budget ∞.
+// resident <= 0 means unbounded. When Cfg.EvalSample is unset it defaults
+// to the cohort size, keeping evaluation O(cohort) like everything else.
+func NewLazySimulation(n int, build func(int) *Client, resident int, cfg Config) *Simulation {
+	s := newSimulation(cfg)
+	if s.Cfg.EvalSample <= 0 {
+		cohort := int(math.Ceil(float64(n) * s.Cfg.SampleRate))
+		if cohort < 1 {
+			cohort = 1
+		}
+		s.Cfg.EvalSample = cohort
+	}
+	s.store = NewClientStore(n, build, resident)
+	return s
+}
+
+func newSimulation(cfg Config) *Simulation {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 1
 	}
@@ -191,13 +246,68 @@ func NewSimulation(clients []*Client, cfg Config) *Simulation {
 	ledger := comm.NewLedger()
 	ledger.SetCodec(cfg.Codec)
 	rng, src := xrand.NewRand(cfg.Seed)
+	evalRng, evalSrc := xrand.NewRand(cfg.Seed ^ evalSeedMix)
 	return &Simulation{
-		Clients: clients,
 		Ledger:  ledger,
 		Rng:     rng,
 		Cfg:     cfg,
 		src:     src,
+		evalRng: evalRng,
+		evalSrc: evalSrc,
 	}
+}
+
+// Lazy reports whether clients are materialized on demand from a store.
+func (s *Simulation) Lazy() bool { return s.store != nil }
+
+// NumClients returns the fleet size without materializing anyone.
+func (s *Simulation) NumClients() int {
+	if s.store != nil {
+		return s.store.Len()
+	}
+	return len(s.Clients)
+}
+
+// Client returns client id, materializing (and restoring spilled state
+// into) it if the fleet is lazy. The returned client stays resident at
+// least until the next eviction safe point.
+func (s *Simulation) Client(id int) *Client {
+	if s.store != nil {
+		return s.store.Get(id)
+	}
+	return s.Clients[id]
+}
+
+// ClientID maps a compact index to the client's public ID without
+// materializing it; lazy fleets use the identity id space.
+func (s *Simulation) ClientID(i int) int {
+	if s.store != nil {
+		return i
+	}
+	return s.Clients[i].ID
+}
+
+// setupProbeWidth caps how many clients Setup probes in a lazy fleet.
+const setupProbeWidth = 64
+
+// SetupIDs returns the client ids an Algorithm's Setup should inspect for
+// fleet-wide invariants (architecture homogeneity, feature dims) and
+// initial aggregates. Eager fleets return every id — the historical
+// behavior. Lazy fleets return a fixed prefix (min(n, 64)): fleet builders
+// construct clients from a small arch rotation, so a prefix witnesses
+// every architecture, and a budget-independent probe set keeps the
+// determinism contract (Setup must not depend on what happens to be
+// resident).
+func (s *Simulation) SetupIDs() []int {
+	n := s.NumClients()
+	if s.store != nil && n > setupProbeWidth {
+		n = setupProbeWidth
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
 }
 
 // Run executes the algorithm for the configured number of rounds under the
@@ -229,14 +339,17 @@ func (s *Simulation) Quantize(v []float64) []float64 {
 // sampleParticipants draws ⌈K·rate⌉ distinct clients and applies failure
 // injection.
 func (s *Simulation) sampleParticipants() []int {
-	return SampleCohort(s.Rng, len(s.Clients), s.Cfg.SampleRate, s.Cfg.DropProb)
+	return SampleCohort(s.Rng, s.NumClients(), s.Cfg.SampleRate, s.Cfg.DropProb)
 }
 
 // SampleCohort draws ⌈k·rate⌉ distinct client ids in ascending order and
 // applies per-client failure injection, consuming exactly the RNG stream
 // the simulation's schedulers consume. It is shared with the node runtime
 // so a ServerNode at seed S samples the same cohorts as the in-process
-// sync run at seed S.
+// sync run at seed S. Sampling is a partial Fisher–Yates over the compact
+// id space: O(n) time and memory for an n-client cohort, independent of
+// the fleet size k — the property that lets million-client fleets sample
+// at cohort cost.
 func SampleCohort(rng *rand.Rand, k int, rate, dropProb float64) []int {
 	if rate <= 0 || rate > 1 {
 		rate = 1
@@ -245,13 +358,13 @@ func SampleCohort(rng *rand.Rand, k int, rate, dropProb float64) []int {
 	if n > k {
 		n = k
 	}
-	perm := rng.Perm(k)[:n]
-	sort.Ints(perm)
+	picked := SamplePrefix(rng, k, n)
+	sort.Ints(picked)
 	if dropProb <= 0 {
-		return perm
+		return picked
 	}
-	kept := perm[:0]
-	for _, id := range perm {
+	kept := picked[:0]
+	for _, id := range picked {
 		if rng.Float64() >= dropProb {
 			kept = append(kept, id)
 		}
@@ -259,30 +372,104 @@ func SampleCohort(rng *rand.Rand, k int, rate, dropProb float64) []int {
 	return kept
 }
 
-// Evaluate measures every client's personalized test accuracy in parallel.
+// SamplePrefix draws n distinct integers uniformly from [0,k) in the order
+// a full Fisher–Yates shuffle would place them in its first n slots, but
+// tracking only the displaced entries in a sparse map — O(n) time and
+// memory regardless of k. The returned slice is unsorted; it consumes
+// exactly n Intn draws from rng.
+func SamplePrefix(rng *rand.Rand, k, n int) []int {
+	if n > k {
+		n = k
+	}
+	if n <= 0 {
+		return []int{}
+	}
+	disp := make(map[int]int, n)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(k-i)
+		vj, ok := disp[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := disp[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		disp[j] = vi
+	}
+	return out
+}
+
+// Evaluate measures every client's personalized test accuracy in parallel
+// (or a sampled subset under Config.EvalSample), with no churn exclusion.
 func (s *Simulation) Evaluate() RoundMetrics {
-	accs := make([]float64, len(s.Clients))
-	ParallelClients(len(s.Clients), func(i int) {
-		accs[i] = s.Clients[i].EvalAccuracy()
+	return s.evaluateWith(nil, 0)
+}
+
+// evaluateWith is the scheduler-facing evaluation: clients whose away
+// horizon extends past the current virtual time are marked NaN in
+// PerClient and excluded from the mean/std, matching the node runtime's
+// churn semantics (DESIGN.md §9). A nil away slice means no churn. When
+// Config.EvalSample is positive, a fresh cohort of that many clients is
+// drawn from the dedicated eval RNG stream instead of sweeping the fleet;
+// EvalIDs records the sample.
+func (s *Simulation) evaluateWith(away []float64, now float64) RoundMetrics {
+	n := s.NumClients()
+	if s.Cfg.EvalSample > 0 && s.Cfg.EvalSample < n {
+		ids := SamplePrefix(s.evalRng, n, s.Cfg.EvalSample)
+		sort.Ints(ids)
+		accs := make([]float64, len(ids))
+		ParallelClients(len(ids), func(i int) {
+			id := ids[i]
+			if away != nil && away[id] > now {
+				accs[i] = math.NaN()
+				return
+			}
+			accs[i] = s.Client(id).EvalAccuracy()
+		})
+		mean, std := MeanStd(accs)
+		return RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: accs, EvalIDs: ids}
+	}
+	accs := make([]float64, n)
+	ParallelClients(n, func(i int) {
+		if away != nil && away[i] > now {
+			accs[i] = math.NaN()
+			return
+		}
+		accs[i] = s.Client(i).EvalAccuracy()
 	})
 	mean, std := MeanStd(accs)
 	return RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: accs}
 }
 
-// MeanStd returns the mean and population standard deviation.
+// MeanStd returns the mean and population standard deviation over the
+// non-NaN entries (NaN marks an excluded client — away or churned). All
+// entries NaN, or an empty slice, returns (0, 0). On NaN-free input the
+// arithmetic is operation-for-operation identical to the historical
+// all-entries formula, so clean metric streams stay byte-identical.
 func MeanStd(xs []float64) (mean, std float64) {
-	if len(xs) == 0 {
+	n := 0
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			continue
+		}
+		mean += v
+		n++
+	}
+	if n == 0 {
 		return 0, 0
 	}
+	mean /= float64(n)
 	for _, v := range xs {
-		mean += v
-	}
-	mean /= float64(len(xs))
-	for _, v := range xs {
+		if math.IsNaN(v) {
+			continue
+		}
 		d := v - mean
 		std += d * d
 	}
-	return mean, math.Sqrt(std / float64(len(xs)))
+	return mean, math.Sqrt(std / float64(n))
 }
 
 // ParallelClients runs f(i) for i in [0,n) with dynamic load balancing on

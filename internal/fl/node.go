@@ -89,6 +89,13 @@ type NodeConfig struct {
 	Seed int64
 	// EvalEvery evaluates accuracy every n rounds (default 1).
 	EvalEvery int
+	// EvalSample, when positive and smaller than the fleet, requests
+	// accuracy from a fresh sample of that many clients per evaluation
+	// point instead of all of them; unsampled clients stay NaN in
+	// PerClient and are excluded from the mean. The sample comes from a
+	// dedicated RNG stream, so cohort sampling is unaffected. 0 sweeps
+	// every unchurned client (the historical behavior).
+	EvalSample int
 	// Codec frames payload vectors; it must match the transport's codec so
 	// quantization and accounting agree with what crosses the wire.
 	Codec comm.Codec
@@ -288,6 +295,8 @@ type serverRun struct {
 	rng      *rand.Rand
 	rngSrc   *xrand.Source
 	tokenRng *rand.Rand
+	evalRng  *rand.Rand
+	evalSrc  *xrand.Source
 
 	version     int // committed rounds so far
 	applied     int // applies since the last commit (async/semisync)
@@ -309,9 +318,11 @@ type serverRun struct {
 	// Sync-barrier state: the open round's cohort and collected updates.
 	awaiting map[int]bool
 	updates  map[int]*Update
-	// Evaluation state: outstanding requests and per-client accuracies.
+	// Evaluation state: outstanding requests, per-client accuracies, and
+	// the sampled id set when cfg.EvalSample is in effect.
 	evalWait map[int]bool
 	evalPer  []float64
+	evalIDs  []int
 	// holdback queues async/semisync updates that arrive mid-evaluation, so
 	// an evaluation observes one consistent committed model.
 	holdback []*Update
@@ -362,6 +373,10 @@ func newServerRun(n *ServerNode) *serverRun {
 	// Tokens come from a stream disjoint from cohort sampling, and the high
 	// bit is forced so a token is never zero (zero means "fresh dial").
 	r.tokenRng = rand.New(rand.NewSource(cfg.Seed ^ 0x746f6b656e)) // "token"
+	// Sampled evaluation draws from its own serializable stream, consumed
+	// only when cfg.EvalSample is in effect — full-sweep runs never touch
+	// it, so their cohort schedule is byte-identical to previous releases.
+	r.evalRng, r.evalSrc = xrand.NewRand(cfg.Seed ^ evalSeedMix)
 	cohortSize := int(math.Ceil(float64(k) * cfg.SampleRate))
 	if cohortSize < 1 {
 		cohortSize = 1
@@ -1024,17 +1039,30 @@ func (r *serverRun) finishRound(m *RoundMetrics) {
 	}
 }
 
-// startEval asks every unchurned client for its personalized accuracy.
+// startEval asks every unchurned client — or, under cfg.EvalSample, a
+// fresh sample of the id space — for its personalized accuracy.
 // Disconnected sessions owe theirs on adoption; a session that churns
-// mid-evaluation keeps its NaN.
+// mid-evaluation (or is churned or unsampled at the start) keeps its NaN,
+// excluded from the mean by the NaN-excluding MeanStd.
 func (r *serverRun) startEval() {
 	r.evalWait = make(map[int]bool)
 	r.evalPer = make([]float64, r.k)
 	for i := range r.evalPer {
 		r.evalPer[i] = math.NaN()
 	}
+	r.evalIDs = nil
+	ask := r.sessions
+	if n := r.cfg.EvalSample; n > 0 && n < r.k {
+		ids := SamplePrefix(r.evalRng, r.k, n)
+		sort.Ints(ids)
+		r.evalIDs = ids
+		ask = make([]*srvSession, len(ids))
+		for i, id := range ids {
+			ask[i] = r.sessions[id]
+		}
+	}
 	req := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)
-	for _, s := range r.sessions {
+	for _, s := range ask {
 		if s.churned {
 			continue
 		}
@@ -1058,20 +1086,16 @@ func (r *serverRun) handleEvalRes(sess *srvSession, m *wireMsg) {
 	}
 }
 
-// completeEval aggregates the collected accuracies (churned clients stay
-// NaN, excluded from the mean), accounts the round, then releases any
-// updates held back during the evaluation.
+// completeEval aggregates the collected accuracies (churned and unsampled
+// clients stay NaN — MeanStd excludes them count-wise, summing the finite
+// entries in the same index order the old pre-filter did), accounts the
+// round, then releases any updates held back during the evaluation.
 func (r *serverRun) completeEval() {
 	r.evalWait = nil
-	var accs []float64
-	for _, v := range r.evalPer {
-		if !math.IsNaN(v) {
-			accs = append(accs, v)
-		}
-	}
-	mean, std := MeanStd(accs)
-	m := RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: r.evalPer}
+	mean, std := MeanStd(r.evalPer)
+	m := RoundMetrics{MeanAcc: mean, StdAcc: std, PerClient: r.evalPer, EvalIDs: r.evalIDs}
 	r.evalPer = nil
+	r.evalIDs = nil
 	r.finishRound(&m)
 	for len(r.holdback) > 0 && r.evalWait == nil && r.fatal == nil {
 		u := r.holdback[0]
@@ -1109,14 +1133,16 @@ func (r *serverRun) buildSnapshot() (*Snapshot, error) {
 		return nil, fmt.Errorf("fl: %s state snapshot: %w", r.algo.Name(), err)
 	}
 	snap := &Snapshot{
-		Kind:    r.cfg.Sched,
-		Round:   r.version,
-		DType:   r.cfg.DType,
-		Rng:     r.rngSrc.State(),
-		History: cloneHistory(r.n.History),
-		Ledger:  r.n.Ledger.Snapshot(),
-		Algo:    st,
-		Joins:   cloneJoins(r.joins),
+		Kind:      r.cfg.Sched,
+		Round:     r.version,
+		DType:     r.cfg.DType,
+		Rng:       r.rngSrc.State(),
+		EvalRng:   r.evalSrc.State(),
+		FleetSize: r.k,
+		History:   cloneHistory(r.n.History),
+		Ledger:    r.n.Ledger.Snapshot(),
+		Algo:      st,
+		Joins:     cloneJoins(r.joins),
 	}
 	snap.Sessions = make([]SessionState, r.k)
 	for i, s := range r.sessions {
@@ -1161,6 +1187,7 @@ func (r *serverRun) restore(snap *Snapshot) error {
 		}
 	}
 	r.rngSrc.SetState(snap.Rng)
+	r.evalSrc.SetState(snap.EvalRng)
 	r.n.History = cloneHistory(snap.History)
 	r.n.Ledger.Restore(snap.Ledger)
 	now := time.Now()
@@ -1285,9 +1312,9 @@ func (r *serverRun) openSemiCohort() {
 	if n == 0 {
 		return
 	}
-	perm := r.rng.Perm(len(avail))[:n]
+	idx := SamplePrefix(r.rng, len(avail), n)
 	ids := make([]int, n)
-	for i, p := range perm {
+	for i, p := range idx {
 		ids[i] = avail[p]
 	}
 	sort.Ints(ids)

@@ -103,6 +103,11 @@ type Snapshot struct {
 	Seq     int     // dispatch sequence counter (async)
 	Applied int     // applies since the last commit (async)
 	Rng     uint64  // simulation sampling stream position
+	EvalRng uint64  // sampled-evaluation stream position
+	// FleetSize is the virtual fleet size. For a lazy fleet Clients holds
+	// only the touched (ever-materialized) clients, so the resume-time
+	// size check needs the fleet size recorded independently.
+	FleetSize int
 	// DType is the model element type the run trained in. Flat vectors in a
 	// snapshot are always float64 bookkeeping (f32 values widen exactly),
 	// but restoring into a fleet of a different dtype would silently change
@@ -173,8 +178,66 @@ func cloneHistory(hist []RoundMetrics) []RoundMetrics {
 	out := append([]RoundMetrics(nil), hist...)
 	for i := range out {
 		out[i].PerClient = append([]float64(nil), hist[i].PerClient...)
+		if hist[i].EvalIDs != nil {
+			out[i].EvalIDs = append([]int(nil), hist[i].EvalIDs...)
+		}
 	}
 	return out
+}
+
+// captureClientState freezes one client's mutable state — flat parameters,
+// batch-norm buffers, RNG position and optimizer moments — into the
+// compact buffer format both checkpoints and the lazy store's spill path
+// use. The flat vectors are appended to the (cap-reused, length-reset)
+// slices passed in, so spill cycles can recycle buffers.
+func captureClientState(c *Client, params, buffers []float64) (ClientState, error) {
+	if c.Src == nil {
+		return ClientState{}, fmt.Errorf("fl: client %d has no serializable RNG (set fl.Client.Src via xrand.NewRand)", c.ID)
+	}
+	cs := ClientState{ID: c.ID, Rng: c.Src.State()}
+	if c.Model != nil {
+		cs.Params = nn.AppendFlatParams(params[:0], c.Model.Params())
+		cs.Buffers = nn.AppendFlatBuffers(buffers[:0], c.Model.Buffers())
+	}
+	if c.Optimizer != nil {
+		co, ok := c.Optimizer.(opt.Checkpointable)
+		if !ok {
+			return ClientState{}, fmt.Errorf("fl: client %d optimizer cannot be checkpointed (implement opt.Checkpointable)", c.ID)
+		}
+		cs.Opt = co.State()
+	}
+	return cs, nil
+}
+
+// restoreClientState is the inverse of captureClientState; the client's
+// model/optimizer must already exist (restore copies into them, so the
+// source buffers may be recycled afterwards).
+func restoreClientState(c *Client, cs *ClientState) error {
+	if c.ID != cs.ID {
+		return fmt.Errorf("fl: state for client %d restored into client %d", cs.ID, c.ID)
+	}
+	if c.Src == nil {
+		return fmt.Errorf("fl: client %d has no serializable RNG (set fl.Client.Src via xrand.NewRand)", c.ID)
+	}
+	c.Src.SetState(cs.Rng)
+	if c.Model != nil {
+		if err := nn.SetFlatParams(c.Model.Params(), cs.Params); err != nil {
+			return fmt.Errorf("fl: restoring client %d parameters: %w", c.ID, err)
+		}
+		if err := nn.SetFlatBuffers(c.Model.Buffers(), cs.Buffers); err != nil {
+			return fmt.Errorf("fl: restoring client %d buffers: %w", c.ID, err)
+		}
+	}
+	if c.Optimizer != nil {
+		co, ok := c.Optimizer.(opt.Checkpointable)
+		if !ok {
+			return fmt.Errorf("fl: client %d optimizer cannot be restored (implement opt.Checkpointable)", c.ID)
+		}
+		if err := co.SetState(cs.Opt); err != nil {
+			return fmt.Errorf("fl: restoring client %d optimizer: %w", c.ID, err)
+		}
+	}
+	return nil
 }
 
 // captureCommon fills the scheduler-independent parts of a snapshot: RNG
@@ -193,10 +256,20 @@ func (s *Simulation) captureCommon(snap *Snapshot, algo Algorithm, sched *Schedu
 	}
 	snap.Algo = st
 	snap.Rng = s.src.State()
-	for _, c := range s.Clients {
-		if c.Model != nil {
+	if s.evalSrc != nil {
+		snap.EvalRng = s.evalSrc.State()
+	}
+	snap.FleetSize = s.NumClients()
+	if s.store != nil {
+		if c := s.Client(0); c.Model != nil {
 			snap.DType = c.Model.DType()
-			break
+		}
+	} else {
+		for _, c := range s.Clients {
+			if c.Model != nil {
+				snap.DType = c.Model.DType()
+				break
+			}
 		}
 	}
 	snap.History = cloneHistory(s.History)
@@ -204,22 +277,21 @@ func (s *Simulation) captureCommon(snap *Snapshot, algo Algorithm, sched *Schedu
 		snap.Trace = append([]TraceEvent(nil), sched.Trace.Events...)
 	}
 	snap.Ledger = s.Ledger.Snapshot()
+	if s.store != nil {
+		// A lazy fleet checkpoints only the touched clients; everyone else is
+		// reproduced exactly by the builder.
+		states, err := s.store.CaptureTouched()
+		if err != nil {
+			return err
+		}
+		snap.Clients = states
+		return nil
+	}
 	snap.Clients = make([]ClientState, len(s.Clients))
 	for i, c := range s.Clients {
-		if c.Src == nil {
-			return fmt.Errorf("fl: client %d has no serializable RNG (set fl.Client.Src via xrand.NewRand)", c.ID)
-		}
-		cs := ClientState{ID: c.ID, Rng: c.Src.State()}
-		if c.Model != nil {
-			cs.Params = nn.FlattenParams(c.Model.Params())
-			cs.Buffers = nn.FlattenBuffers(c.Model.Buffers())
-		}
-		if c.Optimizer != nil {
-			co, ok := c.Optimizer.(opt.Checkpointable)
-			if !ok {
-				return fmt.Errorf("fl: client %d optimizer cannot be checkpointed (implement opt.Checkpointable)", c.ID)
-			}
-			cs.Opt = co.State()
+		cs, err := captureClientState(c, nil, nil)
+		if err != nil {
+			return err
 		}
 		snap.Clients[i] = cs
 	}
@@ -236,46 +308,42 @@ func (s *Simulation) restoreCommon(snap *Snapshot, algo Algorithm, sched *Schedu
 	if s.src == nil {
 		return fmt.Errorf("fl: simulation has no serializable RNG (use fl.NewSimulation)")
 	}
-	if len(snap.Clients) != len(s.Clients) {
-		return fmt.Errorf("fl: checkpoint has %d clients, simulation has %d", len(snap.Clients), len(s.Clients))
-	}
-	for _, c := range s.Clients {
-		if c.Model != nil && c.Model.DType() != snap.DType {
+	if s.store != nil {
+		if snap.FleetSize != s.store.Len() {
+			return fmt.Errorf("fl: checkpoint has a %d-client fleet, simulation has %d", snap.FleetSize, s.store.Len())
+		}
+		if c := s.Client(0); c.Model != nil && c.Model.DType() != snap.DType {
 			return fmt.Errorf("fl: checkpoint was taken at dtype %s, fleet is %s (resume with the same -dtype)",
 				snap.DType, c.Model.DType())
 		}
+	} else {
+		if len(snap.Clients) != len(s.Clients) {
+			return fmt.Errorf("fl: checkpoint has %d clients, simulation has %d", len(snap.Clients), len(s.Clients))
+		}
+		for _, c := range s.Clients {
+			if c.Model != nil && c.Model.DType() != snap.DType {
+				return fmt.Errorf("fl: checkpoint was taken at dtype %s, fleet is %s (resume with the same -dtype)",
+					snap.DType, c.Model.DType())
+			}
+		}
 	}
 	s.src.SetState(snap.Rng)
+	if s.evalSrc != nil {
+		s.evalSrc.SetState(snap.EvalRng)
+	}
 	s.History = cloneHistory(snap.History)
 	s.Ledger.Restore(snap.Ledger)
 	if sched.Trace != nil {
 		sched.Trace.Events = append(sched.Trace.Events[:0], snap.Trace...)
 	}
-	for i := range snap.Clients {
-		cs := &snap.Clients[i]
-		c := s.Clients[i]
-		if c.ID != cs.ID {
-			return fmt.Errorf("fl: checkpoint client %d has id %d, simulation has %d", i, cs.ID, c.ID)
+	if s.store != nil {
+		if err := s.store.RestoreTouched(snap.Clients); err != nil {
+			return err
 		}
-		if c.Src == nil {
-			return fmt.Errorf("fl: client %d has no serializable RNG (set fl.Client.Src via xrand.NewRand)", c.ID)
-		}
-		c.Src.SetState(cs.Rng)
-		if c.Model != nil {
-			if err := nn.SetFlatParams(c.Model.Params(), cs.Params); err != nil {
-				return fmt.Errorf("fl: restoring client %d parameters: %w", c.ID, err)
-			}
-			if err := nn.SetFlatBuffers(c.Model.Buffers(), cs.Buffers); err != nil {
-				return fmt.Errorf("fl: restoring client %d buffers: %w", c.ID, err)
-			}
-		}
-		if c.Optimizer != nil {
-			co, ok := c.Optimizer.(opt.Checkpointable)
-			if !ok {
-				return fmt.Errorf("fl: client %d optimizer cannot be restored (implement opt.Checkpointable)", c.ID)
-			}
-			if err := co.SetState(cs.Opt); err != nil {
-				return fmt.Errorf("fl: restoring client %d optimizer: %w", c.ID, err)
+	} else {
+		for i := range snap.Clients {
+			if err := restoreClientState(s.Clients[i], &snap.Clients[i]); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,227 @@
+package fl
+
+import (
+	"container/list"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// ClientStore backs a lazy virtual fleet: clients exist as a compact id
+// space [0,n) and materialize on demand through a builder that constructs
+// client i as a pure function of i (experiments.ClientBuilder). At most
+// budget clients stay resident in an LRU; evicting one spills its mutable
+// state — flat parameters, batch-norm buffers, RNG position, optimizer
+// moments — into the checkpoint buffer format, and a later Get restores it
+// bit-identically into a freshly built client. Spill buffers are recycled
+// through a size-bucketed pool, so steady-state memory is proportional to
+// residents + touched cohort, never the fleet.
+//
+// Every materialized client is treated as dirty (its state spills on
+// eviction even if it only evaluated); tracking cleanliness would save
+// spill space but risk missing a mutation path, and the spill set is
+// bounded by the touched set — O(rounds · cohort) — regardless of n.
+type ClientStore struct {
+	mu       sync.Mutex
+	n        int
+	build    func(int) *Client
+	budget   int // max resident clients; <= 0 means unbounded
+	resident map[int]*list.Element
+	lru      *list.List // of *Client; front = most recently used
+	spill    map[int]*ClientState
+	pool     bufferPool
+}
+
+// NewClientStore builds a store over n virtual clients.
+func NewClientStore(n int, build func(int) *Client, budget int) *ClientStore {
+	return &ClientStore{
+		n:        n,
+		build:    build,
+		budget:   budget,
+		resident: make(map[int]*list.Element),
+		lru:      list.New(),
+		spill:    make(map[int]*ClientState),
+	}
+}
+
+// Len returns the virtual fleet size.
+func (st *ClientStore) Len() int { return st.n }
+
+// Resident returns how many clients are currently materialized.
+func (st *ClientStore) Resident() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}
+
+// Get returns client id, building it (and restoring any spilled state) if
+// it is not resident. Safe to call concurrently for distinct ids — the
+// pattern of every parallel client loop; a same-id race is resolved to a
+// single client. The result stays resident at least until the next
+// EvictToBudget.
+func (st *ClientStore) Get(id int) *Client {
+	if id < 0 || id >= st.n {
+		panic(fmt.Sprintf("fl: client id %d out of fleet range [0,%d)", id, st.n))
+	}
+	st.mu.Lock()
+	if el, ok := st.resident[id]; ok {
+		st.lru.MoveToFront(el)
+		c := el.Value.(*Client)
+		st.mu.Unlock()
+		return c
+	}
+	st.mu.Unlock()
+
+	c := st.build(id) // heavy: runs outside the lock so cohorts build in parallel
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.resident[id]; ok { // lost a same-id race; use the winner's
+		st.lru.MoveToFront(el)
+		return el.Value.(*Client)
+	}
+	if cs, ok := st.spill[id]; ok {
+		if err := restoreClientState(c, cs); err != nil {
+			// The builder is a pure function of id, so a shape/dtype mismatch
+			// with state this store captured itself is an invariant violation,
+			// not a recoverable condition.
+			panic(fmt.Sprintf("fl: rehydrating client %d: %v", id, err))
+		}
+		delete(st.spill, id)
+		st.pool.put(cs.Params)
+		st.pool.put(cs.Buffers)
+	}
+	st.resident[id] = st.lru.PushFront(c)
+	return c
+}
+
+// EvictToBudget spills least-recently-used clients until the resident
+// count is within budget, skipping clients the scheduler still holds in
+// flight (pinned). A nil pinned means nothing is pinned.
+func (st *ClientStore) EvictToBudget(pinned func(id int) bool) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.budget <= 0 {
+		return nil
+	}
+	for el := st.lru.Back(); el != nil && st.lru.Len() > st.budget; {
+		prev := el.Prev()
+		c := el.Value.(*Client)
+		if pinned == nil || !pinned(c.ID) {
+			if err := st.spillLocked(c); err != nil {
+				return err
+			}
+			st.lru.Remove(el)
+			delete(st.resident, c.ID)
+		}
+		el = prev
+	}
+	return nil
+}
+
+func (st *ClientStore) spillLocked(c *Client) error {
+	var params, buffers []float64
+	if c.Model != nil {
+		params = st.pool.get(nn.NumParams(c.Model.Params()))
+		buffers = st.pool.get(nn.NumBuffered(c.Model.Buffers()))
+	}
+	cs, err := captureClientState(c, params, buffers)
+	if err != nil {
+		return fmt.Errorf("fl: spilling client %d: %w", c.ID, err)
+	}
+	st.spill[c.ID] = &cs
+	return nil
+}
+
+// CaptureTouched snapshots every client this store has ever materialized —
+// resident ones freshly, spilled ones by copy — sorted by id, into
+// unpooled buffers a checkpoint may own indefinitely. Untouched clients
+// carry no state beyond their id (they are reproduced by the builder), so
+// they are deliberately absent.
+func (st *ClientStore) CaptureTouched() ([]ClientState, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]ClientState, 0, len(st.resident)+len(st.spill))
+	for _, cs := range st.spill {
+		out = append(out, ClientState{
+			ID:      cs.ID,
+			Params:  CloneVec(cs.Params),
+			Buffers: CloneVec(cs.Buffers),
+			Rng:     cs.Rng,
+			Opt:     cs.Opt,
+		})
+	}
+	for el := st.lru.Front(); el != nil; el = el.Next() {
+		cs, err := captureClientState(el.Value.(*Client), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// RestoreTouched resets the store to hold exactly the given touched-client
+// states (cloned into the spill map); every resident client is dropped, so
+// the next Get of any id rebuilds and rehydrates from the checkpoint.
+func (st *ClientStore) RestoreTouched(states []ClientState) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, cs := range st.spill {
+		st.pool.put(cs.Params)
+		st.pool.put(cs.Buffers)
+	}
+	st.spill = make(map[int]*ClientState, len(states))
+	st.resident = make(map[int]*list.Element)
+	st.lru.Init()
+	for i := range states {
+		cs := &states[i]
+		if cs.ID < 0 || cs.ID >= st.n {
+			return fmt.Errorf("fl: checkpoint references client %d of a %d-client fleet", cs.ID, st.n)
+		}
+		st.spill[cs.ID] = &ClientState{
+			ID:      cs.ID,
+			Params:  CloneVec(cs.Params),
+			Buffers: CloneVec(cs.Buffers),
+			Rng:     cs.Rng,
+			Opt:     cs.Opt,
+		}
+	}
+	return nil
+}
+
+// bufferPool recycles spill vectors in power-of-two size buckets. Buffers
+// are stored under the largest power of two not exceeding their capacity,
+// so a get(n) hit always has capacity ≥ n. Callers hold the store lock.
+type bufferPool struct {
+	buckets map[int][][]float64
+}
+
+func (p *bufferPool) get(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := 1 << bits.Len(uint(n-1)) // smallest power of two ≥ n
+	if s := p.buckets[b]; len(s) > 0 {
+		buf := s[len(s)-1]
+		p.buckets[b] = s[:len(s)-1]
+		return buf[:0]
+	}
+	return make([]float64, 0, b)
+}
+
+func (p *bufferPool) put(buf []float64) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	b := 1 << (bits.Len(uint(c)) - 1) // largest power of two ≤ cap
+	if p.buckets == nil {
+		p.buckets = make(map[int][][]float64)
+	}
+	p.buckets[b] = append(p.buckets[b], buf[:0])
+}

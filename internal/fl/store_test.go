@@ -1,0 +1,377 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/opt"
+	"repro/internal/xrand"
+)
+
+// lazyTestBuilder returns a builder that constructs client i as a pure
+// function of i — the contract NewLazySimulation requires — over a lazily
+// partitioned synthetic dataset.
+func lazyTestBuilder(t *testing.T, k int) func(int) *Client {
+	t.Helper()
+	ds := data.Generate(data.SynthFashion(6, 4, 3))
+	lp, err := data.NewLazyPartitioner(ds, k, data.PartitionOptions{Kind: data.Dirichlet, Alpha: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(i int) *Client {
+		part := lp.Client(i)
+		m := models.New(models.Config{
+			Arch: models.ArchMLP, InC: 1, InH: 12, InW: 12, FeatDim: 8, NumClasses: 10, Hidden: 16,
+		}, xrand.New(int64(i+1)))
+		rng, src := xrand.NewRand(int64(i) * 7919)
+		return &Client{
+			ID: i, Model: m, Train: part.Train, Test: part.Test,
+			Aug:       data.NewAugmenter(1, 12, 12),
+			Rng:       rng,
+			Src:       src,
+			Optimizer: opt.NewAdam(0.01),
+		}
+	}
+}
+
+// trainAlgo trains each participant for one epoch — under any scheduler —
+// so client state actually mutates between spill cycles.
+type trainAlgo struct{}
+
+func (a *trainAlgo) Name() string                { return "train" }
+func (a *trainAlgo) EpochsPerRound() int         { return 1 }
+func (a *trainAlgo) Setup(sim *Simulation) error { return nil }
+func (a *trainAlgo) Round(sim *Simulation, round int, participants []int) error {
+	ParallelClients(len(participants), func(idx int) {
+		sim.Client(participants[idx]).TrainEpochCE(sim.Cfg.BatchSize)
+	})
+	return nil
+}
+func (a *trainAlgo) AsyncSetup(sim *Simulation, sched *SchedulerConfig) error { return nil }
+func (a *trainAlgo) AsyncDispatch(sim *Simulation, client int) error          { return nil }
+func (a *trainAlgo) AsyncLocal(sim *Simulation, client int) (*Update, error) {
+	sim.Client(client).TrainEpochCE(sim.Cfg.BatchSize)
+	return &Update{Client: client}, nil
+}
+func (a *trainAlgo) AsyncApply(sim *Simulation, u *Update) error { return nil }
+func (a *trainAlgo) AsyncCommit(sim *Simulation) error           { return nil }
+func (a *trainAlgo) AlgoSnapshot(sim *Simulation) (*AlgoState, error) {
+	return &AlgoState{}, nil
+}
+func (a *trainAlgo) AlgoRestore(sim *Simulation, st *AlgoState) error { return nil }
+
+func TestSamplePrefixDrawsDistinctInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k, n = 1000000, 40
+	got := SamplePrefix(rng, k, n)
+	if len(got) != n {
+		t.Fatalf("drew %d ids, want %d", len(got), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, id := range got {
+		if id < 0 || id >= k {
+			t.Fatalf("id %d out of [0,%d)", id, k)
+		}
+		if seen[id] {
+			t.Fatalf("id %d drawn twice", id)
+		}
+		seen[id] = true
+	}
+	// Same seed, same draw.
+	again := SamplePrefix(rand.New(rand.NewSource(7)), k, n)
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("same seed produced different samples")
+	}
+	// Edge cases: n > k clamps, n <= 0 is empty.
+	if got := SamplePrefix(rng, 3, 10); len(got) != 3 {
+		t.Fatalf("n>k drew %d ids, want 3", len(got))
+	}
+	if got := SamplePrefix(rng, 3, 0); len(got) != 0 {
+		t.Fatalf("n=0 drew %d ids", len(got))
+	}
+}
+
+// SamplePrefix must produce exactly the first n slots of a full
+// Fisher–Yates shuffle of the same stream — the property that makes the
+// O(n) sampler a drop-in for small fleets and the basis of its uniformity.
+func TestSamplePrefixMatchesFullShuffle(t *testing.T) {
+	const k, n = 53, 17
+	got := SamplePrefix(rand.New(rand.NewSource(21)), k, n)
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(k-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	if !reflect.DeepEqual(got, perm[:n]) {
+		t.Fatalf("prefix %v differs from full shuffle %v", got, perm[:n])
+	}
+}
+
+func TestSampleCohortAscendingAndDeterministic(t *testing.T) {
+	draw := func() []int {
+		return SampleCohort(rand.New(rand.NewSource(5)), 100000, 0.0002, 0)
+	}
+	a, b := draw(), draw()
+	if len(a) != 20 {
+		t.Fatalf("cohort of %d, want ⌈100000·0.0002⌉ = 20", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("cohort not ascending: %v", a)
+		}
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different cohorts")
+	}
+}
+
+// At rate·N ≪ N, draws must range over the whole id space, not cluster at
+// the front — the failure mode of a truncated-permutation sampler.
+func TestSampleCohortDistributionSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k = 100000
+	max, rounds := 0, 50
+	for r := 0; r < rounds; r++ {
+		for _, id := range SampleCohort(rng, k, 0.0001, 0) {
+			if id > max {
+				max = id
+			}
+		}
+	}
+	// 500 uniform draws: P(all below k/2) = 2^-500.
+	if max < k/2 {
+		t.Fatalf("500 draws never exceeded id %d of %d — sampler is not uniform over the fleet", max, k)
+	}
+}
+
+func TestSampleCohortDropProb(t *testing.T) {
+	full := SampleCohort(rand.New(rand.NewSource(9)), 50, 0.8, 0)
+	dropped := SampleCohort(rand.New(rand.NewSource(9)), 50, 0.8, 0.5)
+	if len(dropped) >= len(full) {
+		t.Fatalf("drop probability 0.5 kept %d of %d over repeated rounds", len(dropped), len(full))
+	}
+	// The kept cohort is an ascending subset of the drop-free draw: failure
+	// injection consumes its own draws after sampling, never perturbing
+	// which clients were picked.
+	j := 0
+	for _, id := range dropped {
+		for j < len(full) && full[j] != id {
+			j++
+		}
+		if j == len(full) {
+			t.Fatalf("kept id %d was never picked: full %v, kept %v", id, full, dropped)
+		}
+	}
+}
+
+func TestMeanStdNaN(t *testing.T) {
+	nan := math.NaN()
+	if m, s := MeanStd([]float64{nan, nan, nan}); m != 0 || s != 0 {
+		t.Fatalf("all-NaN MeanStd = %v, %v, want 0, 0", m, s)
+	}
+	// Mixed: NaN entries are excluded from both moments.
+	m, s := MeanStd([]float64{1, nan, 2, 3, nan, 4})
+	wantM, wantS := MeanStd([]float64{1, 2, 3, 4})
+	if m != wantM || s != wantS {
+		t.Fatalf("mixed MeanStd = %v, %v, want %v, %v", m, s, wantM, wantS)
+	}
+	if math.IsNaN(m) || math.IsNaN(s) {
+		t.Fatal("NaN leaked into the moments")
+	}
+}
+
+// Evicting a trained client and rehydrating it must reproduce its state
+// bit for bit: parameters, buffers, RNG position and optimizer moments.
+func TestClientStoreEvictRehydrateBitIdentical(t *testing.T) {
+	build := lazyTestBuilder(t, 8)
+	st := NewClientStore(8, build, 2)
+
+	c := st.Get(3)
+	c.TrainEpochCE(8)
+	before, err := captureClientState(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch enough other clients to push 3 out, twice over, exercising the
+	// buffer pool's recycle path.
+	for _, id := range []int{0, 1, 2, 4, 5} {
+		st.Get(id)
+		if err := st.EvictToBudget(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Resident() > 2 {
+		t.Fatalf("%d clients resident over budget 2", st.Resident())
+	}
+
+	re := st.Get(3)
+	if re == c {
+		t.Fatal("client 3 was never evicted — test exercises nothing")
+	}
+	after, err := captureClientState(re, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("rehydrated client state differs from its pre-eviction state")
+	}
+
+	// And it keeps training identically: one more epoch on the rehydrated
+	// client matches one more epoch on a never-evicted twin.
+	twinStore := NewClientStore(8, build, 0)
+	twin := twinStore.Get(3)
+	twin.TrainEpochCE(8)
+	lossA := re.TrainEpochCE(8)
+	lossB := twin.TrainEpochCE(8)
+	if lossA != lossB {
+		t.Fatalf("post-rehydration training diverged: %g vs %g", lossA, lossB)
+	}
+}
+
+// The determinism contract of the lazy fleet: any finite resident budget
+// produces byte-identical metrics and trace to the unbounded run, under
+// every scheduler.
+func TestLazyBudgetByteIdentity(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind SchedulerKind
+	}{
+		{"sync", SchedSync},
+		{"async", SchedAsyncBounded},
+		{"semisync", SchedSemiSync},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(resident int) ([]RoundMetrics, *Trace) {
+				tr := &Trace{}
+				sim := NewLazySimulation(12, lazyTestBuilder(t, 12), resident, Config{
+					Rounds: 4, SampleRate: 0.5, BatchSize: 8, Seed: 11,
+				})
+				hist, err := sim.RunScheduled(&trainAlgo{}, SchedulerConfig{Kind: tc.kind, Trace: tr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return hist, tr
+			}
+			unbounded, trU := run(0)
+			budgeted, trB := run(2)
+			if !reflect.DeepEqual(trU, trB) {
+				t.Fatal("budget 2 produced a different scheduler trace than budget ∞")
+			}
+			if !reflect.DeepEqual(unbounded, budgeted) {
+				t.Fatalf("budget 2 produced different metrics than budget ∞:\n%+v\nvs\n%+v", budgeted, unbounded)
+			}
+		})
+	}
+}
+
+// A budgeted lazy run must checkpoint and resume byte-identically, with the
+// checkpoint holding only the touched clients.
+func TestLazySnapshotResumeByteIdentical(t *testing.T) {
+	const k, rounds, killAt = 12, 4, 2
+	sched := func() SchedulerConfig {
+		return SchedulerConfig{Kind: SchedSync, Trace: &Trace{}}
+	}
+	newSim := func() *Simulation {
+		return NewLazySimulation(k, lazyTestBuilder(t, k), 2, Config{
+			Rounds: rounds, SampleRate: 0.5, BatchSize: 8, Seed: 11,
+		})
+	}
+
+	// Uninterrupted run, snapshotting at every boundary.
+	var atKill *Snapshot
+	full := sched()
+	full.Checkpoint = func(snap *Snapshot) error {
+		if snap.Round == killAt {
+			atKill = snap
+		}
+		return nil
+	}
+	wantHist, err := newSim().RunScheduled(&trainAlgo{}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atKill == nil {
+		t.Fatalf("no snapshot at round %d", killAt)
+	}
+	if atKill.FleetSize != k {
+		t.Fatalf("snapshot fleet size %d, want %d", atKill.FleetSize, k)
+	}
+	if len(atKill.Clients) >= k {
+		t.Fatalf("lazy snapshot holds %d clients — it must hold only the touched subset of %d", len(atKill.Clients), k)
+	}
+
+	// Resume from the mid-run snapshot and compare the full history.
+	res := sched()
+	res.Resume = atKill
+	gotHist, err := newSim().RunScheduled(&trainAlgo{}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantHist, gotHist) {
+		t.Fatalf("resumed history differs:\n%+v\nvs\n%+v", gotHist, wantHist)
+	}
+	if !reflect.DeepEqual(full.Trace, res.Trace) {
+		t.Fatal("resumed trace differs from the uninterrupted one")
+	}
+}
+
+// Churned clients appear as NaN in PerClient and are excluded from the
+// mean — the inproc engine's evaluation must match the node runtime's
+// semantics (DESIGN.md §9).
+func TestEvaluateChurnExclusion(t *testing.T) {
+	clients := testFleet(t, 4)
+	sim := NewSimulation(clients, Config{Rounds: 1, Seed: 1})
+	away := []float64{0, 5, 0, 5} // clients 1 and 3 away past now=1
+	m := sim.evaluateWith(away, 1)
+	if len(m.PerClient) != 4 {
+		t.Fatalf("PerClient has %d entries", len(m.PerClient))
+	}
+	if !math.IsNaN(m.PerClient[1]) || !math.IsNaN(m.PerClient[3]) {
+		t.Fatalf("away clients not NaN: %v", m.PerClient)
+	}
+	wantMean, wantStd := MeanStd([]float64{m.PerClient[0], m.PerClient[2]})
+	if m.MeanAcc != wantMean || m.StdAcc != wantStd {
+		t.Fatalf("churned clients leaked into the moments: got %v ± %v, want %v ± %v",
+			m.MeanAcc, m.StdAcc, wantMean, wantStd)
+	}
+	// Zero churn: identical to the churn-free evaluation, byte for byte.
+	clean := sim.evaluateWith(make([]float64, 4), 1)
+	plain := sim.Evaluate()
+	if !reflect.DeepEqual(clean, plain) {
+		t.Fatal("zero-churn evaluation differs from the churn-free path")
+	}
+}
+
+// Sampled evaluation draws from its own RNG stream: it must not perturb
+// cohort sampling, and the sample must be recorded in EvalIDs.
+func TestEvalSampleStreamIsolated(t *testing.T) {
+	cohorts := func(evalSample int) [][]int {
+		sim := NewLazySimulation(20, lazyTestBuilder(t, 20), 0, Config{
+			Rounds: 3, SampleRate: 0.25, BatchSize: 8, Seed: 11, EvalSample: evalSample,
+		})
+		var got [][]int
+		for r := 0; r < 3; r++ {
+			got = append(got, sim.sampleParticipants())
+			m := sim.Evaluate()
+			if evalSample > 0 {
+				if len(m.EvalIDs) != evalSample || len(m.PerClient) != evalSample {
+					t.Fatalf("eval sampled %d ids, %d accs; want %d", len(m.EvalIDs), len(m.PerClient), evalSample)
+				}
+			}
+		}
+		return got
+	}
+	if !reflect.DeepEqual(cohorts(3), cohorts(5)) {
+		t.Fatal("changing EvalSample perturbed the cohort sampling stream")
+	}
+}

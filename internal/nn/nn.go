@@ -154,7 +154,12 @@ func NumBuffered(bufs [][]float64) int {
 
 // FlattenBuffers concatenates buffer slices into one vector, in order.
 func FlattenBuffers(bufs [][]float64) []float64 {
-	out := make([]float64, 0, NumBuffered(bufs))
+	return AppendFlatBuffers(make([]float64, 0, NumBuffered(bufs)), bufs)
+}
+
+// AppendFlatBuffers appends the flattened buffers to out (reusing its
+// capacity), for callers that recycle flat vectors across spill cycles.
+func AppendFlatBuffers(out []float64, bufs [][]float64) []float64 {
 	for _, b := range bufs {
 		out = append(out, b...)
 	}
@@ -196,7 +201,12 @@ func NumParams(params []*Param) int {
 // representation; float32 parameters widen exactly, so flatten/set round
 // trips are lossless at either dtype.
 func FlattenParams(params []*Param) []float64 {
-	out := make([]float64, 0, NumParams(params))
+	return AppendFlatParams(make([]float64, 0, NumParams(params)), params)
+}
+
+// AppendFlatParams appends the flattened parameters to out (reusing its
+// capacity), for callers that recycle flat vectors across spill cycles.
+func AppendFlatParams(out []float64, params []*Param) []float64 {
 	for _, p := range params {
 		out = p.Value.AppendFloat64s(out)
 	}
