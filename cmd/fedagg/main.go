@@ -1,0 +1,180 @@
+// Command fedagg runs one edge aggregator of a 2-level federation tree:
+// it listens for its contiguous slice of the fedclient fleet (clients
+// [lo, hi) as determined by -agg/-aggregators/-clients), joins the
+// fedserver upstream on the subtree's behalf, and relays every round —
+// answering each batched dispatch with either a pre-reduced aggregate
+// (exact, for associative algorithms) or its children's raw updates
+// bundled unreduced (the passthrough for KT-pFL). Downstream the
+// aggregator behaves exactly like a fedserver — joins, heartbeats,
+// reconnect windows, churn — and upstream it behaves exactly like a
+// fedclient, so neither side needs to know it is talking to a middle
+// layer.
+//
+// The -dataset/-method/-seed/-featdim/-clients flags must match the
+// server's and the clients': the tree is a pure function of them, which
+// is what lets N processes reconstruct a consistent federation with
+// nothing shared but flags.
+//
+// Fault tolerance: a fedagg that loses its uplink redials with its
+// session token for up to -reconnect. A fedagg that dies outright is
+// churned by the server after its reconnect window — together with its
+// whole subtree; aggregators deliberately keep no checkpoint state
+// (DESIGN.md §11).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:0", "TCP address to listen on for this subtree's clients (port 0 picks a free port, printed on stdout)")
+		upstream    = flag.String("upstream", "", "fedserver TCP address (required)")
+		agg         = flag.Int("agg", -1, "this aggregator's index, in [0, -aggregators)")
+		aggregators = flag.Int("aggregators", 0, "total aggregator count (must match the server's -aggregators)")
+		clients     = flag.Int("clients", 0, "total fleet size (0 = scale default; must match the server)")
+		dataset     = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
+		method      = flag.String("method", experiments.MethodProposed, "method (must match the server)")
+		seed        = flag.Int64("seed", 1, "experiment seed (must match the server)")
+		featDim     = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
+		codecName   = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 (must match the server)")
+		dtypeName   = flag.String("dtype", "f64", "model element type: f64 | f32")
+		heartbeat   = flag.Duration("heartbeat", fl.DefaultHeartbeat, "downstream heartbeat interval (this subtree's clients echo it)")
+		deadAfter   = flag.Duration("dead", 0, "declare a silent child connection dead after this long (0 = 5x heartbeat)")
+		window      = flag.Duration("window", fl.DefaultReconnectWindow, "how long a dead child may take to reconnect before it is churned")
+		dialBudget  = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the first upstream dial while the server comes up")
+		reconnect   = flag.Duration("reconnect", 30*time.Second, "how long to keep redialing upstream after a mid-run disconnect")
+		preName     = flag.String("prereduce", "auto", "pre-reduction policy: auto | force | off")
+	)
+	flag.Parse()
+
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fedagg: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		usage("unexpected arguments %q", strings.Join(args, " "))
+	}
+	s := experiments.ScaleFromEnv(experiments.Small())
+	s.Seed = *seed
+	if *clients < 0 {
+		usage("-clients must be >= 0, got %d", *clients)
+	}
+	if *clients > 0 {
+		s.Clients = *clients
+	}
+	if *featDim < 0 {
+		usage("-featdim must be >= 0, got %d", *featDim)
+	}
+	if *featDim > 0 {
+		s.FeatDim = *featDim
+	}
+	if *upstream == "" {
+		usage("-upstream is required (the fedserver address this aggregator reports to)")
+	}
+	if *aggregators < 1 || *aggregators > s.Clients {
+		usage("-aggregators must be in [1, %d (clients)], got %d", s.Clients, *aggregators)
+	}
+	if *agg < 0 || *agg >= *aggregators {
+		usage("-agg must be in [0, %d (aggregators)), got %d", *aggregators, *agg)
+	}
+	if *heartbeat <= 0 {
+		usage("-heartbeat must be > 0, got %v", *heartbeat)
+	}
+	if *deadAfter < 0 {
+		usage("-dead must be >= 0, got %v", *deadAfter)
+	}
+	if *window <= 0 {
+		usage("-window must be > 0, got %v", *window)
+	}
+	if *dialBudget < 0 {
+		usage("-dial-timeout must be >= 0, got %v", *dialBudget)
+	}
+	if *reconnect <= 0 {
+		usage("-reconnect must be > 0, got %v", *reconnect)
+	}
+	name, err := experiments.ParseDataset(*dataset)
+	if err != nil {
+		usage("%v", err)
+	}
+	codec, err := comm.ParseCodec(*codecName)
+	if err != nil {
+		usage("%v", err)
+	}
+	dtype, err := tensor.ParseDType(*dtypeName)
+	if err != nil {
+		usage("%v", err)
+	}
+	s.DType = dtype
+	pre, err := fl.ParsePreReduce(*preName)
+	if err != nil {
+		usage("%v", err)
+	}
+	algo, err := experiments.WireAlgorithmFor(*method, name, s)
+	if err != nil {
+		usage("%v", err)
+	}
+	// -prereduce force on a non-associative algorithm can never produce a
+	// sound reduction; refuse at startup rather than mid-round.
+	if err := fl.CheckPreReduce(algo, pre); err != nil {
+		usage("%v", err)
+	}
+
+	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	ln, err := tr.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedagg: %v\n", err)
+		os.Exit(1)
+	}
+	// The bound address goes out first (and unbuffered) so orchestration —
+	// scripts, the CI tree test — can listen on :0 and scrape the port.
+	fmt.Printf("# fedagg listening on %s\n", ln.Addr())
+	bounds := fl.TreeSplit(s.Clients, *aggregators)
+	fmt.Printf("# fedagg %d/%d: clients [%d, %d) of %d, upstream %s, prereduce %s\n",
+		*agg, *aggregators, bounds[*agg], bounds[*agg+1], s.Clients, *upstream, pre)
+
+	ctx := context.Background()
+	node := fl.NewAggregatorNode(algo, fl.AggregatorConfig{
+		Index:           *agg,
+		Aggregators:     *aggregators,
+		Clients:         s.Clients,
+		Codec:           codec,
+		Seed:            *seed*1000 + 500 + int64(*agg),
+		Heartbeat:       *heartbeat,
+		DeadAfter:       *deadAfter,
+		ReconnectWindow: *window,
+		PreReduce:       pre,
+		Dialer: func(ctx context.Context, token uint64) (transport.Conn, error) {
+			// First dial waits out server startup for -dial-timeout;
+			// mid-run redials (token != 0) get the -reconnect budget.
+			budget := *dialBudget
+			if token != 0 {
+				budget = *reconnect
+			}
+			return transport.DialRetry(ctx, tr, *upstream, transport.RetryOptions{
+				Budget: budget,
+				Seed:   *seed*1000 + 500 + int64(*agg),
+				Token:  token,
+			})
+		},
+	})
+	if err := node.Run(ctx, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "fedagg: %v\n", err)
+		os.Exit(1)
+	}
+	st := node.Stats
+	fmt.Printf("# faults: reconnects=%d disconnects=%d churned=%d resends=%d\n",
+		st.Reconnects, st.Disconnects, st.Churned, st.Resends)
+	fmt.Printf("# fedagg %d: federation complete\n", *agg)
+}

@@ -44,6 +44,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7143", "TCP address to listen on (port 0 picks a free port, printed on stdout)")
 		clients   = flag.Int("clients", 0, "number of client processes to wait for (0 = scale default)")
+		aggCount  = flag.Int("aggregators", 0, "tree topology: serve this many fedagg processes instead of clients directly (0 = flat)")
 		dataset   = flag.String("dataset", "fashion", "dataset: cifar10 | fashion | emnist")
 		method    = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight")
 		rounds    = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
@@ -142,6 +143,21 @@ func main() {
 	if *evalSmpl < 0 {
 		usage("-evalsample must be >= 0, got %d", *evalSmpl)
 	}
+	if *aggCount < 0 || *aggCount > s.Clients {
+		usage("-aggregators must be in [0, %d (clients)], got %d", s.Clients, *aggCount)
+	}
+	if *aggCount > 0 {
+		// The tree topology's interlocks mirror fl.NodeConfig's: the root
+		// commits a round when every aggregator reports (sync only), and
+		// checkpoint/resume is undefined while aggregators deliberately
+		// keep no snapshot state (DESIGN.md §11).
+		if schedKind != fl.SchedSync {
+			usage("-aggregators requires -sched sync (the tree commits a round when every aggregator reports)")
+		}
+		if *ckptDir != "" || *resume != "" {
+			usage("-aggregators does not support -checkpoint/-resume (aggregators keep no snapshot state; restart the tree instead)")
+		}
+	}
 	if _, err := experiments.WireAlgorithmFor(*method, name, s); err != nil {
 		usage("%v", err)
 	}
@@ -164,6 +180,9 @@ func main() {
 	fmt.Printf("# fedserver listening on %s\n", ln.Addr())
 	fmt.Printf("# fedserver %s on %s (%d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s)\n",
 		*method, name, s.Clients, s.Rounds, *rate, schedKind, codec, dtype)
+	if *aggCount > 0 {
+		fmt.Printf("# topology: tree (%d aggregators)\n", *aggCount)
+	}
 	if snap != nil {
 		fmt.Fprintf(os.Stderr, "fedserver: resuming from %s at round %d\n", *resume, snap.Round)
 	}
@@ -182,6 +201,7 @@ func main() {
 	cfg.Decay = *decay
 	cfg.Quorum = *quorum
 	cfg.EvalSample = *evalSmpl
+	cfg.Aggregators = *aggCount
 	cfg.Heartbeat = *heartbeat
 	cfg.DeadAfter = *deadAfter
 	cfg.ReconnectWindow = *window

@@ -17,6 +17,7 @@
 //	fedsim -method Proposed -dtype f32                          # float32 fast path
 //	fedsim -method FedProto -arch resnet,cnn2 -width 1,2        # scripted fleet rotation
 //	fedsim -method Proposed -transport tcp                      # node split over real sockets
+//	fedsim -method FedAvg -topology tree -aggregators 2         # 2-level aggregation tree
 //	fedsim -clients 1000000 -rate 0.0001 -resident 256          # million-client virtual fleet
 package main
 
@@ -68,6 +69,8 @@ func main() {
 		traceFile  = flag.String("trace", "", "file to write the scheduler event trace to")
 		ckptCodec  = flag.String("ckptcodec", "f64", "checkpoint payload codec: f64 (lossless replay) | f32 | i8")
 		transName  = flag.String("transport", "inproc", "federation transport: inproc (virtual-clock engine) | tcp (server/client nodes over localhost sockets)")
+		topology   = flag.String("topology", "flat", "aggregation topology: flat (every client reports to the server) | tree (clients report to -aggregators edge aggregators, which pre-reduce upstream)")
+		aggCount   = flag.Int("aggregators", 0, "with -topology tree: number of edge aggregators, in [1, -clients]")
 		resident   = flag.Int("resident", 0, "virtual fleet: keep at most this many materialized clients resident in memory; the rest spill to compact state buffers (0 = eager fleet, all clients materialized)")
 		evalSample = flag.Int("evalsample", 0, "with -resident: evaluate a deterministic per-round sample of this many clients instead of the full fleet (0 = cohort-size default)")
 	)
@@ -194,7 +197,41 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
-	if trName == "tcp" {
+	tree := false
+	switch *topology {
+	case "flat":
+		if *aggCount != 0 {
+			usage("-aggregators requires -topology tree")
+		}
+	case "tree":
+		tree = true
+		if *aggCount < 1 || *aggCount > s.Clients {
+			usage("-topology tree needs -aggregators in [1, %d (clients)], got %d", s.Clients, *aggCount)
+		}
+		if schedKind != fl.SchedSync {
+			usage("-topology tree requires -sched sync (the tree commits a round when every aggregator reports)")
+		}
+		// The tree always runs the node split — server, aggregator and
+		// client nodes over a transport — so the virtual-clock-only
+		// features are rejected exactly as under -transport tcp.
+		switch {
+		case *ckptDir != "" || *resume != "":
+			usage("-topology tree does not support -checkpoint/-resume (tree checkpointing is root-only and lives in fedserver)")
+		case *traceFile != "":
+			usage("-topology tree does not support -trace (scheduler traces are defined on the virtual clock)")
+		case *leave > 0:
+			usage("-topology tree does not support -leave (node-mode churn is real: kill a client or aggregator process)")
+		case *stragglers > 0:
+			usage("-topology tree does not support -stragglers (node-mode stragglers are real: nice a client process)")
+		case *archRot != "":
+			usage("-topology tree does not support -arch rotations yet (use -fleet)")
+		case *resident > 0:
+			usage("-topology tree does not support -resident (node-mode clients are separate node instances; memory is bounded per node)")
+		}
+	default:
+		usage("unknown topology %q (want flat | tree)", *topology)
+	}
+	if trName == "tcp" && !tree {
 		// The tcp transport runs the node split: one server node plus one
 		// client node per client over real localhost sockets. All three
 		// schedules run on the wire (DESIGN.md §9), but the virtual-clock
@@ -272,7 +309,7 @@ func main() {
 	var factory experiments.ClientFactory
 	var builder experiments.ClientBuilder
 	fleetDesc := *fleet
-	if trName == "tcp" {
+	if trName == "tcp" || tree {
 		builder, _, err = experiments.NewFleetBuilder(name, kind, *fleet, s.Clients, s)
 		if err != nil {
 			usage("%v", err)
@@ -303,13 +340,29 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s, transport %s)\n",
-		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, codec, dtype, trName)
+	topoDesc := ""
+	if tree {
+		topoDesc = fmt.Sprintf(", topology tree/%d", *aggCount)
+	}
+	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s, transport %s%s)\n",
+		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, codec, dtype, trName, topoDesc)
 	if sched.Resume != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: resumed from %s at round %d\n", *resume, sched.Resume.Round)
 	}
 	var hist []fl.RoundMetrics
-	if trName == "tcp" {
+	if tree {
+		// The 2-level tree always runs the node split, over channel
+		// connections for -transport inproc and real sockets for tcp.
+		var tr transport.Transport
+		addr := "fedsim"
+		if trName == "tcp" {
+			tr, addr = transport.NewTCP(transport.Options{DType: dtype, Codec: codec}), "127.0.0.1:0"
+		} else {
+			tr = transport.NewInproc(transport.Options{DType: dtype, Codec: codec})
+		}
+		hist, err = experiments.RunTreeNodes(context.Background(), *method, name, builder, s.Clients, *aggCount, s, *rate, codec, tr, addr,
+			func(cfg *fl.NodeConfig) { experiments.ApplyNodeSched(cfg, sched) })
+	} else if trName == "tcp" {
 		// Node split over real localhost sockets: one server node plus one
 		// client node per client, each speaking the wire protocol.
 		tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
@@ -336,7 +389,7 @@ func main() {
 	}
 	// The inproc engine books virtual time; node mode books wall clock.
 	unit := "virtual time unit"
-	if trName == "tcp" {
+	if trName == "tcp" || tree {
 		unit = "wall-clock second"
 	}
 	fmt.Printf("# final: %.4f ± %.4f (%.2f rounds per %s)\n", fin.MeanAcc, fin.StdAcc, throughput, unit)

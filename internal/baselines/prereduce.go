@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/fl"
+)
+
+// The edge-aggregator halves of the comparison algorithms: PreReduce folds
+// a subtree's updates into one exact aggregate (client side of the edge,
+// no server state touched) and WireApplyAggregate folds aggregates into
+// the root's accumulators. Reductions run on fl.ExactAccumulator, so any
+// grouping of the same updates produces byte-identical sums — the tree is
+// exact at the reduction level, not merely close.
+//
+// KT-pFL is deliberately absent: its commit builds a similarity matrix
+// from every client's individual knowledge report, which no associative
+// reduction can reconstruct from a sum. Aggregators pass its updates
+// through unreduced (fl.CheckPreReduce refuses a forced reduction).
+var (
+	_ fl.ReducibleWireAlgorithm = (*LocalOnly)(nil)
+	_ fl.ReducibleWireAlgorithm = (*FedAvg)(nil)
+	_ fl.ReducibleWireAlgorithm = (*FedProto)(nil)
+)
+
+// ---- LocalOnly ----
+
+// PreReduce reduces communication-free updates to a bare child count.
+func (l *LocalOnly) PreReduce(updates []*fl.Update) (*fl.AggUpdate, error) {
+	return &fl.AggUpdate{Children: len(updates)}, nil
+}
+
+// WireApplyAggregate has no server state to fold into.
+func (l *LocalOnly) WireApplyAggregate(u *fl.AggUpdate) error { return nil }
+
+// ---- FedAvg / FedProx ----
+
+// PreReduce folds the subtree's weighted models into one exact sum
+// Σ w_c·v_c with its summed weight, the quantity the root's normalization
+// divides by — identical arithmetic to flat fan-in, regrouped exactly.
+func (f *FedAvg) PreReduce(updates []*fl.Update) (*fl.AggUpdate, error) {
+	au := &fl.AggUpdate{Children: len(updates)}
+	var acc *fl.ExactAccumulator
+	for _, u := range updates {
+		if len(u.Vecs) != 1 || u.Vecs[0] == nil {
+			return nil, fmt.Errorf("baselines: client %d uploaded a malformed %s payload", u.Client, f.Name())
+		}
+		if acc == nil {
+			acc = fl.NewExactAccumulator(len(u.Vecs[0]))
+		} else if len(u.Vecs[0]) != acc.Len() {
+			return nil, fmt.Errorf("baselines: client %d uploaded %d weights, subtree peers uploaded %d",
+				u.Client, len(u.Vecs[0]), acc.Len())
+		}
+		acc.Fold(u.Vecs[0], u.Weight)
+	}
+	if acc != nil {
+		sum, w := acc.Round()
+		au.Vecs = [][]float64{sum}
+		au.Weight = w
+	}
+	return au, nil
+}
+
+// WireApplyAggregate folds one pre-weighted subtree sum into the shards.
+func (f *FedAvg) WireApplyAggregate(u *fl.AggUpdate) error {
+	if u.Children == 0 {
+		return nil
+	}
+	if len(u.Vecs) != 1 || u.Vecs[0] == nil || len(u.Vecs[0]) != f.acc.Len() {
+		return fmt.Errorf("baselines: aggregator %d forwarded a malformed %s aggregate", u.Agg, f.Name())
+	}
+	f.acc.Merge(u.Vecs[0], u.Weight)
+	return nil
+}
+
+// ---- FedProto ----
+
+// PreReduce folds the subtree's per-class prototypes into exact per-class
+// sums. The geometry comes from the updates themselves — aggregators never
+// run WireSetup — and each class carries its own summed weight
+// (Σ w_c·|D_c^cls|) in VecWeights, because prototype classes accumulate
+// under independent weights.
+func (p *FedProto) PreReduce(updates []*fl.Update) (*fl.AggUpdate, error) {
+	au := &fl.AggUpdate{Children: len(updates)}
+	numCls, featDim := 0, 0
+	for _, u := range updates {
+		if len(u.Counts) != len(u.Vecs) {
+			return nil, fmt.Errorf("baselines: client %d uploaded a malformed FedProto report", u.Client)
+		}
+		if len(u.Vecs) > numCls {
+			numCls = len(u.Vecs)
+		}
+		for cls, proto := range u.Vecs {
+			if proto == nil || u.Counts[cls] == 0 {
+				continue
+			}
+			if featDim == 0 {
+				featDim = len(proto)
+			} else if len(proto) != featDim {
+				return nil, fmt.Errorf("baselines: client %d prototype %d has %d dims, subtree peers have %d",
+					u.Client, cls, len(proto), featDim)
+			}
+		}
+	}
+	wacc := fl.NewExactAccumulator(0)
+	accs := make([]*fl.ExactAccumulator, numCls)
+	counts := make([]int, numCls)
+	for _, u := range updates {
+		wacc.Fold(nil, u.Weight)
+		for cls, proto := range u.Vecs {
+			counts[cls] += u.Counts[cls]
+			if proto == nil || u.Counts[cls] == 0 {
+				continue
+			}
+			if accs[cls] == nil {
+				accs[cls] = fl.NewExactAccumulator(featDim)
+			}
+			// The same once-rounded product flat WireApply folds.
+			accs[cls].Fold(proto, u.Weight*float64(u.Counts[cls]))
+		}
+	}
+	_, au.Weight = wacc.Round()
+	if numCls > 0 {
+		au.Vecs = make([][]float64, numCls)
+		au.VecWeights = make([]float64, numCls)
+		au.Counts = counts
+		for cls, acc := range accs {
+			if acc == nil {
+				continue
+			}
+			au.Vecs[cls], au.VecWeights[cls] = acc.Round()
+		}
+	}
+	return au, nil
+}
+
+// WireApplyAggregate folds pre-weighted per-class sums into the segment
+// shards under their summed weights.
+func (p *FedProto) WireApplyAggregate(u *fl.AggUpdate) error {
+	if u.Children == 0 {
+		return nil
+	}
+	if len(u.Vecs) > p.numClasses || len(u.VecWeights) != len(u.Vecs) || len(u.Counts) != len(u.Vecs) {
+		return fmt.Errorf("baselines: aggregator %d forwarded a malformed FedProto aggregate", u.Agg)
+	}
+	for cls, sum := range u.Vecs {
+		if sum == nil || u.VecWeights[cls] == 0 {
+			continue
+		}
+		if len(sum) != p.featDim {
+			return fmt.Errorf("baselines: aggregator %d prototype sum %d has %d dims, server expects %d",
+				u.Agg, cls, len(sum), p.featDim)
+		}
+		p.acc.MergeSegment(cls, sum, u.VecWeights[cls])
+	}
+	return nil
+}

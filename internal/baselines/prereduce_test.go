@@ -1,0 +1,207 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// groupAndReduce drives the tree path: split ups into consecutive groups,
+// PreReduce each, and fold the aggregates into algo's accumulators.
+func groupAndReduce(t *testing.T, algo fl.ReducibleWireAlgorithm, ups []*fl.Update, sizes []int) {
+	t.Helper()
+	c := 0
+	for a, sz := range sizes {
+		au, err := algo.PreReduce(ups[c : c+sz])
+		if err != nil {
+			t.Fatalf("PreReduce group %d: %v", a, err)
+		}
+		au.Agg = a
+		if err := algo.WireApplyAggregate(au); err != nil {
+			t.Fatalf("WireApplyAggregate group %d: %v", a, err)
+		}
+		c += sz
+	}
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if m := math.Max(math.Abs(a[i]), math.Abs(b[i])); m > 0 {
+			d /= m
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// FedAvg's pre-reduction: singleton groups (and any grouping of
+// integer-valued data) commit byte-identically to flat fan-in; arbitrary
+// float data under arbitrary grouping stays within regrouping noise.
+func TestFedAvgPreReduceParity(t *testing.T) {
+	const n, k = 33, 6
+	joins := make([]fl.WireJoin, k)
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = float64(i)
+	}
+	for i := range joins {
+		joins[i] = fl.WireJoin{ID: i, TrainSize: 10 + i, NumParams: n, Init: [][]float64{init}}
+	}
+	makeUps := func(integer bool, rng *rand.Rand) []*fl.Update {
+		ups := make([]*fl.Update, k)
+		for c := range ups {
+			v := make([]float64, n)
+			for i := range v {
+				if integer {
+					v[i] = float64(rng.Intn(512) - 256)
+				} else {
+					v[i] = rng.NormFloat64()
+				}
+			}
+			w := float64(1 + rng.Intn(5))
+			if !integer {
+				w = rng.Float64() + 0.5
+			}
+			ups[c] = &fl.Update{Client: c, Weight: w, Vecs: [][]float64{v}}
+		}
+		return ups
+	}
+	run := func(ups []*fl.Update, sizes []int) []float64 {
+		algo := NewFedAvg(1)
+		if err := algo.WireSetup(joins, 3); err != nil {
+			t.Fatal(err)
+		}
+		if sizes == nil {
+			for _, u := range ups {
+				if err := algo.WireApply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			groupAndReduce(t, algo, ups, sizes)
+		}
+		if err := algo.WireCommit(); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), algo.global...)
+	}
+
+	intUps := makeUps(true, rand.New(rand.NewSource(7)))
+	want := run(intUps, nil)
+	for _, sizes := range [][]int{{1, 1, 1, 1, 1, 1}, {3, 3}, {2, 4}, {6}} {
+		got := run(intUps, sizes)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("integer data, grouping %v: global[%d] = %v, want %v", sizes, i, got[i], want[i])
+			}
+		}
+	}
+
+	fUps := makeUps(false, rand.New(rand.NewSource(9)))
+	wantF := run(fUps, nil)
+	gotSingle := run(fUps, []int{1, 1, 1, 1, 1, 1})
+	for i := range gotSingle {
+		if math.Float64bits(gotSingle[i]) != math.Float64bits(wantF[i]) {
+			t.Fatalf("singleton groups must be bit-exact: global[%d] = %v, want %v", i, gotSingle[i], wantF[i])
+		}
+	}
+	if d := maxRelDiff(run(fUps, []int{3, 3}), wantF); d > 1e-12 {
+		t.Fatalf("float data, grouping {3,3}: rel diff %g", d)
+	}
+}
+
+// FedProto's segmented pre-reduction: per-class exact sums with per-class
+// weights commit byte-identically to flat fan-in on integer data, with
+// partial reports (nil classes, zero counts) preserved.
+func TestFedProtoPreReduceParity(t *testing.T) {
+	const featDim, numClasses, k = 5, 4, 6
+	joins := make([]fl.WireJoin, k)
+	for i := range joins {
+		joins[i] = fl.WireJoin{ID: i, TrainSize: 10, FeatDim: featDim, NumClasses: numClasses}
+	}
+	rng := rand.New(rand.NewSource(11))
+	ups := make([]*fl.Update, k)
+	for c := range ups {
+		vecs := make([][]float64, numClasses)
+		counts := make([]int, numClasses)
+		for cls := range vecs {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			v := make([]float64, featDim)
+			for i := range v {
+				v[i] = float64(rng.Intn(128) - 64)
+			}
+			vecs[cls] = v
+			counts[cls] = 1 + rng.Intn(9)
+		}
+		ups[c] = &fl.Update{Client: c, Weight: 1, Vecs: vecs, Counts: counts}
+	}
+	run := func(sizes []int) [][]float64 {
+		algo := NewFedProto(1, 1)
+		if err := algo.WireSetup(joins, 0); err != nil {
+			t.Fatal(err)
+		}
+		if sizes == nil {
+			for _, u := range ups {
+				if err := algo.WireApply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			groupAndReduce(t, algo, ups, sizes)
+		}
+		if err := algo.WireCommit(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]float64, numClasses)
+		for cls, p := range algo.globalProtos {
+			if p != nil {
+				out[cls] = append([]float64(nil), p...)
+			}
+		}
+		return out
+	}
+
+	want := run(nil)
+	for _, sizes := range [][]int{{1, 1, 1, 1, 1, 1}, {3, 3}, {2, 4}, {6}} {
+		got := run(sizes)
+		for cls := range got {
+			if (got[cls] == nil) != (want[cls] == nil) {
+				t.Fatalf("grouping %v: class %d reported=%v, want %v", sizes, cls, got[cls] != nil, want[cls] != nil)
+			}
+			for i := range got[cls] {
+				if math.Float64bits(got[cls][i]) != math.Float64bits(want[cls][i]) {
+					t.Fatalf("grouping %v: proto[%d][%d] = %v, want %v", sizes, cls, i, got[cls][i], want[cls][i])
+				}
+			}
+		}
+	}
+}
+
+// KT-pFL has no sound pre-reduction; the startup guard must refuse a
+// forced one and accept auto/off.
+func TestKTpFLPreReduceGuard(t *testing.T) {
+	k := NewKTpFLWeights(1)
+	if _, ok := interface{}(k).(fl.ReducibleWireAlgorithm); ok {
+		t.Fatal("KT-pFL must not advertise a pre-reduction")
+	}
+	if err := fl.CheckPreReduce(k, fl.PreReduceForce); err == nil {
+		t.Fatal("forcing a reduction on KT-pFL must fail at startup")
+	}
+	if err := fl.CheckPreReduce(k, fl.PreReduceAuto); err != nil {
+		t.Fatalf("auto mode must accept KT-pFL: %v", err)
+	}
+	if err := fl.CheckPreReduce(k, fl.PreReduceOff); err != nil {
+		t.Fatalf("off mode must accept KT-pFL: %v", err)
+	}
+	if err := fl.CheckPreReduce(NewFedAvg(1), fl.PreReduceForce); err != nil {
+		t.Fatalf("forcing a reduction on FedAvg must succeed: %v", err)
+	}
+}

@@ -103,6 +103,120 @@ func RunClientNode(ctx context.Context, method string, name DatasetName, build C
 	return node.Run(ctx, conn)
 }
 
+// RunAggregatorNode builds edge aggregator cfg.Index of a 2-level tree,
+// serves its child range on ln and relays rounds to the root at
+// upstreamAddr until the federation completes (fedagg's core). The
+// algorithm instance runs only the PreReduce reduction — no server state.
+// A nil cfg.Dialer is filled with the standard jittered dial-retry,
+// seeded per aggregator so a fleet of re-dials stays deterministic yet
+// desynchronized.
+func RunAggregatorNode(ctx context.Context, method string, name DatasetName, s Scale, cfg fl.AggregatorConfig, tr transport.Transport, upstreamAddr string, ln transport.Listener) error {
+	algo, err := WireAlgorithmFor(method, name, s)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if cfg.Dialer == nil {
+		index := cfg.Index
+		cfg.Dialer = func(ctx context.Context, token uint64) (transport.Conn, error) {
+			return transport.DialRetry(ctx, tr, upstreamAddr, transport.RetryOptions{
+				Seed:  s.Seed*1000 + 500 + int64(index),
+				Token: token,
+			})
+		}
+	}
+	return fl.NewAggregatorNode(algo, cfg).Run(ctx, ln)
+}
+
+// aggListenAddr derives the listen address for aggregator a. A tcp
+// address reuses the root's bind spec (":0" hands out a fresh port per
+// listener); the inproc namespace needs a distinct name.
+func aggListenAddr(tr transport.Transport, addr string, a int) string {
+	if tr.Name() == "tcp" {
+		return addr
+	}
+	return fmt.Sprintf("%s-agg%d", addr, a)
+}
+
+// RunTreeNodes runs a 2-level tree in one process: a root server node,
+// aggs edge aggregators, and k client nodes dialing their owning
+// aggregator — `fedsim -topology tree` uses it, and the parity tests
+// compare it against RunNodes at the same seed. Options mutate the root's
+// node config; the aggregators inherit its failure discipline so one knob
+// tunes every layer.
+func RunTreeNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k, aggs int, s Scale, rate float64, codec comm.Codec, tr transport.Transport, addr string, opts ...func(*fl.NodeConfig)) ([]fl.RoundMetrics, error) {
+	rootLn, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the root config up front so the aggregators can inherit its
+	// failure discipline; ServeNode re-applies the same opts.
+	rootCfg := NodeConfigFor(s, rate, codec, k)
+	for _, opt := range opts {
+		opt(&rootCfg)
+	}
+	aggLns := make([]transport.Listener, aggs)
+	for a := range aggLns {
+		ln, lerr := tr.Listen(aggListenAddr(tr, addr, a))
+		if lerr != nil {
+			rootLn.Close()
+			for _, l := range aggLns {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return nil, lerr
+		}
+		aggLns[a] = ln
+	}
+	type result struct {
+		role string
+		id   int
+		err  error
+	}
+	aggDone := make(chan result, aggs)
+	clientDone := make(chan result, k)
+	rootAddr := rootLn.Addr()
+	for a := 0; a < aggs; a++ {
+		go func(a int) {
+			aggDone <- result{"aggregator", a, RunAggregatorNode(ctx, method, name, s, fl.AggregatorConfig{
+				Index:           a,
+				Aggregators:     aggs,
+				Clients:         k,
+				Codec:           codec,
+				Seed:            s.Seed + 7 + 101*int64(a),
+				Heartbeat:       rootCfg.Heartbeat,
+				DeadAfter:       rootCfg.DeadAfter,
+				ReconnectWindow: rootCfg.ReconnectWindow,
+			}, tr, rootAddr, aggLns[a])}
+		}(a)
+	}
+	bounds := fl.TreeSplit(k, aggs)
+	for a := 0; a < aggs; a++ {
+		for id := bounds[a]; id < bounds[a+1]; id++ {
+			go func(id int, aggAddr string) {
+				clientDone <- result{"client", id, RunClientNode(ctx, method, name, build, id, s, tr, aggAddr)}
+			}(id, aggLns[a].Addr())
+		}
+	}
+	treeOpts := append(opts[:len(opts):len(opts)], func(cfg *fl.NodeConfig) { cfg.Aggregators = aggs })
+	_, hist, err := ServeNode(ctx, method, name, s, rate, codec, k, rootLn, treeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < aggs+k; i++ {
+		var r result
+		select {
+		case r = <-aggDone:
+		case r = <-clientDone:
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("experiments: %s node %d: %w", r.role, r.id, r.err)
+		}
+	}
+	return hist, nil
+}
+
 // RunNodes runs one server node plus k in-process client nodes over the
 // given transport — `fedsim -transport tcp` uses it with real localhost
 // sockets, and the tests use it with inproc channels. Client-node errors

@@ -1,0 +1,146 @@
+package fl
+
+import (
+	"math"
+	"math/big"
+)
+
+// ExactAccumulator is the grouping-invariant reduction behind hierarchical
+// aggregation: a weighted vector sum computed in arbitrary-precision
+// arithmetic so that folding the same updates in any order, under any
+// grouping, produces byte-identical float64 results.
+//
+// The contract the tree topology rests on: each per-term product w·v[i] is
+// rounded once in float64 (deterministic and independent of grouping), and
+// the sum of those products is carried exactly — exactPrec mantissa bits
+// hold any partial sum of float64 terms without rounding, because the
+// terms' exponents span at most ~2100 bits and the term count adds only
+// log2(N) more. Round then performs the single round-to-nearest-even back
+// to float64. Fold-them-all-flat and fold-in-groups-then-Merge therefore
+// agree bit for bit, which is what lets an edge aggregator pre-reduce its
+// subtree and the parity argument stay exact at the reduction level.
+//
+// Nonfinite terms poison the accumulator: big.Float has no NaN and panics
+// on Inf−Inf, so the first nonfinite product degrades the accumulator to
+// plain float64 sums that propagate the nonfinite values faithfully —
+// garbage stays loudly garbage instead of panicking the server.
+type ExactAccumulator struct {
+	cells []big.Float
+	wcell big.Float
+	// plain/plainW carry the degraded float64 sums once poisoned.
+	poisoned bool
+	plain    []float64
+	plainW   float64
+	scratch  big.Float
+}
+
+// exactPrec is the mantissa width of each cell. Partial sums of float64
+// terms span binary exponents [-1074, 1023+log2(terms)], so 2304 bits
+// absorb any federation-sized term count with no intermediate rounding.
+const exactPrec = 2304
+
+// NewExactAccumulator builds an exact accumulator over n elements.
+func NewExactAccumulator(n int) *ExactAccumulator {
+	e := &ExactAccumulator{cells: make([]big.Float, n)}
+	for i := range e.cells {
+		e.cells[i].SetPrec(exactPrec)
+	}
+	e.wcell.SetPrec(exactPrec)
+	e.scratch.SetPrec(exactPrec)
+	return e
+}
+
+// Len returns the element count.
+func (e *ExactAccumulator) Len() int { return len(e.cells) }
+
+// poison degrades the accumulator to plain float64 arithmetic,
+// materializing the exact sums accumulated so far.
+func (e *ExactAccumulator) poison() {
+	if e.poisoned {
+		return
+	}
+	e.poisoned = true
+	e.plain = make([]float64, len(e.cells))
+	for i := range e.cells {
+		e.plain[i], _ = e.cells[i].Float64()
+	}
+	e.plainW, _ = e.wcell.Float64()
+}
+
+// Fold adds one weighted vector: cells[i] += fl64(w·vec[i]) exactly, and
+// the weight sum gains w. The per-term product is rounded once in float64 —
+// the same rounding every grouping performs — so the accumulated sum is a
+// pure function of the multiset of (vec, w) pairs.
+func (e *ExactAccumulator) Fold(vec []float64, w float64) {
+	if len(vec) != len(e.cells) {
+		panic("fl: ExactAccumulator.Fold length mismatch")
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		e.poison()
+	}
+	if e.poisoned {
+		for i, v := range vec {
+			e.plain[i] += w * v
+		}
+		e.plainW += w
+		return
+	}
+	for i, v := range vec {
+		t := w * v
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			e.poison()
+			for j := i; j < len(vec); j++ {
+				e.plain[j] += w * vec[j]
+			}
+			e.plainW += w
+			return
+		}
+		if t == 0 {
+			continue
+		}
+		e.scratch.SetFloat64(t)
+		e.cells[i].Add(&e.cells[i], &e.scratch)
+	}
+	e.scratch.SetFloat64(w)
+	e.wcell.Add(&e.wcell, &e.scratch)
+}
+
+// Merge folds another accumulator's exact state into this one. Adding two
+// exact sums is itself exact, so merging group accumulators in any nesting
+// is byte-identical to having folded every update flat.
+func (e *ExactAccumulator) Merge(o *ExactAccumulator) {
+	if o.Len() != e.Len() {
+		panic("fl: ExactAccumulator.Merge length mismatch")
+	}
+	if o.poisoned {
+		e.poison()
+	}
+	if e.poisoned {
+		sum, wsum := o.Round()
+		for i, v := range sum {
+			e.plain[i] += v
+		}
+		e.plainW += wsum
+		return
+	}
+	for i := range e.cells {
+		e.cells[i].Add(&e.cells[i], &o.cells[i])
+	}
+	e.wcell.Add(&e.wcell, &o.wcell)
+}
+
+// Round returns the accumulated sums rounded to float64 — the single
+// rounding of the whole reduction — plus the exact weight total. The
+// accumulator is not reset; Round is a pure observation.
+func (e *ExactAccumulator) Round() (sum []float64, wsum float64) {
+	sum = make([]float64, len(e.cells))
+	if e.poisoned {
+		copy(sum, e.plain)
+		return sum, e.plainW
+	}
+	for i := range e.cells {
+		sum[i], _ = e.cells[i].Float64()
+	}
+	wsum, _ = e.wcell.Float64()
+	return sum, wsum
+}

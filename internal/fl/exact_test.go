@@ -1,0 +1,276 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// nastyVec fills a vector with values spanning wide exponent ranges, mixed
+// signs, and denormal-adjacent magnitudes — the inputs where plain float64
+// summation is most grouping-sensitive.
+func nastyVec(rng *rand.Rand, n int, f32Only bool) []float64 {
+	v := make([]float64, n)
+	scales := []float64{1e-300, 1e-30, 1e-8, 1, 1e8, 1e30, 1e300}
+	if f32Only {
+		scales = []float64{1e-30, 1e-8, 1, 1e8, 1e30}
+	}
+	for i := range v {
+		x := (rng.Float64()*2 - 1) * scales[rng.Intn(len(scales))]
+		if f32Only {
+			x = float64(float32(x))
+		}
+		v[i] = x
+	}
+	return v
+}
+
+// groupings of 12 updates: every partition shape the tree can produce,
+// including the flat one, singletons, and lopsided splits.
+var groupings = [][]int{
+	{12},
+	{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+	{6, 6},
+	{4, 4, 4},
+	{1, 11},
+	{3, 4, 5},
+	{2, 2, 2, 2, 2, 2},
+}
+
+// The exactness claim the tree topology rests on: folding the same
+// weighted updates under ANY grouping, then merging the group
+// accumulators, is byte-identical to folding them all flat — for full-f64
+// and f32-truncated values alike, and regardless of merge nesting.
+func TestExactAccumulatorGroupingInvariance(t *testing.T) {
+	const n, k = 64, 12
+	for _, f32 := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(41))
+		vecs := make([][]float64, k)
+		ws := make([]float64, k)
+		for c := 0; c < k; c++ {
+			vecs[c] = nastyVec(rng, n, f32)
+			// Weights stay within [1e-3, 1e3] so no product w·v can
+			// overflow — a nonfinite product would (deliberately)
+			// poison the accumulator into order-sensitive plain sums.
+			w := (rng.Float64() + 1e-3) * []float64{1e-3, 1, 1e3}[rng.Intn(3)]
+			if f32 {
+				w = float64(float32(w))
+			}
+			ws[c] = w
+		}
+
+		flat := NewExactAccumulator(n)
+		for c := 0; c < k; c++ {
+			flat.Fold(vecs[c], ws[c])
+		}
+		if flat.poisoned {
+			t.Fatalf("f32=%v: test inputs poisoned the accumulator", f32)
+		}
+		wantSum, wantW := flat.Round()
+
+		for _, sizes := range groupings {
+			// Fold each group separately...
+			var groups []*ExactAccumulator
+			c := 0
+			for _, sz := range sizes {
+				g := NewExactAccumulator(n)
+				for j := 0; j < sz; j++ {
+					g.Fold(vecs[c], ws[c])
+					c++
+				}
+				groups = append(groups, g)
+			}
+			// ...then merge left-to-right and right-to-left: both
+			// nestings must agree with the flat fold bit for bit.
+			for _, reversed := range []bool{false, true} {
+				root := NewExactAccumulator(n)
+				if reversed {
+					for i := len(groups) - 1; i >= 0; i-- {
+						root.Merge(groups[i])
+					}
+				} else {
+					for _, g := range groups {
+						root.Merge(g)
+					}
+				}
+				gotSum, gotW := root.Round()
+				if math.Float64bits(gotW) != math.Float64bits(wantW) {
+					t.Fatalf("f32=%v grouping %v reversed=%v: wsum %x != %x",
+						f32, sizes, reversed, math.Float64bits(gotW), math.Float64bits(wantW))
+				}
+				for i := range gotSum {
+					if math.Float64bits(gotSum[i]) != math.Float64bits(wantSum[i]) {
+						t.Fatalf("f32=%v grouping %v reversed=%v: sum[%d] %x != %x",
+							f32, sizes, reversed, i, math.Float64bits(gotSum[i]), math.Float64bits(wantSum[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// ShardedAccumulator.Merge is the root's half of the reduction: folding
+// exact per-group sums into the sharded state must be byte-identical to
+// flat Accumulate calls, across shard counts, all the way through
+// CommitInto. Integer-valued data makes every float64 operation exact, so
+// the comparison isolates the plumbing (weighting, shard bounds, commit
+// normalization) rather than float rounding.
+func TestShardedMergeMatchesFlatAccumulate(t *testing.T) {
+	const n, k = 37, 12
+	rng := rand.New(rand.NewSource(43))
+	vecs := make([][]float64, k)
+	ws := make([]float64, k)
+	for c := 0; c < k; c++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(rng.Intn(1024) - 512)
+		}
+		vecs[c] = v
+		ws[c] = float64(1 + rng.Intn(8))
+	}
+
+	for _, shards := range []int{1, 2, 3, 8} {
+		flat := NewSharded(n, shards)
+		for c := 0; c < k; c++ {
+			flat.Accumulate(vecs[c], ws[c])
+		}
+		wantDst := make([]float64, n)
+		flat.CommitInto(wantDst, 1, nil)
+
+		for _, sizes := range groupings {
+			tree := NewSharded(n, shards)
+			c := 0
+			for _, sz := range sizes {
+				g := NewExactAccumulator(n)
+				for j := 0; j < sz; j++ {
+					g.Fold(vecs[c], ws[c])
+					c++
+				}
+				sum, wsum := g.Round()
+				tree.Merge(sum, wsum)
+			}
+			gotDst := make([]float64, n)
+			tree.CommitInto(gotDst, 1, nil)
+			for i := range gotDst {
+				if math.Float64bits(gotDst[i]) != math.Float64bits(wantDst[i]) {
+					t.Fatalf("shards=%d grouping %v: commit[%d] = %v, want %v",
+						shards, sizes, i, gotDst[i], wantDst[i])
+				}
+			}
+		}
+	}
+}
+
+// Segment shards behave the same way: exact per-segment group sums merged
+// via MergeSegment commit byte-identically to flat AccumulateSegment.
+func TestSegmentedMergeMatchesFlatAccumulate(t *testing.T) {
+	segLens := []int{4, 7, 1, 16}
+	rng := rand.New(rand.NewSource(47))
+	const k = 6
+
+	type contrib struct {
+		segs [][]float64 // per segment, nil = not reported
+		w    float64
+	}
+	contribs := make([]contrib, k)
+	for c := range contribs {
+		segs := make([][]float64, len(segLens))
+		for s, l := range segLens {
+			if rng.Intn(4) == 0 {
+				continue // this client skips the segment
+			}
+			v := make([]float64, l)
+			for i := range v {
+				v[i] = float64(rng.Intn(256) - 128)
+			}
+			segs[s] = v
+		}
+		contribs[c] = contrib{segs: segs, w: float64(1 + rng.Intn(5))}
+	}
+
+	flat := NewSegmented(segLens)
+	for _, ct := range contribs {
+		for s, seg := range ct.segs {
+			if seg != nil {
+				flat.AccumulateSegment(s, seg, ct.w)
+			}
+		}
+	}
+	total := 0
+	for _, l := range segLens {
+		total += l
+	}
+	wantDst := make([]float64, total)
+	flat.CommitInto(wantDst, 1, nil)
+
+	tree := NewSegmented(segLens)
+	for _, sizes := range [][]int{{6}, {3, 3}, {2, 2, 2}, {1, 5}} {
+		c := 0
+		for _, sz := range sizes {
+			group := contribs[c : c+sz]
+			c += sz
+			for s, l := range segLens {
+				g := NewExactAccumulator(l)
+				any := false
+				for _, ct := range group {
+					if ct.segs[s] != nil {
+						g.Fold(ct.segs[s], ct.w)
+						any = true
+					}
+				}
+				if !any {
+					continue
+				}
+				sum, wsum := g.Round()
+				tree.MergeSegment(s, sum, wsum)
+			}
+		}
+		gotDst := make([]float64, total)
+		tree.CommitInto(gotDst, 1, nil)
+		for i := range gotDst {
+			if math.Float64bits(gotDst[i]) != math.Float64bits(wantDst[i]) {
+				t.Fatalf("grouping %v: commit[%d] = %v, want %v", sizes, i, gotDst[i], wantDst[i])
+			}
+		}
+	}
+}
+
+// Nonfinite inputs must not panic the accumulator (big.Float has no NaN):
+// they degrade it to plain float64 sums that propagate the garbage.
+func TestExactAccumulatorNonfinite(t *testing.T) {
+	e := NewExactAccumulator(2)
+	e.Fold([]float64{1, 2}, 3)
+	e.Fold([]float64{math.NaN(), 1}, 1)
+	sum, _ := e.Round()
+	if !math.IsNaN(sum[0]) {
+		t.Fatalf("NaN input vanished: %v", sum)
+	}
+	if sum[1] != 7 {
+		t.Fatalf("finite lane corrupted: %v", sum)
+	}
+
+	e = NewExactAccumulator(1)
+	e.Fold([]float64{math.Inf(1)}, 1)
+	e.Fold([]float64{math.Inf(-1)}, 1)
+	sum, _ = e.Round()
+	if !math.IsNaN(sum[0]) {
+		t.Fatalf("Inf-Inf should be NaN, got %v", sum)
+	}
+
+	// A poisoned accumulator merged into a clean one poisons it too.
+	clean := NewExactAccumulator(1)
+	clean.Fold([]float64{5}, 1)
+	clean.Merge(e)
+	sum, _ = clean.Round()
+	if !math.IsNaN(sum[0]) {
+		t.Fatalf("poison did not propagate through Merge: %v", sum)
+	}
+
+	// Nonfinite weight poisons immediately.
+	e = NewExactAccumulator(1)
+	e.Fold([]float64{0}, math.Inf(1))
+	sum, _ = e.Round()
+	if !math.IsNaN(sum[0]) {
+		t.Fatalf("Inf·0 weight should be NaN, got %v", sum)
+	}
+}

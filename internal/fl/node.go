@@ -2,12 +2,10 @@ package fl
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -17,11 +15,13 @@ import (
 )
 
 // This file is the server half of the node runtime: a ServerNode that owns
-// aggregation state, the scheduling policy, the session table, the traffic
-// ledger and evaluation collection, speaking the wire protocol of wire.go
-// over any transport.Listener — in-memory channels for deterministic
-// single-process federations, real TCP sockets for `fedserver` plus N
-// `fedclient` processes. The client half lives in node_client.go.
+// aggregation state, the scheduling policy, the traffic ledger and
+// evaluation collection, speaking the wire protocol of wire.go over any
+// transport.Listener — in-memory channels for deterministic single-process
+// federations, real TCP sockets for `fedserver` plus N `fedclient`
+// processes. The session/heartbeat/reconnect machinery lives in the
+// PeerTable (peertable.go), shared with the edge AggregatorNode
+// (node_agg.go); the client half lives in node_client.go.
 //
 // The runtime is a single-goroutine event loop. Reader goroutines (one per
 // live connection) and the accept loop deliver decoded messages and
@@ -59,6 +59,16 @@ import (
 // server half, ledger, history, RNG position, session table and join
 // declarations — through cfg.Checkpoint, and cfg.Resume rebuilds a server
 // mid-run whose still-held tokens remain valid.
+//
+// Tree topology: with cfg.Aggregators > 0 the server becomes the root of a
+// 2-level tree whose downstream peers are AggregatorNodes, each fronting a
+// contiguous range of the client-id space (TreeSplit). The root still
+// samples cohorts from the same RNG stream and still calls WireDispatch
+// once per cohort member — payloads travel batched per subtree — so the
+// model arithmetic is flat fan-in regrouped, not a different algorithm. A
+// dead aggregator churns its whole subtree after the reconnect window;
+// checkpoints remain root-only (and are currently mutually exclusive with
+// the tree, see Serve). See DESIGN.md §11.
 
 // DefaultHeartbeat is the server's liveness-probe cadence when the config
 // sets none.
@@ -78,6 +88,12 @@ type NodeConfig struct {
 	// Clients is the fleet size; the server waits for exactly this many
 	// joins before round 1.
 	Clients int
+	// Aggregators, when positive, runs the server as the root of a 2-level
+	// tree: it accepts that many AggregatorNode joins (each presenting a
+	// contiguous child range from TreeSplit) instead of individual clients.
+	// 0 is the flat topology. Tree mode requires the sync scheduler and is
+	// mutually exclusive with Checkpoint/Resume.
+	Aggregators int
 	// Rounds is the number of committed rounds.
 	Rounds int
 	// SampleRate is the per-round cohort fraction, in (0, 1].
@@ -222,58 +238,6 @@ func NewServerNode(algo WireAlgorithm, cfg NodeConfig) *ServerNode {
 	return &ServerNode{cfg: cfg.withDefaults(), algo: algo, Ledger: ledger}
 }
 
-// inbound is one reader-goroutine delivery: a decoded message or the error
-// that ended the connection. gen stamps which incarnation of the session's
-// connection produced it, so events from an abandoned connection are
-// discarded instead of corrupting the session that replaced it.
-type inbound struct {
-	id   int
-	gen  int
-	msg  *wireMsg
-	wire int64
-	err  error
-}
-
-// acceptedConn is one accept-loop delivery: a handshaken connection with
-// either its decoded join frame (fresh client) or the session token it
-// presented in the transport hello (reconnecting client), or the error
-// that ended accepting.
-type acceptedConn struct {
-	conn  transport.Conn
-	token uint64
-	join  *wireMsg
-	wire  int64
-	err   error
-}
-
-// srvSession is one client's server-side session: the identity that
-// survives connection loss. conn is nil while the client is disconnected;
-// gen increments every time the connection changes so stale reader events
-// are recognizable.
-type srvSession struct {
-	id      int
-	token   uint64
-	conn    transport.Conn
-	gen     int
-	joined  bool
-	churned bool
-	// lastSeen is the last time any frame arrived (liveness).
-	lastSeen time.Time
-	// downAt is when the connection was lost (reconnect-window clock).
-	downAt time.Time
-	// busy marks an outstanding dispatch; dispVersion is the model version
-	// it was stamped with, and pendingDispatch caches the encoded frame for
-	// resend on adoption (WireDispatch may consume state — KT-pFL — so the
-	// payload cannot be regenerated).
-	busy            bool
-	dispVersion     uint64
-	pendingDispatch []byte
-	// stopped marks that the session's client acknowledged its stop
-	// frame: the session is complete, and a subsequent EOF from the
-	// closing peer is an orderly goodbye, not a disconnect to wait out.
-	stopped bool
-}
-
 // serverRun is the single-goroutine event loop driving one Serve call.
 type serverRun struct {
 	n    *ServerNode
@@ -281,22 +245,23 @@ type serverRun struct {
 	algo WireAlgorithm
 	k    int
 
-	sessions []*srvSession
-	events   chan inbound
-	conns    chan acceptedConn
-	stop     chan struct{}
-	stopOnce sync.Once
+	// pt owns the downstream sessions (clients in flat mode, aggregators
+	// in tree mode); sessions aliases pt's table for direct indexing.
+	pt       *PeerTable
+	sessions []*peerSession
 
-	// embryos tracks accepted connections whose join frame has not arrived
-	// yet, so shutdown can unblock their greeter goroutines.
-	embryoMu sync.Mutex
-	embryos  map[transport.Conn]struct{}
+	// Tree-topology state: bounds is the TreeSplit partition, and
+	// clientChurned marks the union of churned subtrees over the global
+	// client-id space (evaluation and cohort filtering consult it).
+	tree          bool
+	aggs          int
+	bounds        []int
+	clientChurned []bool
 
-	rng      *rand.Rand
-	rngSrc   *xrand.Source
-	tokenRng *rand.Rand
-	evalRng  *rand.Rand
-	evalSrc  *xrand.Source
+	rng     *rand.Rand
+	rngSrc  *xrand.Source
+	evalRng *rand.Rand
+	evalSrc *xrand.Source
 
 	version     int // committed rounds so far
 	applied     int // applies since the last commit (async/semisync)
@@ -309,15 +274,18 @@ type serverRun struct {
 	stopping  bool
 	stopFrame []byte
 	start     time.Time
-	lastBeat  time.Time
 
 	joins     []WireJoin
 	joined    int
 	assembled bool
 
 	// Sync-barrier state: the open round's cohort and collected updates.
-	awaiting map[int]bool
-	updates  map[int]*Update
+	// In tree mode awaiting is keyed by aggregator index and aggUpdates
+	// collects the pre-reduced contributions; updates still carries any
+	// passthrough per-client payloads.
+	awaiting   map[int]bool
+	updates    map[int]*Update
+	aggUpdates map[int]*AggUpdate
 	// Evaluation state: outstanding requests, per-client accuracies, and
 	// the sampled id set when cfg.EvalSample is in effect.
 	evalWait map[int]bool
@@ -331,23 +299,35 @@ type serverRun struct {
 	done  bool
 }
 
-// Serve accepts cfg.Clients joins on the listener, then drives the
-// configured schedule to completion and returns the metrics history. The
-// listener is closed on return. Cancelling ctx tears the federation down
-// and returns ctx.Err().
+// Serve accepts cfg.Clients joins on the listener (cfg.Aggregators tree
+// joins in tree mode), then drives the configured schedule to completion
+// and returns the metrics history. The listener is closed on return.
+// Cancelling ctx tears the federation down and returns ctx.Err().
 func (n *ServerNode) Serve(ctx context.Context, ln transport.Listener) ([]RoundMetrics, error) {
 	defer ln.Close()
 	if n.cfg.Clients <= 0 {
 		return nil, fmt.Errorf("fl: server node needs a positive client count")
 	}
+	if n.cfg.Aggregators > 0 {
+		if n.cfg.Aggregators > n.cfg.Clients {
+			return nil, fmt.Errorf("fl: %d aggregators cannot front %d clients (need aggregators <= clients)",
+				n.cfg.Aggregators, n.cfg.Clients)
+		}
+		if n.cfg.Sched != SchedSync {
+			return nil, fmt.Errorf("fl: tree topology requires the sync scheduler")
+		}
+		if n.cfg.Checkpoint != nil || n.cfg.Resume != nil {
+			return nil, fmt.Errorf("fl: tree topology does not support checkpoint/resume")
+		}
+	}
 	r := newServerRun(n)
-	defer r.shutdown()
+	defer r.pt.shutdown()
 	if n.cfg.Resume != nil {
 		if err := r.restore(n.cfg.Resume); err != nil {
 			return nil, err
 		}
 	}
-	go r.acceptLoop(ln)
+	go r.pt.acceptLoop(ln)
 	return r.loop(ctx)
 }
 
@@ -355,24 +335,30 @@ func newServerRun(n *ServerNode) *serverRun {
 	cfg := n.cfg
 	k := cfg.Clients
 	r := &serverRun{
-		n:        n,
-		cfg:      cfg,
-		algo:     n.algo,
-		k:        k,
-		sessions: make([]*srvSession, k),
-		events:   make(chan inbound, 8*k+32),
-		conns:    make(chan acceptedConn, k+8),
-		stop:     make(chan struct{}),
-		embryos:  make(map[transport.Conn]struct{}),
-		joins:    make([]WireJoin, k),
+		n:     n,
+		cfg:   cfg,
+		algo:  n.algo,
+		k:     k,
+		joins: make([]WireJoin, k),
 	}
-	for i := range r.sessions {
-		r.sessions[i] = &srvSession{id: i}
+	sessionCount := k
+	if cfg.Aggregators > 0 {
+		r.tree = true
+		r.aggs = cfg.Aggregators
+		r.bounds = TreeSplit(k, r.aggs)
+		r.clientChurned = make([]bool, k)
+		sessionCount = r.aggs
 	}
+	validJoin := func(m *wireMsg) bool {
+		if r.tree {
+			return m.kind == msgTreeJoin && len(m.ints) >= 2
+		}
+		return m.kind == msgJoin && len(m.ints) == joinIntCount
+	}
+	r.pt = newPeerTable(sessionCount, 0, cfg.Codec, cfg.Heartbeat, cfg.DeadAfter, cfg.ReconnectWindow,
+		cfg.Seed, n.Ledger, &n.Stats, validJoin)
+	r.sessions = r.pt.sessions
 	r.rng, r.rngSrc = xrand.NewRand(cfg.Seed)
-	// Tokens come from a stream disjoint from cohort sampling, and the high
-	// bit is forced so a token is never zero (zero means "fresh dial").
-	r.tokenRng = rand.New(rand.NewSource(cfg.Seed ^ 0x746f6b656e)) // "token"
 	// Sampled evaluation draws from its own serializable stream, consumed
 	// only when cfg.EvalSample is in effect — full-sweep runs never touch
 	// it, so their cohort schedule is byte-identical to previous releases.
@@ -399,137 +385,9 @@ func newServerRun(n *ServerNode) *serverRun {
 	return r
 }
 
-// shutdown releases everything the event loop owns: the stop channel
-// unblocks deliveries, closing embryo and session connections unblocks
-// their goroutines' reads.
-func (r *serverRun) shutdown() {
-	r.stopOnce.Do(func() { close(r.stop) })
-	r.embryoMu.Lock()
-	for c := range r.embryos {
-		c.Close()
-	}
-	r.embryos = map[transport.Conn]struct{}{}
-	r.embryoMu.Unlock()
-	for _, s := range r.sessions {
-		if s.conn != nil {
-			s.conn.Close()
-		}
-	}
-}
-
-func (r *serverRun) trackEmbryo(c transport.Conn) {
-	r.embryoMu.Lock()
-	r.embryos[c] = struct{}{}
-	r.embryoMu.Unlock()
-}
-
-func (r *serverRun) forgetEmbryo(c transport.Conn) {
-	r.embryoMu.Lock()
-	delete(r.embryos, c)
-	r.embryoMu.Unlock()
-}
-
-// Accept-failure policy: one bad peer (failed handshake) is routine, but a
-// stream of errors means the listener itself is sick — back off between
-// failures and give up after a bound rather than spinning forever.
-const (
-	maxAcceptFailures = 1000
-	acceptBackoff     = 10 * time.Millisecond
-)
-
-// acceptLoop feeds handshaken connections into the event loop until the
-// listener dies.
-func (r *serverRun) acceptLoop(ln transport.Listener) {
-	failures := 0
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, transport.ErrClosed) {
-				r.deliverConn(acceptedConn{err: err})
-				return
-			}
-			failures++
-			if failures >= maxAcceptFailures {
-				r.deliverConn(acceptedConn{err: fmt.Errorf("fl: %d consecutive accept failures, last: %w", failures, err)})
-				return
-			}
-			select {
-			case <-time.After(acceptBackoff):
-			case <-r.stop:
-				return
-			}
-			continue
-		}
-		failures = 0
-		r.trackEmbryo(conn)
-		go r.greet(conn)
-	}
-}
-
-// greet classifies one accepted connection. A nonzero hello token is a
-// reconnect claim, forwarded immediately; a fresh connection must produce
-// its join frame within joinTimeout or be dropped (a handshaken-but-silent
-// peer must not pin the federation).
-func (r *serverRun) greet(conn transport.Conn) {
-	if tok := conn.Hello().Token; tok != 0 {
-		r.deliverConn(acceptedConn{conn: conn, token: tok})
-		return
-	}
-	conn.SetReadDeadline(time.Now().Add(joinTimeout))
-	frame, wire, err := conn.Recv()
-	if err != nil {
-		r.forgetEmbryo(conn)
-		conn.Close()
-		return
-	}
-	conn.SetReadDeadline(time.Time{})
-	m, err := decodeMsg(frame)
-	if err != nil || m.kind != msgJoin || len(m.ints) != joinIntCount {
-		r.forgetEmbryo(conn)
-		conn.Close()
-		return
-	}
-	r.deliverConn(acceptedConn{conn: conn, join: m, wire: wire})
-}
-
-func (r *serverRun) deliverConn(ac acceptedConn) {
-	select {
-	case r.conns <- ac:
-	case <-r.stop:
-		if ac.conn != nil {
-			r.forgetEmbryo(ac.conn)
-			ac.conn.Close()
-		}
-	}
-}
-
-// reader pumps one connection's messages into the event loop until the
-// connection dies.
-func (r *serverRun) reader(id, gen int, conn transport.Conn) {
-	deliver := func(ev inbound) bool {
-		select {
-		case r.events <- ev:
-			return true
-		case <-r.stop:
-			return false
-		}
-	}
-	for {
-		frame, wire, err := conn.Recv()
-		if err != nil {
-			deliver(inbound{id: id, gen: gen, err: err})
-			return
-		}
-		m, err := decodeMsg(frame)
-		if err != nil {
-			deliver(inbound{id: id, gen: gen, err: err})
-			return
-		}
-		if !deliver(inbound{id: id, gen: gen, msg: m, wire: wire}) {
-			return
-		}
-	}
-}
+// send forwards to the peer table (kept as a method for the call sites'
+// readability; booking and teardown live there).
+func (r *serverRun) send(s *peerSession, frame []byte) bool { return r.pt.send(s, frame) }
 
 // loop is the event loop: every state transition happens here.
 func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
@@ -546,15 +404,15 @@ func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	r.start = time.Now()
-	r.lastBeat = r.start
+	r.pt.lastBeat = r.start
 	if r.assembled {
 		r.advance()
 	}
 	for !r.done && r.fatal == nil {
 		select {
-		case ev := <-r.events:
+		case ev := <-r.pt.events:
 			r.handleInbound(ev)
-		case ac := <-r.conns:
+		case ac := <-r.pt.conns:
 			r.handleConn(ac)
 		case <-ticker.C:
 			r.handleTick()
@@ -568,9 +426,9 @@ func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
 	if r.fatal != nil {
 		return nil, r.fatal
 	}
-	// Graceful shutdown: every connected, unchurned client gets a stop. A
+	// Graceful shutdown: every connected, unchurned peer gets a stop. A
 	// session that is disconnected right now keeps the same reconnect
-	// window it gets mid-run — its client is re-dialing and would
+	// window it gets mid-run — its peer is re-dialing and would
 	// otherwise spin against a closed listener, never learning the run is
 	// over. The drain below persists until every such session is adopted
 	// (adopt delivers the stop) or its window degrades it to churn; when
@@ -579,16 +437,16 @@ func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
 	r.stopFrame = encodeMsg(&wireMsg{kind: msgStop}, r.cfg.Codec)
 	for _, s := range r.sessions {
 		if s.conn != nil && !s.churned {
-			// A send success proves nothing about delivery; the client's
+			// A send success proves nothing about delivery; the peer's
 			// msgStopAck marks the session stopped.
 			r.send(s, r.stopFrame)
 		}
 	}
-	for r.pendingStops() && r.fatal == nil {
+	for r.pt.pendingStops() && r.fatal == nil {
 		select {
-		case ev := <-r.events:
+		case ev := <-r.pt.events:
 			r.handleInbound(ev)
-		case ac := <-r.conns:
+		case ac := <-r.pt.conns:
 			r.handleConn(ac)
 		case <-ticker.C:
 			r.handleTick()
@@ -602,15 +460,12 @@ func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
 	return r.n.History, nil
 }
 
-// pendingStops reports whether any live session still owes its client a
-// stop frame.
-func (r *serverRun) pendingStops() bool {
-	for _, s := range r.sessions {
-		if !s.churned && !s.stopped {
-			return true
-		}
+// peerNoun names the downstream peer kind in operator-facing errors.
+func (r *serverRun) peerNoun() string {
+	if r.tree {
+		return "aggregator"
 	}
-	return false
+	return "client"
 }
 
 // handleConn admits one accepted connection: a join during assembly, a
@@ -618,52 +473,57 @@ func (r *serverRun) pendingStops() bool {
 func (r *serverRun) handleConn(ac acceptedConn) {
 	if ac.err != nil {
 		if !r.assembled {
-			r.fatal = fmt.Errorf("fl: server listener closed with %d of %d clients joined: %w", r.joined, r.k, ac.err)
+			r.fatal = fmt.Errorf("fl: server listener closed with %d of %d %ss joined: %w",
+				r.joined, len(r.sessions), r.peerNoun(), ac.err)
 		}
 		// After assembly a dead listener only forecloses reconnects; the
 		// reconnect window degrades the affected sessions to churn.
 		return
 	}
-	r.forgetEmbryo(ac.conn)
+	r.pt.forgetEmbryo(ac.conn)
 	if ac.token != 0 {
-		sess := r.findToken(ac.token)
+		sess := r.pt.findToken(ac.token)
 		if sess == nil {
-			r.refuse(ac.conn, fmt.Sprintf("unknown session token %#x", ac.token))
+			r.pt.refuse(ac.conn, fmt.Sprintf("unknown session token %#x", ac.token))
 			return
 		}
 		if sess.churned {
-			r.refuse(ac.conn, fmt.Sprintf("client %d session expired (reconnect window elapsed)", sess.id))
+			r.pt.refuse(ac.conn, fmt.Sprintf("%s %d session expired (reconnect window elapsed)", r.peerNoun(), sess.id))
 			return
 		}
 		if sess.conn != nil {
 			// The old connection is a zombie the dead-interval check has not
 			// caught yet; the live re-dial wins.
-			r.markDisconnected(sess)
+			r.pt.markDisconnected(sess)
 		}
 		r.adopt(sess, ac.conn, 0)
+		return
+	}
+	if r.tree {
+		r.handleTreeJoin(ac)
 		return
 	}
 	m := ac.join
 	id := int(m.ints[joinID])
 	if id < 0 || id >= r.k {
-		r.refuse(ac.conn, fmt.Sprintf("client id %d out of range [0, %d)", id, r.k))
+		r.pt.refuse(ac.conn, fmt.Sprintf("client id %d out of range [0, %d)", id, r.k))
 		return
 	}
 	if m.name != r.algo.Name() {
-		r.refuse(ac.conn, fmt.Sprintf("client runs %q, server runs %q", m.name, r.algo.Name()))
+		r.pt.refuse(ac.conn, fmt.Sprintf("client runs %q, server runs %q", m.name, r.algo.Name()))
 		return
 	}
 	sess := r.sessions[id]
 	if r.assembled {
 		if sess.churned {
-			r.refuse(ac.conn, fmt.Sprintf("client %d session expired (reconnect window elapsed)", id))
+			r.pt.refuse(ac.conn, fmt.Sprintf("client %d session expired (reconnect window elapsed)", id))
 			return
 		}
 		if sess.conn != nil {
 			// The old connection is a zombie whose death event has not been
 			// processed yet (the re-join can race it through the accept
 			// path); the live re-dial wins, as on the token path.
-			r.markDisconnected(sess)
+			r.pt.markDisconnected(sess)
 		}
 		// A token-less rejoin: a restarted client process that lost its
 		// token file, or one whose join-phase connection died before the
@@ -672,7 +532,7 @@ func (r *serverRun) handleConn(ac acceptedConn) {
 		return
 	}
 	if sess.conn != nil {
-		r.markDisconnected(sess)
+		r.pt.markDisconnected(sess)
 	}
 	r.joins[id] = WireJoin{
 		ID:            id,
@@ -683,20 +543,60 @@ func (r *serverRun) handleConn(ac acceptedConn) {
 		NumClassifier: int(m.ints[joinNumClassifier]),
 		Init:          m.vecs,
 	}
-	sess.conn = ac.conn
-	sess.gen++
-	sess.lastSeen = time.Now()
-	hsSent, hsRecv := ac.conn.HandshakeBytes()
-	r.n.Ledger.AddUp(id, ac.wire+hsRecv)
-	if hsSent > 0 {
-		r.n.Ledger.AddDown(id, hsSent)
-	}
-	go r.reader(id, sess.gen, ac.conn)
+	r.pt.attach(sess, ac.conn, ac.wire)
 	if !sess.joined {
 		sess.joined = true
 		r.joined++
 	}
-	if r.joined == r.k {
+	if r.joined == len(r.sessions) {
+		r.finishAssembly()
+	}
+}
+
+// handleTreeJoin admits one aggregator's join: the whole child range's
+// declarations arrive in one frame, validated against the server's own
+// TreeSplit so both sides agree on who fronts whom.
+func (r *serverRun) handleTreeJoin(ac acceptedConn) {
+	agg, lo, hi, joins, err := decodeTreeJoin(ac.join)
+	if err != nil {
+		r.pt.refuse(ac.conn, fmt.Sprintf("malformed tree join: %s", err))
+		return
+	}
+	if agg < 0 || agg >= r.aggs {
+		r.pt.refuse(ac.conn, fmt.Sprintf("aggregator index %d out of range [0, %d)", agg, r.aggs))
+		return
+	}
+	if lo != r.bounds[agg] || hi != r.bounds[agg+1] {
+		r.pt.refuse(ac.conn, fmt.Sprintf("aggregator %d claims range [%d, %d), server assigns [%d, %d)",
+			agg, lo, hi, r.bounds[agg], r.bounds[agg+1]))
+		return
+	}
+	if ac.join.name != r.algo.Name() {
+		r.pt.refuse(ac.conn, fmt.Sprintf("aggregator runs %q, server runs %q", ac.join.name, r.algo.Name()))
+		return
+	}
+	sess := r.sessions[agg]
+	if r.assembled {
+		if sess.churned {
+			r.pt.refuse(ac.conn, fmt.Sprintf("aggregator %d session expired (reconnect window elapsed)", agg))
+			return
+		}
+		if sess.conn != nil {
+			r.pt.markDisconnected(sess)
+		}
+		r.adopt(sess, ac.conn, ac.wire)
+		return
+	}
+	if sess.conn != nil {
+		r.pt.markDisconnected(sess)
+	}
+	copy(r.joins[lo:hi], joins)
+	r.pt.attach(sess, ac.conn, ac.wire)
+	if !sess.joined {
+		sess.joined = true
+		r.joined++
+	}
+	if r.joined == len(r.sessions) {
 		r.finishAssembly()
 	}
 }
@@ -709,53 +609,37 @@ func (r *serverRun) finishAssembly() {
 		r.fatal = fmt.Errorf("fl: %s wire setup: %w", r.algo.Name(), err)
 		return
 	}
-	for _, s := range r.sessions {
-		s.token = r.tokenRng.Uint64() | 1<<63
-	}
+	r.pt.issueTokens()
 	r.assembled = true
 	for _, s := range r.sessions {
 		welcome := &wireMsg{kind: msgWelcome, name: r.algo.Name(), ints: r.welcomeInts(s)}
 		if !r.send(s, encodeMsg(welcome, r.cfg.Codec)) {
-			// The client died between joining and the welcome; the reconnect
+			// The peer died between joining and the welcome; the reconnect
 			// window (or churn) picks it up.
 			continue
 		}
 	}
 }
 
-// welcomeInts builds the welcome/resume layout for one session.
-func (r *serverRun) welcomeInts(s *srvSession) []int64 {
+// welcomeInts builds the welcome/resume layout for one session. An
+// aggregator receives the same layout a client would — the fleet size,
+// round horizon and cadence it relays downstream, plus its own token and
+// the root's liveness parameters.
+func (r *serverRun) welcomeInts(s *peerSession) []int64 {
 	return []int64{
 		int64(r.k), int64(r.cfg.Rounds), int64(r.cfg.BatchSize), int64(r.cfg.EvalEvery),
 		int64(s.token), r.cfg.Heartbeat.Milliseconds(), r.cfg.DeadAfter.Milliseconds(),
 	}
 }
 
-func (r *serverRun) findToken(token uint64) *srvSession {
-	for _, s := range r.sessions {
-		if s.joined && s.token == token {
-			return s
-		}
-	}
-	return nil
-}
-
 // adopt attaches a connection to a disconnected session and replays what
-// the client is owed: the resume message (it may be a restarted process
+// the peer is owed: the resume message (it may be a restarted process
 // that never saw its welcome), then any outstanding dispatch or
 // evaluation request.
-func (r *serverRun) adopt(sess *srvSession, conn transport.Conn, joinWire int64) {
-	sess.conn = conn
-	sess.gen++
-	sess.lastSeen = time.Now()
+func (r *serverRun) adopt(sess *peerSession, conn transport.Conn, joinWire int64) {
 	sess.downAt = time.Time{}
 	r.n.Stats.Reconnects++
-	hsSent, hsRecv := conn.HandshakeBytes()
-	r.n.Ledger.AddUp(sess.id, joinWire+hsRecv)
-	if hsSent > 0 {
-		r.n.Ledger.AddDown(sess.id, hsSent)
-	}
-	go r.reader(sess.id, sess.gen, conn)
+	r.pt.attach(sess, conn, joinWire)
 	resume := &wireMsg{kind: msgResume, a: uint64(r.version), name: r.algo.Name(), ints: r.welcomeInts(sess)}
 	if !r.send(sess, encodeMsg(resume, r.cfg.Codec)) {
 		return
@@ -768,76 +652,39 @@ func (r *serverRun) adopt(sess *srvSession, conn transport.Conn, joinWire int64)
 	}
 	if r.evalWait != nil && r.evalWait[sess.id] {
 		r.n.Stats.Resends++
-		if !r.send(sess, encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)) {
+		frame := sess.pendingEval
+		if frame == nil {
+			frame = encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)
+		}
+		if !r.send(sess, frame) {
 			return
 		}
 	}
 	if r.stopping {
-		// The federation finished while this client was reconnecting; its
+		// The federation finished while this peer was reconnecting; its
 		// re-dial gets the goodbye it re-dialed for (and owes the ack that
 		// completes the session).
 		r.send(sess, r.stopFrame)
 	}
 }
 
-// refuse rejects a connection with an explanatory error message.
-func (r *serverRun) refuse(conn transport.Conn, reason string) {
-	conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: reason}, r.cfg.Codec))
-	conn.Close()
-}
-
-// send writes one frame to a session, booking the wire bytes on success
-// and downgrading the session to disconnected on failure. A write deadline
-// bounds the attempt so a peer with a full socket buffer cannot wedge the
-// event loop.
-func (r *serverRun) send(s *srvSession, frame []byte) bool {
-	if s.conn == nil {
-		return false
-	}
-	s.conn.SetWriteDeadline(time.Now().Add(r.cfg.DeadAfter))
-	wire, err := s.conn.Send(frame)
-	if err != nil {
-		r.markDisconnected(s)
-		return false
-	}
-	s.conn.SetWriteDeadline(time.Time{})
-	r.n.Ledger.AddDown(s.id, wire)
-	return true
-}
-
-// markDisconnected tears down a session's connection, starting its
-// reconnect-window clock. Owed state (pending dispatch, eval slot) is
-// preserved for replay on adoption.
-func (r *serverRun) markDisconnected(s *srvSession) {
-	if s.conn == nil {
-		return
-	}
-	s.conn.Close()
-	s.conn = nil
-	s.gen++
-	s.downAt = time.Now()
-	r.n.Stats.Disconnects++
-}
-
 // churn permanently removes a session from the federation: cohorts skip
-// it, barriers stop waiting for it, its evaluation slot stays NaN.
-func (r *serverRun) churn(s *srvSession) {
-	if s.churned {
+// it, barriers stop waiting for it, its evaluation slot stays NaN. In tree
+// mode the session is an aggregator, and the whole subtree it fronts
+// churns with it — the clients behind a dead aggregator are unreachable.
+func (r *serverRun) churn(s *peerSession) {
+	if !r.pt.churnSession(s) {
 		return
 	}
-	s.churned = true
-	r.n.Stats.Churned++
-	if s.conn != nil {
-		s.conn.Close()
-		s.conn = nil
-		s.gen++
+	if r.tree {
+		for id := r.bounds[s.id]; id < r.bounds[s.id+1]; id++ {
+			r.clientChurned[id] = true
+		}
 	}
-	s.busy = false
-	s.pendingDispatch = nil
 	if r.awaiting != nil && r.awaiting[s.id] {
 		delete(r.awaiting, s.id)
 		if len(r.awaiting) == 0 {
-			r.completeSyncRound()
+			r.completeRound()
 		}
 	}
 	if r.evalWait != nil && r.evalWait[s.id] {
@@ -893,7 +740,7 @@ func (r *serverRun) handleInbound(ev inbound) {
 			}
 			return
 		}
-		r.markDisconnected(sess)
+		r.pt.markDisconnected(sess)
 		return
 	}
 	sess.lastSeen = time.Now()
@@ -903,13 +750,17 @@ func (r *serverRun) handleInbound(ev inbound) {
 		// The arrival already refreshed lastSeen; nothing else to do.
 	case msgUpdate:
 		r.handleUpdate(sess, m)
+	case msgAggUpdate:
+		r.handleAggUpdate(sess, m)
+	case msgTreeUpdate:
+		r.handleTreeUpdate(sess, m)
 	case msgEvalRes:
 		r.handleEvalRes(sess, m)
 	case msgErr:
-		r.fatal = fmt.Errorf("fl: client %d failed: %s", ev.id, m.name)
+		r.fatal = fmt.Errorf("fl: %s %d failed: %s", r.peerNoun(), ev.id, m.name)
 	case msgStopAck:
 		// The goodbye landed; the session is complete and its EOF (the
-		// client exits after acking) is orderly.
+		// peer exits after acking) is orderly.
 		sess.stopped = true
 	default:
 		// Duplicate joins, replayed frames after a chaos duplication, and
@@ -921,8 +772,8 @@ func (r *serverRun) handleInbound(ev inbound) {
 
 // handleUpdate folds one upload into the scheduler, deduplicating replays:
 // only the answer to the session's outstanding dispatch counts.
-func (r *serverRun) handleUpdate(sess *srvSession, m *wireMsg) {
-	if !sess.busy || sess.dispVersion != m.a {
+func (r *serverRun) handleUpdate(sess *peerSession, m *wireMsg) {
+	if r.tree || !sess.busy || sess.dispVersion != m.a {
 		r.n.Stats.Ignored++
 		return
 	}
@@ -940,6 +791,73 @@ func (r *serverRun) handleUpdate(sess *srvSession, m *wireMsg) {
 		return
 	}
 	r.processUpdate(u)
+}
+
+// handleAggUpdate collects one aggregator's pre-reduced contribution. A
+// reduction of a non-reducible algorithm is a protocol violation by a
+// trusted peer (the startup guard on the aggregator should have refused
+// it), so it is fatal, not noise.
+func (r *serverRun) handleAggUpdate(sess *peerSession, m *wireMsg) {
+	if !r.tree || !sess.busy || sess.dispVersion != m.a {
+		r.n.Stats.Ignored++
+		return
+	}
+	if _, ok := r.algo.(ReducibleWireAlgorithm); !ok {
+		r.fatal = fmt.Errorf("fl: aggregator %d pre-reduced %s, which has no sound reduction (run fedagg with -prereduce off)",
+			sess.id, r.algo.Name())
+		return
+	}
+	au, err := decodeAggUpdate(m)
+	if err != nil {
+		r.fatal = fmt.Errorf("fl: aggregator %d sent a malformed aggregate: %w", sess.id, err)
+		return
+	}
+	sess.busy = false
+	sess.pendingDispatch = nil
+	if r.awaiting == nil || !r.awaiting[sess.id] {
+		r.n.Stats.Ignored++
+		return
+	}
+	au.Agg = sess.id
+	r.aggUpdates[sess.id] = au
+	delete(r.awaiting, sess.id)
+	if len(r.awaiting) == 0 {
+		r.completeTreeRound()
+	}
+}
+
+// handleTreeUpdate collects one aggregator's passthrough bundle: its
+// children's raw updates, unreduced, for algorithms with no sound
+// pre-reduction.
+func (r *serverRun) handleTreeUpdate(sess *peerSession, m *wireMsg) {
+	if !r.tree || !sess.busy || sess.dispVersion != m.a {
+		r.n.Stats.Ignored++
+		return
+	}
+	ups, err := decodeTreeUpdate(m)
+	if err != nil {
+		r.fatal = fmt.Errorf("fl: aggregator %d sent a malformed update bundle: %w", sess.id, err)
+		return
+	}
+	sess.busy = false
+	sess.pendingDispatch = nil
+	if r.awaiting == nil || !r.awaiting[sess.id] {
+		r.n.Stats.Ignored++
+		return
+	}
+	lo, hi := r.bounds[sess.id], r.bounds[sess.id+1]
+	for _, u := range ups {
+		if u.Client < lo || u.Client >= hi {
+			r.fatal = fmt.Errorf("fl: aggregator %d forwarded an update for client %d outside its range [%d, %d)",
+				sess.id, u.Client, lo, hi)
+			return
+		}
+		r.updates[u.Client] = u
+	}
+	delete(r.awaiting, sess.id)
+	if len(r.awaiting) == 0 {
+		r.completeTreeRound()
+	}
 }
 
 // processUpdate routes an accepted update through the configured schedule.
@@ -981,6 +899,15 @@ func (r *serverRun) processUpdate(u *Update) {
 	}
 }
 
+// completeRound closes the open barrier for whichever topology is running.
+func (r *serverRun) completeRound() {
+	if r.tree {
+		r.completeTreeRound()
+	} else {
+		r.completeSyncRound()
+	}
+}
+
 // completeSyncRound aggregates the collected barrier updates in client-id
 // order (deterministic) and commits.
 func (r *serverRun) completeSyncRound() {
@@ -997,6 +924,43 @@ func (r *serverRun) completeSyncRound() {
 	}
 	r.awaiting = nil
 	r.updates = nil
+	r.commit()
+}
+
+// completeTreeRound folds the collected subtree contributions in
+// aggregator order — pre-reduced aggregates through WireApplyAggregate,
+// passthrough bundles client by client. Ranges being contiguous and
+// visited ascending, the passthrough apply order is exactly flat fan-in's
+// sorted client-id order.
+func (r *serverRun) completeTreeRound() {
+	for a := 0; a < r.aggs; a++ {
+		if au, ok := r.aggUpdates[a]; ok {
+			if au.Children == 0 {
+				continue
+			}
+			red, isRed := r.algo.(ReducibleWireAlgorithm)
+			if !isRed {
+				r.fatal = fmt.Errorf("fl: aggregator %d pre-reduced %s, which has no sound reduction", a, r.algo.Name())
+				return
+			}
+			if err := red.WireApplyAggregate(au); err != nil {
+				r.fatal = fmt.Errorf("fl: %s aggregate from aggregator %d: %w", r.algo.Name(), a, err)
+				return
+			}
+			continue
+		}
+		for id := r.bounds[a]; id < r.bounds[a+1]; id++ {
+			if u := r.updates[id]; u != nil {
+				if err := r.algo.WireApply(u); err != nil {
+					r.fatal = fmt.Errorf("fl: %s apply from client %d: %w", r.algo.Name(), id, err)
+					return
+				}
+			}
+		}
+	}
+	r.awaiting = nil
+	r.updates = nil
+	r.aggUpdates = nil
 	r.commit()
 }
 
@@ -1043,7 +1007,9 @@ func (r *serverRun) finishRound(m *RoundMetrics) {
 // fresh sample of the id space — for its personalized accuracy.
 // Disconnected sessions owe theirs on adoption; a session that churns
 // mid-evaluation (or is churned or unsampled at the start) keeps its NaN,
-// excluded from the mean by the NaN-excluding MeanStd.
+// excluded from the mean by the NaN-excluding MeanStd. In tree mode the
+// requests fan out through the aggregators, each carrying the id list its
+// subtree owes.
 func (r *serverRun) startEval() {
 	r.evalWait = make(map[int]bool)
 	r.evalPer = make([]float64, r.k)
@@ -1051,13 +1017,19 @@ func (r *serverRun) startEval() {
 		r.evalPer[i] = math.NaN()
 	}
 	r.evalIDs = nil
-	ask := r.sessions
 	if n := r.cfg.EvalSample; n > 0 && n < r.k {
 		ids := SamplePrefix(r.evalRng, r.k, n)
 		sort.Ints(ids)
 		r.evalIDs = ids
-		ask = make([]*srvSession, len(ids))
-		for i, id := range ids {
+	}
+	if r.tree {
+		r.startTreeEval()
+		return
+	}
+	ask := r.sessions
+	if r.evalIDs != nil {
+		ask = make([]*peerSession, len(r.evalIDs))
+		for i, id := range r.evalIDs {
 			ask[i] = r.sessions[id]
 		}
 	}
@@ -1074,12 +1046,67 @@ func (r *serverRun) startEval() {
 	}
 }
 
-func (r *serverRun) handleEvalRes(sess *srvSession, m *wireMsg) {
+// startTreeEval fans the evaluation out per subtree: each live aggregator
+// gets the ids it owes in the request's ints, and the frame is cached on
+// the session so an adoption replays exactly the same id list.
+func (r *serverRun) startTreeEval() {
+	want := r.evalIDs
+	if want == nil {
+		want = make([]int, r.k)
+		for i := range want {
+			want[i] = i
+		}
+	}
+	perAgg := make([][]int64, r.aggs)
+	for _, id := range want {
+		if r.clientChurned[id] {
+			continue
+		}
+		a := r.ownerOf(id)
+		if r.sessions[a].churned {
+			continue
+		}
+		perAgg[a] = append(perAgg[a], int64(id))
+	}
+	for a := 0; a < r.aggs; a++ {
+		if len(perAgg[a]) == 0 {
+			continue
+		}
+		s := r.sessions[a]
+		frame := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version), ints: perAgg[a]}, r.cfg.Codec)
+		r.evalWait[a] = true
+		s.pendingEval = frame
+		r.send(s, frame) // a failed send leaves the request owed on adoption
+	}
+	if len(r.evalWait) == 0 {
+		r.completeEval()
+	}
+}
+
+func (r *serverRun) handleEvalRes(sess *peerSession, m *wireMsg) {
 	if r.evalWait == nil || !r.evalWait[sess.id] {
 		r.n.Stats.Ignored++
 		return
 	}
-	r.evalPer[sess.id] = bitsF64(m.b)
+	if r.tree {
+		accs, err := parseAggEvalInts(m.ints)
+		if err != nil {
+			r.fatal = fmt.Errorf("fl: aggregator %d sent a malformed evaluation reply: %w", sess.id, err)
+			return
+		}
+		lo, hi := r.bounds[sess.id], r.bounds[sess.id+1]
+		for id, acc := range accs {
+			if id < lo || id >= hi {
+				r.fatal = fmt.Errorf("fl: aggregator %d reported accuracy for client %d outside its range [%d, %d)",
+					sess.id, id, lo, hi)
+				return
+			}
+			r.evalPer[id] = acc
+		}
+		sess.pendingEval = nil
+	} else {
+		r.evalPer[sess.id] = bitsF64(m.b)
+	}
 	delete(r.evalWait, sess.id)
 	if len(r.evalWait) == 0 {
 		r.completeEval()
@@ -1237,7 +1264,11 @@ func (r *serverRun) advance() {
 			if r.awaiting != nil {
 				return
 			}
-			r.openSyncRound()
+			if r.tree {
+				r.openTreeRound()
+			} else {
+				r.openSyncRound()
+			}
 			if r.awaiting != nil {
 				return
 			}
@@ -1273,6 +1304,67 @@ func (r *serverRun) openSyncRound() {
 			}
 		}
 	}
+}
+
+// ownerOf maps a global client id to the aggregator fronting it.
+func (r *serverRun) ownerOf(id int) int {
+	return sort.Search(r.aggs, func(a int) bool { return r.bounds[a+1] > id })
+}
+
+// openTreeRound samples the round's cohort from the same RNG stream flat
+// mode uses — the schedule is identical at equal seeds — then groups the
+// members by subtree and dispatches one batched frame per live aggregator.
+func (r *serverRun) openTreeRound() {
+	cohort := SampleCohort(r.rng, r.k, r.cfg.SampleRate, 0)
+	members := make([][]int, r.aggs)
+	for _, id := range cohort {
+		if r.clientChurned[id] {
+			continue
+		}
+		members[r.ownerOf(id)] = append(members[r.ownerOf(id)], id)
+	}
+	r.awaiting = make(map[int]bool, r.aggs)
+	r.updates = make(map[int]*Update)
+	r.aggUpdates = make(map[int]*AggUpdate, r.aggs)
+	for a := 0; a < r.aggs; a++ {
+		if len(members[a]) == 0 || r.sessions[a].churned {
+			continue
+		}
+		r.awaiting[a] = true
+	}
+	if len(r.awaiting) == 0 {
+		r.completeTreeRound()
+		return
+	}
+	for a := 0; a < r.aggs; a++ {
+		if r.awaiting[a] {
+			r.dispatchTree(a, members[a])
+			if r.fatal != nil {
+				return
+			}
+		}
+	}
+}
+
+// dispatchTree builds one subtree's batched broadcast: WireDispatch once
+// per member (the same calls flat mode makes, in the same ascending
+// order), shipped in a single frame the aggregator fans out.
+func (r *serverRun) dispatchTree(a int, members []int) {
+	payloads := make([][][]float64, len(members))
+	for i, id := range members {
+		vecs, err := r.algo.WireDispatch(id)
+		if err != nil {
+			r.fatal = fmt.Errorf("fl: %s dispatch to client %d: %w", r.algo.Name(), id, err)
+			return
+		}
+		payloads[i] = vecs
+	}
+	frame := encodeTreeDispatch(uint64(r.version), members, payloads, r.cfg.Codec)
+	s := r.sessions[a]
+	s.busy = true
+	s.dispVersion = uint64(r.version)
+	s.pendingDispatch = frame
+	r.send(s, frame)
 }
 
 // dispatchIdle keeps the async pipeline full: idle, unchurned sessions are
@@ -1330,7 +1422,7 @@ func (r *serverRun) openSemiCohort() {
 // dispatch sends one broadcast, caching the encoded frame for resend on
 // adoption (the payload cannot be regenerated: WireDispatch may consume
 // algorithm state). A disconnected session keeps the dispatch owed.
-func (r *serverRun) dispatch(s *srvSession) {
+func (r *serverRun) dispatch(s *peerSession) {
 	vecs, err := r.algo.WireDispatch(s.id)
 	if err != nil {
 		r.fatal = fmt.Errorf("fl: %s dispatch to client %d: %w", r.algo.Name(), s.id, err)
@@ -1343,36 +1435,11 @@ func (r *serverRun) dispatch(s *srvSession) {
 	r.send(s, frame)
 }
 
-// handleTick runs the failure discipline: heartbeats out, hung peers torn
-// down, expired reconnect windows degraded to churn.
+// handleTick runs the failure discipline through the peer table; expired
+// reconnect windows degrade to churn (whole subtrees, in tree mode).
 func (r *serverRun) handleTick() {
 	if !r.assembled {
 		return
 	}
-	now := time.Now()
-	beat := now.Sub(r.lastBeat) >= r.cfg.Heartbeat
-	if beat {
-		r.lastBeat = now
-	}
-	var hb []byte
-	for _, s := range r.sessions {
-		if s.churned || s.stopped {
-			continue
-		}
-		if s.conn != nil {
-			if now.Sub(s.lastSeen) > r.cfg.DeadAfter {
-				// Silent past the dead interval: hung, not slow — a slow peer
-				// would at least be echoing heartbeats.
-				r.markDisconnected(s)
-			} else if beat {
-				if hb == nil {
-					hb = encodeMsg(&wireMsg{kind: msgHeartbeat, a: uint64(r.version)}, r.cfg.Codec)
-				}
-				r.send(s, hb)
-			}
-		}
-		if s.conn == nil && !s.downAt.IsZero() && now.Sub(s.downAt) > r.cfg.ReconnectWindow {
-			r.churn(s)
-		}
-	}
+	r.pt.tick(uint64(r.version), r.churn)
 }

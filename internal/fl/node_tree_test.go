@@ -1,0 +1,285 @@
+// End-to-end tests of the 2-level aggregation tree: a root server node,
+// edge aggregators and client nodes over the inproc transport, compared
+// against the flat node federation at the same seed. External test
+// package so fleets and algorithms come from experiments/core/baselines
+// without an import cycle.
+package fl_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/transport"
+)
+
+// runFlatAndTree runs the same federation flat and as a 2-aggregator tree
+// at the same seed and returns both histories.
+func runFlatAndTree(t *testing.T, method, fleet string, s experiments.Scale, aggs int) (flat, tree []fl.RoundMetrics) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, fleet, s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err = experiments.RunNodes(ctx, method, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64,
+		transport.NewInproc(transport.Options{}), "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err = experiments.RunTreeNodes(ctx, method, experiments.Fashion, build, s.Clients, aggs, s, 1.0, comm.F64,
+		transport.NewInproc(transport.Options{}), "tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat, tree
+}
+
+// TestTreeParityAllMethods is the tentpole's acceptance gate: for every
+// method of the evaluation, a 2-level tree (two edge aggregators) must
+// reproduce the flat federation's metrics at the same seed within the
+// repo-wide 0.02 parity tolerance, per round and per client. The
+// associative methods pre-reduce on the aggregators (exact regrouping via
+// the ExactAccumulator); KT-pFL passes its updates through unreduced.
+func TestTreeParityAllMethods(t *testing.T) {
+	cases := []struct {
+		method string
+		fleet  string
+	}{
+		{experiments.MethodFedAvg, "homogeneous"},
+		{experiments.MethodFedProx, "homogeneous"},
+		{experiments.MethodProposed, "heterogeneous"},
+		{experiments.MethodFedProto, "proto"},
+		{experiments.MethodKTpFL, "heterogeneous"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.method, func(t *testing.T) {
+			s := nodeScale()
+			flat, tree := runFlatAndTree(t, tc.method, tc.fleet, s, 2)
+			if len(tree) != len(flat) {
+				t.Fatalf("tree run has %d evaluation points, flat run has %d", len(tree), len(flat))
+			}
+			for i := range tree {
+				if tree[i].Round != flat[i].Round || tree[i].LocalEpochs != flat[i].LocalEpochs {
+					t.Fatalf("point %d: round/epochs (%d, %d) vs flat (%d, %d)",
+						i, tree[i].Round, tree[i].LocalEpochs, flat[i].Round, flat[i].LocalEpochs)
+				}
+				if d := math.Abs(tree[i].MeanAcc - flat[i].MeanAcc); d > 0.02 {
+					t.Fatalf("round %d: tree accuracy %.4f vs flat %.4f (Δ %.4f > 0.02)",
+						tree[i].Round, tree[i].MeanAcc, flat[i].MeanAcc, d)
+				}
+				for j := range tree[i].PerClient {
+					if d := math.Abs(tree[i].PerClient[j] - flat[i].PerClient[j]); d > 0.02 {
+						t.Fatalf("round %d client %d: tree %.4f vs flat %.4f", tree[i].Round, j, tree[i].PerClient[j], flat[i].PerClient[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTreeKTpFLPassthroughParity pins the passthrough contract for the
+// non-associative algorithm: KT-pFL's tree run must match the flat run to
+// floating-point noise (1e-9), because the aggregators forward the exact
+// updates and the contiguous child ranges make the root's apply order
+// identical to flat sorted-id order.
+func TestTreeKTpFLPassthroughParity(t *testing.T) {
+	s := nodeScale()
+	flat, tree := runFlatAndTree(t, experiments.MethodKTpFL, "heterogeneous", s, 2)
+	if len(tree) != len(flat) {
+		t.Fatalf("tree run has %d evaluation points, flat run has %d", len(tree), len(flat))
+	}
+	for i := range tree {
+		if d := math.Abs(tree[i].MeanAcc - flat[i].MeanAcc); d > 1e-9 {
+			t.Fatalf("round %d: tree accuracy %v vs flat %v (Δ %v > 1e-9)",
+				tree[i].Round, tree[i].MeanAcc, flat[i].MeanAcc, d)
+		}
+		for j := range tree[i].PerClient {
+			if d := math.Abs(tree[i].PerClient[j] - flat[i].PerClient[j]); d > 1e-9 {
+				t.Fatalf("round %d client %d: tree %v vs flat %v", tree[i].Round, j, tree[i].PerClient[j], flat[i].PerClient[j])
+			}
+		}
+	}
+}
+
+// TestTreeRootUplinkShrinks verifies the uplink-reduction claim on the
+// root's ledger (RoundMetrics books it per round): with two aggregators
+// pre-reducing a six-client FedAvg fleet, the root's steady-state uplink
+// must shrink by at least the ~fan-in factor margin. Round 1 is excluded
+// — it carries the join handshakes, which the tree pays too.
+func TestTreeRootUplinkShrinks(t *testing.T) {
+	s := nodeScale()
+	s.Clients = 6
+	flat, tree := runFlatAndTree(t, experiments.MethodFedAvg, "homogeneous", s, 2)
+	for i := 1; i < len(tree); i++ {
+		if tree[i].UpBytes <= 0 || flat[i].UpBytes <= 0 {
+			t.Fatalf("round %d: no uplink booked (tree %d, flat %d)", tree[i].Round, tree[i].UpBytes, flat[i].UpBytes)
+		}
+		if float64(tree[i].UpBytes) > 0.6*float64(flat[i].UpBytes) {
+			t.Fatalf("round %d: tree root uplink %d bytes vs flat %d — reduction below the fan-in margin",
+				tree[i].Round, tree[i].UpBytes, flat[i].UpBytes)
+		}
+	}
+}
+
+// TestTreeAggregatorDeathChurnsSubtree kills one of two aggregators after
+// the first committed round; the root must churn the whole subtree after
+// the reconnect window and still commit every round with the surviving
+// aggregator, reporting the dead subtree's clients as NaN.
+func TestTreeAggregatorDeathChurnsSubtree(t *testing.T) {
+	s := nodeScale()
+	s.Clients = 6
+	const aggs = 2
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	// Doomed-subtree clients redial their dead aggregator until this
+	// context is cancelled once the federation is over.
+	clientCtx, stopClients := context.WithCancel(ctx)
+	defer stopClients()
+	aggCtx0, killAgg0 := context.WithCancel(ctx)
+	defer killAgg0()
+
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "heterogeneous", s.Clients, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewInproc(transport.Options{})
+	rootLn, err := tr.Listen("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggLns := make([]transport.Listener, aggs)
+	for a := range aggLns {
+		if aggLns[a], err = tr.Listen("root-agg" + string(rune('0'+a))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	discipline := func(cfg *fl.AggregatorConfig) {
+		cfg.Heartbeat = 20 * time.Millisecond
+		cfg.DeadAfter = 200 * time.Millisecond
+		cfg.ReconnectWindow = 300 * time.Millisecond
+	}
+	aggErr := make(chan error, aggs)
+	bounds := fl.TreeSplit(s.Clients, aggs)
+	for a := 0; a < aggs; a++ {
+		cfg := fl.AggregatorConfig{Index: a, Aggregators: aggs, Clients: s.Clients, Codec: comm.F64, Seed: s.Seed + int64(a)}
+		discipline(&cfg)
+		runCtx := ctx
+		if a == 0 {
+			runCtx = aggCtx0
+		}
+		go func(runCtx context.Context, a int, cfg fl.AggregatorConfig) {
+			aggErr <- experiments.RunAggregatorNode(runCtx, experiments.MethodProposed, experiments.Fashion, s, cfg, tr, "root", aggLns[a])
+		}(runCtx, a, cfg)
+	}
+	clientErr := make(chan error, s.Clients)
+	for a := 0; a < aggs; a++ {
+		for id := bounds[a]; id < bounds[a+1]; id++ {
+			go func(id, a int) {
+				clientErr <- experiments.RunClientNode(clientCtx, experiments.MethodProposed, experiments.Fashion, build, id, s, tr, "root-agg"+string(rune('0'+a)))
+			}(id, a)
+		}
+	}
+
+	srv, hist, err := experiments.ServeNode(ctx, experiments.MethodProposed, experiments.Fashion, s, 1.0, comm.F64, s.Clients, rootLn,
+		func(cfg *fl.NodeConfig) {
+			cfg.Aggregators = aggs
+			cfg.Heartbeat = 20 * time.Millisecond
+			cfg.DeadAfter = 200 * time.Millisecond
+			cfg.ReconnectWindow = 300 * time.Millisecond
+			cfg.OnRound = func(m fl.RoundMetrics) {
+				if m.Round == 1 {
+					killAgg0()
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopClients()
+	if srv.Stats.Churned != 1 {
+		t.Errorf("root churned %d aggregator sessions, want 1", srv.Stats.Churned)
+	}
+	if len(hist) != s.Rounds {
+		t.Fatalf("churned tree produced %d evaluation points, want %d", len(hist), s.Rounds)
+	}
+	last := hist[len(hist)-1]
+	for id := bounds[0]; id < bounds[1]; id++ {
+		if !math.IsNaN(last.PerClient[id]) {
+			t.Fatalf("dead subtree client %d still has accuracy %v", id, last.PerClient[id])
+		}
+	}
+	for id := bounds[1]; id < bounds[2]; id++ {
+		if math.IsNaN(last.PerClient[id]) {
+			t.Fatalf("surviving client %d has no accuracy", id)
+		}
+	}
+	// The killed aggregator reports its cancellation; the survivor and its
+	// clients must finish cleanly. The dead subtree's clients lose their
+	// aggregator mid-run and may exit with any error once released.
+	sawKilled := false
+	for i := 0; i < aggs; i++ {
+		if err := <-aggErr; err != nil {
+			if sawKilled {
+				t.Errorf("second aggregator failed too: %v", err)
+			}
+			sawKilled = true
+		}
+	}
+	if !sawKilled {
+		t.Error("killed aggregator exited without error")
+	}
+	clean := 0
+	for i := 0; i < s.Clients; i++ {
+		if err := <-clientErr; err == nil {
+			clean++
+		}
+	}
+	if clean < bounds[2]-bounds[1] {
+		t.Errorf("only %d clients finished cleanly, want at least the surviving subtree's %d", clean, bounds[2]-bounds[1])
+	}
+}
+
+// TestTreeConfigInterlocks pins the NodeConfig validation for the tree
+// topology: more aggregators than clients, a non-sync scheduler, and
+// checkpointing are all refused before any connection is accepted.
+func TestTreeConfigInterlocks(t *testing.T) {
+	s := nodeScale()
+	algo, err := experiments.WireAlgorithmFor(experiments.MethodProposed, experiments.Fashion, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*fl.NodeConfig)
+	}{
+		{"more aggregators than clients", func(cfg *fl.NodeConfig) { cfg.Aggregators = cfg.Clients + 1 }},
+		{"async scheduler", func(cfg *fl.NodeConfig) { cfg.Aggregators = 2; cfg.Sched = fl.SchedAsyncBounded }},
+		{"checkpointing", func(cfg *fl.NodeConfig) {
+			cfg.Aggregators = 2
+			cfg.Checkpoint = func(*fl.Snapshot) error { return nil }
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tr := transport.NewInproc(transport.Options{})
+			ln, err := tr.Listen("interlock-" + tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, s.Clients)
+			tc.mut(&cfg)
+			if _, err := fl.NewServerNode(algo, cfg).Serve(context.Background(), ln); err == nil {
+				t.Fatal("invalid tree config accepted")
+			}
+		})
+	}
+}

@@ -105,6 +105,43 @@ func (a *ShardedAccumulator) lockedFold(s int, seg []float64, w float64) {
 	a.locks[s].Unlock()
 }
 
+// Merge folds a pre-weighted partial sum carrying weight w into every
+// shard: sum[i] += vec[i], and each shard's weight total gains w. This is
+// the root's half of hierarchical aggregation — an edge aggregator's
+// PreReduce delivers Σ w_c·v_c with Σ w_c, already multiplied out, so the
+// fold must not weight the vector again. The flat Accumulate path is the
+// degenerate case Merge(w·v, w) computed exactly by the aggregator.
+func (a *ShardedAccumulator) Merge(vec []float64, w float64) {
+	if len(vec) != len(a.sum) {
+		panic("fl: ShardedAccumulator.Merge length mismatch")
+	}
+	tensor.ParallelSharded(a.Shards(), a.Shards(), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			a.lockedMerge(s, vec[a.bounds[s]:a.bounds[s+1]], w)
+		}
+	})
+}
+
+// MergeSegment folds a pre-weighted partial sum into one segment shard,
+// the segmented counterpart of Merge (per-class prototype sums arriving
+// from an aggregator with their summed weights).
+func (a *ShardedAccumulator) MergeSegment(s int, seg []float64, w float64) {
+	if len(seg) != a.bounds[s+1]-a.bounds[s] {
+		panic("fl: ShardedAccumulator.MergeSegment length mismatch")
+	}
+	a.lockedMerge(s, seg, w)
+}
+
+func (a *ShardedAccumulator) lockedMerge(s int, seg []float64, w float64) {
+	a.locks[s].Lock()
+	sum := a.sum[a.bounds[s]:a.bounds[s+1]]
+	for i, v := range seg {
+		sum[i] += v
+	}
+	a.wsum[s] += w
+	a.locks[s].Unlock()
+}
+
 // Snapshot returns copies of the running sums and per-shard weights, the
 // accumulator's full mutable state (the shard layout is structural and
 // rebuilt from configuration). At a commit boundary both are all zero, but

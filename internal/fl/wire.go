@@ -64,6 +64,17 @@ const (
 	// session open — re-delivering the stop to any re-dial — until this
 	// acknowledgement arrives or the reconnect window churns the session.
 	msgStopAck
+	// The tree-topology kinds (FEDWIRE3, hierarchical aggregation). An
+	// edge aggregator joins the root on behalf of its whole child range
+	// (msgTreeJoin), receives one batched broadcast per round
+	// (msgTreeDispatch), and answers with either a pre-reduced aggregate
+	// (msgAggUpdate) or the raw child updates bundled unreduced
+	// (msgTreeUpdate, the passthrough for non-associative algorithms).
+	// Layouts are documented on the encode helpers in wire_tree.go.
+	msgTreeJoin
+	msgTreeDispatch
+	msgAggUpdate
+	msgTreeUpdate
 )
 
 // join-message ints layout.

@@ -24,6 +24,21 @@ func corpusMsgs() []*wireMsg {
 		{kind: msgHeartbeat, a: 9},
 		{kind: msgResume, a: 6, name: "welcome-back", ints: []int64{4, 10, 32, 1, int64(-0x7fff3f0011ffffff), 1000, 5000}},
 		{kind: msgStopAck},
+		// Tree-topology kinds: an aggregator joining on behalf of children
+		// [2, 4), a batched subtree dispatch, a pre-reduced aggregate with
+		// per-vector weights, and a passthrough bundle of raw updates.
+		{kind: msgTreeJoin, a: 1, name: "FedAvg", ints: []int64{2, 4,
+			2, 1200, 64, 10, 5000, 650,
+			3, 900, 64, 10, 5000, 650},
+			counts: []int{1, 1}, vecs: [][]float64{{0.5, -0.25}, {1, 0}}},
+		{kind: msgTreeDispatch, a: 3, ints: []int64{2, 3}, counts: []int{2, 1},
+			vecs: [][]float64{{1, 2}, nil, {-0.125}}},
+		{kind: msgAggUpdate, a: 3, b: f64bits(2.5),
+			ints:   []int64{2, int64(f64bits(1.5)), int64(f64bits(1))},
+			counts: []int{7, 2}, vecs: [][]float64{{0.5}, {0.25, -1}}},
+		{kind: msgTreeUpdate, a: 3,
+			ints:   []int64{2, int64(f64bits(0.5)), 1, 2, 3, int64(f64bits(0.25)), 1, 0},
+			counts: []int{7, 1}, vecs: [][]float64{{0.5}, {-0.125}}},
 	}
 }
 

@@ -1,0 +1,363 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+)
+
+// This file is the hierarchical half of the wire protocol: the message
+// layouts an edge aggregator speaks upstream (tree join, batched dispatch,
+// pre-reduced or passthrough updates) and the ReducibleWireAlgorithm
+// contract that decides which algorithms may be pre-reduced at the edge.
+// The envelope is the ordinary wireMsg — no protocol fork — so every tree
+// frame decodes with decodeMsg and prices through the same ledger.
+
+// AggUpdate is one aggregator's pre-reduced round contribution: the
+// weighted sums of its children's update vectors (already multiplied out,
+// exactly, by an ExactAccumulator) plus the summed weights the root needs
+// to normalize identically to flat fan-in.
+type AggUpdate struct {
+	// Agg is the sending aggregator's index (set by the receiver from the
+	// session; not trusted from the frame).
+	Agg int
+	// Version is the round the reduction answers.
+	Version int
+	// Children is how many child updates were folded in. Zero means the
+	// whole subtree sat this round out (an empty aggregate still closes
+	// the root's barrier).
+	Children int
+	// Weight is the exact sum of the children's update weights.
+	Weight float64
+	// Vecs are the pre-weighted vector sums, Σ_c w_c·v_c per slot. Nil
+	// entries are first-class (unreported prototype classes).
+	Vecs [][]float64
+	// VecWeights carries a per-slot weight sum for segmented algorithms
+	// whose slots accumulate under independent weights (FedProto's
+	// per-class prototypes). Nil for monolithic algorithms, where Weight
+	// governs every slot.
+	VecWeights []float64
+	// Counts are the children's integer counts summed slot-wise.
+	Counts []int
+}
+
+// ReducibleWireAlgorithm extends WireAlgorithm for algorithms whose
+// aggregation is associative: an edge aggregator may fold a subtree of
+// updates into one AggUpdate (PreReduce, client side of the edge) and the
+// root folds aggregates instead of updates (WireApplyAggregate). The
+// contract is exactness — PreReduce must use grouping-invariant sums
+// (ExactAccumulator) so that tree and flat fan-in agree bit for bit at the
+// reduction level. FedAvg, FedProx, FedClassAvg and FedProto qualify;
+// KT-pFL's similarity matrix needs every client's individual payload and
+// deliberately does not implement this interface, so aggregators pass its
+// updates through unreduced.
+type ReducibleWireAlgorithm interface {
+	WireAlgorithm
+	// PreReduce folds a subtree's updates (ascending client id) into one
+	// aggregate. It must not mutate server-half state: aggregators run
+	// only the client-facing reduction.
+	PreReduce(updates []*Update) (*AggUpdate, error)
+	// WireApplyAggregate folds one aggregate into the server's
+	// accumulators, the tree counterpart of WireApply.
+	WireApplyAggregate(u *AggUpdate) error
+}
+
+// PreReduceMode selects an aggregator's reduction policy.
+type PreReduceMode int
+
+const (
+	// PreReduceAuto reduces when the algorithm supports it and passes
+	// updates through otherwise.
+	PreReduceAuto PreReduceMode = iota
+	// PreReduceForce requires a sound reduction and refuses to start
+	// without one.
+	PreReduceForce
+	// PreReduceOff always passes updates through unreduced.
+	PreReduceOff
+)
+
+// String names the mode the way ParsePreReduce spells it.
+func (m PreReduceMode) String() string {
+	switch m {
+	case PreReduceForce:
+		return "force"
+	case PreReduceOff:
+		return "off"
+	}
+	return "auto"
+}
+
+// ParsePreReduce parses a -prereduce flag value.
+func ParsePreReduce(s string) (PreReduceMode, error) {
+	switch s {
+	case "", "auto":
+		return PreReduceAuto, nil
+	case "force":
+		return PreReduceForce, nil
+	case "off":
+		return PreReduceOff, nil
+	}
+	return PreReduceAuto, fmt.Errorf("fl: unknown prereduce mode %q (want auto | force | off)", s)
+}
+
+// CheckPreReduce is the startup guard against configuring a reduction
+// where none is sound: forcing pre-reduction on a non-associative
+// algorithm is refused before any client connects.
+func CheckPreReduce(algo WireAlgorithm, mode PreReduceMode) error {
+	if _, ok := algo.(ReducibleWireAlgorithm); !ok && mode == PreReduceForce {
+		return fmt.Errorf("fl: %s has no sound pre-reduction (its aggregation is not associative); use -prereduce auto or off", algo.Name())
+	}
+	return nil
+}
+
+// TreeSplit partitions k clients across aggs edge aggregators into
+// contiguous balanced ranges: aggregator a owns [bounds[a], bounds[a+1]).
+// Every range is non-empty for aggs ≤ k, and contiguity is what keeps the
+// root's passthrough apply order identical to flat sorted-id order.
+func TreeSplit(k, aggs int) []int {
+	bounds := make([]int, aggs+1)
+	for a := 1; a < aggs; a++ {
+		bounds[a] = a * k / aggs
+	}
+	bounds[aggs] = k
+	return bounds
+}
+
+// encodeTreeJoin frames an aggregator's handshake: it joins the root on
+// behalf of its whole child range once every child has joined it.
+//
+//	a      = aggregator index
+//	ints   = [lo, hi, then joinIntCount ints per child]
+//	counts = per-child init-vector count
+//	vecs   = the children's init payloads, concatenated
+func encodeTreeJoin(agg, lo, hi int, joins []WireJoin, name string, codec comm.Codec) []byte {
+	m := &wireMsg{kind: msgTreeJoin, a: uint64(agg), name: name}
+	m.ints = append(m.ints, int64(lo), int64(hi))
+	for _, j := range joins {
+		m.ints = append(m.ints, int64(j.ID), int64(j.TrainSize), int64(j.FeatDim),
+			int64(j.NumClasses), int64(j.NumParams), int64(j.NumClassifier))
+		m.counts = append(m.counts, len(j.Init))
+		m.vecs = append(m.vecs, j.Init...)
+	}
+	return encodeMsg(m, codec)
+}
+
+// decodeTreeJoin parses a tree handshake and rebuilds the per-child joins.
+func decodeTreeJoin(m *wireMsg) (agg, lo, hi int, joins []WireJoin, err error) {
+	fail := func(format string, args ...any) (int, int, int, []WireJoin, error) {
+		return 0, 0, 0, nil, fmt.Errorf("fl: tree join: "+format, args...)
+	}
+	if len(m.ints) < 2 {
+		return fail("missing child range")
+	}
+	agg, lo, hi = int(m.a), int(m.ints[0]), int(m.ints[1])
+	children := hi - lo
+	if lo < 0 || children <= 0 {
+		return fail("bad child range [%d,%d)", lo, hi)
+	}
+	if len(m.ints) != 2+children*joinIntCount {
+		return fail("%d children declared, %d ints carried", children, len(m.ints)-2)
+	}
+	if len(m.counts) != children {
+		return fail("%d children declared, %d init counts carried", children, len(m.counts))
+	}
+	joins = make([]WireJoin, children)
+	off := 0
+	for i := range joins {
+		ji := m.ints[2+i*joinIntCount:]
+		joins[i] = WireJoin{
+			ID:            int(ji[joinID]),
+			TrainSize:     int(ji[joinTrainSize]),
+			FeatDim:       int(ji[joinFeatDim]),
+			NumClasses:    int(ji[joinNumClasses]),
+			NumParams:     int(ji[joinNumParams]),
+			NumClassifier: int(ji[joinNumClassifier]),
+		}
+		if joins[i].ID != lo+i {
+			return fail("child %d carries id %d, want %d", i, joins[i].ID, lo+i)
+		}
+		n := m.counts[i]
+		if n < 0 || off+n > len(m.vecs) {
+			return fail("init vectors overrun: child %d wants %d of %d", i, n, len(m.vecs)-off)
+		}
+		joins[i].Init = m.vecs[off : off+n]
+		off += n
+	}
+	if off != len(m.vecs) {
+		return fail("%d trailing init vectors", len(m.vecs)-off)
+	}
+	return agg, lo, hi, joins, nil
+}
+
+// encodeTreeDispatch frames one round's batched broadcast for a subtree:
+// the root calls WireDispatch once per cohort member and ships the
+// payloads to the member's aggregator in one frame.
+//
+//	a      = round version
+//	ints   = cohort member ids (ascending)
+//	counts = per-member payload vector count
+//	vecs   = the members' dispatch payloads, concatenated
+func encodeTreeDispatch(version uint64, members []int, payloads [][][]float64, codec comm.Codec) []byte {
+	m := &wireMsg{kind: msgTreeDispatch, a: version}
+	for i, id := range members {
+		m.ints = append(m.ints, int64(id))
+		m.counts = append(m.counts, len(payloads[i]))
+		m.vecs = append(m.vecs, payloads[i]...)
+	}
+	return encodeMsg(m, codec)
+}
+
+// decodeTreeDispatch parses a batched broadcast back into per-member
+// payloads.
+func decodeTreeDispatch(m *wireMsg) (ids []int, payloads [][][]float64, err error) {
+	if len(m.counts) != len(m.ints) {
+		return nil, nil, fmt.Errorf("fl: tree dispatch: %d members, %d payload counts", len(m.ints), len(m.counts))
+	}
+	ids = make([]int, len(m.ints))
+	payloads = make([][][]float64, len(m.ints))
+	off := 0
+	for i, iv := range m.ints {
+		ids[i] = int(iv)
+		n := m.counts[i]
+		if n < 0 || off+n > len(m.vecs) {
+			return nil, nil, fmt.Errorf("fl: tree dispatch: payload vectors overrun at member %d", i)
+		}
+		payloads[i] = m.vecs[off : off+n]
+		off += n
+	}
+	if off != len(m.vecs) {
+		return nil, nil, fmt.Errorf("fl: tree dispatch: %d trailing vectors", len(m.vecs)-off)
+	}
+	return ids, payloads, nil
+}
+
+// encodeAggUpdate frames a pre-reduced aggregate.
+//
+//	a      = round version
+//	b      = summed weight (float64 bits)
+//	ints   = [children] or [children, per-vec weight bits...] when the
+//	         algorithm accumulates slots under independent weights
+//	counts = slot-wise summed integer counts
+//	vecs   = pre-weighted vector sums (nil slots allowed)
+func encodeAggUpdate(version uint64, au *AggUpdate, codec comm.Codec) []byte {
+	m := &wireMsg{kind: msgAggUpdate, a: version, b: f64bits(au.Weight)}
+	m.ints = append(m.ints, int64(au.Children))
+	for _, w := range au.VecWeights {
+		m.ints = append(m.ints, int64(f64bits(w)))
+	}
+	m.counts = au.Counts
+	m.vecs = au.Vecs
+	return encodeMsg(m, codec)
+}
+
+// decodeAggUpdate parses a pre-reduced aggregate.
+func decodeAggUpdate(m *wireMsg) (*AggUpdate, error) {
+	if len(m.ints) < 1 {
+		return nil, fmt.Errorf("fl: aggregated update: missing child count")
+	}
+	au := &AggUpdate{
+		Version:  int(m.a),
+		Children: int(m.ints[0]),
+		Weight:   bitsF64(m.b),
+		Vecs:     m.vecs,
+		Counts:   m.counts,
+	}
+	if au.Children < 0 {
+		return nil, fmt.Errorf("fl: aggregated update: negative child count %d", au.Children)
+	}
+	if len(m.ints) > 1 {
+		if len(m.ints) != 1+len(m.vecs) {
+			return nil, fmt.Errorf("fl: aggregated update: %d per-vector weights for %d vectors", len(m.ints)-1, len(m.vecs))
+		}
+		au.VecWeights = make([]float64, len(m.vecs))
+		for i := range au.VecWeights {
+			au.VecWeights[i] = bitsF64(uint64(m.ints[1+i]))
+		}
+	}
+	return au, nil
+}
+
+// encodeTreeUpdate frames a subtree's raw updates unreduced — the
+// passthrough path for algorithms with no sound pre-reduction. The root
+// applies the bundled updates in ascending id order, which (ranges being
+// contiguous) reproduces flat fan-in's sorted apply order exactly.
+//
+//	a      = round version
+//	ints   = per update: [client id, scale bits, nVecs, nCounts]
+//	counts = the updates' integer counts, concatenated
+//	vecs   = the updates' vectors, concatenated
+func encodeTreeUpdate(version uint64, ups []*Update, codec comm.Codec) []byte {
+	m := &wireMsg{kind: msgTreeUpdate, a: version}
+	for _, u := range ups {
+		m.ints = append(m.ints, int64(u.Client), int64(f64bits(u.Scale)),
+			int64(len(u.Vecs)), int64(len(u.Counts)))
+		m.counts = append(m.counts, u.Counts...)
+		m.vecs = append(m.vecs, u.Vecs...)
+	}
+	return encodeMsg(m, codec)
+}
+
+// decodeTreeUpdate parses a passthrough bundle back into updates. Weight
+// is set to Scale, matching the sync scheduler's flat path.
+func decodeTreeUpdate(m *wireMsg) ([]*Update, error) {
+	if len(m.ints)%4 != 0 {
+		return nil, fmt.Errorf("fl: tree update: %d header ints, want a multiple of 4", len(m.ints))
+	}
+	ups := make([]*Update, 0, len(m.ints)/4)
+	vOff, cOff := 0, 0
+	for i := 0; i < len(m.ints); i += 4 {
+		scale := bitsF64(uint64(m.ints[i+1]))
+		nVecs, nCounts := int(m.ints[i+2]), int(m.ints[i+3])
+		if nVecs < 0 || vOff+nVecs > len(m.vecs) {
+			return nil, fmt.Errorf("fl: tree update: vectors overrun at update %d", i/4)
+		}
+		if nCounts < 0 || cOff+nCounts > len(m.counts) {
+			return nil, fmt.Errorf("fl: tree update: counts overrun at update %d", i/4)
+		}
+		u := &Update{
+			Client:  int(m.ints[i]),
+			Version: int(m.a),
+			Scale:   scale,
+			Weight:  scale,
+			Vecs:    m.vecs[vOff : vOff+nVecs],
+			Counts:  m.counts[cOff : cOff+nCounts],
+		}
+		if len(u.Vecs) == 0 {
+			u.Vecs = nil
+		}
+		if len(u.Counts) == 0 {
+			u.Counts = nil
+		}
+		vOff += nVecs
+		cOff += nCounts
+		ups = append(ups, u)
+	}
+	if vOff != len(m.vecs) || cOff != len(m.counts) {
+		return nil, fmt.Errorf("fl: tree update: %d trailing vectors, %d trailing counts", len(m.vecs)-vOff, len(m.counts)-cOff)
+	}
+	return ups, nil
+}
+
+// aggEvalInts packs per-client accuracies for the tree evaluation reply:
+// [id, accuracy bits] pairs in the ints slot, never the vecs slot, so a
+// lossy codec cannot quantize a metric.
+func aggEvalInts(ids []int, accs map[int]uint64) []int64 {
+	ints := make([]int64, 0, 2*len(ids))
+	for _, id := range ids {
+		ints = append(ints, int64(id), int64(accs[id]))
+	}
+	return ints
+}
+
+// parseAggEvalInts unpacks a tree evaluation reply.
+func parseAggEvalInts(ints []int64) (map[int]float64, error) {
+	if len(ints)%2 != 0 {
+		return nil, fmt.Errorf("fl: tree eval reply: odd int count %d", len(ints))
+	}
+	accs := make(map[int]float64, len(ints)/2)
+	for i := 0; i+1 < len(ints); i += 2 {
+		accs[int(ints[i])] = math.Float64frombits(uint64(ints[i+1]))
+	}
+	return accs, nil
+}

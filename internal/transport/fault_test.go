@@ -127,7 +127,7 @@ func TestReadDeadline(t *testing.T) {
 	}
 }
 
-// helloBytes builds a raw FEDWIRE2 hello with the given field overrides,
+// helloBytes builds a raw FEDWIRE3 hello with the given field overrides,
 // for the malformed-handshake table.
 func helloBytes(magic string, version, dtype, codec uint32, token uint64) []byte {
 	b := make([]byte, helloSize)
@@ -153,7 +153,7 @@ func TestTCPHandshakeHardeningAccept(t *testing.T) {
 		{"almost-complete", helloBytes(tcpMagic, Version, 0, 0, 0)[:helloSize-1], "truncated"},
 		{"garbage", []byte("GET / HTTP/1.1\r\nHost: chaos\r\n\r\n...."), "magic"},
 		{"zeros", make([]byte, helloSize), "magic"},
-		{"old-magic", helloBytes("FEDWIRE1", Version, 0, 0, 0), "magic"},
+		{"old-magic", helloBytes("FEDWIRE2", Version, 0, 0, 0), "magic"},
 		{"bad-dtype", helloBytes(tcpMagic, Version, 99, 0, 0), "dtype"},
 		{"bad-codec", helloBytes(tcpMagic, Version, 0, 99, 0), "codec"},
 		{"oversized", append(helloBytes(tcpMagic, Version, 99, 0, 0), make([]byte, 4096)...), "dtype"},
@@ -200,7 +200,7 @@ func TestTCPHandshakeHardeningDial(t *testing.T) {
 		raw  []byte
 		want string
 	}{
-		{"truncated", []byte("FEDWIRE2"), "truncated"},
+		{"truncated", []byte("FEDWIRE3"), "truncated"},
 		{"garbage", []byte("SSH-2.0-OpenSSH_9.6 go away now.....")[:helloSize], "magic"},
 		{"bad-dtype", helloBytes(tcpMagic, Version, 77, 0, 0), "dtype"},
 		{"bad-codec", helloBytes(tcpMagic, Version, 0, 77, 0), "codec"},

@@ -17,7 +17,7 @@ import (
 // The tcp transport: length-prefixed frames over real sockets. The wire
 // format per connection is
 //
-//	handshake  "FEDWIRE2" [version u32][dtype u32][codec u32][token u64]  (28 bytes, each way)
+//	handshake  "FEDWIRE3" [version u32][dtype u32][codec u32][token u64]  (28 bytes, each way)
 //	frame      [length u32][frame bytes]                                  (length-prefixed, little-endian)
 //
 // The dialer sends its hello first; the acceptor validates it, replies
@@ -32,8 +32,8 @@ import (
 // the per-connection read limit before allocating.
 
 // tcpMagic guards against pointing a node at an arbitrary TCP service
-// (and a v1 node at a v2 federation: the magic carries the generation).
-const tcpMagic = "FEDWIRE2"
+// (and a stale node at a newer federation: the magic carries the generation).
+const tcpMagic = "FEDWIRE3"
 
 // helloSize is the fixed handshake size per direction.
 const helloSize = len(tcpMagic) + 12 + 8

@@ -50,8 +50,11 @@ var ErrDeadline = errors.New("deadline exceeded")
 // of a tcp connection must agree; the handshake rejects mismatches.
 // Version 2 added the session-token word to the hello (magic "FEDWIRE2"),
 // so a v1 peer fails the magic check before it can misparse the longer
-// hello.
-const Version = 2
+// hello. Version 3 added the tree-topology envelope kinds (tree join,
+// batched dispatch, aggregated update, passthrough bundle); the hello
+// layout is unchanged, and flat clients speak v3 untouched — the bump
+// only fences v2 peers, which would drop the new kinds as unknown.
+const Version = 3
 
 // FrameOverhead is the per-frame wire overhead: the uint32 length prefix.
 // The inproc transport books the same arithmetic so byte accounting is
