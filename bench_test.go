@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 func benchScale() experiments.Scale {
@@ -106,6 +108,26 @@ func BenchmarkRoundThroughput10k(b *testing.B) {
 	}
 	if simTime > 0 {
 		b.ReportMetric(float64(s.Rounds)/simTime, "rounds/vtime")
+	}
+}
+
+// BenchmarkRoundThroughputTree runs the 2-level aggregation tree — a root
+// server, two edge aggregators and the client nodes, all over the inproc
+// transport — so the hierarchical wire path's round cost sits in the same
+// BENCH file as the flat schedulers it amortizes.
+func BenchmarkRoundThroughputTree(b *testing.B) {
+	s := benchScale()
+	build, _, err := experiments.NewFleetBuilder(experiments.Fashion, data.Dirichlet, "homogeneous", s.Clients, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunTreeNodes(context.Background(), experiments.MethodFedAvg, experiments.Fashion,
+			build, s.Clients, 2, s, 1.0, comm.F64, transport.NewInproc(transport.Options{}), "bench-tree")
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

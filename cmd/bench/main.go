@@ -28,6 +28,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // Result is one benchmark measurement.
@@ -50,11 +52,16 @@ type Speedup struct {
 
 // File is the on-disk BENCH_<date>.json schema.
 type File struct {
-	Date       string             `json:"date"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	CPU        string             `json:"cpu,omitempty"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// Features names the SIMD kernel tiers the host selects (tensor.
+	// CPUFeatures); -compare refuses to gate wall time across files whose
+	// tiers differ, since a portable-vs-AVX2-vs-AVX512 delta is a host
+	// property, not a regression.
+	Features   []string           `json:"features,omitempty"`
 	BenchRegex string             `json:"bench_regex"`
 	BenchTime  string             `json:"bench_time"`
 	Benchmarks []Result           `json:"benchmarks"`
@@ -125,6 +132,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPU:        cpu,
+		Features:   tensor.CPUFeatures(),
 		BenchRegex: *bench,
 		BenchTime:  *benchtime,
 		Benchmarks: results,
@@ -243,6 +251,16 @@ func compareFiles(oldPath, newPath string, threshold float64, compareNs bool) ([
 	newF, err := loadFile(newPath)
 	if err != nil {
 		return nil, err
+	}
+	// Wall time measured under different kernel tiers is a host delta, not
+	// a code delta: refuse to gate ns/op across feature-mismatched files.
+	// Files predating the features field gate as before — absence proves
+	// nothing. Portable metrics (allocs/op, virtual-clock throughput) stay
+	// comparable across hosts.
+	if compareNs && len(oldF.Features) > 0 && len(newF.Features) > 0 &&
+		strings.Join(oldF.Features, ",") != strings.Join(newF.Features, ",") {
+		return nil, fmt.Errorf("%s ran with CPU features [%s], %s with [%s]: ns/op is not comparable across kernel tiers (rerun on one host, or gate with -metrics portable)",
+			oldPath, strings.Join(oldF.Features, " "), newPath, strings.Join(newF.Features, " "))
 	}
 	byName := make(map[string]Result, len(oldF.Benchmarks))
 	for _, r := range oldF.Benchmarks {

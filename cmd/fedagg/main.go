@@ -48,7 +48,7 @@ func main() {
 		method      = flag.String("method", experiments.MethodProposed, "method (must match the server)")
 		seed        = flag.Int64("seed", 1, "experiment seed (must match the server)")
 		featDim     = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName   = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 (must match the server)")
+		codecName   = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 (must match the server)")
 		dtypeName   = flag.String("dtype", "f64", "model element type: f64 | f32")
 		heartbeat   = flag.Duration("heartbeat", fl.DefaultHeartbeat, "downstream heartbeat interval (this subtree's clients echo it)")
 		deadAfter   = flag.Duration("dead", 0, "declare a silent child connection dead after this long (0 = 5x heartbeat)")

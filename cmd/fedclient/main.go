@@ -61,8 +61,8 @@ func main() {
 		method     = flag.String("method", experiments.MethodProposed, "method (must match the server)")
 		seed       = flag.Int64("seed", 1, "experiment seed (must match the server)")
 		featDim    = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 (must match the server)")
-		dtypeName  = flag.String("dtype", "f64", "model element type: f64 | f32")
+		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 (must match the server)")
+		dtypeName  = flag.String("dtype", "f64", "model element type: f64 | f32 | bf16")
 		dialBudget = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the first dial while the server comes up")
 		reconnect  = flag.Duration("reconnect", 30*time.Second, "how long to keep redialing after a mid-run disconnect")
 		sessFile   = flag.String("session", "", "file to persist the session token in (restart resumes the session)")

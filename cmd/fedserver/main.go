@@ -51,14 +51,14 @@ func main() {
 		rate      = flag.Float64("rate", 1.0, "client sampling rate per round, in (0, 1]")
 		seed      = flag.Int64("seed", 1, "experiment seed (must match the clients')")
 		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8")
-		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32 (handshake-validated against clients)")
+		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16")
+		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32 | bf16 (handshake-validated against clients)")
 		schedName = flag.String("sched", "sync", "scheduler: sync | async | semisync")
 		staleness = flag.Int("staleness", 0, "async: drop updates staler than this many commits (0 = default 8)")
 		decay     = flag.Float64("decay", 0, "staleness decay α in weight 1/(1+α·s) (0 = no decay)")
 		quorum    = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority; at most -clients)")
 		ckptDir   = flag.String("checkpoint", "", "directory to write a snapshot to after every committed round")
-		ckptCodec = flag.String("ckpt-codec", "f64", "checkpoint vector codec: f64 | f32 | i8")
+		ckptCodec = flag.String("ckpt-codec", "f64", "checkpoint vector codec: f64 | f32 | i8 | bf16")
 		ckptEvery = flag.Int("every", 1, "checkpoint every Nth committed round")
 		resume    = flag.String("resume", "", "checkpoint file to resume the federation from")
 		heartbeat = flag.Duration("heartbeat", fl.DefaultHeartbeat, "server heartbeat interval (clients echo it)")

@@ -45,7 +45,7 @@ func main() {
 		fleet      = flag.String("fleet", "heterogeneous", "fleet: heterogeneous | homogeneous | proto")
 		archRot    = flag.String("arch", "", "custom fleet: comma-separated architecture rotation, e.g. resnet,shufflenet,googlenet,alexnet (overrides -fleet)")
 		widthRot   = flag.String("width", "", "with -arch: comma-separated per-client width multipliers, e.g. 1,2,3")
-		dtypeName  = flag.String("dtype", "f64", "model element type: f64 (golden reference) | f32 (SIMD fast path)")
+		dtypeName  = flag.String("dtype", "f64", "model element type: f64 (golden reference) | f32 (SIMD fast path) | bf16 (2-byte storage, f32 compute)")
 		method     = flag.String("method", experiments.MethodProposed, "method: Baseline | FedProto | KT-pFL | KT-pFL+weight | FedAvg | FedProx | Proposed | Proposed+weight | CA | CA+PR | CA+CL | CA+PR+CL")
 		clients    = flag.Int("clients", 0, "number of clients (0 = scale default)")
 		rounds     = flag.Int("rounds", 0, "communication rounds (0 = scale default)")
@@ -58,7 +58,7 @@ func main() {
 		mix        = flag.Float64("mix", 0, "commit mixing λ into committed state, in [0, 1] (0 = 1, plain averaging)")
 		quorum     = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority; at most -clients)")
 		workers    = flag.Int("workers", 0, "virtual server nodes (0 = one per client)")
-		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8")
+		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16")
 		stragglers = flag.Int("stragglers", 0, "number of straggler clients (at most -clients)")
 		slowdown   = flag.Float64("slowdown", 2, "virtual cost factor of straggler clients (>= 1)")
 		leave      = flag.Float64("leave", 0, "client churn: per-engagement leave probability, in [0, 1)")

@@ -22,7 +22,7 @@ func main() {
 	// Models train in float64 by default (the golden reference path); pass
 	// -dtype f32 to run the same seed on the float32 fast path — final
 	// accuracy lands within a couple of hundredths of the f64 run.
-	dtypeFlag := flag.String("dtype", "f64", "model element type: f64 | f32")
+	dtypeFlag := flag.String("dtype", "f64", "model element type: f64 | f32 | bf16")
 	flag.Parse()
 	dtype, err := tensor.ParseDType(*dtypeFlag)
 	if err != nil {

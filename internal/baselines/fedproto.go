@@ -149,7 +149,7 @@ func (p *FedProto) trainEpoch(c *fl.Client, batchSize int, protos [][]float64) {
 		// and their gradient are model-dtype; the prototype table is float64
 		// bookkeeping, widened per element inside the pull.
 		scale := 2 * p.Lambda / float64(feats.Rows())
-		if feats.DT == tensor.F32 {
+		if feats.DT.Backing() == tensor.F32 {
 			protoPull(tensor.Of[float32](feats), tensor.Of[float32](dfeat), protos, y, scale, feats.Cols())
 		} else {
 			protoPull(feats.Data, tensor.Of[float64](dfeat), protos, y, scale, feats.Cols())

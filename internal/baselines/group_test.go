@@ -1,0 +1,77 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func cnn2(int) models.Arch { return models.ArchCNN2 }
+
+// groupedRun executes FedAvg under one scheduler with grouping forced on or
+// off and returns the metrics history plus every client's final flat
+// parameters.
+func groupedRun(t *testing.T, arch func(int) models.Arch, kind fl.SchedulerKind, grouping bool) ([]fl.RoundMetrics, [][]float64) {
+	t.Helper()
+	prev := fl.SetCohortGrouping(grouping)
+	defer fl.SetCohortGrouping(prev)
+	clients := fleet(t, 4, arch)
+	sim := fl.NewSimulation(clients, fl.Config{Rounds: 2, BatchSize: 8, Seed: 3})
+	hist, err := sim.RunScheduled(NewFedAvg(1), fl.SchedulerConfig{Kind: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := make([][]float64, len(clients))
+	for i, c := range clients {
+		finals[i] = nn.FlattenParams(c.Model.Params())
+	}
+	return hist, finals
+}
+
+// TestCohortGroupingInvariance is the end-to-end grouping-invariance gate:
+// under every scheduler, at 1..N pool workers, a grouped FedAvg run (cross-
+// client batched GEMMs in lockstep cohorts) must be byte-identical to the
+// per-client run — metrics history and every client's final weights — for
+// both a dense-only and a convolutional homogeneous fleet.
+func TestCohortGroupingInvariance(t *testing.T) {
+	archs := map[string]func(int) models.Arch{"mlp": mlp, "cnn2": cnn2}
+	kinds := []fl.SchedulerKind{fl.SchedSync, fl.SchedAsyncBounded, fl.SchedSemiSync}
+	for name, arch := range archs {
+		for _, kind := range kinds {
+			for _, workers := range []int{1, tensor.Workers()} {
+				prevW := tensor.SetMaxWorkers(workers)
+				solo, soloParams := groupedRun(t, arch, kind, false)
+				grouped, groupedParams := groupedRun(t, arch, kind, true)
+				tensor.SetMaxWorkers(prevW)
+				if len(solo) != len(grouped) {
+					t.Fatalf("%s/%s/w%d: history length %d vs %d", name, kind, workers, len(grouped), len(solo))
+				}
+				for r := range solo {
+					a, b := solo[r], grouped[r]
+					if math.Float64bits(a.MeanAcc) != math.Float64bits(b.MeanAcc) ||
+						math.Float64bits(a.StdAcc) != math.Float64bits(b.StdAcc) ||
+						a.UpBytes != b.UpBytes || a.DownBytes != b.DownBytes {
+						t.Fatalf("%s/%s/w%d round %d: grouped metrics diverge: %+v vs %+v", name, kind, workers, r, b, a)
+					}
+					for i := range a.PerClient {
+						if math.Float64bits(a.PerClient[i]) != math.Float64bits(b.PerClient[i]) {
+							t.Fatalf("%s/%s/w%d round %d client %d: accuracy bits diverge", name, kind, workers, r, i)
+						}
+					}
+				}
+				for i := range soloParams {
+					for j := range soloParams[i] {
+						if math.Float64bits(soloParams[i][j]) != math.Float64bits(groupedParams[i][j]) {
+							t.Fatalf("%s/%s/w%d client %d param %d: %x vs %x", name, kind, workers, i, j,
+								math.Float64bits(groupedParams[i][j]), math.Float64bits(soloParams[i][j]))
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -172,6 +172,17 @@ func TestKillResumeGoldenFloat32(t *testing.T) {
 	}
 }
 
+// And at bf16: parameters live at bf16 precision (f32-representable by
+// construction), so snapshot vectors capture them exactly and a resumed
+// bf16 run replays the interrupted trajectory bit for bit.
+func TestKillResumeGoldenBF16(t *testing.T) {
+	for _, kind := range []fl.SchedulerKind{fl.SchedSync, fl.SchedAsyncBounded, fl.SchedSemiSync} {
+		t.Run(kind.String(), func(t *testing.T) {
+			killResumeGoldenOf(t, kind, tensor.BF16, func() fl.Algorithm { return core.New(core.DefaultOptions()) })
+		})
+	}
+}
+
 // A checkpoint records the run's model dtype; restoring into a fleet of the
 // other dtype must fail fast with a clear error.
 func TestResumeRejectsDTypeMismatch(t *testing.T) {

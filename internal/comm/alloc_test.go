@@ -20,7 +20,7 @@ func codecPayload(n int) []float64 {
 
 func TestMarshalAllocs(t *testing.T) {
 	payload := codecPayload(4096)
-	for _, c := range []Codec{F64, F32, I8} {
+	for _, c := range []Codec{F64, F32, I8, BF16} {
 		avg := testing.AllocsPerRun(20, func() {
 			MarshalAs(c, 1, payload)
 		})
@@ -32,7 +32,7 @@ func TestMarshalAllocs(t *testing.T) {
 
 func TestUnmarshalAllocs(t *testing.T) {
 	payload := codecPayload(4096)
-	for _, c := range []Codec{F64, F32, I8} {
+	for _, c := range []Codec{F64, F32, I8, BF16} {
 		b := MarshalAs(c, 1, payload)
 		avg := testing.AllocsPerRun(20, func() {
 			if _, _, _, err := Decode(b); err != nil {
@@ -47,7 +47,7 @@ func TestUnmarshalAllocs(t *testing.T) {
 
 func TestRoundTripInPlaceAllocs(t *testing.T) {
 	payload := codecPayload(4096)
-	for _, c := range []Codec{F64, F32, I8} {
+	for _, c := range []Codec{F64, F32, I8, BF16} {
 		avg := testing.AllocsPerRun(20, func() {
 			RoundTripInPlace(c, payload)
 		})

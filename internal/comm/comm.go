@@ -16,7 +16,9 @@
 // whose word was a plain count (top byte zero). Codec F32 stores float32s.
 // Codec I8 stores one float64 per-tensor scale followed by n int8 values
 // quantized as round(v/scale) with scale = maxAbs/127, so the payload costs
-// one byte per element instead of eight.
+// one byte per element instead of eight. Codec BF16 stores bfloat16 values
+// (round-to-nearest-even narrowing), two bytes per element — the native wire
+// format of bf16-storage fleets.
 package comm
 
 import (
@@ -39,13 +41,18 @@ type Codec uint8
 
 // The wire codecs. F64 is the zero value and matches the legacy format.
 const (
-	F64 Codec = iota // 8 bytes/elem, lossless
-	F32              // 4 bytes/elem, rounds to nearest float32
-	I8               // 1 byte/elem + 8-byte per-tensor scale
+	F64  Codec = iota // 8 bytes/elem, lossless
+	F32               // 4 bytes/elem, rounds to nearest float32
+	I8                // 1 byte/elem + 8-byte per-tensor scale
+	BF16              // 2 bytes/elem, rounds to nearest bfloat16 (RNE)
 )
 
 // numCodecs bounds the valid codec range for frame validation.
-const numCodecs = 3
+const numCodecs = 4
+
+// Valid reports whether c is a defined wire codec, for validating codec
+// values read off the wire (handshakes, frame headers).
+func (c Codec) Valid() bool { return c < numCodecs }
 
 // String names the codec for flags and reports.
 func (c Codec) String() string {
@@ -56,11 +63,13 @@ func (c Codec) String() string {
 		return "f32"
 	case I8:
 		return "i8"
+	case BF16:
+		return "bf16"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
 
-// ParseCodec maps a flag value ("f64" | "f32" | "i8") to a Codec.
+// ParseCodec maps a flag value ("f64" | "f32" | "i8" | "bf16") to a Codec.
 func ParseCodec(s string) (Codec, error) {
 	switch s {
 	case "f64", "float64", "":
@@ -69,8 +78,10 @@ func ParseCodec(s string) (Codec, error) {
 		return F32, nil
 	case "i8", "int8":
 		return I8, nil
+	case "bf16", "bfloat16":
+		return BF16, nil
 	}
-	return F64, fmt.Errorf("comm: unknown codec %q (want f64 | f32 | i8)", s)
+	return F64, fmt.Errorf("comm: unknown codec %q (want f64 | f32 | i8 | bf16)", s)
 }
 
 // payloadBytes returns the payload size in bytes for n elements.
@@ -80,6 +91,8 @@ func (c Codec) payloadBytes(n int) int64 {
 		return 4 * int64(n)
 	case I8:
 		return 8 + int64(n)
+	case BF16:
+		return 2 * int64(n)
 	default:
 		return 8 * int64(n)
 	}
@@ -130,6 +143,10 @@ func MarshalNative[F tensor.Float](c Codec, kind uint32, payload []F) []byte {
 		q := b[headerSize+8:]
 		for i, v := range payload {
 			q[i] = byte(quantizeI8(float64(v), scale))
+		}
+	case BF16:
+		for i, v := range payload {
+			binary.LittleEndian.PutUint16(b[headerSize+2*i:], tensor.BF16FromF32(float32(v)))
 		}
 	default:
 		for i, v := range payload {
@@ -219,6 +236,10 @@ func DecodeNative[F tensor.Float](b []byte) (c Codec, kind uint32, payload []F, 
 		for i := range payload {
 			payload[i] = F(float64(int8(q[i])) * scale)
 		}
+	case BF16:
+		for i := range payload {
+			payload[i] = F(tensor.BF16ToF32(binary.LittleEndian.Uint16(b[headerSize+2*i:])))
+		}
 	default:
 		for i := range payload {
 			payload[i] = F(math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize+8*i:])))
@@ -256,6 +277,10 @@ func RoundTripInPlaceOf[F tensor.Float](c Codec, v []F) {
 		scale := i8Scale(v)
 		for i, x := range v {
 			v[i] = F(float64(quantizeI8(float64(x), scale)) * scale)
+		}
+	case BF16:
+		for i, x := range v {
+			v[i] = F(tensor.BF16ToF32(tensor.BF16FromF32(float32(x))))
 		}
 	}
 }

@@ -135,7 +135,7 @@ func TestLedgerConcurrentSafety(t *testing.T) {
 // dequantize within the codec's error bound.
 func TestQuantizedCodecs(t *testing.T) {
 	payload := []float64{0, 1.5, -2.25, 0.015625, -127, 126.5, 3.0000001}
-	for _, c := range []Codec{F64, F32, I8} {
+	for _, c := range []Codec{F64, F32, I8, BF16} {
 		b := MarshalAs(c, 9, payload)
 		if int64(len(b)) != WireSizeAs(c, len(payload)) {
 			t.Fatalf("%s frame is %d bytes, want %d", c, len(b), WireSizeAs(c, len(payload)))
@@ -147,7 +147,7 @@ func TestQuantizedCodecs(t *testing.T) {
 		if gotC != c || kind != 9 || len(got) != len(payload) {
 			t.Fatalf("%s decoded codec %s kind %d len %d", c, gotC, kind, len(got))
 		}
-		// Error bound: f64 exact, f32 relative rounding, i8 half a step.
+		// Error bound: f64 exact, f32/bf16 relative rounding, i8 half a step.
 		var maxAbs float64
 		for _, v := range payload {
 			maxAbs = math.Max(maxAbs, math.Abs(v))
@@ -157,6 +157,8 @@ func TestQuantizedCodecs(t *testing.T) {
 			switch c {
 			case F32:
 				tol = math.Abs(v) * 1e-7
+			case BF16:
+				tol = math.Abs(v) / 256
 			case I8:
 				tol = maxAbs / 127 / 2
 			}
@@ -191,7 +193,7 @@ func TestF64MatchesLegacyLayout(t *testing.T) {
 // receiver of a marshalled frame would decode.
 func TestRoundTripInPlaceMatchesWire(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	for _, c := range []Codec{F64, F32, I8} {
+	for _, c := range []Codec{F64, F32, I8, BF16} {
 		payload := make([]float64, 64)
 		for i := range payload {
 			payload[i] = rng.NormFloat64() * 10

@@ -439,4 +439,3 @@ func weightedFlatAverage(sim *fl.Simulation, ids []int, flats [][]float64) []flo
 	}
 	return out
 }
-

@@ -1,0 +1,141 @@
+package fl
+
+import (
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/loss"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Cross-client cohort grouping (DESIGN.md §12): clients of a dispatched
+// cohort that share a model configuration — architecture, geometry and
+// dtype, i.e. the comparable models.Config — train in lockstep, with each
+// layer's per-client GEMMs lowered into one batched launch. Grouping is a
+// pure dispatch optimization: a grouped run is byte-identical to an
+// ungrouped one at every GOMAXPROCS (the grouping-invariance contract),
+// because the batched GEMM entry points preserve each product's standalone
+// shard plan and every client's private RNG stream is consumed in exactly
+// the order its solo epoch would consume it.
+
+// cohortGrouping gates cross-client batched execution globally. On by
+// default; tests toggle it to prove grouping invariance.
+var cohortGrouping atomic.Bool
+
+func init() { cohortGrouping.Store(true) }
+
+// SetCohortGrouping enables or disables cross-client batched cohort
+// execution and returns the previous setting. Toggle only between runs.
+func SetCohortGrouping(on bool) bool { return cohortGrouping.Swap(on) }
+
+// CohortGrouping reports whether cohort grouping is enabled.
+func CohortGrouping() bool { return cohortGrouping.Load() }
+
+// GroupLocalAlgorithm is implemented by algorithms whose local updates for
+// same-configuration clients can run in lockstep as one batched task.
+type GroupLocalAlgorithm interface {
+	AsyncAlgorithm
+	// GroupLocal reports whether grouped local execution is valid for the
+	// algorithm's current settings (FedProx's proximal term, for example,
+	// opts out and trains per client).
+	GroupLocal() bool
+	// AsyncLocalGroup runs the local updates of a same-configuration cohort
+	// slice in lockstep and returns one non-nil update per client, in
+	// order. It has AsyncLocal's concurrency contract.
+	AsyncLocalGroup(sim *Simulation, clients []int) ([]*Update, error)
+}
+
+// GroupCohort partitions a cohort's client ids by model configuration, in
+// first-seen order; ids within a group keep their cohort order. Clients
+// without a model each form their own singleton group.
+func GroupCohort(sim *Simulation, ids []int) [][]int {
+	groups := make([][]int, 0, 4)
+	index := make(map[models.Config]int, 4)
+	for _, id := range ids {
+		c := sim.Client(id)
+		if c.Model == nil {
+			groups = append(groups, []int{id})
+			continue
+		}
+		gi, ok := index[c.Model.Cfg]
+		if !ok {
+			gi = len(groups)
+			index[c.Model.Cfg] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], id)
+	}
+	return groups
+}
+
+// TrainEpochGroupCE trains one plain cross-entropy epoch for a group of
+// same-configuration clients in lockstep, returning each client's average
+// loss. Per client it is byte-identical to TrainEpochCE: every client's
+// batch schedule is drawn from its own RNG at epoch start, its batches are
+// visited in the same order, and its optimizer steps after each batch.
+// Clients with fewer batches simply drop out of later lockstep steps.
+func TrainEpochGroupCE(clients []*Client, batchSize int) []float64 {
+	losses := make([]float64, len(clients))
+	if len(clients) == 0 {
+		return losses
+	}
+	if len(clients) == 1 {
+		losses[0] = clients[0].TrainEpochCE(batchSize)
+		return losses
+	}
+	g := len(clients)
+	batches := make([][][]data.Example, g)
+	params := make([][]*nn.Param, g)
+	counts := make([]int, g)
+	steps := 0
+	for i, c := range clients {
+		batches[i] = data.Batches(c.Train, batchSize, c.Rng)
+		params[i] = c.Model.Params()
+		if len(batches[i]) > steps {
+			steps = len(batches[i])
+		}
+	}
+	active := make([]int, 0, g)
+	exts := make([]*nn.Sequential, 0, g)
+	clfs := make([]*nn.Dense, 0, g)
+	xs := make([]*tensor.Tensor, 0, g)
+	ys := make([][]int, 0, g)
+	dls := make([]*tensor.Tensor, 0, g)
+	for step := 0; step < steps; step++ {
+		active, exts, clfs, xs, ys = active[:0], exts[:0], clfs[:0], xs[:0], ys[:0]
+		for i, c := range clients {
+			if step >= len(batches[i]) {
+				continue
+			}
+			x, y := c.AugmentedBatch(batches[i][step])
+			active = append(active, i)
+			exts = append(exts, c.Model.Extractor)
+			clfs = append(clfs, c.Model.Classifier)
+			xs = append(xs, c.Model.CastInput(x))
+			ys = append(ys, y)
+		}
+		feats := nn.SequentialForwardBatch(exts, xs, true)
+		logits := nn.DenseForwardBatch(clfs, feats, true)
+		dls = dls[:0]
+		for j, i := range active {
+			l, dl := loss.CrossEntropy(logits[j], ys[j])
+			losses[i] += l
+			counts[i]++
+			dls = append(dls, dl)
+		}
+		dfeats := nn.DenseBackwardBatch(clfs, dls)
+		nn.SequentialBackwardBatch(exts, dfeats)
+		for _, i := range active {
+			clients[i].Optimizer.Step(params[i])
+			nn.ZeroGrads(params[i])
+		}
+	}
+	for i := range losses {
+		if counts[i] > 0 {
+			losses[i] /= float64(counts[i])
+		}
+	}
+	return losses
+}

@@ -28,7 +28,7 @@ func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
 		panic("loss: CrossEntropy label count mismatch")
 	}
 	grad := tensor.NewOf(logits.DT, n, logits.Cols())
-	if logits.DT == tensor.F32 {
+	if logits.DT.Backing() == tensor.F32 {
 		return crossEntropy(tensor.Of[float32](logits), tensor.Of[float32](grad), labels, logits.Cols()), grad
 	}
 	return crossEntropy(logits.Data, grad.Data, labels, logits.Cols()), grad
@@ -98,7 +98,7 @@ func SupCon(features *tensor.Tensor, labels []int, optsIn ...SupConOptions) (flo
 	}
 	df := tensor.NewOf(features.DT, m, features.Cols())
 	var lossVal float64
-	if features.DT == tensor.F32 {
+	if features.DT.Backing() == tensor.F32 {
 		lossVal = supCon[float32](features, df, labels, opts.Temperature)
 	} else {
 		lossVal = supCon[float64](features, df, labels, opts.Temperature)
@@ -229,7 +229,7 @@ func Proximal(params []*nn.Param, globalFlat []float64, rho float64) float64 {
 		// The accumulator threads through every parameter so the summation
 		// order (and thus the float64 result) matches the historical
 		// single-loop implementation bit for bit.
-		if p.Value.DT == tensor.F32 {
+		if p.Value.DT.Backing() == tensor.F32 {
 			penalty = proximalParam(tensor.Of[float32](p.Value), tensor.Of[float32](p.Grad), globalFlat[off:], rho, penalty)
 		} else {
 			penalty = proximalParam(p.Value.Data, p.Grad.Data, globalFlat[off:], rho, penalty)
@@ -258,7 +258,7 @@ func KLDistill(studentLogits, teacherProbs *tensor.Tensor, temperature float64) 
 		panic("loss: KLDistill shape mismatch")
 	}
 	grad := tensor.NewOf(studentLogits.DT, n, c)
-	if studentLogits.DT == tensor.F32 {
+	if studentLogits.DT.Backing() == tensor.F32 {
 		return klDistill(tensor.Of[float32](studentLogits), tensor.Of[float32](teacherProbs),
 			tensor.Of[float32](grad), n, c, temperature), grad
 	}

@@ -22,7 +22,7 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward zeroes negative activations.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := r.out.next(x.DT, x.Shape...)
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		reluFwd(tensor.Of[float32](out), tensor.Of[float32](x))
 	} else {
 		reluFwd(out.Data, x.Data)
@@ -38,7 +38,7 @@ func reluFwd[F tensor.Float](out, x []F) {
 // Backward passes gradients only through positive activations.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	r.dx = tensor.EnsureOf(grad.DT, r.dx, grad.Shape...)
-	if grad.DT == tensor.F32 {
+	if grad.DT.Backing() == tensor.F32 {
 		reluBwd(tensor.Of[float32](r.dx), tensor.Of[float32](grad), tensor.Of[float32](r.y))
 	} else {
 		reluBwd(r.dx.Data, grad.Data, r.y.Data)
@@ -89,7 +89,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			d.mask[i] = 0
 		}
 	}
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		dropoutFwd(tensor.Of[float32](out), tensor.Of[float32](x), d.mask)
 	} else {
 		dropoutFwd(out.Data, x.Data, d.mask)
@@ -121,7 +121,7 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		return grad
 	}
 	d.dx = tensor.EnsureOf(grad.DT, d.dx, grad.Shape...)
-	if grad.DT == tensor.F32 {
+	if grad.DT.Backing() == tensor.F32 {
 		dropoutApply(tensor.Of[float32](d.dx), tensor.Of[float32](grad), d.mask)
 	} else {
 		dropoutApply(d.dx.Data, grad.Data, d.mask)

@@ -39,6 +39,7 @@ type Conv2D struct {
 	gemmOut *tensor.Tensor // [outCPerGroup, N·spatial] per-group product
 	gmat    *tensor.Tensor // [OutC, N·spatial] gathered output gradient
 	dcols   *tensor.Tensor // [Groups·kernelElems, N·spatial] column gradient
+	dwt     *tensor.Tensor // [kernelElems, outCPerGroup] transposed dW product
 	dx      *tensor.Tensor
 	out     ring2
 	bwdOK   bool // backward workspaces match the current geometry
@@ -118,6 +119,7 @@ func (c *Conv2D) ensureBackwardWorkspace() {
 	sp := c.batch * c.outH * c.outW
 	c.gmat = tensor.EnsureOf(dt, c.gmat, c.OutC, sp)
 	c.dcols = tensor.EnsureOf(dt, c.dcols, c.Groups*ke, sp)
+	c.dwt = tensor.EnsureOf(dt, c.dwt, ke, c.outCPerGroup)
 	for g := 0; g < c.Groups; g++ {
 		wlo, whi := g*c.outCPerGroup*ke, (g+1)*c.outCPerGroup*ke
 		setView(&c.dwV[g], c.W.Grad, wlo, whi, c.outCPerGroup, ke)
@@ -149,7 +151,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	c.ensureWorkspace(n, h, w)
 	out := c.out.next(x.DT, n, c.OutC, c.outH, c.outW)
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		convForward(c, tensor.Of[float32](x), tensor.Of[float32](out),
 			tensor.Of[float32](c.cols), tensor.Of[float32](c.gemmOut), tensor.Of[float32](c.B.Value), n)
 	} else {
@@ -161,22 +163,34 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // convForward runs the dtype-generic forward: per-sample im2col lowering,
 // one GEMM per group, and the bias-fused scatter back to [N, C, H, W].
 func convForward[F tensor.Float](c *Conv2D, xd, outd, colsd, gemmOutd, bias []F, n int) {
-	spatial := c.outH * c.outW
 	parallelFor(n, func(i int) { im2col(c, xd, colsd, i) })
 	for g := 0; g < c.Groups; g++ {
 		tensor.MatMulInto(c.gemmOut, c.wgV[g], c.colsV[g])
-		// Scatter [outCPerGroup, N·spatial] back to the per-sample layout,
-		// fusing the bias add.
-		for oc := 0; oc < c.outCPerGroup; oc++ {
-			ch := g*c.outCPerGroup + oc
-			b := bias[ch]
-			src := gemmOutd[oc*n*spatial : (oc+1)*n*spatial]
-			for i := 0; i < n; i++ {
-				tensor.AddScalarInto(outd[(i*c.OutC+ch)*spatial:(i*c.OutC+ch+1)*spatial],
-					src[i*spatial:(i+1)*spatial], b)
-			}
+		convScatterGroup(c, outd, gemmOutd, bias, g, n)
+	}
+}
+
+// convScatterGroup scatters one group's [outCPerGroup, N·spatial] GEMM
+// product back to the per-sample layout, fusing the bias add. Shared by the
+// standalone forward and the cross-client batched forward.
+func convScatterGroup[F tensor.Float](c *Conv2D, outd, gemmOutd, bias []F, g, n int) {
+	spatial := c.outH * c.outW
+	for oc := 0; oc < c.outCPerGroup; oc++ {
+		ch := g*c.outCPerGroup + oc
+		b := bias[ch]
+		src := gemmOutd[oc*n*spatial : (oc+1)*n*spatial]
+		for i := 0; i < n; i++ {
+			tensor.AddScalarInto(outd[(i*c.OutC+ch)*spatial:(i*c.OutC+ch+1)*spatial],
+				src[i*spatial:(i+1)*spatial], b)
 		}
 	}
+}
+
+// convInitsDX reports whether col2im's same-size fast path initializes every
+// dx channel plane itself (first tap writes, later taps accumulate); callers
+// only pre-zero dx when it does not.
+func (c *Conv2D) convInitsDX() bool {
+	return c.Stride == 1 && c.outW == c.inW && c.outH == c.inH
 }
 
 // Backward accumulates dW, dB and returns dX. It reuses the im2col matrix
@@ -188,8 +202,10 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	c.ensureBackwardWorkspace()
 	c.dx = tensor.EnsureOf(grad.DT, c.dx, n, c.InC, c.inH, c.inW)
-	c.dx.Zero()
-	if grad.DT == tensor.F32 {
+	if !c.convInitsDX() {
+		c.dx.Zero()
+	}
+	if grad.DT.Backing() == tensor.F32 {
 		convBackward(c, tensor.Of[float32](grad), tensor.Of[float32](c.gmat),
 			tensor.Of[float32](c.B.Grad), tensor.Of[float32](c.dcols), tensor.Of[float32](c.dx), n)
 	} else {
@@ -202,10 +218,30 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // channel-major, bias reduction, the two GEMMs per group, and the col2im
 // scatter back to the input gradient.
 func convBackward[F tensor.Float](c *Conv2D, gradd, gm, db, dcolsd, dxd []F, n int) {
+	convGatherGrad(c, gradd, gm, db, n)
+	for g := 0; g < c.Groups; g++ {
+		// dW_g += gmat_g · colsᵀ_g, computed as the transposed product
+		// dWᵀ_g = cols_g · gmatᵀ_g: the ABT kernel transpose-packs its
+		// second operand, and gmat_g (outCPerGroup rows) is an order of
+		// magnitude shorter than cols_g (kernelElems rows), so this form
+		// packs ~10× fewer elements and reuses each panel across every
+		// kernelElems output row. dW is zero on entry (grads are cleared
+		// each step), so scattering the transpose back is bit-identical
+		// to accumulating the direct product.
+		tensor.MatMulABTInto(c.dwt, c.colsV[g], c.gmatV[g])
+		addTransposed(tensor.Of[F](c.dwV[g]), tensor.Of[F](c.dwt), c.outCPerGroup, c.kernelElems)
+		// dcols_g = W_gᵀ · gmat_g
+		tensor.MatMulATBInto(c.dcolsV[g], c.wgV[g], c.gmatV[g])
+	}
+	parallelFor(n, func(i int) { col2im(c, dcolsd, dxd, i) })
+}
+
+// convGatherGrad gathers the output gradient into the [OutC, N·spatial]
+// channel-major layout — so the weight and column gradients are one GEMM per
+// group each — and folds the bias gradient reduction. Shared by the
+// standalone backward and the cross-client batched backward.
+func convGatherGrad[F tensor.Float](c *Conv2D, gradd, gm, db []F, n int) {
 	spatial := c.outH * c.outW
-	// Gather the gradient into [OutC, N·spatial] channel-major layout so the
-	// weight and column gradients are one GEMM per group each — one strided
-	// rows kernel call per channel.
 	parallelFor(c.OutC, func(ch int) {
 		tensor.CopyRows(gm[ch*n*spatial:(ch+1)*n*spatial], gradd[ch*spatial:],
 			n, spatial, spatial, c.OutC*spatial)
@@ -218,13 +254,18 @@ func convBackward[F tensor.Float](c *Conv2D, gradd, gm, db, dcolsd, dxd []F, n i
 		}
 		db[ch] += s
 	}
-	for g := 0; g < c.Groups; g++ {
-		// dW_g += gmat_g · colsᵀ_g
-		tensor.MatMulABTAcc(c.dwV[g], c.gmatV[g], c.colsV[g])
-		// dcols_g = W_gᵀ · gmat_g
-		tensor.MatMulATBInto(c.dcolsV[g], c.wgV[g], c.gmatV[g])
+}
+
+// addTransposed accumulates dst += srcᵀ where dst is m×n and src is n×m,
+// both row-major. Reads src sequentially; the strided writes touch only the
+// small dst (a per-group weight-gradient block).
+func addTransposed[F tensor.Float](dst, src []F, m, n int) {
+	for j := 0; j < n; j++ {
+		col := src[j*m : (j+1)*m]
+		for i, v := range col {
+			dst[i*n+j] += v
+		}
 	}
-	parallelFor(n, func(i int) { col2im(c, dcolsd, dxd, i) })
 }
 
 // Params returns the kernel and bias parameters.
@@ -259,12 +300,33 @@ func im2col[F tensor.Float](c *Conv2D, xd, colsd []F, i int) {
 						copy(dst, src)
 						continue
 					}
+					lo, hi, _ := rowSpan(c.outW, c.inW, off)
+					ohLo, ohHi := rowBand(c.outH, c.inH, ihOff)
+					if c.outW == c.inW && c.outH == c.inH {
+						// Same-size tap: dst[oh·W+ow] = src[(oh+dy)·W+ow+dx]
+						// is one plane-wide shift, so the whole valid region
+						// copies as a single memmove. The elements that wrap
+						// across row boundaries land exactly on the zero-pad
+						// columns and are overwritten below.
+						shift := ihOff*c.inW + off
+						dlo := 0
+						if shift < 0 {
+							dlo = -shift
+						}
+						dhi := len(dst)
+						if limit := len(dst) - shift; dhi > limit {
+							dhi = limit
+						}
+						copy(dst[dlo:dhi], src[dlo+shift:dhi+shift])
+						zeroSpan(dst[:ohLo*c.outW])
+						zeroSpan(dst[ohHi*c.outW:])
+						zeroCols(dst[ohLo*c.outW:ohHi*c.outW], c.outW, lo, hi)
+						continue
+					}
 					// Valid output rows form one contiguous band; everything
 					// in the band copies as one strided-rows kernel call and
 					// the zero padding splits into the boundary rows (one
 					// contiguous memclr each) plus the row edges.
-					lo, hi, _ := rowSpan(c.outW, c.inW, off)
-					ohLo, ohHi := rowBand(c.outH, c.inH, ihOff)
 					zeroSpan(dst[:ohLo*c.outW])
 					zeroSpan(dst[ohHi*c.outW:])
 					for oh := ohLo; oh < ohHi; oh++ {
@@ -348,18 +410,51 @@ func zeroSpan[F tensor.Float](s []F) {
 	}
 }
 
+// zeroCols clears columns [0,lo) and [hi,w) of every w-wide row of plane.
+// The one-column edges of a 3×3/pad-1 tap compile to a single strided store
+// per row instead of a subslice per row.
+func zeroCols[F tensor.Float](plane []F, w, lo, hi int) {
+	if lo == 1 {
+		for q := 0; q < len(plane); q += w {
+			plane[q] = 0
+		}
+	} else if lo > 1 {
+		for base := 0; base < len(plane); base += w {
+			for q := base; q < base+lo; q++ {
+				plane[q] = 0
+			}
+		}
+	}
+	if hi == w-1 {
+		for q := w - 1; q < len(plane); q += w {
+			plane[q] = 0
+		}
+	} else if hi < w-1 {
+		for base := 0; base < len(plane); base += w {
+			for q := base + hi; q < base+w; q++ {
+				plane[q] = 0
+			}
+		}
+	}
+}
+
 // col2im scatters sample i's column block of the gradient matrix back into
 // dx, accumulating where receptive fields overlap. Stride-1 rows accumulate
-// over one contiguous span with no per-pixel bounds checks.
+// over one contiguous span with no per-pixel bounds checks. In the same-size
+// geometry the first tap initializes each channel plane (copy plus edge
+// clears), so callers skip zeroing dx beforehand; every other geometry
+// accumulates into a caller-zeroed dx (see convInitsDX).
 func col2im[F tensor.Float](c *Conv2D, dcolsd, dxd []F, i int) {
 	spatial := c.outH * c.outW
 	ns := c.batch * spatial
 	chanSize := c.inH * c.inW
 	base := i * c.InC * chanSize
+	fast := c.convInitsDX()
 	for ch := 0; ch < c.InC; ch++ {
 		g := ch / c.inCPerGroup
 		chInG := ch % c.inCPerGroup
 		dst := dxd[base+ch*chanSize : base+(ch+1)*chanSize]
+		init := fast
 		for kh := 0; kh < c.KH; kh++ {
 			ihOff := kh - c.Pad
 			for kw := 0; kw < c.KW; kw++ {
@@ -369,11 +464,47 @@ func col2im[F tensor.Float](c *Conv2D, dcolsd, dxd []F, i int) {
 					off := kw - c.Pad
 					if ihOff == 0 && off == 0 && c.outW == c.inW && c.outH == c.inH {
 						// Center/1×1 tap: one whole-channel accumulate.
-						tensor.VecAccumulate(dst, src)
+						if init {
+							copy(dst, src)
+							init = false
+						} else {
+							tensor.VecAccumulate(dst, src)
+						}
 						continue
 					}
 					lo, hi, _ := rowSpan(c.outW, c.inW, off)
 					ohLo, ohHi := rowBand(c.outH, c.inH, ihOff)
+					if c.outW == c.inW && c.outH == c.inH {
+						// Same-size tap: the scatter dst[q+shift] += src[q]
+						// is one plane-wide accumulate. src is the dcols
+						// scratch (rebuilt by the next backward), so the pad
+						// columns can be zeroed in place first; the positions
+						// that would wrap across row boundaries read exactly
+						// those zeroed elements and the out-of-band rows clip
+						// against the plane bounds.
+						shift := ihOff*c.inW + off
+						zeroCols(src, c.outW, lo, hi)
+						qlo := 0
+						if shift < 0 {
+							qlo = -shift
+						}
+						qhi := len(src)
+						if limit := len(src) - shift; qhi > limit {
+							qhi = limit
+						}
+						if init {
+							// First tap of the channel plane: write instead
+							// of accumulate and clear the clipped margins, so
+							// dx needs no up-front zeroing.
+							zeroSpan(dst[:qlo+shift])
+							copy(dst[qlo+shift:qhi+shift], src[qlo:qhi])
+							zeroSpan(dst[qhi+shift:])
+							init = false
+						} else {
+							tensor.VecAccumulate(dst[qlo+shift:qhi+shift], src[qlo:qhi])
+						}
+						continue
+					}
 					if ohHi > ohLo && hi > lo {
 						tensor.AccumulateRows(dst[(ohLo+ihOff)*c.inW+off+lo:], src[ohLo*c.outW+lo:],
 							ohHi-ohLo, hi-lo, c.inW, c.outW)

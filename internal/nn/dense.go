@@ -44,7 +44,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Rows()
 	y := d.out.next(x.DT, n, d.Out)
 	tensor.MatMulInto(y, x, d.W.Value)
-	if y.DT == tensor.F32 {
+	if y.DT.Backing() == tensor.F32 {
 		addBiasRows(tensor.Of[float32](y), tensor.Of[float32](d.B.Value), n, d.Out)
 	} else {
 		addBiasRows(y.Data, d.B.Value.Data, n, d.Out)

@@ -277,6 +277,9 @@ func AverageInto(dst []*Param, srcs [][]*Param, weights []float64) error {
 			}
 			p.Value.AxpyInPlace(weights[k], src[i].Value)
 		}
+		// BF16 storage invariant: the average accumulates at full float32
+		// precision, then re-narrows once at the end (no-op otherwise).
+		tensor.RoundBF16InPlace(p.Value)
 	}
 	return nil
 }

@@ -68,7 +68,7 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	bn.invStd = bn.invStd[:c]
 	bn.usedBatchStats = train
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		bn2dForward(bn, tensor.Of[float32](x), tensor.Of[float32](out), tensor.Of[float32](bn.xhat),
 			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Beta.Value), n, c, h, w, train)
 	} else {
@@ -117,7 +117,7 @@ func bn2dForward[F tensor.Float](bn *BatchNorm2D, xd, outd, xhd, gamma, beta []F
 func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3]
 	bn.dx = tensor.EnsureOf(grad.DT, bn.dx, n, c, h, w)
-	if grad.DT == tensor.F32 {
+	if grad.DT.Backing() == tensor.F32 {
 		bn2dBackward(bn, tensor.Of[float32](grad), tensor.Of[float32](bn.xhat), tensor.Of[float32](bn.dx),
 			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Gamma.Grad), tensor.Of[float32](bn.Beta.Grad), n, c, h, w)
 	} else {
@@ -216,7 +216,7 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	bn.invStd = bn.invStd[:bn.D]
 	bn.usedBatchStats = train && n > 1
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		bn1dForward(bn, tensor.Of[float32](x), tensor.Of[float32](out), tensor.Of[float32](bn.xhat),
 			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Beta.Value), n)
 	} else {
@@ -263,7 +263,7 @@ func bn1dForward[F tensor.Float](bn *BatchNorm1D, xd, outd, xhd, gamma, beta []F
 func (bn *BatchNorm1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Rows()
 	bn.dx = tensor.EnsureOf(grad.DT, bn.dx, n, bn.D)
-	if grad.DT == tensor.F32 {
+	if grad.DT.Backing() == tensor.F32 {
 		bn1dBackward(bn, tensor.Of[float32](grad), tensor.Of[float32](bn.xhat), tensor.Of[float32](bn.dx),
 			tensor.Of[float32](bn.Gamma.Value), tensor.Of[float32](bn.Gamma.Grad), tensor.Of[float32](bn.Beta.Grad), n)
 	} else {

@@ -37,7 +37,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		m.argmax = make([]int, out.Size())
 	}
 	m.argmax = m.argmax[:out.Size()]
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		xd, outd := tensor.Of[float32](x), tensor.Of[float32](out)
 		parallelFor(n, func(i int) { maxPoolSample(m, xd, outd, i, c, h, w) })
 	} else {
@@ -82,38 +82,78 @@ func maxPoolSample[F tensor.Float](m *MaxPool2D, xd, outd []F, i, c, h, w int) {
 // window, strict greater-than) matches the generic path exactly, so argmax
 // tie-breaking — and therefore the backward routing — is identical.
 func maxPool2x2Sample[F tensor.Float](m *MaxPool2D, xd, outd []F, i, c, h, w int) {
+	if xf, ok := any(xd).([]float32); ok && maxPool2x2AsmF32(m, xf, any(outd).([]float32), i, c, h, w) {
+		return
+	}
+	if xf, ok := any(xd).([]float64); ok && maxPool2x2AsmF64(m, xf, any(outd).([]float64), i, c, h, w) {
+		return
+	}
 	for ch := 0; ch < c; ch++ {
 		inBase := (i*c + ch) * h * w
 		outBase := (i*c + ch) * m.outH * m.outW
 		for oh := 0; oh < m.outH; oh++ {
 			r0 := inBase + (oh * 2 * w)
-			r1 := r0 + w
+			// Row subslices hoist the bounds checks out of the pixel loop;
+			// indices stay row-relative until the argmax store.
+			row0 := xd[r0 : r0+w]
+			row1 := xd[r0+w : r0+2*w]
 			o := outBase + oh*m.outW
-			for ow := 0; ow < m.outW; ow++ {
-				i00 := r0 + ow*2
-				bestIdx, bestVal := i00, xd[i00]
-				if v := xd[i00+1]; v > bestVal {
-					bestIdx, bestVal = i00+1, v
+			outRow := outd[o : o+m.outW]
+			amRow := m.argmax[o : o+m.outW]
+			p := 0
+			for ow := range outRow {
+				rel, bestVal := p, row0[p]
+				if v := row0[p+1]; v > bestVal {
+					rel, bestVal = p+1, v
 				}
-				i10 := r1 + ow*2
-				if v := xd[i10]; v > bestVal {
-					bestIdx, bestVal = i10, v
+				if v := row1[p]; v > bestVal {
+					rel, bestVal = w+p, v
 				}
-				if v := xd[i10+1]; v > bestVal {
-					bestIdx, bestVal = i10+1, v
+				if v := row1[p+1]; v > bestVal {
+					rel, bestVal = w+p+1, v
 				}
-				outd[o+ow] = bestVal
-				m.argmax[o+ow] = bestIdx
+				outRow[ow] = bestVal
+				amRow[ow] = r0 + rel
+				p += 2
 			}
 		}
 	}
+}
+
+// maxPool2x2AsmF32 hands each channel plane to the AVX-512 pooling kernel,
+// which reproduces the scalar candidate order exactly (values and argmax
+// alike). Returns false when the tier is unavailable so the caller runs the
+// scalar loop instead.
+func maxPool2x2AsmF32(m *MaxPool2D, xd, outd []float32, i, c, h, w int) bool {
+	for ch := 0; ch < c; ch++ {
+		inBase := (i*c + ch) * h * w
+		outBase := (i*c + ch) * m.outH * m.outW
+		if !tensor.MaxPool2x2F32(xd[inBase:inBase+h*w], outd[outBase:outBase+m.outH*m.outW],
+			m.argmax[outBase:outBase+m.outH*m.outW], m.outH, m.outW, w, inBase) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxPool2x2AsmF64 is the f64 twin of maxPool2x2AsmF32.
+func maxPool2x2AsmF64(m *MaxPool2D, xd, outd []float64, i, c, h, w int) bool {
+	for ch := 0; ch < c; ch++ {
+		inBase := (i*c + ch) * h * w
+		outBase := (i*c + ch) * m.outH * m.outW
+		if !tensor.MaxPool2x2F64(xd[inBase:inBase+h*w], outd[outBase:outBase+m.outH*m.outW],
+			m.argmax[outBase:outBase+m.outH*m.outW], m.outH, m.outW, w, inBase) {
+			return false
+		}
+	}
+	return true
 }
 
 // Backward routes each output gradient to its argmax input position.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	m.dx = tensor.EnsureOf(grad.DT, m.dx, m.inShape...)
 	m.dx.Zero()
-	if grad.DT == tensor.F32 {
+	if grad.DT.Backing() == tensor.F32 {
 		maxPoolBwd(tensor.Of[float32](m.dx), tensor.Of[float32](grad), m.argmax)
 	} else {
 		maxPoolBwd(m.dx.Data, grad.Data, m.argmax)
@@ -149,7 +189,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	g.inShape = append(g.inShape[:0], n, c, h, w)
 	out := g.out.next(x.DT, n, c)
-	if x.DT == tensor.F32 {
+	if x.DT.Backing() == tensor.F32 {
 		gapFwd(tensor.Of[float32](out), tensor.Of[float32](x), n, c, h, w)
 	} else {
 		gapFwd(out.Data, x.Data, n, c, h, w)
@@ -172,7 +212,7 @@ func gapFwd[F tensor.Float](outd, xd []F, n, c, h, w int) {
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
 	g.dx = tensor.EnsureOf(grad.DT, g.dx, n, c, h, w)
-	if grad.DT == tensor.F32 {
+	if grad.DT.Backing() == tensor.F32 {
 		gapBwd(tensor.Of[float32](g.dx), tensor.Of[float32](grad), n, c, h, w)
 	} else {
 		gapBwd(g.dx.Data, grad.Data, n, c, h, w)

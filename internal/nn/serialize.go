@@ -44,7 +44,7 @@ func WriteParams(w io.Writer, params []*Param) error {
 		// self-describing through the reader's structurally identical model,
 		// which fixes the element width.
 		var err error
-		if p.Value.DT == tensor.F32 {
+		if p.Value.DT.Backing() == tensor.F32 {
 			err = binary.Write(w, binary.LittleEndian, p.Value.F32)
 		} else {
 			err = binary.Write(w, binary.LittleEndian, p.Value.Data)
@@ -106,7 +106,7 @@ func ReadParams(r io.Reader, params []*Param) error {
 			}
 		}
 		var err error
-		if p.Value.DT == tensor.F32 {
+		if p.Value.DT.Backing() == tensor.F32 {
 			err = binary.Read(r, binary.LittleEndian, p.Value.F32)
 		} else {
 			err = binary.Read(r, binary.LittleEndian, p.Value.Data)

@@ -71,7 +71,7 @@ func (m *moments) reset() { m.f64, m.f32 = nil, nil }
 // restored float64 snapshot onto the f32 path when the model turns out to
 // be float32 (widening/narrowing of f32-exact values is lossless).
 func (m *moments) ensure(params []*nn.Param) {
-	if nn.ParamsDType(params) == tensor.F32 {
+	if nn.ParamsDType(params).Backing() == tensor.F32 {
 		if m.f32 != nil {
 			checkVecCount(len(m.f32), len(params))
 			return
@@ -158,7 +158,7 @@ func (s *SGD) Step(params []*nn.Param) {
 	if s.Momentum != 0 {
 		s.velocity.ensure(params)
 	}
-	f32 := nn.ParamsDType(params) == tensor.F32
+	f32 := nn.ParamsDType(params).Backing() == tensor.F32
 	for i, p := range params {
 		if f32 {
 			var v []float32
@@ -167,6 +167,10 @@ func (s *SGD) Step(params []*nn.Param) {
 			}
 			sgdStep(tensor.Of[float32](p.Value), tensor.Of[float32](p.Grad), v,
 				float32(s.LR), float32(s.Momentum), float32(s.WeightDecay))
+			// BF16 storage invariant: parameters re-narrow after every
+			// mutation so serialized values round-trip exactly. Velocity
+			// stays full float32 — it is optimizer state, not storage.
+			tensor.RoundBF16InPlace(p.Value)
 		} else {
 			var v []float64
 			if s.Momentum != 0 {
@@ -262,10 +266,12 @@ func (a *Adam) Step(params []*nn.Param) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
-	if nn.ParamsDType(params) == tensor.F32 {
+	if nn.ParamsDType(params).Backing() == tensor.F32 {
 		for i, p := range params {
 			adamStep(tensor.Of[float32](p.Value), tensor.Of[float32](p.Grad), a.m.f32[i], a.v.f32[i],
 				float32(a.LR), float32(a.Beta1), float32(a.Beta2), float32(a.Eps), float32(c1), float32(c2))
+			// BF16 storage invariant (see SGD.Step): moments stay float32.
+			tensor.RoundBF16InPlace(p.Value)
 		}
 		return
 	}

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"unsafe"
 )
 
@@ -14,12 +15,13 @@ type DType uint8
 
 // The element types.
 const (
-	F64 DType = iota // 8-byte IEEE-754, the golden reference path
-	F32              // 4-byte IEEE-754, the SIMD-width/working-set fast path
+	F64  DType = iota // 8-byte IEEE-754, the golden reference path
+	F32               // 4-byte IEEE-754, the SIMD-width/working-set fast path
+	BF16              // bfloat16 storage tag riding float32 backing (see Backing)
 )
 
 // numDTypes bounds the valid range for validation (checkpoint headers).
-const numDTypes = 2
+const numDTypes = 3
 
 // Float is the constraint of the generic kernels: exactly the element
 // types a Tensor can carry.
@@ -34,6 +36,8 @@ func (d DType) String() string {
 		return "f64"
 	case F32:
 		return "f32"
+	case BF16:
+		return "bf16"
 	}
 	return fmt.Sprintf("dtype(%d)", uint8(d))
 }
@@ -41,23 +45,76 @@ func (d DType) String() string {
 // Valid reports whether d names a known element type.
 func (d DType) Valid() bool { return d < numDTypes }
 
-// Bytes returns the element size in bytes.
+// Backing returns the in-memory element type of d: F64 or F32. BF16 is a
+// storage/serialization tag, not a third arithmetic width — a BF16 tensor
+// is float32 in memory (all compute runs at f32 precision) with the policy
+// that parameter values are kept bfloat16-representable at every mutation
+// boundary by round-to-nearest-even narrowing (DESIGN.md §12). Kernels and
+// dispatch switches therefore branch on Backing, never on BF16 itself.
+func (d DType) Backing() DType {
+	if d == F64 {
+		return F64
+	}
+	return F32
+}
+
+// Bytes returns the element size in bytes: the in-memory size for F64/F32,
+// the serialized size (2 bytes) for BF16. Wire and checkpoint accounting is
+// the only caller that distinguishes BF16 from its float32 backing.
 func (d DType) Bytes() int {
-	if d == F32 {
+	switch d {
+	case F32:
 		return 4
+	case BF16:
+		return 2
 	}
 	return 8
 }
 
-// ParseDType maps a flag value ("f64" | "f32") to a DType.
+// ParseDType maps a flag value ("f64" | "f32" | "bf16") to a DType.
 func ParseDType(s string) (DType, error) {
 	switch s {
 	case "f64", "float64", "":
 		return F64, nil
 	case "f32", "float32":
 		return F32, nil
+	case "bf16", "bfloat16":
+		return BF16, nil
 	}
-	return F64, fmt.Errorf("tensor: unknown dtype %q (want f64 | f32)", s)
+	return F64, fmt.Errorf("tensor: unknown dtype %q (want f64 | f32 | bf16)", s)
+}
+
+// BF16FromF32 narrows a float32 to its bfloat16 bit pattern with
+// round-to-nearest-even. NaNs are quieted (a payload that truncates to all
+// zeros would turn NaN into infinity); infinities, zeros and subnormals
+// round like any other value — bfloat16 shares the float32 exponent range,
+// so f32 subnormals map onto bf16 subnormals by mantissa rounding alone.
+func BF16FromF32(x float32) uint16 {
+	b := math.Float32bits(x)
+	if b&0x7fffffff > 0x7f800000 { // NaN: keep sign, force a quiet payload
+		return uint16(b>>16) | 0x0040
+	}
+	return uint16((b + 0x7fff + (b>>16)&1) >> 16)
+}
+
+// BF16ToF32 widens a bfloat16 bit pattern to float32 exactly.
+func BF16ToF32(h uint16) float32 { return math.Float32frombits(uint32(h) << 16) }
+
+// RoundBF16 rounds a float32 to the nearest bfloat16-representable value
+// (round-to-nearest-even), staying in float32.
+func RoundBF16(x float32) float32 { return BF16ToF32(BF16FromF32(x)) }
+
+// RoundBF16InPlace re-narrows every element of a BF16-tagged tensor to its
+// bfloat16-representable value. Mutation boundaries of parameter tensors
+// (optimizer steps, averaging) call this to uphold the BF16 storage
+// invariant; it is a no-op for other dtypes.
+func RoundBF16InPlace(t *Tensor) {
+	if t.DT != BF16 {
+		return
+	}
+	for i, v := range t.F32 {
+		t.F32[i] = RoundBF16(v)
+	}
 }
 
 // DTypeOf returns the DType corresponding to the type parameter F.
@@ -81,7 +138,7 @@ func DTypeOf[F Float]() DType {
 func Of[F Float](t *Tensor) []F {
 	var z F
 	if unsafe.Sizeof(z) == 4 {
-		if t.DT != F32 {
+		if t.DT.Backing() != F32 {
 			panic("tensor: float32 kernel applied to a " + t.DT.String() + " tensor")
 		}
 		if len(t.F32) == 0 {

@@ -467,3 +467,63 @@ func TestGEMMShardLayoutIndependence(t *testing.T) {
 		}
 	}
 }
+
+// TestBF16RoundTripRNE pins the bfloat16 narrowing contract: exact values
+// survive unchanged, ties round to even, f32 subnormals map onto bf16
+// subnormals by mantissa rounding, and NaN narrows to a quiet NaN rather
+// than an infinity.
+func TestBF16RoundTripRNE(t *testing.T) {
+	exact := []float32{0, 1, -1, 0.5, -2.25, 3.140625, float32(math.Inf(1)), float32(math.Inf(-1))}
+	for _, v := range exact {
+		if got := BF16ToF32(BF16FromF32(v)); math.Float32bits(got) != math.Float32bits(v) {
+			t.Fatalf("bf16-exact %v round-tripped to %v", v, got)
+		}
+	}
+	// Signed zero keeps its sign bit.
+	negZero := math.Float32frombits(0x80000000)
+	if math.Float32bits(BF16ToF32(BF16FromF32(negZero))) != 0x80000000 {
+		t.Fatal("-0 lost its sign through bf16")
+	}
+	// Round-to-nearest-even at the tie: 1 + 2^-8 is exactly halfway between
+	// bf16(1.0) and the next step 1 + 2^-7; the even mantissa (1.0) wins.
+	// One ulp above the tie must round up instead.
+	tie := math.Float32frombits(0x3f808000)
+	if got := BF16ToF32(BF16FromF32(tie)); got != 1.0 {
+		t.Fatalf("tie %x rounded to %v, want 1 (even)", math.Float32bits(tie), got)
+	}
+	aboveTie := math.Float32frombits(0x3f808001)
+	if got := BF16ToF32(BF16FromF32(aboveTie)); got != 1.0078125 {
+		t.Fatalf("above-tie rounded to %v, want 1.0078125", got)
+	}
+	// The odd-mantissa tie rounds up to the next even: 1.0078125 + 2^-8
+	// is halfway between mantissas 0x81 (odd) and 0x82 (even).
+	oddTie := math.Float32frombits(0x3f818000)
+	if got := BF16ToF32(BF16FromF32(oddTie)); got != 1.015625 {
+		t.Fatalf("odd tie rounded to %v, want 1.015625 (mantissa 0x82)", got)
+	}
+	// Subnormals: the smallest f32 subnormal underflows to zero under RNE;
+	// a value at half the smallest bf16 subnormal step plus one ulp rounds
+	// up to the smallest bf16 subnormal.
+	minSub32 := math.Float32frombits(1)
+	if got := BF16FromF32(minSub32); got != 0 {
+		t.Fatalf("min f32 subnormal narrowed to %#x, want 0", got)
+	}
+	halfStepUp := math.Float32frombits(0x00008001)
+	if got := BF16FromF32(halfStepUp); got != 0x0001 {
+		t.Fatalf("above-half subnormal narrowed to %#x, want 0x0001", got)
+	}
+	if got := BF16ToF32(0x0001); math.Float32bits(got) != 0x00010000 {
+		t.Fatalf("min bf16 subnormal widened to %#x", math.Float32bits(got))
+	}
+	// NaN: quiet, sign preserved, never an infinity.
+	for _, bits := range []uint32{0x7fc00000, 0x7f800001, 0xffc12345, 0x7f80ffff} {
+		h := BF16FromF32(math.Float32frombits(bits))
+		w := BF16ToF32(h)
+		if !math.IsNaN(float64(w)) {
+			t.Fatalf("NaN %#x narrowed to non-NaN %#x", bits, h)
+		}
+		if (h>>15)&1 != uint16(bits>>31) {
+			t.Fatalf("NaN %#x lost its sign: bf16 %#x", bits, h)
+		}
+	}
+}

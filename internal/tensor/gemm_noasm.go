@@ -5,9 +5,15 @@ package tensor
 // Non-amd64 builds always take the portable blocked kernels, at either
 // element width.
 const (
-	useFMA   = false
-	useFMA32 = false
+	useFMA      = false
+	useFMA32    = false
+	useAVX512   = false
+	useAVX51232 = false
 )
+
+// CPUFeatures reports no SIMD tiers: non-amd64 builds run the portable
+// kernels only.
+func CPUFeatures() []string { return nil }
 
 func gemmNNRangeFMA(out, a, b []float64, k, n, lo, hi int, acc bool) {
 	panic("tensor: FMA kernel unavailable")
@@ -32,3 +38,35 @@ func gemmATRangeFMA32(out, a, b []float32, m, k, n, plo, phi int, acc bool) {
 func gemmABTRangeFMA32(out, a, b []float32, k, n, ilo, ihi int, acc bool) {
 	panic("tensor: FMA kernel unavailable")
 }
+
+func gemmNNRangeAVX512(out, a, b []float64, k, n, lo, hi int, acc bool) {
+	panic("tensor: AVX-512 kernel unavailable")
+}
+
+func gemmATRangeAVX512(out, a, b []float64, m, k, n, plo, phi int, acc bool) {
+	panic("tensor: AVX-512 kernel unavailable")
+}
+
+func gemmABTRangeAVX512(out, a, b []float64, k, n, ilo, ihi int, acc bool) {
+	panic("tensor: AVX-512 kernel unavailable")
+}
+
+func gemmNNRangeAVX51232(out, a, b []float32, k, n, lo, hi int, acc bool) {
+	panic("tensor: AVX-512 kernel unavailable")
+}
+
+func gemmATRangeAVX51232(out, a, b []float32, m, k, n, plo, phi int, acc bool) {
+	panic("tensor: AVX-512 kernel unavailable")
+}
+
+func gemmABTRangeAVX51232(out, a, b []float32, k, n, ilo, ihi int, acc bool) {
+	panic("tensor: AVX-512 kernel unavailable")
+}
+
+// MaxPool2x2F32 reports the AVX-512 max-pool kernel unavailable on non-amd64
+// builds; callers take the portable scalar loop.
+func MaxPool2x2F32(x, out []float32, am []int, outH, outW, w, base int) bool { return false }
+
+// MaxPool2x2F64 reports the AVX-512 max-pool kernel unavailable on non-amd64
+// builds; callers take the portable scalar loop.
+func MaxPool2x2F64(x, out []float64, am []int, outH, outW, w, base int) bool { return false }

@@ -27,9 +27,25 @@ const (
 // platform.
 const fmaNR = 8
 
+// avx512NR is the packed-panel width of the AVX-512 float32 micro-kernels:
+// 16 lanes, one 512-bit ZMM vector per panel row (see gemm_avx512_amd64.go).
+// The f64 AVX-512 kernel keeps the 8-wide panel (8 float64 = one ZMM), so
+// only the float32 scratch sizes for this width.
+const avx512NR = 16
+
+// avx51232For reports whether the float32 AVX-512 kernels should carry a
+// product whose packed-panel dimension is n. Below one full 16-lane panel
+// the wider tile buys nothing and its packing/tail overhead costs ~30% on
+// the small dense products of a training step, so narrow products stay on
+// the 8-wide AVX2 tier. Purely a speed choice: every tier produces
+// bit-identical results (the differential harness enforces it), so the
+// crossover can move without touching any golden. The f64 kernels keep the
+// FMA tier's 8-wide panel and have no such penalty.
+func avx51232For(n int) bool { return useAVX51232 && n >= avx512NR }
+
 // panelScratch64/panelScratch32 recycle the packed-B panels across GEMM
 // calls so the blocked kernels allocate nothing in steady state. Panels are
-// sized for the widest kernel of their dtype.
+// sized for the widest kernel of their dtype; narrower kernels reslice.
 var panelScratch64 = sync.Pool{
 	New: func() any {
 		s := make([]float64, gemmKC*fmaNR)
@@ -39,7 +55,7 @@ var panelScratch64 = sync.Pool{
 
 var panelScratch32 = sync.Pool{
 	New: func() any {
-		s := make([]float32, gemmKC*fmaNR)
+		s := make([]float32, gemmKC*avx512NR)
 		return &s
 	},
 }
@@ -166,16 +182,20 @@ func gemmNN(out, a, b *Tensor, acc bool) {
 		return
 	}
 	shards := gemmShards(m, m*k*n)
-	if out.DT == F32 {
+	if out.DT.Backing() == F32 {
 		kernel := gemmNNRange[float32]
-		if useFMA32 {
+		if avx51232For(n) {
+			kernel = gemmNNRangeAVX51232
+		} else if useFMA32 {
 			kernel = gemmNNRangeFMA32
 		}
 		runSharded(kernel, Of[float32](out), Of[float32](a), Of[float32](b), k, n, m, shards, acc)
 		return
 	}
 	kernel := gemmNNRange[float64]
-	if useFMA {
+	if useAVX512 {
+		kernel = gemmNNRangeAVX512
+	} else if useFMA {
 		kernel = gemmNNRangeFMA
 	}
 	runSharded(kernel, out.Data, Of[float64](a), Of[float64](b), k, n, m, shards, acc)
@@ -335,19 +355,23 @@ func gemmAT(out, a, b *Tensor, acc bool) {
 		return
 	}
 	shards := gemmShards(k, m*k*n)
-	if out.DT == F32 {
-		if useFMA32 {
-			runShardedAT(gemmATRangeFMA32, Of[float32](out), Of[float32](a), Of[float32](b), m, k, n, shards, acc)
-			return
+	if out.DT.Backing() == F32 {
+		kernel := gemmATRange[float32]
+		if avx51232For(n) {
+			kernel = gemmATRangeAVX51232
+		} else if useFMA32 {
+			kernel = gemmATRangeFMA32
 		}
-		runShardedAT(gemmATRange[float32], Of[float32](out), Of[float32](a), Of[float32](b), m, k, n, shards, acc)
+		runShardedAT(kernel, Of[float32](out), Of[float32](a), Of[float32](b), m, k, n, shards, acc)
 		return
 	}
-	if useFMA {
-		runShardedAT(gemmATRangeFMA, out.Data, Of[float64](a), Of[float64](b), m, k, n, shards, acc)
-		return
+	kernel := gemmATRange[float64]
+	if useAVX512 {
+		kernel = gemmATRangeAVX512
+	} else if useFMA {
+		kernel = gemmATRangeFMA
 	}
-	runShardedAT(gemmATRange[float64], out.Data, Of[float64](a), Of[float64](b), m, k, n, shards, acc)
+	runShardedAT(kernel, out.Data, Of[float64](a), Of[float64](b), m, k, n, shards, acc)
 }
 
 // runShardedAT executes an Aᵀ·B range kernel (whose reduction length m rides
@@ -449,16 +473,20 @@ func gemmABT(out, a, b *Tensor, acc bool) {
 		return
 	}
 	shards := gemmShards(m, m*k*n)
-	if out.DT == F32 {
+	if out.DT.Backing() == F32 {
 		kernel := gemmABTRange[float32]
-		if useFMA32 {
+		if avx51232For(n) {
+			kernel = gemmABTRangeAVX51232
+		} else if useFMA32 {
 			kernel = gemmABTRangeFMA32
 		}
 		runSharded(kernel, Of[float32](out), Of[float32](a), Of[float32](b), k, n, m, shards, acc)
 		return
 	}
 	kernel := gemmABTRange[float64]
-	if useFMA {
+	if useAVX512 {
+		kernel = gemmABTRangeAVX512
+	} else if useFMA {
 		kernel = gemmABTRangeFMA
 	}
 	runSharded(kernel, out.Data, Of[float64](a), Of[float64](b), k, n, m, shards, acc)

@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarPool2x2 is the reference candidate chain: row0-even, row0-odd,
+// row1-even, row1-odd with strict greater-than, exactly as the nn pooling
+// loop walks a 2x2 stride-2 window.
+func scalarPool2x2[F Float](x, out []F, am []int, outH, outW, w, base int) {
+	for oh := 0; oh < outH; oh++ {
+		r0 := oh * 2 * w
+		for ow := 0; ow < outW; ow++ {
+			p := 2 * ow
+			rel, best := p, x[r0+p]
+			if v := x[r0+p+1]; v > best {
+				rel, best = p+1, v
+			}
+			if v := x[r0+w+p]; v > best {
+				rel, best = w+p, v
+			}
+			if v := x[r0+w+p+1]; v > best {
+				rel, best = w+p+1, v
+			}
+			out[oh*outW+ow] = best
+			am[oh*outW+ow] = base + r0 + rel
+		}
+	}
+}
+
+// maxPoolKernelMatchesScalar checks one pooling kernel against the scalar
+// candidate chain bit-for-bit — values and argmax tie-breaking alike —
+// across widths that exercise full chunks, masked tails, and planes whose
+// last input column is clipped.
+func maxPoolKernelMatchesScalar[F Float](t *testing.T, kernel func(x, out []F, am []int, outH, outW, w, base int) bool, bits func(F) uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for _, outW := range []int{1, 2, 6, 7, 8, 14, 15, 16, 17, 31, 32, 33} {
+		for _, outH := range []int{1, 2, 5} {
+			for _, extra := range []int{0, 1} { // odd widths leave a clipped column
+				w := 2*outW + extra
+				h := 2 * outH
+				base := 3 * h * w // as if the plane sat mid-tensor
+				x := make([]F, h*w)
+				for i := range x {
+					switch rng.Intn(5) {
+					case 0:
+						x[i] = 0 // ties exercise the strict-greater chain
+					case 1:
+						x[i] = F(math.Copysign(0, -1))
+					default:
+						x[i] = F(rng.NormFloat64())
+					}
+				}
+				gotV := make([]F, outH*outW)
+				gotA := make([]int, outH*outW)
+				wantV := make([]F, outH*outW)
+				wantA := make([]int, outH*outW)
+				scalarPool2x2(x, wantV, wantA, outH, outW, w, base)
+				if !kernel(x, gotV, gotA, outH, outW, w, base) {
+					t.Fatalf("kernel refused outW=%d", outW)
+				}
+				for i := range gotV {
+					if bits(gotV[i]) != bits(wantV[i]) || gotA[i] != wantA[i] {
+						t.Fatalf("outW=%d outH=%d w=%d pixel %d: got (%v, %d) want (%v, %d)",
+							outW, outH, w, i, gotV[i], gotA[i], wantV[i], wantA[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPool2x2F32MatchesScalar(t *testing.T) {
+	if !MaxPool2x2F32(make([]float32, 4), make([]float32, 1), make([]int, 1), 1, 1, 2, 0) {
+		t.Skip("AVX-512 f32 tier unavailable on this host")
+	}
+	maxPoolKernelMatchesScalar(t, MaxPool2x2F32, func(v float32) uint64 { return uint64(math.Float32bits(v)) })
+}
+
+func TestMaxPool2x2F64MatchesScalar(t *testing.T) {
+	if !MaxPool2x2F64(make([]float64, 4), make([]float64, 1), make([]int, 1), 1, 1, 2, 0) {
+		t.Skip("AVX-512 f64 tier unavailable on this host")
+	}
+	maxPoolKernelMatchesScalar(t, MaxPool2x2F64, math.Float64bits)
+}

@@ -70,13 +70,13 @@ func (p *Pool) getRaw(dt DType, shape ...int) *Tensor {
 	}
 	bk.mu.Unlock()
 	if t == nil {
-		if dt == F32 {
-			t = &Tensor{F32: make([]float32, 1<<b), DT: F32}
+		if dt.Backing() == F32 {
+			t = &Tensor{F32: make([]float32, 1<<b), DT: dt}
 		} else {
 			t = &Tensor{Data: make([]float64, 1<<b)}
 		}
 	}
-	if dt == F32 {
+	if dt.Backing() == F32 {
 		t.F32 = t.F32[:n]
 	} else {
 		t.Data = t.Data[:n]
@@ -93,7 +93,7 @@ func (p *Pool) Put(t *Tensor) {
 		return
 	}
 	var c int
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		c = cap(t.F32)
 	} else {
 		c = cap(t.Data)
@@ -105,7 +105,7 @@ func (p *Pool) Put(t *Tensor) {
 	if b >= poolBuckets {
 		return
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		t.F32 = t.F32[:0]
 	} else {
 		t.Data = t.Data[:0]
@@ -153,7 +153,7 @@ func EnsureOf(dt DType, t *Tensor, shape ...int) *Tensor {
 	if t == nil || t.DT != dt {
 		return NewOf(dt, shape...)
 	}
-	if dt == F32 {
+	if dt.Backing() == F32 {
 		if cap(t.F32) < n {
 			return NewOf(dt, shape...)
 		}

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -69,6 +70,148 @@ func TestRowKernelsMatchScalar(t *testing.T) {
 				if g32[r*dStr+i] != src32[r*sStr+i] {
 					t.Fatalf("CopyRows32 n=%d differs at row %d col %d", n, r, i)
 				}
+			}
+		}
+	}
+}
+
+// BNNormalize/BNGrad must match the scalar reference loops bit for bit at
+// both dtypes and every span length (full vectors, tails, sub-lane spans):
+// the float64 instantiation is the golden path and its bits are frozen.
+func TestBNKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	check := func(n int) {
+		x64 := make([]float64, n)
+		gy64 := make([]float64, n)
+		for i := range x64 {
+			x64[i] = rng.NormFloat64()
+			gy64[i] = rng.NormFloat64()
+		}
+		mean, inv, g, b := rng.NormFloat64(), rng.Float64()+0.5, rng.NormFloat64(), rng.NormFloat64()
+		scale, m, sDy, sDyXh := rng.Float64(), float64(n), rng.NormFloat64(), rng.NormFloat64()
+
+		runDT := func(xs, gys, xhWant, outWant, dstWant, xhGot, outGot, dstGot any) {
+			switch x := xs.(type) {
+			case []float64:
+				xh, out, dst := xhWant.([]float64), outWant.([]float64), dstWant.([]float64)
+				for i, v := range x {
+					nv := (v - mean) * inv
+					xh[i] = nv
+					out[i] = g*nv + b
+					dst[i] = scale * (m*gys.([]float64)[i] - sDy - nv*sDyXh)
+				}
+				BNNormalize(x, xhGot.([]float64), outGot.([]float64), mean, inv, g, b)
+				BNGrad(gys.([]float64), xhGot.([]float64), dstGot.([]float64), scale, m, sDy, sDyXh)
+			case []float32:
+				xh, out, dst := xhWant.([]float32), outWant.([]float32), dstWant.([]float32)
+				m32, mean32, inv32, g32, b32 := float32(m), float32(mean), float32(inv), float32(g), float32(b)
+				scale32, sDy32, sDyXh32 := float32(scale), float32(sDy), float32(sDyXh)
+				for i, v := range x {
+					nv := (v - mean32) * inv32
+					xh[i] = nv
+					out[i] = g32*nv + b32
+					dst[i] = scale32 * (m32*gys.([]float32)[i] - sDy32 - nv*sDyXh32)
+				}
+				BNNormalize(x, xhGot.([]float32), outGot.([]float32), mean32, inv32, g32, b32)
+				BNGrad(gys.([]float32), xhGot.([]float32), dstGot.([]float32), scale32, m32, sDy32, sDyXh32)
+			}
+		}
+
+		xhW, outW, dstW := make([]float64, n), make([]float64, n), make([]float64, n)
+		xhG, outG, dstG := make([]float64, n), make([]float64, n), make([]float64, n)
+		runDT(x64, gy64, xhW, outW, dstW, xhG, outG, dstG)
+		for i := 0; i < n; i++ {
+			if xhW[i] != xhG[i] || outW[i] != outG[i] || dstW[i] != dstG[i] {
+				t.Fatalf("f64 BN kernel n=%d differs at %d", n, i)
+			}
+		}
+
+		x32, gy32 := make([]float32, n), make([]float32, n)
+		for i := range x32 {
+			x32[i] = float32(x64[i])
+			gy32[i] = float32(gy64[i])
+		}
+		xhW32, outW32, dstW32 := make([]float32, n), make([]float32, n), make([]float32, n)
+		xhG32, outG32, dstG32 := make([]float32, n), make([]float32, n), make([]float32, n)
+		runDT(x32, gy32, xhW32, outW32, dstW32, xhG32, outG32, dstG32)
+		for i := 0; i < n; i++ {
+			if xhW32[i] != xhG32[i] || outW32[i] != outG32[i] || dstW32[i] != dstG32[i] {
+				t.Fatalf("f32 BN kernel n=%d differs at %d", n, i)
+			}
+		}
+	}
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 32, 144, 1153} {
+		check(n)
+	}
+}
+
+// TestAdamStep64MatchesScalar locks the vectorized f64 Adam kernel to the
+// scalar update bit-for-bit: the kernel mirrors the scalar rounding sequence
+// (separate multiplies, correctly rounded sqrt and divides), so the f64
+// golden path stays frozen. The f32 tier is allowed an ulp of sqrt drift and
+// is checked to a tolerance instead.
+func TestAdamStep64MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 32, 144, 1153} {
+		w := make([]float64, n)
+		g := make([]float64, n)
+		m := make([]float64, n)
+		v := make([]float64, n)
+		wantW := make([]float64, n)
+		wantM := make([]float64, n)
+		wantV := make([]float64, n)
+		for i := 0; i < n; i++ {
+			w[i] = rng.NormFloat64()
+			g[i] = rng.NormFloat64()
+			m[i] = rng.NormFloat64()
+			v[i] = rng.Float64() // second moment stays non-negative
+			wantW[i], wantM[i], wantV[i] = w[i], m[i], v[i]
+		}
+		lr, b1, b2, eps := 1e-3, 0.9, 0.999, 1e-8
+		c1, c2 := 1-math.Pow(b1, 3), 1-math.Pow(b2, 3)
+		for j := 0; j < n; j++ {
+			wantM[j] = b1*wantM[j] + (1-b1)*g[j]
+			wantV[j] = b2*wantV[j] + (1-b2)*g[j]*g[j]
+			mh := wantM[j] / c1
+			vh := wantV[j] / c2
+			wantW[j] -= lr * mh / (math.Sqrt(vh) + eps)
+		}
+		AdamStep(w, g, m, v, lr, b1, b2, eps, c1, c2)
+		for j := 0; j < n; j++ {
+			if w[j] != wantW[j] || m[j] != wantM[j] || v[j] != wantV[j] {
+				t.Fatalf("n=%d elem %d: got (w=%v m=%v v=%v) want (w=%v m=%v v=%v)",
+					n, j, w[j], m[j], v[j], wantW[j], wantM[j], wantV[j])
+			}
+		}
+	}
+}
+
+// TestAddScalarIntoMatchesScalar locks both dtypes of the broadcast-add
+// kernel to the scalar loop bit-for-bit (element-independent adds).
+func TestAddScalarIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 144, 1153} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		c := rng.NormFloat64()
+		dst := make([]float64, n)
+		AddScalarInto(dst, src, c)
+		for i := range src {
+			if dst[i] != src[i]+c {
+				t.Fatalf("f64 n=%d elem %d: got %v want %v", n, i, dst[i], src[i]+c)
+			}
+		}
+		src32 := make([]float32, n)
+		for i := range src32 {
+			src32[i] = float32(src[i])
+		}
+		dst32 := make([]float32, n)
+		AddScalarInto(dst32, src32, float32(c))
+		for i := range src32 {
+			if dst32[i] != src32[i]+float32(c) {
+				t.Fatalf("f32 n=%d elem %d: got %v want %v", n, i, dst32[i], src32[i]+float32(c))
 			}
 		}
 	}

@@ -53,13 +53,14 @@ func New(shape ...int) *Tensor {
 	return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
 }
 
-// NewOf returns a zero-filled tensor of the given dtype and shape.
+// NewOf returns a zero-filled tensor of the given dtype and shape. BF16
+// tensors get float32 backing (see DType.Backing) and keep the BF16 tag.
 func NewOf(dt DType, shape ...int) *Tensor {
 	if dt == F64 {
 		return New(shape...)
 	}
 	n := sizeOf(shape)
-	return &Tensor{F32: make([]float32, n), Shape: append([]int(nil), shape...), DT: F32}
+	return &Tensor{F32: make([]float32, n), Shape: append([]int(nil), shape...), DT: dt}
 }
 
 // FromSlice wraps float64 data in a tensor of the given shape. The slice is
@@ -90,7 +91,7 @@ func FromSlice32(data []float32, shape ...int) *Tensor {
 
 // Size returns the total number of elements.
 func (t *Tensor) Size() int {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return len(t.F32)
 	}
 	return len(t.Data)
@@ -111,19 +112,23 @@ func (t *Tensor) Cols() int { return t.Shape[1] }
 // at returns flat element i widened to float64, whatever the dtype. It is
 // the slow, conversion-tolerant accessor for comparisons and debugging.
 func (t *Tensor) at(i int) float64 {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return float64(t.F32[i])
 	}
 	return t.Data[i]
 }
 
-// setAt assigns flat element i from a float64, narrowing as needed.
+// setAt assigns flat element i from a float64, narrowing as needed (for
+// BF16 tensors through float32 and then round-to-nearest-even to bfloat16).
 func (t *Tensor) setAt(i int, v float64) {
-	if t.DT == F32 {
+	switch t.DT {
+	case F32:
 		t.F32[i] = float32(v)
-		return
+	case BF16:
+		t.F32[i] = RoundBF16(float32(v))
+	default:
+		t.Data[i] = v
 	}
-	t.Data[i] = v
 }
 
 // At returns the element of a rank-2 tensor at row i, column j, widened to
@@ -152,7 +157,7 @@ func (t *Tensor) RowTo(i int, dst []float64) {
 	if len(dst) != c {
 		panic("tensor: RowTo length mismatch")
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		for j, v := range t.F32[i*c : (i+1)*c] {
 			dst[j] = float64(v)
 		}
@@ -164,7 +169,7 @@ func (t *Tensor) RowTo(i int, dst []float64) {
 // Clone returns a deep copy (same dtype).
 func (t *Tensor) Clone() *Tensor {
 	out := NewOf(t.DT, t.Shape...)
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		copy(out.F32, t.F32)
 	} else {
 		copy(out.Data, t.Data)
@@ -199,7 +204,7 @@ func ViewInto(view, src *Tensor, lo, hi int, shape ...int) {
 		panic("tensor: view shape does not cover the storage range")
 	}
 	view.DT = src.DT
-	if src.DT == F32 {
+	if src.DT.Backing() == F32 {
 		view.F32 = src.F32[lo:hi]
 		view.Data = nil
 	} else {
@@ -218,11 +223,22 @@ func ConvertInto(dst, src *Tensor) {
 		panic("tensor: ConvertInto size mismatch")
 	}
 	switch {
-	case dst.DT == src.DT && dst.DT == F32:
+	case dst.DT == src.DT && dst.DT.Backing() == F32:
 		copy(dst.F32, src.F32)
 	case dst.DT == src.DT:
 		copy(dst.Data, src.Data)
-	case dst.DT == F32:
+	case dst.DT == BF16 && src.DT.Backing() == F32:
+		for i, v := range src.F32 {
+			dst.F32[i] = RoundBF16(v)
+		}
+	case dst.DT.Backing() == F32 && src.DT.Backing() == F32:
+		// F32 ← BF16: the values are already float32; the tag widens freely.
+		copy(dst.F32, src.F32)
+	case dst.DT == BF16:
+		for i, v := range src.Data {
+			dst.F32[i] = RoundBF16(float32(v))
+		}
+	case dst.DT.Backing() == F32:
 		for i, v := range src.Data {
 			dst.F32[i] = float32(v)
 		}
@@ -249,7 +265,7 @@ func (t *Tensor) AsType(dt DType) *Tensor {
 // always-f64 bookkeeping layer (float32 values widen exactly, so the round
 // trip through bookkeeping is lossless).
 func (t *Tensor) AppendFloat64s(dst []float64) []float64 {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		for _, v := range t.F32 {
 			dst = append(dst, float64(v))
 		}
@@ -264,27 +280,38 @@ func (t *Tensor) SetFromFloat64s(src []float64) {
 	if len(src) != t.Size() {
 		panic("tensor: SetFromFloat64s size mismatch")
 	}
-	if t.DT == F32 {
+	switch t.DT {
+	case F32:
 		for i, v := range src {
 			t.F32[i] = float32(v)
 		}
-		return
+	case BF16:
+		for i, v := range src {
+			t.F32[i] = RoundBF16(float32(v))
+		}
+	default:
+		copy(t.Data, src)
 	}
-	copy(t.Data, src)
 }
 
 // WriteFloat64sAt overwrites elements [off, off+len(src)) from a float64
 // slice, narrowing as needed — the batch-packing primitive that moves
 // dataset examples (always float64) into model-dtype input tensors.
 func (t *Tensor) WriteFloat64sAt(off int, src []float64) {
-	if t.DT == F32 {
+	switch t.DT {
+	case F32:
 		dst := t.F32[off : off+len(src)]
 		for i, v := range src {
 			dst[i] = float32(v)
 		}
-		return
+	case BF16:
+		dst := t.F32[off : off+len(src)]
+		for i, v := range src {
+			dst[i] = RoundBF16(float32(v))
+		}
+	default:
+		copy(t.Data[off:off+len(src)], src)
 	}
-	copy(t.Data[off:off+len(src)], src)
 }
 
 // CopySegment copies n elements from src[sOff:] into dst[dOff:]. Both
@@ -294,7 +321,7 @@ func CopySegment(dst *Tensor, dOff int, src *Tensor, sOff, n int) {
 	if dst.DT != src.DT {
 		panic("tensor: CopySegment dtype mismatch")
 	}
-	if dst.DT == F32 {
+	if dst.DT.Backing() == F32 {
 		copy(dst.F32[dOff:dOff+n], src.F32[sOff:sOff+n])
 		return
 	}
@@ -303,7 +330,7 @@ func CopySegment(dst *Tensor, dOff int, src *Tensor, sOff, n int) {
 
 // Zero overwrites every element with 0.
 func (t *Tensor) Zero() {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		zeroK(t.F32)
 		return
 	}
@@ -316,10 +343,14 @@ func zeroK[F Float](d []F) {
 	}
 }
 
-// Fill overwrites every element with v.
+// Fill overwrites every element with v (narrowed to the dtype).
 func (t *Tensor) Fill(v float64) {
-	if t.DT == F32 {
-		fillK(t.F32, float32(v))
+	if t.DT.Backing() == F32 {
+		f := float32(v)
+		if t.DT == BF16 {
+			f = RoundBF16(f)
+		}
+		fillK(t.F32, f)
 		return
 	}
 	fillK(t.Data, v)
@@ -335,10 +366,11 @@ func fillK[F Float](d []F, v F) {
 // narrowed to the tensor's dtype, so the same stream initializes both widths
 // to the same (rounded) values.
 func (t *Tensor) FillRandn(rng *rand.Rand, std float64) {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		for i := range t.F32 {
 			t.F32[i] = float32(rng.NormFloat64() * std)
 		}
+		RoundBF16InPlace(t)
 		return
 	}
 	for i := range t.Data {
@@ -348,10 +380,11 @@ func (t *Tensor) FillRandn(rng *rand.Rand, std float64) {
 
 // FillUniform fills with U(lo, hi) samples from rng.
 func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		for i := range t.F32 {
 			t.F32[i] = float32(lo + rng.Float64()*(hi-lo))
 		}
+		RoundBF16InPlace(t)
 		return
 	}
 	for i := range t.Data {
@@ -364,7 +397,7 @@ func (t *Tensor) AddInPlace(o *Tensor) {
 	if t.Size() != o.Size() {
 		panic("tensor: AddInPlace size mismatch")
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		addInPlaceK(t.F32, Of[float32](o))
 		return
 	}
@@ -380,7 +413,7 @@ func (t *Tensor) SubInPlace(o *Tensor) {
 	if t.Size() != o.Size() {
 		panic("tensor: SubInPlace size mismatch")
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		subInPlaceK(t.F32, Of[float32](o))
 		return
 	}
@@ -395,7 +428,7 @@ func subInPlaceK[F Float](d, o []F) {
 
 // ScaleInPlace computes t *= a elementwise.
 func (t *Tensor) ScaleInPlace(a float64) {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		scaleInPlaceK(t.F32, float32(a))
 		return
 	}
@@ -413,7 +446,7 @@ func (t *Tensor) AxpyInPlace(a float64, o *Tensor) {
 	if t.Size() != o.Size() {
 		panic("tensor: AxpyInPlace size mismatch")
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		axpyK(t.F32, float32(a), Of[float32](o))
 		return
 	}
@@ -431,7 +464,7 @@ func (t *Tensor) MulInPlace(o *Tensor) {
 	if t.Size() != o.Size() {
 		panic("tensor: MulInPlace size mismatch")
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		mulInPlaceK(t.F32, Of[float32](o))
 		return
 	}
@@ -450,7 +483,7 @@ func (t *Tensor) CopyFrom(o *Tensor) {
 	if t.Size() != o.Size() {
 		panic("tensor: CopyFrom size mismatch")
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		copy(t.F32, Of[float32](o))
 		return
 	}
@@ -462,7 +495,7 @@ func AddInto(dst, a, b *Tensor) {
 	if dst.Size() != a.Size() || a.Size() != b.Size() {
 		panic("tensor: AddInto size mismatch")
 	}
-	if dst.DT == F32 {
+	if dst.DT.Backing() == F32 {
 		addIntoK(dst.F32, Of[float32](a), Of[float32](b))
 		return
 	}
@@ -480,7 +513,7 @@ func SubInto(dst, a, b *Tensor) {
 	if dst.Size() != a.Size() || a.Size() != b.Size() {
 		panic("tensor: SubInto size mismatch")
 	}
-	if dst.DT == F32 {
+	if dst.DT.Backing() == F32 {
 		subIntoK(dst.F32, Of[float32](a), Of[float32](b))
 		return
 	}
@@ -498,7 +531,7 @@ func MulInto(dst, a, b *Tensor) {
 	if dst.Size() != a.Size() || a.Size() != b.Size() {
 		panic("tensor: MulInto size mismatch")
 	}
-	if dst.DT == F32 {
+	if dst.DT.Backing() == F32 {
 		mulIntoK(dst.F32, Of[float32](a), Of[float32](b))
 		return
 	}
@@ -516,7 +549,7 @@ func ScaleInto(dst, a *Tensor, s float64) {
 	if dst.Size() != a.Size() {
 		panic("tensor: ScaleInto size mismatch")
 	}
-	if dst.DT == F32 {
+	if dst.DT.Backing() == F32 {
 		scaleIntoK(dst.F32, Of[float32](a), float32(s))
 		return
 	}
@@ -537,7 +570,7 @@ func ColSumsAcc(dst *Tensor, t *Tensor) {
 	if dst.Size() != c {
 		panic("tensor: ColSumsAcc size mismatch")
 	}
-	if dst.DT == F32 {
+	if dst.DT.Backing() == F32 {
 		colSumsAccK(dst.F32, Of[float32](t), t.Shape[0], c)
 		return
 	}
@@ -580,7 +613,7 @@ func Dot(a, b *Tensor) float64 {
 	if a.Size() != b.Size() {
 		panic("tensor: Dot size mismatch")
 	}
-	if a.DT == F32 {
+	if a.DT.Backing() == F32 {
 		return float64(dotK(a.F32, Of[float32](b)))
 	}
 	return dotK(a.Data, Of[float64](b))
@@ -596,7 +629,7 @@ func dotK[F Float](a, b []F) F {
 
 // SumSquares returns Σ t_i², accumulated in the tensor's dtype.
 func (t *Tensor) SumSquares() float64 {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return float64(sumSquaresK(t.F32))
 	}
 	return sumSquaresK(t.Data)
@@ -612,7 +645,7 @@ func sumSquaresK[F Float](d []F) F {
 
 // Sum returns Σ t_i, accumulated in the tensor's dtype.
 func (t *Tensor) Sum() float64 {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return float64(sumK(t.F32))
 	}
 	return sumK(t.Data)
@@ -628,7 +661,7 @@ func sumK[F Float](d []F) F {
 
 // MaxAbs returns max |t_i|, or 0 for an empty tensor.
 func (t *Tensor) MaxAbs() float64 {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return float64(maxAbsK(t.F32))
 	}
 	return maxAbsK(t.Data)
@@ -651,7 +684,7 @@ func maxAbsK[F Float](d []F) F {
 // ArgMaxRow returns the index of the maximum element of row i of a rank-2
 // tensor; ties resolve to the lowest index.
 func (t *Tensor) ArgMaxRow(i int) int {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return argMaxRowK(RowOf[float32](t, i))
 	}
 	return argMaxRowK(RowOf[float64](t, i))
@@ -673,7 +706,7 @@ func Transpose(t *Tensor) *Tensor {
 		panic("tensor: Transpose requires rank 2")
 	}
 	out := NewOf(t.DT, t.Shape[1], t.Shape[0])
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		transposeK(Of[float32](out), Of[float32](t), t.Shape[0], t.Shape[1])
 	} else {
 		transposeK(out.Data, t.Data, t.Shape[0], t.Shape[1])
@@ -725,7 +758,7 @@ func (t *Tensor) SliceRows(lo, hi int) *Tensor {
 // and report norm eps to keep downstream divisions finite). Norms are
 // returned as float64 bookkeeping regardless of dtype.
 func (t *Tensor) NormalizeRowsInPlace(eps float64) []float64 {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return normalizeRowsK(Of[float32](t), t.Shape[0], t.Shape[1], eps)
 	}
 	return normalizeRowsK(t.Data, t.Shape[0], t.Shape[1], eps)
@@ -780,7 +813,7 @@ func LogSumExpOf[F Float](row []F) F {
 
 // SoftmaxRowsInPlace replaces each row of a rank-2 tensor with its softmax.
 func (t *Tensor) SoftmaxRowsInPlace() {
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		softmaxRowsK(Of[float32](t), t.Shape[0], t.Shape[1])
 		return
 	}
@@ -823,7 +856,7 @@ func (t *Tensor) String() string {
 	if t.Size() > 64 {
 		return fmt.Sprintf("Tensor%v(%d %s elems)", t.Shape, t.Size(), t.DT)
 	}
-	if t.DT == F32 {
+	if t.DT.Backing() == F32 {
 		return fmt.Sprintf("Tensor%v%v", t.Shape, t.F32)
 	}
 	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)

@@ -256,15 +256,21 @@ func AccumulateRows[F Float](dst, src []F, rows, n, dstStride, srcStride int) {
 }
 
 // BNNormalize computes xh[i] = (x[i]-mean)·inv and out[i] = g·xh[i] + b:
-// the batch-norm normalization writes. The float32 fast path runs the AVX
-// kernel (same rounding sequence, bit-identical to the scalar loop); the
-// float64 instantiation is the reference scalar loop.
+// the batch-norm normalization writes. Both dtypes run AVX kernels with the
+// same sub/mul/mul/add rounding sequence as the scalar loop, so results are
+// bit-identical to it — the elementwise form has no accumulation order, which
+// keeps the float64 golden path frozen.
 func BNNormalize[F Float](x, xh, out []F, mean, inv, g, b F) {
 	var z F
 	n := 0
-	if unsafe.Sizeof(z) == 4 && useVec && len(x) >= 8 {
-		n = len(x) &^ 7
-		bnNorm32(p32(x), p32(xh), p32(out), n, float32(mean), float32(inv), float32(g), float32(b))
+	if useVec && len(x) >= 8 {
+		if unsafe.Sizeof(z) == 4 {
+			n = len(x) &^ 7
+			bnNorm32(p32(x), p32(xh), p32(out), n, float32(mean), float32(inv), float32(g), float32(b))
+		} else {
+			n = len(x) &^ 3
+			bnNorm64(p64(x), p64(xh), p64(out), n, float64(mean), float64(inv), float64(g), float64(b))
+		}
 	}
 	for i := n; i < len(x); i++ {
 		nv := (x[i] - mean) * inv
@@ -279,9 +285,14 @@ func BNNormalize[F Float](x, xh, out []F, mean, inv, g, b F) {
 func BNGrad[F Float](gy, xh, dst []F, scale, m, sumDy, sumDyXhat F) {
 	var z F
 	n := 0
-	if unsafe.Sizeof(z) == 4 && useVec && len(gy) >= 8 {
-		n = len(gy) &^ 7
-		bnGrad32(p32(gy), p32(xh), p32(dst), n, float32(scale), float32(m), float32(sumDy), float32(sumDyXhat))
+	if useVec && len(gy) >= 8 {
+		if unsafe.Sizeof(z) == 4 {
+			n = len(gy) &^ 7
+			bnGrad32(p32(gy), p32(xh), p32(dst), n, float32(scale), float32(m), float32(sumDy), float32(sumDyXhat))
+		} else {
+			n = len(gy) &^ 3
+			bnGrad64(p64(gy), p64(xh), p64(dst), n, float64(scale), float64(m), float64(sumDy), float64(sumDyXhat))
+		}
 	}
 	for i := n; i < len(gy); i++ {
 		dst[i] = scale * (m*gy[i] - sumDy - xh[i]*sumDyXhat)
@@ -295,11 +306,21 @@ func BNGrad[F Float](gy, xh, dst []F, scale, m, sumDy, sumDyXhat F) {
 func AdamStep[F Float](w, g, m, v []F, lr, beta1, beta2, eps, c1, c2 F) {
 	var z F
 	n := 0
-	if unsafe.Sizeof(z) == 4 && useVec && len(w) >= 8 {
-		n = len(w) &^ 7
-		adamStep32(p32(w), p32(g), p32(m), p32(v), n,
-			float32(lr), float32(beta1), float32(1-beta1), float32(beta2), float32(1-beta2),
-			float32(eps), float32(c1), float32(c2))
+	if useVec && len(w) >= 8 {
+		if unsafe.Sizeof(z) == 4 {
+			n = len(w) &^ 7
+			adamStep32(p32(w), p32(g), p32(m), p32(v), n,
+				float32(lr), float32(beta1), float32(1-beta1), float32(beta2), float32(1-beta2),
+				float32(eps), float32(c1), float32(c2))
+		} else {
+			// The f64 kernel mirrors the scalar rounding sequence exactly
+			// (separate multiplies, correctly rounded VSQRTPD), so the
+			// golden f64 path stays bit-frozen.
+			n = len(w) &^ 3
+			adamStep64(p64(w), p64(g), p64(m), p64(v), n,
+				float64(lr), float64(beta1), float64(1-beta1), float64(beta2), float64(1-beta2),
+				float64(eps), float64(c1), float64(c2))
+		}
 	}
 	for j := n; j < len(w); j++ {
 		m[j] = beta1*m[j] + (1-beta1)*g[j]
@@ -316,9 +337,14 @@ func AdamStep[F Float](w, g, m, v []F, lr, beta1, beta2, eps, c1, c2 F) {
 func AddScalarInto[F Float](dst, src []F, c F) {
 	var z F
 	n := 0
-	if unsafe.Sizeof(z) == 4 && useVec && len(src) >= 8 {
-		n = len(src) &^ 7
-		addScalar32(p32(dst), p32(src), n, float32(c))
+	if useVec && len(src) >= 8 {
+		if unsafe.Sizeof(z) == 4 {
+			n = len(src) &^ 7
+			addScalar32(p32(dst), p32(src), n, float32(c))
+		} else {
+			n = len(src) &^ 3
+			addScalar64(p64(dst), p64(src), n, float64(c))
+		}
 	}
 	for i := n; i < len(src); i++ {
 		dst[i] = src[i] + c

@@ -412,6 +412,70 @@ bng32loop:
 	VZEROUPPER
 	RET
 
+// func bnNorm64(x, xh, out *float64, n int, mean, inv, gm, b float64)
+//
+// The float64 twin of bnNorm32: 4 doubles per step, identical sub/mul/mul/add
+// rounding sequence to the scalar reference loop, so the float64 golden path
+// stays bit-frozen. n must be a positive multiple of 4.
+TEXT ·bnNorm64(SB), NOSPLIT, $0-64
+	MOVQ         x+0(FP), SI
+	MOVQ         xh+8(FP), DX
+	MOVQ         out+16(FP), DI
+	MOVQ         n+24(FP), CX
+	SHRQ         $2, CX
+	VBROADCASTSD mean+32(FP), Y4
+	VBROADCASTSD inv+40(FP), Y5
+	VBROADCASTSD gm+48(FP), Y6
+	VBROADCASTSD b+56(FP), Y7
+
+bnn64loop:
+	VMOVUPD (SI), Y0
+	VSUBPD  Y4, Y0, Y0
+	VMULPD  Y5, Y0, Y0
+	VMOVUPD Y0, (DX)
+	VMULPD  Y6, Y0, Y1
+	VADDPD  Y7, Y1, Y1
+	VMOVUPD Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     bnn64loop
+	VZEROUPPER
+	RET
+
+// func bnGrad64(gy, xh, dst *float64, n int, scale, m, sumDy, sumDyXhat float64)
+//
+// The float64 twin of bnGrad32, same rounding sequence as the scalar
+// reference loop. n must be a positive multiple of 4.
+TEXT ·bnGrad64(SB), NOSPLIT, $0-64
+	MOVQ         gy+0(FP), SI
+	MOVQ         xh+8(FP), DX
+	MOVQ         dst+16(FP), DI
+	MOVQ         n+24(FP), CX
+	SHRQ         $2, CX
+	VBROADCASTSD scale+32(FP), Y4
+	VBROADCASTSD m+40(FP), Y5
+	VBROADCASTSD sumDy+48(FP), Y6
+	VBROADCASTSD sumDyXhat+56(FP), Y7
+
+bng64loop:
+	VMOVUPD (SI), Y0
+	VMULPD  Y5, Y0, Y0
+	VSUBPD  Y6, Y0, Y0
+	VMOVUPD (DX), Y1
+	VMULPD  Y7, Y1, Y1
+	VSUBPD  Y1, Y0, Y0
+	VMULPD  Y4, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     bng64loop
+	VZEROUPPER
+	RET
+
 // func adamStep32(w, gp, m, v *float32, n int, lr, b1, omb1, b2, omb2, eps, c1, c2 float32)
 //
 // One bias-corrected Adam update over n elements (n multiple of 8):
@@ -687,5 +751,79 @@ cnext64:
 	ADDQ R11, SI
 	DECQ R8
 	JNZ  crow64
+	VZEROUPPER
+	RET
+
+// func adamStep64(w, gp, m, v *float64, n int, lr, b1, omb1, b2, omb2, eps, c1, c2 float64)
+//
+// f64 twin of adamStep32 (n multiple of 4). Unlike the f32 kernel this one
+// avoids FMA and mirrors the scalar expression's rounding sequence exactly
+// — separate multiplies, then add — and VSQRTPD is the same correctly
+// rounded root math.Sqrt takes, so every lane is bit-identical to the
+// scalar loop: the f64 golden path stays frozen.
+TEXT ·adamStep64(SB), NOSPLIT, $0-104
+	MOVQ w+0(FP), DI
+	MOVQ gp+8(FP), SI
+	MOVQ m+16(FP), R8
+	MOVQ v+24(FP), R9
+	MOVQ n+32(FP), CX
+	SHRQ $2, CX
+
+	VBROADCASTSD lr+40(FP), Y15
+	VBROADCASTSD b1+48(FP), Y8
+	VBROADCASTSD omb1+56(FP), Y9
+	VBROADCASTSD b2+64(FP), Y10
+	VBROADCASTSD omb2+72(FP), Y11
+	VBROADCASTSD eps+80(FP), Y12
+	VBROADCASTSD c1+88(FP), Y13
+	VBROADCASTSD c2+96(FP), Y14
+
+adam64loop:
+	VMOVUPD (R8), Y0
+	VMULPD  Y8, Y0, Y0   // b1·m
+	VMOVUPD (SI), Y1
+	VMULPD  Y9, Y1, Y2   // omb1·g
+	VADDPD  Y2, Y0, Y0   // m' = b1·m + omb1·g
+	VMOVUPD Y0, (R8)
+	VMOVUPD (R9), Y2
+	VMULPD  Y10, Y2, Y2  // b2·v
+	VMULPD  Y11, Y1, Y3  // omb2·g
+	VMULPD  Y1, Y3, Y3   // (omb2·g)·g, as the scalar's left association
+	VADDPD  Y3, Y2, Y2   // v' = b2·v + omb2·g·g
+	VMOVUPD Y2, (R9)
+	VDIVPD  Y13, Y0, Y0  // mh = m'/c1
+	VDIVPD  Y14, Y2, Y2  // vh = v'/c2
+	VSQRTPD Y2, Y2
+	VADDPD  Y12, Y2, Y2  // sqrt(vh) + eps
+	VMULPD  Y15, Y0, Y0  // lr·mh
+	VDIVPD  Y2, Y0, Y0   // (lr·mh)/(sqrt(vh)+eps)
+	VMOVUPD (DI), Y3
+	VSUBPD  Y0, Y3, Y3
+	VMOVUPD Y3, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	DECQ    CX
+	JNZ     adam64loop
+	VZEROUPPER
+	RET
+
+// func addScalar64(dst, src *float64, n int, c float64)   // dst = src + c
+TEXT ·addScalar64(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	SHRQ         $2, CX
+	VBROADCASTSD c+24(FP), Y1
+
+adds64loop:
+	VMOVUPD (SI), Y0
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     adds64loop
 	VZEROUPPER
 	RET

@@ -38,11 +38,27 @@ func bnGrad32(gy, xh, dst *float32, n int, scale, m, sumDy, sumDyXhat float32) {
 	panic("tensor: vector kernel unavailable")
 }
 
+func bnNorm64(x, xh, out *float64, n int, mean, inv, gm, b float64) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func bnGrad64(gy, xh, dst *float64, n int, scale, m, sumDy, sumDyXhat float64) {
+	panic("tensor: vector kernel unavailable")
+}
+
 func adamStep32(w, gp, m, v *float32, n int, lr, b1, omb1, b2, omb2, eps, c1, c2 float32) {
 	panic("tensor: vector kernel unavailable")
 }
 
 func addScalar32(dst, src *float32, n int, c float32) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func adamStep64(w, gp, m, v *float64, n int, lr, b1, omb1, b2, omb2, eps, c1, c2 float64) {
+	panic("tensor: vector kernel unavailable")
+}
+
+func addScalar64(dst, src *float64, n int, c float64) {
 	panic("tensor: vector kernel unavailable")
 }
 

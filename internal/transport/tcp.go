@@ -198,7 +198,7 @@ func (c *tcpConn) recvHello() (Hello, error) {
 	if !h.DType.Valid() {
 		return Hello{}, fmt.Errorf("transport: handshake declares unknown dtype %d: %w", uint32(h.DType), ErrHandshake)
 	}
-	if h.Codec > comm.I8 {
+	if !h.Codec.Valid() {
 		return Hello{}, fmt.Errorf("transport: handshake declares unknown codec %d: %w", uint32(h.Codec), ErrHandshake)
 	}
 	return h, nil
