@@ -65,7 +65,7 @@ func runThroughput(b *testing.B, kind fl.SchedulerKind) {
 	var simTime float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hist, err := experiments.RunScheduled(experiments.MethodFedAvg, experiments.Fashion, factory, s, 1.0, sched, comm.F64)
+		hist, err := experiments.RunScheduled(experiments.MethodFedAvg, experiments.Fashion, factory, s, 1.0, sched, comm.Spec{Value: comm.F64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func BenchmarkRoundThroughput10k(b *testing.B) {
 	var simTime float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hist, err := experiments.RunLazyScheduled(experiments.MethodFedAvg, experiments.Fashion, build, k, s, 0.0008, 64, 0, sched, comm.F64)
+		hist, err := experiments.RunLazyScheduled(experiments.MethodFedAvg, experiments.Fashion, build, k, s, 0.0008, 64, 0, sched, comm.Spec{Value: comm.F64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +124,7 @@ func BenchmarkRoundThroughputTree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.RunTreeNodes(context.Background(), experiments.MethodFedAvg, experiments.Fashion,
-			build, s.Clients, 2, s, 1.0, comm.F64, transport.NewInproc(transport.Options{}), "bench-tree")
+			build, s.Clients, 2, s, 1.0, comm.Spec{Value: comm.F64}, transport.NewInproc(transport.Options{}), "bench-tree")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,6 +196,63 @@ func BenchmarkQuantizedMarshalI8(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMarshalTopK measures the sparse encode hot path — top-k
+// selection plus varint-delta index packing into a reused buffer — and
+// reports the frame size so -compare catches both speed and density
+// regressions.
+func BenchmarkMarshalTopK(b *testing.B) {
+	payload := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range payload {
+		payload[i] = rng.NormFloat64()
+	}
+	spec := comm.NewSpec(comm.F32, 0.05, false)
+	buf := make([]byte, 0, comm.MarshalSpecBound(spec, len(payload)))
+	b.ResetTimer()
+	var frame []byte
+	for i := 0; i < b.N; i++ {
+		frame = comm.MarshalSpecInto(buf[:0], spec, 1, payload, nil)
+	}
+	b.ReportMetric(float64(len(frame)), "frame-B/op")
+}
+
+// BenchmarkDecodeDelta measures the delta decode hot path: fold a residual
+// frame into the connection's basis. Encoder and decoder bases advance in
+// lockstep outside the timed region's allocations (scratch is reused), so
+// steady state is zero-alloc.
+func BenchmarkDecodeDelta(b *testing.B) {
+	payload := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range payload {
+		payload[i] = rng.NormFloat64()
+	}
+	spec := comm.NewSpec(comm.I8, 0, true)
+	encRef := &comm.DeltaRef{}
+	decRef := &comm.DeltaRef{}
+	buf := make([]byte, 0, comm.MarshalSpecBound(spec, len(payload)))
+	// Establish the basis on both ends, then pre-encode one residual frame.
+	basis := comm.MarshalSpecInto(buf[:0], spec, 1, payload, encRef)
+	scratch := make([]float64, len(payload))
+	if _, _, err := comm.DecodeSpec(scratch, basis, decRef); err != nil {
+		b.Fatal(err)
+	}
+	for i := range payload {
+		payload[i] += 0.01 * rng.NormFloat64()
+	}
+	frame := append([]byte(nil), comm.MarshalSpecInto(buf[:0], spec, 1, payload, encRef)...)
+	savedTag, savedBase := decRef.Tag, append([]float64(nil), decRef.Base...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := comm.DecodeSpec(scratch, frame, decRef); err != nil {
+			b.Fatal(err)
+		}
+		// Rewind the basis so every iteration decodes the same frame.
+		decRef.Tag = savedTag
+		copy(decRef.Base, savedBase)
+	}
+	b.ReportMetric(float64(len(frame)), "frame-B/op")
 }
 
 // --- Table 2: heterogeneous personalized FL (one bench per method) ---

@@ -80,7 +80,7 @@ var (
 )
 
 func main() {
-	bench := flag.String("bench", "MatMul64|MatMul32|ConvForward|ClientLocalEpoch|ClassifierAveraging|RoundThroughput|QuantizedMarshal", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "MatMul64|MatMul32|ConvForward|ClientLocalEpoch|ClassifierAveraging|RoundThroughput|QuantizedMarshal|MarshalTopK|DecodeDelta", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")

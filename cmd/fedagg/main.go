@@ -48,7 +48,9 @@ func main() {
 		method      = flag.String("method", experiments.MethodProposed, "method (must match the server)")
 		seed        = flag.Int64("seed", 1, "experiment seed (must match the server)")
 		featDim     = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName   = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 (must match the server)")
+		codecName   = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 | topk (must match the server)")
+		topk        = flag.Float64("topk", 0, "top-k upload fraction, in (0, 1) (must match the server)")
+		delta       = flag.Bool("delta", false, "delta-framed weight uploads (must match the server)")
 		dtypeName   = flag.String("dtype", "f64", "model element type: f64 | f32")
 		heartbeat   = flag.Duration("heartbeat", fl.DefaultHeartbeat, "downstream heartbeat interval (this subtree's clients echo it)")
 		deadAfter   = flag.Duration("dead", 0, "declare a silent child connection dead after this long (0 = 5x heartbeat)")
@@ -108,7 +110,7 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
-	codec, err := comm.ParseCodec(*codecName)
+	spec, err := comm.ParseSpec(*codecName, *topk, *delta)
 	if err != nil {
 		usage("%v", err)
 	}
@@ -131,7 +133,7 @@ func main() {
 		usage("%v", err)
 	}
 
-	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	tr := transport.NewTCP(transport.Options{DType: dtype, Spec: spec})
 	ln, err := tr.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedagg: %v\n", err)
@@ -149,7 +151,9 @@ func main() {
 		Index:           *agg,
 		Aggregators:     *aggregators,
 		Clients:         s.Clients,
-		Codec:           codec,
+		Codec:           spec.Value,
+		TopK:            spec.Frac,
+		Delta:           spec.Delta,
 		Seed:            *seed*1000 + 500 + int64(*agg),
 		Heartbeat:       *heartbeat,
 		DeadAfter:       *deadAfter,

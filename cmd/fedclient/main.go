@@ -61,7 +61,9 @@ func main() {
 		method     = flag.String("method", experiments.MethodProposed, "method (must match the server)")
 		seed       = flag.Int64("seed", 1, "experiment seed (must match the server)")
 		featDim    = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 (must match the server)")
+		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 | topk (must match the server)")
+		topk       = flag.Float64("topk", 0, "top-k upload fraction, in (0, 1) (must match the server)")
+		delta      = flag.Bool("delta", false, "delta-framed weight uploads (must match the server)")
 		dtypeName  = flag.String("dtype", "f64", "model element type: f64 | f32 | bf16")
 		dialBudget = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the first dial while the server comes up")
 		reconnect  = flag.Duration("reconnect", 30*time.Second, "how long to keep redialing after a mid-run disconnect")
@@ -119,7 +121,7 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
-	codec, err := comm.ParseCodec(*codecName)
+	spec, err := comm.ParseSpec(*codecName, *topk, *delta)
 	if err != nil {
 		usage("%v", err)
 	}
@@ -142,7 +144,7 @@ func main() {
 	fmt.Printf("# fedclient %d/%d: %s, %d train / %d test examples, dialing %s\n",
 		*id, s.Clients, client.Model.Name, len(client.Train), len(client.Test), *addr)
 
-	var tr transport.Transport = transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	var tr transport.Transport = transport.NewTCP(transport.Options{DType: dtype, Spec: spec})
 	if *chaosSeed != 0 {
 		tr = transport.NewChaos(tr, transport.ChaosConfig{
 			Seed:  *chaosSeed,

@@ -51,7 +51,9 @@ func main() {
 		rate      = flag.Float64("rate", 1.0, "client sampling rate per round, in (0, 1]")
 		seed      = flag.Int64("seed", 1, "experiment seed (must match the clients')")
 		featDim   = flag.Int("featdim", 0, "shared feature dimension (0 = scale default)")
-		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16")
+		codecName = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 | topk (f32 values at 5% density)")
+		topk      = flag.Float64("topk", 0, "sparsify weight uploads to this largest-|v| fraction, in (0, 1) (0 = dense; composes with any -codec)")
+		delta     = flag.Bool("delta", false, "frame weight uploads as deltas against the last committed basis (clients must pass the same flag)")
 		dtypeName = flag.String("dtype", "f64", "model element type: f64 | f32 | bf16 (handshake-validated against clients)")
 		schedName = flag.String("sched", "sync", "scheduler: sync | async | semisync")
 		staleness = flag.Int("staleness", 0, "async: drop updates staler than this many commits (0 = default 8)")
@@ -102,7 +104,7 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
-	codec, err := comm.ParseCodec(*codecName)
+	spec, err := comm.ParseSpec(*codecName, *topk, *delta)
 	if err != nil {
 		usage("%v", err)
 	}
@@ -169,7 +171,7 @@ func main() {
 		}
 	}
 
-	tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
+	tr := transport.NewTCP(transport.Options{DType: dtype, Spec: spec})
 	ln, err := tr.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
@@ -179,7 +181,7 @@ func main() {
 	// scripts, the CI smoke test — can listen on :0 and scrape the port.
 	fmt.Printf("# fedserver listening on %s\n", ln.Addr())
 	fmt.Printf("# fedserver %s on %s (%d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s)\n",
-		*method, name, s.Clients, s.Rounds, *rate, schedKind, codec, dtype)
+		*method, name, s.Clients, s.Rounds, *rate, schedKind, spec, dtype)
 	if *aggCount > 0 {
 		fmt.Printf("# topology: tree (%d aggregators)\n", *aggCount)
 	}
@@ -195,7 +197,7 @@ func main() {
 	// CSV rows stream as rounds commit, so orchestration (and the churn
 	// smoke test) can watch progress without waiting for the run to end.
 	fmt.Println("round,local_epochs,mean_acc,std_acc,up_bytes,down_bytes,sim_time")
-	cfg := experiments.NodeConfigFor(s, *rate, codec, s.Clients)
+	cfg := experiments.NodeConfigFor(s, *rate, spec, s.Clients)
 	cfg.Sched = schedKind
 	cfg.MaxStaleness = *staleness
 	cfg.Decay = *decay

@@ -58,7 +58,9 @@ func main() {
 		mix        = flag.Float64("mix", 0, "commit mixing λ into committed state, in [0, 1] (0 = 1, plain averaging)")
 		quorum     = flag.Int("quorum", 0, "semisync: commit after K applied updates (0 = majority; at most -clients)")
 		workers    = flag.Int("workers", 0, "virtual server nodes (0 = one per client)")
-		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16")
+		codecName  = flag.String("codec", "f64", "wire codec: f64 | f32 | i8 | bf16 | topk (f32 values at 5% density)")
+		topk       = flag.Float64("topk", 0, "sparsify weight uploads to this largest-|v| fraction, in (0, 1) (0 = dense; composes with any -codec)")
+		delta      = flag.Bool("delta", false, "frame weight uploads as deltas against the last committed basis")
 		stragglers = flag.Int("stragglers", 0, "number of straggler clients (at most -clients)")
 		slowdown   = flag.Float64("slowdown", 2, "virtual cost factor of straggler clients (>= 1)")
 		leave      = flag.Float64("leave", 0, "client churn: per-engagement leave probability, in [0, 1)")
@@ -120,9 +122,23 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
-	codec, err := comm.ParseCodec(*codecName)
+	spec, err := comm.ParseSpec(*codecName, *topk, *delta)
 	if err != nil {
 		usage("%v", err)
+	}
+	if spec.Delta {
+		// Delta bases are per-client O(model) state that lives outside the
+		// checkpoint format and outside the lazy fleet's resident budget,
+		// and churned clients would keep stale bases in the virtual-clock
+		// model. Those runs stay dense (optionally top-k).
+		switch {
+		case *ckptDir != "" || *resume != "":
+			usage("-delta does not compose with -checkpoint/-resume (delta bases are not checkpointed); drop -delta or checkpoint a dense run")
+		case *resident > 0:
+			usage("-delta does not compose with -resident (per-client delta bases defeat the O(resident) memory budget)")
+		case *leave > 0:
+			usage("-delta does not compose with -leave churn in the virtual-clock engine; use -transport tcp, where reconnects fall back to dense")
+		}
 	}
 	snapCodec, err := comm.ParseCodec(*ckptCodec)
 	if err != nil {
@@ -345,7 +361,7 @@ func main() {
 		topoDesc = fmt.Sprintf(", topology tree/%d", *aggCount)
 	}
 	fmt.Printf("# fedsim %s on %s (%s, %s fleet, %d clients, %d rounds, rate %.2f, sched %s, codec %s, dtype %s, transport %s%s)\n",
-		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, codec, dtype, trName, topoDesc)
+		*method, name, kind, fleetDesc, s.Clients, s.Rounds, *rate, schedKind, spec, dtype, trName, topoDesc)
 	if sched.Resume != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: resumed from %s at round %d\n", *resume, sched.Resume.Round)
 	}
@@ -356,22 +372,22 @@ func main() {
 		var tr transport.Transport
 		addr := "fedsim"
 		if trName == "tcp" {
-			tr, addr = transport.NewTCP(transport.Options{DType: dtype, Codec: codec}), "127.0.0.1:0"
+			tr, addr = transport.NewTCP(transport.Options{DType: dtype, Spec: spec}), "127.0.0.1:0"
 		} else {
-			tr = transport.NewInproc(transport.Options{DType: dtype, Codec: codec})
+			tr = transport.NewInproc(transport.Options{DType: dtype, Spec: spec})
 		}
-		hist, err = experiments.RunTreeNodes(context.Background(), *method, name, builder, s.Clients, *aggCount, s, *rate, codec, tr, addr,
+		hist, err = experiments.RunTreeNodes(context.Background(), *method, name, builder, s.Clients, *aggCount, s, *rate, spec, tr, addr,
 			func(cfg *fl.NodeConfig) { experiments.ApplyNodeSched(cfg, sched) })
 	} else if trName == "tcp" {
 		// Node split over real localhost sockets: one server node plus one
 		// client node per client, each speaking the wire protocol.
-		tr := transport.NewTCP(transport.Options{DType: dtype, Codec: codec})
-		hist, err = experiments.RunNodes(context.Background(), *method, name, builder, s.Clients, s, *rate, codec, tr, "127.0.0.1:0",
+		tr := transport.NewTCP(transport.Options{DType: dtype, Spec: spec})
+		hist, err = experiments.RunNodes(context.Background(), *method, name, builder, s.Clients, s, *rate, spec, tr, "127.0.0.1:0",
 			func(cfg *fl.NodeConfig) { experiments.ApplyNodeSched(cfg, sched) })
 	} else if *resident > 0 {
-		hist, err = experiments.RunLazyScheduled(*method, name, builder, s.Clients, s, *rate, *resident, *evalSample, sched, codec)
+		hist, err = experiments.RunLazyScheduled(*method, name, builder, s.Clients, s, *rate, *resident, *evalSample, sched, spec)
 	} else {
-		hist, err = experiments.RunScheduled(*method, name, factory, s, *rate, sched, codec)
+		hist, err = experiments.RunScheduled(*method, name, factory, s, *rate, sched, spec)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)

@@ -79,4 +79,37 @@ func main() {
 		fmt.Printf("  %-4s %8d B total up  (%.2fx smaller than f64)\n",
 			codec, up, float64(f64Up)/float64(up))
 	}
+
+	// Sparse and delta framings: the same exchange with top-k sparsified
+	// and delta-framed uploads, reporting the uplink ratio against dense
+	// f64 and the final-accuracy cost of the loss. The `framing ...` lines
+	// are machine-readable — CI gates on ratio and |accdelta|.
+	fmt.Println("\nSparse & delta framings (FedClassAvg uplink):")
+	var denseAcc float64
+	for _, spec := range []comm.Spec{
+		{Value: comm.F64},
+		comm.NewSpec(comm.F32, 0.05, false),
+		comm.NewSpec(comm.I8, 0, true),
+		comm.NewSpec(comm.F32, 0.05, true),
+	} {
+		algo, err := experiments.NewAlgorithm(experiments.MethodProposed, name, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := fl.NewSimulation(het(), fl.Config{
+			Rounds: s.Rounds, BatchSize: s.BatchSize, Seed: s.Seed + 7,
+			Codec: spec.Value, TopK: spec.Frac, Delta: spec.Delta,
+		})
+		hist, err := sim.Run(algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := hist[len(hist)-1].MeanAcc
+		up := sim.Ledger.TotalUp()
+		if spec.Plain() {
+			denseAcc = acc
+		}
+		fmt.Printf("  framing %-18s up %8d B  ratio %.2f  acc %.4f  accdelta %+.4f\n",
+			spec, up, float64(f64Up)/float64(up), acc, acc-denseAcc)
+	}
 }

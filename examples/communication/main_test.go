@@ -11,7 +11,7 @@ import (
 // ledger measurements for every protocol plus the quantized codec sweep.
 func TestCommunicationSmoke(t *testing.T) {
 	out := cmdtest.Run(t, []string{"REPRO_SCALE=tiny"})
-	for _, want := range []string{"per-client upload", "Table 5", "smaller than f64"} {
+	for _, want := range []string{"per-client upload", "Table 5", "smaller than f64", "framing topk0.05/f32 ", "framing i8+delta", "framing topk0.05/f32+delta"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}

@@ -52,6 +52,10 @@ func (f *FedAvg) Name() string {
 // EpochsPerRound reports the local epochs per round.
 func (f *FedAvg) EpochsPerRound() int { return f.LocalEpochs }
 
+// LossyUploads marks FedAvg/FedProx weight uploads as tolerant of wire
+// sparsification and delta framing: the server only ever averages them.
+func (f *FedAvg) LossyUploads() bool { return true }
+
 // Setup verifies homogeneity and initializes the global model from client 0
 // so all clients start from one common initialization, as FedAvg assumes.
 func (f *FedAvg) Setup(sim *fl.Simulation) error {
@@ -155,8 +159,8 @@ func (f *FedAvg) AsyncLocalGroup(sim *fl.Simulation, clients []int) ([]*fl.Updat
 	}
 	us := make([]*fl.Update, len(clients))
 	for i, id := range clients {
-		flat := sim.Quantize(nn.FlattenParams(cs[i].Model.Params()))
-		us[i] = &fl.Update{Client: id, Scale: fl.DataScale(cs[i]), Vecs: [][]float64{flat}, UpFloats: len(flat)}
+		flat, bytes := sim.QuantizeUplink(id, nn.FlattenParams(cs[i].Model.Params()))
+		us[i] = &fl.Update{Client: id, Scale: fl.DataScale(cs[i]), Vecs: [][]float64{flat}, UpFloats: len(flat), UpBytes: bytes}
 	}
 	return us, nil
 }
@@ -194,8 +198,8 @@ func (f *FedAvg) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, error) 
 			c.TrainEpochCE(sim.Cfg.BatchSize)
 		}
 	}
-	flat := sim.Quantize(nn.FlattenParams(c.Model.Params()))
-	return &fl.Update{Client: client, Scale: fl.DataScale(c), Vecs: [][]float64{flat}, UpFloats: len(flat)}, nil
+	flat, bytes := sim.QuantizeUplink(client, nn.FlattenParams(c.Model.Params()))
+	return &fl.Update{Client: client, Scale: fl.DataScale(c), Vecs: [][]float64{flat}, UpFloats: len(flat), UpBytes: bytes}, nil
 }
 
 // AsyncApply folds a staleness-weighted client model into the shards.

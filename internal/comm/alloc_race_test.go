@@ -1,0 +1,7 @@
+//go:build race
+
+package comm
+
+// The race-enabled runtime deliberately drops a fraction of sync.Pool puts,
+// so pool-backed paths cannot assert strict zero allocations under -race.
+const raceEnabled = true

@@ -19,12 +19,18 @@
 // one byte per element instead of eight. Codec BF16 stores bfloat16 values
 // (round-to-nearest-even narrowing), two bytes per element — the native wire
 // format of bf16-storage fleets.
+//
+// Above the dense codecs sit two structural frame families (see sparse.go):
+// TopK frames carry only the largest-|v| fraction of a vector as
+// index/value pairs, and Delta frames carry the difference against the last
+// vector committed on the same slot. Both store their elements at one of
+// the dense codecs and decode to dense float64 through DecodeSpec; a Spec
+// (spec.go) names the full framing of a connection and packs into the
+// FEDWIRE handshake.
 package comm
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 	"sync"
@@ -40,15 +46,19 @@ const headerSize = 12
 type Codec uint8
 
 // The wire codecs. F64 is the zero value and matches the legacy format.
+// F64..BF16 are dense element codecs; TopK and Delta are structural frame
+// families that store their elements at one of the dense codecs.
 const (
-	F64  Codec = iota // 8 bytes/elem, lossless
-	F32               // 4 bytes/elem, rounds to nearest float32
-	I8                // 1 byte/elem + 8-byte per-tensor scale
-	BF16              // 2 bytes/elem, rounds to nearest bfloat16 (RNE)
+	F64   Codec = iota // 8 bytes/elem, lossless
+	F32                // 4 bytes/elem, rounds to nearest float32
+	I8                 // 1 byte/elem + 8-byte per-tensor scale
+	BF16               // 2 bytes/elem, rounds to nearest bfloat16 (RNE)
+	TopK               // sparse index/value frame at an inner dense codec
+	Delta              // difference vs the slot's committed basis vector
 )
 
 // numCodecs bounds the valid codec range for frame validation.
-const numCodecs = 4
+const numCodecs = 6
 
 // Valid reports whether c is a defined wire codec, for validating codec
 // values read off the wire (handshakes, frame headers).
@@ -65,6 +75,10 @@ func (c Codec) String() string {
 		return "i8"
 	case BF16:
 		return "bf16"
+	case TopK:
+		return "topk"
+	case Delta:
+		return "delta"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
@@ -121,39 +135,13 @@ func MarshalAs(c Codec, kind uint32, payload []float64) []byte {
 }
 
 // MarshalNative frames a payload of either element width under the given
-// codec. The bytes are written directly into a sized slice — no
-// intermediate buffer, no swallowed binary.Write errors. The float64
-// instantiation is the legacy format byte for byte, and a float32 payload
-// under the F32 codec produces exactly the frame the old float64-truncating
-// path produced — but without ever widening the data, so f32 models frame
-// their uploads natively.
+// codec in a freshly sized slice. The float64 instantiation is the legacy
+// format byte for byte, and a float32 payload under the F32 codec produces
+// exactly the frame the old float64-truncating path produced — but without
+// ever widening the data, so f32 models frame their uploads natively. Hot
+// paths that reuse a buffer across frames use MarshalNativeInto instead.
 func MarshalNative[F tensor.Float](c Codec, kind uint32, payload []F) []byte {
-	n := len(payload)
-	b := make([]byte, WireSizeAs(c, n))
-	binary.LittleEndian.PutUint32(b, kind)
-	binary.LittleEndian.PutUint64(b[4:], uint64(c)<<56|uint64(n))
-	switch c {
-	case F32:
-		for i, v := range payload {
-			binary.LittleEndian.PutUint32(b[headerSize+4*i:], math.Float32bits(float32(v)))
-		}
-	case I8:
-		scale := i8Scale(payload)
-		binary.LittleEndian.PutUint64(b[headerSize:], math.Float64bits(scale))
-		q := b[headerSize+8:]
-		for i, v := range payload {
-			q[i] = byte(quantizeI8(float64(v), scale))
-		}
-	case BF16:
-		for i, v := range payload {
-			binary.LittleEndian.PutUint16(b[headerSize+2*i:], tensor.BF16FromF32(float32(v)))
-		}
-	default:
-		for i, v := range payload {
-			binary.LittleEndian.PutUint64(b[headerSize+8*i:], math.Float64bits(float64(v)))
-		}
-	}
-	return b
+	return MarshalNativeInto(make([]byte, 0, WireSizeAs(c, len(payload))), c, kind, payload)
 }
 
 // i8Scale returns the per-tensor quantization step maxAbs/127 over the
@@ -203,49 +191,10 @@ func Decode(b []byte) (c Codec, kind uint32, payload []float64, err error) {
 // width, without an intermediate float64 pass: a float32 consumer of an F32
 // frame reads the stored bits directly. Decoding an F64 frame into float32
 // narrows (lossy, like any f64→f32 cast); every other combination is exact
-// or matches the codec's own loss.
+// or matches the codec's own loss. Dense frames only — sparse and delta
+// frames carry basis state and go through DecodeSpec.
 func DecodeNative[F tensor.Float](b []byte) (c Codec, kind uint32, payload []F, err error) {
-	if len(b) < headerSize {
-		return 0, 0, nil, fmt.Errorf("comm: frame of %d bytes is shorter than the %d-byte header", len(b), headerSize)
-	}
-	kind = binary.LittleEndian.Uint32(b)
-	word := binary.LittleEndian.Uint64(b[4:])
-	c = Codec(word >> 56)
-	n := word & maxLen
-	if c >= numCodecs {
-		return 0, 0, nil, fmt.Errorf("comm: unknown codec %d", uint8(c))
-	}
-	if n > uint64(len(b)) { // cheap bound before the exact-size check below
-		return 0, 0, nil, fmt.Errorf("comm: declared %d elements but frame is %d bytes", n, len(b))
-	}
-	if want := WireSizeAs(c, int(n)); int64(len(b)) != want {
-		return 0, 0, nil, fmt.Errorf("comm: %s frame of %d elements wants %d bytes, got %d", c, n, want, len(b))
-	}
-	payload = make([]F, n)
-	switch c {
-	case F32:
-		for i := range payload {
-			payload[i] = F(math.Float32frombits(binary.LittleEndian.Uint32(b[headerSize+4*i:])))
-		}
-	case I8:
-		scale := math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize:]))
-		if !validScale(scale) {
-			return 0, 0, nil, fmt.Errorf("comm: invalid int8 scale %g", scale)
-		}
-		q := b[headerSize+8:]
-		for i := range payload {
-			payload[i] = F(float64(int8(q[i])) * scale)
-		}
-	case BF16:
-		for i := range payload {
-			payload[i] = F(tensor.BF16ToF32(binary.LittleEndian.Uint16(b[headerSize+2*i:])))
-		}
-	default:
-		for i := range payload {
-			payload[i] = F(math.Float64frombits(binary.LittleEndian.Uint64(b[headerSize+8*i:])))
-		}
-	}
-	return c, kind, payload, nil
+	return DecodeNativeInto[F](nil, b)
 }
 
 // validScale rejects scales that would dequantize to non-finite values or
@@ -486,12 +435,4 @@ func (l *Ledger) Restore(st LedgerState) {
 			l.down[c.Client] = c.Down
 		}
 	}
-}
-
-// CopyTo writes wire bytes through an io.Writer; provided so higher layers
-// can stream payloads if they want real I/O in the loop.
-func CopyTo(w io.Writer, kind uint32, payload []float64) (int64, error) {
-	b := Marshal(kind, payload)
-	n, err := w.Write(b)
-	return int64(n), err
 }

@@ -1,7 +1,6 @@
 package comm
 
 import (
-	"bytes"
 	"encoding/binary"
 	"math"
 	"math/rand"
@@ -291,20 +290,5 @@ func TestParseCodec(t *testing.T) {
 	}
 	if _, err := ParseCodec("f16"); err == nil {
 		t.Fatal("unknown codec string must error")
-	}
-}
-
-func TestCopyTo(t *testing.T) {
-	var buf bytes.Buffer
-	n, err := CopyTo(&buf, 3, []float64{1, 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != WireSize(2) || int64(buf.Len()) != n {
-		t.Fatalf("wrote %d bytes", n)
-	}
-	kind, payload, err := Unmarshal(buf.Bytes())
-	if err != nil || kind != 3 || len(payload) != 2 {
-		t.Fatalf("round trip through writer failed: %v", err)
 	}
 }

@@ -1,7 +1,11 @@
 package comm
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
+	"os"
+	"strconv"
 	"testing"
 )
 
@@ -33,11 +37,13 @@ func FuzzUnmarshal(f *testing.F) {
 	badCodec = append([]byte(nil), badCodec...)
 	badCodec[11] = 0x42
 	seeds = append(seeds, badCodec)
+	seeds = append(seeds, sparseSeeds()...)
 	for _, s := range seeds {
 		f.Add(s)
 	}
 
 	f.Fuzz(func(t *testing.T, b []byte) {
+		fuzzDecodeSpec(t, b)
 		c, kind, payload, err := Decode(b)
 		if err != nil {
 			return
@@ -64,4 +70,86 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatalf("%s re-encode rejected: %v", c, err)
 		}
 	})
+}
+
+// sparseSeeds builds well-formed and corrupt TOPK/DELTA frames for the fuzz
+// corpus: a frame per inner codec, a short delta stream, and one specimen
+// of each rejection class the decoder enforces.
+func sparseSeeds() [][]byte {
+	vec := make([]float64, 96)
+	for i := range vec {
+		vec[i] = math.Sin(float64(i)) * float64(i%7)
+	}
+	var seeds [][]byte
+	for _, inner := range []Codec{F64, F32, I8, BF16} {
+		seeds = append(seeds, MarshalSpecInto(nil, NewSpec(inner, 0.1, false), 3, vec, nil))
+	}
+	ref := &DeltaRef{}
+	for round := 0; round < 3; round++ {
+		seeds = append(seeds, MarshalSpecInto(nil, NewSpec(I8, 0.25, true), 4, vec, ref))
+	}
+	seeds = append(seeds, MarshalSpecInto(nil, NewSpec(F64, 0, true), 5, vec[:8], &DeltaRef{}))
+	val := make([]byte, 8)
+	corrupt := [][]byte{
+		append(appendHeader(nil, TopK, 1, 4), byte(F64), 10),                         // k > n
+		append(appendHeader(nil, TopK, 1, 4), byte(F64), 0),                          // k = 0
+		append(append(appendHeader(nil, TopK, 1, 4), byte(F64), 1, 7), val...),       // index out of range
+		append(append(appendHeader(nil, TopK, 1, 4), byte(F64), 2, 1, 0), val...),    // non-monotone
+		append(appendHeader(nil, TopK, 1, maxSparseLen+1), byte(F64), 1, 0),          // n over cap
+		append(appendHeader(nil, Delta, 1, 4), 1, 0, 0, 0, 0, 0, 0, 0, byte(Delta)),  // delta in delta
+		append(appendHeader(nil, Delta, 1, 8), 9, 0, 0, 0, 0, 0, 0, 0, byte(F64)),    // delta, no basis
+		appendHeader(nil, TopK, 1, 16)[:headerSize],                                  // empty top-k body
+		append(appendHeader(nil, TopK, 1, maxSparseLen), byte(I8), 0xff, 0xff, 0x7f), // huge k, tiny body
+	}
+	return append(seeds, corrupt...)
+}
+
+// fuzzDecodeSpec drives the spec-aware decoder with the same arbitrary
+// frame: it must never panic, never accept a vector of the wrong length,
+// and for delta frames never allocate a basis the header did not justify.
+// The basis, when the frame wants one, is synthesized from the header so
+// the tag-match path is exercised too.
+func fuzzDecodeSpec(t *testing.T, b []byte) {
+	var ref *DeltaRef
+	if len(b) >= headerSize+deltaOverhead {
+		word := binary.LittleEndian.Uint64(b[4:])
+		if n := int(word & maxLen); Codec(word>>56) == Delta && n <= maxSparseLen {
+			ref = &DeltaRef{Tag: binary.LittleEndian.Uint64(b[headerSize:]), Base: make([]float64, n)}
+		}
+	}
+	_, v, err := DecodeSpec(nil, b, ref)
+	if err != nil {
+		return
+	}
+	word := binary.LittleEndian.Uint64(b[4:])
+	if len(v) != int(word&maxLen) {
+		t.Fatalf("accepted frame decoded %d elements, header declares %d", len(v), word&maxLen)
+	}
+	if v == nil {
+		t.Fatal("accepted frame decoded a nil vector")
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus for the new
+// frame families. Run with REGEN_FUZZ_CORPUS=1 after changing the grammar.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz seeds")
+	}
+	names := []string{
+		"topk-f64", "topk-f32", "topk-i8", "topk-bf16",
+		"delta-basis", "delta-1", "delta-2", "delta-dense",
+		"topk-k-over-n", "topk-k-zero", "topk-idx-range", "topk-nonmonotone",
+		"topk-n-cap", "delta-in-delta", "delta-no-basis", "topk-empty", "topk-huge-k",
+	}
+	seeds := sparseSeeds()
+	if len(seeds) != len(names) {
+		t.Fatalf("%d seeds, %d names", len(seeds), len(names))
+	}
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+		if err := os.WriteFile("testdata/fuzz/FuzzUnmarshal/"+names[i], []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -108,6 +108,11 @@ func (f *FedClassAvg) Name() string {
 // EpochsPerRound reports E.
 func (f *FedClassAvg) EpochsPerRound() int { return f.Opts.LocalEpochs }
 
+// LossyUploads marks FedClassAvg's weight uploads (classifier, and full
+// model under ShareAllWeights) as tolerant of wire sparsification and
+// delta framing: the server only ever averages them.
+func (f *FedClassAvg) LossyUploads() bool { return true }
+
 // Setup checks classifier compatibility and initializes the global
 // classifier (and, with ShareAllWeights, the global model) as the
 // data-weighted average of the clients' initial weights.
@@ -232,13 +237,16 @@ func (f *FedClassAvg) AsyncLocal(sim *fl.Simulation, client int) (*fl.Update, er
 	if f.Opts.ShareAllWeights {
 		// As in the sync round, the classifier is the quantized tail of
 		// the single full-weight frame.
-		all := sim.Quantize(nn.FlattenParams(c.Model.Params()))
+		all, bytes := sim.QuantizeUplink(client, nn.FlattenParams(c.Model.Params()))
 		nC := nn.NumParams(c.Model.ClassifierParams())
 		u.Vecs = [][]float64{all[len(all)-nC:], all}
 		u.UpFloats = len(all)
+		u.UpBytes = bytes
 	} else {
-		u.Vecs = [][]float64{sim.Quantize(nn.FlattenParams(c.Model.ClassifierParams()))}
-		u.UpFloats = len(u.Vecs[0])
+		flat, bytes := sim.QuantizeUplink(client, nn.FlattenParams(c.Model.ClassifierParams()))
+		u.Vecs = [][]float64{flat}
+		u.UpFloats = len(flat)
+		u.UpBytes = bytes
 	}
 	return u, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/models"
@@ -65,7 +66,7 @@ func TestF32AllSchedulers(t *testing.T) {
 					t.Fatal(err)
 				}
 				hist, err := RunScheduled(MethodProposed, Fashion, factory, s, 1.0,
-					fl.SchedulerConfig{Kind: kind}, 0)
+					fl.SchedulerConfig{Kind: kind}, comm.Spec{})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -408,13 +408,13 @@ func NewAlgorithm(method string, name DatasetName, s Scale) (fl.Algorithm, error
 // Run executes one method on a fresh fleet under the sync scheduler and
 // returns its metrics history.
 func Run(method string, name DatasetName, factory ClientFactory, s Scale, sampleRate float64) ([]fl.RoundMetrics, error) {
-	return RunScheduled(method, name, factory, s, sampleRate, fl.SchedulerConfig{}, comm.F64)
+	return RunScheduled(method, name, factory, s, sampleRate, fl.SchedulerConfig{}, comm.Spec{Value: comm.F64})
 }
 
 // RunScheduled executes one method on a fresh fleet under an arbitrary
-// scheduler and wire codec. The zero SchedulerConfig and comm.F64 reproduce
-// Run exactly.
-func RunScheduled(method string, name DatasetName, factory ClientFactory, s Scale, sampleRate float64, sched fl.SchedulerConfig, codec comm.Codec) ([]fl.RoundMetrics, error) {
+// scheduler and wire framing spec. The zero SchedulerConfig and a plain
+// dense f64 spec reproduce Run exactly.
+func RunScheduled(method string, name DatasetName, factory ClientFactory, s Scale, sampleRate float64, sched fl.SchedulerConfig, spec comm.Spec) ([]fl.RoundMetrics, error) {
 	algo, err := NewAlgorithm(method, name, s)
 	if err != nil {
 		return nil, err
@@ -424,7 +424,9 @@ func RunScheduled(method string, name DatasetName, factory ClientFactory, s Scal
 		SampleRate: sampleRate,
 		BatchSize:  s.BatchSize,
 		Seed:       s.Seed + 7,
-		Codec:      codec,
+		Codec:      spec.Value,
+		TopK:       spec.Frac,
+		Delta:      spec.Delta,
 	})
 	return sim.RunScheduled(algo, sched)
 }
@@ -434,7 +436,7 @@ func RunScheduled(method string, name DatasetName, factory ClientFactory, s Scal
 // them stay in memory (0 = unbounded); the rest spill to compact state
 // buffers. evalSample caps how many clients each evaluation touches
 // (0 = the cohort-size default). Memory is O(resident + cohort), not O(k).
-func RunLazyScheduled(method string, name DatasetName, build ClientBuilder, k int, s Scale, sampleRate float64, resident, evalSample int, sched fl.SchedulerConfig, codec comm.Codec) ([]fl.RoundMetrics, error) {
+func RunLazyScheduled(method string, name DatasetName, build ClientBuilder, k int, s Scale, sampleRate float64, resident, evalSample int, sched fl.SchedulerConfig, spec comm.Spec) ([]fl.RoundMetrics, error) {
 	algo, err := NewAlgorithm(method, name, s)
 	if err != nil {
 		return nil, err
@@ -444,7 +446,9 @@ func RunLazyScheduled(method string, name DatasetName, build ClientBuilder, k in
 		SampleRate: sampleRate,
 		BatchSize:  s.BatchSize,
 		Seed:       s.Seed + 7,
-		Codec:      codec,
+		Codec:      spec.Value,
+		TopK:       spec.Frac,
+		Delta:      spec.Delta,
 		EvalSample: evalSample,
 	})
 	return sim.RunScheduled(algo, sched)

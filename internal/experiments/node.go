@@ -33,14 +33,16 @@ func WireAlgorithmFor(method string, name DatasetName, s Scale) (fl.WireAlgorith
 // matches RunScheduled's simulation at the same scale: the cohort sampler
 // is seeded with the simulation seed (s.Seed+7), so a node federation
 // visits exactly the cohorts the in-process sync run visits.
-func NodeConfigFor(s Scale, rate float64, codec comm.Codec, clients int) fl.NodeConfig {
+func NodeConfigFor(s Scale, rate float64, spec comm.Spec, clients int) fl.NodeConfig {
 	return fl.NodeConfig{
 		Clients:    clients,
 		Rounds:     s.Rounds,
 		SampleRate: rate,
 		BatchSize:  s.BatchSize,
 		Seed:       s.Seed + 7,
-		Codec:      codec,
+		Codec:      spec.Value,
+		TopK:       spec.Frac,
+		Delta:      spec.Delta,
 		DType:      s.DType,
 	}
 }
@@ -60,12 +62,12 @@ func ApplyNodeSched(cfg *fl.NodeConfig, sched fl.SchedulerConfig) {
 // and returns the metrics history (fedserver's core). Options mutate the
 // node config before the server starts (scheduler, failure discipline,
 // checkpointing).
-func ServeNode(ctx context.Context, method string, name DatasetName, s Scale, rate float64, codec comm.Codec, clients int, ln transport.Listener, opts ...func(*fl.NodeConfig)) (*fl.ServerNode, []fl.RoundMetrics, error) {
+func ServeNode(ctx context.Context, method string, name DatasetName, s Scale, rate float64, spec comm.Spec, clients int, ln transport.Listener, opts ...func(*fl.NodeConfig)) (*fl.ServerNode, []fl.RoundMetrics, error) {
 	algo, err := WireAlgorithmFor(method, name, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := NodeConfigFor(s, rate, codec, clients)
+	cfg := NodeConfigFor(s, rate, spec, clients)
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -144,14 +146,14 @@ func aggListenAddr(tr transport.Transport, addr string, a int) string {
 // compare it against RunNodes at the same seed. Options mutate the root's
 // node config; the aggregators inherit its failure discipline so one knob
 // tunes every layer.
-func RunTreeNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k, aggs int, s Scale, rate float64, codec comm.Codec, tr transport.Transport, addr string, opts ...func(*fl.NodeConfig)) ([]fl.RoundMetrics, error) {
+func RunTreeNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k, aggs int, s Scale, rate float64, spec comm.Spec, tr transport.Transport, addr string, opts ...func(*fl.NodeConfig)) ([]fl.RoundMetrics, error) {
 	rootLn, err := tr.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
 	// Resolve the root config up front so the aggregators can inherit its
 	// failure discipline; ServeNode re-applies the same opts.
-	rootCfg := NodeConfigFor(s, rate, codec, k)
+	rootCfg := NodeConfigFor(s, rate, spec, k)
 	for _, opt := range opts {
 		opt(&rootCfg)
 	}
@@ -183,7 +185,9 @@ func RunTreeNodes(ctx context.Context, method string, name DatasetName, build Cl
 				Index:           a,
 				Aggregators:     aggs,
 				Clients:         k,
-				Codec:           codec,
+				Codec:           spec.Value,
+				TopK:            spec.Frac,
+				Delta:           spec.Delta,
 				Seed:            s.Seed + 7 + 101*int64(a),
 				Heartbeat:       rootCfg.Heartbeat,
 				DeadAfter:       rootCfg.DeadAfter,
@@ -200,7 +204,7 @@ func RunTreeNodes(ctx context.Context, method string, name DatasetName, build Cl
 		}
 	}
 	treeOpts := append(opts[:len(opts):len(opts)], func(cfg *fl.NodeConfig) { cfg.Aggregators = aggs })
-	_, hist, err := ServeNode(ctx, method, name, s, rate, codec, k, rootLn, treeOpts...)
+	_, hist, err := ServeNode(ctx, method, name, s, rate, spec, k, rootLn, treeOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +226,7 @@ func RunTreeNodes(ctx context.Context, method string, name DatasetName, build Cl
 // sockets, and the tests use it with inproc channels. Client-node errors
 // other than churn are surfaced after the server's history. Options mutate
 // the server's node config.
-func RunNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k int, s Scale, rate float64, codec comm.Codec, tr transport.Transport, addr string, opts ...func(*fl.NodeConfig)) ([]fl.RoundMetrics, error) {
+func RunNodes(ctx context.Context, method string, name DatasetName, build ClientBuilder, k int, s Scale, rate float64, spec comm.Spec, tr transport.Transport, addr string, opts ...func(*fl.NodeConfig)) ([]fl.RoundMetrics, error) {
 	ln, err := tr.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -237,7 +241,7 @@ func RunNodes(ctx context.Context, method string, name DatasetName, build Client
 			clientDone <- result{id, RunClientNode(ctx, method, name, build, id, s, tr, ln.Addr())}
 		}(i)
 	}
-	_, hist, err := ServeNode(ctx, method, name, s, rate, codec, k, ln, opts...)
+	_, hist, err := ServeNode(ctx, method, name, s, rate, spec, k, ln, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -218,6 +218,10 @@ type Update struct {
 	// goroutines must not touch the ledger's round attribution themselves,
 	// or per-round byte counts would depend on real scheduling.
 	UpFloats int
+	// UpBytes is the exact upload frame size when spec framing (top-k or
+	// delta) applies, as returned by Simulation.QuantizeUplink. When
+	// non-zero it takes precedence over UpFloats' element-count pricing.
+	UpBytes int64
 }
 
 // DataScale is the |D_k| aggregation weight algorithms attach to a
@@ -354,6 +358,7 @@ func (s *Simulation) RunScheduled(algo Algorithm, sched SchedulerConfig) ([]Roun
 // the call — cancellation leaks nothing.
 func (s *Simulation) RunScheduledContext(ctx context.Context, algo Algorithm, sched SchedulerConfig) ([]RoundMetrics, error) {
 	sched = sched.withDefaults(s)
+	s.setLossyUploads(algo)
 	switch sched.Kind {
 	case SchedSync:
 		return s.runSync(ctx, algo, &sched)
@@ -590,7 +595,9 @@ func (s *Simulation) runAsync(ctx context.Context, algo AsyncAlgorithm, sched *S
 		u := res.u
 		// The upload reaches the server now (virtual delivery time); it
 		// costs wire bytes even if the server then drops it.
-		if u.UpFloats > 0 {
+		if u.UpBytes > 0 {
+			s.Ledger.AddUp(s.ClientID(ft.client), u.UpBytes)
+		} else if u.UpFloats > 0 {
 			s.Ledger.RecordUp(s.ClientID(ft.client), u.UpFloats)
 		}
 		u.Staleness = e.version - ft.version

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/data"
@@ -140,7 +141,22 @@ type Config struct {
 	// Codec selects the wire codec payloads are accounted (and, through
 	// Uplink, quantized) with. The zero value is lossless float64.
 	Codec comm.Codec
+	// TopK, in (0, 1), sparsifies weight uploads to the ceil(TopK·n)
+	// largest-|v| elements per vector, exactly as the wire's TOPK frames
+	// would: Uplink zeroes the dropped elements and books the sparse frame
+	// bytes. Applies only to algorithms whose uploads tolerate loss
+	// (LossyUploads); structural payloads stay dense and exact. 0 keeps
+	// uploads dense.
+	TopK float64
+	// Delta frames weight uploads as residuals against the client's
+	// previous upload of the same length, modeling the wire's DELTA frames
+	// over one stable connection per client.
+	Delta bool
 }
+
+// WireSpec is the upload framing spec the config describes — what a node
+// federation would negotiate in its transport handshake.
+func (c Config) WireSpec() comm.Spec { return comm.NewSpec(c.Codec, c.TopK, c.Delta) }
 
 // RoundMetrics is one evaluation point.
 type RoundMetrics struct {
@@ -191,6 +207,15 @@ type Simulation struct {
 
 	// store backs a lazy fleet (nil for eager simulations).
 	store *ClientStore
+	// Upload framing state (Config.TopK/Delta). upSel resolves each
+	// upload's per-vector spec; lossyUp gates it to algorithms whose
+	// uploads tolerate loss (set by the engine from the algorithm before
+	// the first round); upRefs holds the per-(client, length) delta bases,
+	// modeling one stable connection per client.
+	upSel   comm.Selector
+	lossyUp bool
+	upMu    sync.Mutex
+	upRefs  map[upSlot]*comm.DeltaRef
 	// evalRng/evalSrc drive sampled evaluation (Config.EvalSample). The
 	// stream is separate from Rng and consumed only when sampling, so
 	// full-sweep runs never touch it.
@@ -254,7 +279,14 @@ func newSimulation(cfg Config) *Simulation {
 		src:     src,
 		evalRng: evalRng,
 		evalSrc: evalSrc,
+		upSel:   comm.Selector{Spec: cfg.WireSpec()},
 	}
+}
+
+// upSlot names one upload delta-basis slot: a client and a vector length,
+// the simulation counterpart of the wire's per-connection vecSlot.
+type upSlot struct {
+	client, n int
 }
 
 // Lazy reports whether clients are materialized on demand from a store.
@@ -318,22 +350,84 @@ func (s *Simulation) Run(algo Algorithm) ([]RoundMetrics, error) {
 }
 
 // Uplink records a client → server payload on the traffic ledger and passes
-// it through the configured wire codec's quantization in place, so lossy
-// codecs (float32/int8) affect aggregation exactly as the wire would. It
-// returns v for chaining. Safe to call from parallel client loops in sync
-// rounds; AsyncLocal implementations must use Quantize plus Update.UpFloats
-// instead, so the engine books the bytes at virtual delivery time.
+// it through the configured wire framing's loss in place — codec
+// quantization, top-k sparsification and delta residuals affect aggregation
+// exactly as the wire would, and the booked bytes are exactly the frame the
+// wire would carry. It returns v for chaining. Safe to call from parallel
+// client loops in sync rounds; AsyncLocal implementations must use
+// QuantizeUplink plus Update.UpFloats/UpBytes instead, so the engine books
+// the bytes at virtual delivery time.
 func (s *Simulation) Uplink(client int, v []float64) []float64 {
-	s.Ledger.RecordUp(client, len(v))
-	comm.RoundTripInPlace(s.Cfg.Codec, v)
+	spec := s.uplinkSpec(len(v))
+	if spec.Plain() {
+		// The legacy dense path, byte for byte: element-count pricing at the
+		// ledger's codec plus in-place codec quantization.
+		s.Ledger.RecordUp(client, len(v))
+		comm.RoundTripInPlace(s.Cfg.Codec, v)
+		return v
+	}
+	s.Ledger.AddUp(client, comm.RoundTripSpec(spec, v, s.upRef(spec, client, len(v))))
 	return v
 }
 
 // Quantize passes v through the configured wire codec in place (no ledger
-// recording) and returns it for chaining.
+// recording, no sparsification) and returns it for chaining.
 func (s *Simulation) Quantize(v []float64) []float64 {
 	comm.RoundTripInPlace(s.Cfg.Codec, v)
 	return v
+}
+
+// QuantizeUplink applies the upload framing's loss to v in place at
+// local-compute time and returns the exact frame bytes the engine must book
+// at virtual delivery time (Update.UpBytes). A plain dense upload returns
+// 0 bytes: the engine books it through the legacy element-count path
+// (Update.UpFloats), keeping dense runs byte-identical to previous
+// releases.
+func (s *Simulation) QuantizeUplink(client int, v []float64) ([]float64, int64) {
+	spec := s.uplinkSpec(len(v))
+	if spec.Plain() {
+		comm.RoundTripInPlace(s.Cfg.Codec, v)
+		return v, 0
+	}
+	return v, comm.RoundTripSpec(spec, v, s.upRef(spec, client, len(v)))
+}
+
+// uplinkSpec resolves one upload vector's framing: plain dense at the
+// config codec unless the algorithm's uploads tolerate loss, in which case
+// the selector applies the configured sparsification and delta framing
+// (subject to its minimum-size floor).
+func (s *Simulation) uplinkSpec(n int) comm.Spec {
+	if !s.lossyUp {
+		return comm.Spec{Value: s.Cfg.Codec}
+	}
+	return s.upSel.For(msgUpdate, n)
+}
+
+// upRef returns the delta basis for one upload slot, creating it on first
+// use; nil when the resolved spec is not delta-framed.
+func (s *Simulation) upRef(spec comm.Spec, client, n int) *comm.DeltaRef {
+	if !spec.Delta {
+		return nil
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.upRefs == nil {
+		s.upRefs = make(map[upSlot]*comm.DeltaRef)
+	}
+	slot := upSlot{client: client, n: n}
+	r := s.upRefs[slot]
+	if r == nil {
+		r = &comm.DeltaRef{}
+		s.upRefs[slot] = r
+	}
+	return r
+}
+
+// setLossyUploads latches whether the algorithm's uploads may be
+// sparsified or delta-framed, called by the engine before the first round.
+func (s *Simulation) setLossyUploads(algo Algorithm) {
+	l, ok := algo.(interface{ LossyUploads() bool })
+	s.lossyUp = ok && l.LossyUploads()
 }
 
 // sampleParticipants draws ⌈K·rate⌉ distinct clients and applies failure

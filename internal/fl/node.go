@@ -115,6 +115,16 @@ type NodeConfig struct {
 	// Codec frames payload vectors; it must match the transport's codec so
 	// quantization and accounting agree with what crosses the wire.
 	Codec comm.Codec
+	// TopK, in (0, 1), sparsifies client weight uploads to the ceil(TopK·n)
+	// largest-|v| elements per vector (TOPK frames, kept values stored at
+	// Codec). 0 keeps uploads dense. It must match the transport's
+	// negotiated spec.
+	TopK float64
+	// Delta frames client weight uploads as residuals against the last
+	// upload the server decoded on the same connection (DELTA frames);
+	// reconnects fall back to a dense basis automatically. It must match
+	// the transport's negotiated spec.
+	Delta bool
 	// Shards is the sharded-accumulator shard count (default
 	// tensor.Workers()).
 	Shards int
@@ -196,6 +206,11 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	return c
 }
 
+// WireSpec is the connection-level framing spec the config describes —
+// what transport.Options.Spec must carry for the handshake to agree with
+// the node's framing.
+func (c NodeConfig) WireSpec() comm.Spec { return comm.NewSpec(c.Codec, c.TopK, c.Delta) }
+
 // NodeStats counts the failure-path events of one Serve call, for
 // operator-facing summaries and tests. Read it after Serve returns.
 type NodeStats struct {
@@ -244,6 +259,10 @@ type serverRun struct {
 	cfg  NodeConfig
 	algo WireAlgorithm
 	k    int
+	// wc frames the server's own encodes. The server never encodes an
+	// upload kind, so its frames are always dense; upload decoding runs
+	// through each reader's per-connection wireCodec in the PeerTable.
+	wc *wireCodec
 
 	// pt owns the downstream sessions (clients in flat mode, aggregators
 	// in tree mode); sessions aliases pt's table for direct indexing.
@@ -339,6 +358,7 @@ func newServerRun(n *ServerNode) *serverRun {
 		cfg:   cfg,
 		algo:  n.algo,
 		k:     k,
+		wc:    newWireCodec(cfg.WireSpec(), lossyUploads(n.algo)),
 		joins: make([]WireJoin, k),
 	}
 	sessionCount := k
@@ -355,7 +375,7 @@ func newServerRun(n *ServerNode) *serverRun {
 		}
 		return m.kind == msgJoin && len(m.ints) == joinIntCount
 	}
-	r.pt = newPeerTable(sessionCount, 0, cfg.Codec, cfg.Heartbeat, cfg.DeadAfter, cfg.ReconnectWindow,
+	r.pt = newPeerTable(sessionCount, 0, cfg.WireSpec(), lossyUploads(n.algo), cfg.Heartbeat, cfg.DeadAfter, cfg.ReconnectWindow,
 		cfg.Seed, n.Ledger, &n.Stats, validJoin)
 	r.sessions = r.pt.sessions
 	r.rng, r.rngSrc = xrand.NewRand(cfg.Seed)
@@ -434,7 +454,7 @@ func (r *serverRun) loop(ctx context.Context) ([]RoundMetrics, error) {
 	// (adopt delivers the stop) or its window degrades it to churn; when
 	// everyone was connected at the finish, it does not run at all.
 	r.stopping = true
-	r.stopFrame = encodeMsg(&wireMsg{kind: msgStop}, r.cfg.Codec)
+	r.stopFrame = encodeMsg(&wireMsg{kind: msgStop}, r.wc)
 	for _, s := range r.sessions {
 		if s.conn != nil && !s.churned {
 			// A send success proves nothing about delivery; the peer's
@@ -613,7 +633,7 @@ func (r *serverRun) finishAssembly() {
 	r.assembled = true
 	for _, s := range r.sessions {
 		welcome := &wireMsg{kind: msgWelcome, name: r.algo.Name(), ints: r.welcomeInts(s)}
-		if !r.send(s, encodeMsg(welcome, r.cfg.Codec)) {
+		if !r.send(s, encodeMsg(welcome, r.wc)) {
 			// The peer died between joining and the welcome; the reconnect
 			// window (or churn) picks it up.
 			continue
@@ -641,7 +661,7 @@ func (r *serverRun) adopt(sess *peerSession, conn transport.Conn, joinWire int64
 	r.n.Stats.Reconnects++
 	r.pt.attach(sess, conn, joinWire)
 	resume := &wireMsg{kind: msgResume, a: uint64(r.version), name: r.algo.Name(), ints: r.welcomeInts(sess)}
-	if !r.send(sess, encodeMsg(resume, r.cfg.Codec)) {
+	if !r.send(sess, encodeMsg(resume, r.wc)) {
 		return
 	}
 	if sess.busy && sess.pendingDispatch != nil {
@@ -654,7 +674,7 @@ func (r *serverRun) adopt(sess *peerSession, conn transport.Conn, joinWire int64
 		r.n.Stats.Resends++
 		frame := sess.pendingEval
 		if frame == nil {
-			frame = encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)
+			frame = encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.wc)
 		}
 		if !r.send(sess, frame) {
 			return
@@ -1033,7 +1053,7 @@ func (r *serverRun) startEval() {
 			ask[i] = r.sessions[id]
 		}
 	}
-	req := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.cfg.Codec)
+	req := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version)}, r.wc)
 	for _, s := range ask {
 		if s.churned {
 			continue
@@ -1073,7 +1093,7 @@ func (r *serverRun) startTreeEval() {
 			continue
 		}
 		s := r.sessions[a]
-		frame := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version), ints: perAgg[a]}, r.cfg.Codec)
+		frame := encodeMsg(&wireMsg{kind: msgEvalReq, a: uint64(r.version), ints: perAgg[a]}, r.wc)
 		r.evalWait[a] = true
 		s.pendingEval = frame
 		r.send(s, frame) // a failed send leaves the request owed on adoption
@@ -1359,7 +1379,7 @@ func (r *serverRun) dispatchTree(a int, members []int) {
 		}
 		payloads[i] = vecs
 	}
-	frame := encodeTreeDispatch(uint64(r.version), members, payloads, r.cfg.Codec)
+	frame := encodeTreeDispatch(uint64(r.version), members, payloads, r.wc)
 	s := r.sessions[a]
 	s.busy = true
 	s.dispVersion = uint64(r.version)
@@ -1428,7 +1448,7 @@ func (r *serverRun) dispatch(s *peerSession) {
 		r.fatal = fmt.Errorf("fl: %s dispatch to client %d: %w", r.algo.Name(), s.id, err)
 		return
 	}
-	frame := encodeMsg(&wireMsg{kind: msgDispatch, a: uint64(r.version), vecs: vecs}, r.cfg.Codec)
+	frame := encodeMsg(&wireMsg{kind: msgDispatch, a: uint64(r.version), vecs: vecs}, r.wc)
 	s.busy = true
 	s.dispVersion = uint64(r.version)
 	s.pendingDispatch = frame

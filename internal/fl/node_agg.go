@@ -44,6 +44,13 @@ type AggregatorConfig struct {
 	Clients int
 	// Codec frames payload vectors; it must match both transports' codec.
 	Codec comm.Codec
+	// TopK and Delta mirror NodeConfig's fields: they shape the child
+	// uploads this aggregator decodes (the aggregator's own upstream
+	// frames stay dense — pre-reduced aggregates are cached for replay,
+	// which stateful framing could not survive). They must match both
+	// transports' negotiated spec.
+	TopK  float64
+	Delta bool
 	// Seed drives this aggregator's child session-token issuance. Give
 	// each aggregator a distinct seed.
 	Seed int64
@@ -75,6 +82,9 @@ func (c AggregatorConfig) withDefaults() AggregatorConfig {
 	}
 	return c
 }
+
+// WireSpec is the connection-level framing spec the config describes.
+func (c AggregatorConfig) WireSpec() comm.Spec { return comm.NewSpec(c.Codec, c.TopK, c.Delta) }
 
 // AggregatorNode runs one edge aggregator of a 2-level tree.
 type AggregatorNode struct {
@@ -116,6 +126,11 @@ type aggRun struct {
 
 	algo   WireAlgorithm
 	lo, hi int
+	// wc frames the aggregator's own encodes (downstream dispatch fan-out,
+	// upstream aggregates) — all dense kinds, so cached replay frames stay
+	// valid. Child upload decoding runs through each reader's
+	// per-connection wireCodec in the PeerTable.
+	wc *wireCodec
 
 	pt    *PeerTable
 	joins []WireJoin
@@ -191,11 +206,12 @@ func (n *AggregatorNode) Run(ctx context.Context, ln transport.Listener) error {
 		algo:     n.algo,
 		lo:       lo,
 		hi:       hi,
+		wc:       newWireCodec(cfg.WireSpec(), lossyUploads(n.algo)),
 		joins:    make([]WireJoin, hi-lo),
 		upEvents: make(chan upEvent, 8),
 		upDials:  make(chan dialResult, 1),
 	}
-	g.pt = newPeerTable(hi-lo, lo, cfg.Codec, cfg.Heartbeat, cfg.DeadAfter, cfg.ReconnectWindow,
+	g.pt = newPeerTable(hi-lo, lo, cfg.WireSpec(), lossyUploads(n.algo), cfg.Heartbeat, cfg.DeadAfter, cfg.ReconnectWindow,
 		cfg.Seed, n.Ledger, &n.Stats, func(m *wireMsg) bool {
 			return m.kind == msgJoin && len(m.ints) == joinIntCount
 		})
@@ -246,7 +262,7 @@ func (g *aggRun) loop(ctx context.Context) error {
 			// Every child is stopped or churned: acknowledge the root's stop
 			// (best-effort if the upstream link is down — the root's reconnect
 			// window resolves the session either way) and finish.
-			g.sendUp(encodeMsg(&wireMsg{kind: msgStopAck}, g.cfg.Codec))
+			g.sendUp(encodeMsg(&wireMsg{kind: msgStopAck}, g.wc))
 			g.done = true
 		}
 	}
@@ -257,7 +273,7 @@ func (g *aggRun) loop(ctx context.Context) error {
 // with the cause) and ends this aggregator.
 func (g *aggRun) fail(format string, args ...any) {
 	err := fmt.Errorf(format, args...)
-	g.sendUp(encodeMsg(&wireMsg{kind: msgErr, name: err.Error()}, g.cfg.Codec))
+	g.sendUp(encodeMsg(&wireMsg{kind: msgErr, name: err.Error()}, g.wc))
 	g.fatal = fmt.Errorf("fl: aggregator %d: %w", g.cfg.Index, err)
 }
 
@@ -298,7 +314,7 @@ func (g *aggRun) handleDialResult(dr dialResult) {
 		// before the welcome): a fresh tree join is idempotent pre-assembly
 		// on the root, exactly like a client's re-join.
 		if g.joinFrame == nil {
-			g.joinFrame = encodeTreeJoin(g.cfg.Index, g.lo, g.hi, g.joins, g.algo.Name(), g.cfg.Codec)
+			g.joinFrame = encodeTreeJoin(g.cfg.Index, g.lo, g.hi, g.joins, g.algo.Name(), g.wc)
 		}
 		g.sendUp(g.joinFrame)
 	}
@@ -406,7 +422,7 @@ func (g *aggRun) handleUp(m *wireMsg) {
 		}
 	case msgHeartbeat:
 		// Echo verbatim, like any client: traffic is the liveness signal.
-		g.sendUp(encodeMsg(&wireMsg{kind: msgHeartbeat, a: m.a}, g.cfg.Codec))
+		g.sendUp(encodeMsg(&wireMsg{kind: msgHeartbeat, a: m.a}, g.wc))
 	case msgTreeDispatch:
 		g.handleTreeDispatch(m)
 	case msgEvalReq:
@@ -428,7 +444,7 @@ func (g *aggRun) welcomeChildren() {
 	g.assembled = true
 	for _, s := range g.pt.sessions {
 		welcome := &wireMsg{kind: msgWelcome, name: g.algo.Name(), ints: g.childWelcomeInts(s)}
-		if !g.pt.send(s, encodeMsg(welcome, g.cfg.Codec)) {
+		if !g.pt.send(s, encodeMsg(welcome, g.wc)) {
 			continue // the reconnect window (or churn) picks it up
 		}
 	}
@@ -474,7 +490,7 @@ func (g *aggRun) handleTreeDispatch(m *wireMsg) {
 		if s.churned {
 			continue
 		}
-		frame := encodeMsg(&wireMsg{kind: msgDispatch, a: m.a, vecs: payloads[i]}, g.cfg.Codec)
+		frame := encodeMsg(&wireMsg{kind: msgDispatch, a: m.a, vecs: payloads[i]}, g.wc)
 		s.busy = true
 		s.dispVersion = m.a
 		s.pendingDispatch = frame
@@ -508,9 +524,9 @@ func (g *aggRun) finishRound() {
 			return
 		}
 		au.Agg = g.cfg.Index
-		frame = encodeAggUpdate(g.version, au, g.cfg.Codec)
+		frame = encodeAggUpdate(g.version, au, g.wc)
 	} else {
-		frame = encodeTreeUpdate(g.version, ups, g.cfg.Codec)
+		frame = encodeTreeUpdate(g.version, ups, g.wc)
 	}
 	g.lastFrame, g.lastVersion, g.haveLast = frame, g.version, true
 	g.awaiting = nil
@@ -534,7 +550,7 @@ func (g *aggRun) handleUpEvalReq(m *wireMsg) {
 	g.evalWait = make(map[int]bool, len(m.ints))
 	g.evalAcc = make(map[int]uint64, len(m.ints))
 	g.evalIDs = g.evalIDs[:0]
-	frame := encodeMsg(&wireMsg{kind: msgEvalReq, a: m.a}, g.cfg.Codec)
+	frame := encodeMsg(&wireMsg{kind: msgEvalReq, a: m.a}, g.wc)
 	for _, iv := range m.ints {
 		id := int(iv)
 		if id < g.lo || id >= g.hi {
@@ -567,7 +583,7 @@ func (g *aggRun) finishEval() {
 			ids = append(ids, id)
 		}
 	}
-	frame := encodeMsg(&wireMsg{kind: msgEvalRes, a: g.evalVersion, ints: aggEvalInts(ids, g.evalAcc)}, g.cfg.Codec)
+	frame := encodeMsg(&wireMsg{kind: msgEvalRes, a: g.evalVersion, ints: aggEvalInts(ids, g.evalAcc)}, g.wc)
 	g.lastEvalFrm, g.lastEvalVer, g.haveLastEval = frame, g.evalVersion, true
 	g.evalWait = nil
 	g.evalAcc = nil
@@ -582,7 +598,7 @@ func (g *aggRun) beginStop() {
 		return
 	}
 	g.stopping = true
-	g.stopFrame = encodeMsg(&wireMsg{kind: msgStop}, g.cfg.Codec)
+	g.stopFrame = encodeMsg(&wireMsg{kind: msgStop}, g.wc)
 	for _, s := range g.pt.sessions {
 		if s.conn != nil && !s.churned {
 			g.pt.send(s, g.stopFrame)
@@ -668,7 +684,7 @@ func (g *aggRun) adoptChild(sess *peerSession, conn transport.Conn, joinWire int
 	g.n.Stats.Reconnects++
 	g.pt.attach(sess, conn, joinWire)
 	resume := &wireMsg{kind: msgResume, a: g.version, name: g.algo.Name(), ints: g.childWelcomeInts(sess)}
-	if !g.pt.send(sess, encodeMsg(resume, g.cfg.Codec)) {
+	if !g.pt.send(sess, encodeMsg(resume, g.wc)) {
 		return
 	}
 	if sess.busy && sess.pendingDispatch != nil {

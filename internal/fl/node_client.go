@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/comm"
 	"repro/internal/nn"
 	"repro/internal/transport"
 )
@@ -79,10 +78,14 @@ type clientRun struct {
 	// must wait for the local round to finish.
 	nextDispatch *wireMsg
 	pendingEval  *wireMsg
-	// lastUpdate caches the encoded frame of the last finished round, so a
+	// lastUpdate caches the message of the last finished round, so a
 	// re-dispatched round the server lost the answer to is resent instead
-	// of retrained.
-	lastUpdate  []byte
+	// of retrained. The message — not its encoding — is cached, because a
+	// delta-framed upload is stateful: every send must be re-encoded
+	// through the connection's current wireCodec so encoder and decoder
+	// advance their delta bases in lockstep (a verbatim byte replay would
+	// desync the tags).
+	lastUpdate  *wireMsg
 	lastVersion uint64
 	haveLast    bool
 }
@@ -140,7 +143,7 @@ func (cr *clientRun) drain() {
 // so the read loop finishes fast) looking for the stop that explains the
 // failure; anything else is discarded, which is safe because a live server
 // resends whatever a reconnecting client owes.
-func (cr *clientRun) awaitStop(conn transport.Conn, codec comm.Codec, frames <-chan frameOrErr) bool {
+func (cr *clientRun) awaitStop(conn transport.Conn, frames <-chan frameOrErr) bool {
 	for {
 		select {
 		case fe := <-frames:
@@ -151,7 +154,7 @@ func (cr *clientRun) awaitStop(conn transport.Conn, codec comm.Codec, frames <-c
 				// Best-effort ack on a connection that just failed a send;
 				// if it does not land, the server re-delivers the stop to a
 				// re-dial or churns the session at the window.
-				conn.Send(encodeMsg(&wireMsg{kind: msgStopAck}, codec))
+				conn.Send(encodeMsg(&wireMsg{kind: msgStopAck}, nil))
 				return true
 			}
 		case <-time.After(200 * time.Millisecond):
@@ -171,7 +174,10 @@ type frameOrErr struct {
 func (cr *clientRun) serve(ctx context.Context, conn transport.Conn) error {
 	defer conn.Close()
 	c := cr.c
-	codec := conn.Hello().Codec
+	// The connection's codec state is rebuilt per serve pass: a reconnect
+	// starts with no delta bases, so the first upload re-establishes them
+	// densely — matching the server reader's equally fresh decoder.
+	wc := newWireCodec(conn.Hello().Spec, lossyUploads(cr.cn.Algo))
 	stop := make(chan struct{})
 	defer close(stop)
 
@@ -214,7 +220,7 @@ func (cr *clientRun) serve(ctx context.Context, conn transport.Conn) error {
 			join.ints[joinNumParams] = int64(nn.NumParams(c.Model.Params()))
 			join.ints[joinNumClassifier] = int64(nn.NumParams(c.Model.ClassifierParams()))
 		}
-		if _, err := conn.Send(encodeMsg(join, codec)); err != nil {
+		if _, err := conn.Send(encodeMsg(join, wc)); err != nil {
 			return fmt.Errorf("fl: client %d join: %w: %v", c.ID, errConnLost, err)
 		}
 		cr.joined = true
@@ -233,8 +239,8 @@ func (cr *clientRun) serve(ctx context.Context, conn transport.Conn) error {
 			if err != nil {
 				return fmt.Errorf("fl: client %d: %w", c.ID, err)
 			}
-			done, err := cr.handle(conn, codec, m)
-			if err != nil && errors.Is(err, errConnLost) && cr.awaitStop(conn, codec, frames) {
+			done, err := cr.handle(conn, wc, m)
+			if err != nil && errors.Is(err, errConnLost) && cr.awaitStop(conn, frames) {
 				return nil
 			}
 			if done || err != nil {
@@ -242,8 +248,8 @@ func (cr *clientRun) serve(ctx context.Context, conn transport.Conn) error {
 			}
 		case res := <-cr.trainDone:
 			cr.training = false
-			if err := cr.finishTraining(conn, codec, res); err != nil {
-				if errors.Is(err, errConnLost) && cr.awaitStop(conn, codec, frames) {
+			if err := cr.finishTraining(conn, wc, res); err != nil {
+				if errors.Is(err, errConnLost) && cr.awaitStop(conn, frames) {
 					return nil
 				}
 				return err
@@ -255,7 +261,7 @@ func (cr *clientRun) serve(ctx context.Context, conn transport.Conn) error {
 }
 
 // handle processes one server message. done reports a clean stop.
-func (cr *clientRun) handle(conn transport.Conn, codec comm.Codec, m *wireMsg) (done bool, err error) {
+func (cr *clientRun) handle(conn transport.Conn, wc *wireCodec, m *wireMsg) (done bool, err error) {
 	c := cr.c
 	switch m.kind {
 	case msgWelcome, msgResume:
@@ -280,7 +286,7 @@ func (cr *clientRun) handle(conn transport.Conn, codec comm.Codec, m *wireMsg) (
 	case msgHeartbeat:
 		// Echo verbatim: traffic is the liveness signal, and the echo keeps
 		// flowing even while the worker trains.
-		if _, err := conn.Send(encodeMsg(&wireMsg{kind: msgHeartbeat, a: m.a}, codec)); err != nil {
+		if _, err := conn.Send(encodeMsg(&wireMsg{kind: msgHeartbeat, a: m.a}, wc)); err != nil {
 			return false, fmt.Errorf("fl: client %d heartbeat: %w: %v", c.ID, errConnLost, err)
 		}
 	case msgDispatch:
@@ -295,8 +301,9 @@ func (cr *clientRun) handle(conn transport.Conn, codec comm.Codec, m *wireMsg) (
 			cr.nextDispatch = m
 		case cr.haveLast && m.a == cr.lastVersion:
 			// The server re-dispatched a round already answered: the update
-			// was lost in the disconnect. Resend the cached frame.
-			if _, err := conn.Send(cr.lastUpdate); err != nil {
+			// was lost in the disconnect. Re-encode the cached message
+			// through this connection's codec state and resend.
+			if _, err := conn.Send(encodeMsg(cr.lastUpdate, wc)); err != nil {
 				return false, fmt.Errorf("fl: client %d upload resend: %w: %v", c.ID, errConnLost, err)
 			}
 		default:
@@ -307,14 +314,14 @@ func (cr *clientRun) handle(conn transport.Conn, codec comm.Codec, m *wireMsg) (
 			cr.pendingEval = m
 			break
 		}
-		if err := cr.sendEval(conn, codec, m); err != nil {
+		if err := cr.sendEval(conn, wc, m); err != nil {
 			return false, err
 		}
 	case msgStop:
 		// Acknowledge the goodbye; the server holds the session open until
 		// the ack lands (both transports flush in-flight frames on close,
 		// so exiting immediately after the send is safe).
-		conn.Send(encodeMsg(&wireMsg{kind: msgStopAck}, codec))
+		conn.Send(encodeMsg(&wireMsg{kind: msgStopAck}, wc))
 		return true, nil
 	case msgErr:
 		return false, fmt.Errorf("fl: client %d refused by server: %s", c.ID, m.name)
@@ -338,16 +345,15 @@ func (cr *clientRun) startTraining(m *wireMsg) {
 
 // finishTraining uploads a finished round, caching the encoded frame for
 // replay, then services whatever queued up behind the training.
-func (cr *clientRun) finishTraining(conn transport.Conn, codec comm.Codec, res trainResult) error {
+func (cr *clientRun) finishTraining(conn transport.Conn, wc *wireCodec, res trainResult) error {
 	c := cr.c
 	if res.err != nil {
-		conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: res.err.Error()}, codec))
+		conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: res.err.Error()}, wc))
 		return fmt.Errorf("fl: client %d local round: %w", c.ID, res.err)
 	}
 	up := &wireMsg{kind: msgUpdate, a: res.version, b: f64bits(res.u.Scale), vecs: res.u.Vecs, counts: res.u.Counts}
-	frame := encodeMsg(up, codec)
-	cr.lastUpdate, cr.lastVersion, cr.haveLast = frame, res.version, true
-	if _, err := conn.Send(frame); err != nil {
+	cr.lastUpdate, cr.lastVersion, cr.haveLast = up, res.version, true
+	if _, err := conn.Send(encodeMsg(up, wc)); err != nil {
 		return fmt.Errorf("fl: client %d upload: %w: %v", c.ID, errConnLost, err)
 	}
 	if nd := cr.nextDispatch; nd != nil {
@@ -357,14 +363,14 @@ func (cr *clientRun) finishTraining(conn transport.Conn, codec comm.Codec, res t
 	}
 	if pe := cr.pendingEval; pe != nil {
 		cr.pendingEval = nil
-		return cr.sendEval(conn, codec, pe)
+		return cr.sendEval(conn, wc, pe)
 	}
 	return nil
 }
 
-func (cr *clientRun) sendEval(conn transport.Conn, codec comm.Codec, m *wireMsg) error {
+func (cr *clientRun) sendEval(conn transport.Conn, wc *wireCodec, m *wireMsg) error {
 	res := &wireMsg{kind: msgEvalRes, a: m.a, b: f64bits(cr.c.EvalAccuracy())}
-	if _, err := conn.Send(encodeMsg(res, codec)); err != nil {
+	if _, err := conn.Send(encodeMsg(res, wc)); err != nil {
 		return fmt.Errorf("fl: client %d evaluation: %w: %v", cr.c.ID, errConnLost, err)
 	}
 	return nil

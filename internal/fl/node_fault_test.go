@@ -38,7 +38,7 @@ func TestNodeAsyncWireParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := fl.SchedulerConfig{Kind: fl.SchedAsyncBounded, MaxStaleness: 4}
-	want, err := experiments.RunScheduled(experiments.MethodProposed, experiments.Fashion, factory, s, 1.0, sched, comm.F64)
+	want, err := experiments.RunScheduled(experiments.MethodProposed, experiments.Fashion, factory, s, 1.0, sched, comm.Spec{Value: comm.F64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestNodeAsyncWireParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transport.NewInproc(transport.Options{})
-	got, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv",
+	got, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64}, tr, "srv",
 		applySched(sched))
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestNodeSemiSyncWireRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transport.NewInproc(transport.Options{})
-	hist, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv",
+	hist, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64}, tr, "srv",
 		applySched(fl.SchedulerConfig{Kind: fl.SchedSemiSync, Quorum: 2}))
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +114,7 @@ func TestNodeClientReconnectResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg := experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, k)
 	cfg.Heartbeat = 50 * time.Millisecond
 	cfg.DeadAfter = 500 * time.Millisecond
 	cfg.ReconnectWindow = 10 * time.Second
@@ -227,7 +227,7 @@ func TestNodeServerCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx1, kill := context.WithCancel(ctx)
-	cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg := experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, k)
 	cfg.Checkpoint = func(snap *fl.Snapshot) error {
 		snaps = append(snaps, snap)
 		if snap.Round >= stopAfter {
@@ -263,7 +263,7 @@ func TestNodeServerCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg2 := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg2 := experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, k)
 	cfg2.Resume = last
 	srv2 := fl.NewServerNode(algo2, cfg2)
 	hist, err := srv2.Serve(ctx, ln2)
@@ -306,7 +306,7 @@ func TestNodeChaosFederation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	clean, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64,
+	clean, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64},
 		transport.NewInproc(transport.Options{}), "srv")
 	if err != nil {
 		t.Fatal(err)
@@ -319,7 +319,7 @@ func TestNodeChaosFederation(t *testing.T) {
 		Delay:    0.1,
 		MaxDelay: 5 * time.Millisecond,
 	})
-	shaken, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64,
+	shaken, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64},
 		chaos, "srv", func(cfg *fl.NodeConfig) {
 			cfg.Heartbeat = 50 * time.Millisecond
 			cfg.DeadAfter = 500 * time.Millisecond
@@ -389,7 +389,7 @@ func TestNodeGoroutineHygiene(t *testing.T) {
 		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 		defer cancel()
 		tr := transport.NewInproc(transport.Options{})
-		if _, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv"); err != nil {
+		if _, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64}, tr, "srv"); err != nil {
 			t.Fatal(err)
 		}
 		waitNodeGoroutines(t, baseline)
@@ -402,7 +402,7 @@ func TestNodeGoroutineHygiene(t *testing.T) {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv")
+			experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64}, tr, "srv")
 		}()
 		time.Sleep(150 * time.Millisecond) // into the first local rounds
 		cancel()
@@ -427,7 +427,7 @@ func TestNodeGoroutineHygiene(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, s.Clients)
+		cfg := experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, s.Clients)
 		cfg.Heartbeat = 20 * time.Millisecond
 		cfg.DeadAfter = 200 * time.Millisecond
 		srv := fl.NewServerNode(algo, cfg)

@@ -48,7 +48,7 @@ func TestNodeFederationSyncParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transport.NewInproc(transport.Options{})
-	got, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv")
+	got, err := experiments.RunNodes(ctx, experiments.MethodProposed, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64}, tr, "srv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestNodeAllMethodsRun(t *testing.T) {
 				t.Fatal(err)
 			}
 			tr := transport.NewInproc(transport.Options{})
-			hist, err := experiments.RunNodes(ctx, tc.method, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64, tr, "srv")
+			hist, err := experiments.RunNodes(ctx, tc.method, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64}, tr, "srv")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -186,7 +186,7 @@ func TestNodeLedgerMatchesWireBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := fl.NewServerNode(algo, experiments.NodeConfigFor(s, 1.0, comm.F64, k))
+	srv := fl.NewServerNode(algo, experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, k))
 	clientErr := make(chan error, k)
 	for i := 0; i < k; i++ {
 		go func(id int) {
@@ -249,7 +249,7 @@ func TestNodeClientDeathChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, k)
+	cfg := experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, k)
 	// A dead client without a reconnect attempt should degrade to churn
 	// quickly; the defaults are sized for real deployments.
 	cfg.Heartbeat = 20 * time.Millisecond
@@ -324,7 +324,7 @@ func TestServerNodeCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := fl.NewServerNode(algo, experiments.NodeConfigFor(s, 1.0, comm.F64, 2))
+	srv := fl.NewServerNode(algo, experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, 2))
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {

@@ -28,12 +28,12 @@ func runFlatAndTree(t *testing.T, method, fleet string, s experiments.Scale, agg
 	if err != nil {
 		t.Fatal(err)
 	}
-	flat, err = experiments.RunNodes(ctx, method, experiments.Fashion, build, s.Clients, s, 1.0, comm.F64,
+	flat, err = experiments.RunNodes(ctx, method, experiments.Fashion, build, s.Clients, s, 1.0, comm.Spec{Value: comm.F64},
 		transport.NewInproc(transport.Options{}), "flat")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err = experiments.RunTreeNodes(ctx, method, experiments.Fashion, build, s.Clients, aggs, s, 1.0, comm.F64,
+	tree, err = experiments.RunTreeNodes(ctx, method, experiments.Fashion, build, s.Clients, aggs, s, 1.0, comm.Spec{Value: comm.F64},
 		transport.NewInproc(transport.Options{}), "tree")
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +188,7 @@ func TestTreeAggregatorDeathChurnsSubtree(t *testing.T) {
 		}
 	}
 
-	srv, hist, err := experiments.ServeNode(ctx, experiments.MethodProposed, experiments.Fashion, s, 1.0, comm.F64, s.Clients, rootLn,
+	srv, hist, err := experiments.ServeNode(ctx, experiments.MethodProposed, experiments.Fashion, s, 1.0, comm.Spec{Value: comm.F64}, s.Clients, rootLn,
 		func(cfg *fl.NodeConfig) {
 			cfg.Aggregators = aggs
 			cfg.Heartbeat = 20 * time.Millisecond
@@ -275,7 +275,7 @@ func TestTreeConfigInterlocks(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cfg := experiments.NodeConfigFor(s, 1.0, comm.F64, s.Clients)
+			cfg := experiments.NodeConfigFor(s, 1.0, comm.Spec{Value: comm.F64}, s.Clients)
 			tc.mut(&cfg)
 			if _, err := fl.NewServerNode(algo, cfg).Serve(context.Background(), ln); err == nil {
 				t.Fatal("invalid tree config accepted")

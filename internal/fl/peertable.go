@@ -25,7 +25,12 @@ import (
 // pre-refactor server. All methods except the accept/greet/reader
 // goroutines must be called from the role's single event-loop goroutine.
 type PeerTable struct {
-	codec     comm.Codec
+	// spec and lossy rebuild a fresh decode-side wireCodec for every
+	// connection incarnation: delta bases live and die with one connection,
+	// so a reconnect decodes densely until a new basis is established —
+	// mirroring the peer's encoder, which is rebuilt the same way.
+	spec      comm.Spec
+	lossy     bool
 	heartbeat time.Duration
 	deadAfter time.Duration
 	window    time.Duration
@@ -110,10 +115,11 @@ type acceptedConn struct {
 }
 
 // newPeerTable builds a table of count sessions carrying ids base..base+count-1.
-func newPeerTable(count, base int, codec comm.Codec, heartbeat, deadAfter, window time.Duration,
+func newPeerTable(count, base int, spec comm.Spec, lossy bool, heartbeat, deadAfter, window time.Duration,
 	tokenSeed int64, ledger *comm.Ledger, stats *NodeStats, validJoin func(*wireMsg) bool) *PeerTable {
 	pt := &PeerTable{
-		codec:     codec,
+		spec:      spec,
+		lossy:     lossy,
 		heartbeat: heartbeat,
 		deadAfter: deadAfter,
 		window:    window,
@@ -244,8 +250,12 @@ func (pt *PeerTable) deliverConn(ac acceptedConn) {
 }
 
 // reader pumps one connection's messages into the event loop until the
-// connection dies.
+// connection dies. Each reader owns a fresh wireCodec: the delta bases a
+// connection's uploads accumulate are discarded with the connection, so an
+// adopted reconnect starts dense — exactly as the peer's rebuilt encoder
+// does.
 func (pt *PeerTable) reader(id, gen int, conn transport.Conn) {
+	wc := newWireCodec(pt.spec, pt.lossy)
 	deliver := func(ev inbound) bool {
 		select {
 		case pt.events <- ev:
@@ -260,7 +270,7 @@ func (pt *PeerTable) reader(id, gen int, conn transport.Conn) {
 			deliver(inbound{id: id, gen: gen, err: err})
 			return
 		}
-		m, err := decodeMsg(frame)
+		m, err := decodeMsgWc(frame, wc)
 		if err != nil {
 			deliver(inbound{id: id, gen: gen, err: err})
 			return
@@ -305,7 +315,7 @@ func (pt *PeerTable) findToken(token uint64) *peerSession {
 
 // refuse rejects a connection with an explanatory error message.
 func (pt *PeerTable) refuse(conn transport.Conn, reason string) {
-	conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: reason}, pt.codec))
+	conn.Send(encodeMsg(&wireMsg{kind: msgErr, name: reason}, nil))
 	conn.Close()
 }
 
@@ -394,7 +404,7 @@ func (pt *PeerTable) tick(version uint64, onChurn func(*peerSession)) {
 				pt.markDisconnected(s)
 			} else if beat {
 				if hb == nil {
-					hb = encodeMsg(&wireMsg{kind: msgHeartbeat, a: version}, pt.codec)
+					hb = encodeMsg(&wireMsg{kind: msgHeartbeat, a: version}, nil)
 				}
 				pt.send(s, hb)
 			}

@@ -118,16 +118,17 @@ type wireMsg struct {
 func f64bits(v float64) uint64 { return math.Float64bits(v) }
 func bitsF64(b uint64) float64 { return math.Float64frombits(b) }
 
-// encodeMsg serializes a message, framing payload vectors with the
-// negotiated codec.
-func encodeMsg(m *wireMsg, codec comm.Codec) []byte {
+// encodeMsg serializes a message, framing payload vectors per the
+// connection's wireCodec (nil = plain dense f64). Vectors are encoded
+// straight into the message buffer — sized once from MarshalSpecBound —
+// with the frame length patched in after the fact, so the envelope costs
+// one allocation regardless of how many vectors it carries.
+func encodeMsg(m *wireMsg, wc *wireCodec) []byte {
 	size := 4 + 8 + 8 + 8 + len(m.name) + 8 + 8*len(m.ints) + 8 + 8*len(m.counts) + 8
-	frames := make([][]byte, len(m.vecs))
-	for i, v := range m.vecs {
+	for _, v := range m.vecs {
 		size++ // presence byte
 		if v != nil {
-			frames[i] = comm.MarshalAs(codec, m.kind, v)
-			size += 8 + len(frames[i])
+			size += 8 + comm.MarshalSpecBound(wc.specFor(m.kind, len(v)), len(v))
 		}
 	}
 	b := make([]byte, 0, size)
@@ -154,14 +155,16 @@ func encodeMsg(m *wireMsg, codec comm.Codec) []byte {
 		u64(uint64(int64(v)))
 	}
 	u64(uint64(len(m.vecs)))
-	for i := range m.vecs {
-		if frames[i] == nil {
+	for i, v := range m.vecs {
+		if v == nil {
 			b = append(b, 0)
 			continue
 		}
 		b = append(b, 1)
-		u64(uint64(len(frames[i])))
-		b = append(b, frames[i]...)
+		lenAt := len(b)
+		b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+		b = comm.MarshalSpecInto(b, wc.specFor(m.kind, len(v)), m.kind, v, wc.ref(m.kind, i, len(v)))
+		binary.LittleEndian.PutUint64(b[lenAt:], uint64(len(b)-lenAt-8))
 	}
 	return b
 }
@@ -222,8 +225,15 @@ func (d *msgDecoder) count(elemBytes int) int {
 	return int(v)
 }
 
-// decodeMsg parses one message frame.
+// decodeMsg parses one message frame of the plain dense protocol.
 func decodeMsg(frame []byte) (*wireMsg, error) {
+	return decodeMsgWc(frame, nil)
+}
+
+// decodeMsgWc parses one message frame, resolving sparse and delta vector
+// frames through the connection's wireCodec (nil accepts dense and top-k
+// frames but rejects delta, which needs a negotiated basis).
+func decodeMsgWc(frame []byte, wc *wireCodec) (*wireMsg, error) {
 	d := &msgDecoder{b: frame}
 	m := &wireMsg{}
 	m.kind = d.u32()
@@ -265,7 +275,13 @@ func decodeMsg(frame []byte) (*wireMsg, error) {
 			if vb == nil {
 				break
 			}
-			_, tag, payload, err := comm.Decode(vb)
+			var ref *comm.DeltaRef
+			if wc != nil {
+				if _, _, n, err := comm.FrameInfo(vb); err == nil {
+					ref = wc.ref(m.kind, i, n)
+				}
+			}
+			tag, payload, err := comm.DecodeSpec(nil, vb, ref)
 			if err != nil {
 				d.fail("vector %d: %v", i, err)
 				break

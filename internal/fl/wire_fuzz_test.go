@@ -48,14 +48,29 @@ func corpusMsgs() []*wireMsg {
 // input into a different message).
 func FuzzDecodeMsg(f *testing.F) {
 	for _, m := range corpusMsgs() {
-		f.Add(encodeMsg(m, comm.F64))
-		f.Add(encodeMsg(m, comm.I8))
+		f.Add(encodeMsg(m, plainWire(comm.F64)))
+		f.Add(encodeMsg(m, plainWire(comm.I8)))
 	}
+	// Sparse and delta framed updates: a top-k upload, a delta basis frame
+	// and the delta residual that follows it. The harness decodes with a
+	// plain codec, so the delta frames drive the basis-rejection path.
+	sparse := newWireCodec(comm.NewSpec(comm.F32, 0.25, false), true)
+	deltaEnc := newWireCodec(comm.NewSpec(comm.I8, 0, true), true)
+	bigUpdate := func(seed float64) *wireMsg {
+		v := make([]float64, 96)
+		for i := range v {
+			v[i] = seed * float64((i*7919)%101-50) / 37.0
+		}
+		return &wireMsg{kind: msgUpdate, a: 3, vecs: [][]float64{v}}
+	}
+	f.Add(encodeMsg(bigUpdate(1), sparse))
+	f.Add(encodeMsg(bigUpdate(1), deltaEnc))
+	f.Add(encodeMsg(bigUpdate(2), deltaEnc))
 	// Malformed seeds steer the fuzzer at the error paths: truncation,
 	// trailing bytes, hostile counts.
 	f.Add([]byte{})
-	f.Add(encodeMsg(&wireMsg{kind: msgHeartbeat, a: 1}, comm.F64)[:8])
-	f.Add(append(encodeMsg(&wireMsg{kind: msgStop}, comm.F64), 0xff))
+	f.Add(encodeMsg(&wireMsg{kind: msgHeartbeat, a: 1}, plainWire(comm.F64))[:8])
+	f.Add(append(encodeMsg(&wireMsg{kind: msgStop}, plainWire(comm.F64)), 0xff))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := decodeMsg(data)
 		if err != nil {
@@ -63,7 +78,7 @@ func FuzzDecodeMsg(f *testing.F) {
 		}
 		// A decoded message re-encodes canonically (f64 frames are exact)
 		// and decodes back to the same message.
-		re, err := decodeMsg(encodeMsg(m, comm.F64))
+		re, err := decodeMsg(encodeMsg(m, plainWire(comm.F64)))
 		if err != nil {
 			t.Fatalf("re-decoding a decoded message: %v", err)
 		}

@@ -20,7 +20,7 @@ func TestWireMessageRoundTrip(t *testing.T) {
 		counts: []int{0, 9, 0, 4},
 		vecs:   [][]float64{{1, 2, 3}, nil, {-0.5}},
 	}
-	got, err := decodeMsg(encodeMsg(m, comm.F64))
+	got, err := decodeMsg(encodeMsg(m, plainWire(comm.F64)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestWireMessageRoundTrip(t *testing.T) {
 func TestWireMessageQuantizes(t *testing.T) {
 	v := []float64{0.123456789, -1.75, 3.0}
 	m := &wireMsg{kind: msgDispatch, vecs: [][]float64{append([]float64(nil), v...)}}
-	got, err := decodeMsg(encodeMsg(m, comm.F32))
+	got, err := decodeMsg(encodeMsg(m, plainWire(comm.F32)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestWireMessageQuantizes(t *testing.T) {
 
 // TestWireMessageEmpty round-trips the minimal control message.
 func TestWireMessageEmpty(t *testing.T) {
-	got, err := decodeMsg(encodeMsg(&wireMsg{kind: msgStop}, comm.F64))
+	got, err := decodeMsg(encodeMsg(&wireMsg{kind: msgStop}, plainWire(comm.F64)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestWireMessageEmpty(t *testing.T) {
 // TestWireMessageRejectsCorruption checks truncation, tag mismatches,
 // hostile counts and trailing bytes all fail cleanly.
 func TestWireMessageRejectsCorruption(t *testing.T) {
-	good := encodeMsg(&wireMsg{kind: msgUpdate, b: f64bits(1), vecs: [][]float64{{1, 2}}}, comm.F64)
+	good := encodeMsg(&wireMsg{kind: msgUpdate, b: f64bits(1), vecs: [][]float64{{1, 2}}}, plainWire(comm.F64))
 	if _, err := decodeMsg(good); err != nil {
 		t.Fatal(err)
 	}
@@ -94,14 +94,14 @@ func TestWireMessageRejectsCorruption(t *testing.T) {
 	}
 	// A vector tagged with a different message kind (decoder desync).
 	evil := &wireMsg{kind: msgDispatch, vecs: [][]float64{{1}}}
-	frame := encodeMsg(evil, comm.F64)
+	frame := encodeMsg(evil, plainWire(comm.F64))
 	// Rewrite the outer kind without re-tagging the vec frame.
 	frame[0], frame[1] = byte(msgUpdate&0xFF), byte(msgUpdate>>8)
 	if _, err := decodeMsg(frame); err == nil || !strings.Contains(err.Error(), "tagged") {
 		t.Fatalf("tag mismatch: %v", err)
 	}
 	// A hostile count field larger than the buffer.
-	hostile := encodeMsg(&wireMsg{kind: msgJoin}, comm.F64)
+	hostile := encodeMsg(&wireMsg{kind: msgJoin}, plainWire(comm.F64))
 	for i := 0; i < 8; i++ {
 		hostile[4+16+i] = 0xFF // nameLen u64 → absurd
 	}

@@ -3,8 +3,6 @@ package fl
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/comm"
 )
 
 // This file is the hierarchical half of the wire protocol: the message
@@ -131,7 +129,7 @@ func TreeSplit(k, aggs int) []int {
 //	ints   = [lo, hi, then joinIntCount ints per child]
 //	counts = per-child init-vector count
 //	vecs   = the children's init payloads, concatenated
-func encodeTreeJoin(agg, lo, hi int, joins []WireJoin, name string, codec comm.Codec) []byte {
+func encodeTreeJoin(agg, lo, hi int, joins []WireJoin, name string, wc *wireCodec) []byte {
 	m := &wireMsg{kind: msgTreeJoin, a: uint64(agg), name: name}
 	m.ints = append(m.ints, int64(lo), int64(hi))
 	for _, j := range joins {
@@ -140,7 +138,7 @@ func encodeTreeJoin(agg, lo, hi int, joins []WireJoin, name string, codec comm.C
 		m.counts = append(m.counts, len(j.Init))
 		m.vecs = append(m.vecs, j.Init...)
 	}
-	return encodeMsg(m, codec)
+	return encodeMsg(m, wc)
 }
 
 // decodeTreeJoin parses a tree handshake and rebuilds the per-child joins.
@@ -198,14 +196,14 @@ func decodeTreeJoin(m *wireMsg) (agg, lo, hi int, joins []WireJoin, err error) {
 //	ints   = cohort member ids (ascending)
 //	counts = per-member payload vector count
 //	vecs   = the members' dispatch payloads, concatenated
-func encodeTreeDispatch(version uint64, members []int, payloads [][][]float64, codec comm.Codec) []byte {
+func encodeTreeDispatch(version uint64, members []int, payloads [][][]float64, wc *wireCodec) []byte {
 	m := &wireMsg{kind: msgTreeDispatch, a: version}
 	for i, id := range members {
 		m.ints = append(m.ints, int64(id))
 		m.counts = append(m.counts, len(payloads[i]))
 		m.vecs = append(m.vecs, payloads[i]...)
 	}
-	return encodeMsg(m, codec)
+	return encodeMsg(m, wc)
 }
 
 // decodeTreeDispatch parses a batched broadcast back into per-member
@@ -240,7 +238,7 @@ func decodeTreeDispatch(m *wireMsg) (ids []int, payloads [][][]float64, err erro
 //	         algorithm accumulates slots under independent weights
 //	counts = slot-wise summed integer counts
 //	vecs   = pre-weighted vector sums (nil slots allowed)
-func encodeAggUpdate(version uint64, au *AggUpdate, codec comm.Codec) []byte {
+func encodeAggUpdate(version uint64, au *AggUpdate, wc *wireCodec) []byte {
 	m := &wireMsg{kind: msgAggUpdate, a: version, b: f64bits(au.Weight)}
 	m.ints = append(m.ints, int64(au.Children))
 	for _, w := range au.VecWeights {
@@ -248,7 +246,7 @@ func encodeAggUpdate(version uint64, au *AggUpdate, codec comm.Codec) []byte {
 	}
 	m.counts = au.Counts
 	m.vecs = au.Vecs
-	return encodeMsg(m, codec)
+	return encodeMsg(m, wc)
 }
 
 // decodeAggUpdate parses a pre-reduced aggregate.
@@ -287,7 +285,7 @@ func decodeAggUpdate(m *wireMsg) (*AggUpdate, error) {
 //	ints   = per update: [client id, scale bits, nVecs, nCounts]
 //	counts = the updates' integer counts, concatenated
 //	vecs   = the updates' vectors, concatenated
-func encodeTreeUpdate(version uint64, ups []*Update, codec comm.Codec) []byte {
+func encodeTreeUpdate(version uint64, ups []*Update, wc *wireCodec) []byte {
 	m := &wireMsg{kind: msgTreeUpdate, a: version}
 	for _, u := range ups {
 		m.ints = append(m.ints, int64(u.Client), int64(f64bits(u.Scale)),
@@ -295,7 +293,7 @@ func encodeTreeUpdate(version uint64, ups []*Update, codec comm.Codec) []byte {
 		m.counts = append(m.counts, u.Counts...)
 		m.vecs = append(m.vecs, u.Vecs...)
 	}
-	return encodeMsg(m, codec)
+	return encodeMsg(m, wc)
 }
 
 // decodeTreeUpdate parses a passthrough bundle back into updates. Weight

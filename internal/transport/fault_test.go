@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/comm"
 )
 
 // Fault-path tests: session tokens, read/write deadlines, the dial-retry
@@ -302,7 +304,7 @@ func TestDialRetryFailsFastOnHandshake(t *testing.T) {
 	}()
 	var retries int
 	start := time.Now()
-	_, err = DialRetry(context.Background(), NewTCP(Options{Codec: 2}), ln.Addr(), RetryOptions{
+	_, err = DialRetry(context.Background(), NewTCP(Options{Spec: comm.Spec{Value: comm.I8}}), ln.Addr(), RetryOptions{
 		Budget:  30 * time.Second,
 		Seed:    3,
 		OnRetry: func(int, error, time.Duration) { retries++ },

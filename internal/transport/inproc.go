@@ -72,7 +72,7 @@ func (t *Inproc) dial(ctx context.Context, addr string, token uint64) (Conn, err
 	if ln == nil {
 		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
 	}
-	hello := Hello{Version: Version, DType: t.opts.DType, Codec: t.opts.Codec, Token: token}
+	hello := Hello{Version: Version, DType: t.opts.DType, Spec: t.opts.Spec, Token: token}
 	if err := checkHello(hello, ln.opts); err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ import (
 // The tcp transport: length-prefixed frames over real sockets. The wire
 // format per connection is
 //
-//	handshake  "FEDWIRE3" [version u32][dtype u32][codec u32][token u64]  (28 bytes, each way)
+//	handshake  "FEDWIRE4" [version u32][dtype u32][spec u32][token u64]  (28 bytes, each way)
 //	frame      [length u32][frame bytes]                                  (length-prefixed, little-endian)
 //
 // The dialer sends its hello first; the acceptor validates it, replies
@@ -33,7 +33,7 @@ import (
 
 // tcpMagic guards against pointing a node at an arbitrary TCP service
 // (and a stale node at a newer federation: the magic carries the generation).
-const tcpMagic = "FEDWIRE3"
+const tcpMagic = "FEDWIRE4"
 
 // helloSize is the fixed handshake size per direction.
 const helloSize = len(tcpMagic) + 12 + 8
@@ -164,7 +164,7 @@ func (c *tcpConn) sendHello(o Options) error {
 	copy(b, tcpMagic)
 	binary.LittleEndian.PutUint32(b[len(tcpMagic):], Version)
 	binary.LittleEndian.PutUint32(b[len(tcpMagic)+4:], uint32(o.DType))
-	binary.LittleEndian.PutUint32(b[len(tcpMagic)+8:], uint32(o.Codec))
+	binary.LittleEndian.PutUint32(b[len(tcpMagic)+8:], o.Spec.Pack())
 	binary.LittleEndian.PutUint64(b[len(tcpMagic)+12:], o.Token)
 	if _, err := c.nc.Write(b); err != nil {
 		return fmt.Errorf("transport: sending handshake: %w", err)
@@ -190,7 +190,6 @@ func (c *tcpConn) recvHello() (Hello, error) {
 	h := Hello{
 		Version: binary.LittleEndian.Uint32(b[len(tcpMagic):]),
 		DType:   tensor.DType(binary.LittleEndian.Uint32(b[len(tcpMagic)+4:])),
-		Codec:   comm.Codec(binary.LittleEndian.Uint32(b[len(tcpMagic)+8:])),
 		Token:   binary.LittleEndian.Uint64(b[len(tcpMagic)+12:]),
 	}
 	// Field garbage behind a valid magic is still a rejection with a
@@ -198,9 +197,11 @@ func (c *tcpConn) recvHello() (Hello, error) {
 	if !h.DType.Valid() {
 		return Hello{}, fmt.Errorf("transport: handshake declares unknown dtype %d: %w", uint32(h.DType), ErrHandshake)
 	}
-	if !h.Codec.Valid() {
-		return Hello{}, fmt.Errorf("transport: handshake declares unknown codec %d: %w", uint32(h.Codec), ErrHandshake)
+	spec, err := comm.UnpackSpec(binary.LittleEndian.Uint32(b[len(tcpMagic)+8:]))
+	if err != nil {
+		return Hello{}, fmt.Errorf("transport: %v: %w", err, ErrHandshake)
 	}
+	h.Spec = spec
 	return h, nil
 }
 

@@ -54,7 +54,13 @@ var ErrDeadline = errors.New("deadline exceeded")
 // batched dispatch, aggregated update, passthrough bundle); the hello
 // layout is unchanged, and flat clients speak v3 untouched — the bump
 // only fences v2 peers, which would drop the new kinds as unknown.
-const Version = 3
+// Version 4 widened the hello's codec word to a packed comm.Spec (top-k
+// fraction and delta flag alongside the value codec) and added the TOPK
+// and DELTA frame families. The hello layout is again unchanged and a
+// plain dense spec packs to the bare codec value, but a v3 peer would
+// truncate the packed word to its low byte and silently misread a sparse
+// negotiation — the bump turns that corruption into a clean rejection.
+const Version = 4
 
 // FrameOverhead is the per-frame wire overhead: the uint32 length prefix.
 // The inproc transport books the same arithmetic so byte accounting is
@@ -75,9 +81,11 @@ type Options struct {
 	// and f64 nodes would corrupt parity, exactly like resuming a
 	// checkpoint at the wrong dtype.
 	DType tensor.DType
-	// Codec is the payload codec this endpoint frames vectors with. Both
-	// ends must agree so ledger accounting and dequantization match.
-	Codec comm.Codec
+	// Spec is the payload framing this endpoint speaks: the dense value
+	// codec plus optional top-k sparsification and delta framing. Both
+	// ends must agree so ledger accounting, dequantization and delta
+	// basis tracking match. The zero value is plain dense f64.
+	Spec comm.Spec
 	// MaxFrame caps the size of any single received frame in bytes
 	// (default DefaultMaxFrame).
 	MaxFrame int64
@@ -102,7 +110,7 @@ func (o Options) withDefaults() Options {
 type Hello struct {
 	Version uint32
 	DType   tensor.DType
-	Codec   comm.Codec
+	Spec    comm.Spec
 	// Token is the session token the peer presented. On an accepted
 	// connection this is the dialer's claim (the interesting direction: a
 	// reconnecting client names its session); on a dialed connection it is
@@ -199,8 +207,8 @@ func checkHello(peer Hello, local Options) error {
 	if peer.DType != local.DType {
 		return fmt.Errorf("transport: peer trains at dtype %s, this endpoint at %s: %w", peer.DType, local.DType, ErrHandshake)
 	}
-	if peer.Codec != local.Codec {
-		return fmt.Errorf("transport: peer frames payloads as %s, this endpoint as %s: %w", peer.Codec, local.Codec, ErrHandshake)
+	if peer.Spec != local.Spec {
+		return fmt.Errorf("transport: peer frames payloads as %s, this endpoint as %s: %w", peer.Spec, local.Spec, ErrHandshake)
 	}
 	return nil
 }

@@ -148,7 +148,8 @@ func TestHandshakeRejectsMismatch(t *testing.T) {
 		wantFragment string
 	}{
 		{"dtype", Options{DType: tensor.F32}, "dtype"},
-		{"codec", Options{Codec: comm.I8}, "codec(2)"},
+		{"codec", Options{Spec: comm.Spec{Value: comm.I8}}, "i8"},
+		{"spec", Options{Spec: comm.NewSpec(comm.F32, 0.05, true)}, "topk"},
 	}
 	for _, tc := range cases {
 		t.Run("tcp/"+tc.name, func(t *testing.T) {
